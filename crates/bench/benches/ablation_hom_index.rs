@@ -1,0 +1,133 @@
+//! Ablation: homomorphism search with/without posting-list indexes and
+//! fail-first dynamic ordering (DESIGN.md §7, ablation 1).
+//!
+//! Workloads that force genuine search:
+//!
+//! * **miss**: `K₅` on nulls into `K₄` — not 4-colorable, so the engine
+//!   must exhaust a deep backtracking space to refute;
+//! * **hit**: an odd cycle on nulls into `K₃` embedded in a sea of
+//!   disconnected distractor edges — posting lists prune the candidate
+//!   tuples per step, a naive scan pays for every distractor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rde_hom::{for_each_hom, HomConfig};
+use rde_model::{Fact, Instance, Substitution, Value, Vocabulary};
+
+fn configs() -> Vec<(&'static str, HomConfig)> {
+    vec![
+        ("indexed_dynamic", HomConfig { use_index: true, dynamic_order: true, node_budget: None }),
+        ("indexed_static", HomConfig { use_index: true, dynamic_order: false, node_budget: None }),
+        ("naive_dynamic", HomConfig { use_index: false, dynamic_order: true, node_budget: None }),
+        ("naive_static", HomConfig { use_index: false, dynamic_order: false, node_budget: None }),
+    ]
+}
+
+struct G {
+    vocab: Vocabulary,
+    rel: rde_model::RelId,
+}
+
+impl G {
+    fn new() -> Self {
+        let mut vocab = Vocabulary::new();
+        let rel = vocab.relation("E", 2).unwrap();
+        G { vocab, rel }
+    }
+
+    fn edge(&self, g: &mut Instance, a: Value, b: Value) {
+        g.insert(Fact::new(self.rel, vec![a, b]));
+        g.insert(Fact::new(self.rel, vec![b, a]));
+    }
+
+    /// Kₙ on constants `k0..k{n-1}`, plus `distractors` disconnected
+    /// ground edges that bloat the relation.
+    fn complete_with_distractors(&mut self, n: usize, distractors: usize) -> Instance {
+        let mut out = Instance::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let a = self.vocab.const_value(&format!("k{i}"));
+                    let b = self.vocab.const_value(&format!("k{j}"));
+                    out.insert(Fact::new(self.rel, vec![a, b]));
+                }
+            }
+        }
+        for d in 0..distractors {
+            let a = self.vocab.const_value(&format!("d{}", 2 * d));
+            let b = self.vocab.const_value(&format!("d{}", 2 * d + 1));
+            self.edge(&mut out, a, b);
+        }
+        out
+    }
+
+    /// Clique on `n` null vertices.
+    fn null_clique(&mut self, n: usize) -> Instance {
+        let mut out = Instance::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                let a = self.vocab.null_value(&format!("v{i}"));
+                let b = self.vocab.null_value(&format!("v{j}"));
+                self.edge(&mut out, a, b);
+            }
+        }
+        out
+    }
+
+    /// Odd cycle on `n` null vertices (n odd).
+    fn null_cycle(&mut self, n: usize) -> Instance {
+        let mut out = Instance::new();
+        for i in 0..n {
+            let a = self.vocab.null_value(&format!("c{i}"));
+            let b = self.vocab.null_value(&format!("c{}", (i + 1) % n));
+            self.edge(&mut out, a, b);
+        }
+        out
+    }
+}
+
+fn decide(cfg: &HomConfig, src: &Instance, tgt: &Instance) -> bool {
+    let mut found = false;
+    for_each_hom(src, tgt, &Substitution::new(), cfg, |_| {
+        found = true;
+        false
+    })
+    .unwrap();
+    found
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_hom_index");
+    group.sample_size(20);
+
+    // Miss: K5 (nulls) into K4 — refutation requires exhausting the
+    // coloring space.
+    let mut g = G::new();
+    let k5 = g.null_clique(5);
+    let k4 = g.complete_with_distractors(4, 0);
+    assert!(!decide(&HomConfig::default(), &k5, &k4));
+    for (name, cfg) in configs() {
+        group.bench_with_input(BenchmarkId::new(format!("miss_{name}"), "K5toK4"), &(), |b, ()| {
+            b.iter(|| decide(&cfg, &k5, &k4))
+        });
+    }
+
+    // Hit: C9 (nulls) into K3 drowned in distractor edges — index
+    // pruning vs full scans per extension step.
+    for distractors in [0usize, 200] {
+        let mut g = G::new();
+        let c9 = g.null_cycle(9);
+        let target = g.complete_with_distractors(3, distractors);
+        assert!(decide(&HomConfig::default(), &c9, &target));
+        for (name, cfg) in configs() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("hit_{name}"), format!("C9toK3_d{distractors}")),
+                &(),
+                |b, ()| b.iter(|| decide(&cfg, &c9, &target)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmark: canonical-universal-solution construction (`chase_M(I)`)
+//! across the paper's mapping families and instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rde_bench::workloads;
+use rde_chase::{chase_mapping, ChaseOptions};
+use rde_model::Vocabulary;
+
+fn bench_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase");
+    for size in [32usize, 128, 512] {
+        for build in
+            [workloads::copy, workloads::decomposition, workloads::two_step, workloads::projection]
+        {
+            let mut vocab = Vocabulary::new();
+            let w = build(&mut vocab);
+            let instance =
+                workloads::source_instance(&mut vocab, &w.mapping, size, size / 2 + 2, 4, 0.2, 7);
+            group.throughput(Throughput::Elements(instance.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(w.name, size),
+                &instance,
+                |b, inst| {
+                    b.iter(|| {
+                        let mut v = vocab.clone();
+                        chase_mapping(inst, &w.mapping, &mut v, &ChaseOptions::default()).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmark: core (minimum retract) computation on chase results,
+//! whose invented nulls create foldable redundancy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rde_bench::workloads;
+use rde_chase::{chase_mapping, ChaseOptions};
+use rde_hom::core_of;
+use rde_model::{Instance, Vocabulary};
+
+/// Chase a random source with the two-step mapping, then union a ground
+/// completion so a fraction of the invented nulls becomes redundant.
+fn redundant_instance(size: usize, redundancy: f64) -> Instance {
+    let mut vocab = Vocabulary::new();
+    let w = workloads::two_step(&mut vocab);
+    let src = workloads::source_instance(&mut vocab, &w.mapping, size, size / 2 + 2, 0, 0.0, 17);
+    let chased = chase_mapping(&src, &w.mapping, &mut vocab, &ChaseOptions::default()).unwrap();
+    let q = vocab.find_relation("Q").unwrap();
+    let hub = vocab.const_value("hub");
+    let mut out = chased;
+    // Ground 2-paths through a shared hub make null paths foldable.
+    let n_ground = ((size as f64) * redundancy) as usize;
+    for f in src.facts().take(n_ground) {
+        out.insert(rde_model::Fact::new(q, vec![f.args()[0], hub]));
+        out.insert(rde_model::Fact::new(q, vec![hub, f.args()[1]]));
+    }
+    out
+}
+
+fn bench_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_minimize");
+    group.sample_size(20);
+    for size in [16usize, 48] {
+        for (label, redundancy) in [("low_redundancy", 0.25), ("high_redundancy", 1.0)] {
+            let instance = redundant_instance(size, redundancy);
+            group.bench_with_input(
+                BenchmarkId::new(label, size),
+                &instance,
+                |b, inst| b.iter(|| core_of(inst)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Benchmark: reverse data exchange with the disjunctive chase — the
+//! leaf set grows as `arms^facts`, so this measures branching cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rde_bench::workloads;
+use rde_chase::{chase_mapping, disjunctive_chase, ChaseOptions, DisjunctiveChaseOptions};
+use rde_model::{Instance, Vocabulary};
+
+fn target_instance(arms: usize, facts: usize) -> (Vocabulary, rde_deps::SchemaMapping, Instance) {
+    let mut vocab = Vocabulary::new();
+    let w = workloads::union_k(&mut vocab, arms);
+    let src = workloads::source_instance(&mut vocab, &w.mapping, facts, facts + 2, 0, 0.0, 19);
+    let u = chase_mapping(&src, &w.mapping, &mut vocab, &ChaseOptions::default()).unwrap();
+    (vocab, w.reverse, u)
+}
+
+fn bench_disjunctive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disjunctive_chase");
+    group.sample_size(15);
+    for arms in [2usize, 3] {
+        for facts in [4usize, 6, 8] {
+            let (vocab, reverse, u) = target_instance(arms, facts);
+            let leaf_count = {
+                let mut v = vocab.clone();
+                disjunctive_chase(&u, &reverse.dependencies, &mut v, &DisjunctiveChaseOptions::default())
+                    .unwrap()
+                    .leaves
+                    .len()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("arms{arms}_leaves{leaf_count}"), facts),
+                &u,
+                |b, u| {
+                    b.iter(|| {
+                        let mut v = vocab.clone();
+                        disjunctive_chase(
+                            u,
+                            &reverse.dependencies,
+                            &mut v,
+                            &DisjunctiveChaseOptions::default(),
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_disjunctive);
+criterion_main!(benches);

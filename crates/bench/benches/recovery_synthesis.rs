@@ -1,0 +1,48 @@
+//! Benchmark: the quasi-inverse algorithm for full tgds (Theorem 5.1),
+//! scaled by number of tgds and premise arity (equality types grow as
+//! Bell numbers of the premise width).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rde_bench::workloads;
+use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
+use rde_deps::parse_mapping;
+use rde_model::Vocabulary;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery_synthesis");
+    group.sample_size(15);
+
+    // Scale the number of union arms (more tgds, more blocks).
+    for arms in [2usize, 4, 6] {
+        let mut vocab = Vocabulary::new();
+        let w = workloads::union_k(&mut vocab, arms);
+        group.bench_with_input(BenchmarkId::new("union_arms", arms), &w.mapping, |b, m| {
+            b.iter(|| {
+                let mut v = vocab.clone();
+                maximum_extended_recovery_full(m, &mut v, &QuasiInverseOptions::default()).unwrap()
+            })
+        });
+    }
+
+    // Scale premise arity (Bell-number growth of equality types).
+    for arity in [2usize, 3, 4] {
+        let mut vocab = Vocabulary::new();
+        let vars: Vec<String> = (0..arity).map(|i| format!("x{i}")).collect();
+        let vlist = vars.join(", ");
+        let m = parse_mapping(
+            &mut vocab,
+            &format!("source: P/{arity}, T/1\ntarget: Pp/{arity}\nP({vlist}) -> Pp({vlist})\nT(x0) -> Pp({})", vec!["x0"; arity].join(", ")),
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("copy_arity", arity), &m, |b, m| {
+            b.iter(|| {
+                let mut v = vocab.clone();
+                maximum_extended_recovery_full(m, &mut v, &QuasiInverseOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

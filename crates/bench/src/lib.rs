@@ -1,0 +1,164 @@
+//! # rde-bench
+//!
+//! Shared workload generators for the Criterion benchmarks and the
+//! `paper_experiments` binary. The paper has no empirical section; the
+//! workloads here are the canonical mapping families its theory is
+//! stated over (copy, projection, union, decomposition, two-step
+//! composition) scaled by instance size, plus random instance
+//! generators over their source schemas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads {
+    //! Mapping families and instance generators.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use rde_deps::{parse_mapping, SchemaMapping};
+    use rde_model::generate::{random_instance, RandomInstanceConfig};
+    use rde_model::{Instance, Vocabulary};
+
+    /// A named forward/reverse mapping pair over a shared vocabulary.
+    pub struct Workload {
+        /// Display name (used as the Criterion benchmark id).
+        pub name: &'static str,
+        /// The forward mapping `M`.
+        pub mapping: SchemaMapping,
+        /// A reverse mapping (extended inverse or maximum extended
+        /// recovery, per the paper's analysis of the family).
+        pub reverse: SchemaMapping,
+    }
+
+    /// `P(x,y) → P′(x,y)` with its copy-back (lossless).
+    pub fn copy(vocab: &mut Vocabulary) -> Workload {
+        let mapping =
+            parse_mapping(vocab, "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)").unwrap();
+        let reverse =
+            parse_mapping(vocab, "source: Pp/2\ntarget: P/2\nPp(x,y) -> P(x,y)").unwrap();
+        Workload { name: "copy", mapping, reverse }
+    }
+
+    /// Example 1.1's decomposition with its tgd recovery.
+    pub fn decomposition(vocab: &mut Vocabulary) -> Workload {
+        let mapping = parse_mapping(
+            vocab,
+            "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)",
+        )
+        .unwrap();
+        let reverse = parse_mapping(
+            vocab,
+            "source: Q/2, R/2\ntarget: P/3\nQ(x,y) -> exists z . P(x,y,z)\nR(y,z) -> exists x . P(x,y,z)",
+        )
+        .unwrap();
+        Workload { name: "decomposition", mapping, reverse }
+    }
+
+    /// Example 3.18's two-step path mapping with its chase-inverse.
+    pub fn two_step(vocab: &mut Vocabulary) -> Workload {
+        let mapping = parse_mapping(
+            vocab,
+            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
+        )
+        .unwrap();
+        let reverse =
+            parse_mapping(vocab, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+        Workload { name: "two_step", mapping, reverse }
+    }
+
+    /// The union mapping (Example 3.14) with its disjunctive recovery.
+    pub fn union(vocab: &mut Vocabulary) -> Workload {
+        let mapping = parse_mapping(
+            vocab,
+            "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)",
+        )
+        .unwrap();
+        let reverse =
+            parse_mapping(vocab, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)").unwrap();
+        Workload { name: "union", mapping, reverse }
+    }
+
+    /// A `k`-armed union `A1 … Ak → R` with its `k`-way disjunctive
+    /// recovery — the disjunctive-chase stress family.
+    pub fn union_k(vocab: &mut Vocabulary, k: usize) -> Workload {
+        let mut src = String::from("source: ");
+        let mut fwd = String::new();
+        let mut disjuncts = Vec::new();
+        for i in 0..k {
+            if i > 0 {
+                src.push_str(", ");
+            }
+            src.push_str(&format!("U{i}/1"));
+            fwd.push_str(&format!("U{i}(x) -> R(x)\n"));
+            disjuncts.push(format!("U{i}(x)"));
+        }
+        let mapping =
+            parse_mapping(vocab, &format!("{src}\ntarget: R/1\n{fwd}")).unwrap();
+        let rev_text = format!("source: R/1\ntarget: {}\nR(x) -> {}", &src[8..], disjuncts.join(" | "));
+        let reverse = parse_mapping(vocab, &rev_text).unwrap();
+        Workload { name: "union_k", mapping, reverse }
+    }
+
+    /// The projection `P(x,y) → Q(x)` with its existential recovery.
+    pub fn projection(vocab: &mut Vocabulary) -> Workload {
+        let mapping = parse_mapping(vocab, "source: P/2\ntarget: Q/1\nP(x,y) -> Q(x)").unwrap();
+        let reverse =
+            parse_mapping(vocab, "source: Q/1\ntarget: P/2\nQ(x) -> exists y . P(x, y)").unwrap();
+        Workload { name: "projection", mapping, reverse }
+    }
+
+    /// A deterministic random source instance over the workload's
+    /// source schema: `facts` insertion attempts over `consts`
+    /// constants and `nulls` named nulls.
+    pub fn source_instance(
+        vocab: &mut Vocabulary,
+        mapping: &SchemaMapping,
+        facts: usize,
+        consts: usize,
+        nulls: usize,
+        null_probability: f64,
+        seed: u64,
+    ) -> Instance {
+        let cfg = RandomInstanceConfig::with_pools(vocab, facts, consts, nulls, null_probability);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        random_instance(&mut rng, vocab, &mapping.source, &cfg).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workloads;
+    use rde_model::Vocabulary;
+
+    #[test]
+    fn workloads_build_and_generate() {
+        // Each workload gets its own vocabulary: `copy` and
+        // `decomposition` declare `P` with different arities.
+        type Builder = fn(&mut Vocabulary) -> workloads::Workload;
+        let builders: [Builder; 5] = [
+            workloads::copy,
+            workloads::decomposition,
+            workloads::two_step,
+            workloads::union,
+            workloads::projection,
+        ];
+        for build in builders {
+            let mut v = Vocabulary::new();
+            let w = build(&mut v);
+            let i = workloads::source_instance(&mut v, &w.mapping, 20, 5, 3, 0.3, 42);
+            assert!(!i.is_empty(), "{} produced an empty instance", w.name);
+            w.mapping.validate(&v).unwrap();
+            w.reverse.validate(&v).unwrap();
+        }
+    }
+
+    #[test]
+    fn union_k_scales() {
+        let mut v = Vocabulary::new();
+        let w = workloads::union_k(&mut v, 4);
+        assert_eq!(w.mapping.dependencies.len(), 4);
+        assert_eq!(w.reverse.dependencies[0].disjuncts.len(), 4);
+        w.mapping.validate(&v).unwrap();
+        w.reverse.validate(&v).unwrap();
+    }
+}

@@ -1,0 +1,81 @@
+//! The core chase: canonical universal solutions minimized to their
+//! cores.
+//!
+//! The chase result `chase_M(I)` is a canonical but generally redundant
+//! (extended) universal solution; its **core** is the smallest
+//! universal solution (Fagin, Kolaitis, Popa, *Data exchange: getting
+//! to the core*), unique up to isomorphism and hom-equivalent to the
+//! chase. In the paper's framework all the notions built on
+//! `chase_M(·)` — extended solutions, `→_M`, `e(M) ∘ e(M′)` — are
+//! invariant under hom-equivalence, so the core can be substituted
+//! everywhere the chase appears; doing so shrinks the inputs of the
+//! downstream (NP-hard) homomorphism checks.
+
+use rde_deps::SchemaMapping;
+use rde_hom::core_of;
+use rde_model::{Instance, Vocabulary};
+
+use crate::standard::{chase_mapping, ChaseOptions};
+use crate::ChaseError;
+
+/// `core(chase_M(I))`: the smallest (extended) universal solution for
+/// `I` w.r.t. a tgd-specified mapping.
+pub fn core_chase_mapping(
+    instance: &Instance,
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+    options: &ChaseOptions,
+) -> Result<Instance, ChaseError> {
+    let chased = chase_mapping(instance, mapping, vocab, options)?;
+    Ok(core_of(&chased).core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_deps::parse_mapping;
+    use rde_hom::{hom_equivalent, is_core};
+    use rde_model::parse::parse_instance;
+
+    #[test]
+    fn core_chase_is_hom_equivalent_and_minimal() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z) & Q(z, y)",
+        )
+        .unwrap();
+        // A skewed instance: both P facts share endpoints, so the two
+        // invented 2-paths can fold together once a ground path exists.
+        let i = parse_instance(&mut v, "P(a, b)").unwrap();
+        let chased = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        let core = core_chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        assert!(hom_equivalent(&chased, &core));
+        assert!(is_core(&core));
+        assert!(core.len() <= chased.len());
+    }
+
+    #[test]
+    fn redundant_firings_fold_away() {
+        let mut v = Vocabulary::new();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)").unwrap();
+        // Two facts with the same first component: the oblivious chase
+        // invents two nulls, the core keeps one.
+        let i = parse_instance(&mut v, "P(a, b)\nP(a, c)").unwrap();
+        let chased = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        assert_eq!(chased.len(), 2);
+        let core = core_chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        assert_eq!(core.len(), 1);
+    }
+
+    #[test]
+    fn ground_conclusions_have_trivial_cores() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> Q(y, x)").unwrap();
+        let i = parse_instance(&mut v, "P(a, b)\nP(b, c)").unwrap();
+        let chased = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        let core = core_chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        assert_eq!(chased, core);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the chase engines.
+
+use std::fmt;
+
+/// Errors from the standard or disjunctive chase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaseError {
+    /// The round/step budget was exhausted before reaching a fixpoint.
+    /// For source-to-target tgds the chase always terminates within one
+    /// round, so this indicates a same-schema or recursive dependency
+    /// set that needs a larger budget (or does not terminate).
+    RoundBudgetExhausted {
+        /// The configured budget.
+        rounds: u64,
+    },
+    /// A branch (or the single standard-chase instance) exceeded the
+    /// fact budget.
+    FactBudgetExhausted {
+        /// The configured budget.
+        facts: usize,
+    },
+    /// The disjunctive chase produced more simultaneous branches than
+    /// allowed.
+    BranchBudgetExhausted {
+        /// The configured budget.
+        branches: usize,
+    },
+    /// The standard chase was given a disjunctive dependency; use
+    /// [`crate::disjunctive_chase`] for those.
+    DisjunctionUnsupported,
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::RoundBudgetExhausted { rounds } => {
+                write!(f, "chase did not reach a fixpoint within {rounds} round(s)")
+            }
+            ChaseError::FactBudgetExhausted { facts } => {
+                write!(f, "chase exceeded the fact budget of {facts}")
+            }
+            ChaseError::BranchBudgetExhausted { branches } => {
+                write!(f, "disjunctive chase exceeded the branch budget of {branches}")
+            }
+            ChaseError::DisjunctionUnsupported => {
+                write!(f, "the standard chase does not support disjunctive dependencies; use disjunctive_chase")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_budgets() {
+        assert!(ChaseError::RoundBudgetExhausted { rounds: 5 }.to_string().contains('5'));
+        assert!(ChaseError::FactBudgetExhausted { facts: 9 }.to_string().contains('9'));
+        assert!(ChaseError::BranchBudgetExhausted { branches: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,42 @@
+//! # rde-chase
+//!
+//! Chase engines for reverse data exchange.
+//!
+//! * [`chase`] / [`chase_mapping`] — the standard chase with tgds
+//!   (Beeri–Vardi, applied to data exchange by Fagin, Kolaitis, Miller
+//!   and Popa). For a mapping `M` specified by s-t tgds, `chase_M(I)` is
+//!   a canonical universal solution for `I`; Proposition 3.11 of the
+//!   PODS 2009 paper upgrades it to an *extended* universal solution
+//!   when sources contain nulls. Premises may carry `Constant(x)` guards
+//!   and inequalities (needed to chase with inverses such as `M″` of
+//!   Example 3.19).
+//!
+//! * [`disjunctive_chase`] — the disjunctive chase (Section 6 of the
+//!   paper): each violated disjunctive tgd branches the instance, one
+//!   child per disjunct, and the result is a *set* of instances. This is
+//!   the procedural engine behind reverse data exchange with maximum
+//!   extended recoveries (Definition 6.1, Theorems 6.2 and 6.5).
+//!
+//! * [`matching`] — premise matching (enumerating assignments of a
+//!   dependency's premise into an instance), built directly on the
+//!   homomorphism engine: matching `φ(x)` into `I` is finding a
+//!   homomorphism from the canonical (frozen) instance of `φ` into `I`.
+//!
+//! Both chases fire triggers *obliviously or with a satisfaction check*
+//! (see [`ChaseMode`]); resource limits are explicit and typed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_chase;
+mod disjunctive;
+mod error;
+pub mod matching;
+mod standard;
+
+pub use core_chase::core_chase_mapping;
+pub use disjunctive::{disjunctive_chase, DisjunctiveChaseOptions, DisjunctiveChaseResult};
+pub use error::ChaseError;
+pub use standard::{
+    chase, chase_mapping, chase_mapping_default, ChaseMode, ChaseOptions, ChaseResult, FiringRecord,
+};

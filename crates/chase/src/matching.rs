@@ -1,0 +1,254 @@
+//! Premise matching: enumerating assignments of a dependency premise
+//! (or any atom conjunction) into an instance.
+//!
+//! Matching a conjunction `φ(x)` into an instance `I` is exactly finding
+//! a homomorphism from the *frozen* (canonical) instance of `φ` — with
+//! each variable replaced by a private null — into `I`. We therefore
+//! reuse the optimized search of `rde-hom` and post-filter the premise
+//! guards (`Constant(x)`, `x ≠ y`), which are not expressible as
+//! homomorphism constraints.
+
+use rde_deps::{Atom, Premise, VarId};
+use rde_model::fx::FxHashMap;
+use rde_model::{Instance, NullId, Substitution, Value};
+use rde_hom::{for_each_hom, HomConfig};
+
+/// A (partial) assignment of dependency variables to values.
+pub type VarAssignment = FxHashMap<VarId, Value>;
+
+/// Pick a null-id offset for frozen variables that cannot collide with
+/// nulls of the instance or the seed values.
+fn var_offset(instance: &Instance, seed: &VarAssignment) -> u32 {
+    let mut max = 0u32;
+    for n in instance.nulls() {
+        max = max.max(n.0 + 1);
+    }
+    for v in seed.values() {
+        if let Value::Null(n) = v {
+            max = max.max(n.0 + 1);
+        }
+    }
+    max
+}
+
+fn freeze(atoms: &[Atom], offset: u32) -> Instance {
+    atoms
+        .iter()
+        .map(|a| {
+            a.instantiate(&|v: VarId| Value::Null(NullId(offset + v.0)))
+        })
+        .collect()
+}
+
+/// Enumerate assignments of `atoms` into `instance` extending `seed`,
+/// invoking `on_match` for each complete assignment of the variables
+/// occurring in `atoms` (merged with the seed). The callback returns
+/// `false` to stop enumeration.
+///
+/// Used for premise matching (with guards checked by
+/// [`for_each_premise_match`]) and for conclusion-satisfaction checks in
+/// the standard and disjunctive chase.
+pub fn for_each_atom_match(
+    atoms: &[Atom],
+    instance: &Instance,
+    seed: &VarAssignment,
+    mut on_match: impl FnMut(&VarAssignment) -> bool,
+) {
+    let offset = var_offset(instance, seed);
+    let frozen = freeze(atoms, offset);
+    let seed_sub: Substitution = seed.iter().map(|(&v, &val)| (NullId(offset + v.0), val)).collect();
+    // Collect the variables that occur in the atoms, to read back.
+    let mut vars: Vec<VarId> = Vec::new();
+    for a in atoms {
+        for v in a.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    for_each_hom(&frozen, instance, &seed_sub, &HomConfig::default(), |sub| {
+        let mut assignment: VarAssignment = seed.clone();
+        for &v in &vars {
+            assignment.insert(v, sub.apply(Value::Null(NullId(offset + v.0))));
+        }
+        on_match(&assignment)
+    })
+    .expect("unbounded search cannot exhaust a budget");
+}
+
+/// Does `seed` extend to a match of `atoms` in `instance`?
+pub fn atoms_satisfiable(atoms: &[Atom], instance: &Instance, seed: &VarAssignment) -> bool {
+    let mut found = false;
+    for_each_atom_match(atoms, instance, seed, |_| {
+        found = true;
+        false
+    });
+    found
+}
+
+/// Does the assignment satisfy the premise guards?
+pub fn guards_hold(premise: &Premise, assignment: &VarAssignment) -> bool {
+    premise
+        .constant_vars
+        .iter()
+        .all(|v| assignment.get(v).is_some_and(|val| val.is_const()))
+        && premise.inequalities.iter().all(|(a, b)| match (assignment.get(a), assignment.get(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => false,
+        })
+}
+
+/// Enumerate assignments of a full premise (atoms + guards) into
+/// `instance`. The callback returns `false` to stop.
+pub fn for_each_premise_match(
+    premise: &Premise,
+    instance: &Instance,
+    mut on_match: impl FnMut(&VarAssignment) -> bool,
+) {
+    for_each_atom_match(&premise.atoms, instance, &VarAssignment::default(), |assignment| {
+        if guards_hold(premise, assignment) {
+            on_match(assignment)
+        } else {
+            true
+        }
+    });
+}
+
+/// Instantiate an atom under an assignment (panics on unbound variables;
+/// chase callers always bind everything).
+pub fn instantiate_atom(atom: &Atom, assignment: &VarAssignment) -> rde_model::Fact {
+    atom.instantiate(&|v: VarId| {
+        *assignment.get(&v).unwrap_or_else(|| panic!("unbound variable {v:?} during instantiation"))
+    })
+}
+
+/// Order the bound values of `vars` into a canonical trigger key.
+pub fn trigger_key(vars: &[VarId], assignment: &VarAssignment) -> Vec<Value> {
+    vars.iter().map(|v| assignment[v]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_deps::parse_dependency;
+    use rde_model::{Fact, Vocabulary};
+
+    fn setup() -> (Vocabulary, Instance) {
+        let mut v = Vocabulary::new();
+        let text = "P(a, b)\nP(b, c)\nP(a, ?x)\n";
+        let i = rde_model::parse::parse_instance(&mut v, text).unwrap();
+        (v, i)
+    }
+
+    #[test]
+    fn matches_join_premises() {
+        let (mut v, i) = setup();
+        // P(x, y) & P(y, z): only a→b→c (and via the null? P(a,?x) needs ?x matched as first arg — no P(?x,_) fact).
+        let d = parse_dependency(&mut v, "P(x, y) & P(y, z) -> P(x, z)").unwrap();
+        let mut matches = Vec::new();
+        for_each_premise_match(&d.premise, &i, |a| {
+            matches.push(a.clone());
+            true
+        });
+        let b_val = v.const_value("b");
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0][&VarId(1)], b_val);
+    }
+
+    #[test]
+    fn inequality_guard_filters() {
+        let mut v = Vocabulary::new();
+        let i = rde_model::parse::parse_instance(&mut v, "R(a, a)\nR(a, b)\n").unwrap();
+        let d = parse_dependency(&mut v, "R(x, y) & x != y -> R(y, x)").unwrap();
+        let mut matches = 0;
+        for_each_premise_match(&d.premise, &i, |_| {
+            matches += 1;
+            true
+        });
+        assert_eq!(matches, 1);
+    }
+
+    #[test]
+    fn constant_guard_filters_nulls() {
+        let mut v = Vocabulary::new();
+        let i = rde_model::parse::parse_instance(&mut v, "Q(a)\nQ(?x)\n").unwrap();
+        let d = parse_dependency(&mut v, "Q(x) & Constant(x) -> Q(x)").unwrap();
+        let mut values = Vec::new();
+        for_each_premise_match(&d.premise, &i, |a| {
+            values.push(a[&VarId(0)]);
+            true
+        });
+        assert_eq!(values, vec![v.const_value("a")]);
+    }
+
+    #[test]
+    fn nulls_in_the_instance_match_like_values() {
+        let (mut v, i) = setup();
+        let d = parse_dependency(&mut v, "P(x, y) -> P(y, x)").unwrap();
+        let mut matches = 0;
+        for_each_premise_match(&d.premise, &i, |_| {
+            matches += 1;
+            true
+        });
+        assert_eq!(matches, 3); // all three facts, including P(a, ?x)
+    }
+
+    #[test]
+    fn satisfiability_with_seed() {
+        let (mut v, i) = setup();
+        let d = parse_dependency(&mut v, "P(x, y) -> exists z . P(y, z)").unwrap();
+        let conclusion = &d.disjuncts[0].atoms;
+        let a_val = v.const_value("a");
+        let c_val = v.const_value("c");
+        // y := a extends (P(a,·) exists); y := c does not.
+        let mut seed = VarAssignment::default();
+        seed.insert(VarId(1), a_val);
+        assert!(atoms_satisfiable(conclusion, &i, &seed));
+        seed.insert(VarId(1), c_val);
+        assert!(!atoms_satisfiable(conclusion, &i, &seed));
+    }
+
+    #[test]
+    fn instantiation_and_trigger_keys() {
+        let (mut v, _) = setup();
+        let d = parse_dependency(&mut v, "P(x, y) -> P(y, x)").unwrap();
+        let a_val = v.const_value("a");
+        let b_val = v.const_value("b");
+        let mut assignment = VarAssignment::default();
+        assignment.insert(VarId(0), a_val);
+        assignment.insert(VarId(1), b_val);
+        let fact = instantiate_atom(&d.disjuncts[0].atoms[0], &assignment);
+        let p = v.find_relation("P").unwrap();
+        assert_eq!(fact, Fact::new(p, vec![b_val, a_val]));
+        assert_eq!(trigger_key(&d.universal_vars(), &assignment), vec![a_val, b_val]);
+    }
+
+    #[test]
+    fn frozen_variables_do_not_collide_with_instance_nulls() {
+        // Instance with a large null id; premise vars must be offset past it.
+        let mut v = Vocabulary::new();
+        for _ in 0..10 {
+            v.fresh_null();
+        }
+        let i = rde_model::parse::parse_instance(&mut v, "P(?big, ?big)").unwrap();
+        let d = parse_dependency(&mut v, "P(x, y) -> P(y, x)").unwrap();
+        let mut matches = 0;
+        for_each_premise_match(&d.premise, &i, |a| {
+            assert_eq!(a[&VarId(0)], a[&VarId(1)]);
+            matches += 1;
+            true
+        });
+        assert_eq!(matches, 1);
+    }
+
+    #[test]
+    fn empty_atom_list_matches_once() {
+        let i = Instance::new();
+        let mut count = 0;
+        for_each_atom_match(&[], &i, &VarAssignment::default(), |_| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 1);
+    }
+}

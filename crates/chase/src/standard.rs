@@ -1,0 +1,406 @@
+//! The standard chase with (non-disjunctive) dependencies.
+
+use rde_deps::{Dependency, SchemaMapping};
+use rde_model::fx::FxHashSet;
+use rde_model::{Instance, Value, Vocabulary};
+
+use crate::matching::{
+    atoms_satisfiable, for_each_premise_match, instantiate_atom, trigger_key, VarAssignment,
+};
+use crate::ChaseError;
+
+/// Trigger-firing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseMode {
+    /// Fire every trigger exactly once, always inventing fresh nulls
+    /// (the *naive/oblivious* chase). For s-t tgds this produces the
+    /// canonical universal solution of Fagin–Kolaitis–Miller–Popa, which
+    /// the paper's examples (1.1, 3.18, 3.19) compute; it is the default.
+    #[default]
+    Oblivious,
+    /// Fire a trigger only if no extension of its assignment already
+    /// satisfies the conclusion (the *standard/restricted* chase).
+    /// Produces smaller, hom-equivalent results; useful when chasing
+    /// with same-schema dependency sets.
+    Standard,
+}
+
+/// Budgets and mode for the standard chase.
+#[derive(Debug, Clone)]
+pub struct ChaseOptions {
+    /// Firing discipline.
+    pub mode: ChaseMode,
+    /// Maximum number of parallel rounds. Source-to-target tgds always
+    /// finish in one round plus one quiescence check.
+    pub max_rounds: u64,
+    /// Maximum total facts in the chased instance.
+    pub max_facts: usize,
+    /// Record a [`FiringRecord`] per trigger (provenance: which
+    /// dependency, under which assignment, produced which facts).
+    /// Off by default — tracing costs memory proportional to the chase.
+    pub trace: bool,
+}
+
+impl Default for ChaseOptions {
+    fn default() -> Self {
+        ChaseOptions { mode: ChaseMode::Oblivious, max_rounds: 256, max_facts: 1_000_000, trace: false }
+    }
+}
+
+/// Provenance of one trigger firing (recorded when
+/// [`ChaseOptions::trace`] is set).
+#[derive(Debug, Clone)]
+pub struct FiringRecord {
+    /// Index of the dependency in the chased set.
+    pub dependency: usize,
+    /// The universal-variable assignment, as sorted `(var, value)` pairs.
+    pub assignment: Vec<(rde_deps::VarId, Value)>,
+    /// The conclusion facts this firing produced (after existential
+    /// instantiation; some may have existed already).
+    pub produced: Vec<rde_model::Fact>,
+}
+
+/// Result of a chase run.
+#[derive(Debug, Clone)]
+pub struct ChaseResult {
+    /// The chased instance: the input plus all generated facts (an
+    /// instance over the combined schema, `(I, J)` in the paper's
+    /// notation).
+    pub instance: Instance,
+    /// Number of triggers fired.
+    pub fired: u64,
+    /// Number of rounds executed (excluding the final quiescent check).
+    pub rounds: u64,
+    /// Firing provenance (empty unless [`ChaseOptions::trace`]).
+    pub provenance: Vec<FiringRecord>,
+}
+
+/// Chase `instance` with `dependencies` (each must have exactly one
+/// disjunct; guards in premises are honoured).
+///
+/// Returns the full chased instance over the combined schema. Use
+/// [`chase_mapping`] to get the target restriction `chase_M(I)`.
+pub fn chase(
+    instance: &Instance,
+    dependencies: &[Dependency],
+    vocab: &mut Vocabulary,
+    options: &ChaseOptions,
+) -> Result<ChaseResult, ChaseError> {
+    for d in dependencies {
+        if d.is_disjunctive() {
+            return Err(ChaseError::DisjunctionUnsupported);
+        }
+    }
+    let mut current = instance.clone();
+    let mut fired_keys: FxHashSet<(usize, Vec<Value>)> = FxHashSet::default();
+    let mut fired: u64 = 0;
+    let mut rounds: u64 = 0;
+    let mut provenance: Vec<FiringRecord> = Vec::new();
+    loop {
+        if rounds >= options.max_rounds {
+            return Err(ChaseError::RoundBudgetExhausted { rounds: options.max_rounds });
+        }
+        // Collect this round's new firings against the *current* state.
+        let mut pending: Vec<(usize, VarAssignment)> = Vec::new();
+        for (di, dep) in dependencies.iter().enumerate() {
+            let universal = dep.universal_vars();
+            for_each_premise_match(&dep.premise, &current, |assignment| {
+                let key = (di, trigger_key(&universal, assignment));
+                if fired_keys.contains(&key) {
+                    return true;
+                }
+                if options.mode == ChaseMode::Standard {
+                    let conclusion = &dep.disjuncts[0];
+                    // Restrict the seed to universal variables so the
+                    // existentials are free to match any witnesses.
+                    let seed: VarAssignment =
+                        universal.iter().map(|&v| (v, assignment[&v])).collect();
+                    if atoms_satisfiable(&conclusion.atoms, &current, &seed) {
+                        fired_keys.insert(key);
+                        return true;
+                    }
+                }
+                fired_keys.insert(key);
+                pending.push((di, assignment.clone()));
+                true
+            });
+        }
+        if pending.is_empty() {
+            return Ok(ChaseResult { instance: current, fired, rounds, provenance });
+        }
+        rounds += 1;
+        for (di, mut assignment) in pending {
+            let dep = &dependencies[di];
+            let conclusion = &dep.disjuncts[0];
+            if options.mode == ChaseMode::Standard {
+                // Sequential semantics: an earlier firing in this round
+                // may have satisfied this trigger already.
+                let universal = dep.universal_vars();
+                let seed: VarAssignment = universal.iter().map(|&v| (v, assignment[&v])).collect();
+                if atoms_satisfiable(&conclusion.atoms, &current, &seed) {
+                    continue;
+                }
+            }
+            for &ev in &conclusion.existentials {
+                assignment.insert(ev, Value::Null(vocab.fresh_null()));
+            }
+            let mut produced = Vec::new();
+            for atom in &conclusion.atoms {
+                let fact = instantiate_atom(atom, &assignment);
+                if options.trace {
+                    produced.push(fact.clone());
+                }
+                current.insert(fact);
+                if current.len() > options.max_facts {
+                    return Err(ChaseError::FactBudgetExhausted { facts: options.max_facts });
+                }
+            }
+            if options.trace {
+                let universal = dep.universal_vars();
+                let mut pairs: Vec<(rde_deps::VarId, Value)> =
+                    universal.iter().map(|&v| (v, assignment[&v])).collect();
+                pairs.sort();
+                provenance.push(FiringRecord { dependency: di, assignment: pairs, produced });
+            }
+            fired += 1;
+        }
+    }
+}
+
+/// `chase_M(I)`: chase a source instance with a schema mapping and
+/// return the **target restriction** — the canonical (extended)
+/// universal solution for `I` w.r.t. `M` (Prop 3.11).
+pub fn chase_mapping(
+    instance: &Instance,
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+    options: &ChaseOptions,
+) -> Result<Instance, ChaseError> {
+    let result = chase(instance, &mapping.dependencies, vocab, options)?;
+    Ok(result.instance.restrict_to(&mapping.target))
+}
+
+/// Convenience used pervasively by `rde-core`: oblivious chase of the
+/// mapping with default budgets.
+pub fn chase_mapping_default(
+    instance: &Instance,
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+) -> Result<Instance, ChaseError> {
+    chase_mapping(instance, mapping, vocab, &ChaseOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_deps::parse_mapping;
+    use rde_model::parse::parse_instance;
+
+    fn chase_text(mapping_text: &str, instance_text: &str) -> (Vocabulary, Instance) {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, mapping_text).unwrap();
+        let i = parse_instance(&mut v, instance_text).unwrap();
+        let j = chase_mapping_default(&i, &m, &mut v).unwrap();
+        (v, j)
+    }
+
+    #[test]
+    fn example_1_1_forward() {
+        // P(x,y,z) -> Q(x,y) & R(y,z) on {P(a,b,c)} gives {Q(a,b), R(b,c)}.
+        let (mut v, j) =
+            chase_text("source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)", "P(a,b,c)");
+        let expected = parse_instance(&mut v, "Q(a,b)\nR(b,c)").unwrap();
+        assert_eq!(j, expected);
+    }
+
+    #[test]
+    fn example_1_1_reverse() {
+        // Reverse tgds on U = {Q(a,b), R(b,c)} give {P(a,b,Z), P(X,b,c)}.
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: Q/2, R/2\ntarget: P/3\nQ(x,y) -> exists z . P(x,y,z)\nR(y,z) -> exists x . P(x,y,z)",
+        )
+        .unwrap();
+        let u = parse_instance(&mut v, "Q(a,b)\nR(b,c)").unwrap();
+        let vres = chase_mapping_default(&u, &m, &mut v).unwrap();
+        assert_eq!(vres.len(), 2);
+        assert!(!vres.is_ground());
+        let p = v.find_relation("P").unwrap();
+        let (a, b, c) = (v.const_value("a"), v.const_value("b"), v.const_value("c"));
+        let facts: Vec<_> = vres.canonical_facts();
+        // One fact P(a, b, Z), one fact P(X, b, c), Z and X fresh nulls.
+        assert!(facts.iter().any(|f| f.relation() == p
+            && f.args()[0] == a
+            && f.args()[1] == b
+            && f.args()[2].is_null()));
+        assert!(facts.iter().any(|f| f.relation() == p
+            && f.args()[0].is_null()
+            && f.args()[1] == b
+            && f.args()[2] == c));
+    }
+
+    #[test]
+    fn existentials_get_distinct_fresh_nulls_per_firing() {
+        let (_, j) = chase_text(
+            "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)",
+            "P(a)\nP(b)",
+        );
+        let nulls = j.nulls();
+        assert_eq!(j.len(), 2);
+        assert_eq!(nulls.len(), 2, "each firing must invent its own null");
+    }
+
+    #[test]
+    fn shared_existential_within_one_firing() {
+        let (_, j) = chase_text(
+            "source: P/1\ntarget: Q/2, R/2\nP(x) -> exists y . Q(x, y) & R(y, x)",
+            "P(a)",
+        );
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.nulls().len(), 1, "the two conclusion atoms share one null");
+    }
+
+    #[test]
+    fn oblivious_fires_once_per_trigger() {
+        // Even with repeated chasing rounds, each trigger fires once.
+        let (_, j) = chase_text("source: P/1\ntarget: Q/1\nP(x) -> Q(x)", "P(a)");
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn standard_mode_skips_satisfied_triggers() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)",
+        )
+        .unwrap();
+        let i = parse_instance(&mut v, "P(a, b)\nP(a, c)").unwrap();
+        let oblivious = chase_mapping_default(&i, &m, &mut v).unwrap();
+        assert_eq!(oblivious.len(), 2);
+        let opts = ChaseOptions { mode: ChaseMode::Standard, ..ChaseOptions::default() };
+        let standard = chase_mapping(&i, &m, &mut v, &opts).unwrap();
+        // Second trigger (a, c) is satisfied by the first firing's Q(a, Z).
+        assert_eq!(standard.len(), 1);
+        assert!(rde_hom::hom_equivalent(&oblivious, &standard));
+    }
+
+    #[test]
+    fn guards_restrict_firing() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: R/2\ntarget: P/1\nR(x, y) & Constant(x) & x != y -> P(x)",
+        )
+        .unwrap();
+        let i = parse_instance(&mut v, "R(a, a)\nR(a, b)\nR(?n, b)").unwrap();
+        let j = chase_mapping_default(&i, &m, &mut v).unwrap();
+        // Only R(a, b) passes both guards.
+        let expected = parse_instance(&mut v, "P(a)").unwrap();
+        assert_eq!(j, expected);
+    }
+
+    #[test]
+    fn null_source_values_propagate() {
+        // Sources with nulls chase like any other value (the point of the paper).
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> Q(y,x)").unwrap();
+        let i = parse_instance(&mut v, "P(?w, ?z)").unwrap();
+        let j = chase_mapping_default(&i, &m, &mut v).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.nulls().len(), 2);
+    }
+
+    #[test]
+    fn same_schema_chase_reaches_fixpoint() {
+        // Transitivity over a small chain, standard mode.
+        let mut v = Vocabulary::new();
+        let e = v.relation("E", 2).unwrap();
+        let dep = rde_deps::parse_dependency(&mut v, "E(x, y) & E(y, z) -> E(x, z)").unwrap();
+        let i = parse_instance(&mut v, "E(a,b)\nE(b,c)\nE(c,d)").unwrap();
+        let opts = ChaseOptions { mode: ChaseMode::Standard, ..ChaseOptions::default() };
+        let r = chase(&i, &[dep], &mut v, &opts).unwrap();
+        assert_eq!(r.instance.relation(e).unwrap().len(), 6); // transitive closure of a 4-chain
+    }
+
+    #[test]
+    fn round_budget_is_enforced() {
+        // E(x,y) -> exists z . E(y,z) diverges under the oblivious chase.
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "E(x, y) -> exists z . E(y, z)").unwrap();
+        let i = parse_instance(&mut v, "E(a,b)").unwrap();
+        let opts = ChaseOptions { max_rounds: 10, ..ChaseOptions::default() };
+        let err = chase(&i, &[dep], &mut v, &opts).unwrap_err();
+        assert_eq!(err, ChaseError::RoundBudgetExhausted { rounds: 10 });
+    }
+
+    #[test]
+    fn fact_budget_is_enforced() {
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "P(x) -> Q(x, x)").unwrap();
+        let i = parse_instance(&mut v, "P(a)\nP(b)\nP(c)").unwrap();
+        let opts = ChaseOptions { max_facts: 4, ..ChaseOptions::default() };
+        let err = chase(&i, &[dep], &mut v, &opts).unwrap_err();
+        assert_eq!(err, ChaseError::FactBudgetExhausted { facts: 4 });
+    }
+
+    #[test]
+    fn provenance_explains_every_generated_fact() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2, R/1\nP(x, y) -> exists z . Q(x, z)\nP(x, y) -> R(y)",
+        )
+        .unwrap();
+        let i = parse_instance(&mut v, "P(a, b)\nP(b, c)").unwrap();
+        let opts = ChaseOptions { trace: true, ..ChaseOptions::default() };
+        let r = chase(&i, &m.dependencies, &mut v, &opts).unwrap();
+        assert_eq!(r.provenance.len() as u64, r.fired);
+        // Every generated (non-input) fact appears in some record, and
+        // every recorded fact is in the result.
+        let generated = r.instance.difference(&i);
+        for f in generated.facts() {
+            assert!(
+                r.provenance.iter().any(|rec| rec.produced.contains(&f)),
+                "unexplained fact {f:?}"
+            );
+        }
+        for rec in &r.provenance {
+            assert!(rec.dependency < m.dependencies.len());
+            assert!(!rec.assignment.is_empty());
+            for f in &rec.produced {
+                assert!(r.instance.contains(f));
+            }
+        }
+        // Tracing off by default: no records.
+        let r2 = chase(&i, &m.dependencies, &mut v, &ChaseOptions::default()).unwrap();
+        assert!(r2.provenance.is_empty());
+    }
+
+    #[test]
+    fn disjunctive_dependency_is_rejected() {
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "P(x) -> Q(x) | R(x)").unwrap();
+        let err = chase(&Instance::new(), &[dep], &mut v, &ChaseOptions::default()).unwrap_err();
+        assert_eq!(err, ChaseError::DisjunctionUnsupported);
+    }
+
+    #[test]
+    fn chase_result_is_a_solution() {
+        // The chased pair (I, J) satisfies Σ: re-chasing is quiescent.
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
+        )
+        .unwrap();
+        let i = parse_instance(&mut v, "P(a,b)\nP(b,a)").unwrap();
+        let r1 = chase(&i, &m.dependencies, &mut v, &ChaseOptions::default()).unwrap();
+        // A satisfaction-checking re-chase is quiescent: (I, J) ⊨ Σ.
+        let opts = ChaseOptions { mode: ChaseMode::Standard, ..ChaseOptions::default() };
+        let r2 = chase(&r1.instance, &m.dependencies, &mut v, &opts).unwrap();
+        assert_eq!(r1.instance, r2.instance);
+        assert_eq!(r2.fired, 0, "every trigger is already satisfied");
+    }
+}

@@ -1,0 +1,547 @@
+//! Subcommand implementations for the `rde` CLI.
+
+use std::fs;
+
+use rde_chase::{chase_mapping, disjunctive_chase, ChaseOptions, DisjunctiveChaseOptions};
+use rde_core::compose::ComposeOptions;
+use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
+use rde_core::Universe;
+use rde_deps::{parse_mapping, printer, SchemaMapping};
+use rde_model::{display, parse::parse_instance, Instance, Vocabulary};
+use rde_query::ConjunctiveQuery;
+
+use crate::options::Options;
+
+const USAGE: &str = "\
+rde — reverse data exchange with nulls (Fagin, Kolaitis, Popa, Tan; PODS 2009)
+
+USAGE:
+    rde <command> [args] [--consts N] [--nulls N] [--facts N] [--examples N]
+
+COMMANDS:
+    chase    <mapping> <instance>             canonical universal solution chase_M(I)
+    reverse  <mapping> <reverse> <instance>   reverse exchange: leaves of chase_M'(chase_M(I))
+    invert   <mapping>                        maximum extended recovery of a full-tgd mapping
+    check-chase-inverse <mapping> <reverse>   chase-inverse counterexample search (Thm 3.17)
+    check-recovery <mapping> <reverse>        extended / maximum extended recovery check (Thm 4.13)
+    invertible <mapping>                      homomorphism-property check (Thm 3.13)
+    loss     <mapping>                        information-loss census (Cor 4.14)
+    compare  <mapping1> <mapping2>            less-lossy comparison (Def 6.6)
+    certain  <mapping> <reverse> <instance> <query>
+                                              reverse certain answers (Thm 6.5);
+                                              query syntax: 'q(x) :- P(x, y)'
+    core     <mapping> <instance>             core universal solution (minimal chase)
+    hom      <instance1> <instance2>          decide I1 -> I2, equivalence, isomorphism
+    eval     <instance> <query>               q(I) and q(I)↓
+    minimize-query <query>                    CQ minimization (core of the query)
+    normalize <mapping>                       tgd normal form (split conclusions)
+    compose  <mapping12> <mapping23>          syntactic composition (m12 full tgds)
+    faithful <mapping> <reverse>              universal-faithfulness check (Def 6.1)
+    help                                      this message
+
+The --consts/--nulls/--facts flags size the bounded universe used by the
+checking commands (defaults: 2/1/2). Counterexamples found are genuine;
+a pass is exact within the bound.
+";
+
+/// Run a full command line (everything after `argv[0]`).
+pub fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        print!("{USAGE}");
+        return Ok(());
+    };
+    let opts = Options::parse(rest)?;
+    match cmd.as_str() {
+        "chase" => cmd_chase(&opts),
+        "reverse" => cmd_reverse(&opts),
+        "invert" => cmd_invert(&opts),
+        "check-chase-inverse" => cmd_check_chase_inverse(&opts),
+        "check-recovery" => cmd_check_recovery(&opts),
+        "invertible" => cmd_invertible(&opts),
+        "loss" => cmd_loss(&opts),
+        "compare" => cmd_compare(&opts),
+        "certain" => cmd_certain(&opts),
+        "core" => cmd_core(&opts),
+        "hom" => cmd_hom(&opts),
+        "eval" => cmd_eval(&opts),
+        "minimize-query" => cmd_minimize_query(&opts),
+        "normalize" => cmd_normalize(&opts),
+        "compose" => cmd_compose(&opts),
+        "faithful" => cmd_faithful(&opts),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; run `rde help`")),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn load_mapping(vocab: &mut Vocabulary, path: &str) -> Result<SchemaMapping, String> {
+    parse_mapping(vocab, &read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_instance(vocab: &mut Vocabulary, path: &str) -> Result<Instance, String> {
+    parse_instance(vocab, &read(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+fn universe(vocab: &mut Vocabulary, opts: &Options) -> Universe {
+    Universe::new(vocab, opts.consts, opts.nulls, opts.facts)
+}
+
+fn cmd_chase(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
+    let result = chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
+        .map_err(|e| e.to_string())?;
+    print!("{}", display::instance(&vocab, &result));
+    Ok(())
+}
+
+fn cmd_reverse(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
+    let instance = load_instance(&mut vocab, opts.positional(2, "instance file")?)?;
+    let u = chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
+        .map_err(|e| e.to_string())?;
+    let result =
+        disjunctive_chase(&u, &reverse.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
+            .map_err(|e| e.to_string())?;
+    println!("# {} leaf instance(s)", result.leaves.len());
+    for (i, leaf) in result.leaves.iter().enumerate() {
+        println!("# leaf {}", i + 1);
+        print!("{}", display::instance(&vocab, &leaf.restrict_to(&mapping.source)));
+    }
+    Ok(())
+}
+
+fn cmd_invert(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let recovery = maximum_extended_recovery_full(&mapping, &mut vocab, &QuasiInverseOptions::default())
+        .map_err(|e| e.to_string())?;
+    print!("{}", printer::mapping(&vocab, &recovery));
+    Ok(())
+}
+
+fn cmd_check_chase_inverse(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
+    let u = universe(&mut vocab, opts);
+    let family = u.collect_instances(&vocab, &mapping.source).map_err(|e| e.to_string())?;
+    println!("# checking {} source instance(s)", family.len());
+    match rde_core::chase_inverse::find_chase_inverse_counterexample(
+        &mapping,
+        &reverse,
+        family.iter(),
+        &mut vocab,
+    )
+    .map_err(|e| e.to_string())?
+    {
+        None => println!("chase-inverse: HOLDS within bound (extended inverse by Thm 3.17)"),
+        Some(cex) => {
+            println!("chase-inverse: FAILS at source instance:");
+            print!("{}", display::instance(&vocab, &cex));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
+    let u = universe(&mut vocab, opts);
+    let family = u.collect_instances(&vocab, &mapping.source).map_err(|e| e.to_string())?;
+    let copts = ComposeOptions::default();
+    println!("# checking {} source instance(s)", family.len());
+    match rde_core::recovery::find_extended_recovery_counterexample(
+        &mapping,
+        &reverse,
+        family.iter(),
+        &mut vocab,
+        &copts,
+    )
+    .map_err(|e| e.to_string())?
+    {
+        Some(cex) => {
+            println!("extended recovery: FAILS at source instance:");
+            print!("{}", display::instance(&vocab, &cex));
+            return Ok(());
+        }
+        None => println!("extended recovery: HOLDS within bound"),
+    }
+    let verdict =
+        rde_core::recovery::check_maximum_extended_recovery(&mapping, &reverse, &u, &mut vocab, &copts)
+            .map_err(|e| e.to_string())?;
+    match verdict {
+        rde_core::recovery::MaxRecoveryVerdict::HoldsWithinBound => {
+            println!("maximum extended recovery (e(M)∘e(M') = →_M): HOLDS within bound");
+        }
+        rde_core::recovery::MaxRecoveryVerdict::NotContainedInArrowM { i1, i2 } => {
+            println!("maximum extended recovery: FAILS (composition exceeds →_M) at pair:");
+            print!("{}", display::instance(&vocab, &i1));
+            println!("--");
+            print!("{}", display::instance(&vocab, &i2));
+        }
+        rde_core::recovery::MaxRecoveryVerdict::MissesArrowMPair { i1, i2 } => {
+            println!("maximum extended recovery: FAILS (misses a →_M pair):");
+            print!("{}", display::instance(&vocab, &i1));
+            println!("--");
+            print!("{}", display::instance(&vocab, &i2));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_invertible(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let u = universe(&mut vocab, opts);
+    match rde_core::invertibility::check_homomorphism_property(&mapping, &u, &mut vocab)
+        .map_err(|e| e.to_string())?
+    {
+        rde_core::invertibility::BoundedVerdict::HoldsWithinBound => {
+            println!("homomorphism property: HOLDS within bound (extended-invertible evidence)");
+        }
+        rde_core::invertibility::BoundedVerdict::Counterexample { i1, i2 } => {
+            println!("NOT extended-invertible; counterexample (I1 →_M I2 but I1 ↛ I2):");
+            print!("{}", display::instance(&vocab, &i1));
+            println!("--");
+            print!("{}", display::instance(&vocab, &i2));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_loss(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let u = universe(&mut vocab, opts);
+    let report = rde_core::loss::information_loss(&mapping, &u, &mut vocab, opts.examples)
+        .map_err(|e| e.to_string())?;
+    println!("universe size:    {}", report.universe_size);
+    println!("pairs in →_M:     {}", report.arrow_m_pairs);
+    println!("pairs in →:       {}", report.hom_pairs);
+    println!("lost pairs:       {} ({:.2}% of all pairs)", report.lost_pairs, 100.0 * report.loss_fraction());
+    for (i1, i2) in &report.examples {
+        println!(
+            "lost: {} →_M {} (no homomorphism)",
+            display::instance_inline(&vocab, i1),
+            display::instance_inline(&vocab, i2)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let m1 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
+    let m2 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
+    let u = universe(&mut vocab, opts);
+    let cmp =
+        rde_core::compare::compare_lossiness(&m1, &m2, &u, &mut vocab).map_err(|e| e.to_string())?;
+    match cmp {
+        rde_core::compare::Comparison::EquallyLossy => println!("equally lossy (within bound)"),
+        rde_core::compare::Comparison::StrictlyLessLossy => {
+            println!("mapping 1 is strictly less lossy than mapping 2");
+        }
+        rde_core::compare::Comparison::StrictlyMoreLossy => {
+            println!("mapping 2 is strictly less lossy than mapping 1");
+        }
+        rde_core::compare::Comparison::Incomparable { only_in_m1, only_in_m2 } => {
+            println!("incomparable:");
+            println!(
+                "  pair only in →_M1: {} / {}",
+                display::instance_inline(&vocab, &only_in_m1.0),
+                display::instance_inline(&vocab, &only_in_m1.1)
+            );
+            println!(
+                "  pair only in →_M2: {} / {}",
+                display::instance_inline(&vocab, &only_in_m2.0),
+                display::instance_inline(&vocab, &only_in_m2.1)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_certain(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
+    let instance = load_instance(&mut vocab, opts.positional(2, "instance file")?)?;
+    let query_text = opts.positional(3, "query")?;
+    let q = ConjunctiveQuery::parse(&mut vocab, query_text).map_err(|e| e.to_string())?;
+    let answers = rde_query::reverse_certain_answers(
+        &q,
+        &instance,
+        &mapping,
+        &reverse,
+        &mut vocab,
+        &DisjunctiveChaseOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("# {} certain answer(s)", answers.len());
+    for tuple in &answers {
+        let rendered: Vec<String> = tuple.iter().map(|&v| vocab.value_name(v)).collect();
+        println!("({})", rendered.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_core(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
+    let core = rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
+        .map_err(|e| e.to_string())?;
+    print!("{}", display::instance(&vocab, &core));
+    Ok(())
+}
+
+fn cmd_hom(opts: &Options) -> Result<(), String> {
+    // Both instances share one vocabulary: `?name` in either file
+    // denotes the same labeled null.
+    let mut vocab = Vocabulary::new();
+    let i1 = load_instance(&mut vocab, opts.positional(0, "first instance file")?)?;
+    let i2 = load_instance(&mut vocab, opts.positional(1, "second instance file")?)?;
+    match rde_hom::find_hom(&i1, &i2) {
+        Some(h) => {
+            println!("I1 -> I2: YES");
+            let mut bindings: Vec<(rde_model::NullId, rde_model::Value)> = h.iter().collect();
+            bindings.sort();
+            for (n, img) in bindings {
+                println!("  {} |-> {}", vocab.null_name(n), vocab.value_name(img));
+            }
+        }
+        None => println!("I1 -> I2: NO"),
+    }
+    println!("I2 -> I1: {}", if rde_hom::exists_hom(&i2, &i1) { "YES" } else { "NO" });
+    println!(
+        "hom-equivalent: {}; isomorphic: {}",
+        rde_hom::hom_equivalent(&i1, &i2),
+        rde_hom::is_isomorphic(&i1, &i2)
+    );
+    Ok(())
+}
+
+fn cmd_eval(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let instance = load_instance(&mut vocab, opts.positional(0, "instance file")?)?;
+    let q = ConjunctiveQuery::parse(&mut vocab, opts.positional(1, "query")?)
+        .map_err(|e| e.to_string())?;
+    let all = rde_query::evaluate(&q, &instance);
+    let certain = rde_query::drop_nulls(&all);
+    println!("# {} answer(s), {} null-free", all.len(), certain.len());
+    for tuple in &all {
+        let rendered: Vec<String> = tuple.iter().map(|&v| vocab.value_name(v)).collect();
+        let mark = if tuple.iter().all(|v| v.is_const()) { "" } else { "   (has nulls)" };
+        println!("({}){mark}", rendered.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_minimize_query(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let q = ConjunctiveQuery::parse(&mut vocab, opts.positional(0, "query")?)
+        .map_err(|e| e.to_string())?;
+    let min = rde_query::minimize(&q, &vocab).map_err(|e| e.to_string())?;
+    let dep = min.as_dependency();
+    println!(
+        "{} body atom(s) (from {})",
+        dep.premise.atoms.len(),
+        q.as_dependency().premise.atoms.len()
+    );
+    println!("{}", rde_deps::printer::dependency(&vocab, dep));
+    Ok(())
+}
+
+fn cmd_normalize(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let normalized = SchemaMapping::new(
+        mapping.source.clone(),
+        mapping.target.clone(),
+        rde_deps::normalize_all(&mapping.dependencies),
+    );
+    print!("{}", printer::mapping(&vocab, &normalized));
+    Ok(())
+}
+
+fn cmd_compose(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let m12 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
+    let m23 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
+    let composed =
+        rde_core::unfold::compose_mappings(&m12, &m23, &vocab, &rde_core::unfold::UnfoldOptions::default())
+            .map_err(|e| e.to_string())?;
+    print!("{}", printer::mapping(&vocab, &composed));
+    Ok(())
+}
+
+fn cmd_faithful(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
+    let u = universe(&mut vocab, opts);
+    match rde_core::faithful::check_universal_faithful(&mapping, &reverse, &u, &mut vocab)
+        .map_err(|e| e.to_string())?
+    {
+        None => println!("universal-faithful: HOLDS within bound (Def 6.1)"),
+        Some((source, report)) => {
+            println!("universal-faithful: FAILS at source instance:");
+            print!("{}", display::instance(&vocab, &source));
+            println!(
+                "condition (1) every-leaf-exports-at-least: {}",
+                report.every_leaf_exports_at_least
+            );
+            println!("condition (2) some-leaf-exports-at-most:   {}", report.some_leaf_exports_at_most);
+            println!("condition (3) universality:                {}", report.universality_within_bound);
+            if let Some(cex) = report.universality_counterexample {
+                println!("unreachable I':");
+                print!("{}", display::instance(&vocab, &cex));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+        let path = dir.join(name);
+        fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rde-cli-test-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&[]).is_ok());
+        assert!(run(&strings(&["help"])).is_ok());
+        assert!(run(&strings(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn chase_and_reverse_roundtrip() {
+        let dir = tmpdir("chase");
+        let m = write(&dir, "m.map", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n");
+        let rev = write(
+            &dir,
+            "rev.map",
+            "source: Q/2, R/2\ntarget: P/3\nQ(x,y) -> exists z . P(x,y,z)\nR(y,z) -> exists x . P(x,y,z)\n",
+        );
+        let i = write(&dir, "i.inst", "P(a,b,c)\n");
+        run(&strings(&["chase", &m, &i])).unwrap();
+        run(&strings(&["reverse", &m, &rev, &i])).unwrap();
+        run(&strings(&["check-recovery", &m, &rev, "--consts", "1", "--nulls", "1", "--facts", "1"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn invert_and_checks() {
+        let dir = tmpdir("invert");
+        let m = write(&dir, "m.map", "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)\n");
+        run(&strings(&["invert", &m])).unwrap();
+        run(&strings(&["invertible", &m, "--consts", "1", "--nulls", "0", "--facts", "1"])).unwrap();
+        run(&strings(&["loss", &m, "--consts", "1", "--nulls", "1", "--facts", "1"])).unwrap();
+    }
+
+    #[test]
+    fn compare_command() {
+        let dir = tmpdir("compare");
+        let m1 = write(&dir, "m1.map", "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\n");
+        let m2 = write(
+            &dir,
+            "m2.map",
+            "source: P/2\ntarget: Pp/2\nP(x,y) -> exists z . Pp(x,z)\nP(x,y) -> exists u . Pp(u,y)\n",
+        );
+        run(&strings(&["compare", &m1, &m2, "--consts", "2", "--nulls", "1", "--facts", "1"])).unwrap();
+    }
+
+    #[test]
+    fn certain_command() {
+        let dir = tmpdir("certain");
+        let m = write(
+            &dir,
+            "m.map",
+            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)\n",
+        );
+        let rev = write(&dir, "rev.map", "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)\n");
+        let i = write(&dir, "i.inst", "P(a,b)\n");
+        run(&strings(&["certain", &m, &rev, &i, "q(x, y) :- P(x, y)"])).unwrap();
+    }
+
+    #[test]
+    fn core_hom_eval_commands() {
+        let dir = tmpdir("corehom");
+        let m = write(
+            &dir,
+            "m.map",
+            "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)\n",
+        );
+        let i = write(&dir, "i.inst", "P(a, b)\nP(a, c)\n");
+        let i2 = write(&dir, "i2.inst", "P(a, ?w)\n");
+        run(&strings(&["core", &m, &i])).unwrap();
+        run(&strings(&["hom", &i2, &i])).unwrap();
+        run(&strings(&["eval", &i, "q(x) :- P(x, y)"])).unwrap();
+        run(&strings(&["minimize-query", "q(x) :- P(x, y) & P(x, z)"])).unwrap();
+    }
+
+    #[test]
+    fn compose_command() {
+        let dir = tmpdir("compose");
+        let m12 = write(&dir, "m12.map", "source: A/2\ntarget: B/2\nA(x,y) -> B(x,y)\n");
+        let m23 = write(&dir, "m23.map", "source: B/2\ntarget: C/2\nB(x,y) -> C(y,x)\n");
+        run(&strings(&["compose", &m12, &m23])).unwrap();
+        // Non-full first mapping: clean error.
+        let bad = write(&dir, "bad.map", "source: A/2\ntarget: B/2\nA(x,y) -> exists z . B(x,z)\n");
+        assert!(run(&strings(&["compose", &bad, &m23])).is_err());
+    }
+
+    #[test]
+    fn normalize_and_faithful_commands() {
+        let dir = tmpdir("normfaith");
+        let m = write(&dir, "m.map", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n");
+        run(&strings(&["normalize", &m])).unwrap();
+        let mu = write(&dir, "mu.map", "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)\n");
+        let rec = write(&dir, "rec.map", "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)\n");
+        run(&strings(&["faithful", &mu, &rec, "--consts", "1", "--nulls", "1", "--facts", "1"]))
+            .unwrap();
+        let bad = write(&dir, "bad.map", "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x)\n");
+        run(&strings(&["faithful", &mu, &bad, "--consts", "1", "--nulls", "0", "--facts", "1"]))
+            .unwrap();
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run(&strings(&["chase", "/nonexistent.map", "/nonexistent.inst"])).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn invert_rejects_non_full_mappings_cleanly() {
+        let dir = tmpdir("invert-nonfull");
+        let m = write(&dir, "m.map", "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)\n");
+        let err = run(&strings(&["invert", &m])).unwrap_err();
+        assert!(err.contains("full"));
+    }
+}

@@ -1,0 +1,24 @@
+//! `rde` — the reverse-data-exchange command-line driver.
+//!
+//! Implements the workflows of the PODS 2009 paper over mapping and
+//! instance text files: forward and reverse chase, recovery synthesis,
+//! invertibility and recovery checking, information-loss censuses,
+//! mapping comparison, and reverse certain-answer queries.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+mod commands;
+mod options;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rde: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Flag parsing for the `rde` CLI.
+
+/// Parsed command-line options: positional arguments plus the bounded-
+/// universe knobs shared by the checking commands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+    /// `--consts N`: constant-pool size for bounded universes.
+    pub consts: usize,
+    /// `--nulls N`: null-pool size.
+    pub nulls: usize,
+    /// `--facts N`: per-instance fact budget.
+    pub facts: usize,
+    /// `--examples N`: counterexample/example display budget.
+    pub examples: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { positional: Vec::new(), consts: 2, nulls: 1, facts: 2, examples: 5 }
+    }
+}
+
+impl Options {
+    /// Parse `args` (everything after the subcommand).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut flag = |name: &str| -> Result<usize, String> {
+                it.next()
+                    .ok_or_else(|| format!("{name} requires a value"))?
+                    .parse::<usize>()
+                    .map_err(|_| format!("{name} requires an integer value"))
+            };
+            match arg.as_str() {
+                "--consts" => opts.consts = flag("--consts")?,
+                "--nulls" => opts.nulls = flag("--nulls")?,
+                "--facts" => opts.facts = flag("--facts")?,
+                "--examples" => opts.examples = flag("--examples")?,
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag `{other}`"));
+                }
+                other => opts.positional.push(other.to_owned()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The `n`-th positional argument or an error naming it.
+    pub fn positional(&self, n: usize, name: &str) -> Result<&str, String> {
+        self.positional.get(n).map(String::as_str).ok_or_else(|| format!("missing argument: {name}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_positionals() {
+        let o = Options::parse(&strings(&["a.map", "b.inst"])).unwrap();
+        assert_eq!(o.positional, vec!["a.map", "b.inst"]);
+        assert_eq!(o.consts, 2);
+        assert_eq!(o.positional(0, "mapping").unwrap(), "a.map");
+        assert!(o.positional(2, "query").is_err());
+    }
+
+    #[test]
+    fn flags_interleave_with_positionals() {
+        let o = Options::parse(&strings(&["--consts", "3", "a", "--nulls", "2", "b", "--facts", "4"]))
+            .unwrap();
+        assert_eq!((o.consts, o.nulls, o.facts), (3, 2, 4));
+        assert_eq!(o.positional, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bad_flags_are_reported() {
+        assert!(Options::parse(&strings(&["--consts"])).is_err());
+        assert!(Options::parse(&strings(&["--consts", "x"])).is_err());
+        assert!(Options::parse(&strings(&["--wat", "1"])).is_err());
+    }
+}

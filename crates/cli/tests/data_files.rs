@@ -1,0 +1,105 @@
+//! End-to-end tests driving the built `rde` binary against the shipped
+//! example data files (`examples/data/`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn data(file: &str) -> String {
+    // crates/cli → workspace root → examples/data.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("examples");
+    p.push("data");
+    p.push(file);
+    assert!(p.exists(), "missing example data file {p:?}");
+    p.to_string_lossy().into_owned()
+}
+
+fn rde(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rde")).args(args).output().expect("binary runs");
+    let text = format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    (out.status.success(), text)
+}
+
+#[test]
+fn chase_example_1_1_data() {
+    let (ok, out) = rde(&["chase", &data("decomposition.map"), &data("employees.inst")]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Q(ada, eng)"), "{out}");
+    assert!(out.contains("R(eng, grace)"), "{out}");
+    assert!(out.contains("R(math, ?unknown_mgr)"), "{out}");
+}
+
+#[test]
+fn reverse_exchange_produces_nulls() {
+    let (ok, out) = rde(&[
+        "reverse",
+        &data("decomposition.map"),
+        &data("decomposition_reverse.map"),
+        &data("employees.inst"),
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("# 1 leaf instance(s)"), "{out}");
+    assert!(out.contains("?n"), "reverse exchange must invent nulls: {out}");
+}
+
+#[test]
+fn invert_union_mapping_data() {
+    let (ok, out) = rde(&["invert", &data("union.map")]);
+    assert!(ok, "{out}");
+    assert!(out.contains('|'), "the recovery must be disjunctive: {out}");
+    assert!(out.contains("Customer"), "{out}");
+    assert!(out.contains("Supplier"), "{out}");
+}
+
+#[test]
+fn invertibility_verdicts_data() {
+    let (ok, out) = rde(&["invertible", &data("union.map"), "--consts", "1", "--nulls", "0"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("NOT extended-invertible"), "{out}");
+    let (ok, out) = rde(&["invertible", &data("two_step.map"), "--consts", "2", "--nulls", "1"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("HOLDS within bound"), "{out}");
+}
+
+#[test]
+fn check_chase_inverse_data() {
+    let (ok, out) = rde(&[
+        "check-chase-inverse",
+        &data("two_step.map"),
+        &data("two_step_inverse.map"),
+        "--consts",
+        "2",
+        "--nulls",
+        "1",
+        "--facts",
+        "2",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("HOLDS within bound"), "{out}");
+}
+
+#[test]
+fn certain_answers_data() {
+    let (ok, out) = rde(&[
+        "certain",
+        &data("two_step.map"),
+        &data("two_step_inverse.map"),
+        &data("flights.inst"),
+        "q(x, y) :- P(x, y)",
+    ]);
+    assert!(ok, "{out}");
+    // Only the all-constant flight is certain.
+    assert!(out.contains("# 1 certain answer(s)"), "{out}");
+    assert!(out.contains("(sfo, jfk)"), "{out}");
+}
+
+#[test]
+fn loss_report_data() {
+    let (ok, out) =
+        rde(&["loss", &data("union.map"), "--consts", "1", "--nulls", "1", "--facts", "1"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("lost pairs:"), "{out}");
+    assert!(!out.contains("lost pairs:       0 "), "the union mapping must lose pairs: {out}");
+}

@@ -1,0 +1,173 @@
+//! The relations `→_M` (Definition 4.6 / Proposition 4.7) and `→_{M,g}`
+//! (Definition 4.18).
+
+use rde_chase::{chase_mapping, ChaseOptions};
+use rde_deps::SchemaMapping;
+use rde_hom::exists_hom;
+use rde_model::{Instance, Vocabulary};
+
+use crate::CoreError;
+
+/// `I₁ →_M I₂` for a tgd-specified mapping: by Proposition 4.7 this is
+/// `chase_M(I₁) → chase_M(I₂)` (equivalently, `eSol_M(I₂) ⊆
+/// eSol_M(I₁)` — `I₂` exports at least as much information as `I₁`).
+pub fn arrow_m(
+    mapping: &SchemaMapping,
+    i1: &Instance,
+    i2: &Instance,
+    vocab: &mut Vocabulary,
+) -> Result<bool, CoreError> {
+    let c1 = chase_mapping(i1, mapping, vocab, &ChaseOptions::default())?;
+    let c2 = chase_mapping(i2, mapping, vocab, &ChaseOptions::default())?;
+    Ok(exists_hom(&c1, &c2))
+}
+
+/// `I₁ →_{M,g} I₂` for **ground** `I₁`, `I₂` (Definition 4.18):
+/// `Sol_M(I₂) ⊆ Sol_M(I₁)`. For tgd mappings `Sol_M(I) = {J :
+/// chase_M(I) → J}`, so the containment is again
+/// `chase_M(I₁) → chase_M(I₂)`; the difference from [`arrow_m`] is only
+/// the ground domain of applicability.
+pub fn arrow_m_ground(
+    mapping: &SchemaMapping,
+    i1: &Instance,
+    i2: &Instance,
+    vocab: &mut Vocabulary,
+) -> Result<bool, CoreError> {
+    debug_assert!(i1.is_ground() && i2.is_ground(), "→_{{M,g}} is defined on ground instances");
+    arrow_m(mapping, i1, i2, vocab)
+}
+
+/// A cache of chase results for evaluating `→_M` over many pairs from a
+/// fixed instance family (the bounded checkers and the information-loss
+/// census do quadratically many `→_M` queries).
+#[derive(Debug)]
+pub struct ArrowMCache {
+    chased: Vec<Instance>,
+}
+
+impl ArrowMCache {
+    /// Chase every instance of the family once.
+    pub fn new(
+        mapping: &SchemaMapping,
+        family: &[Instance],
+        vocab: &mut Vocabulary,
+    ) -> Result<Self, CoreError> {
+        let mut chased = Vec::with_capacity(family.len());
+        for i in family {
+            chased.push(chase_mapping(i, mapping, vocab, &ChaseOptions::default())?);
+        }
+        Ok(ArrowMCache { chased })
+    }
+
+    /// `family[a] →_M family[b]`.
+    pub fn arrow(&self, a: usize, b: usize) -> bool {
+        exists_hom(&self.chased[a], &self.chased[b])
+    }
+
+    /// The cached chase of `family[a]`.
+    pub fn chased(&self, a: usize) -> &Instance {
+        &self.chased[a]
+    }
+
+    /// Number of cached instances.
+    pub fn len(&self) -> usize {
+        self.chased.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.chased.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+    use rde_deps::parse_mapping;
+    use rde_model::parse::parse_instance;
+
+    #[test]
+    fn copy_mapping_arrow_is_hom() {
+        // For the copy mapping, →_M coincides with → (Example 6.7).
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)").unwrap();
+        let u = Universe::small(&mut v);
+        let family = u.collect_instances(&v, &m.source).unwrap();
+        for a in &family {
+            for b in &family {
+                let lhs = arrow_m(&m, a, b, &mut v).unwrap();
+                let rhs = exists_hom(a, b);
+                assert_eq!(lhs, rhs, "copy mapping must not change the relation: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_mapping_identifies_p_and_q() {
+        // Example 3.14's union mapping: I₁ = {P(0)}, I₂ = {Q(0)} satisfy
+        // I₁ →_M I₂ but not I₁ → I₂.
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
+            .unwrap();
+        let i1 = parse_instance(&mut v, "P(0)").unwrap();
+        let i2 = parse_instance(&mut v, "Q(0)").unwrap();
+        assert!(arrow_m(&m, &i1, &i2, &mut v).unwrap());
+        assert!(arrow_m(&m, &i2, &i1, &mut v).unwrap());
+        assert!(!exists_hom(&i1, &i2));
+    }
+
+    #[test]
+    fn arrow_m_is_reflexive_and_transitive_on_a_universe() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
+        )
+        .unwrap();
+        let u = Universe::new(&mut v, 2, 1, 2);
+        let family = u.collect_instances(&v, &m.source).unwrap();
+        let cache = ArrowMCache::new(&m, &family, &mut v).unwrap();
+        let n = cache.len();
+        for a in 0..n {
+            assert!(cache.arrow(a, a));
+            for b in 0..n {
+                for c in 0..n {
+                    if cache.arrow(a, b) && cache.arrow(b, c) {
+                        assert!(cache.arrow(a, c), "transitivity violated");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hom_implies_arrow_m() {
+        // → ⊆ →_M (used in Prop 4.11): chase is monotone under hom.
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
+        )
+        .unwrap();
+        let u = Universe::small(&mut v);
+        let family = u.collect_instances(&v, &m.source).unwrap();
+        for a in &family {
+            for b in &family {
+                if exists_hom(a, b) {
+                    assert!(arrow_m(&m, a, b, &mut v).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ground_variant_agrees_on_ground_instances() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/1\ntarget: Q/1\nP(x) -> Q(x)").unwrap();
+        let i1 = parse_instance(&mut v, "P(a)").unwrap();
+        let i2 = parse_instance(&mut v, "P(a)\nP(b)").unwrap();
+        assert!(arrow_m_ground(&m, &i1, &i2, &mut v).unwrap());
+        assert!(!arrow_m_ground(&m, &i2, &i1, &mut v).unwrap());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the core crate.
+
+use std::fmt;
+
+use rde_chase::ChaseError;
+
+/// Errors from the core algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A chase invocation failed (budget exhaustion, disjunction in the
+    /// wrong engine, …).
+    Chase(ChaseError),
+    /// An algorithm restricted to a dependency fragment was given a
+    /// mapping outside it (e.g. the quasi-inverse algorithm requires
+    /// full tgds).
+    UnsupportedMapping {
+        /// What the algorithm requires.
+        required: &'static str,
+    },
+    /// A search (e.g. minimal-disjunct enumeration) exceeded its
+    /// configured limit.
+    SearchLimitExceeded {
+        /// Which limit was hit.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Chase(e) => write!(f, "chase failure: {e}"),
+            CoreError::UnsupportedMapping { required } => {
+                write!(f, "unsupported mapping: this algorithm requires {required}")
+            }
+            CoreError::SearchLimitExceeded { what, limit } => {
+                write!(f, "search limit exceeded: {what} > {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Chase(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChaseError> for CoreError {
+    fn from(e: ChaseError) -> Self {
+        CoreError::Chase(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: CoreError = ChaseError::DisjunctionUnsupported.into();
+        assert!(e.to_string().contains("chase failure"));
+        let e = CoreError::UnsupportedMapping { required: "full s-t tgds" };
+        assert!(e.to_string().contains("full s-t tgds"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Extended invertibility: capturing functions and the homomorphism
+//! property (Definitions 3.8–3.12, Theorems 3.10 and 3.13).
+
+use rde_chase::{chase_mapping, ChaseOptions};
+use rde_deps::SchemaMapping;
+use rde_hom::exists_hom;
+use rde_model::{Instance, Vocabulary};
+
+use crate::{CoreError, Universe};
+
+/// Outcome of a bounded universal check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundedVerdict {
+    /// No counterexample exists within the universe. Evidence, not
+    /// proof, outside the bound.
+    HoldsWithinBound,
+    /// A genuine counterexample (valid unconditionally).
+    Counterexample {
+        /// The witnessing pair's first component.
+        i1: Instance,
+        /// Second component.
+        i2: Instance,
+    },
+}
+
+impl BoundedVerdict {
+    /// Did the property survive the bounded check?
+    pub fn holds(&self) -> bool {
+        matches!(self, BoundedVerdict::HoldsWithinBound)
+    }
+}
+
+/// Search the universe for a violation of the **homomorphism property**
+/// (Definition 3.12): instances with `chase_M(I₁) → chase_M(I₂)` but
+/// not `I₁ → I₂`. By Theorem 3.13 a counterexample refutes extended
+/// invertibility outright.
+pub fn check_homomorphism_property(
+    mapping: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+) -> Result<BoundedVerdict, CoreError> {
+    let family = universe
+        .collect_instances(vocab, &mapping.source)
+        .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
+    let cache = crate::arrow::ArrowMCache::new(mapping, &family, vocab)?;
+    for a in 0..family.len() {
+        for b in 0..family.len() {
+            if cache.arrow(a, b) && !exists_hom(&family[a], &family[b]) {
+                return Ok(BoundedVerdict::Counterexample {
+                    i1: family[a].clone(),
+                    i2: family[b].clone(),
+                });
+            }
+        }
+    }
+    Ok(BoundedVerdict::HoldsWithinBound)
+}
+
+/// Bounded extended-invertibility check via Theorem 3.13 (for
+/// tgd-specified mappings, extended invertibility ⟺ the homomorphism
+/// property).
+pub fn check_extended_invertibility(
+    mapping: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+) -> Result<BoundedVerdict, CoreError> {
+    check_homomorphism_property(mapping, universe, vocab)
+}
+
+/// Does `J` **capture** `I` for `M` within the universe (Definition
+/// 3.9)? Condition (a) — `J ∈ eSol_M(I)` — is exact (chase-based);
+/// condition (b) quantifies the candidate sources `K` over the universe.
+pub fn captures_bounded(
+    mapping: &SchemaMapping,
+    target: &Instance,
+    source: &Instance,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+) -> Result<bool, CoreError> {
+    if !crate::extended::is_extended_solution(source, target, mapping, vocab)? {
+        return Ok(false);
+    }
+    let family = universe
+        .collect_instances(vocab, &mapping.source)
+        .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
+    for k in &family {
+        if crate::extended::is_extended_solution(k, target, mapping, vocab)? && !exists_hom(k, source) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Theorem 3.13(3): when `M` is extended-invertible, `F(I) = chase_M(I)`
+/// is a capturing function. Checks that property for every source in
+/// the universe; returns the first source whose chase fails to capture
+/// it (a refutation of extended invertibility within the bound).
+pub fn check_chase_is_capturing(
+    mapping: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+) -> Result<Option<Instance>, CoreError> {
+    let family = universe
+        .collect_instances(vocab, &mapping.source)
+        .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
+    for i in &family {
+        let chased = chase_mapping(i, mapping, vocab, &ChaseOptions::default())?;
+        if !captures_bounded(mapping, &chased, i, universe, vocab)? {
+            return Ok(Some(i.clone()));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_deps::parse_mapping;
+    use rde_model::parse::parse_instance;
+
+    /// Example 3.14: the union mapping is not extended-invertible, with
+    /// the paper's exact counterexample shape ({P(c)}, {Q(c)}).
+    #[test]
+    fn example_3_14_union_mapping() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
+            .unwrap();
+        let u = Universe::new(&mut v, 1, 0, 1);
+        let verdict = check_homomorphism_property(&m, &u, &mut v).unwrap();
+        match verdict {
+            BoundedVerdict::Counterexample { i1, i2 } => {
+                assert_eq!(i1.len(), 1);
+                assert_eq!(i2.len(), 1);
+                assert!(!exists_hom(&i1, &i2));
+            }
+            BoundedVerdict::HoldsWithinBound => panic!("union mapping must fail"),
+        }
+    }
+
+    /// The copy mapping is extended-invertible: the homomorphism
+    /// property holds on the whole bounded universe, and the chase is a
+    /// capturing function.
+    #[test]
+    fn copy_mapping_is_extended_invertible_within_bound() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)").unwrap();
+        let u = Universe::small(&mut v);
+        assert!(check_homomorphism_property(&m, &u, &mut v).unwrap().holds());
+        assert_eq!(check_chase_is_capturing(&m, &u, &mut v).unwrap(), None);
+    }
+
+    /// Theorem 3.15(2): P(x) → ∃y R(x,y), Q(y) → ∃x R(x,y) fails the
+    /// homomorphism property on null sources ({P(n₁)} vs {Q(n₂)}), and
+    /// the counterexample requires nulls (the ground fragment passes).
+    #[test]
+    fn theorem_3_15_part_2_needs_nulls() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/1, Q/1\ntarget: R/2\nP(x) -> exists y . R(x, y)\nQ(y) -> exists x . R(x, y)",
+        )
+        .unwrap();
+        // With nulls: counterexample found.
+        let with_nulls = Universe::new(&mut v, 1, 1, 1);
+        let verdict = check_homomorphism_property(&m, &with_nulls, &mut v).unwrap();
+        let BoundedVerdict::Counterexample { i1, i2 } = verdict else {
+            panic!("expected a null counterexample");
+        };
+        assert!(!i1.is_ground() || !i2.is_ground(), "counterexample must involve nulls");
+        // Ground-only universe: the homomorphism property holds there
+        // (the mapping IS invertible in the ground sense).
+        let ground_only = Universe::new(&mut v, 2, 0, 2);
+        assert!(check_homomorphism_property(&m, &ground_only, &mut v).unwrap().holds());
+    }
+
+    /// Example 3.18's mapping P(x,y) → ∃z(Q(x,z) ∧ Q(z,y)) is
+    /// extended-invertible (bounded evidence).
+    #[test]
+    fn two_step_decomposition_is_extended_invertible_within_bound() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
+        )
+        .unwrap();
+        let u = Universe::new(&mut v, 2, 1, 2);
+        assert!(check_homomorphism_property(&m, &u, &mut v).unwrap().holds());
+    }
+
+    #[test]
+    fn capture_requires_extended_solutionhood() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/1\ntarget: Q/1\nP(x) -> Q(x)").unwrap();
+        let u = Universe::new(&mut v, 1, 1, 1);
+        let i = parse_instance(&mut v, "P(u0)").unwrap();
+        let not_a_solution = Instance::new();
+        assert!(!captures_bounded(&m, &not_a_solution, &i, &u, &mut v).unwrap());
+        let j = parse_instance(&mut v, "Q(u0)").unwrap();
+        assert!(captures_bounded(&m, &j, &i, &u, &mut v).unwrap());
+    }
+
+    /// The union mapping's chase fails to capture: {R(c)} is an
+    /// extended solution for both {P(c)} and {Q(c)}.
+    #[test]
+    fn union_chase_fails_to_capture() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
+            .unwrap();
+        let u = Universe::new(&mut v, 1, 0, 1);
+        let failing = check_chase_is_capturing(&m, &u, &mut v).unwrap();
+        assert!(failing.is_some());
+    }
+}

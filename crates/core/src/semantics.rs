@@ -1,0 +1,148 @@
+//! The semantic view of schema mappings: satisfaction, solutions,
+//! universal solutions (Section 2).
+
+use rde_chase::matching::{atoms_satisfiable, for_each_premise_match, VarAssignment};
+use rde_chase::{chase_mapping, ChaseOptions};
+use rde_deps::{Dependency, SchemaMapping};
+use rde_model::{Instance, Vocabulary};
+
+use crate::CoreError;
+
+/// Does the pair `(source, target)` satisfy a single dependency?
+///
+/// For every premise match in `source` whose guards hold, some disjunct
+/// must be witnessed in `target` (extending the premise assignment on
+/// the existentials).
+pub fn satisfies_dependency(source: &Instance, target: &Instance, dep: &Dependency) -> bool {
+    let universal = dep.universal_vars();
+    let mut ok = true;
+    for_each_premise_match(&dep.premise, source, |assignment| {
+        let seed: VarAssignment = universal.iter().map(|&v| (v, assignment[&v])).collect();
+        let witnessed = dep.disjuncts.iter().any(|d| atoms_satisfiable(&d.atoms, target, &seed));
+        if !witnessed {
+            ok = false;
+            return false;
+        }
+        true
+    });
+    ok
+}
+
+/// `(I, J) ⊨ Σ`: the pair satisfies every dependency of the mapping.
+/// This is the paper's semantic view — `(I, J) ∈ M`.
+pub fn satisfies(source: &Instance, target: &Instance, mapping: &SchemaMapping) -> bool {
+    mapping.dependencies.iter().all(|d| satisfies_dependency(source, target, d))
+}
+
+/// Is `J` a solution for `I` w.r.t. `M` — i.e. `(I, J) ∈ M`
+/// (Section 2)? Alias of [`satisfies`] with solution vocabulary.
+pub fn is_solution(source: &Instance, target: &Instance, mapping: &SchemaMapping) -> bool {
+    satisfies(source, target, mapping)
+}
+
+/// Is `J` a **universal** solution for `I` w.r.t. a tgd-specified `M`?
+///
+/// `chase_M(I)` is universal and homomorphically maps into every
+/// solution, so `J` is universal iff it is a solution and `J →
+/// chase_M(I)` (then `J → J′` for every solution `J′` by composition).
+pub fn is_universal_solution(
+    source: &Instance,
+    target: &Instance,
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+) -> Result<bool, CoreError> {
+    if !is_solution(source, target, mapping) {
+        return Ok(false);
+    }
+    let canonical = chase_mapping(source, mapping, vocab, &ChaseOptions::default())?;
+    Ok(rde_hom::exists_hom(target, &canonical))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_deps::parse_mapping;
+    use rde_model::parse::parse_instance;
+
+    fn decomposition(v: &mut Vocabulary) -> SchemaMapping {
+        parse_mapping(v, "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)").unwrap()
+    }
+
+    #[test]
+    fn satisfaction_of_full_tgds() {
+        let mut v = Vocabulary::new();
+        let m = decomposition(&mut v);
+        let i = parse_instance(&mut v, "P(a,b,c)").unwrap();
+        let good = parse_instance(&mut v, "Q(a,b)\nR(b,c)").unwrap();
+        let bigger = parse_instance(&mut v, "Q(a,b)\nR(b,c)\nQ(z,z)").unwrap();
+        let missing = parse_instance(&mut v, "Q(a,b)").unwrap();
+        assert!(satisfies(&i, &good, &m));
+        assert!(satisfies(&i, &bigger, &m)); // open-world: supersets are solutions
+        assert!(!satisfies(&i, &missing, &m));
+        assert!(satisfies(&Instance::new(), &Instance::new(), &m));
+    }
+
+    #[test]
+    fn satisfaction_with_existentials() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)").unwrap();
+        let i = parse_instance(&mut v, "P(a)").unwrap();
+        assert!(satisfies(&i, &parse_instance(&mut v, "Q(a, b)").unwrap(), &m));
+        assert!(satisfies(&i, &parse_instance(&mut v, "Q(a, ?n)").unwrap(), &m));
+        assert!(!satisfies(&i, &parse_instance(&mut v, "Q(b, a)").unwrap(), &m));
+    }
+
+    /// Example 3.3: U = {Q(a,b), R(b,c)} is NOT a solution for
+    /// V = {P(a,b,Z), P(X,b,c)} w.r.t. the decomposition mapping,
+    /// because solutions for V must contain R(b, Z′) and Q(X′, b)
+    /// witnesses for the null-carrying facts.
+    #[test]
+    fn example_3_3_not_a_solution() {
+        let mut v = Vocabulary::new();
+        let m = decomposition(&mut v);
+        let vi = parse_instance(&mut v, "P(a, b, ?z)\nP(?x, b, c)").unwrap();
+        let u = parse_instance(&mut v, "Q(a,b)\nR(b,c)").unwrap();
+        assert!(!satisfies(&vi, &u, &m));
+        // U′ of Example 3.3 is a solution for V.
+        let u_prime = parse_instance(&mut v, "Q(a,b)\nQ(?x,b)\nR(b,c)\nR(b,?z)").unwrap();
+        assert!(satisfies(&vi, &u_prime, &m));
+    }
+
+    #[test]
+    fn universal_solutions() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z) & Q(z, y)",
+        )
+        .unwrap();
+        let i = parse_instance(&mut v, "P(a, b)").unwrap();
+        // The canonical chase result is universal.
+        let canon = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
+        assert!(is_universal_solution(&i, &canon, &m, &mut v).unwrap());
+        // A ground completion is a solution but NOT universal.
+        let ground = parse_instance(&mut v, "Q(a, c)\nQ(c, b)").unwrap();
+        assert!(is_solution(&i, &ground, &m));
+        assert!(!is_universal_solution(&i, &ground, &m, &mut v).unwrap());
+        // A padded variant of the canonical solution is still universal.
+        let mut padded = canon.clone();
+        for f in parse_instance(&mut v, "Q(?extra1, ?extra2)").unwrap().facts() {
+            padded.insert(f);
+        }
+        assert!(is_universal_solution(&i, &padded, &m, &mut v).unwrap());
+    }
+
+    #[test]
+    fn guards_participate_in_satisfaction() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(
+            &mut v,
+            "source: R/2\ntarget: P/1\nR(x, y) & Constant(x) & x != y -> P(x)",
+        )
+        .unwrap();
+        let i = parse_instance(&mut v, "R(a, b)\nR(?n, b)\nR(c, c)").unwrap();
+        let j_ok = parse_instance(&mut v, "P(a)").unwrap();
+        assert!(satisfies(&i, &j_ok, &m));
+        assert!(!satisfies(&i, &Instance::new(), &m));
+    }
+}

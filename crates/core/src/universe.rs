@@ -1,0 +1,110 @@
+//! Bounded universes of instances.
+//!
+//! The paper's universal notions quantify over all instances with values
+//! in `Const ∪ Var`. A [`Universe`] fixes finite pools of constants and
+//! nulls and a fact budget; quantifying over its instances is an exact
+//! finite check *within the bound*. By genericity of the definitions
+//! (everything in the paper is invariant under renaming constants and
+//! nulls), small pools already distinguish the paper's examples — e.g.
+//! two constants and two nulls expose every counterexample used in
+//! Sections 3–6.
+
+use rde_model::enumerate::InstanceEnumerator;
+use rde_model::{Instance, ModelError, Schema, Value, Vocabulary};
+
+/// A finite universe of instances: value pools plus a fact budget.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Constant pool.
+    pub constants: Vec<Value>,
+    /// Null pool.
+    pub nulls: Vec<Value>,
+    /// Maximum number of facts per instance.
+    pub max_facts: usize,
+}
+
+impl Universe {
+    /// A universe with `n_consts` constants (`u0`, `u1`, …) and
+    /// `n_nulls` named nulls (`?w0`, `?w1`, …) interned into `vocab`.
+    pub fn new(vocab: &mut Vocabulary, n_consts: usize, n_nulls: usize, max_facts: usize) -> Self {
+        let constants = (0..n_consts).map(|i| vocab.const_value(&format!("u{i}"))).collect();
+        let nulls = (0..n_nulls).map(|i| vocab.null_value(&format!("w{i}"))).collect();
+        Universe { constants, nulls, max_facts }
+    }
+
+    /// The default universe used by the experiment suite: 2 constants,
+    /// 2 nulls, up to 2 facts. Big enough for every counterexample in
+    /// the paper, small enough for exhaustive pair enumeration.
+    pub fn small(vocab: &mut Vocabulary) -> Self {
+        Universe::new(vocab, 2, 2, 2)
+    }
+
+    /// All values (constants then nulls).
+    pub fn values(&self) -> Vec<Value> {
+        self.constants.iter().chain(self.nulls.iter()).copied().collect()
+    }
+
+    /// Enumerate all instances over `schema` (constants *and* nulls).
+    pub fn instances(
+        &self,
+        vocab: &Vocabulary,
+        schema: &Schema,
+    ) -> Result<InstanceEnumerator, ModelError> {
+        InstanceEnumerator::new(vocab, schema, &self.values(), self.max_facts)
+    }
+
+    /// Enumerate only the ground instances over `schema`.
+    pub fn ground_instances(
+        &self,
+        vocab: &Vocabulary,
+        schema: &Schema,
+    ) -> Result<InstanceEnumerator, ModelError> {
+        InstanceEnumerator::new(vocab, schema, &self.constants, self.max_facts)
+    }
+
+    /// Collect all instances (convenience for pair loops).
+    pub fn collect_instances(&self, vocab: &Vocabulary, schema: &Schema) -> Result<Vec<Instance>, ModelError> {
+        Ok(self.instances(vocab, schema)?.collect())
+    }
+
+    /// Total number of instances in this universe over `schema`.
+    pub fn size(&self, vocab: &Vocabulary, schema: &Schema) -> Result<u128, ModelError> {
+        Ok(self.instances(vocab, schema)?.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn universes_enumerate_both_kinds_of_values() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 1)]).unwrap();
+        let u = Universe::new(&mut v, 1, 1, 1);
+        let all: Vec<Instance> = u.collect_instances(&v, &s).unwrap();
+        // {} , {P(u0)}, {P(?w0)}.
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().any(|i| !i.is_ground() && i.len() == 1));
+        let ground: Vec<Instance> = u.ground_instances(&v, &s).unwrap().collect();
+        assert_eq!(ground.len(), 2);
+        assert!(ground.iter().all(Instance::is_ground));
+    }
+
+    #[test]
+    fn size_matches_enumeration() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2)]).unwrap();
+        let u = Universe::small(&mut v);
+        assert_eq!(u.size(&v, &s).unwrap(), u.collect_instances(&v, &s).unwrap().len() as u128);
+    }
+
+    #[test]
+    fn values_order_constants_first() {
+        let mut v = Vocabulary::new();
+        let u = Universe::new(&mut v, 2, 1, 1);
+        let vals = u.values();
+        assert_eq!(vals.len(), 3);
+        assert!(vals[0].is_const() && vals[1].is_const() && vals[2].is_null());
+    }
+}

@@ -1,0 +1,365 @@
+//! Abstract syntax of dependencies.
+
+use rde_model::fx::FxHashSet;
+use rde_model::{ConstId, Fact, Instance, RelId, Value, Vocabulary};
+
+use crate::DepError;
+
+/// A variable local to one [`Dependency`] (index into its name table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+/// A term in a dependency atom: a variable or an interned constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A (universally or existentially quantified) variable.
+    Var(VarId),
+    /// A constant literal.
+    Const(ConstId),
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Variables occurring in this atom, in order of appearance, deduped.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for t in &self.args {
+            if let Term::Var(v) = *t {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Instantiate under an assignment of variables to values.
+    ///
+    /// Panics if a variable is unassigned; the chase and freezing code
+    /// always supply total assignments.
+    pub fn instantiate(&self, assign: &dyn Fn(VarId) -> Value) -> Fact {
+        let args: Vec<Value> = self
+            .args
+            .iter()
+            .map(|t| match *t {
+                Term::Var(v) => assign(v),
+                Term::Const(c) => Value::Const(c),
+            })
+            .collect();
+        Fact::new(self.rel, args)
+    }
+}
+
+/// The left-hand side of a dependency: a conjunction of atoms plus
+/// optional `Constant(x)` guards and inequalities `x ≠ y` (Section 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Premise {
+    /// Relational atoms.
+    pub atoms: Vec<Atom>,
+    /// Variables guarded by `Constant(·)`.
+    pub constant_vars: Vec<VarId>,
+    /// Inequality constraints.
+    pub inequalities: Vec<(VarId, VarId)>,
+}
+
+impl Premise {
+    /// Variables occurring in the premise atoms, in order, deduped.
+    pub fn atom_vars(&self) -> Vec<VarId> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for v in a.vars() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One disjunct of a conclusion: `∃y ψ(x, y)` with `ψ` a conjunction of
+/// atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conjunct {
+    /// Existentially quantified variables.
+    pub existentials: Vec<VarId>,
+    /// Conclusion atoms.
+    pub atoms: Vec<Atom>,
+}
+
+impl Conjunct {
+    /// A disjunct with no existentials.
+    pub fn full(atoms: Vec<Atom>) -> Self {
+        Conjunct { existentials: Vec::new(), atoms }
+    }
+}
+
+/// A dependency `∀x (premise → D₁ ∨ … ∨ Dₙ)` covering the paper's whole
+/// hierarchy: tgds (n = 1, no guards), full tgds (additionally no
+/// existentials), tgds with constants, and disjunctive tgds with
+/// inequalities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependency {
+    /// Display names of the variables, indexed by [`VarId`].
+    var_names: Vec<String>,
+    /// Left-hand side.
+    pub premise: Premise,
+    /// Right-hand side disjuncts (non-empty for a valid dependency).
+    pub disjuncts: Vec<Conjunct>,
+}
+
+impl Dependency {
+    /// Assemble a dependency. Call [`Dependency::validate`] before use.
+    pub fn new(var_names: Vec<String>, premise: Premise, disjuncts: Vec<Conjunct>) -> Self {
+        Dependency { var_names, premise, disjuncts }
+    }
+
+    /// The display name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.0 as usize]
+    }
+
+    /// Number of variables in the name table.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Is this a plain tgd: one disjunct, no premise guards?
+    pub fn is_tgd(&self) -> bool {
+        self.disjuncts.len() == 1
+            && self.premise.constant_vars.is_empty()
+            && self.premise.inequalities.is_empty()
+    }
+
+    /// Is this a *full* dependency (no existential quantifiers in any
+    /// disjunct)?
+    pub fn is_full(&self) -> bool {
+        self.disjuncts.iter().all(|d| d.existentials.is_empty())
+    }
+
+    /// Does the premise use inequalities?
+    pub fn has_inequalities(&self) -> bool {
+        !self.premise.inequalities.is_empty()
+    }
+
+    /// Does the premise use `Constant(·)` guards?
+    pub fn has_constant_guards(&self) -> bool {
+        !self.premise.constant_vars.is_empty()
+    }
+
+    /// Does the conclusion have more than one disjunct?
+    pub fn is_disjunctive(&self) -> bool {
+        self.disjuncts.len() > 1
+    }
+
+    /// The universally quantified variables: those occurring in premise
+    /// atoms.
+    pub fn universal_vars(&self) -> Vec<VarId> {
+        self.premise.atom_vars()
+    }
+
+    /// Validate safety, existential hygiene, and arities.
+    ///
+    /// * every variable in a conclusion atom is existential or occurs in
+    ///   a premise atom;
+    /// * every guard variable occurs in a premise atom;
+    /// * existential variables do not occur in the premise;
+    /// * all atoms match their relations' arities;
+    /// * there is at least one disjunct.
+    pub fn validate(&self, vocab: &Vocabulary) -> Result<(), DepError> {
+        if self.disjuncts.is_empty() {
+            return Err(DepError::EmptyConclusion);
+        }
+        let universal: FxHashSet<VarId> = self.premise.atom_vars().into_iter().collect();
+        for atom in self.premise.atoms.iter().chain(self.disjuncts.iter().flat_map(|d| d.atoms.iter())) {
+            let expected = vocab.arity(atom.rel);
+            if atom.args.len() != expected {
+                return Err(DepError::ArityMismatch {
+                    relation: vocab.relation_name(atom.rel).to_owned(),
+                    expected,
+                    got: atom.args.len(),
+                });
+            }
+        }
+        for &v in &self.premise.constant_vars {
+            if !universal.contains(&v) {
+                return Err(DepError::UnsafeVariable { var: self.var_name(v).to_owned() });
+            }
+        }
+        for &(a, b) in &self.premise.inequalities {
+            for v in [a, b] {
+                if !universal.contains(&v) {
+                    return Err(DepError::UnsafeVariable { var: self.var_name(v).to_owned() });
+                }
+            }
+        }
+        for d in &self.disjuncts {
+            let exist: FxHashSet<VarId> = d.existentials.iter().copied().collect();
+            for &v in &exist {
+                if universal.contains(&v) {
+                    return Err(DepError::ExistentialClash { var: self.var_name(v).to_owned() });
+                }
+            }
+            for atom in &d.atoms {
+                for v in atom.vars() {
+                    if !universal.contains(&v) && !exist.contains(&v) {
+                        return Err(DepError::UnsafeVariable { var: self.var_name(v).to_owned() });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Freeze the premise atoms into an instance under a total variable
+    /// assignment (the *canonical instance* of the premise). Guards are
+    /// not represented — callers that care check them against the
+    /// assignment separately.
+    pub fn freeze_premise(&self, assign: &dyn Fn(VarId) -> Value) -> Instance {
+        self.premise.atoms.iter().map(|a| a.instantiate(assign)).collect()
+    }
+}
+
+/// Freeze any atom list into an instance under a total assignment (the
+/// canonical-instance construction used by premise matching and the
+/// quasi-inverse algorithm).
+pub fn freeze_atoms(atoms: &[Atom], assign: &dyn Fn(VarId) -> Value) -> Instance {
+    atoms.iter().map(|a| a.instantiate(assign)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_model::NullId;
+
+    /// P(x, y) -> exists z . Q(x, z) & Q(z, y)
+    fn decomposition(vocab: &mut Vocabulary) -> Dependency {
+        let p = vocab.relation("P", 2).unwrap();
+        let q = vocab.relation("Q", 2).unwrap();
+        let (x, y, z) = (VarId(0), VarId(1), VarId(2));
+        Dependency::new(
+            vec!["x".into(), "y".into(), "z".into()],
+            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(x), Term::Var(y)] }], ..Default::default() },
+            vec![Conjunct {
+                existentials: vec![z],
+                atoms: vec![
+                    Atom { rel: q, args: vec![Term::Var(x), Term::Var(z)] },
+                    Atom { rel: q, args: vec![Term::Var(z), Term::Var(y)] },
+                ],
+            }],
+        )
+    }
+
+    #[test]
+    fn classification() {
+        let mut v = Vocabulary::new();
+        let d = decomposition(&mut v);
+        assert!(d.is_tgd());
+        assert!(!d.is_full());
+        assert!(!d.is_disjunctive());
+        assert!(!d.has_inequalities());
+        assert!(!d.has_constant_guards());
+        assert_eq!(d.universal_vars(), vec![VarId(0), VarId(1)]);
+        d.validate(&v).unwrap();
+    }
+
+    #[test]
+    fn unsafe_variable_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 1).unwrap();
+        let q = v.relation("Q", 1).unwrap();
+        // P(x) -> Q(y) with y neither universal nor existential.
+        let d = Dependency::new(
+            vec!["x".into(), "y".into()],
+            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            vec![Conjunct::full(vec![Atom { rel: q, args: vec![Term::Var(VarId(1))] }])],
+        );
+        assert_eq!(d.validate(&v), Err(DepError::UnsafeVariable { var: "y".into() }));
+    }
+
+    #[test]
+    fn existential_clash_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 1).unwrap();
+        let q = v.relation("Q", 1).unwrap();
+        // P(x) -> exists x . Q(x): x is both universal and existential.
+        let d = Dependency::new(
+            vec!["x".into()],
+            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            vec![Conjunct {
+                existentials: vec![VarId(0)],
+                atoms: vec![Atom { rel: q, args: vec![Term::Var(VarId(0))] }],
+            }],
+        );
+        assert_eq!(d.validate(&v), Err(DepError::ExistentialClash { var: "x".into() }));
+    }
+
+    #[test]
+    fn guard_variables_must_be_universal() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 1).unwrap();
+        let d = Dependency::new(
+            vec!["x".into(), "y".into()],
+            Premise {
+                atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }],
+                constant_vars: vec![VarId(1)],
+                inequalities: vec![],
+            },
+            vec![Conjunct::full(vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }])],
+        );
+        assert!(matches!(d.validate(&v), Err(DepError::UnsafeVariable { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 2).unwrap();
+        let d = Dependency::new(
+            vec!["x".into()],
+            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            vec![Conjunct::full(vec![Atom { rel: p, args: vec![Term::Var(VarId(0)), Term::Var(VarId(0))] }])],
+        );
+        assert!(matches!(d.validate(&v), Err(DepError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_conclusion_is_rejected() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 1).unwrap();
+        let d = Dependency::new(
+            vec!["x".into()],
+            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            vec![],
+        );
+        assert_eq!(d.validate(&v), Err(DepError::EmptyConclusion));
+    }
+
+    #[test]
+    fn freezing_produces_the_canonical_instance() {
+        let mut v = Vocabulary::new();
+        let d = decomposition(&mut v);
+        let assign = |var: VarId| Value::Null(NullId(var.0));
+        let frozen = d.freeze_premise(&assign);
+        assert_eq!(frozen.len(), 1);
+        let p = v.find_relation("P").unwrap();
+        assert!(frozen.contains(&Fact::new(p, vec![Value::Null(NullId(0)), Value::Null(NullId(1))])));
+    }
+
+    #[test]
+    fn atom_vars_dedup_in_order() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 3).unwrap();
+        let a = Atom { rel: p, args: vec![Term::Var(VarId(1)), Term::Var(VarId(0)), Term::Var(VarId(1))] };
+        assert_eq!(a.vars(), vec![VarId(1), VarId(0)]);
+    }
+}

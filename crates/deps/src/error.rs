@@ -1,0 +1,83 @@
+//! Error type for the dependency language.
+
+use std::fmt;
+
+/// Errors from building, validating or parsing dependencies and schema
+/// mappings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepError {
+    /// A variable on the right-hand side (or in a premise guard) is
+    /// neither bound by a premise atom nor existentially quantified —
+    /// the safety condition of Section 2.
+    UnsafeVariable {
+        /// Variable name.
+        var: String,
+    },
+    /// An existential variable also occurs in the premise.
+    ExistentialClash {
+        /// Variable name.
+        var: String,
+    },
+    /// An atom has the wrong number of arguments for its relation.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// A dependency has no disjunct at all.
+    EmptyConclusion,
+    /// A premise atom uses a relation outside the mapping's source
+    /// schema, or a conclusion atom a relation outside its target schema.
+    SchemaViolation {
+        /// Relation name.
+        relation: String,
+        /// `"premise"` or `"conclusion"`.
+        position: &'static str,
+    },
+    /// Parse failure.
+    Parse {
+        /// 1-based line number within the parsed text.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for DepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepError::UnsafeVariable { var } => {
+                write!(f, "unsafe variable `{var}`: it must occur in a premise atom")
+            }
+            DepError::ExistentialClash { var } => {
+                write!(f, "existential variable `{var}` also occurs in the premise")
+            }
+            DepError::ArityMismatch { relation, expected, got } => {
+                write!(f, "relation `{relation}` has arity {expected} but atom has {got} argument(s)")
+            }
+            DepError::EmptyConclusion => write!(f, "dependency has an empty conclusion"),
+            DepError::SchemaViolation { relation, position } => {
+                write!(f, "relation `{relation}` is not allowed in the {position} of this mapping")
+            }
+            DepError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DepError::UnsafeVariable { var: "z".into() };
+        assert!(e.to_string().contains('z'));
+        let e = DepError::Parse { line: 3, message: "expected `->`".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

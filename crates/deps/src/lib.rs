@@ -1,0 +1,40 @@
+//! # rde-deps
+//!
+//! The dependency language of the paper (Section 2):
+//!
+//! * **s-t tgds** `∀x (φ(x) → ∃y ψ(x, y))` — one disjunct, no premise
+//!   constraints;
+//! * **full s-t tgds** — no existential quantifiers;
+//! * **tgds with constants** — `Constant(x)` guards in the premise;
+//! * **disjunctive tgds with (constants and) inequalities** — several
+//!   disjuncts on the right, `x ≠ x′` (and `Constant(x)`) guards on the
+//!   left. Theorem 5.1 shows this is the language of maximum extended
+//!   recoveries of full-tgd mappings, and Theorem 5.2 shows both
+//!   disjunction and inequality are necessary.
+//!
+//! One AST, [`Dependency`], covers the whole hierarchy; classification
+//! predicates ([`Dependency::is_tgd`], [`Dependency::is_full`], …) carve
+//! out the fragments, and [`Dependency::validate`] enforces safety
+//! (every universally quantified variable occurs in a premise atom) and
+//! arity correctness.
+//!
+//! [`SchemaMapping`] packages a source schema, a target schema and a set
+//! of dependencies — the triple `M = (S, T, Σ)`. The [`parse`] module
+//! reads the textual form used throughout the examples and the CLI, and
+//! [`printer`] renders it back.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod mapping;
+pub mod normalize;
+pub mod parse;
+pub mod printer;
+
+pub use ast::{freeze_atoms, Atom, Conjunct, Dependency, Premise, Term, VarId};
+pub use error::DepError;
+pub use mapping::SchemaMapping;
+pub use normalize::{normalize_all, normalize_dependency};
+pub use parse::{parse_dependency, parse_mapping};

@@ -1,0 +1,132 @@
+//! Schema mappings: the triple `M = (S, T, Σ)`.
+
+use rde_model::{Schema, Vocabulary};
+
+use crate::ast::Dependency;
+use crate::DepError;
+
+/// A schema mapping `M = (S, T, Σ)` (Section 2): a source schema, a
+/// target schema, and a finite set of dependencies from `S` to `T`.
+///
+/// This is the *syntactic* view. The semantic view — `M` as the set of
+/// pairs `(I, J)` with `(I, J) ⊨ Σ` — is provided by `rde-core`, which
+/// implements satisfaction, solutions, extended solutions and the
+/// operators of the paper on top of this type.
+///
+/// "Reverse" mappings from `T` to `S` (inverses, recoveries) are simply
+/// `SchemaMapping`s whose source is `T` and whose target is `S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaMapping {
+    /// Source schema `S` (the premise side of every dependency).
+    pub source: Schema,
+    /// Target schema `T` (the conclusion side of every dependency).
+    pub target: Schema,
+    /// The dependency set `Σ`.
+    pub dependencies: Vec<Dependency>,
+}
+
+impl SchemaMapping {
+    /// Assemble a mapping. Call [`SchemaMapping::validate`] before use.
+    pub fn new(source: Schema, target: Schema, dependencies: Vec<Dependency>) -> Self {
+        SchemaMapping { source, target, dependencies }
+    }
+
+    /// Validate every dependency (safety, arities) and check that
+    /// premises mention only source relations and conclusions only
+    /// target relations.
+    pub fn validate(&self, vocab: &Vocabulary) -> Result<(), DepError> {
+        for dep in &self.dependencies {
+            dep.validate(vocab)?;
+            for atom in &dep.premise.atoms {
+                if !self.source.contains(atom.rel) {
+                    return Err(DepError::SchemaViolation {
+                        relation: vocab.relation_name(atom.rel).to_owned(),
+                        position: "premise",
+                    });
+                }
+            }
+            for disjunct in &dep.disjuncts {
+                for atom in &disjunct.atoms {
+                    if !self.target.contains(atom.rel) {
+                        return Err(DepError::SchemaViolation {
+                            relation: vocab.relation_name(atom.rel).to_owned(),
+                            position: "conclusion",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is `Σ` a set of plain tgds (single disjunct, no premise guards)?
+    /// This is the class for which the paper's main theorems
+    /// (Prop 3.11, Thm 3.13, Thm 3.17, Thm 4.10, Thm 4.13) apply.
+    pub fn is_tgd_mapping(&self) -> bool {
+        self.dependencies.iter().all(Dependency::is_tgd)
+    }
+
+    /// Is `Σ` a set of *full* tgds (additionally, no existentials)?
+    /// This is the class for which Theorem 5.1 synthesizes maximum
+    /// extended recoveries.
+    pub fn is_full_tgd_mapping(&self) -> bool {
+        self.is_tgd_mapping() && self.dependencies.iter().all(Dependency::is_full)
+    }
+
+    /// Is `Σ` a set of disjunctive tgds (no guards beyond disjunction)?
+    /// This is the class for which universal-faithfulness (Definition
+    /// 6.1) and Theorem 6.2/6.5 are stated.
+    pub fn is_disjunctive_tgd_mapping(&self) -> bool {
+        self.dependencies
+            .iter()
+            .all(|d| d.premise.constant_vars.is_empty() && d.premise.inequalities.is_empty())
+    }
+
+    /// Do any dependencies use `Constant(·)` guards?
+    pub fn uses_constant_guards(&self) -> bool {
+        self.dependencies.iter().any(Dependency::has_constant_guards)
+    }
+
+    /// Do any dependencies use inequalities?
+    pub fn uses_inequalities(&self) -> bool {
+        self.dependencies.iter().any(Dependency::has_inequalities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_mapping;
+
+    #[test]
+    fn classification_of_mapping_fragments() {
+        let mut v = Vocabulary::new();
+        let full = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> Q(x,y)").unwrap();
+        assert!(full.is_full_tgd_mapping());
+        assert!(full.is_tgd_mapping());
+        assert!(full.is_disjunctive_tgd_mapping());
+
+        let mut v = Vocabulary::new();
+        let tgd = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z)").unwrap();
+        assert!(tgd.is_tgd_mapping());
+        assert!(!tgd.is_full_tgd_mapping());
+
+        let mut v = Vocabulary::new();
+        let disj = parse_mapping(
+            &mut v,
+            "source: R/2\ntarget: P/2, T/1\nR(x,y) & x != y -> P(x,y) | T(x)",
+        )
+        .unwrap();
+        assert!(!disj.is_tgd_mapping());
+        assert!(!disj.is_disjunctive_tgd_mapping());
+        assert!(disj.uses_inequalities());
+        assert!(!disj.uses_constant_guards());
+    }
+
+    #[test]
+    fn validate_catches_premise_schema_violation() {
+        let mut v = Vocabulary::new();
+        let err = parse_mapping(&mut v, "source: P/1\ntarget: Q/1\nQ(x) -> Q(x)").unwrap_err();
+        assert!(matches!(err, DepError::SchemaViolation { position: "premise", .. }));
+    }
+}

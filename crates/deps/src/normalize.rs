@@ -1,0 +1,174 @@
+//! Normalization of tgds.
+//!
+//! A tgd `φ(x) → ∃y ψ(x, y)` is logically equivalent to the set of
+//! tgds obtained by splitting `ψ` into the connected components of its
+//! atoms under *shared existential variables*: atoms that share no
+//! existential can be asserted independently. In the extreme (full
+//! tgds), every conclusion atom becomes its own tgd. Normalized sets
+//! chase to isomorphic results and give the premise-matching engine
+//! smaller conclusions to check; several algorithms (e.g. block
+//! enumeration in the quasi-inverse construction) get finer granularity
+//! from normalized inputs.
+
+use crate::ast::{Conjunct, Dependency};
+use crate::DepError;
+use rde_model::fx::FxHashMap;
+
+/// Split a non-disjunctive dependency into its conclusion components.
+///
+/// Guards and the premise are copied to every component. Returns an
+/// error for disjunctive dependencies (splitting a disjunction is not
+/// meaning-preserving).
+pub fn normalize_dependency(dep: &Dependency) -> Result<Vec<Dependency>, DepError> {
+    if dep.disjuncts.len() != 1 {
+        return Err(DepError::Parse {
+            line: 1,
+            message: "cannot normalize a disjunctive dependency".into(),
+        });
+    }
+    let conjunct = &dep.disjuncts[0];
+    if conjunct.atoms.len() <= 1 {
+        return Ok(vec![dep.clone()]);
+    }
+    // Union–find over atom indices, joined by shared existentials.
+    let existential: Vec<bool> = {
+        let mut e = vec![false; dep.var_count()];
+        for &v in &conjunct.existentials {
+            e[v.0 as usize] = true;
+        }
+        e
+    };
+    let n = conjunct.atoms.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut owner: FxHashMap<u32, usize> = FxHashMap::default();
+    for (i, atom) in conjunct.atoms.iter().enumerate() {
+        for v in atom.vars() {
+            if existential[v.0 as usize] {
+                match owner.get(&v.0) {
+                    None => {
+                        owner.insert(v.0, i);
+                    }
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+    }
+    // Group atoms by component root, preserving atom order.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match groups.iter_mut().find(|(r, _)| *r == root) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((root, vec![i])),
+        }
+    }
+    if groups.len() == 1 {
+        return Ok(vec![dep.clone()]);
+    }
+    let var_names: Vec<String> =
+        (0..dep.var_count()).map(|i| dep.var_name(crate::ast::VarId(i as u32)).to_owned()).collect();
+    Ok(groups
+        .into_iter()
+        .map(|(_, members)| {
+            let atoms: Vec<_> = members.iter().map(|&i| conjunct.atoms[i].clone()).collect();
+            let used_existentials: Vec<_> = conjunct
+                .existentials
+                .iter()
+                .copied()
+                .filter(|&e| atoms.iter().any(|a| a.vars().contains(&e)))
+                .collect();
+            Dependency::new(
+                var_names.clone(),
+                dep.premise.clone(),
+                vec![Conjunct { existentials: used_existentials, atoms }],
+            )
+        })
+        .collect())
+}
+
+/// Normalize every dependency of a set (disjunctive ones pass through
+/// unchanged — they cannot be split).
+pub fn normalize_all(deps: &[Dependency]) -> Vec<Dependency> {
+    let mut out = Vec::new();
+    for d in deps {
+        match normalize_dependency(d) {
+            Ok(split) => out.extend(split),
+            Err(_) => out.push(d.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dependency;
+    use rde_model::Vocabulary;
+
+    #[test]
+    fn full_tgd_splits_per_atom() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "P(x, y, z) -> Q(x, y) & R(y, z)").unwrap();
+        let split = normalize_dependency(&d).unwrap();
+        assert_eq!(split.len(), 2);
+        for s in &split {
+            assert_eq!(s.disjuncts[0].atoms.len(), 1);
+            s.validate(&v).unwrap();
+        }
+    }
+
+    #[test]
+    fn shared_existential_keeps_atoms_together() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "P(x, y) -> exists z . Q(x, z) & Q(z, y)").unwrap();
+        let split = normalize_dependency(&d).unwrap();
+        assert_eq!(split.len(), 1, "the shared z forbids splitting");
+    }
+
+    #[test]
+    fn mixed_conclusion_splits_by_component() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(
+            &mut v,
+            "P(x, y) -> exists u, w . Q(x, u) & R(u, y) & S(y, w) & T(x, x)",
+        )
+        .unwrap();
+        let split = normalize_dependency(&d).unwrap();
+        // {Q, R} share u; {S} has w alone; {T} has no existential.
+        assert_eq!(split.len(), 3);
+        let sizes: Vec<usize> = split.iter().map(|s| s.disjuncts[0].atoms.len()).collect();
+        assert!(sizes.contains(&2) && sizes.iter().filter(|&&s| s == 1).count() == 2);
+        // Each component only quantifies the existentials it uses.
+        for s in &split {
+            s.validate(&v).unwrap();
+            for &e in &s.disjuncts[0].existentials {
+                assert!(s.disjuncts[0].atoms.iter().any(|a| a.vars().contains(&e)));
+            }
+        }
+    }
+
+    #[test]
+    fn disjunctive_dependencies_are_rejected_or_passed_through() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "R(x) -> P(x) | Q(x)").unwrap();
+        assert!(normalize_dependency(&d).is_err());
+        assert_eq!(normalize_all(std::slice::from_ref(&d)), vec![d.clone()]);
+    }
+
+    #[test]
+    fn single_atom_conclusions_are_untouched() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "P(x) -> Q(x)").unwrap();
+        assert_eq!(normalize_dependency(&d).unwrap(), vec![d]);
+    }
+}

@@ -1,0 +1,495 @@
+//! Parsing dependencies and mapping files.
+//!
+//! Dependency syntax (one per logical line):
+//!
+//! ```text
+//! P(x, y) & x != y & Constant(x) -> exists z . Q(x, z) & Q(z, y) | T(x)
+//! ```
+//!
+//! * lowercase-initial identifiers in argument position are variables;
+//! * `'quoted'` tokens and numeric tokens are constants;
+//! * `Constant(x)` and `x != y` may appear in the premise;
+//! * disjuncts are separated by `|`; each may open with
+//!   `exists v₁, …, vₖ .`.
+//!
+//! Mapping file syntax:
+//!
+//! ```text
+//! # decomposition (Example 1.1)
+//! source: P/3
+//! target: Q/2, R/2
+//! P(x, y, z) -> Q(x, y) & R(y, z)
+//! ```
+//!
+//! A dependency may span lines: a line ending in `->`, `&`, `|` or `,`
+//! continues onto the next.
+
+use rde_model::{Schema, Vocabulary};
+
+use crate::ast::{Atom, Conjunct, Dependency, Premise, Term, VarId};
+use crate::mapping::SchemaMapping;
+use crate::DepError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Amp,
+    Pipe,
+    Arrow,
+    Neq,
+    Dot,
+}
+
+fn tokenize(src: &str, line: usize) -> Result<Vec<Tok>, DepError> {
+    let err = |message: String| DepError::Parse { line, message };
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            '&' => {
+                out.push(Tok::Amp);
+                i += 1;
+            }
+            '|' => {
+                out.push(Tok::Pipe);
+                i += 1;
+            }
+            '.' => {
+                out.push(Tok::Dot);
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    out.push(Tok::Arrow);
+                    i += 2;
+                } else {
+                    return Err(err("expected `->`".into()));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    out.push(Tok::Neq);
+                    i += 2;
+                } else {
+                    return Err(err("expected `!=`".into()));
+                }
+            }
+            '\'' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != '\'' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(err("unterminated quoted constant".into()));
+                }
+                out.push(Tok::Quoted(bytes[i + 1..j].iter().collect()));
+                i = j + 1;
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                out.push(Tok::Ident(bytes[i..j].iter().collect()));
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                out.push(Tok::Number(bytes[i..j].iter().collect()));
+                i = j;
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    vocab: &'a mut Vocabulary,
+    line: usize,
+    var_names: Vec<String>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> DepError {
+        DepError::Parse { line: self.line, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), DepError> {
+        match self.bump() {
+            Some(t) if &t == tok => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn var(&mut self, name: &str) -> VarId {
+        if let Some(i) = self.var_names.iter().position(|n| n == name) {
+            return VarId(i as u32);
+        }
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_owned());
+        id
+    }
+
+    /// Parse `Rel(t₁, …, tₖ)` with the relation name already consumed.
+    fn atom_tail(&mut self, rel_name: &str) -> Result<Atom, DepError> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.bump();
+        } else {
+            loop {
+                let term = match self.bump() {
+                    Some(Tok::Ident(name)) => Term::Var(self.var(&name)),
+                    Some(Tok::Quoted(text)) => Term::Const(self.vocab.constant(&text)),
+                    Some(Tok::Number(text)) => Term::Const(self.vocab.constant(&text)),
+                    other => return Err(self.err(format!("expected a term, found {other:?}"))),
+                };
+                args.push(term);
+                match self.bump() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    other => return Err(self.err(format!("expected `,` or `)`, found {other:?}"))),
+                }
+            }
+        }
+        let rel = self.vocab.relation(rel_name, args.len()).map_err(|e| self.err(e.to_string()))?;
+        Ok(Atom { rel, args })
+    }
+
+    fn premise(&mut self) -> Result<Premise, DepError> {
+        let mut premise = Premise::default();
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(name)) => {
+                    if name == "Constant" {
+                        self.expect(&Tok::LParen, "`(`")?;
+                        let var = match self.bump() {
+                            Some(Tok::Ident(v)) => self.var(&v),
+                            other => return Err(self.err(format!("expected a variable, found {other:?}"))),
+                        };
+                        self.expect(&Tok::RParen, "`)`")?;
+                        premise.constant_vars.push(var);
+                    } else if self.peek() == Some(&Tok::Neq) {
+                        let a = self.var(&name);
+                        self.bump();
+                        let b = match self.bump() {
+                            Some(Tok::Ident(v)) => self.var(&v),
+                            other => return Err(self.err(format!("expected a variable, found {other:?}"))),
+                        };
+                        premise.inequalities.push((a, b));
+                    } else {
+                        premise.atoms.push(self.atom_tail(&name)?);
+                    }
+                }
+                other => return Err(self.err(format!("expected a premise item, found {other:?}"))),
+            }
+            match self.bump() {
+                Some(Tok::Amp) | Some(Tok::Comma) => continue,
+                Some(Tok::Arrow) => return Ok(premise),
+                other => return Err(self.err(format!("expected `&`, `,` or `->`, found {other:?}"))),
+            }
+        }
+    }
+
+    fn disjunct(&mut self) -> Result<Conjunct, DepError> {
+        let mut existentials = Vec::new();
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == "exists" {
+                self.bump();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Ident(v)) => existentials.push(self.var(&v)),
+                        other => return Err(self.err(format!("expected a variable, found {other:?}"))),
+                    }
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::Dot) => break,
+                        other => return Err(self.err(format!("expected `,` or `.`, found {other:?}"))),
+                    }
+                }
+            }
+        }
+        let mut atoms = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(name)) => atoms.push(self.atom_tail(&name)?),
+                other => return Err(self.err(format!("expected an atom, found {other:?}"))),
+            }
+            match self.peek() {
+                Some(Tok::Amp) | Some(Tok::Comma) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        Ok(Conjunct { existentials, atoms })
+    }
+
+    fn dependency(mut self) -> Result<Dependency, DepError> {
+        let premise = self.premise()?;
+        let mut disjuncts = vec![self.disjunct()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.bump();
+            disjuncts.push(self.disjunct()?);
+        }
+        if let Some(t) = self.peek() {
+            return Err(self.err(format!("unexpected trailing token {t:?}")));
+        }
+        let dep = Dependency::new(self.var_names, premise, disjuncts);
+        dep.validate(self.vocab)?;
+        Ok(dep)
+    }
+}
+
+/// Parse a single dependency, interning symbols into `vocab`.
+pub fn parse_dependency(vocab: &mut Vocabulary, src: &str) -> Result<Dependency, DepError> {
+    parse_dependency_at(vocab, src, 1)
+}
+
+fn parse_dependency_at(vocab: &mut Vocabulary, src: &str, line: usize) -> Result<Dependency, DepError> {
+    let toks = tokenize(src, line)?;
+    let parser = Parser { toks, pos: 0, vocab, line, var_names: Vec::new() };
+    parser.dependency()
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` outside quotes starts a comment.
+    let mut in_quote = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            '#' if !in_quote => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse a schema-declaration list like `P/3, Q/2`.
+fn parse_decls(vocab: &mut Vocabulary, src: &str, line: usize) -> Result<Schema, DepError> {
+    let err = |message: String| DepError::Parse { line, message };
+    let mut rels = Vec::new();
+    for item in src.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (name, arity) = item
+            .split_once('/')
+            .ok_or_else(|| err(format!("expected `Name/arity`, found `{item}`")))?;
+        let arity: usize =
+            arity.trim().parse().map_err(|_| err(format!("invalid arity in `{item}`")))?;
+        let rel = vocab.relation(name.trim(), arity).map_err(|e| err(e.to_string()))?;
+        rels.push(rel);
+    }
+    Ok(Schema::from_relations(rels))
+}
+
+/// Parse a mapping file: `source:` / `target:` declarations followed by
+/// dependencies, validated against the declared schemas.
+pub fn parse_mapping(vocab: &mut Vocabulary, text: &str) -> Result<SchemaMapping, DepError> {
+    let mut source: Option<Schema> = None;
+    let mut target: Option<Schema> = None;
+    let mut dep_sources: Vec<(usize, String)> = Vec::new();
+
+    // Assemble logical statements, merging continuation lines.
+    let mut pending: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_owned();
+        if line.is_empty() {
+            continue;
+        }
+        let continues = |s: &str| {
+            s.ends_with("->") || s.ends_with('&') || s.ends_with('|') || s.ends_with(',')
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&line);
+                if continues(&acc) {
+                    pending = Some((start, acc));
+                } else {
+                    dep_sources.push((start, acc));
+                }
+            }
+            None => {
+                if let Some(rest) = line.strip_prefix("source:") {
+                    source = Some(parse_decls(vocab, rest, lineno)?);
+                } else if let Some(rest) = line.strip_prefix("target:") {
+                    target = Some(parse_decls(vocab, rest, lineno)?);
+                } else if continues(&line) {
+                    pending = Some((lineno, line));
+                } else {
+                    dep_sources.push((lineno, line));
+                }
+            }
+        }
+    }
+    if let Some((start, acc)) = pending {
+        return Err(DepError::Parse { line: start, message: format!("incomplete dependency `{acc}`") });
+    }
+
+    let source = source.ok_or(DepError::Parse { line: 1, message: "missing `source:` declaration".into() })?;
+    let target = target.ok_or(DepError::Parse { line: 1, message: "missing `target:` declaration".into() })?;
+
+    let mut dependencies = Vec::new();
+    for (line, src) in dep_sources {
+        dependencies.push(parse_dependency_at(vocab, &src, line)?);
+    }
+    let mapping = SchemaMapping::new(source, target, dependencies);
+    mapping.validate(vocab)?;
+    Ok(mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_decomposition_tgd() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "P(x, y) -> exists z . Q(x, z) & Q(z, y)").unwrap();
+        assert!(d.is_tgd());
+        assert!(!d.is_full());
+        assert_eq!(d.disjuncts[0].existentials.len(), 1);
+        assert_eq!(d.disjuncts[0].atoms.len(), 2);
+        assert_eq!(d.var_name(d.universal_vars()[0]), "x");
+    }
+
+    #[test]
+    fn parses_guards_and_inequalities() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(
+            &mut v,
+            "R(x, y) & x != y & Constant(x) -> P(x, y) | exists u . T(u, x)",
+        )
+        .unwrap();
+        assert!(d.has_inequalities());
+        assert!(d.has_constant_guards());
+        assert!(d.is_disjunctive());
+        assert!(!d.is_tgd());
+        assert_eq!(d.disjuncts.len(), 2);
+    }
+
+    #[test]
+    fn parses_constants_in_atoms() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "P(x, 'alice') -> Q(x, 42)").unwrap();
+        assert!(v.find_constant("alice").is_some());
+        assert!(v.find_constant("42").is_some());
+        assert!(d.is_full());
+    }
+
+    #[test]
+    fn repeated_variables_share_ids() {
+        let mut v = Vocabulary::new();
+        let d = parse_dependency(&mut v, "P(x, x) -> Q(x)").unwrap();
+        assert_eq!(d.universal_vars().len(), 1);
+    }
+
+    #[test]
+    fn rejects_unsafe_dependencies_at_parse_time() {
+        let mut v = Vocabulary::new();
+        let err = parse_dependency(&mut v, "P(x) -> Q(y)").unwrap_err();
+        assert!(matches!(err, DepError::UnsafeVariable { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        let mut v = Vocabulary::new();
+        for bad in [
+            "P(x ->",
+            "P(x) Q(x)",
+            "-> Q(x)",
+            "P(x) -> ",
+            "P(x) -> exists . Q(x)",
+            "P(x) != Q(x) -> Q(x)",
+            "P(x) -> Q(x) extra(y)",
+        ] {
+            assert!(parse_dependency(&mut v, bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn parses_a_mapping_file() {
+        let mut v = Vocabulary::new();
+        let text = "\n# Example 1.1 — decomposition\nsource: P/3\ntarget: Q/2, R/2\nP(x, y, z) -> Q(x, y) & R(y, z)\n";
+        let m = parse_mapping(&mut v, text).unwrap();
+        assert_eq!(m.source.len(), 1);
+        assert_eq!(m.target.len(), 2);
+        assert_eq!(m.dependencies.len(), 1);
+        assert!(m.is_tgd_mapping());
+    }
+
+    #[test]
+    fn multi_line_dependencies_are_joined() {
+        let mut v = Vocabulary::new();
+        let text = "source: P/2\ntarget: Q/2\nP(x, y) ->\n  exists z . Q(x, z) &\n  Q(z, y)\n";
+        let m = parse_mapping(&mut v, text).unwrap();
+        assert_eq!(m.dependencies.len(), 1);
+        assert_eq!(m.dependencies[0].disjuncts[0].atoms.len(), 2);
+    }
+
+    #[test]
+    fn mapping_requires_schema_declarations() {
+        let mut v = Vocabulary::new();
+        assert!(parse_mapping(&mut v, "P(x) -> Q(x)").is_err());
+        assert!(parse_mapping(&mut v, "source: P/1\nP(x) -> Q(x)").is_err());
+    }
+
+    #[test]
+    fn mapping_rejects_schema_violations() {
+        let mut v = Vocabulary::new();
+        // Conclusion uses a source relation.
+        let text = "source: P/1\ntarget: Q/1\nP(x) -> P(x)";
+        let err = parse_mapping(&mut v, text).unwrap_err();
+        assert!(matches!(err, DepError::SchemaViolation { .. }));
+    }
+
+    #[test]
+    fn incomplete_trailing_dependency_is_reported() {
+        let mut v = Vocabulary::new();
+        let text = "source: P/1\ntarget: Q/1\nP(x) ->";
+        let err = parse_mapping(&mut v, text).unwrap_err();
+        assert!(matches!(err, DepError::Parse { .. }));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based parser/printer roundtrip for generated dependencies.
+
+use proptest::prelude::*;
+use rde_deps::{parse_dependency, printer, Atom, Conjunct, Dependency, Premise, Term, VarId};
+use rde_model::Vocabulary;
+
+/// Abstract shape of a dependency: premise atoms (relation index ×
+/// variable indices), guard picks, and one or two disjuncts whose atoms
+/// use premise variables or existentials.
+#[derive(Debug, Clone)]
+struct Shape {
+    premise: Vec<(u8, Vec<u8>)>,
+    inequalities: Vec<(u8, u8)>,
+    constant_guards: Vec<u8>,
+    disjuncts: Vec<Vec<(u8, Vec<i8>)>>, // negative index = existential
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    let premise = prop::collection::vec((0u8..2, prop::collection::vec(0u8..4, 2)), 1..3);
+    let ineqs = prop::collection::vec((0u8..4, 0u8..4), 0..2);
+    let guards = prop::collection::vec(0u8..4, 0..2);
+    let disjuncts = prop::collection::vec(
+        prop::collection::vec((0u8..2, prop::collection::vec(-2i8..4, 2)), 1..3),
+        1..3,
+    );
+    (premise, ineqs, guards, disjuncts).prop_map(|(premise, inequalities, constant_guards, disjuncts)| {
+        Shape { premise, inequalities, constant_guards, disjuncts }
+    })
+}
+
+/// Materialize a shape into a validated dependency, or `None` if the
+/// shape is vacuously unsafe (e.g. a guard variable missing from the
+/// premise).
+fn materialize(vocab: &mut Vocabulary, s: &Shape) -> Option<Dependency> {
+    let src = [vocab.relation("Ps", 2).unwrap(), vocab.relation("Qs", 2).unwrap()];
+    let tgt = [vocab.relation("Pt", 2).unwrap(), vocab.relation("Qt", 2).unwrap()];
+    // Variables: x0..x3 universal, y0..y1 existential.
+    let names: Vec<String> =
+        (0..4).map(|i| format!("x{i}")).chain((0..2).map(|i| format!("y{i}"))).collect();
+    let premise = Premise {
+        atoms: s
+            .premise
+            .iter()
+            .map(|(r, vars)| Atom {
+                rel: src[*r as usize],
+                args: vars.iter().map(|&v| Term::Var(VarId(v as u32))).collect(),
+            })
+            .collect(),
+        constant_vars: s.constant_guards.iter().map(|&v| VarId(v as u32)).collect(),
+        inequalities: s.inequalities.iter().map(|&(a, b)| (VarId(a as u32), VarId(b as u32))).collect(),
+    };
+    let disjuncts: Vec<Conjunct> = s
+        .disjuncts
+        .iter()
+        .map(|atoms| {
+            let mut existentials = Vec::new();
+            let atoms = atoms
+                .iter()
+                .map(|(r, terms)| Atom {
+                    rel: tgt[*r as usize],
+                    args: terms
+                        .iter()
+                        .map(|&t| {
+                            if t < 0 {
+                                let e = VarId((4 + (-t - 1)) as u32);
+                                if !existentials.contains(&e) {
+                                    existentials.push(e);
+                                }
+                                Term::Var(e)
+                            } else {
+                                Term::Var(VarId(t as u32))
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            Conjunct { existentials, atoms }
+        })
+        .collect();
+    let dep = Dependency::new(names, premise, disjuncts);
+    dep.validate(vocab).ok().map(|()| dep)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse → print is a fixpoint, and the reparsed dependency
+    /// preserves every classification flag.
+    #[test]
+    fn printer_parser_roundtrip(s in shape()) {
+        let mut vocab = Vocabulary::new();
+        let Some(dep) = materialize(&mut vocab, &s) else {
+            return Ok(()); // unsafe shape — nothing to roundtrip
+        };
+        let text = printer::dependency(&vocab, &dep).to_string();
+        let reparsed = parse_dependency(&mut vocab, &text)
+            .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
+        let text2 = printer::dependency(&vocab, &reparsed).to_string();
+        prop_assert_eq!(&text, &text2, "printer must be a fixpoint");
+        prop_assert_eq!(dep.is_full(), reparsed.is_full());
+        prop_assert_eq!(dep.is_disjunctive(), reparsed.is_disjunctive());
+        prop_assert_eq!(dep.has_inequalities(), reparsed.has_inequalities());
+        prop_assert_eq!(dep.has_constant_guards(), reparsed.has_constant_guards());
+        prop_assert_eq!(dep.premise.atoms.len(), reparsed.premise.atoms.len());
+        prop_assert_eq!(dep.disjuncts.len(), reparsed.disjuncts.len());
+    }
+
+    /// Normalization preserves validity and never grows conclusions.
+    #[test]
+    fn normalization_is_valid(s in shape()) {
+        let mut vocab = Vocabulary::new();
+        let Some(dep) = materialize(&mut vocab, &s) else {
+            return Ok(());
+        };
+        if dep.is_disjunctive() {
+            return Ok(());
+        }
+        let split = rde_deps::normalize_dependency(&dep).unwrap();
+        prop_assert!(!split.is_empty());
+        let total: usize = split.iter().map(|d| d.disjuncts[0].atoms.len()).sum();
+        prop_assert_eq!(total, dep.disjuncts[0].atoms.len());
+        for d in &split {
+            d.validate(&vocab).unwrap();
+        }
+    }
+}

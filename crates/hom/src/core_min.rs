@@ -1,0 +1,158 @@
+//! Cores: minimum retracts of instances.
+//!
+//! The **core** of an instance `I` is a minimal sub-instance `C ⊆ I`
+//! with `I → C`. Cores are unique up to isomorphism and give canonical
+//! representatives of homomorphic-equivalence classes — the natural
+//! normal form for the paper's framework, where chase-inverses recover
+//! sources only up to homomorphic equivalence (Theorem 3.17) and
+//! extended universal solutions are compared by `→` (Definition 3.5).
+//!
+//! The algorithm repeatedly looks for a homomorphism from `I` into
+//! `I ∖ {f}` for some fact `f`; if one exists, the image is a strictly
+//! smaller hom-equivalent sub-instance and we recurse. When no single
+//! fact can be dropped, no proper sub-instance admits a homomorphism at
+//! all (any such sub-instance is contained in some `I ∖ {f}`), so the
+//! result is the core.
+
+use rde_model::{Instance, Substitution};
+
+use crate::search::{exists_hom, find_hom};
+
+/// Result of [`core_of`]: the core and a retraction onto it.
+#[derive(Debug, Clone)]
+pub struct CoreResult {
+    /// The core: a sub-instance of the input, hom-equivalent to it.
+    pub core: Instance,
+    /// A homomorphism from the input onto the core (the composition of
+    /// the folding steps). Identity on the core's own values.
+    pub retraction: Substitution,
+}
+
+/// Compute the core of `instance`.
+///
+/// Worst-case exponential (it performs homomorphism searches), but fast
+/// on chase results, whose redundancy is shallow.
+pub fn core_of(instance: &Instance) -> CoreResult {
+    let mut current = instance.clone();
+    let mut retraction = Substitution::new();
+    'outer: loop {
+        // Only facts containing nulls can ever be folded away: an
+        // all-constant fact must map to itself.
+        let candidates: Vec<_> = current.facts().filter(|f| f.has_null()).collect();
+        for f in candidates {
+            let smaller = current.without_fact(&f);
+            if let Some(h) = find_hom(&current, &smaller) {
+                current = h.apply_instance(&current);
+                retraction = retraction.then(&h);
+                continue 'outer;
+            }
+        }
+        return CoreResult { core: current, retraction };
+    }
+}
+
+/// Is `instance` its own core (no homomorphism into a proper
+/// sub-instance)?
+pub fn is_core(instance: &Instance) -> bool {
+    instance
+        .facts()
+        .filter(|f| f.has_null())
+        .all(|f| !exists_hom(instance, &instance.without_fact(&f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom_equivalent;
+    use rde_model::{ConstId, Fact, NullId, RelId, Value};
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+    fn inst(facts: &[(u32, &[Value])]) -> Instance {
+        facts.iter().map(|(r, args)| Fact::new(RelId(*r), args.to_vec())).collect()
+    }
+
+    #[test]
+    fn ground_instances_are_their_own_core() {
+        let i = inst(&[(0, &[c(0), c(1)]), (1, &[c(2)])]);
+        assert!(is_core(&i));
+        let r = core_of(&i);
+        assert_eq!(r.core, i);
+        assert!(r.retraction.is_empty());
+    }
+
+    #[test]
+    fn redundant_null_fact_is_folded() {
+        // {P(a,b), P(a,X)} has core {P(a,b)}.
+        let i = inst(&[(0, &[c(0), c(1)]), (0, &[c(0), n(0)])]);
+        assert!(!is_core(&i));
+        let r = core_of(&i);
+        assert_eq!(r.core, inst(&[(0, &[c(0), c(1)])]));
+        assert_eq!(r.retraction.apply(n(0)), c(1));
+        assert!(hom_equivalent(&i, &r.core));
+    }
+
+    #[test]
+    fn non_redundant_nulls_survive() {
+        // {Q(a,X), Q(X,b)} is a core: dropping either fact loses structure.
+        let i = inst(&[(0, &[c(0), n(0)]), (0, &[n(0), c(1)])]);
+        assert!(is_core(&i));
+        assert_eq!(core_of(&i).core, i);
+    }
+
+    #[test]
+    fn null_chain_folds_onto_constant_cycle() {
+        // Edges with fresh nulls alongside a constant loop: everything
+        // folds onto the loop.
+        let i = inst(&[
+            (0, &[c(0), c(0)]),
+            (0, &[n(0), n(1)]),
+            (0, &[n(1), n(2)]),
+            (0, &[n(2), n(0)]),
+        ]);
+        let r = core_of(&i);
+        assert_eq!(r.core, inst(&[(0, &[c(0), c(0)])]));
+        assert!(hom_equivalent(&i, &r.core));
+    }
+
+    #[test]
+    fn retraction_maps_input_onto_core() {
+        let i = inst(&[
+            (0, &[c(0), n(0)]),
+            (0, &[c(0), c(1)]),
+            (1, &[n(0), n(1)]),
+            (1, &[c(1), n(2)]),
+        ]);
+        let r = core_of(&i);
+        assert!(is_core(&r.core));
+        assert!(hom_equivalent(&i, &r.core));
+        assert_eq!(r.retraction.apply_instance(&i), r.core);
+        assert!(r.core.is_subset_of(&i));
+    }
+
+    #[test]
+    fn all_null_clique_has_singleton_loop_core() {
+        // Complete directed graph on two nulls including self-loops:
+        // core is a single loop on one null.
+        let i = inst(&[
+            (0, &[n(0), n(0)]),
+            (0, &[n(0), n(1)]),
+            (0, &[n(1), n(0)]),
+            (0, &[n(1), n(1)]),
+        ]);
+        let r = core_of(&i);
+        assert_eq!(r.core.len(), 1);
+        assert!(hom_equivalent(&i, &r.core));
+    }
+
+    #[test]
+    fn empty_instance_core() {
+        let r = core_of(&Instance::new());
+        assert!(r.core.is_empty());
+        assert!(is_core(&Instance::new()));
+    }
+}

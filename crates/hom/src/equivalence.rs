@@ -1,0 +1,81 @@
+//! Homomorphic equivalence.
+
+use rde_model::Instance;
+
+use crate::search::{exists_hom, find_hom};
+use rde_model::Substitution;
+
+/// Are `a` and `b` homomorphically equivalent (`a → b` and `b → a`,
+/// Definition 3.1)? This is the paper's notion of "the same instance":
+/// chase-inverses recover the original source only up to this relation
+/// (Definition 3.16), and capturing targets determine sources up to it.
+pub fn hom_equivalent(a: &Instance, b: &Instance) -> bool {
+    exists_hom(a, b) && exists_hom(b, a)
+}
+
+/// Like [`hom_equivalent`] but returns the witnessing pair of
+/// homomorphisms `(a → b, b → a)` when equivalent.
+pub fn hom_equivalent_with(a: &Instance, b: &Instance) -> Option<(Substitution, Substitution)> {
+    let fwd = find_hom(a, b)?;
+    let back = find_hom(b, a)?;
+    Some((fwd, back))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_model::{ConstId, Fact, NullId, RelId, Value};
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+    fn inst(facts: &[(u32, &[Value])]) -> Instance {
+        facts.iter().map(|(r, args)| Fact::new(RelId(*r), args.to_vec())).collect()
+    }
+
+    #[test]
+    fn equivalence_is_reflexive() {
+        let i = inst(&[(0, &[c(0), n(0)])]);
+        assert!(hom_equivalent(&i, &i));
+    }
+
+    #[test]
+    fn ground_instances_equivalent_iff_equal() {
+        let a = inst(&[(0, &[c(0)])]);
+        let b = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
+        assert!(!hom_equivalent(&a, &b));
+        assert!(hom_equivalent(&a, &inst(&[(0, &[c(0)])])));
+    }
+
+    #[test]
+    fn null_padding_is_equivalent() {
+        // {P(a,b)} ≡ {P(a,b), P(a,X)}: the null fact folds onto the real one.
+        let a = inst(&[(0, &[c(0), c(1)])]);
+        let b = inst(&[(0, &[c(0), c(1)]), (0, &[c(0), n(0)])]);
+        assert!(hom_equivalent(&a, &b));
+        let (fwd, back) = hom_equivalent_with(&a, &b).unwrap();
+        assert_eq!(fwd.apply_instance(&a), a); // a is ground: identity
+        assert!(back.apply_instance(&b).is_subset_of(&a));
+    }
+
+    #[test]
+    fn renamed_nulls_are_equivalent() {
+        let a = inst(&[(0, &[n(0), n(1)])]);
+        let b = inst(&[(0, &[n(7), n(8)])]);
+        assert!(hom_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn asymmetric_directions_are_detected() {
+        // {P(X,X)} → {P(a,a)} but not conversely.
+        let a = inst(&[(0, &[n(0), n(0)])]);
+        let b = inst(&[(0, &[c(0), c(0)])]);
+        assert!(exists_hom(&a, &b));
+        assert!(!exists_hom(&b, &a));
+        assert!(!hom_equivalent(&a, &b));
+        assert!(hom_equivalent_with(&a, &b).is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Error type for the homomorphism engine.
+
+use std::fmt;
+
+/// Errors from homomorphism search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HomError {
+    /// The configured node budget was exhausted before the search could
+    /// decide. The caller may retry with a larger budget; the default
+    /// configuration is unbounded and complete.
+    NodeBudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for HomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HomError::NodeBudgetExhausted { budget } => {
+                write!(f, "homomorphism search exceeded its node budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_budget() {
+        assert!(HomError::NodeBudgetExhausted { budget: 42 }.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # rde-hom
+//!
+//! The homomorphism engine for reverse data exchange.
+//!
+//! The whole PODS 2009 framework is built on the homomorphism relation
+//! `I₁ → I₂` (Definition 3.1): a function on values that fixes every
+//! constant, maps nulls anywhere, and maps facts to facts. The paper
+//! systematically replaces the containment relation `⊆` of earlier work
+//! by `→`; the extended identity mapping *is* `→`, extended solutions are
+//! `→ ∘ M ∘ →`, and `→_M` compares chase results by `→`.
+//!
+//! Deciding `I₁ → I₂` is NP-complete in general (it subsumes graph
+//! homomorphism), so this crate implements a CSP-style backtracking
+//! search with:
+//!
+//! * per-column posting-list indexes from `rde-model` to enumerate
+//!   candidate target tuples for a partially bound fact;
+//! * dynamic fail-first fact ordering (cheapest-candidate-set next);
+//! * a node budget for callers that need interruptible search.
+//!
+//! Both optimizations can be disabled through [`HomConfig`] — the
+//! ablation benchmarks measure exactly that gap.
+//!
+//! On top of the search the crate provides homomorphic equivalence and
+//! the **core** (minimum retract) of an instance, which canonicalizes
+//! instances up to homomorphic equivalence — the right notion of
+//! "same instance" in the paper's framework.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod core_min;
+mod equivalence;
+mod error;
+mod iso;
+mod search;
+
+pub use core_min::{core_of, is_core, CoreResult};
+pub use equivalence::{hom_equivalent, hom_equivalent_with};
+pub use error::HomError;
+pub use iso::{find_iso, is_isomorphic};
+pub use search::{
+    count_homs, exists_hom, find_hom, find_hom_seeded, for_each_hom, HomConfig, HomStats, SearchOutcome,
+};

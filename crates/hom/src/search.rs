@@ -1,0 +1,494 @@
+//! Backtracking homomorphism search.
+//!
+//! A homomorphism from `I₁` to `I₂` (Definition 3.1) fixes constants and
+//! maps nulls so that every fact of `I₁` lands in `I₂`. We treat the
+//! nulls of `I₁` as CSP variables and the facts of `I₁` as constraints,
+//! and solve fact-at-a-time: pick an uncovered source fact, enumerate the
+//! target tuples it can map onto (via the column posting lists of the
+//! bound positions), unify, recurse.
+
+use rde_model::fx::FxHashMap;
+use rde_model::{Instance, NullId, RelationData, Substitution, Value};
+
+use crate::HomError;
+
+/// Search configuration. The default is complete (no node budget) and
+/// fully optimized; the two flags exist for the ablation benchmarks.
+#[derive(Debug, Clone)]
+pub struct HomConfig {
+    /// Abort with [`HomError::NodeBudgetExhausted`] after this many
+    /// candidate-tuple attempts. `None` = run to completion.
+    pub node_budget: Option<u64>,
+    /// Use per-column posting lists to enumerate candidate tuples
+    /// (`false` = scan the whole target relation per fact).
+    pub use_index: bool,
+    /// Dynamically pick the next source fact with the fewest candidates
+    /// (`false` = fixed left-to-right order).
+    pub dynamic_order: bool,
+}
+
+impl Default for HomConfig {
+    fn default() -> Self {
+        HomConfig { node_budget: None, use_index: true, dynamic_order: true }
+    }
+}
+
+/// Search counters, reported by [`for_each_hom`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HomStats {
+    /// Candidate tuple unification attempts.
+    pub nodes: u64,
+    /// Failed unifications (a proxy for backtracking work).
+    pub backtracks: u64,
+    /// Homomorphisms reported to the callback.
+    pub found: u64,
+}
+
+/// Outcome of a decision search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A homomorphism was found (its bindings cover every source null).
+    Found(Substitution),
+    /// The search space was exhausted: no homomorphism exists.
+    NotFound,
+}
+
+/// One argument of a pattern fact: already-fixed value or variable slot.
+#[derive(Debug, Clone, Copy)]
+enum PArg {
+    Fixed(Value),
+    Var(u32),
+}
+
+struct PatternFact<'a> {
+    rel_data: &'a RelationData,
+    args: Vec<PArg>,
+}
+
+struct Searcher<'a, F: FnMut(&Substitution) -> bool> {
+    facts: Vec<PatternFact<'a>>,
+    /// Variable assignment: `vals[v]` is the image of variable `v`.
+    vals: Vec<Option<Value>>,
+    /// Variable index → source null id (for building substitutions).
+    var_nulls: Vec<NullId>,
+    config: &'a HomConfig,
+    stats: HomStats,
+    /// Callback; returns `false` to stop enumerating.
+    on_found: F,
+}
+
+impl<F: FnMut(&Substitution) -> bool> Searcher<'_, F> {
+    /// Returns `Ok(true)` if enumeration was stopped by the callback.
+    fn solve(&mut self, remaining: &mut Vec<usize>) -> Result<bool, HomError> {
+        let Some(slot) = self.pick(remaining) else {
+            // All facts covered: report the homomorphism.
+            let sub: Substitution = self
+                .var_nulls
+                .iter()
+                .zip(&self.vals)
+                .map(|(&n, v)| (n, v.expect("all variables bound when all facts covered")))
+                .collect();
+            self.stats.found += 1;
+            return Ok(!(self.on_found)(&sub));
+        };
+        let fact_idx = remaining.swap_remove(slot);
+        let rows = self.candidate_rows(fact_idx);
+        let stopped = self.try_rows(fact_idx, rows, remaining)?;
+        remaining.push(fact_idx);
+        let last = remaining.len() - 1;
+        remaining.swap(slot, last);
+        Ok(stopped)
+    }
+
+    fn try_rows(&mut self, fact_idx: usize, rows: Rows, remaining: &mut Vec<usize>) -> Result<bool, HomError> {
+        let n_rows = match &rows {
+            Rows::All(n) => *n,
+            Rows::Some(v) => v.len(),
+        };
+        for i in 0..n_rows {
+            let row = match &rows {
+                Rows::All(_) => i as u32,
+                Rows::Some(v) => v[i],
+            };
+            self.stats.nodes += 1;
+            if let Some(budget) = self.config.node_budget {
+                if self.stats.nodes > budget {
+                    return Err(HomError::NodeBudgetExhausted { budget });
+                }
+            }
+            let mut trail = Vec::new();
+            if self.unify(fact_idx, row, &mut trail) {
+                let stopped = self.solve(remaining)?;
+                for v in trail {
+                    self.vals[v as usize] = None;
+                }
+                if stopped {
+                    return Ok(true);
+                }
+            } else {
+                self.stats.backtracks += 1;
+                for v in trail {
+                    self.vals[v as usize] = None;
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Pick the next remaining fact (slot index into `remaining`).
+    fn pick(&self, remaining: &[usize]) -> Option<usize> {
+        if remaining.is_empty() {
+            return None;
+        }
+        if !self.config.dynamic_order {
+            return Some(remaining.len() - 1);
+        }
+        let mut best_slot = 0;
+        let mut best_cost = u64::MAX;
+        for (slot, &fi) in remaining.iter().enumerate() {
+            let cost = self.estimate(fi);
+            if cost < best_cost {
+                best_cost = cost;
+                best_slot = slot;
+                if cost == 0 {
+                    break;
+                }
+            }
+        }
+        Some(best_slot)
+    }
+
+    /// Cheap upper bound on the number of candidate rows for a fact.
+    fn estimate(&self, fact_idx: usize) -> u64 {
+        let f = &self.facts[fact_idx];
+        let mut best = f.rel_data.len() as u64;
+        for (col, arg) in f.args.iter().enumerate() {
+            if let Some(v) = self.arg_value(*arg) {
+                let n = f.rel_data.rows_with(col, v).len() as u64;
+                best = best.min(n);
+            }
+        }
+        best
+    }
+
+    fn arg_value(&self, arg: PArg) -> Option<Value> {
+        match arg {
+            PArg::Fixed(v) => Some(v),
+            PArg::Var(x) => self.vals[x as usize],
+        }
+    }
+
+    /// Candidate target rows for a fact under the current assignment.
+    fn candidate_rows(&self, fact_idx: usize) -> Rows {
+        let f = &self.facts[fact_idx];
+        if self.config.use_index {
+            let mut best: Option<&[u32]> = None;
+            for (col, arg) in f.args.iter().enumerate() {
+                if let Some(v) = self.arg_value(*arg) {
+                    let rows = f.rel_data.rows_with(col, v);
+                    if best.is_none_or(|b| rows.len() < b.len()) {
+                        best = Some(rows);
+                    }
+                }
+            }
+            if let Some(rows) = best {
+                return Rows::Some(rows.to_vec());
+            }
+        }
+        Rows::All(f.rel_data.len())
+    }
+
+    /// Try to map fact `fact_idx` onto target row `row`, binding
+    /// variables as needed; `trail` records the bindings for undo.
+    fn unify(&mut self, fact_idx: usize, row: u32, trail: &mut Vec<u32>) -> bool {
+        let f = &self.facts[fact_idx];
+        let tuple = f.rel_data.tuple(row);
+        for (arg, &tv) in f.args.iter().zip(tuple) {
+            match *arg {
+                PArg::Fixed(v) => {
+                    if v != tv {
+                        return false;
+                    }
+                }
+                PArg::Var(x) => match self.vals[x as usize] {
+                    Some(v) => {
+                        if v != tv {
+                            return false;
+                        }
+                    }
+                    None => {
+                        self.vals[x as usize] = Some(tv);
+                        trail.push(x);
+                    }
+                },
+            }
+        }
+        true
+    }
+}
+
+enum Rows {
+    /// All rows `0..n` of the relation.
+    All(usize),
+    /// An explicit row list from a posting-list lookup.
+    Some(Vec<u32>),
+}
+
+/// Enumerate homomorphisms from `source` to `target`, invoking `on_found`
+/// for each; the callback returns `false` to stop early. `seed` pre-binds
+/// source nulls (bindings to values *not necessarily in the target's
+/// active domain* are permitted only if those nulls appear in no source
+/// fact; otherwise unification simply fails).
+///
+/// Returns the search statistics.
+pub fn for_each_hom(
+    source: &Instance,
+    target: &Instance,
+    seed: &Substitution,
+    config: &HomConfig,
+    on_found: impl FnMut(&Substitution) -> bool,
+) -> Result<HomStats, HomError> {
+    let mut var_ids: FxHashMap<NullId, u32> = FxHashMap::default();
+    let mut var_nulls: Vec<NullId> = Vec::new();
+    let mut facts: Vec<PatternFact<'_>> = Vec::new();
+    static EMPTY: std::sync::OnceLock<RelationData> = std::sync::OnceLock::new();
+    let empty = EMPTY.get_or_init(RelationData::default);
+
+    for (rel, data) in source.relations() {
+        let rel_data = target.relation(rel).unwrap_or(empty);
+        for tuple in data.tuples() {
+            let args = tuple
+                .iter()
+                .map(|&v| match v {
+                    Value::Const(_) => PArg::Fixed(v),
+                    Value::Null(n) => {
+                        let next = var_nulls.len() as u32;
+                        let idx = *var_ids.entry(n).or_insert_with(|| {
+                            var_nulls.push(n);
+                            next
+                        });
+                        PArg::Var(idx)
+                    }
+                })
+                .collect();
+            facts.push(PatternFact { rel_data, args });
+        }
+    }
+
+    let mut vals: Vec<Option<Value>> = vec![None; var_nulls.len()];
+    for (n, v) in seed.iter() {
+        if let Some(&idx) = var_ids.get(&n) {
+            vals[idx as usize] = Some(v);
+        }
+    }
+
+    let mut searcher = Searcher { facts, vals, var_nulls, config, stats: HomStats::default(), on_found };
+    let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
+    searcher.solve(&mut remaining)?;
+    Ok(searcher.stats)
+}
+
+/// Find one homomorphism `source → target`, if any (complete search).
+pub fn find_hom(source: &Instance, target: &Instance) -> Option<Substitution> {
+    find_hom_seeded(source, target, &Substitution::new())
+}
+
+/// Find one homomorphism extending `seed`, if any (complete search).
+pub fn find_hom_seeded(source: &Instance, target: &Instance, seed: &Substitution) -> Option<Substitution> {
+    let mut result = None;
+    for_each_hom(source, target, seed, &HomConfig::default(), |sub| {
+        result = Some(sub.clone());
+        false
+    })
+    .expect("unbounded search cannot exhaust a budget");
+    result
+}
+
+/// Decide `source → target` (Definition 3.1's relation).
+pub fn exists_hom(source: &Instance, target: &Instance) -> bool {
+    find_hom(source, target).is_some()
+}
+
+/// Count all homomorphisms from `source` to `target`.
+///
+/// The count is exponential in the worst case; intended for tests and
+/// small instances.
+pub fn count_homs(source: &Instance, target: &Instance) -> u64 {
+    let stats = for_each_hom(source, target, &Substitution::new(), &HomConfig::default(), |_| true)
+        .expect("unbounded search cannot exhaust a budget");
+    stats.found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_model::{Fact, RelId};
+
+    fn c(i: u32) -> Value {
+        Value::Const(rde_model::ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+    fn inst(facts: &[(u32, &[Value])]) -> Instance {
+        facts.iter().map(|(r, args)| Fact::new(RelId(*r), args.to_vec())).collect()
+    }
+
+    #[test]
+    fn empty_source_maps_anywhere() {
+        let empty = Instance::new();
+        let target = inst(&[(0, &[c(0)])]);
+        assert!(exists_hom(&empty, &target));
+        assert!(exists_hom(&empty, &empty));
+    }
+
+    #[test]
+    fn nonempty_source_needs_matching_relation() {
+        let source = inst(&[(0, &[n(0)])]);
+        let target = inst(&[(1, &[c(0)])]);
+        assert!(!exists_hom(&source, &target));
+    }
+
+    #[test]
+    fn constants_are_fixed() {
+        let source = inst(&[(0, &[c(0)])]);
+        let target = inst(&[(0, &[c(1)])]);
+        assert!(!exists_hom(&source, &target));
+        assert!(exists_hom(&source, &inst(&[(0, &[c(0)]), (0, &[c(1)])])));
+    }
+
+    #[test]
+    fn nulls_map_to_constants_or_nulls() {
+        let source = inst(&[(0, &[n(0), n(1)])]);
+        let target = inst(&[(0, &[c(0), n(5)])]);
+        let h = find_hom(&source, &target).unwrap();
+        assert_eq!(h.apply(n(0)), c(0));
+        assert_eq!(h.apply(n(1)), n(5));
+    }
+
+    #[test]
+    fn shared_nulls_must_agree() {
+        // P(x, x) cannot map into P(a, b).
+        let source = inst(&[(0, &[n(0), n(0)])]);
+        assert!(!exists_hom(&source, &inst(&[(0, &[c(0), c(1)])])));
+        assert!(exists_hom(&source, &inst(&[(0, &[c(0), c(0)])])));
+    }
+
+    #[test]
+    fn paths_fold_into_shorter_paths() {
+        // Path of nulls x→y→z maps onto edge a→b by folding.
+        let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(2)])]);
+        let target = inst(&[(0, &[c(0), c(1)]), (0, &[c(1), c(0)])]);
+        assert!(exists_hom(&source, &target));
+        // ...but not into a single non-loop edge.
+        let single = inst(&[(0, &[c(0), c(1)])]);
+        assert!(!exists_hom(&source, &single));
+        // A loop absorbs everything.
+        let loop_ = inst(&[(0, &[c(0), c(0)])]);
+        assert!(exists_hom(&source, &loop_));
+    }
+
+    #[test]
+    fn ground_source_hom_iff_subset() {
+        // For ground I₁: I₁ → I₂ iff I₁ ⊆ I₂ (paper, Section 1).
+        let i1 = inst(&[(0, &[c(0), c(1)]), (1, &[c(2)])]);
+        let i2 = inst(&[(0, &[c(0), c(1)]), (1, &[c(2)]), (1, &[c(3)])]);
+        assert!(exists_hom(&i1, &i2));
+        assert!(i1.is_subset_of(&i2));
+        let i3 = inst(&[(0, &[c(0), c(1)])]);
+        assert!(!exists_hom(&i1, &i3));
+        assert!(!i1.is_subset_of(&i3));
+    }
+
+    #[test]
+    fn cross_fact_consistency() {
+        // P(x), Q(x) needs a value in both unary relations.
+        let source = inst(&[(0, &[n(0)]), (1, &[n(0)])]);
+        let t1 = inst(&[(0, &[c(0)]), (1, &[c(1)])]);
+        assert!(!exists_hom(&source, &t1));
+        let t2 = inst(&[(0, &[c(0)]), (1, &[c(0)])]);
+        assert!(exists_hom(&source, &t2));
+    }
+
+    #[test]
+    fn seeded_search_respects_seed() {
+        let source = inst(&[(0, &[n(0)])]);
+        let target = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
+        let mut seed = Substitution::new();
+        seed.bind(NullId(0), c(1));
+        let h = find_hom_seeded(&source, &target, &seed).unwrap();
+        assert_eq!(h.apply(n(0)), c(1));
+        seed.bind(NullId(0), c(7)); // not in target
+        assert!(find_hom_seeded(&source, &target, &seed).is_none());
+    }
+
+    #[test]
+    fn hom_composition_witnesses_transitivity() {
+        let a = inst(&[(0, &[n(0), n(1)])]);
+        let b = inst(&[(0, &[n(2), c(0)])]);
+        let c_ = inst(&[(0, &[c(1), c(0)])]);
+        let h1 = find_hom(&a, &b).unwrap();
+        let h2 = find_hom(&b, &c_).unwrap();
+        let composed = h1.then(&h2);
+        assert_eq!(composed.apply_instance(&a), c_);
+    }
+
+    #[test]
+    fn counting_homs() {
+        // P(x) into {P(a), P(b)}: two homs.
+        let source = inst(&[(0, &[n(0)])]);
+        let target = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
+        assert_eq!(count_homs(&source, &target), 2);
+        // P(x), P(y) into the same: four homs.
+        let source2 = inst(&[(0, &[n(0)]), (0, &[n(1)])]);
+        assert_eq!(count_homs(&source2, &target), 4);
+        // Identity on the empty instance: exactly one (the empty hom).
+        assert_eq!(count_homs(&Instance::new(), &Instance::new()), 1);
+    }
+
+    #[test]
+    fn node_budget_is_enforced() {
+        // A mismatch that requires search: k² attempts for a miss.
+        let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(0)]), (1, &[n(0)])]);
+        let target = inst(&[
+            (0, &[c(0), c(1)]),
+            (0, &[c(1), c(2)]),
+            (0, &[c(2), c(0)]),
+            (1, &[c(9)]),
+        ]);
+        let cfg = HomConfig { node_budget: Some(0), ..HomConfig::default() };
+        let err = for_each_hom(&source, &target, &Substitution::new(), &cfg, |_| true).unwrap_err();
+        assert_eq!(err, HomError::NodeBudgetExhausted { budget: 0 });
+    }
+
+    #[test]
+    fn naive_config_agrees_with_optimized() {
+        // Same decision with all optimizations off.
+        let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(2)]), (1, &[n(2)])]);
+        let yes = inst(&[(0, &[c(0), c(1)]), (0, &[c(1), c(2)]), (1, &[c(2)])]);
+        let no = inst(&[(0, &[c(0), c(1)]), (1, &[c(0)])]);
+        let naive = HomConfig { use_index: false, dynamic_order: false, node_budget: None };
+        for (target, expected) in [(&yes, true), (&no, false)] {
+            let mut found = false;
+            for_each_hom(source_ref(&source), target, &Substitution::new(), &naive, |_| {
+                found = true;
+                false
+            })
+            .unwrap();
+            assert_eq!(found, expected);
+        }
+        fn source_ref(i: &Instance) -> &Instance {
+            i
+        }
+    }
+
+    #[test]
+    fn stats_reflect_work() {
+        let source = inst(&[(0, &[n(0)])]);
+        let target = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
+        let stats =
+            for_each_hom(&source, &target, &Substitution::new(), &HomConfig::default(), |_| true).unwrap();
+        assert_eq!(stats.found, 2);
+        assert!(stats.nodes >= 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Vocabulary-aware rendering of values, facts and instances.
+//!
+//! The renderings round-trip through [`crate::parse`]: for any instance
+//! `I`, `parse_instance(&render(I))` rebuilds `I` (up to null identity for
+//! anonymous nulls, which are printed as `?n<id>` and re-interned by
+//! name).
+
+use std::fmt;
+
+use crate::fact::Fact;
+use crate::instance::Instance;
+use crate::value::Value;
+use crate::vocab::Vocabulary;
+
+/// Displays a [`Value`] with its vocabulary name.
+pub struct ValueDisplay<'a> {
+    vocab: &'a Vocabulary,
+    value: Value,
+}
+
+impl fmt::Display for ValueDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.vocab.value_name(self.value))
+    }
+}
+
+/// Displays a [`Fact`] as `R(v₁, …, vₖ)`.
+pub struct FactDisplay<'a> {
+    vocab: &'a Vocabulary,
+    fact: &'a Fact,
+}
+
+impl fmt::Display for FactDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.vocab.relation_name(self.fact.relation()))?;
+        for (i, &v) in self.fact.args().iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(&self.vocab.value_name(v))?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Displays an [`Instance`] as one fact per line, in canonical order.
+pub struct InstanceDisplay<'a> {
+    vocab: &'a Vocabulary,
+    instance: &'a Instance,
+}
+
+impl fmt::Display for InstanceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fact in self.instance.canonical_facts() {
+            writeln!(f, "{}", FactDisplay { vocab: self.vocab, fact: &fact })?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a value.
+pub fn value<'a>(vocab: &'a Vocabulary, v: Value) -> ValueDisplay<'a> {
+    ValueDisplay { vocab, value: v }
+}
+
+/// Render a fact.
+pub fn fact<'a>(vocab: &'a Vocabulary, fact: &'a Fact) -> FactDisplay<'a> {
+    FactDisplay { vocab, fact }
+}
+
+/// Render an instance (one fact per line, canonical order).
+pub fn instance<'a>(vocab: &'a Vocabulary, instance: &'a Instance) -> InstanceDisplay<'a> {
+    InstanceDisplay { vocab, instance }
+}
+
+/// Render an instance inline as `{f₁, f₂, …}` — convenient for messages.
+pub fn instance_inline(vocab: &Vocabulary, inst: &Instance) -> String {
+    let mut out = String::from("{");
+    for (i, f) in inst.canonical_facts().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&fact(vocab, f).to_string());
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn renders_facts_and_instances() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2), ("Q", 1)]).unwrap();
+        let p = s.relations()[0];
+        let q = s.relations()[1];
+        let a = v.const_value("a");
+        let x = v.null_value("x");
+        let f1 = Fact::new(p, vec![a, x]);
+        let f2 = Fact::new(q, vec![a]);
+        assert_eq!(fact(&v, &f1).to_string(), "P(a, ?x)");
+        let mut i = Instance::new();
+        i.insert(f1);
+        i.insert(f2);
+        let text = instance(&v, &i).to_string();
+        assert!(text.contains("P(a, ?x)"));
+        assert!(text.contains("Q(a)"));
+        assert_eq!(instance_inline(&v, &i), "{P(a, ?x), Q(a)}");
+    }
+
+    #[test]
+    fn anonymous_nulls_render_by_id() {
+        let mut v = Vocabulary::new();
+        let n = v.fresh_null();
+        assert_eq!(value(&v, Value::Null(n)).to_string(), format!("?n{}", n.0));
+    }
+
+    #[test]
+    fn empty_instance_renders_empty() {
+        let v = Vocabulary::new();
+        let i = Instance::new();
+        assert_eq!(instance(&v, &i).to_string(), "");
+        assert_eq!(instance_inline(&v, &i), "{}");
+    }
+}

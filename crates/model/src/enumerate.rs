@@ -1,0 +1,252 @@
+//! Bounded enumeration of facts and instances.
+//!
+//! Several of the paper's notions quantify over *all* instances (the
+//! homomorphism property of Definition 3.12, the information loss of
+//! Definition 4.5, the maximum-extended-recovery condition of Definition
+//! 4.4). On a finite value pool and fact budget these quantifications
+//! become exact finite checks; this module provides the enumerators the
+//! checkers in `rde-core` are built on. Callers are responsible for
+//! choosing pools small enough to be tractable — [`instance_count`] lets
+//! them predict the cost.
+
+use crate::fact::Fact;
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::vocab::Vocabulary;
+use crate::ModelError;
+
+/// All tuples of the given arity over `values`, in lexicographic pool
+/// order. Arity 0 yields the single empty tuple.
+pub fn all_tuples(arity: usize, values: &[Value]) -> Vec<Box<[Value]>> {
+    let mut out = Vec::new();
+    if arity == 0 {
+        out.push(Vec::new().into_boxed_slice());
+        return out;
+    }
+    if values.is_empty() {
+        return out;
+    }
+    let mut idx = vec![0usize; arity];
+    loop {
+        out.push(idx.iter().map(|&i| values[i]).collect());
+        // Odometer increment.
+        let mut pos = arity;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < values.len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+/// All facts over `schema` with arguments from `values`, grouped by
+/// relation in schema order.
+pub fn all_facts(vocab: &Vocabulary, schema: &Schema, values: &[Value]) -> Vec<Fact> {
+    let mut out = Vec::new();
+    for &rel in schema.relations() {
+        for t in all_tuples(vocab.arity(rel), values) {
+            out.push(Fact::new(rel, t));
+        }
+    }
+    out
+}
+
+/// Number of instances with at most `max_facts` facts drawn from a pool
+/// of `pool` candidate facts: `Σ_{k≤max} C(pool, k)`.
+pub fn instance_count(pool: usize, max_facts: usize) -> u128 {
+    let mut total: u128 = 0;
+    for k in 0..=max_facts.min(pool) {
+        total = total.saturating_add(binomial(pool, k));
+    }
+    total
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut num: u128 = 1;
+    for i in 0..k {
+        num = num.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    num
+}
+
+/// Iterator over all instances whose facts are subsets of a fixed fact
+/// pool, of size at most `max_facts`, smallest first. The empty instance
+/// is always yielded first.
+pub struct InstanceEnumerator {
+    pool: Vec<Fact>,
+    max_facts: usize,
+    /// Current combination size and selected indices; `None` before start.
+    state: Option<(usize, Vec<usize>)>,
+    done: bool,
+}
+
+impl InstanceEnumerator {
+    /// Enumerate instances over `schema` with values from `values` and at
+    /// most `max_facts` facts.
+    pub fn new(
+        vocab: &Vocabulary,
+        schema: &Schema,
+        values: &[Value],
+        max_facts: usize,
+    ) -> Result<Self, ModelError> {
+        if schema.is_empty() && max_facts > 0 {
+            return Err(ModelError::InvalidRequest("cannot enumerate facts over an empty schema".into()));
+        }
+        Ok(Self::from_pool(all_facts(vocab, schema, values), max_facts))
+    }
+
+    /// Enumerate subsets (≤ `max_facts`) of an explicit fact pool.
+    pub fn from_pool(pool: Vec<Fact>, max_facts: usize) -> Self {
+        InstanceEnumerator { pool, max_facts, state: None, done: false }
+    }
+
+    /// Total number of instances this enumerator will yield.
+    pub fn total(&self) -> u128 {
+        instance_count(self.pool.len(), self.max_facts)
+    }
+
+    fn advance(&mut self) -> bool {
+        match &mut self.state {
+            None => {
+                self.state = Some((0, Vec::new()));
+                true
+            }
+            Some((k, idx)) => {
+                // Next combination of size k; if exhausted, move to k+1.
+                let n = self.pool.len();
+                if next_combination(idx, n) {
+                    return true;
+                }
+                *k += 1;
+                if *k > self.max_facts || *k > n {
+                    return false;
+                }
+                *idx = (0..*k).collect();
+                true
+            }
+        }
+    }
+}
+
+/// Advance `idx` to the next same-size combination over `0..n`.
+fn next_combination(idx: &mut [usize], n: usize) -> bool {
+    let k = idx.len();
+    if k == 0 {
+        return false;
+    }
+    let mut i = k;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if idx[i] < n - (k - i) {
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+}
+
+impl Iterator for InstanceEnumerator {
+    type Item = Instance;
+
+    fn next(&mut self) -> Option<Instance> {
+        if self.done {
+            return None;
+        }
+        if !self.advance() {
+            self.done = true;
+            return None;
+        }
+        let (_, idx) = self.state.as_ref().expect("state set by advance");
+        Some(idx.iter().map(|&i| self.pool[i].clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ConstId;
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+
+    #[test]
+    fn tuples_cover_the_cartesian_power() {
+        let vs = [c(0), c(1), c(2)];
+        assert_eq!(all_tuples(0, &vs).len(), 1);
+        assert_eq!(all_tuples(1, &vs).len(), 3);
+        assert_eq!(all_tuples(2, &vs).len(), 9);
+        assert_eq!(all_tuples(3, &vs).len(), 27);
+        // No duplicates.
+        let ts = all_tuples(2, &vs);
+        let set: std::collections::HashSet<_> = ts.iter().collect();
+        assert_eq!(set.len(), ts.len());
+    }
+
+    #[test]
+    fn tuples_over_empty_pool() {
+        assert_eq!(all_tuples(2, &[]).len(), 0);
+        assert_eq!(all_tuples(0, &[]).len(), 1);
+    }
+
+    #[test]
+    fn fact_pool_respects_arities() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2), ("Q", 1)]).unwrap();
+        let pool = all_facts(&v, &s, &[c(0), c(1)]);
+        assert_eq!(pool.len(), 4 + 2);
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 1), ("Q", 1)]).unwrap();
+        let vals = [c(0), c(1)];
+        for max in 0..=4 {
+            let e = InstanceEnumerator::new(&v, &s, &vals, max).unwrap();
+            let predicted = e.total();
+            let actual = e.count() as u128;
+            assert_eq!(predicted, actual, "max_facts = {max}");
+        }
+        // Pool of 4 facts, all subsets: 2^4.
+        let e = InstanceEnumerator::new(&v, &s, &vals, 4).unwrap();
+        assert_eq!(e.total(), 16);
+    }
+
+    #[test]
+    fn enumeration_is_duplicate_free_and_starts_empty() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2)]).unwrap();
+        let vals = [c(0), c(1)];
+        let all: Vec<Instance> = InstanceEnumerator::new(&v, &s, &vals, 2).unwrap().collect();
+        assert!(all[0].is_empty());
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+        // C(4,0)+C(4,1)+C(4,2) = 1+4+6 = 11.
+        assert_eq!(all.len(), 11);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 1), 10);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(5, 9), 0);
+    }
+}

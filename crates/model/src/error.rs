@@ -1,0 +1,73 @@
+//! Error type for the model crate.
+
+use std::fmt;
+
+/// Errors raised while building vocabularies, schemas, facts or instances,
+/// or while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A relation symbol was interned twice with different arities.
+    ArityConflict {
+        /// Relation name.
+        name: String,
+        /// Arity recorded on first interning.
+        existing: usize,
+        /// Arity requested now.
+        requested: usize,
+    },
+    /// A fact's argument count does not match the relation's arity.
+    ArityMismatch {
+        /// Relation name (or id rendering when unnamed).
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        got: usize,
+    },
+    /// A relation symbol was referenced but never declared.
+    UnknownRelation(String),
+    /// Parse failure in the instance/value text format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of what went wrong.
+        message: String,
+    },
+    /// A bounded enumeration or generation request would be degenerate
+    /// (for example, an empty value pool with a positive fact budget).
+    InvalidRequest(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ArityConflict { name, existing, requested } => write!(
+                f,
+                "relation `{name}` already declared with arity {existing}, cannot redeclare with arity {requested}"
+            ),
+            ModelError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "relation `{relation}` has arity {expected} but {got} argument(s) were supplied"
+            ),
+            ModelError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            ModelError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            ModelError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ModelError::ArityMismatch { relation: "P".into(), expected: 2, got: 3 };
+        assert!(e.to_string().contains("arity 2"));
+        assert!(e.to_string().contains('P'));
+        let e = ModelError::Parse { line: 7, message: "expected `)`".into() };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

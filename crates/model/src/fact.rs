@@ -1,0 +1,97 @@
+//! Facts: a relation symbol applied to a tuple of values.
+
+use crate::schema::RelId;
+use crate::value::Value;
+
+/// A fact `R(v₁, …, vₖ)`.
+///
+/// Arguments are stored in a boxed slice: two words per fact instead of
+/// three, and facts are immutable once built (set semantics — there is no
+/// in-place update of a tuple, only insertion and removal on
+/// [`crate::Instance`]).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fact {
+    rel: RelId,
+    args: Box<[Value]>,
+}
+
+impl Fact {
+    /// Build a fact. Arity is validated at the [`crate::Instance`] level,
+    /// where the vocabulary is available.
+    pub fn new(rel: RelId, args: impl Into<Box<[Value]>>) -> Self {
+        Fact { rel, args: args.into() }
+    }
+
+    /// The relation symbol.
+    #[inline]
+    pub fn relation(&self) -> RelId {
+        self.rel
+    }
+
+    /// The argument tuple.
+    #[inline]
+    pub fn args(&self) -> &[Value] {
+        &self.args
+    }
+
+    /// Number of arguments.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Does any argument contain a null?
+    pub fn has_null(&self) -> bool {
+        self.args.iter().any(|v| v.is_null())
+    }
+
+    /// Apply a value mapping to every argument, producing a new fact.
+    pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Fact {
+        Fact { rel: self.rel, args: self.args.iter().map(|&v| f(v)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ConstId, NullId};
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    #[test]
+    fn accessors() {
+        let f = Fact::new(RelId(3), vec![c(0), n(1)]);
+        assert_eq!(f.relation(), RelId(3));
+        assert_eq!(f.args(), &[c(0), n(1)]);
+        assert_eq!(f.arity(), 2);
+        assert!(f.has_null());
+        assert!(!Fact::new(RelId(3), vec![c(0), c(1)]).has_null());
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Fact::new(RelId(0), vec![c(1)]), Fact::new(RelId(0), vec![c(1)]));
+        assert_ne!(Fact::new(RelId(0), vec![c(1)]), Fact::new(RelId(1), vec![c(1)]));
+        assert_ne!(Fact::new(RelId(0), vec![c(1)]), Fact::new(RelId(0), vec![n(1)]));
+    }
+
+    #[test]
+    fn map_values_substitutes_nulls() {
+        let f = Fact::new(RelId(0), vec![n(0), c(7), n(1)]);
+        let g = f.map_values(|v| if v == n(0) { c(9) } else { v });
+        assert_eq!(g.args(), &[c(9), c(7), n(1)]);
+        assert_eq!(g.relation(), RelId(0));
+    }
+
+    #[test]
+    fn zero_arity_facts_are_allowed() {
+        let f = Fact::new(RelId(0), Vec::<Value>::new());
+        assert_eq!(f.arity(), 0);
+        assert!(!f.has_null());
+    }
+}

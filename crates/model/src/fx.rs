@@ -1,0 +1,115 @@
+//! A fast, non-cryptographic hasher in the style of `rustc-hash`'s
+//! `FxHasher`, plus `HashMap`/`HashSet` aliases using it.
+//!
+//! Homomorphism search and chase premise matching hash small integer keys
+//! ([`crate::Value`], tuples of values) at very high rates; SipHash is a
+//! measurable bottleneck there. HashDoS resistance is irrelevant for an
+//! in-memory reasoning engine, so we trade it away, as the Rust
+//! performance guide recommends for integer-keyed tables.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative word hasher (the `FxHasher` algorithm used in rustc).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_differently_in_practice() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            seen.insert(h.finish());
+        }
+        // Not a guarantee in general, but any collision here would indicate
+        // a broken mixing step.
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"reverse data exchange"), hash(b"reverse data exchange"));
+        assert_ne!(hash(b"P(a,b)"), hash(b"P(b,a)"));
+    }
+
+    #[test]
+    fn unaligned_tails_are_hashed() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"123456789");
+        let mut h2 = FxHasher::default();
+        h2.write(b"123456788");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

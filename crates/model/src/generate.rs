@@ -1,0 +1,128 @@
+//! Random instance generation for property-based testing and benchmarks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::Fact;
+use crate::instance::Instance;
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::vocab::Vocabulary;
+use crate::ModelError;
+
+/// Configuration for [`random_instance`].
+#[derive(Debug, Clone)]
+pub struct RandomInstanceConfig {
+    /// Number of insertion attempts (the result may be smaller after
+    /// set-dedup).
+    pub facts: usize,
+    /// Constant pool to draw from.
+    pub constants: Vec<Value>,
+    /// Null pool to draw from.
+    pub nulls: Vec<Value>,
+    /// Probability that an argument position is a null (when both pools
+    /// are non-empty).
+    pub null_probability: f64,
+}
+
+impl RandomInstanceConfig {
+    /// A config with `facts` attempts over `n_consts` constants
+    /// (`k0..k{n}`) and `n_nulls` named nulls, interned into `vocab`.
+    pub fn with_pools(vocab: &mut Vocabulary, facts: usize, n_consts: usize, n_nulls: usize, null_probability: f64) -> Self {
+        let constants = (0..n_consts).map(|i| vocab.const_value(&format!("k{i}"))).collect();
+        let nulls = (0..n_nulls).map(|i| vocab.null_value(&format!("v{i}"))).collect();
+        RandomInstanceConfig { facts, constants, nulls, null_probability }
+    }
+}
+
+/// Generate a random instance over `schema`.
+///
+/// Each attempt picks a relation uniformly and fills each argument with a
+/// null (probability `null_probability`) or a constant, uniformly from
+/// the respective pool. Deterministic given the RNG seed.
+pub fn random_instance<R: Rng>(
+    rng: &mut R,
+    vocab: &Vocabulary,
+    schema: &Schema,
+    config: &RandomInstanceConfig,
+) -> Result<Instance, ModelError> {
+    if schema.is_empty() && config.facts > 0 {
+        return Err(ModelError::InvalidRequest("cannot generate facts over an empty schema".into()));
+    }
+    if config.constants.is_empty() && config.nulls.is_empty() && config.facts > 0 {
+        // Only possible if every relation has arity 0; check.
+        let all_nullary = schema.relations().iter().all(|&r| vocab.arity(r) == 0);
+        if !all_nullary {
+            return Err(ModelError::InvalidRequest("empty value pools with positive-arity relations".into()));
+        }
+    }
+    let mut inst = Instance::new();
+    for _ in 0..config.facts {
+        let &rel = schema.relations().choose(rng).expect("non-empty schema");
+        let arity = vocab.arity(rel);
+        let mut args = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let use_null = if config.nulls.is_empty() {
+                false
+            } else if config.constants.is_empty() {
+                true
+            } else {
+                rng.gen_bool(config.null_probability)
+            };
+            let pool = if use_null { &config.nulls } else { &config.constants };
+            args.push(*pool.choose(rng).expect("non-empty pool"));
+        }
+        inst.insert(Fact::new(rel, args));
+    }
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2), ("Q", 1)]).unwrap();
+        let cfg = RandomInstanceConfig::with_pools(&mut v, 30, 4, 3, 0.4);
+        let a = random_instance(&mut SmallRng::seed_from_u64(7), &v, &s, &cfg).unwrap();
+        let b = random_instance(&mut SmallRng::seed_from_u64(7), &v, &s, &cfg).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn null_probability_extremes() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2)]).unwrap();
+        let mut cfg = RandomInstanceConfig::with_pools(&mut v, 20, 3, 3, 0.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ground = random_instance(&mut rng, &v, &s, &cfg).unwrap();
+        assert!(ground.is_ground());
+        cfg.null_probability = 1.0;
+        let nully = random_instance(&mut rng, &v, &s, &cfg).unwrap();
+        assert!(nully.facts().all(|f| f.has_null()));
+    }
+
+    #[test]
+    fn empty_pools_are_rejected_for_positive_arity() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 1)]).unwrap();
+        let cfg = RandomInstanceConfig { facts: 3, constants: vec![], nulls: vec![], null_probability: 0.5 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(random_instance(&mut rng, &v, &s, &cfg).is_err());
+    }
+
+    #[test]
+    fn nullary_relations_work_with_empty_pools() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("Flag", 0)]).unwrap();
+        let cfg = RandomInstanceConfig { facts: 3, constants: vec![], nulls: vec![], null_probability: 0.5 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let i = random_instance(&mut rng, &v, &s, &cfg).unwrap();
+        assert_eq!(i.len(), 1); // dedup of the single nullary fact
+    }
+}

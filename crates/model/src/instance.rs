@@ -1,0 +1,463 @@
+//! Instances: deduplicated, column-indexed fact sets.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::fact::Fact;
+use crate::fx::{FxHashMap, FxHashSet, FxHasher};
+use crate::schema::{RelId, Schema};
+use crate::value::Value;
+use crate::vocab::Vocabulary;
+use crate::ModelError;
+
+/// The tuples of one relation, with per-column posting lists.
+///
+/// Tuples are kept in insertion order (deterministic iteration) and
+/// deduplicated through a hash map (set semantics, as in the paper). Each
+/// column maintains an index `value → row ids`, which makes homomorphism
+/// search and chase premise matching sub-linear: a partially bound atom is
+/// matched by intersecting the posting lists of its bound columns.
+#[derive(Debug, Clone, Default)]
+pub struct RelationData {
+    tuples: Vec<Box<[Value]>>,
+    dedup: FxHashMap<Box<[Value]>, u32>,
+    /// `index[col][value]` = sorted row ids with `value` in column `col`.
+    index: Vec<FxHashMap<Value, Vec<u32>>>,
+}
+
+impl RelationData {
+    fn new(arity: usize) -> Self {
+        RelationData { tuples: Vec::new(), dedup: FxHashMap::default(), index: vec![FxHashMap::default(); arity] }
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> impl ExactSizeIterator<Item = &[Value]> {
+        self.tuples.iter().map(|t| &**t)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Row ids whose column `col` holds `value` (empty slice if none,
+    /// including on an empty relation that has no column indexes yet).
+    pub fn rows_with(&self, col: usize, value: Value) -> &[u32] {
+        self.index.get(col).and_then(|m| m.get(&value)).map_or(&[], |v| &v[..])
+    }
+
+    /// The tuple at a row id returned by [`Self::rows_with`].
+    pub fn tuple(&self, row: u32) -> &[Value] {
+        &self.tuples[row as usize]
+    }
+
+    /// Does the relation contain this exact tuple?
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.dedup.contains_key(tuple)
+    }
+
+    fn insert(&mut self, tuple: Box<[Value]>) -> bool {
+        if self.dedup.contains_key(&tuple) {
+            return false;
+        }
+        let row = u32::try_from(self.tuples.len()).expect("relation too large");
+        for (col, &v) in tuple.iter().enumerate() {
+            self.index[col].entry(v).or_default().push(row);
+        }
+        self.dedup.insert(tuple.clone(), row);
+        self.tuples.push(tuple);
+        true
+    }
+}
+
+/// An instance: for each relation symbol, a finite set of tuples over
+/// `Const ∪ Var` (Section 2 of the paper).
+///
+/// Instances are schema-agnostic fact sets — the relation ids tie them to
+/// a [`Vocabulary`]; use [`Instance::conforms_to`] to check membership in
+/// a particular [`Schema`]. Relations are kept in a `BTreeMap` so that all
+/// iteration is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    relations: BTreeMap<RelId, RelationData>,
+    fact_count: usize,
+}
+
+impl Instance {
+    /// The empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build an instance from facts, validating arities against `vocab`.
+    pub fn from_facts(vocab: &Vocabulary, facts: impl IntoIterator<Item = Fact>) -> Result<Self, ModelError> {
+        let mut inst = Instance::new();
+        for f in facts {
+            inst.insert_checked(vocab, f)?;
+        }
+        Ok(inst)
+    }
+
+    /// Insert a fact after validating its arity against the vocabulary.
+    pub fn insert_checked(&mut self, vocab: &Vocabulary, fact: Fact) -> Result<bool, ModelError> {
+        let expected = vocab.arity(fact.relation());
+        if fact.arity() != expected {
+            return Err(ModelError::ArityMismatch {
+                relation: vocab.relation_name(fact.relation()).to_owned(),
+                expected,
+                got: fact.arity(),
+            });
+        }
+        Ok(self.insert(fact))
+    }
+
+    /// Insert a fact (no arity validation — for internal engine use where
+    /// facts are constructed from already-validated syntax).
+    ///
+    /// Returns `true` if the fact was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        let arity = fact.arity();
+        let data = self.relations.entry(fact.relation()).or_insert_with(|| RelationData::new(arity));
+        debug_assert_eq!(
+            data.index.len(),
+            arity,
+            "inconsistent arity for relation {:?}",
+            fact.relation()
+        );
+        let added = data.insert(fact.args().into());
+        if added {
+            self.fact_count += 1;
+        }
+        added
+    }
+
+    /// Does the instance contain this fact?
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.relations.get(&fact.relation()).is_some_and(|d| d.contains(fact.args()))
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.fact_count
+    }
+
+    /// Is the instance empty?
+    pub fn is_empty(&self) -> bool {
+        self.fact_count == 0
+    }
+
+    /// The relations that have at least one tuple, in id order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &RelationData)> {
+        self.relations.iter().filter(|(_, d)| !d.is_empty()).map(|(&r, d)| (r, d))
+    }
+
+    /// The data for one relation, if present.
+    pub fn relation(&self, rel: RelId) -> Option<&RelationData> {
+        self.relations.get(&rel).filter(|d| !d.is_empty())
+    }
+
+    /// Iterate over all facts, in (relation id, insertion) order.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations().flat_map(|(r, d)| d.tuples().map(move |t| Fact::new(r, t)))
+    }
+
+    /// All facts sorted structurally — a canonical listing for equality,
+    /// hashing and stable display.
+    pub fn canonical_facts(&self) -> Vec<Fact> {
+        let mut fs: Vec<Fact> = self.facts().collect();
+        fs.sort();
+        fs
+    }
+
+    /// The active domain: every value occurring in some fact (dedup'd,
+    /// deterministic order: constants first, then nulls, each sorted).
+    pub fn active_domain(&self) -> Vec<Value> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for (_, d) in self.relations() {
+            for t in d.tuples() {
+                for &v in t {
+                    if seen.insert(v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// The nulls occurring in the instance, sorted.
+    pub fn nulls(&self) -> Vec<crate::NullId> {
+        self.active_domain().into_iter().filter_map(Value::as_null).collect()
+    }
+
+    /// Is the instance ground (constants only)?
+    pub fn is_ground(&self) -> bool {
+        self.relations().all(|(_, d)| d.tuples().all(|t| t.iter().all(|v| v.is_const())))
+    }
+
+    /// Do all facts belong to relations of `schema`?
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.relations().all(|(r, _)| schema.contains(r))
+    }
+
+    /// The sub-instance of facts over `schema`'s relations.
+    pub fn restrict_to(&self, schema: &Schema) -> Instance {
+        let mut out = Instance::new();
+        for f in self.facts() {
+            if schema.contains(f.relation()) {
+                out.insert(f);
+            }
+        }
+        out
+    }
+
+    /// Apply a value mapping to every fact (e.g. a homomorphism or a
+    /// null-renaming), producing a new instance.
+    pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Instance {
+        let mut out = Instance::new();
+        for fact in self.facts() {
+            out.insert(fact.map_values(&mut f));
+        }
+        out
+    }
+
+    /// Set union of two instances.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for f in other.facts() {
+            out.insert(f);
+        }
+        out
+    }
+
+    /// Set intersection of two instances.
+    pub fn intersection(&self, other: &Instance) -> Instance {
+        self.facts().filter(|f| other.contains(f)).collect()
+    }
+
+    /// Set difference `self ∖ other`.
+    pub fn difference(&self, other: &Instance) -> Instance {
+        self.facts().filter(|f| !other.contains(f)).collect()
+    }
+
+    /// Is every fact of `self` a fact of `other`?
+    pub fn is_subset_of(&self, other: &Instance) -> bool {
+        self.facts().all(|f| other.contains(&f))
+    }
+
+    /// The instance with one fact removed (copy; instances are immutable
+    /// fact *sets* and the engines rely on persistent snapshots).
+    pub fn without_fact(&self, fact: &Fact) -> Instance {
+        let mut out = Instance::new();
+        for f in self.facts() {
+            if &f != fact {
+                out.insert(f);
+            }
+        }
+        out
+    }
+
+    /// The sub-instance of facts that do **not** mention any value in
+    /// `values` (used by core computation to drop a null's facts).
+    pub fn without_values(&self, values: &FxHashSet<Value>) -> Instance {
+        let mut out = Instance::new();
+        for f in self.facts() {
+            if !f.args().iter().any(|v| values.contains(v)) {
+                out.insert(f);
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for Instance {
+    /// Set equality of facts.
+    fn eq(&self, other: &Self) -> bool {
+        self.fact_count == other.fact_count && self.is_subset_of(other)
+    }
+}
+
+impl Eq for Instance {}
+
+impl Hash for Instance {
+    /// Order-independent hash (sum of per-fact hashes), consistent with
+    /// the set-equality `PartialEq`.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let mut acc: u64 = 0;
+        for f in self.facts() {
+            let mut h = FxHasher::default();
+            f.hash(&mut h);
+            acc = acc.wrapping_add(h.finish());
+        }
+        state.write_u64(acc);
+        state.write_usize(self.fact_count);
+    }
+}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        let mut inst = Instance::new();
+        for f in iter {
+            inst.insert(f);
+        }
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ConstId, NullId};
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+    fn fact(r: u32, args: &[Value]) -> Fact {
+        Fact::new(RelId(r), args.to_vec())
+    }
+
+    #[test]
+    fn insert_dedups_and_counts() {
+        let mut i = Instance::new();
+        assert!(i.insert(fact(0, &[c(0), c(1)])));
+        assert!(!i.insert(fact(0, &[c(0), c(1)])));
+        assert!(i.insert(fact(0, &[c(1), c(0)])));
+        assert_eq!(i.len(), 2);
+        assert!(i.contains(&fact(0, &[c(0), c(1)])));
+        assert!(!i.contains(&fact(1, &[c(0), c(1)])));
+    }
+
+    #[test]
+    fn checked_insert_validates_arity() {
+        let mut v = Vocabulary::new();
+        let p = v.relation("P", 2).unwrap();
+        let mut i = Instance::new();
+        assert!(i.insert_checked(&v, Fact::new(p, vec![c(0), c(1)])).unwrap());
+        let err = i.insert_checked(&v, Fact::new(p, vec![c(0)])).unwrap_err();
+        assert!(matches!(err, ModelError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn column_index_finds_rows() {
+        let mut i = Instance::new();
+        i.insert(fact(0, &[c(0), c(1)]));
+        i.insert(fact(0, &[c(0), c(2)]));
+        i.insert(fact(0, &[c(3), c(1)]));
+        let d = i.relation(RelId(0)).unwrap();
+        assert_eq!(d.rows_with(0, c(0)).len(), 2);
+        assert_eq!(d.rows_with(1, c(1)).len(), 2);
+        assert_eq!(d.rows_with(1, c(9)).len(), 0);
+        for &row in d.rows_with(0, c(0)) {
+            assert_eq!(d.tuple(row)[0], c(0));
+        }
+    }
+
+    #[test]
+    fn active_domain_and_groundness() {
+        let mut i = Instance::new();
+        i.insert(fact(0, &[c(0), n(0)]));
+        i.insert(fact(1, &[c(1)]));
+        assert_eq!(i.active_domain(), vec![c(0), c(1), n(0)]);
+        assert_eq!(i.nulls(), vec![NullId(0)]);
+        assert!(!i.is_ground());
+        assert!(i.without_fact(&fact(0, &[c(0), n(0)])).is_ground());
+    }
+
+    #[test]
+    fn set_equality_and_hash_ignore_insertion_order() {
+        use std::collections::hash_map::DefaultHasher;
+        let mut a = Instance::new();
+        a.insert(fact(0, &[c(0)]));
+        a.insert(fact(0, &[c(1)]));
+        let mut b = Instance::new();
+        b.insert(fact(0, &[c(1)]));
+        b.insert(fact(0, &[c(0)]));
+        assert_eq!(a, b);
+        let h = |i: &Instance| {
+            let mut s = DefaultHasher::new();
+            i.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&a), h(&b));
+        b.insert(fact(0, &[c(2)]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn union_subset_restrict() {
+        let mut a = Instance::new();
+        a.insert(fact(0, &[c(0)]));
+        let mut b = Instance::new();
+        b.insert(fact(1, &[c(1)]));
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+        let s = Schema::from_relations([RelId(0)]);
+        assert_eq!(u.restrict_to(&s), a);
+        assert!(a.conforms_to(&s));
+        assert!(!u.conforms_to(&s));
+    }
+
+    #[test]
+    fn intersection_and_difference() {
+        let a: Instance = vec![fact(0, &[c(0)]), fact(0, &[c(1)]), fact(1, &[c(2)])].into_iter().collect();
+        let b: Instance = vec![fact(0, &[c(1)]), fact(1, &[c(3)])].into_iter().collect();
+        let inter = a.intersection(&b);
+        assert_eq!(inter.len(), 1);
+        assert!(inter.contains(&fact(0, &[c(1)])));
+        let diff = a.difference(&b);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.contains(&fact(0, &[c(0)])) && diff.contains(&fact(1, &[c(2)])));
+        // Laws: A = (A ∩ B) ∪ (A ∖ B); A ∖ A = ∅.
+        assert_eq!(inter.union(&diff), a);
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn map_values_renames() {
+        let mut a = Instance::new();
+        a.insert(fact(0, &[n(0), n(1)]));
+        let b = a.map_values(|v| if v == n(0) { c(5) } else { v });
+        assert!(b.contains(&fact(0, &[c(5), n(1)])));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn map_values_can_collapse_facts() {
+        let mut a = Instance::new();
+        a.insert(fact(0, &[n(0)]));
+        a.insert(fact(0, &[n(1)]));
+        let b = a.map_values(|_| c(0));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn without_values_drops_incident_facts() {
+        let mut a = Instance::new();
+        a.insert(fact(0, &[n(0), c(0)]));
+        a.insert(fact(0, &[c(1), c(0)]));
+        let mut kill = FxHashSet::default();
+        kill.insert(n(0));
+        let b = a.without_values(&kill);
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&fact(0, &[c(1), c(0)])));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let i: Instance = vec![fact(0, &[c(0)]), fact(0, &[c(0)]), fact(1, &[c(1)])].into_iter().collect();
+        assert_eq!(i.len(), 2);
+    }
+}

@@ -1,0 +1,156 @@
+//! Schemas: finite sequences of relation symbols.
+
+use crate::vocab::Vocabulary;
+use crate::ModelError;
+
+/// Identifier of a relation symbol interned in a [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+/// A schema: an ordered set of relation symbols from a shared vocabulary.
+///
+/// The paper works with a fixed source schema `S` and target schema `T`
+/// (disjoint); the chase also works over the combined schema. A `Schema`
+/// is a lightweight view, so combining and replicating schemas is cheap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    relations: Vec<RelId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a schema by declaring `(name, arity)` pairs in `vocab`.
+    pub fn declare(vocab: &mut Vocabulary, decls: &[(&str, usize)]) -> Result<Self, ModelError> {
+        let mut relations = Vec::with_capacity(decls.len());
+        for &(name, arity) in decls {
+            let id = vocab.relation(name, arity)?;
+            if !relations.contains(&id) {
+                relations.push(id);
+            }
+        }
+        Ok(Schema { relations })
+    }
+
+    /// Build a schema from existing relation ids (dropping duplicates).
+    pub fn from_relations(relations: impl IntoIterator<Item = RelId>) -> Self {
+        let mut out = Vec::new();
+        for r in relations {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        Schema { relations: out }
+    }
+
+    /// Add a relation symbol to this schema (idempotent).
+    pub fn add(&mut self, rel: RelId) {
+        if !self.relations.contains(&rel) {
+            self.relations.push(rel);
+        }
+    }
+
+    /// The relation symbols, in declaration order.
+    pub fn relations(&self) -> &[RelId] {
+        &self.relations
+    }
+
+    /// Does the schema contain this relation symbol?
+    pub fn contains(&self, rel: RelId) -> bool {
+        self.relations.contains(&rel)
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The union `S ∪ T` of two schemas (used by the chase, which works
+    /// over instances of the combined schema).
+    pub fn union(&self, other: &Schema) -> Schema {
+        let mut out = self.clone();
+        for &r in &other.relations {
+            out.add(r);
+        }
+        out
+    }
+
+    /// Are the two schemas disjoint (no shared relation symbols)?
+    pub fn is_disjoint(&self, other: &Schema) -> bool {
+        self.relations.iter().all(|r| !other.contains(*r))
+    }
+
+    /// The replica schema `Ŝ` of Section 2: for every relation `R` of
+    /// this schema, interns `R̂` (spelled `<name><suffix>`) with the same
+    /// arity, and returns the schema of the replicas in the same order.
+    pub fn replica(&self, vocab: &mut Vocabulary, suffix: &str) -> Result<Schema, ModelError> {
+        let mut relations = Vec::with_capacity(self.relations.len());
+        for &r in &self.relations {
+            let name = format!("{}{}", vocab.relation_name(r), suffix);
+            let arity = vocab.arity(r);
+            relations.push(vocab.relation(&name, arity)?);
+        }
+        Ok(Schema { relations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_query() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2), ("Q", 1), ("P", 2)]).unwrap();
+        assert_eq!(s.len(), 2);
+        let p = v.find_relation("P").unwrap();
+        assert!(s.contains(p));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn declare_rejects_arity_conflicts() {
+        let mut v = Vocabulary::new();
+        let err = Schema::declare(&mut v, &[("P", 2), ("P", 3)]).unwrap_err();
+        assert!(matches!(err, ModelError::ArityConflict { .. }));
+    }
+
+    #[test]
+    fn union_and_disjointness() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2)]).unwrap();
+        let t = Schema::declare(&mut v, &[("Q", 2)]).unwrap();
+        assert!(s.is_disjoint(&t));
+        let u = s.union(&t);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_disjoint(&t));
+    }
+
+    #[test]
+    fn replica_schema_mirrors_arities() {
+        let mut v = Vocabulary::new();
+        let s = Schema::declare(&mut v, &[("P", 2), ("Q", 3)]).unwrap();
+        let hat = s.replica(&mut v, "_hat").unwrap();
+        assert_eq!(hat.len(), 2);
+        let p_hat = v.find_relation("P_hat").unwrap();
+        assert_eq!(v.arity(p_hat), 2);
+        assert!(s.is_disjoint(&hat));
+        // Replicating twice is idempotent on ids.
+        let hat2 = s.replica(&mut v, "_hat").unwrap();
+        assert_eq!(hat, hat2);
+    }
+
+    #[test]
+    fn from_relations_dedups() {
+        let s = Schema::from_relations([RelId(0), RelId(1), RelId(0)]);
+        assert_eq!(s.relations(), &[RelId(0), RelId(1)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Substitutions on nulls: the carriers of homomorphisms.
+
+use crate::fx::FxHashMap;
+use crate::instance::Instance;
+use crate::value::{NullId, Value};
+
+/// A mapping from nulls to values that fixes every constant — the data of
+/// a homomorphism (Definition 3.1). Unmapped nulls are fixed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: FxHashMap<NullId, Value>,
+}
+
+impl Substitution {
+    /// The identity substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a null to a value. Returns the previous binding, if any.
+    pub fn bind(&mut self, null: NullId, value: Value) -> Option<Value> {
+        self.map.insert(null, value)
+    }
+
+    /// Remove a binding.
+    pub fn unbind(&mut self, null: NullId) -> Option<Value> {
+        self.map.remove(&null)
+    }
+
+    /// The image of a null under this substitution, if bound.
+    pub fn get(&self, null: NullId) -> Option<Value> {
+        self.map.get(&null).copied()
+    }
+
+    /// Apply to a value: constants are fixed, bound nulls are mapped,
+    /// unbound nulls are fixed.
+    pub fn apply(&self, v: Value) -> Value {
+        match v {
+            Value::Const(_) => v,
+            Value::Null(n) => self.map.get(&n).copied().unwrap_or(v),
+        }
+    }
+
+    /// Apply to every fact of an instance.
+    pub fn apply_instance(&self, instance: &Instance) -> Instance {
+        instance.map_values(|v| self.apply(v))
+    }
+
+    /// Compose: `self.then(other)` maps `v ↦ other(self(v))`.
+    ///
+    /// Nulls bound only in `other` keep that binding, so the composite is
+    /// the usual composition of total functions that fix unbound nulls.
+    pub fn then(&self, other: &Substitution) -> Substitution {
+        let mut out = Substitution::new();
+        for (&n, &v) in &self.map {
+            out.bind(n, other.apply(v));
+        }
+        for (&n, &v) in &other.map {
+            out.map.entry(n).or_insert(v);
+        }
+        out
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// No explicit bindings (identity)?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(null, image)` bindings (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (NullId, Value)> + '_ {
+        self.map.iter().map(|(&n, &v)| (n, v))
+    }
+}
+
+impl FromIterator<(NullId, Value)> for Substitution {
+    fn from_iter<T: IntoIterator<Item = (NullId, Value)>>(iter: T) -> Self {
+        Substitution { map: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::Fact;
+    use crate::schema::RelId;
+    use crate::value::ConstId;
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    #[test]
+    fn apply_fixes_constants_and_unbound_nulls() {
+        let mut s = Substitution::new();
+        s.bind(NullId(0), c(3));
+        assert_eq!(s.apply(c(0)), c(0));
+        assert_eq!(s.apply(n(0)), c(3));
+        assert_eq!(s.apply(n(1)), n(1));
+    }
+
+    #[test]
+    fn bind_unbind_roundtrip() {
+        let mut s = Substitution::new();
+        assert_eq!(s.bind(NullId(0), c(1)), None);
+        assert_eq!(s.bind(NullId(0), c(2)), Some(c(1)));
+        assert_eq!(s.unbind(NullId(0)), Some(c(2)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn composition_order() {
+        // s: n0 ↦ n1 ; t: n1 ↦ c0.  s.then(t): n0 ↦ c0 and n1 ↦ c0.
+        let mut s = Substitution::new();
+        s.bind(NullId(0), n(1));
+        let mut t = Substitution::new();
+        t.bind(NullId(1), c(0));
+        let st = s.then(&t);
+        assert_eq!(st.apply(n(0)), c(0));
+        assert_eq!(st.apply(n(1)), c(0));
+        // t.then(s): n1 ↦ c0 (constants fixed), n0 ↦ n1.
+        let ts = t.then(&s);
+        assert_eq!(ts.apply(n(1)), c(0));
+        assert_eq!(ts.apply(n(0)), n(1));
+    }
+
+    #[test]
+    fn apply_instance_maps_facts() {
+        let mut i = Instance::new();
+        i.insert(Fact::new(RelId(0), vec![n(0), c(1)]));
+        let mut s = Substitution::new();
+        s.bind(NullId(0), c(9));
+        let j = s.apply_instance(&i);
+        assert!(j.contains(&Fact::new(RelId(0), vec![c(9), c(1)])));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: Substitution = vec![(NullId(0), c(1)), (NullId(1), n(2))].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(NullId(1)), Some(n(2)));
+    }
+}

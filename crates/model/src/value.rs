@@ -1,0 +1,118 @@
+//! Values: constants and labeled nulls.
+
+use std::fmt;
+
+/// Identifier of an interned constant (an element of `Const`).
+///
+/// The display name lives in the [`crate::Vocabulary`] that interned it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstId(pub u32);
+
+/// Identifier of a labeled null (an element of `Var`).
+///
+/// Nulls are created by [`crate::Vocabulary::fresh_null`] (the chase) or by
+/// interning a `?name` token when parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NullId(pub u32);
+
+/// A value from `Const ∪ Var` (Section 2 of the paper).
+///
+/// Homomorphisms (Definition 3.1) map every constant to itself and may map
+/// nulls to arbitrary values; the distinction is therefore pervasive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A constant: fixed by every homomorphism.
+    Const(ConstId),
+    /// A labeled null: stands for unknown information.
+    Null(NullId),
+}
+
+impl Value {
+    /// Is this value a constant?
+    #[inline]
+    pub fn is_const(self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this value a labeled null?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The null id, if this is a null.
+    #[inline]
+    pub fn as_null(self) -> Option<NullId> {
+        match self {
+            Value::Null(n) => Some(n),
+            Value::Const(_) => None,
+        }
+    }
+
+    /// The constant id, if this is a constant.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Value::Const(c) => Some(c),
+            Value::Null(_) => None,
+        }
+    }
+}
+
+impl From<ConstId> for Value {
+    fn from(c: ConstId) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Vocabulary-free rendering: `c3` for constants, `?n7` for nulls.
+    /// Prefer [`crate::display::ValueDisplay`] when a vocabulary is at hand.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(ConstId(c)) => write!(f, "c{c}"),
+            Value::Null(NullId(n)) => write!(f, "?n{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let c = Value::Const(ConstId(0));
+        let n = Value::Null(NullId(0));
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(c.as_const(), Some(ConstId(0)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_null(), Some(NullId(0)));
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn const_and_null_with_same_index_differ() {
+        assert_ne!(Value::Const(ConstId(5)), Value::Null(NullId(5)));
+    }
+
+    #[test]
+    fn ordering_groups_constants_before_nulls() {
+        // The derived order puts all constants before all nulls, giving
+        // deterministic, human-friendly sorted output.
+        assert!(Value::Const(ConstId(99)) < Value::Null(NullId(0)));
+    }
+
+    #[test]
+    fn fallback_display() {
+        assert_eq!(Value::Const(ConstId(2)).to_string(), "c2");
+        assert_eq!(Value::Null(NullId(4)).to_string(), "?n4");
+    }
+}

@@ -1,0 +1,84 @@
+//! Parser robustness corpus: a table of malformed instance-format
+//! inputs, each asserted to fail with a line-accurate parse error — and
+//! a matching table of tricky-but-valid inputs.
+
+use rde_model::{parse::parse_instance, ModelError, Vocabulary};
+
+#[test]
+fn malformed_inputs_fail_with_line_numbers() {
+    // (input, 1-based line the error must point at)
+    let corpus: &[(&str, usize)] = &[
+        ("P(a", 1),
+        ("P a)", 1),
+        ("P(a))", 1),
+        ("P(a) trailing", 1),
+        ("(a, b)", 1),
+        ("1P(a)", 1),
+        ("Ok(a)\nP(", 2),
+        ("P(a,)", 1),
+        ("P(,a)", 1),
+        ("P(?)", 1),
+        ("P(??x)", 1),
+        ("P('unterminated)", 1),
+        ("P(a-b)", 1),
+        ("P(a b)", 1),
+        ("P(a)\nP(a, b)", 2),        // arity conflict, second line
+        ("ok(a)\n\n# fine\nP(a\n", 4),
+    ];
+    for &(input, line) in corpus {
+        let mut v = Vocabulary::new();
+        match parse_instance(&mut v, input) {
+            Err(ModelError::Parse { line: got, .. }) => {
+                assert_eq!(got, line, "wrong line for input {input:?}");
+            }
+            Err(other) => panic!("expected a parse error for {input:?}, got {other:?}"),
+            Ok(_) => panic!("input must be rejected: {input:?}"),
+        }
+    }
+}
+
+#[test]
+fn tricky_but_valid_inputs_parse() {
+    // (input, expected fact count, expected null count)
+    let corpus: &[(&str, usize, usize)] = &[
+        ("", 0, 0),
+        ("# only a comment\n\n", 0, 0),
+        ("P()", 1, 0),
+        ("P(a) # trailing comment", 1, 0),
+        ("P('a # not a comment')", 1, 0),
+        ("P('  spaces  ')", 1, 0),
+        ("P('quoted, with comma', b)", 1, 0),
+        ("P(123, 0, 007)", 1, 0),
+        ("P(?x, ?x)\nQ(?x)", 2, 1),
+        ("P(a, b)\nP(a, b)\nP(a, b)", 1, 0),
+        ("P(?x1, ?x2)\nP(?x2, ?x1)", 2, 2),
+        ("snake_case_rel(under_scored, ?null_name)", 1, 1),
+        ("P(a)\n\r\nP(b)\r", 2, 0),
+    ];
+    for &(input, facts, nulls) in corpus {
+        let mut v = Vocabulary::new();
+        let i = parse_instance(&mut v, input)
+            .unwrap_or_else(|e| panic!("input must parse: {input:?}: {e}"));
+        assert_eq!(i.len(), facts, "fact count for {input:?}");
+        assert_eq!(i.nulls().len(), nulls, "null count for {input:?}");
+    }
+}
+
+#[test]
+fn quoted_and_bare_constants_are_the_same_symbol() {
+    let mut v = Vocabulary::new();
+    let i = parse_instance(&mut v, "P(alice)\nP('alice')").unwrap();
+    assert_eq!(i.len(), 1, "bare and quoted spellings intern identically");
+}
+
+#[test]
+fn same_null_name_across_calls_is_the_same_null() {
+    let mut v = Vocabulary::new();
+    let a = parse_instance(&mut v, "P(?shared)").unwrap();
+    let b = parse_instance(&mut v, "Q(?shared)").unwrap();
+    assert_eq!(a.nulls(), b.nulls(), "one vocabulary ⇒ one null per name");
+    // A fresh vocabulary gives fresh (but equally named) nulls.
+    let mut v2 = Vocabulary::new();
+    let c = parse_instance(&mut v2, "P(?shared)").unwrap();
+    assert_eq!(v2.null_name(c.nulls()[0]), v.null_name(a.nulls()[0]));
+}

@@ -1,0 +1,176 @@
+//! Conjunctive-query containment, equivalence and minimization.
+//!
+//! Classic Chandra–Merkurjev... — Chandra–Merlin: `q₁ ⊆ q₂` iff there
+//! is a containment mapping from `q₂` to `q₁`, decided by freezing
+//! `q₁`'s body into its canonical instance and checking that `q₂`
+//! retrieves the frozen head tuple. Used by the reverse-query-answering
+//! machinery to reason about rewritten source queries, and generally
+//! useful alongside cores (a minimized query is the core of its
+//! canonical instance, head preserved).
+//!
+//! Exact for plain CQs. Queries using the inequality extension are
+//! rejected: frozen-instance containment is not sound for them.
+
+use rde_deps::{DepError, Term, VarId};
+use rde_model::{Instance, NullId, Value, Vocabulary};
+
+use crate::cq::{evaluate, ConjunctiveQuery};
+
+fn require_plain(q: &ConjunctiveQuery) -> Result<(), DepError> {
+    if !q.as_dependency().premise.inequalities.is_empty() {
+        return Err(DepError::Parse {
+            line: 1,
+            message: "containment is only supported for plain CQs (no inequalities)".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Freeze a query: canonical body instance + frozen head tuple. Frozen
+/// variables are private nulls offset past everything in the vocabulary.
+fn freeze(q: &ConjunctiveQuery, vocab: &Vocabulary) -> (Instance, Vec<Value>) {
+    let offset = vocab.null_count() as u32;
+    let assign = |v: VarId| Value::Null(NullId(offset + v.0));
+    let body = rde_deps::freeze_atoms(&q.as_dependency().premise.atoms, &assign);
+    let head = q
+        .head()
+        .args
+        .iter()
+        .map(|t| match *t {
+            Term::Var(v) => assign(v),
+            Term::Const(c) => Value::Const(c),
+        })
+        .collect();
+    (body, head)
+}
+
+/// Is `q1 ⊆ q2` (every answer of `q1` is an answer of `q2`, on every
+/// instance)?
+pub fn contained_in(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    vocab: &Vocabulary,
+) -> Result<bool, DepError> {
+    require_plain(q1)?;
+    require_plain(q2)?;
+    if q1.arity() != q2.arity() {
+        return Ok(false);
+    }
+    let (canonical, head) = freeze(q1, vocab);
+    Ok(evaluate(q2, &canonical).contains(&head))
+}
+
+/// Are the two queries equivalent?
+pub fn equivalent(
+    q1: &ConjunctiveQuery,
+    q2: &ConjunctiveQuery,
+    vocab: &Vocabulary,
+) -> Result<bool, DepError> {
+    Ok(contained_in(q1, q2, vocab)? && contained_in(q2, q1, vocab)?)
+}
+
+/// Minimize a query: repeatedly drop body atoms while the query stays
+/// equivalent (the result is the core of the canonical instance with
+/// the head preserved — unique up to variable renaming).
+pub fn minimize(q: &ConjunctiveQuery, vocab: &Vocabulary) -> Result<ConjunctiveQuery, DepError> {
+    require_plain(q)?;
+    let mut current = q.clone();
+    'outer: loop {
+        let n = current.as_dependency().premise.atoms.len();
+        if n <= 1 {
+            return Ok(current);
+        }
+        for drop in 0..n {
+            let Some(candidate) = current.without_body_atom(drop) else {
+                continue;
+            };
+            // Dropping an atom weakens the body, so current ⊆ candidate
+            // always; equivalence needs candidate ⊆ current.
+            if contained_in(&candidate, &current, vocab)? {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        return Ok(current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(vocab: &mut Vocabulary, text: &str) -> ConjunctiveQuery {
+        ConjunctiveQuery::parse(vocab, text).unwrap()
+    }
+
+    #[test]
+    fn syntactic_variants_are_equivalent() {
+        let mut v = Vocabulary::new();
+        let q1 = q(&mut v, "a(x, y) :- P(x, z) & P(z, y)");
+        let q2 = q(&mut v, "a(u, w) :- P(u, t) & P(t, w)");
+        assert!(equivalent(&q1, &q2, &v).unwrap());
+    }
+
+    #[test]
+    fn longer_paths_are_contained_in_shorter_patterns() {
+        let mut v = Vocabulary::new();
+        // q1: there is a 2-path from x; q2: there is an edge from x.
+        let q1 = q(&mut v, "a(x) :- P(x, y) & P(y, z)");
+        let q2 = q(&mut v, "a(x) :- P(x, y)");
+        assert!(contained_in(&q1, &q2, &v).unwrap());
+        assert!(!contained_in(&q2, &q1, &v).unwrap());
+    }
+
+    #[test]
+    fn constants_restrict_containment() {
+        let mut v = Vocabulary::new();
+        let q1 = q(&mut v, "a(x) :- P(x, 'b')");
+        let q2 = q(&mut v, "a(x) :- P(x, y)");
+        assert!(contained_in(&q1, &q2, &v).unwrap());
+        assert!(!contained_in(&q2, &q1, &v).unwrap());
+    }
+
+    #[test]
+    fn different_arities_are_incomparable() {
+        let mut v = Vocabulary::new();
+        let q1 = q(&mut v, "a(x) :- P(x, y)");
+        let q2 = q(&mut v, "b(x, y) :- P(x, y)");
+        assert!(!contained_in(&q1, &q2, &v).unwrap());
+    }
+
+    #[test]
+    fn minimization_drops_redundant_atoms() {
+        let mut v = Vocabulary::new();
+        // The second atom is a homomorphic image of the first.
+        let big = q(&mut v, "a(x) :- P(x, y) & P(x, z)");
+        let min = minimize(&big, &v).unwrap();
+        assert_eq!(min.as_dependency().premise.atoms.len(), 1);
+        assert!(equivalent(&big, &min, &v).unwrap());
+    }
+
+    #[test]
+    fn minimization_keeps_necessary_atoms() {
+        let mut v = Vocabulary::new();
+        let path = q(&mut v, "a(x, z) :- P(x, y) & P(y, z)");
+        let min = minimize(&path, &v).unwrap();
+        assert_eq!(min.as_dependency().premise.atoms.len(), 2);
+    }
+
+    #[test]
+    fn classic_triangle_vs_path_minimization() {
+        let mut v = Vocabulary::new();
+        // Boolean query: edge-with-loop pattern folds onto the loop atom.
+        let loopy = q(&mut v, "a() :- E(x, x) & E(x, y)");
+        let min = minimize(&loopy, &v).unwrap();
+        assert_eq!(min.as_dependency().premise.atoms.len(), 1);
+    }
+
+    #[test]
+    fn inequality_queries_are_rejected() {
+        let mut v = Vocabulary::new();
+        let qi = q(&mut v, "a(x, y) :- P(x, y) & x != y");
+        let qp = q(&mut v, "a(x, y) :- P(x, y)");
+        assert!(contained_in(&qi, &qp, &v).is_err());
+        assert!(minimize(&qi, &v).is_err());
+    }
+}

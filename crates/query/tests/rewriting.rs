@@ -1,0 +1,77 @@
+//! Query-level integration: minimization and containment interact
+//! correctly with evaluation and reverse certain answers.
+
+use rde_chase::DisjunctiveChaseOptions;
+use rde_deps::parse_mapping;
+use rde_model::{parse::parse_instance, Vocabulary};
+use rde_query::{
+    contained_in, equivalent, evaluate, evaluate_null_free, minimize, reverse_certain_answers,
+    ConjunctiveQuery,
+};
+
+#[test]
+fn minimized_queries_evaluate_identically() {
+    let mut v = Vocabulary::new();
+    let i = parse_instance(&mut v, "P(a, b)\nP(a, c)\nP(b, c)\nP(c, ?w)").unwrap();
+    for text in [
+        "q1(x) :- P(x, y) & P(x, z)",
+        "q2(x, y) :- P(x, y) & P(x, u) & P(x, w)",
+        "q3() :- P(x, y) & P(x, x)",
+        "q4(x, z) :- P(x, y) & P(y, z) & P(x, u)",
+    ] {
+        let q = ConjunctiveQuery::parse(&mut v, text).unwrap();
+        let min = minimize(&q, &v).unwrap();
+        assert!(equivalent(&q, &min, &v).unwrap(), "{text}");
+        assert_eq!(evaluate(&q, &i), evaluate(&min, &i), "{text}");
+        assert!(
+            min.as_dependency().premise.atoms.len() <= q.as_dependency().premise.atoms.len(),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn containment_is_sound_on_evaluation() {
+    // If q1 ⊆ q2 then q1(I) ⊆ q2(I) on every instance we try.
+    let mut v = Vocabulary::new();
+    let instances = [
+        parse_instance(&mut v, "P(a, b)\nP(b, c)").unwrap(),
+        parse_instance(&mut v, "P(a, a)").unwrap(),
+        parse_instance(&mut v, "P(a, ?x)\nP(?x, b)\nP(b, a)").unwrap(),
+    ];
+    let pairs = [
+        ("q1(x) :- P(x, y) & P(y, z)", "p1(x) :- P(x, y)"),
+        ("q2(x, y) :- P(x, y) & P(y, x)", "p2(x, y) :- P(x, y)"),
+        ("q3(x) :- P(x, x)", "p1(x) :- P(x, y)"),
+    ];
+    for (sub_text, sup_text) in pairs {
+        let sub = ConjunctiveQuery::parse(&mut v, sub_text).unwrap();
+        let sup = ConjunctiveQuery::parse(&mut v, sup_text).unwrap();
+        assert!(contained_in(&sub, &sup, &v).unwrap(), "{sub_text} ⊆ {sup_text}");
+        for i in &instances {
+            let a = evaluate(&sub, i);
+            let b = evaluate(&sup, i);
+            assert!(a.is_subset(&b), "soundness on {i:?} for {sub_text}");
+        }
+    }
+}
+
+#[test]
+fn reverse_certain_answers_are_invariant_under_minimization() {
+    let mut v = Vocabulary::new();
+    let m = parse_mapping(
+        &mut v,
+        "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z) & Q(z, y)",
+    )
+    .unwrap();
+    let minv = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)").unwrap();
+    let i = parse_instance(&mut v, "P(a, b)\nP(b, c)\nP(a, ?w)").unwrap();
+    let q = ConjunctiveQuery::parse(&mut v, "ans(x) :- P(x, y) & P(x, z)").unwrap();
+    let min = minimize(&q, &v).unwrap();
+    let opts = DisjunctiveChaseOptions::default();
+    let full = reverse_certain_answers(&q, &i, &m, &minv, &mut v, &opts).unwrap();
+    let reduced = reverse_certain_answers(&min, &i, &m, &minv, &mut v, &opts).unwrap();
+    assert_eq!(full, reduced);
+    // And both equal q(I)↓ (Theorem 6.4, M′ is an extended inverse).
+    assert_eq!(full, evaluate_null_free(&q, &i));
+}
