@@ -17,7 +17,8 @@ fn bench_chase_modes(c: &mut Criterion) {
         // Skewed instances (few distinct endpoints) make many triggers
         // already satisfied: satisfaction checking pays off in facts.
         let instance = workloads::source_instance(&mut vocab, &w.mapping, size, 6, 2, 0.2, 31);
-        for (name, mode) in [("oblivious", ChaseMode::Oblivious), ("standard", ChaseMode::Standard)] {
+        for (name, mode) in [("oblivious", ChaseMode::Oblivious), ("standard", ChaseMode::Standard)]
+        {
             let opts = ChaseOptions { mode, ..ChaseOptions::default() };
             group.bench_with_input(BenchmarkId::new(name, size), &instance, |b, inst| {
                 b.iter(|| {

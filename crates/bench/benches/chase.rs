@@ -17,16 +17,12 @@ fn bench_chase(c: &mut Criterion) {
             let instance =
                 workloads::source_instance(&mut vocab, &w.mapping, size, size / 2 + 2, 4, 0.2, 7);
             group.throughput(Throughput::Elements(instance.len() as u64));
-            group.bench_with_input(
-                BenchmarkId::new(w.name, size),
-                &instance,
-                |b, inst| {
-                    b.iter(|| {
-                        let mut v = vocab.clone();
-                        chase_mapping(inst, &w.mapping, &mut v, &ChaseOptions::default()).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(w.name, size), &instance, |b, inst| {
+                b.iter(|| {
+                    let mut v = vocab.clone();
+                    chase_mapping(inst, &w.mapping, &mut v, &ChaseOptions::default()).unwrap()
+                })
+            });
         }
     }
     group.finish();

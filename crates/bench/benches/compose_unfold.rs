@@ -11,7 +11,10 @@ use rde_deps::parse_mapping;
 use rde_model::Vocabulary;
 
 /// A k-relation evolution: split step then recombine step.
-fn evolution(vocab: &mut Vocabulary, k: usize) -> (rde_deps::SchemaMapping, rde_deps::SchemaMapping) {
+fn evolution(
+    vocab: &mut Vocabulary,
+    k: usize,
+) -> (rde_deps::SchemaMapping, rde_deps::SchemaMapping) {
     let mut src = String::from("source: ");
     let mut mid = String::new();
     let mut fwd = String::new();

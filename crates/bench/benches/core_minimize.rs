@@ -32,11 +32,9 @@ fn bench_core(c: &mut Criterion) {
     for size in [16usize, 48] {
         for (label, redundancy) in [("low_redundancy", 0.25), ("high_redundancy", 1.0)] {
             let instance = redundant_instance(size, redundancy);
-            group.bench_with_input(
-                BenchmarkId::new(label, size),
-                &instance,
-                |b, inst| b.iter(|| core_of(inst)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, size), &instance, |b, inst| {
+                b.iter(|| core_of(inst))
+            });
         }
     }
     group.finish();

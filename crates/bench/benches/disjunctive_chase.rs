@@ -22,10 +22,15 @@ fn bench_disjunctive(c: &mut Criterion) {
             let (vocab, reverse, u) = target_instance(arms, facts);
             let leaf_count = {
                 let mut v = vocab.clone();
-                disjunctive_chase(&u, &reverse.dependencies, &mut v, &DisjunctiveChaseOptions::default())
-                    .unwrap()
-                    .leaves
-                    .len()
+                disjunctive_chase(
+                    &u,
+                    &reverse.dependencies,
+                    &mut v,
+                    &DisjunctiveChaseOptions::default(),
+                )
+                .unwrap()
+                .leaves
+                .len()
             };
             group.bench_with_input(
                 BenchmarkId::new(format!("arms{arms}_leaves{leaf_count}"), facts),

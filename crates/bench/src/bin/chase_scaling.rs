@@ -1,0 +1,96 @@
+//! Chase strategy scaling experiment: measures naive vs semi-naive vs
+//! parallel collection on the recursive workload and writes
+//! `BENCH_chase.json` (repo root, or the path given as the first
+//! argument) as the recorded baseline.
+
+use std::time::Instant;
+
+use rde_bench::workloads;
+use rde_chase::{chase, ChaseOptions, ChaseResult, ChaseStrategy};
+use rde_model::Vocabulary;
+
+/// Mean wall-clock seconds per run (few repetitions; the chase runs
+/// are long enough that warm-up noise is small).
+fn time_chase(
+    vocab: &Vocabulary,
+    instance: &rde_model::Instance,
+    deps: &[rde_deps::Dependency],
+    options: &ChaseOptions,
+    reps: usize,
+) -> (f64, ChaseResult) {
+    let mut result = None;
+    let start = Instant::now();
+    for _ in 0..reps {
+        let mut v = vocab.clone();
+        result = Some(chase(instance, deps, &mut v, options).unwrap());
+    }
+    (start.elapsed().as_secs_f64() / reps as f64, result.unwrap())
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_chase.json".to_string());
+    let mut rows = Vec::new();
+    println!(
+        "{:>6} {:>5} {:>7} {:>12} {:>12} {:>12} {:>9}",
+        "nodes", "deps", "facts", "naive_ms", "semi_ms", "par_ms", "speedup"
+    );
+    for nodes in [16usize, 32, 64, 128] {
+        for extra_deps in [0usize, 4] {
+            let mut vocab = Vocabulary::new();
+            let deps = workloads::recursive_deps(&mut vocab, extra_deps);
+            let instance = workloads::random_graph(&mut vocab, nodes, nodes, 11);
+            let reps = if nodes >= 64 { 2 } else { 5 };
+            let naive = ChaseOptions { strategy: ChaseStrategy::Naive, ..ChaseOptions::default() };
+            let semi =
+                ChaseOptions { strategy: ChaseStrategy::SemiNaive, ..ChaseOptions::default() };
+            let par = ChaseOptions {
+                strategy: ChaseStrategy::SemiNaive,
+                threads: 0,
+                ..ChaseOptions::default()
+            };
+            let (t_naive, r_naive) = time_chase(&vocab, &instance, &deps, &naive, reps);
+            let (t_semi, r_semi) = time_chase(&vocab, &instance, &deps, &semi, reps);
+            let (t_par, r_par) = time_chase(&vocab, &instance, &deps, &par, reps);
+            assert_eq!(r_naive.instance, r_semi.instance, "strategies must agree exactly");
+            assert_eq!(r_semi.instance, r_par.instance, "thread count must not matter");
+            let speedup = t_naive / t_semi;
+            println!(
+                "{:>6} {:>5} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x",
+                nodes,
+                deps.len(),
+                r_naive.instance.len(),
+                t_naive * 1e3,
+                t_semi * 1e3,
+                t_par * 1e3,
+                speedup
+            );
+            rows.push(format!(
+                concat!(
+                    "    {{\"nodes\": {}, \"deps\": {}, \"rounds\": {}, \"fired\": {}, ",
+                    "\"result_facts\": {}, \"naive_ms\": {:.3}, \"semi_naive_ms\": {:.3}, ",
+                    "\"parallel_ms\": {:.3}, \"speedup_semi_vs_naive\": {:.2}}}"
+                ),
+                nodes,
+                deps.len(),
+                r_naive.rounds,
+                r_naive.fired,
+                r_naive.instance.len(),
+                t_naive * 1e3,
+                t_semi * 1e3,
+                t_par * 1e3,
+                speedup
+            ));
+        }
+    }
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"chase_scaling\",\n",
+            "  \"workload\": \"cycle graph; copy E into T, linear closure T(x,y) & E(y,z) -> T(x,z), plus side-output rules\",\n",
+            "  \"modes\": [\"naive\", \"semi_naive\", \"semi_naive+parallel(threads=auto)\"],\n",
+            "  \"results\": [\n{}\n  ]\n}}\n"
+        ),
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark baseline");
+    println!("wrote {out_path}");
+}

@@ -26,7 +26,8 @@ const FAMILIES: &[FamilySpec] = &[
     FamilySpec { name: "copy", text: "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)" },
     FamilySpec {
         name: "tagged-union",
-        text: "source: A/1, B/1\ntarget: R/1, TA/1, TB/1\nA(x) -> R(x) & TA(x)\nB(x) -> R(x) & TB(x)",
+        text:
+            "source: A/1, B/1\ntarget: R/1, TA/1, TB/1\nA(x) -> R(x) & TA(x)\nB(x) -> R(x) & TB(x)",
     },
     FamilySpec {
         name: "two-step",
@@ -34,12 +35,10 @@ const FAMILIES: &[FamilySpec] = &[
     },
     FamilySpec {
         name: "componentwise",
-        text: "source: P/2\ntarget: Pp/2\nP(x,y) -> exists z . Pp(x,z)\nP(x,y) -> exists u . Pp(u,y)",
+        text:
+            "source: P/2\ntarget: Pp/2\nP(x,y) -> exists z . Pp(x,z)\nP(x,y) -> exists u . Pp(u,y)",
     },
-    FamilySpec {
-        name: "union",
-        text: "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)",
-    },
+    FamilySpec { name: "union", text: "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)" },
     FamilySpec { name: "projection", text: "source: P/2\ntarget: Q/1\nP(x,y) -> Q(x)" },
 ];
 
@@ -64,14 +63,18 @@ fn main() {
             let mut vocab = Vocabulary::new();
             let mapping = parse_mapping(&mut vocab, family.text).expect("valid family mapping");
             let universe = Universe::new(&mut vocab, consts, nulls, facts);
-            let report = match information_loss_parallel(&mapping, &universe, &mut vocab, 0, threads)
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    println!("{:<14} {:<18} (skipped: {e})", family.name, format!("{consts}c/{nulls}n/≤{facts}f"));
-                    continue;
-                }
-            };
+            let report =
+                match information_loss_parallel(&mapping, &universe, &mut vocab, 0, threads) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        println!(
+                            "{:<14} {:<18} (skipped: {e})",
+                            family.name,
+                            format!("{consts}c/{nulls}n/≤{facts}f")
+                        );
+                        continue;
+                    }
+                };
             println!(
                 "{:<14} {:<18} {:>9} {:>10} {:>9} {:>9} {:>9.2}%",
                 family.name,
@@ -85,6 +88,8 @@ fn main() {
         }
         println!("{:-<86}", "");
     }
-    println!("lost = pairs (I1, I2) with chase(I1) → chase(I2) but I1 ↛ I2; 0 ⟺ extended-invertible");
+    println!(
+        "lost = pairs (I1, I2) with chase(I1) → chase(I2) but I1 ↛ I2; 0 ⟺ extended-invertible"
+    );
     println!("(exact within each bounded universe; counterexamples are unconditionally valid)");
 }

@@ -169,7 +169,8 @@ fn e4() -> Outcome {
     let mut v = Vocabulary::new();
     let m = union(&mut v);
     let universe = Universe::new(&mut v, 1, 0, 1);
-    let verdict = rde_core::invertibility::check_homomorphism_property(&m, &universe, &mut v).unwrap();
+    let verdict =
+        rde_core::invertibility::check_homomorphism_property(&m, &universe, &mut v).unwrap();
     match verdict {
         BoundedVerdict::Counterexample { i1, i2 } => Outcome {
             id: "E4",
@@ -267,7 +268,11 @@ fn e7() -> Outcome {
     // witnesses once sources with nulls are allowed (case 2 of the
     // paper's analysis is refuted by I′ = {P(X, Y)}).
     let base = [
-        "P(0, 0)", "P(1, 1)", "P(0, 1)", "P(1, 0)", "P(0, 1)\nP(1, 0)",
+        "P(0, 0)",
+        "P(1, 1)",
+        "P(0, 1)",
+        "P(1, 0)",
+        "P(0, 1)\nP(1, 0)",
         "P(0, ?nx)\nP(?nx, 1)\nP(1, ?ny)\nP(?ny, 0)",
     ];
 
@@ -313,14 +318,22 @@ fn e8() -> Outcome {
     let m = decomposition(&mut v);
     let rev = decomposition_reverse(&mut v);
     let universe = Universe::new(&mut v, 2, 1, 1);
-    let verdict =
-        rde_core::recovery::check_maximum_extended_recovery(&m, &rev, &universe, &mut v, &ComposeOptions::default())
-            .unwrap();
+    let verdict = rde_core::recovery::check_maximum_extended_recovery(
+        &m,
+        &rev,
+        &universe,
+        &mut v,
+        &ComposeOptions::default(),
+    )
+    .unwrap();
     let n = universe.size(&v, &m.source).unwrap();
     Outcome {
         id: "E8",
         claim: "Thm 4.13: e(M)∘e(M') = →_M (bounded)",
-        observed: format!("checked {n}² pairs: {}", if verdict.holds() { "equal" } else { "differ" }),
+        observed: format!(
+            "checked {n}² pairs: {}",
+            if verdict.holds() { "equal" } else { "differ" }
+        ),
         pass: verdict.holds(),
     }
 }
@@ -360,14 +373,16 @@ fn e9() -> Outcome {
 /// necessity of disjunction and inequalities.
 fn e10() -> Outcome {
     let mut v = Vocabulary::new();
-    let m = parse_mapping(&mut v, "source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)")
-        .unwrap();
+    let m =
+        parse_mapping(&mut v, "source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)")
+            .unwrap();
     let rec = maximum_extended_recovery_full(&m, &mut v, &QuasiInverseOptions::default()).unwrap();
     let universe = Universe::new(&mut v, 2, 1, 1);
     let opts = ComposeOptions::default();
-    let good = rde_core::recovery::check_maximum_extended_recovery(&m, &rec, &universe, &mut v, &opts)
-        .unwrap()
-        .holds();
+    let good =
+        rde_core::recovery::check_maximum_extended_recovery(&m, &rec, &universe, &mut v, &opts)
+            .unwrap()
+            .holds();
 
     // Necessity of inequalities: strip them and the check must fail.
     let stripped: Vec<Dependency> = rec
@@ -377,17 +392,20 @@ fn e10() -> Outcome {
             let mut premise = d.premise.clone();
             premise.inequalities.clear();
             Dependency::new(
-                (0..d.var_count()).map(|i| d.var_name(rde_deps::VarId(i as u32)).to_owned()).collect(),
+                (0..d.var_count())
+                    .map(|i| d.var_name(rde_deps::VarId(i as u32)).to_owned())
+                    .collect(),
                 premise,
                 d.disjuncts.clone(),
             )
         })
         .collect();
     let no_ineq = SchemaMapping::new(rec.source.clone(), rec.target.clone(), stripped);
-    let ineq_needed =
-        !rde_core::recovery::check_maximum_extended_recovery(&m, &no_ineq, &universe, &mut v, &opts)
-            .unwrap()
-            .holds();
+    let ineq_needed = !rde_core::recovery::check_maximum_extended_recovery(
+        &m, &no_ineq, &universe, &mut v, &opts,
+    )
+    .unwrap()
+    .holds();
 
     // Necessity of disjunction: keep only the first disjunct per rule.
     let truncated: Vec<Dependency> = rec
@@ -396,17 +414,20 @@ fn e10() -> Outcome {
         .map(|d| {
             let first: Vec<Conjunct> = d.disjuncts.iter().take(1).cloned().collect();
             Dependency::new(
-                (0..d.var_count()).map(|i| d.var_name(rde_deps::VarId(i as u32)).to_owned()).collect(),
+                (0..d.var_count())
+                    .map(|i| d.var_name(rde_deps::VarId(i as u32)).to_owned())
+                    .collect(),
                 d.premise.clone(),
                 first,
             )
         })
         .collect();
     let no_disj = SchemaMapping::new(rec.source.clone(), rec.target.clone(), truncated);
-    let disj_needed =
-        !rde_core::recovery::check_maximum_extended_recovery(&m, &no_disj, &universe, &mut v, &opts)
-            .unwrap()
-            .holds();
+    let disj_needed = !rde_core::recovery::check_maximum_extended_recovery(
+        &m, &no_disj, &universe, &mut v, &opts,
+    )
+    .unwrap()
+    .holds();
 
     Outcome {
         id: "E10",
@@ -444,7 +465,8 @@ fn e11() -> Outcome {
         let m = parse_mapping(&mut v, text).unwrap();
         let rec = parse_mapping(&mut v, rec_text).unwrap();
         let universe = Universe::new(&mut v, 1, 1, 2);
-        let failure = rde_core::faithful::check_universal_faithful(&m, &rec, &universe, &mut v).unwrap();
+        let failure =
+            rde_core::faithful::check_universal_faithful(&m, &rec, &universe, &mut v).unwrap();
         if failure.is_some() {
             pass = false;
             notes.push("unexpected faithfulness failure".to_string());
@@ -455,20 +477,23 @@ fn e11() -> Outcome {
     let m = union(&mut v);
     let bad = parse_mapping(&mut v, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x)").unwrap();
     let universe = Universe::new(&mut v, 1, 0, 1);
-    let bad_fails =
-        rde_core::faithful::check_universal_faithful(&m, &bad, &universe, &mut v).unwrap().is_some();
+    let bad_fails = rde_core::faithful::check_universal_faithful(&m, &bad, &universe, &mut v)
+        .unwrap()
+        .is_some();
     if !bad_fails {
         pass = false;
     }
     // Boundary of Def 6.1: Thm 5.2's inequality recovery is a maximum
     // extended recovery (E10) but fails the raw leaf conditions.
     let mut v = Vocabulary::new();
-    let m = parse_mapping(&mut v, "source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)")
-        .unwrap();
+    let m =
+        parse_mapping(&mut v, "source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)")
+            .unwrap();
     let rec = maximum_extended_recovery_full(&m, &mut v, &QuasiInverseOptions::default()).unwrap();
     let universe = Universe::new(&mut v, 1, 1, 2);
-    let ineq_boundary =
-        rde_core::faithful::check_universal_faithful(&m, &rec, &universe, &mut v).unwrap().is_some();
+    let ineq_boundary = rde_core::faithful::check_universal_faithful(&m, &rec, &universe, &mut v)
+        .unwrap()
+        .is_some();
     Outcome {
         id: "E11",
         claim: "Thm 6.2: max recoveries are universal-faithful",
@@ -484,7 +509,8 @@ fn e11() -> Outcome {
 fn e12() -> Outcome {
     let mut v = Vocabulary::new();
     let m = two_step(&mut v);
-    let minv = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+    let minv =
+        parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
     let i = parse_instance(&mut v, "P(a,b)\nP(b,c)\nP(a,?w)").unwrap();
     let q = ConjunctiveQuery::parse(&mut v, "ans(x, y) :- P(x, y)").unwrap();
     let direct = evaluate_null_free(&q, &i);
@@ -504,9 +530,10 @@ fn e12() -> Outcome {
         reverse_certain_answers(&q, &i, &m, &rec, &mut v, &DisjunctiveChaseOptions::default())
             .unwrap();
     let u = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
-    let leaves = disjunctive_chase(&u, &rec.dependencies, &mut v, &DisjunctiveChaseOptions::default())
-        .unwrap()
-        .leaves;
+    let leaves =
+        disjunctive_chase(&u, &rec.dependencies, &mut v, &DisjunctiveChaseOptions::default())
+            .unwrap()
+            .leaves;
     let worlds: Vec<Instance> = leaves.iter().map(|l| l.restrict_to(&m.source)).collect();
     let manual = rde_query::certain_answers_over(&q, worlds.iter());
     let thm65 = via_theorem == manual && via_theorem.is_empty();
@@ -535,12 +562,22 @@ fn e13() -> Outcome {
     let rec = parse_mapping(&mut v, "source: Pp/2\ntarget: P/2\nPp(x,y) -> P(x,y)").unwrap();
     let family = universe.collect_instances(&v, &m1.source).unwrap();
     let fwd_ok = rde_core::compare::check_less_lossy_via_recoveries(
-        &m1, &rec, &m2, &rec, family.iter(), &mut v,
+        &m1,
+        &rec,
+        &m2,
+        &rec,
+        family.iter(),
+        &mut v,
     )
     .unwrap()
     .is_none();
     let bwd_fails = rde_core::compare::check_less_lossy_via_recoveries(
-        &m2, &rec, &m1, &rec, family.iter(), &mut v,
+        &m2,
+        &rec,
+        &m1,
+        &rec,
+        family.iter(),
+        &mut v,
     )
     .unwrap()
     .is_some();
@@ -584,7 +621,8 @@ fn e14() -> Outcome {
     let mut agree = true;
     'outer: for i in &sources {
         for k in &targets {
-            let semantic = rde_core::compose::in_composition(&m12, &m23, i, k, &mut v, &opts).unwrap();
+            let semantic =
+                rde_core::compose::in_composition(&m12, &m23, i, k, &mut v, &opts).unwrap();
             let syntactic = rde_core::semantics::satisfies(i, k, &composed);
             if semantic != syntactic {
                 agree = false;
@@ -593,11 +631,12 @@ fn e14() -> Outcome {
         }
     }
     // The composed mapping is full: synthesize + verify its recovery.
-    let rec = maximum_extended_recovery_full(&composed, &mut v, &QuasiInverseOptions::default())
-        .unwrap();
-    let verdict =
-        rde_core::recovery::check_maximum_extended_recovery(&composed, &rec, &universe, &mut v, &opts)
-            .unwrap();
+    let rec =
+        maximum_extended_recovery_full(&composed, &mut v, &QuasiInverseOptions::default()).unwrap();
+    let verdict = rde_core::recovery::check_maximum_extended_recovery(
+        &composed, &rec, &universe, &mut v, &opts,
+    )
+    .unwrap();
     Outcome {
         id: "E14",
         claim: "§1: composition + inverse (evolution)",

@@ -32,20 +32,16 @@ pub mod workloads {
 
     /// `P(x,y) → P′(x,y)` with its copy-back (lossless).
     pub fn copy(vocab: &mut Vocabulary) -> Workload {
-        let mapping =
-            parse_mapping(vocab, "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)").unwrap();
-        let reverse =
-            parse_mapping(vocab, "source: Pp/2\ntarget: P/2\nPp(x,y) -> P(x,y)").unwrap();
+        let mapping = parse_mapping(vocab, "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)").unwrap();
+        let reverse = parse_mapping(vocab, "source: Pp/2\ntarget: P/2\nPp(x,y) -> P(x,y)").unwrap();
         Workload { name: "copy", mapping, reverse }
     }
 
     /// Example 1.1's decomposition with its tgd recovery.
     pub fn decomposition(vocab: &mut Vocabulary) -> Workload {
-        let mapping = parse_mapping(
-            vocab,
-            "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)",
-        )
-        .unwrap();
+        let mapping =
+            parse_mapping(vocab, "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)")
+                .unwrap();
         let reverse = parse_mapping(
             vocab,
             "source: Q/2, R/2\ntarget: P/3\nQ(x,y) -> exists z . P(x,y,z)\nR(y,z) -> exists x . P(x,y,z)",
@@ -56,11 +52,9 @@ pub mod workloads {
 
     /// Example 3.18's two-step path mapping with its chase-inverse.
     pub fn two_step(vocab: &mut Vocabulary) -> Workload {
-        let mapping = parse_mapping(
-            vocab,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
+        let mapping =
+            parse_mapping(vocab, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let reverse =
             parse_mapping(vocab, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
         Workload { name: "two_step", mapping, reverse }
@@ -68,11 +62,9 @@ pub mod workloads {
 
     /// The union mapping (Example 3.14) with its disjunctive recovery.
     pub fn union(vocab: &mut Vocabulary) -> Workload {
-        let mapping = parse_mapping(
-            vocab,
-            "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)",
-        )
-        .unwrap();
+        let mapping =
+            parse_mapping(vocab, "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)")
+                .unwrap();
         let reverse =
             parse_mapping(vocab, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)").unwrap();
         Workload { name: "union", mapping, reverse }
@@ -92,9 +84,9 @@ pub mod workloads {
             fwd.push_str(&format!("U{i}(x) -> R(x)\n"));
             disjuncts.push(format!("U{i}(x)"));
         }
-        let mapping =
-            parse_mapping(vocab, &format!("{src}\ntarget: R/1\n{fwd}")).unwrap();
-        let rev_text = format!("source: R/1\ntarget: {}\nR(x) -> {}", &src[8..], disjuncts.join(" | "));
+        let mapping = parse_mapping(vocab, &format!("{src}\ntarget: R/1\n{fwd}")).unwrap();
+        let rev_text =
+            format!("source: R/1\ntarget: {}\nR(x) -> {}", &src[8..], disjuncts.join(" | "));
         let reverse = parse_mapping(vocab, &rev_text).unwrap();
         Workload { name: "union_k", mapping, reverse }
     }
@@ -105,6 +97,48 @@ pub mod workloads {
         let reverse =
             parse_mapping(vocab, "source: Q/1\ntarget: P/2\nQ(x) -> exists y . P(x, y)").unwrap();
         Workload { name: "projection", mapping, reverse }
+    }
+
+    /// A same-schema recursive dependency set: copy `E` into `T`, close
+    /// `T` with the *linear* recursion `T(x,y) ∧ E(y,z) → T(x,z)`, and
+    /// add `extra` side-output rules `T → Aᵢ`. Linear (rather than
+    /// doubling) recursion chases for as many rounds as the longest
+    /// `E`-path, the regime the semi-naive delta rounds target; `extra`
+    /// scales the dependency count for the parallel collection sweep.
+    pub fn recursive_deps(vocab: &mut Vocabulary, extra: usize) -> Vec<rde_deps::Dependency> {
+        let mut deps = vec![
+            rde_deps::parse_dependency(vocab, "E(x, y) -> T(x, y)").unwrap(),
+            rde_deps::parse_dependency(vocab, "T(x, y) & E(y, z) -> T(x, z)").unwrap(),
+        ];
+        for i in 0..extra {
+            deps.push(
+                rde_deps::parse_dependency(vocab, &format!("T(x, y) -> A{i}(x, y)")).unwrap(),
+            );
+        }
+        deps
+    }
+
+    /// A deterministic edge relation `E` over `nodes` vertices: a
+    /// Hamiltonian cycle backbone (diameter `nodes − 1`, so
+    /// [`recursive_deps`] chases for that many rounds) plus
+    /// `edges − nodes` random chords.
+    pub fn random_graph(vocab: &mut Vocabulary, nodes: usize, edges: usize, seed: u64) -> Instance {
+        use rand::Rng;
+        let e = vocab.relation("E", 2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let name = |i: u64| format!("v{i}");
+        let cycle = (0..nodes as u64).map(|i| (i, (i + 1) % nodes as u64));
+        let chords: Vec<(u64, u64)> = (0..edges.saturating_sub(nodes))
+            .map(|_| (rng.gen_range(0..nodes as u64), rng.gen_range(0..nodes as u64)))
+            .collect();
+        cycle
+            .chain(chords)
+            .map(|(a, b)| {
+                let va = vocab.const_value(&name(a));
+                let vb = vocab.const_value(&name(b));
+                rde_model::Fact::new(e, vec![va, vb])
+            })
+            .collect()
     }
 
     /// A deterministic random source instance over the workload's

@@ -58,8 +58,8 @@ mod tests {
     #[test]
     fn redundant_firings_fold_away() {
         let mut v = Vocabulary::new();
-        let m =
-            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)").unwrap();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)")
+            .unwrap();
         // Two facts with the same first component: the oblivious chase
         // invents two nulls, the core keeps one.
         let i = parse_instance(&mut v, "P(a, b)\nP(a, c)").unwrap();

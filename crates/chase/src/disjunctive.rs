@@ -13,9 +13,7 @@ use rde_deps::Dependency;
 use rde_model::fx::FxHashSet;
 use rde_model::{Instance, Value, Vocabulary};
 
-use crate::matching::{
-    atoms_satisfiable, for_each_premise_match, instantiate_atom, trigger_key, VarAssignment,
-};
+use crate::plan::{FiringTemplate, PremisePlan, SatisfactionPlan};
 use crate::ChaseError;
 
 /// Budgets and pruning switches for the disjunctive chase.
@@ -29,6 +27,11 @@ pub struct DisjunctiveChaseOptions {
     pub max_facts: usize,
     /// Maximum chase steps (trigger firings across all branches).
     pub max_steps: u64,
+    /// Worker threads for per-branch trigger search: `1` = in-place,
+    /// `0` = all available parallelism. Dependencies are scanned
+    /// concurrently and the lowest dependency index wins, so results do
+    /// not depend on this value.
+    pub threads: usize,
     /// Drop a leaf `V` when another kept leaf `W` satisfies `W → V`:
     /// such a `V` is redundant for the universality condition (3) of
     /// Definition 6.1 (any `I′` it reaches, `W` reaches through it) and
@@ -43,9 +46,20 @@ impl Default for DisjunctiveChaseOptions {
             max_branches: 65_536,
             max_facts: 1_000_000,
             max_steps: 1_000_000,
+            threads: 1,
             prune_subsumed: false,
         }
     }
+}
+
+/// A dependency compiled for the branch loop: premise plan plus one
+/// satisfaction pattern and one firing template per disjunct. Compiled
+/// once and shared by every branch — the interpreted path re-froze the
+/// premise on every step of every branch.
+struct DisjPlan {
+    premise: PremisePlan,
+    satisfaction: Vec<SatisfactionPlan>,
+    templates: Vec<FiringTemplate>,
 }
 
 /// Result of a disjunctive chase.
@@ -78,36 +92,48 @@ pub fn disjunctive_chase(
     vocab: &mut Vocabulary,
     options: &DisjunctiveChaseOptions,
 ) -> Result<DisjunctiveChaseResult, ChaseError> {
+    let plans: Vec<DisjPlan> = dependencies
+        .iter()
+        .map(|d| {
+            let premise = PremisePlan::compile(&d.premise);
+            let satisfaction =
+                d.disjuncts.iter().map(|c| SatisfactionPlan::compile(&premise, c)).collect();
+            let templates =
+                d.disjuncts.iter().map(|c| FiringTemplate::compile(&premise, c)).collect();
+            DisjPlan { premise, satisfaction, templates }
+        })
+        .collect();
     let mut steps: u64 = 0;
     let mut work = vec![Branch { instance: instance.clone(), fired: FxHashSet::default() }];
     let mut leaves: Vec<Instance> = Vec::new();
 
     while let Some(branch) = work.pop() {
-        match next_trigger(&branch, dependencies) {
+        match next_trigger(&branch, &plans, options.threads) {
             None => leaves.push(branch.instance),
-            Some((di, assignment, key)) => {
+            Some((di, vals)) => {
                 steps += 1;
                 if steps > options.max_steps {
                     return Err(ChaseError::RoundBudgetExhausted { rounds: options.max_steps });
                 }
-                let dep = &dependencies[di];
-                for disjunct in &dep.disjuncts {
-                    let mut child_assignment = assignment.clone();
-                    for &ev in &disjunct.existentials {
-                        child_assignment.insert(ev, Value::Null(vocab.fresh_null()));
-                    }
+                let key = (di, vals.clone());
+                for template in &plans[di].templates {
+                    let fresh: Vec<Value> = (0..template.num_existentials())
+                        .map(|_| Value::Null(vocab.fresh_null()))
+                        .collect();
                     let mut child_instance = branch.instance.clone();
-                    for atom in &disjunct.atoms {
-                        child_instance.insert(instantiate_atom(atom, &child_assignment));
-                        if child_instance.len() > options.max_facts {
-                            return Err(ChaseError::FactBudgetExhausted { facts: options.max_facts });
-                        }
+                    template.instantiate(&vals, &fresh, |fact| {
+                        child_instance.insert(fact);
+                    });
+                    if child_instance.len() > options.max_facts {
+                        return Err(ChaseError::FactBudgetExhausted { facts: options.max_facts });
                     }
                     let mut child_fired = branch.fired.clone();
                     child_fired.insert(key.clone());
                     work.push(Branch { instance: child_instance, fired: child_fired });
                     if work.len() + leaves.len() > options.max_branches {
-                        return Err(ChaseError::BranchBudgetExhausted { branches: options.max_branches });
+                        return Err(ChaseError::BranchBudgetExhausted {
+                            branches: options.max_branches,
+                        });
                     }
                 }
             }
@@ -146,44 +172,73 @@ pub fn disjunctive_chase(
     Ok(DisjunctiveChaseResult { leaves: unique, steps, pruned })
 }
 
-/// Find the first unfired, unsatisfied trigger in a branch.
+/// First unfired, unsatisfied trigger of one dependency in a branch.
+fn first_trigger(di: usize, plan: &DisjPlan, branch: &Branch) -> Option<Vec<Value>> {
+    let mut found: Option<Vec<Value>> = None;
+    plan.premise.for_each_match(&branch.instance, |vals| {
+        if branch.fired.contains(&(di, vals.to_vec())) {
+            return true;
+        }
+        // Satisfaction check: skip if some disjunct already holds.
+        if plan.satisfaction.iter().any(|s| s.satisfiable(&branch.instance, vals)) {
+            return true;
+        }
+        found = Some(vals.to_vec());
+        false
+    });
+    found
+}
+
+/// Find the first unfired, unsatisfied trigger in a branch:
+/// lowest dependency index, then premise-match order.
+///
+/// With `threads > 1` the dependencies are scanned concurrently (the
+/// search is read-only) and the candidate with the smallest dependency
+/// index wins — the same trigger the sequential scan returns.
 fn next_trigger(
     branch: &Branch,
-    dependencies: &[Dependency],
-) -> Option<(usize, VarAssignment, (usize, Vec<Value>))> {
-    for (di, dep) in dependencies.iter().enumerate() {
-        let universal = dep.universal_vars();
-        let mut found: Option<(usize, VarAssignment, (usize, Vec<Value>))> = None;
-        for_each_premise_match(&dep.premise, &branch.instance, |assignment| {
-            let key = (di, trigger_key(&universal, assignment));
-            if branch.fired.contains(&key) {
-                return true;
-            }
-            // Satisfaction check: skip if some disjunct already holds.
-            let seed: VarAssignment = universal.iter().map(|&v| (v, assignment[&v])).collect();
-            let satisfied = dep
-                .disjuncts
-                .iter()
-                .any(|d| atoms_satisfiable(&d.atoms, &branch.instance, &seed));
-            if satisfied {
-                return true;
-            }
-            found = Some((di, assignment.clone(), key));
-            false
-        });
-        if found.is_some() {
-            return found;
-        }
+    plans: &[DisjPlan],
+    threads: usize,
+) -> Option<(usize, Vec<Value>)> {
+    let n = plans.len();
+    let threads = crate::standard::effective_threads(threads, n);
+    if threads <= 1 {
+        return plans
+            .iter()
+            .enumerate()
+            .find_map(|(di, p)| first_trigger(di, p, branch).map(|vals| (di, vals)));
     }
-    None
+    let chunk = n.div_ceil(threads);
+    let mut best: Option<(usize, Vec<Value>)> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n);
+            handles.push(scope.spawn(move || {
+                // Within a chunk the sequential order applies, so the
+                // first hit is the chunk's minimum.
+                (lo..hi).find_map(|di| first_trigger(di, &plans[di], branch).map(|vals| (di, vals)))
+            }));
+        }
+        // Chunks are joined in index order: the first Some is the
+        // global minimum dependency index.
+        for h in handles {
+            let candidate = h.join().expect("disjunctive trigger worker panicked");
+            if best.is_none() {
+                best = candidate;
+            }
+        }
+    });
+    best
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rde_chase_test_util::*;
     use rde_deps::{parse_dependency, parse_mapping};
     use rde_model::parse::parse_instance;
-    use rde_chase_test_util::*;
 
     /// Tiny local helpers (kept in a module so the name is explicit).
     mod rde_chase_test_util {
@@ -295,11 +350,12 @@ mod tests {
     }
 
     #[test]
-    fn reverse_exchange_leaves_restrict_to_source(){
+    fn reverse_exchange_leaves_restrict_to_source() {
         // End-to-end shape: forward chase with M, then disjunctive
         // reverse chase, restricting leaves to the source schema.
         let mut v = Vocabulary::new();
-        let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)").unwrap();
+        let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
+            .unwrap();
         let i = parse_instance(&mut v, "P(a)").unwrap();
         let u = crate::chase_mapping(&i, &m, &mut v, &crate::ChaseOptions::default()).unwrap();
         let rec = parse_dependency(&mut v, "R(x) -> P(x) | Q(x)").unwrap();

@@ -17,10 +17,19 @@
 //!   the procedural engine behind reverse data exchange with maximum
 //!   extended recoveries (Definition 6.1, Theorems 6.2 and 6.5).
 //!
-//! * [`matching`] — premise matching (enumerating assignments of a
-//!   dependency's premise into an instance), built directly on the
+//! * [`plan`] — compiled execution plans ([`PremisePlan`],
+//!   [`SatisfactionPlan`], [`FiringTemplate`]): each dependency's
+//!   premise/conclusion is compiled once per chase into
+//!   `rde_hom::CompiledPattern` slot form, and the fixpoint runs
+//!   semi-naive delta rounds with optionally parallel (and always
+//!   deterministic) trigger collection — see [`ChaseStrategy`] and
+//!   `ChaseOptions::threads`.
+//!
+//! * [`matching`] — legacy premise matching (enumerating assignments of
+//!   a dependency's premise into an instance), built directly on the
 //!   homomorphism engine: matching `φ(x)` into `I` is finding a
 //!   homomorphism from the canonical (frozen) instance of `φ` into `I`.
+//!   Retained for callers that want one-off matches without a plan.
 //!
 //! Both chases fire triggers *obliviously or with a satisfaction check*
 //! (see [`ChaseMode`]); resource limits are explicit and typed.
@@ -32,11 +41,14 @@ mod core_chase;
 mod disjunctive;
 mod error;
 pub mod matching;
+pub mod plan;
 mod standard;
 
 pub use core_chase::core_chase_mapping;
 pub use disjunctive::{disjunctive_chase, DisjunctiveChaseOptions, DisjunctiveChaseResult};
 pub use error::ChaseError;
+pub use plan::{FiringTemplate, PremisePlan, SatisfactionPlan};
 pub use standard::{
-    chase, chase_mapping, chase_mapping_default, ChaseMode, ChaseOptions, ChaseResult, FiringRecord,
+    chase, chase_mapping, chase_mapping_default, ChaseMode, ChaseOptions, ChaseResult,
+    ChaseStrategy, FiringRecord, RoundStats,
 };

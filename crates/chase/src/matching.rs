@@ -9,20 +9,18 @@
 //! homomorphism constraints.
 
 use rde_deps::{Atom, Premise, VarId};
+use rde_hom::{for_each_hom, HomConfig};
 use rde_model::fx::FxHashMap;
 use rde_model::{Instance, NullId, Substitution, Value};
-use rde_hom::{for_each_hom, HomConfig};
 
 /// A (partial) assignment of dependency variables to values.
 pub type VarAssignment = FxHashMap<VarId, Value>;
 
 /// Pick a null-id offset for frozen variables that cannot collide with
-/// nulls of the instance or the seed values.
+/// nulls of the instance or the seed values. The instance side is O(1):
+/// [`Instance::null_offset`] is maintained incrementally on insert.
 fn var_offset(instance: &Instance, seed: &VarAssignment) -> u32 {
-    let mut max = 0u32;
-    for n in instance.nulls() {
-        max = max.max(n.0 + 1);
-    }
+    let mut max = instance.null_offset();
     for v in seed.values() {
         if let Value::Null(n) = v {
             max = max.max(n.0 + 1);
@@ -32,12 +30,7 @@ fn var_offset(instance: &Instance, seed: &VarAssignment) -> u32 {
 }
 
 fn freeze(atoms: &[Atom], offset: u32) -> Instance {
-    atoms
-        .iter()
-        .map(|a| {
-            a.instantiate(&|v: VarId| Value::Null(NullId(offset + v.0)))
-        })
-        .collect()
+    atoms.iter().map(|a| a.instantiate(&|v: VarId| Value::Null(NullId(offset + v.0)))).collect()
 }
 
 /// Enumerate assignments of `atoms` into `instance` extending `seed`,
@@ -56,7 +49,8 @@ pub fn for_each_atom_match(
 ) {
     let offset = var_offset(instance, seed);
     let frozen = freeze(atoms, offset);
-    let seed_sub: Substitution = seed.iter().map(|(&v, &val)| (NullId(offset + v.0), val)).collect();
+    let seed_sub: Substitution =
+        seed.iter().map(|(&v, &val)| (NullId(offset + v.0), val)).collect();
     // Collect the variables that occur in the atoms, to read back.
     let mut vars: Vec<VarId> = Vec::new();
     for a in atoms {
@@ -88,10 +82,7 @@ pub fn atoms_satisfiable(atoms: &[Atom], instance: &Instance, seed: &VarAssignme
 
 /// Does the assignment satisfy the premise guards?
 pub fn guards_hold(premise: &Premise, assignment: &VarAssignment) -> bool {
-    premise
-        .constant_vars
-        .iter()
-        .all(|v| assignment.get(v).is_some_and(|val| val.is_const()))
+    premise.constant_vars.iter().all(|v| assignment.get(v).is_some_and(|val| val.is_const()))
         && premise.inequalities.iter().all(|(a, b)| match (assignment.get(a), assignment.get(b)) {
             (Some(x), Some(y)) => x != y,
             _ => false,

@@ -1,12 +1,30 @@
 //! The standard chase with (non-disjunctive) dependencies.
+//!
+//! The engine compiles every dependency once (a [`PremisePlan`] +
+//! [`SatisfactionPlan`] + [`FiringTemplate`]) and then runs rounds in
+//! two phases:
+//!
+//! 1. **Collect** — enumerate premise matches per dependency. The
+//!    default [`ChaseStrategy::SemiNaive`] strategy enumerates, after
+//!    round 0, only matches that use at least one fact inserted in the
+//!    previous round (seed each premise atom in turn from the delta and
+//!    match the rest against the full instance); every match over older
+//!    facts was enumerated in the round where its newest fact was delta
+//!    and is recorded in `fired_keys`. Collection is read-only, so it
+//!    fans out over [`ChaseOptions::threads`] scoped worker threads,
+//!    and the per-dependency candidate lists are merged in dependency
+//!    order — bit-identical results at any thread count.
+//! 2. **Fire** — sort the new triggers by `(dependency, assignment)`
+//!    and fire them sequentially. Fresh nulls are allocated in firing
+//!    order, so the canonical sort makes naive, semi-naive, and
+//!    parallel runs produce **equal** instances, not merely
+//!    hom-equivalent ones.
 
 use rde_deps::{Dependency, SchemaMapping};
 use rde_model::fx::FxHashSet;
-use rde_model::{Instance, Value, Vocabulary};
+use rde_model::{Fact, Instance, Value, Vocabulary};
 
-use crate::matching::{
-    atoms_satisfiable, for_each_premise_match, instantiate_atom, trigger_key, VarAssignment,
-};
+use crate::plan::{FiringTemplate, PremisePlan, SatisfactionPlan};
 use crate::ChaseError;
 
 /// Trigger-firing discipline.
@@ -25,11 +43,29 @@ pub enum ChaseMode {
     Standard,
 }
 
-/// Budgets and mode for the standard chase.
+/// Trigger-enumeration strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaseStrategy {
+    /// Re-enumerate every premise against the full instance each round.
+    /// Kept for ablation; the results are identical to
+    /// [`ChaseStrategy::SemiNaive`].
+    Naive,
+    /// Delta-driven rounds: after round 0, only enumerate matches using
+    /// at least one fact inserted in the previous round.
+    #[default]
+    SemiNaive,
+}
+
+/// Budgets, mode, and strategy for the standard chase.
 #[derive(Debug, Clone)]
 pub struct ChaseOptions {
     /// Firing discipline.
     pub mode: ChaseMode,
+    /// Trigger-enumeration strategy.
+    pub strategy: ChaseStrategy,
+    /// Worker threads for the collection phase: `1` = in-place, `0` =
+    /// all available parallelism. Results do not depend on this value.
+    pub threads: usize,
     /// Maximum number of parallel rounds. Source-to-target tgds always
     /// finish in one round plus one quiescence check.
     pub max_rounds: u64,
@@ -43,7 +79,14 @@ pub struct ChaseOptions {
 
 impl Default for ChaseOptions {
     fn default() -> Self {
-        ChaseOptions { mode: ChaseMode::Oblivious, max_rounds: 256, max_facts: 1_000_000, trace: false }
+        ChaseOptions {
+            mode: ChaseMode::Oblivious,
+            strategy: ChaseStrategy::SemiNaive,
+            threads: 1,
+            max_rounds: 256,
+            max_facts: 1_000_000,
+            trace: false,
+        }
     }
 }
 
@@ -60,6 +103,27 @@ pub struct FiringRecord {
     pub produced: Vec<rde_model::Fact>,
 }
 
+/// Work counters for one executed chase round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Facts that drove this round's matching: the previous round's
+    /// insertions under [`ChaseStrategy::SemiNaive`] (the input size
+    /// for round 0), the whole instance under [`ChaseStrategy::Naive`].
+    pub delta: usize,
+    /// Premise matches enumerated during collection (pre-guard).
+    pub matches: u64,
+    /// Matches dropped as already fired or already seen this round.
+    pub duplicates: u64,
+    /// Triggers skipped by the [`ChaseMode::Standard`] pre-check.
+    pub satisfied: u64,
+    /// New triggers pending after the merge.
+    pub triggers: usize,
+    /// Triggers actually fired (Standard-mode rechecks can skip more).
+    pub fired: u64,
+    /// Facts newly inserted by this round's firings.
+    pub inserted: usize,
+}
+
 /// Result of a chase run.
 #[derive(Debug, Clone)]
 pub struct ChaseResult {
@@ -71,8 +135,90 @@ pub struct ChaseResult {
     pub fired: u64,
     /// Number of rounds executed (excluding the final quiescent check).
     pub rounds: u64,
+    /// Per-round work counters (one entry per executed round).
+    pub round_stats: Vec<RoundStats>,
     /// Firing provenance (empty unless [`ChaseOptions::trace`]).
     pub provenance: Vec<FiringRecord>,
+}
+
+/// A dependency compiled for the chase hot path: premise plan,
+/// Standard-mode satisfaction check, and firing template, plus the
+/// hoisted universal-variable list (slot order).
+struct DepPlan {
+    premise: PremisePlan,
+    satisfaction: SatisfactionPlan,
+    template: FiringTemplate,
+}
+
+/// Candidate triggers of one dependency collected in one round.
+#[derive(Default)]
+struct DepCandidates {
+    /// `(assignment, satisfied)`: slot-ordered values, and whether the
+    /// Standard pre-check found the conclusion already witnessed.
+    list: Vec<(Vec<Value>, bool)>,
+    matches: u64,
+    duplicates: u64,
+}
+
+/// Enumerate one dependency's new triggers against `current`,
+/// read-only. `delta` is `None` for a full enumeration (round 0 /
+/// naive) and `Some(facts)` for a semi-naive delta round.
+fn collect_dep(
+    di: usize,
+    plan: &DepPlan,
+    current: &Instance,
+    fired_keys: &[FxHashSet<Vec<Value>>],
+    delta: Option<&[Fact]>,
+    mode: ChaseMode,
+) -> DepCandidates {
+    let mut out = DepCandidates::default();
+    let mut local: FxHashSet<Vec<Value>> = FxHashSet::default();
+    let fired = &fired_keys[di];
+    {
+        let mut on_match = |vals: &[Value]| {
+            if fired.contains(vals) || !local.insert(vals.to_vec()) {
+                out.duplicates += 1;
+                return true;
+            }
+            let satisfied =
+                mode == ChaseMode::Standard && plan.satisfaction.satisfiable(current, vals);
+            out.list.push((vals.to_vec(), satisfied));
+            true
+        };
+        match delta {
+            None => {
+                out.matches += plan.premise.for_each_match(current, &mut on_match);
+            }
+            Some(facts) => {
+                for atom_idx in 0..plan.premise.num_atoms() {
+                    let rel = plan.premise.atom_rel(atom_idx);
+                    for fact in facts {
+                        if fact.relation() != rel {
+                            continue;
+                        }
+                        if let Some(seed) = plan.premise.seed_from_fact(atom_idx, fact.args()) {
+                            out.matches += plan.premise.for_each_match_seeded(
+                                atom_idx,
+                                &seed,
+                                current,
+                                &mut on_match,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn effective_threads(requested: usize, n_deps: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    t.min(n_deps.max(1))
 }
 
 /// Chase `instance` with `dependencies` (each must have exactly one
@@ -91,79 +237,158 @@ pub fn chase(
             return Err(ChaseError::DisjunctionUnsupported);
         }
     }
+    // Compile every dependency once: premise variables, guard slots,
+    // satisfaction patterns, and conclusion templates all leave the
+    // per-round path.
+    let plans: Vec<DepPlan> = dependencies
+        .iter()
+        .map(|d| {
+            let premise = PremisePlan::compile(&d.premise);
+            let satisfaction = SatisfactionPlan::compile(&premise, &d.disjuncts[0]);
+            let template = FiringTemplate::compile(&premise, &d.disjuncts[0]);
+            DepPlan { premise, satisfaction, template }
+        })
+        .collect();
+
     let mut current = instance.clone();
-    let mut fired_keys: FxHashSet<(usize, Vec<Value>)> = FxHashSet::default();
+    let mut fired_keys: Vec<FxHashSet<Vec<Value>>> = vec![FxHashSet::default(); plans.len()];
     let mut fired: u64 = 0;
     let mut rounds: u64 = 0;
+    let mut round_stats: Vec<RoundStats> = Vec::new();
     let mut provenance: Vec<FiringRecord> = Vec::new();
+    // Previous round's insertions; `None` = enumerate everything (the
+    // first round, and every round under the naive strategy).
+    let mut delta: Option<Vec<Fact>> = None;
+    let semi_naive = options.strategy == ChaseStrategy::SemiNaive;
     loop {
         if rounds >= options.max_rounds {
             return Err(ChaseError::RoundBudgetExhausted { rounds: options.max_rounds });
         }
-        // Collect this round's new firings against the *current* state.
-        let mut pending: Vec<(usize, VarAssignment)> = Vec::new();
-        for (di, dep) in dependencies.iter().enumerate() {
-            let universal = dep.universal_vars();
-            for_each_premise_match(&dep.premise, &current, |assignment| {
-                let key = (di, trigger_key(&universal, assignment));
-                if fired_keys.contains(&key) {
-                    return true;
+        // Phase 1: collect this round's new triggers against the
+        // *current* state. Read-only, so dependencies fan out across
+        // worker threads; merging in dependency index order keeps the
+        // outcome independent of the thread count.
+        let delta_slice = delta.as_deref();
+        let threads = effective_threads(options.threads, plans.len());
+        let per_dep: Vec<DepCandidates> = if threads <= 1 {
+            plans
+                .iter()
+                .enumerate()
+                .map(|(di, p)| collect_dep(di, p, &current, &fired_keys, delta_slice, options.mode))
+                .collect()
+        } else {
+            let n = plans.len();
+            let chunk = n.div_ceil(threads);
+            let mut partials: Vec<Vec<DepCandidates>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    let plans = &plans;
+                    let current = &current;
+                    let fired_keys = &fired_keys;
+                    handles.push(scope.spawn(move || {
+                        (lo..hi)
+                            .map(|di| {
+                                collect_dep(
+                                    di,
+                                    &plans[di],
+                                    current,
+                                    fired_keys,
+                                    delta_slice,
+                                    options.mode,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
                 }
-                if options.mode == ChaseMode::Standard {
-                    let conclusion = &dep.disjuncts[0];
-                    // Restrict the seed to universal variables so the
-                    // existentials are free to match any witnesses.
-                    let seed: VarAssignment =
-                        universal.iter().map(|&v| (v, assignment[&v])).collect();
-                    if atoms_satisfiable(&conclusion.atoms, &current, &seed) {
-                        fired_keys.insert(key);
-                        return true;
-                    }
+                for h in handles {
+                    partials.push(h.join().expect("chase collection worker panicked"));
                 }
-                fired_keys.insert(key);
-                pending.push((di, assignment.clone()));
-                true
             });
+            partials.into_iter().flatten().collect()
+        };
+
+        // Merge in dependency order: record every enumerated key and
+        // queue the unsatisfied ones.
+        let mut stats = RoundStats {
+            delta: delta_slice.map_or(current.len(), <[Fact]>::len),
+            ..RoundStats::default()
+        };
+        let mut pending: Vec<(usize, Vec<Value>)> = Vec::new();
+        for (di, cands) in per_dep.into_iter().enumerate() {
+            stats.matches += cands.matches;
+            stats.duplicates += cands.duplicates;
+            for (vals, satisfied) in cands.list {
+                if satisfied {
+                    stats.satisfied += 1;
+                    fired_keys[di].insert(vals);
+                } else {
+                    fired_keys[di].insert(vals.clone());
+                    pending.push((di, vals));
+                }
+            }
         }
         if pending.is_empty() {
-            return Ok(ChaseResult { instance: current, fired, rounds, provenance });
+            return Ok(ChaseResult { instance: current, fired, rounds, round_stats, provenance });
         }
         rounds += 1;
-        for (di, mut assignment) in pending {
-            let dep = &dependencies[di];
-            let conclusion = &dep.disjuncts[0];
+        stats.triggers = pending.len();
+
+        // Phase 2: fire sequentially in canonical order. Sorting by
+        // `(dependency, assignment)` pins the fresh-null allocation
+        // order, so every strategy/thread-count combination yields the
+        // same instance.
+        pending.sort_unstable();
+        let mut new_delta: Vec<Fact> = Vec::new();
+        let mut fact_buf: Vec<Fact> = Vec::new();
+        for (di, vals) in pending {
+            let plan = &plans[di];
             if options.mode == ChaseMode::Standard {
                 // Sequential semantics: an earlier firing in this round
                 // may have satisfied this trigger already.
-                let universal = dep.universal_vars();
-                let seed: VarAssignment = universal.iter().map(|&v| (v, assignment[&v])).collect();
-                if atoms_satisfiable(&conclusion.atoms, &current, &seed) {
+                if plan.satisfaction.satisfiable(&current, &vals) {
                     continue;
                 }
             }
-            for &ev in &conclusion.existentials {
-                assignment.insert(ev, Value::Null(vocab.fresh_null()));
+            let fresh: Vec<Value> = (0..plan.template.num_existentials())
+                .map(|_| Value::Null(vocab.fresh_null()))
+                .collect();
+            fact_buf.clear();
+            plan.template.instantiate(&vals, &fresh, |f| fact_buf.push(f));
+            if options.trace {
+                let mut pairs: Vec<(rde_deps::VarId, Value)> =
+                    plan.premise.vars().iter().copied().zip(vals.iter().copied()).collect();
+                pairs.sort();
+                provenance.push(FiringRecord {
+                    dependency: di,
+                    assignment: pairs,
+                    produced: fact_buf.clone(),
+                });
             }
-            let mut produced = Vec::new();
-            for atom in &conclusion.atoms {
-                let fact = instantiate_atom(atom, &assignment);
-                if options.trace {
-                    produced.push(fact.clone());
+            for fact in fact_buf.drain(..) {
+                let is_new = if semi_naive {
+                    let is_new = current.insert(fact.clone());
+                    if is_new {
+                        new_delta.push(fact);
+                    }
+                    is_new
+                } else {
+                    current.insert(fact)
+                };
+                if is_new {
+                    stats.inserted += 1;
                 }
-                current.insert(fact);
                 if current.len() > options.max_facts {
                     return Err(ChaseError::FactBudgetExhausted { facts: options.max_facts });
                 }
             }
-            if options.trace {
-                let universal = dep.universal_vars();
-                let mut pairs: Vec<(rde_deps::VarId, Value)> =
-                    universal.iter().map(|&v| (v, assignment[&v])).collect();
-                pairs.sort();
-                provenance.push(FiringRecord { dependency: di, assignment: pairs, produced });
-            }
+            stats.fired += 1;
             fired += 1;
         }
+        round_stats.push(stats);
+        delta = if semi_naive { Some(new_delta) } else { None };
     }
 }
 
@@ -242,10 +467,8 @@ mod tests {
 
     #[test]
     fn existentials_get_distinct_fresh_nulls_per_firing() {
-        let (_, j) = chase_text(
-            "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)",
-            "P(a)\nP(b)",
-        );
+        let (_, j) =
+            chase_text("source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)", "P(a)\nP(b)");
         let nulls = j.nulls();
         assert_eq!(j.len(), 2);
         assert_eq!(nulls.len(), 2, "each firing must invent its own null");
@@ -271,11 +494,8 @@ mod tests {
     #[test]
     fn standard_mode_skips_satisfied_triggers() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)",
-        )
-        .unwrap();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)")
+            .unwrap();
         let i = parse_instance(&mut v, "P(a, b)\nP(a, c)").unwrap();
         let oblivious = chase_mapping_default(&i, &m, &mut v).unwrap();
         assert_eq!(oblivious.len(), 2);
@@ -390,11 +610,9 @@ mod tests {
     fn chase_result_is_a_solution() {
         // The chased pair (I, J) satisfies Σ: re-chasing is quiescent.
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let i = parse_instance(&mut v, "P(a,b)\nP(b,a)").unwrap();
         let r1 = chase(&i, &m.dependencies, &mut v, &ChaseOptions::default()).unwrap();
         // A satisfaction-checking re-chase is quiescent: (I, J) ⊨ Σ.
@@ -402,5 +620,63 @@ mod tests {
         let r2 = chase(&r1.instance, &m.dependencies, &mut v, &opts).unwrap();
         assert_eq!(r1.instance, r2.instance);
         assert_eq!(r2.fired, 0, "every trigger is already satisfied");
+    }
+
+    /// Run one dependency set under both strategies and a parallel
+    /// variant, returning the three results.
+    fn all_strategies(deps: &[&str], instance_text: &str, mode: ChaseMode) -> Vec<ChaseResult> {
+        [
+            ChaseOptions { mode, strategy: ChaseStrategy::Naive, ..ChaseOptions::default() },
+            ChaseOptions { mode, strategy: ChaseStrategy::SemiNaive, ..ChaseOptions::default() },
+            ChaseOptions {
+                mode,
+                strategy: ChaseStrategy::SemiNaive,
+                threads: 4,
+                ..ChaseOptions::default()
+            },
+        ]
+        .iter()
+        .map(|opts| {
+            let mut v = Vocabulary::new();
+            let parsed: Vec<Dependency> =
+                deps.iter().map(|d| rde_deps::parse_dependency(&mut v, d).unwrap()).collect();
+            let i = parse_instance(&mut v, instance_text).unwrap();
+            chase(&i, &parsed, &mut v, opts).unwrap()
+        })
+        .collect()
+    }
+
+    #[test]
+    fn strategies_produce_equal_instances() {
+        // A multi-round recursive chase exercising the delta rounds.
+        let deps =
+            &["E(x,y) -> T(x,y)", "T(x,y) & T(y,z) -> T(x,z)", "T(x,y) -> exists w . S(y, w)"];
+        let inst = "E(a,b)\nE(b,c)\nE(c,d)\nE(d,e)";
+        for mode in [ChaseMode::Oblivious, ChaseMode::Standard] {
+            let rs = all_strategies(deps, inst, mode);
+            for r in &rs[1..] {
+                assert_eq!(r.instance, rs[0].instance, "{mode:?}");
+                assert_eq!(r.fired, rs[0].fired, "{mode:?}");
+                assert_eq!(r.rounds, rs[0].rounds, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_stats_account_for_the_work() {
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "T(x,y) & T(y,z) -> T(x,z)").unwrap();
+        let i = parse_instance(&mut v, "T(a,b)\nT(b,c)\nT(c,d)").unwrap();
+        let r = chase(&i, &[dep], &mut v, &ChaseOptions::default()).unwrap();
+        assert_eq!(r.round_stats.len() as u64, r.rounds);
+        assert_eq!(r.round_stats.iter().map(|s| s.fired).sum::<u64>(), r.fired);
+        assert_eq!(r.round_stats[0].delta, 3, "round 0 is driven by the input");
+        let total_inserted: usize = r.round_stats.iter().map(|s| s.inserted).sum();
+        assert_eq!(i.len() + total_inserted, r.instance.len());
+        // Later rounds are delta-driven: their delta is the previous
+        // round's insertions.
+        for w in r.round_stats.windows(2) {
+            assert_eq!(w[1].delta, w[0].inserted);
+        }
     }
 }

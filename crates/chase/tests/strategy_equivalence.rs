@@ -1,0 +1,129 @@
+//! Exact-equality properties of the chase strategies.
+//!
+//! The semi-naive (delta-driven) and parallel collection paths are
+//! pure optimizations: with the canonical `(dependency, assignment)`
+//! firing order they must produce instances **equal** to the naive
+//! full-re-enumeration chase — same facts, same fresh-null ids — and
+//! identical `fired`/`rounds` counters, in both firing modes.
+
+use proptest::prelude::*;
+use rde_chase::{chase, ChaseMode, ChaseOptions, ChaseResult, ChaseStrategy};
+use rde_deps::{parse_dependency, Dependency};
+use rde_model::{Fact, Instance, Vocabulary};
+
+/// Same-schema dependency pool: recursive rules, existentials, guards,
+/// and inequalities, so multi-round delta behaviour is exercised.
+const DEP_POOL: &[&str] = &[
+    "E(x, y) -> T(x, y)",
+    "T(x, y) & T(y, z) -> T(x, z)",
+    "T(x, y) -> exists w . S(y, w)",
+    "E(x, y) & E(y, x) -> exists u . T(x, u)",
+    "S(x, y) & Constant(x) -> T(x, x)",
+    "E(x, y) & x != y -> T(y, x)",
+];
+
+fn setup(
+    picks: &[bool],
+    facts: &[(bool, u8, bool, u8)],
+) -> (Vocabulary, Vec<Dependency>, Instance) {
+    let mut vocab = Vocabulary::new();
+    // Parse the full pool first so every run interns identical ids,
+    // then keep the picked subset (always at least the first rule).
+    let all: Vec<Dependency> =
+        DEP_POOL.iter().map(|d| parse_dependency(&mut vocab, d).unwrap()).collect();
+    let deps: Vec<Dependency> = all
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i == 0 || picks.get(*i).copied().unwrap_or(false))
+        .map(|(_, d)| d)
+        .collect();
+    let e = vocab.find_relation("E").unwrap();
+    let value = |vocab: &mut Vocabulary, is_null: bool, i: u8| {
+        if is_null {
+            vocab.null_value(&format!("n{i}"))
+        } else {
+            vocab.const_value(&format!("c{i}"))
+        }
+    };
+    let instance: Instance = facts
+        .iter()
+        .map(|&(n1, a, n2, b)| {
+            let v1 = value(&mut vocab, n1, a);
+            let v2 = value(&mut vocab, n2, b);
+            Fact::new(e, vec![v1, v2])
+        })
+        .collect();
+    (vocab, deps, instance)
+}
+
+fn run(
+    picks: &[bool],
+    facts: &[(bool, u8, bool, u8)],
+    mode: ChaseMode,
+    strategy: ChaseStrategy,
+    threads: usize,
+) -> ChaseResult {
+    let (mut vocab, deps, instance) = setup(picks, facts);
+    let options = ChaseOptions { mode, strategy, threads, ..ChaseOptions::default() };
+    chase(&instance, &deps, &mut vocab, &options).unwrap()
+}
+
+fn abstract_facts(max: usize) -> impl Strategy<Value = Vec<(bool, u8, bool, u8)>> {
+    prop::collection::vec((any::<bool>(), 0u8..4, any::<bool>(), 0u8..4), 0..=max)
+}
+
+fn dep_picks() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), DEP_POOL.len())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Oblivious mode: semi-naive and parallel runs equal the naive
+    /// baseline exactly — instance (same null ids!), fired, rounds.
+    #[test]
+    fn oblivious_strategies_are_equal(picks in dep_picks(), facts in abstract_facts(6)) {
+        let base = run(&picks, &facts, ChaseMode::Oblivious, ChaseStrategy::Naive, 1);
+        for (strategy, threads) in [
+            (ChaseStrategy::SemiNaive, 1),
+            (ChaseStrategy::SemiNaive, 3),
+            (ChaseStrategy::Naive, 2),
+        ] {
+            let r = run(&picks, &facts, ChaseMode::Oblivious, strategy, threads);
+            prop_assert_eq!(&r.instance, &base.instance);
+            prop_assert_eq!(r.fired, base.fired);
+            prop_assert_eq!(r.rounds, base.rounds);
+        }
+    }
+
+    /// Standard mode: same exact-equality property against the
+    /// sequential naive baseline.
+    #[test]
+    fn standard_strategies_are_equal(picks in dep_picks(), facts in abstract_facts(6)) {
+        let base = run(&picks, &facts, ChaseMode::Standard, ChaseStrategy::Naive, 1);
+        for (strategy, threads) in [
+            (ChaseStrategy::SemiNaive, 1),
+            (ChaseStrategy::SemiNaive, 3),
+            (ChaseStrategy::Naive, 2),
+        ] {
+            let r = run(&picks, &facts, ChaseMode::Standard, strategy, threads);
+            prop_assert_eq!(&r.instance, &base.instance);
+            prop_assert_eq!(r.fired, base.fired);
+            prop_assert_eq!(r.rounds, base.rounds);
+        }
+    }
+
+    /// The per-round stats are themselves strategy-invariant where they
+    /// must be: both strategies fire the same triggers per round.
+    #[test]
+    fn round_firing_schedules_agree(picks in dep_picks(), facts in abstract_facts(5)) {
+        let naive = run(&picks, &facts, ChaseMode::Oblivious, ChaseStrategy::Naive, 1);
+        let semi = run(&picks, &facts, ChaseMode::Oblivious, ChaseStrategy::SemiNaive, 1);
+        prop_assert_eq!(naive.round_stats.len(), semi.round_stats.len());
+        for (a, b) in naive.round_stats.iter().zip(&semi.round_stats) {
+            prop_assert_eq!(a.triggers, b.triggers);
+            prop_assert_eq!(a.fired, b.fired);
+            prop_assert_eq!(a.inserted, b.inserted);
+        }
+    }
+}

@@ -109,9 +109,13 @@ fn cmd_reverse(opts: &Options) -> Result<(), String> {
     let instance = load_instance(&mut vocab, opts.positional(2, "instance file")?)?;
     let u = chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
         .map_err(|e| e.to_string())?;
-    let result =
-        disjunctive_chase(&u, &reverse.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
-            .map_err(|e| e.to_string())?;
+    let result = disjunctive_chase(
+        &u,
+        &reverse.dependencies,
+        &mut vocab,
+        &DisjunctiveChaseOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
     println!("# {} leaf instance(s)", result.leaves.len());
     for (i, leaf) in result.leaves.iter().enumerate() {
         println!("# leaf {}", i + 1);
@@ -123,8 +127,9 @@ fn cmd_reverse(opts: &Options) -> Result<(), String> {
 fn cmd_invert(opts: &Options) -> Result<(), String> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
-    let recovery = maximum_extended_recovery_full(&mapping, &mut vocab, &QuasiInverseOptions::default())
-        .map_err(|e| e.to_string())?;
+    let recovery =
+        maximum_extended_recovery_full(&mapping, &mut vocab, &QuasiInverseOptions::default())
+            .map_err(|e| e.to_string())?;
     print!("{}", printer::mapping(&vocab, &recovery));
     Ok(())
 }
@@ -177,9 +182,10 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
         }
         None => println!("extended recovery: HOLDS within bound"),
     }
-    let verdict =
-        rde_core::recovery::check_maximum_extended_recovery(&mapping, &reverse, &u, &mut vocab, &copts)
-            .map_err(|e| e.to_string())?;
+    let verdict = rde_core::recovery::check_maximum_extended_recovery(
+        &mapping, &reverse, &u, &mut vocab, &copts,
+    )
+    .map_err(|e| e.to_string())?;
     match verdict {
         rde_core::recovery::MaxRecoveryVerdict::HoldsWithinBound => {
             println!("maximum extended recovery (e(M)∘e(M') = →_M): HOLDS within bound");
@@ -229,7 +235,11 @@ fn cmd_loss(opts: &Options) -> Result<(), String> {
     println!("universe size:    {}", report.universe_size);
     println!("pairs in →_M:     {}", report.arrow_m_pairs);
     println!("pairs in →:       {}", report.hom_pairs);
-    println!("lost pairs:       {} ({:.2}% of all pairs)", report.lost_pairs, 100.0 * report.loss_fraction());
+    println!(
+        "lost pairs:       {} ({:.2}% of all pairs)",
+        report.lost_pairs,
+        100.0 * report.loss_fraction()
+    );
     for (i1, i2) in &report.examples {
         println!(
             "lost: {} →_M {} (no homomorphism)",
@@ -245,8 +255,8 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     let m1 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
     let m2 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
     let u = universe(&mut vocab, opts);
-    let cmp =
-        rde_core::compare::compare_lossiness(&m1, &m2, &u, &mut vocab).map_err(|e| e.to_string())?;
+    let cmp = rde_core::compare::compare_lossiness(&m1, &m2, &u, &mut vocab)
+        .map_err(|e| e.to_string())?;
     match cmp {
         rde_core::compare::Comparison::EquallyLossy => println!("equally lossy (within bound)"),
         rde_core::compare::Comparison::StrictlyLessLossy => {
@@ -300,8 +310,9 @@ fn cmd_core(opts: &Options) -> Result<(), String> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let core = rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
-        .map_err(|e| e.to_string())?;
+    let core =
+        rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
+            .map_err(|e| e.to_string())?;
     print!("{}", display::instance(&vocab, &core));
     Ok(())
 }
@@ -379,9 +390,13 @@ fn cmd_compose(opts: &Options) -> Result<(), String> {
     let mut vocab = Vocabulary::new();
     let m12 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
     let m23 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
-    let composed =
-        rde_core::unfold::compose_mappings(&m12, &m23, &vocab, &rde_core::unfold::UnfoldOptions::default())
-            .map_err(|e| e.to_string())?;
+    let composed = rde_core::unfold::compose_mappings(
+        &m12,
+        &m23,
+        &vocab,
+        &rde_core::unfold::UnfoldOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
     print!("{}", printer::mapping(&vocab, &composed));
     Ok(())
 }
@@ -402,8 +417,14 @@ fn cmd_faithful(opts: &Options) -> Result<(), String> {
                 "condition (1) every-leaf-exports-at-least: {}",
                 report.every_leaf_exports_at_least
             );
-            println!("condition (2) some-leaf-exports-at-most:   {}", report.some_leaf_exports_at_most);
-            println!("condition (3) universality:                {}", report.universality_within_bound);
+            println!(
+                "condition (2) some-leaf-exports-at-most:   {}",
+                report.some_leaf_exports_at_most
+            );
+            println!(
+                "condition (3) universality:                {}",
+                report.universality_within_bound
+            );
             if let Some(cex) = report.universality_counterexample {
                 println!("unreachable I':");
                 print!("{}", display::instance(&vocab, &cex));
@@ -443,7 +464,8 @@ mod tests {
     #[test]
     fn chase_and_reverse_roundtrip() {
         let dir = tmpdir("chase");
-        let m = write(&dir, "m.map", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n");
+        let m =
+            write(&dir, "m.map", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n");
         let rev = write(
             &dir,
             "rev.map",
@@ -452,8 +474,18 @@ mod tests {
         let i = write(&dir, "i.inst", "P(a,b,c)\n");
         run(&strings(&["chase", &m, &i])).unwrap();
         run(&strings(&["reverse", &m, &rev, &i])).unwrap();
-        run(&strings(&["check-recovery", &m, &rev, "--consts", "1", "--nulls", "1", "--facts", "1"]))
-            .unwrap();
+        run(&strings(&[
+            "check-recovery",
+            &m,
+            &rev,
+            "--consts",
+            "1",
+            "--nulls",
+            "1",
+            "--facts",
+            "1",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -461,7 +493,8 @@ mod tests {
         let dir = tmpdir("invert");
         let m = write(&dir, "m.map", "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)\n");
         run(&strings(&["invert", &m])).unwrap();
-        run(&strings(&["invertible", &m, "--consts", "1", "--nulls", "0", "--facts", "1"])).unwrap();
+        run(&strings(&["invertible", &m, "--consts", "1", "--nulls", "0", "--facts", "1"]))
+            .unwrap();
         run(&strings(&["loss", &m, "--consts", "1", "--nulls", "1", "--facts", "1"])).unwrap();
     }
 
@@ -474,7 +507,8 @@ mod tests {
             "m2.map",
             "source: P/2\ntarget: Pp/2\nP(x,y) -> exists z . Pp(x,z)\nP(x,y) -> exists u . Pp(u,y)\n",
         );
-        run(&strings(&["compare", &m1, &m2, "--consts", "2", "--nulls", "1", "--facts", "1"])).unwrap();
+        run(&strings(&["compare", &m1, &m2, "--consts", "2", "--nulls", "1", "--facts", "1"]))
+            .unwrap();
     }
 
     #[test]
@@ -493,11 +527,7 @@ mod tests {
     #[test]
     fn core_hom_eval_commands() {
         let dir = tmpdir("corehom");
-        let m = write(
-            &dir,
-            "m.map",
-            "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)\n",
-        );
+        let m = write(&dir, "m.map", "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)\n");
         let i = write(&dir, "i.inst", "P(a, b)\nP(a, c)\n");
         let i2 = write(&dir, "i2.inst", "P(a, ?w)\n");
         run(&strings(&["core", &m, &i])).unwrap();
@@ -520,9 +550,11 @@ mod tests {
     #[test]
     fn normalize_and_faithful_commands() {
         let dir = tmpdir("normfaith");
-        let m = write(&dir, "m.map", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n");
+        let m =
+            write(&dir, "m.map", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n");
         run(&strings(&["normalize", &m])).unwrap();
-        let mu = write(&dir, "mu.map", "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)\n");
+        let mu =
+            write(&dir, "mu.map", "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)\n");
         let rec = write(&dir, "rec.map", "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)\n");
         run(&strings(&["faithful", &mu, &rec, "--consts", "1", "--nulls", "1", "--facts", "1"]))
             .unwrap();

@@ -50,7 +50,10 @@ impl Options {
 
     /// The `n`-th positional argument or an error naming it.
     pub fn positional(&self, n: usize, name: &str) -> Result<&str, String> {
-        self.positional.get(n).map(String::as_str).ok_or_else(|| format!("missing argument: {name}"))
+        self.positional
+            .get(n)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing argument: {name}"))
     }
 }
 
@@ -73,8 +76,9 @@ mod tests {
 
     #[test]
     fn flags_interleave_with_positionals() {
-        let o = Options::parse(&strings(&["--consts", "3", "a", "--nulls", "2", "b", "--facts", "4"]))
-            .unwrap();
+        let o =
+            Options::parse(&strings(&["--consts", "3", "a", "--nulls", "2", "b", "--facts", "4"]))
+                .unwrap();
         assert_eq!((o.consts, o.nulls, o.facts), (3, 2, 4));
         assert_eq!(o.positional, vec!["a", "b"]);
     }

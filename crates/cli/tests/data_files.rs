@@ -18,7 +18,8 @@ fn data(file: &str) -> String {
 
 fn rde(args: &[&str]) -> (bool, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_rde")).args(args).output().expect("binary runs");
-    let text = format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    let text =
+        format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
     (out.status.success(), text)
 }
 

@@ -120,11 +120,9 @@ mod tests {
     #[test]
     fn arrow_m_is_reflexive_and_transitive_on_a_universe() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let u = Universe::new(&mut v, 2, 1, 2);
         let family = u.collect_instances(&v, &m.source).unwrap();
         let cache = ArrowMCache::new(&m, &family, &mut v).unwrap();
@@ -145,11 +143,9 @@ mod tests {
     fn hom_implies_arrow_m() {
         // → ⊆ →_M (used in Prop 4.11): chase is monotone under hom.
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let u = Universe::small(&mut v);
         let family = u.collect_instances(&v, &m.source).unwrap();
         for a in &family {

@@ -37,7 +37,9 @@ pub fn compare_lossiness(
     vocab: &mut Vocabulary,
 ) -> Result<Comparison, CoreError> {
     if m1.source != m2.source {
-        return Err(CoreError::UnsupportedMapping { required: "two mappings over the same source schema" });
+        return Err(CoreError::UnsupportedMapping {
+            required: "two mappings over the same source schema",
+        });
     }
     let family = universe
         .collect_instances(vocab, &m1.source)

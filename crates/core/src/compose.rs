@@ -56,7 +56,8 @@ fn dependency_constants(mapping: &SchemaMapping) -> Vec<Value> {
     let mut seen = FxHashSet::default();
     let mut out = Vec::new();
     for dep in &mapping.dependencies {
-        let atoms = dep.premise.atoms.iter().chain(dep.disjuncts.iter().flat_map(|d| d.atoms.iter()));
+        let atoms =
+            dep.premise.atoms.iter().chain(dep.disjuncts.iter().flat_map(|d| d.atoms.iter()));
         for atom in atoms {
             for t in &atom.args {
                 if let Term::Const(c) = *t {
@@ -110,7 +111,10 @@ pub fn enumerate_collapses(
     for _ in &nulls {
         count = count.saturating_mul(pool.len() as u128);
         if count > max_collapses as u128 {
-            return Err(CoreError::SearchLimitExceeded { what: "collapse enumeration", limit: max_collapses });
+            return Err(CoreError::SearchLimitExceeded {
+                what: "collapse enumeration",
+                limit: max_collapses,
+            });
         }
     }
     let mut out = Vec::with_capacity(count as usize);
@@ -176,13 +180,17 @@ pub fn in_e_composition(
     options: &ComposeOptions,
 ) -> Result<bool, CoreError> {
     if !mapping.is_tgd_mapping() {
-        return Err(CoreError::UnsupportedMapping { required: "a guard-free tgd-specified forward mapping" });
+        return Err(CoreError::UnsupportedMapping {
+            required: "a guard-free tgd-specified forward mapping",
+        });
     }
     let u = chase_mapping(i1, mapping, vocab, &ChaseOptions::default())?;
     if reverse.is_disjunctive_tgd_mapping() {
         return leaf_maps_into(&u, reverse, i2, vocab, options);
     }
-    for h in enumerate_collapses(&u, reverse, i2, &FxHashSet::default(), vocab, options.max_collapses)? {
+    for h in
+        enumerate_collapses(&u, reverse, i2, &FxHashSet::default(), vocab, options.max_collapses)?
+    {
         let j = h.apply_instance(&u);
         if leaf_maps_into(&j, reverse, i2, vocab, options)? {
             return Ok(true);
@@ -201,10 +209,7 @@ fn leaf_maps_into(
     options: &ComposeOptions,
 ) -> Result<bool, CoreError> {
     let result = disjunctive_chase(middle, &reverse.dependencies, vocab, &options.chase)?;
-    Ok(result
-        .leaves
-        .iter()
-        .any(|leaf| exists_hom(&leaf.restrict_to(&reverse.target), i2)))
+    Ok(result.leaves.iter().any(|leaf| exists_hom(&leaf.restrict_to(&reverse.target), i2)))
 }
 
 #[cfg(test)]
@@ -248,7 +253,8 @@ mod tests {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
             .unwrap();
-        let back = parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) & Q(x)").unwrap();
+        let back =
+            parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) & Q(x)").unwrap();
         let i1 = parse_instance(&mut v, "P(u0)").unwrap();
         let i2 = parse_instance(&mut v, "P(u0)").unwrap();
         // (I1, I1) ∈ M ∘ M″? The middle {R(u0)} forces P(u0) AND Q(u0) ⊆ I2.
@@ -260,12 +266,11 @@ mod tests {
     #[test]
     fn fast_and_slow_e_composition_agree_when_guard_free() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
-        let rev = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
+        let rev =
+            parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
         let u = Universe::new(&mut v, 1, 1, 1);
         let family = u.collect_instances(&v, &m.source).unwrap();
         let opts = ComposeOptions::default();
@@ -275,7 +280,16 @@ mod tests {
                 // Force the slow path by running collapse enumeration.
                 let uu = chase_mapping(i1, &m, &mut v, &ChaseOptions::default()).unwrap();
                 let mut slow = false;
-                for h in enumerate_collapses(&uu, &rev, i2, &FxHashSet::default(), &mut v, opts.max_collapses).unwrap() {
+                for h in enumerate_collapses(
+                    &uu,
+                    &rev,
+                    i2,
+                    &FxHashSet::default(),
+                    &mut v,
+                    opts.max_collapses,
+                )
+                .unwrap()
+                {
                     let j = h.apply_instance(&uu);
                     if leaf_maps_into(&j, &rev, i2, &mut v, &opts).unwrap() {
                         slow = true;
@@ -295,11 +309,9 @@ mod tests {
     #[test]
     fn guarded_inverse_is_not_an_extended_inverse() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let m2 = parse_mapping(
             &mut v,
             "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) & Constant(x) & Constant(y) -> P(x,y)",
@@ -315,7 +327,8 @@ mod tests {
         // chase-inverse refutation.
         assert!(in_e_composition(&m, &m2, &i, &i, &mut v, &opts).unwrap());
         // The guard-free M′ does not leak (I, ∅).
-        let m1 = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+        let m1 =
+            parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
         assert!(!in_e_composition(&m, &m1, &i, &empty, &mut v, &opts).unwrap());
         assert!(in_e_composition(&m, &m1, &i, &i, &mut v, &opts).unwrap());
     }
@@ -323,8 +336,9 @@ mod tests {
     #[test]
     fn collapse_enumeration_respects_limits() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
-            .unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let rev = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,y) -> P(x,y)").unwrap();
         let i = parse_instance(&mut v, "P(a,b)\nP(b,c)\nP(c,d)").unwrap();
         let u = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
@@ -337,7 +351,9 @@ mod tests {
         let mut v = Vocabulary::new();
         let rev = parse_mapping(&mut v, "source: Q/1\ntarget: P/1\nQ(x) -> P(x)").unwrap();
         let i = parse_instance(&mut v, "Q(?n)").unwrap();
-        let subs = enumerate_collapses(&i, &rev, &Instance::new(), &FxHashSet::default(), &mut v, 1000).unwrap();
+        let subs =
+            enumerate_collapses(&i, &rev, &Instance::new(), &FxHashSet::default(), &mut v, 1000)
+                .unwrap();
         // Pool: {?n (self), one fresh constant} → 2 collapses.
         assert_eq!(subs.len(), 2);
         assert!(subs.iter().any(|s| s.iter().all(|(_, img)| img.is_const())));

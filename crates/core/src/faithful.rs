@@ -47,8 +47,10 @@ pub fn faithfulness_at(
     vocab: &mut Vocabulary,
 ) -> Result<FaithfulReport, CoreError> {
     let u = chase_mapping(source, mapping, vocab, &ChaseOptions::default())?;
-    let result = disjunctive_chase(&u, &reverse.dependencies, vocab, &DisjunctiveChaseOptions::default())?;
-    let leaves: Vec<Instance> = result.leaves.iter().map(|l| l.restrict_to(&mapping.source)).collect();
+    let result =
+        disjunctive_chase(&u, &reverse.dependencies, vocab, &DisjunctiveChaseOptions::default())?;
+    let leaves: Vec<Instance> =
+        result.leaves.iter().map(|l| l.restrict_to(&mapping.source)).collect();
 
     let mut every_leaf_exports_at_least = true;
     for leaf in &leaves {
@@ -66,7 +68,9 @@ pub fn faithfulness_at(
     }
     let mut universality_counterexample = None;
     for i_prime in probe_family {
-        if arrow_m(mapping, source, i_prime, vocab)? && !leaves.iter().any(|v| exists_hom(v, i_prime)) {
+        if arrow_m(mapping, source, i_prime, vocab)?
+            && !leaves.iter().any(|v| exists_hom(v, i_prime))
+        {
             universality_counterexample = Some(i_prime.clone());
             break;
         }
@@ -113,8 +117,12 @@ pub fn faithfulness_at_with_collapses(
     let mut leaves: Vec<Instance> = Vec::new();
     for h in collapses {
         let j = h.apply_instance(&u);
-        let result =
-            disjunctive_chase(&j, &reverse.dependencies, vocab, &DisjunctiveChaseOptions::default())?;
+        let result = disjunctive_chase(
+            &j,
+            &reverse.dependencies,
+            vocab,
+            &DisjunctiveChaseOptions::default(),
+        )?;
         for leaf in result.leaves {
             let restricted = leaf.restrict_to(&mapping.source);
             if !leaves.contains(&restricted) {
@@ -139,7 +147,9 @@ pub fn faithfulness_at_with_collapses(
     }
     let mut universality_counterexample = None;
     for i_prime in probe_family {
-        if arrow_m(mapping, source, i_prime, vocab)? && !leaves.iter().any(|v| exists_hom(v, i_prime)) {
+        if arrow_m(mapping, source, i_prime, vocab)?
+            && !leaves.iter().any(|v| exists_hom(v, i_prime))
+        {
             universality_counterexample = Some(i_prime.clone());
             break;
         }
@@ -188,7 +198,8 @@ mod tests {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
             .unwrap();
-        let rev = parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
+        let rev =
+            parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
         let u = Universe::new(&mut v, 1, 1, 2);
         let failure = check_universal_faithful(&m, &rev, &u, &mut v).unwrap();
         assert!(failure.is_none(), "failure: {failure:?}");
@@ -220,12 +231,11 @@ mod tests {
     #[test]
     fn chase_inverse_is_universal_faithful_with_one_leaf() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
-        let rev = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
+        let rev =
+            parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
         let i = parse_instance(&mut v, "P(a,b)").unwrap();
         let probe = vec![i.clone(), parse_instance(&mut v, "P(a,b)\nP(b,a)").unwrap()];
         let report = faithfulness_at(&m, &rev, &i, &probe, &mut v).unwrap();
@@ -278,7 +288,8 @@ mod tests {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
             .unwrap();
-        let rev = parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
+        let rev =
+            parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
         let universe = crate::Universe::new(&mut v, 1, 1, 1);
         let family = universe.collect_instances(&v, &m.source).unwrap();
         for i in &family {

@@ -76,7 +76,10 @@ pub fn check_subset_property(
     for a in 0..family.len() {
         for b in 0..family.len() {
             if cache.arrow(a, b) && !family[a].is_subset_of(&family[b]) {
-                return Ok(BoundedVerdict::Counterexample { i1: family[a].clone(), i2: family[b].clone() });
+                return Ok(BoundedVerdict::Counterexample {
+                    i1: family[a].clone(),
+                    i2: family[b].clone(),
+                });
             }
         }
     }

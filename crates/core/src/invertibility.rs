@@ -84,7 +84,9 @@ pub fn captures_bounded(
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
     for k in &family {
-        if crate::extended::is_extended_solution(k, target, mapping, vocab)? && !exists_hom(k, source) {
+        if crate::extended::is_extended_solution(k, target, mapping, vocab)?
+            && !exists_hom(k, source)
+        {
             return Ok(false);
         }
     }
@@ -178,11 +180,9 @@ mod tests {
     #[test]
     fn two_step_decomposition_is_extended_invertible_within_bound() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
         let u = Universe::new(&mut v, 2, 1, 2);
         assert!(check_homomorphism_property(&m, &u, &mut v).unwrap().holds());
     }

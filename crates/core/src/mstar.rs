@@ -79,10 +79,8 @@ pub fn check_lemma_4_9(
         // (U, I) ∈ e(M′) iff some disjunctive-chase leaf of U maps into I.
         let result =
             rde_chase::disjunctive_chase(&u, &reverse.dependencies, vocab, &options.chase)?;
-        let hit = result
-            .leaves
-            .iter()
-            .any(|leaf| exists_hom(&leaf.restrict_to(&reverse.target), i));
+        let hit =
+            result.leaves.iter().any(|leaf| exists_hom(&leaf.restrict_to(&reverse.target), i));
         if !hit {
             return Ok(Some(i.clone()));
         }
@@ -172,7 +170,8 @@ mod tests {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)")
             .unwrap();
-        let rec = parse_mapping(&mut v, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)").unwrap();
+        let rec =
+            parse_mapping(&mut v, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)").unwrap();
         let u = Universe::new(&mut v, 1, 1, 2);
         let opts = ComposeOptions::default();
         assert_eq!(check_lemma_4_9(&m, &rec, &u, &mut v, &opts).unwrap(), None);

@@ -79,7 +79,9 @@ pub fn maximum_extended_recovery_full(
     options: &QuasiInverseOptions,
 ) -> Result<SchemaMapping, CoreError> {
     if !mapping.is_full_tgd_mapping() {
-        return Err(CoreError::UnsupportedMapping { required: "full s-t tgds (no existentials, guards or disjunctions)" });
+        return Err(CoreError::UnsupportedMapping {
+            required: "full s-t tgds (no existentials, guards or disjunctions)",
+        });
     }
     let mut rules: Vec<Dependency> = Vec::new();
 
@@ -195,10 +197,7 @@ fn freeze_dep_atoms(
     var_to_class: &FxHashMap<VarId, usize>,
     frozen: &FrozenClasses,
 ) -> Instance {
-    atoms
-        .iter()
-        .map(|a| a.instantiate(&|v: VarId| frozen.value(var_to_class[&v])))
-        .collect()
+    atoms.iter().map(|a| a.instantiate(&|v: VarId| frozen.value(var_to_class[&v]))).collect()
 }
 
 fn chase_to_target(
@@ -263,8 +262,12 @@ fn enumerate_blocks(
                 };
                 assignment.insert(*var, value);
             }
-            let atoms: Instance =
-                dep.premise.atoms.iter().map(|a| a.instantiate(&|v: VarId| assignment[&v])).collect();
+            let atoms: Instance = dep
+                .premise
+                .atoms
+                .iter()
+                .map(|a| a.instantiate(&|v: VarId| assignment[&v]))
+                .collect();
             if seen.insert(atoms.clone()) {
                 let export = chase_to_target(&atoms, mapping, vocab)?;
                 let visible = frozen.class_only(&export);
@@ -481,7 +484,11 @@ fn emit_rule(
         .map(|i| format!("x{i}"))
         .chain((0..max_extra).map(|i| format!("y{i}")))
         .collect();
-    Dependency::new(var_names, Premise { atoms: premise_atoms, constant_vars: vec![], inequalities }, disjuncts)
+    Dependency::new(
+        var_names,
+        Premise { atoms: premise_atoms, constant_vars: vec![], inequalities },
+        disjuncts,
+    )
 }
 
 /// Rename the variables of an atom under a (total on its vars) map.
@@ -714,7 +721,8 @@ mod tests {
     fn synthesize(text: &str) -> (Vocabulary, SchemaMapping, SchemaMapping) {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, text).unwrap();
-        let rec = maximum_extended_recovery_full(&m, &mut v, &QuasiInverseOptions::default()).unwrap();
+        let rec =
+            maximum_extended_recovery_full(&m, &mut v, &QuasiInverseOptions::default()).unwrap();
         (v, m, rec)
     }
 
@@ -742,7 +750,8 @@ mod tests {
     ///   P′(x, x) → T(x) ∨ P(x, x)
     #[test]
     fn theorem_5_2_sigma_star() {
-        let (v, _m, rec) = synthesize("source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)");
+        let (v, _m, rec) =
+            synthesize("source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)");
         assert_eq!(rec.dependencies.len(), 2, "rules: {}", printer::mapping(&v, &rec));
         let rendered = printer::mapping(&v, &rec);
         // Distinct rule: one disjunct P(x,y) guarded by x != y.
@@ -780,7 +789,8 @@ mod tests {
         let mut v = v;
         let u = Universe::new(&mut v, 1, 1, 2);
         let verdict =
-            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default()).unwrap();
+            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default())
+                .unwrap();
         assert!(verdict.holds(), "verdict: {verdict:?}");
     }
 
@@ -796,7 +806,8 @@ mod tests {
         let mut v = v;
         let u = Universe::small(&mut v);
         let verdict =
-            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default()).unwrap();
+            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default())
+                .unwrap();
         assert!(verdict.holds(), "verdict: {verdict:?}\n{rendered}");
     }
 
@@ -805,14 +816,14 @@ mod tests {
     /// re-asserting both P and Q.
     #[test]
     fn multi_atom_premise_interaction() {
-        let (v, m, rec) = synthesize(
-            "source: P/1, Q/1\ntarget: R/1, S/1\nP(x) -> R(x)\nP(x) & Q(x) -> S(x)",
-        );
+        let (v, m, rec) =
+            synthesize("source: P/1, Q/1\ntarget: R/1, S/1\nP(x) -> R(x)\nP(x) & Q(x) -> S(x)");
         let rendered = printer::mapping(&v, &rec);
         let mut v = v;
         let u = Universe::new(&mut v, 1, 1, 2);
         let verdict =
-            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default()).unwrap();
+            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default())
+                .unwrap();
         assert!(verdict.holds(), "verdict: {verdict:?}\n{rendered}");
     }
 
@@ -820,8 +831,7 @@ mod tests {
     /// E(x,y) ∧ E(y,z) → T(x,z) makes y existential in the reverse rule.
     #[test]
     fn projected_join_variable_becomes_existential() {
-        let (v, _m, rec) =
-            synthesize("source: E/2\ntarget: T/2\nE(x, y) & E(y, z) -> T(x, z)");
+        let (v, _m, rec) = synthesize("source: E/2\ntarget: T/2\nE(x, y) & E(y, z) -> T(x, z)");
         let rendered = printer::mapping(&v, &rec);
         let has_existential =
             rec.dependencies.iter().any(|d| d.disjuncts.iter().any(|c| !c.existentials.is_empty()));
@@ -841,17 +851,21 @@ mod tests {
         let mut v = v;
         let u = Universe::new(&mut v, 2, 1, 2);
         let verdict =
-            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default()).unwrap();
+            check_maximum_extended_recovery(&m, &rec, &u, &mut v, &ComposeOptions::default())
+                .unwrap();
         assert!(verdict.holds(), "verdict: {verdict:?}\n{rendered}");
         // In particular it IS an extended recovery at I = {P(a, b)}.
         let i = rde_model::parse::parse_instance(&mut v, "P(a, b)").unwrap();
-        assert!(crate::recovery::recovers(&m, &rec, &i, &mut v, &ComposeOptions::default()).unwrap());
+        assert!(
+            crate::recovery::recovers(&m, &rec, &i, &mut v, &ComposeOptions::default()).unwrap()
+        );
     }
 
     #[test]
     fn non_full_mappings_are_rejected() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(&mut v, "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)").unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)").unwrap();
         let err = maximum_extended_recovery_full(&m, &mut v, &QuasiInverseOptions::default())
             .unwrap_err();
         assert!(matches!(err, CoreError::UnsupportedMapping { .. }));
@@ -861,7 +875,8 @@ mod tests {
     /// inequalities (no Constant guards).
     #[test]
     fn output_language_is_disjunctive_tgds_with_inequalities() {
-        let (_, _, rec) = synthesize("source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)");
+        let (_, _, rec) =
+            synthesize("source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)");
         assert!(!rec.uses_constant_guards());
         for d in &rec.dependencies {
             assert!(!d.disjuncts.is_empty());

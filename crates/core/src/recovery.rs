@@ -88,10 +88,16 @@ pub fn check_maximum_extended_recovery(
             let in_comp = in_e_composition(mapping, reverse, i1, i2, vocab, options)?;
             match (in_comp, in_arrow) {
                 (true, false) => {
-                    return Ok(MaxRecoveryVerdict::NotContainedInArrowM { i1: i1.clone(), i2: i2.clone() })
+                    return Ok(MaxRecoveryVerdict::NotContainedInArrowM {
+                        i1: i1.clone(),
+                        i2: i2.clone(),
+                    })
                 }
                 (false, true) => {
-                    return Ok(MaxRecoveryVerdict::MissesArrowMPair { i1: i1.clone(), i2: i2.clone() })
+                    return Ok(MaxRecoveryVerdict::MissesArrowMPair {
+                        i1: i1.clone(),
+                        i2: i2.clone(),
+                    })
                 }
                 _ => {}
             }
@@ -120,10 +126,16 @@ pub fn check_extended_inverse_semantically(
             let in_comp = in_e_composition(mapping, reverse, i1, i2, vocab, options)?;
             match (in_comp, in_hom) {
                 (true, false) => {
-                    return Ok(MaxRecoveryVerdict::NotContainedInArrowM { i1: i1.clone(), i2: i2.clone() })
+                    return Ok(MaxRecoveryVerdict::NotContainedInArrowM {
+                        i1: i1.clone(),
+                        i2: i2.clone(),
+                    })
                 }
                 (false, true) => {
-                    return Ok(MaxRecoveryVerdict::MissesArrowMPair { i1: i1.clone(), i2: i2.clone() })
+                    return Ok(MaxRecoveryVerdict::MissesArrowMPair {
+                        i1: i1.clone(),
+                        i2: i2.clone(),
+                    })
                 }
                 _ => {}
             }
@@ -153,7 +165,8 @@ mod tests {
         .unwrap();
         let u = Universe::new(&mut v, 2, 1, 1);
         let verdict =
-            check_maximum_extended_recovery(&m, &rev, &u, &mut v, &ComposeOptions::default()).unwrap();
+            check_maximum_extended_recovery(&m, &rev, &u, &mut v, &ComposeOptions::default())
+                .unwrap();
         assert!(verdict.holds(), "verdict: {verdict:?}");
     }
 
@@ -165,8 +178,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
             .unwrap();
-        let disj = parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
-        let conj = parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) & Q(x)").unwrap();
+        let disj =
+            parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
+        let conj =
+            parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) & Q(x)").unwrap();
         let u = Universe::new(&mut v, 1, 1, 2);
         let opts = ComposeOptions::default();
         let verdict = check_maximum_extended_recovery(&m, &disj, &u, &mut v, &opts).unwrap();
@@ -192,8 +207,9 @@ mod tests {
         let family = u.collect_instances(&v, &m.source).unwrap();
         let opts = ComposeOptions::default();
         // (I, I) ∈ e(M) ∘ e(M′) always: the empty leaf maps into everything.
-        let cex = find_extended_recovery_counterexample(&m, &empty_rev, family.iter(), &mut v, &opts)
-            .unwrap();
+        let cex =
+            find_extended_recovery_counterexample(&m, &empty_rev, family.iter(), &mut v, &opts)
+                .unwrap();
         assert_eq!(cex, None);
         // ...but e(M) ∘ e(M′) is ALL pairs, strictly above →_M:
         let verdict = check_maximum_extended_recovery(&m, &empty_rev, &u, &mut v, &opts).unwrap();
@@ -205,12 +221,11 @@ mod tests {
     #[test]
     fn example_3_18_semantic_extended_inverse() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(
-            &mut v,
-            "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)",
-        )
-        .unwrap();
-        let minv = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
+        let minv =
+            parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
         let u = Universe::new(&mut v, 1, 1, 1);
         let verdict =
             check_extended_inverse_semantically(&m, &minv, &u, &mut v, &ComposeOptions::default())

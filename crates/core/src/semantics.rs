@@ -85,7 +85,8 @@ mod tests {
     #[test]
     fn satisfaction_with_existentials() {
         let mut v = Vocabulary::new();
-        let m = parse_mapping(&mut v, "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)").unwrap();
+        let m =
+            parse_mapping(&mut v, "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)").unwrap();
         let i = parse_instance(&mut v, "P(a)").unwrap();
         assert!(satisfies(&i, &parse_instance(&mut v, "Q(a, b)").unwrap(), &m));
         assert!(satisfies(&i, &parse_instance(&mut v, "Q(a, ?n)").unwrap(), &m));

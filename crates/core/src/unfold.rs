@@ -168,8 +168,10 @@ fn unfold_dependency(
             next_var = nv;
             for b in &c12[0].atoms {
                 if b.rel == atom.rel {
-                    options_for_atom
-                        .push(Resolution { premise12: p12.atoms.clone(), conclusion_atom: b.clone() });
+                    options_for_atom.push(Resolution {
+                        premise12: p12.atoms.clone(),
+                        conclusion_atom: b.clone(),
+                    });
                 }
             }
         }
@@ -203,7 +205,8 @@ fn unfold_dependency(
             premise_atoms.extend(res.premise12.iter().cloned());
         }
         if ok {
-            if let Some(dep) = finish_unfolding(&unifier, premise_atoms, &premise23, &disjuncts23, next_var)
+            if let Some(dep) =
+                finish_unfolding(&unifier, premise_atoms, &premise23, &disjuncts23, next_var)
             {
                 // α-dedup via the validated printer-independent route:
                 // compare rendered forms.
@@ -294,7 +297,11 @@ fn finish_unfolding(
         })
         .collect();
     let var_names: Vec<String> = (0..var_count).map(|i| format!("v{i}")).collect();
-    Some(Dependency::new(var_names, Premise { atoms: premise_atoms, constant_vars, inequalities }, disjuncts))
+    Some(Dependency::new(
+        var_names,
+        Premise { atoms: premise_atoms, constant_vars, inequalities },
+        disjuncts,
+    ))
 }
 
 #[cfg(test)]
@@ -330,7 +337,8 @@ mod tests {
                 let semantic = in_composition(&m12, &m23, i, k, &mut v, &opts).unwrap();
                 let syntactic = satisfies(i, k, &composed);
                 assert_eq!(
-                    semantic, syntactic,
+                    semantic,
+                    syntactic,
                     "disagreement on I={i:?} K={k:?}\ncomposed:\n{}",
                     rde_deps::printer::mapping(&v, &composed)
                 );
@@ -404,10 +412,10 @@ mod tests {
         let composed = compose_mappings(&m12, &m23, &v, &UnfoldOptions::default()).unwrap();
         let d = v.find_relation("D").unwrap();
         assert!(
-            composed.dependencies.iter().all(|dep| dep
-                .disjuncts
+            composed
+                .dependencies
                 .iter()
-                .all(|c| c.atoms.iter().all(|a| a.rel != d))),
+                .all(|dep| dep.disjuncts.iter().all(|c| c.atoms.iter().all(|a| a.rel != d))),
             "no unfolded rule may conclude D"
         );
     }

@@ -63,7 +63,11 @@ impl Universe {
     }
 
     /// Collect all instances (convenience for pair loops).
-    pub fn collect_instances(&self, vocab: &Vocabulary, schema: &Schema) -> Result<Vec<Instance>, ModelError> {
+    pub fn collect_instances(
+        &self,
+        vocab: &Vocabulary,
+        schema: &Schema,
+    ) -> Result<Vec<Instance>, ModelError> {
         Ok(self.instances(vocab, schema)?.collect())
     }
 

@@ -1,12 +1,12 @@
 //! Ground baselines vs extended notions, side by side — the paper's
 //! central narrative (Sections 1, 3.1, 4.2) as executable comparisons.
 
+use rde_chase::{chase_mapping, ChaseOptions};
 use rde_core::compose::ComposeOptions;
 use rde_core::ground::{check_subset_property, ground_information_loss, is_witness_solution};
 use rde_core::invertibility::check_homomorphism_property;
 use rde_core::loss::information_loss;
 use rde_core::Universe;
-use rde_chase::{chase_mapping, ChaseOptions};
 use rde_deps::{parse_mapping, SchemaMapping};
 use rde_model::{Instance, Vocabulary};
 
@@ -145,7 +145,8 @@ fn lemma_4_12_holds_on_every_family() {
 #[test]
 fn semantic_and_chase_characterizations_agree() {
     let (mut v, m) = load(FAMILIES[3].1);
-    let minv = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
+    let minv =
+        parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
     let u = Universe::new(&mut v, 1, 1, 1);
     // Chase-inverse on the universe...
     let family = u.collect_instances(&v, &m.source).unwrap();

@@ -10,7 +10,7 @@ use rde_core::invertibility::check_homomorphism_property;
 use rde_core::loss::information_loss;
 use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
 use rde_core::recovery::check_maximum_extended_recovery;
-use rde_core::{Universe};
+use rde_core::Universe;
 use rde_deps::{parse_mapping, printer, SchemaMapping};
 use rde_hom::exists_hom;
 use rde_model::Vocabulary;
@@ -28,7 +28,11 @@ const FAMILIES: &[(&str, &str, bool)] = &[
     ),
     ("projection", "source: P/2\ntarget: Q/1\nP(x,y) -> Q(x)", true),
     ("diagonal", "source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)", true),
-    ("join-export", "source: S/2\ntarget: T/2, U/1\nS(x,y) -> T(x,y)\nS(x,y) & S(y,x) -> U(x)", true),
+    (
+        "join-export",
+        "source: S/2\ntarget: T/2, U/1\nS(x,y) -> T(x,y)\nS(x,y) & S(y,x) -> U(x)",
+        true,
+    ),
     ("two-step", "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)", false),
     ("decomposition", "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)", true),
 ];
@@ -62,7 +66,8 @@ fn proposition_3_11_grid() {
         for i in u.instances(&v, &m.source).unwrap() {
             let chased = chase_mapping(&i, &m, &mut v, &ChaseOptions::default()).unwrap();
             assert!(
-                rde_core::extended::is_extended_universal_solution(&i, &chased, &m, &mut v).unwrap(),
+                rde_core::extended::is_extended_universal_solution(&i, &chased, &m, &mut v)
+                    .unwrap(),
                 "family {name}, source {i:?}"
             );
         }
@@ -180,7 +185,10 @@ fn theorem_6_4_grid() {
 #[test]
 fn section_6_3_order_is_consistent_with_censuses() {
     let comparable = [
-        ("source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)", "source: P/2\ntarget: Q/1\nP(x,y) -> Q(x)"),
+        (
+            "source: P/2\ntarget: Pp/2\nP(x,y) -> Pp(x,y)",
+            "source: P/2\ntarget: Q/1\nP(x,y) -> Q(x)",
+        ),
         (
             "source: A/1, B/1\ntarget: R/1, TA/1, TB/1\nA(x) -> R(x) & TA(x)\nB(x) -> R(x) & TB(x)",
             "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)",

@@ -181,7 +181,9 @@ impl Dependency {
             return Err(DepError::EmptyConclusion);
         }
         let universal: FxHashSet<VarId> = self.premise.atom_vars().into_iter().collect();
-        for atom in self.premise.atoms.iter().chain(self.disjuncts.iter().flat_map(|d| d.atoms.iter())) {
+        for atom in
+            self.premise.atoms.iter().chain(self.disjuncts.iter().flat_map(|d| d.atoms.iter()))
+        {
             let expected = vocab.arity(atom.rel);
             if atom.args.len() != expected {
                 return Err(DepError::ArityMismatch {
@@ -249,7 +251,10 @@ mod tests {
         let (x, y, z) = (VarId(0), VarId(1), VarId(2));
         Dependency::new(
             vec!["x".into(), "y".into(), "z".into()],
-            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(x), Term::Var(y)] }], ..Default::default() },
+            Premise {
+                atoms: vec![Atom { rel: p, args: vec![Term::Var(x), Term::Var(y)] }],
+                ..Default::default()
+            },
             vec![Conjunct {
                 existentials: vec![z],
                 atoms: vec![
@@ -281,7 +286,10 @@ mod tests {
         // P(x) -> Q(y) with y neither universal nor existential.
         let d = Dependency::new(
             vec!["x".into(), "y".into()],
-            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            Premise {
+                atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }],
+                ..Default::default()
+            },
             vec![Conjunct::full(vec![Atom { rel: q, args: vec![Term::Var(VarId(1))] }])],
         );
         assert_eq!(d.validate(&v), Err(DepError::UnsafeVariable { var: "y".into() }));
@@ -295,7 +303,10 @@ mod tests {
         // P(x) -> exists x . Q(x): x is both universal and existential.
         let d = Dependency::new(
             vec!["x".into()],
-            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            Premise {
+                atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }],
+                ..Default::default()
+            },
             vec![Conjunct {
                 existentials: vec![VarId(0)],
                 atoms: vec![Atom { rel: q, args: vec![Term::Var(VarId(0))] }],
@@ -326,8 +337,14 @@ mod tests {
         let p = v.relation("P", 2).unwrap();
         let d = Dependency::new(
             vec!["x".into()],
-            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
-            vec![Conjunct::full(vec![Atom { rel: p, args: vec![Term::Var(VarId(0)), Term::Var(VarId(0))] }])],
+            Premise {
+                atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }],
+                ..Default::default()
+            },
+            vec![Conjunct::full(vec![Atom {
+                rel: p,
+                args: vec![Term::Var(VarId(0)), Term::Var(VarId(0))],
+            }])],
         );
         assert!(matches!(d.validate(&v), Err(DepError::ArityMismatch { .. })));
     }
@@ -338,7 +355,10 @@ mod tests {
         let p = v.relation("P", 1).unwrap();
         let d = Dependency::new(
             vec!["x".into()],
-            Premise { atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }], ..Default::default() },
+            Premise {
+                atoms: vec![Atom { rel: p, args: vec![Term::Var(VarId(0))] }],
+                ..Default::default()
+            },
             vec![],
         );
         assert_eq!(d.validate(&v), Err(DepError::EmptyConclusion));
@@ -352,14 +372,19 @@ mod tests {
         let frozen = d.freeze_premise(&assign);
         assert_eq!(frozen.len(), 1);
         let p = v.find_relation("P").unwrap();
-        assert!(frozen.contains(&Fact::new(p, vec![Value::Null(NullId(0)), Value::Null(NullId(1))])));
+        assert!(
+            frozen.contains(&Fact::new(p, vec![Value::Null(NullId(0)), Value::Null(NullId(1))]))
+        );
     }
 
     #[test]
     fn atom_vars_dedup_in_order() {
         let mut v = Vocabulary::new();
         let p = v.relation("P", 3).unwrap();
-        let a = Atom { rel: p, args: vec![Term::Var(VarId(1)), Term::Var(VarId(0)), Term::Var(VarId(1))] };
+        let a = Atom {
+            rel: p,
+            args: vec![Term::Var(VarId(1)), Term::Var(VarId(0)), Term::Var(VarId(1))],
+        };
         assert_eq!(a.vars(), vec![VarId(1), VarId(0)]);
     }
 }

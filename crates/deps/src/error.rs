@@ -56,7 +56,10 @@ impl fmt::Display for DepError {
                 write!(f, "existential variable `{var}` also occurs in the premise")
             }
             DepError::ArityMismatch { relation, expected, got } => {
-                write!(f, "relation `{relation}` has arity {expected} but atom has {got} argument(s)")
+                write!(
+                    f,
+                    "relation `{relation}` has arity {expected} but atom has {got} argument(s)"
+                )
             }
             DepError::EmptyConclusion => write!(f, "dependency has an empty conclusion"),
             DepError::SchemaViolation { relation, position } => {

@@ -107,7 +107,8 @@ mod tests {
         assert!(full.is_disjunctive_tgd_mapping());
 
         let mut v = Vocabulary::new();
-        let tgd = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z)").unwrap();
+        let tgd =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z)").unwrap();
         assert!(tgd.is_tgd_mapping());
         assert!(!tgd.is_full_tgd_mapping());
 

@@ -75,8 +75,9 @@ pub fn normalize_dependency(dep: &Dependency) -> Result<Vec<Dependency>, DepErro
     if groups.len() == 1 {
         return Ok(vec![dep.clone()]);
     }
-    let var_names: Vec<String> =
-        (0..dep.var_count()).map(|i| dep.var_name(crate::ast::VarId(i as u32)).to_owned()).collect();
+    let var_names: Vec<String> = (0..dep.var_count())
+        .map(|i| dep.var_name(crate::ast::VarId(i as u32)).to_owned())
+        .collect();
     Ok(groups
         .into_iter()
         .map(|(_, members)| {

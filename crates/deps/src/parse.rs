@@ -203,7 +203,11 @@ impl<'a> Parser<'a> {
                         self.expect(&Tok::LParen, "`(`")?;
                         let var = match self.bump() {
                             Some(Tok::Ident(v)) => self.var(&v),
-                            other => return Err(self.err(format!("expected a variable, found {other:?}"))),
+                            other => {
+                                return Err(
+                                    self.err(format!("expected a variable, found {other:?}"))
+                                )
+                            }
                         };
                         self.expect(&Tok::RParen, "`)`")?;
                         premise.constant_vars.push(var);
@@ -212,7 +216,11 @@ impl<'a> Parser<'a> {
                         self.bump();
                         let b = match self.bump() {
                             Some(Tok::Ident(v)) => self.var(&v),
-                            other => return Err(self.err(format!("expected a variable, found {other:?}"))),
+                            other => {
+                                return Err(
+                                    self.err(format!("expected a variable, found {other:?}"))
+                                )
+                            }
                         };
                         premise.inequalities.push((a, b));
                     } else {
@@ -224,7 +232,9 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(Tok::Amp) | Some(Tok::Comma) => continue,
                 Some(Tok::Arrow) => return Ok(premise),
-                other => return Err(self.err(format!("expected `&`, `,` or `->`, found {other:?}"))),
+                other => {
+                    return Err(self.err(format!("expected `&`, `,` or `->`, found {other:?}")))
+                }
             }
         }
     }
@@ -237,12 +247,16 @@ impl<'a> Parser<'a> {
                 loop {
                     match self.bump() {
                         Some(Tok::Ident(v)) => existentials.push(self.var(&v)),
-                        other => return Err(self.err(format!("expected a variable, found {other:?}"))),
+                        other => {
+                            return Err(self.err(format!("expected a variable, found {other:?}")))
+                        }
                     }
                     match self.bump() {
                         Some(Tok::Comma) => continue,
                         Some(Tok::Dot) => break,
-                        other => return Err(self.err(format!("expected `,` or `.`, found {other:?}"))),
+                        other => {
+                            return Err(self.err(format!("expected `,` or `.`, found {other:?}")))
+                        }
                     }
                 }
             }
@@ -284,7 +298,11 @@ pub fn parse_dependency(vocab: &mut Vocabulary, src: &str) -> Result<Dependency,
     parse_dependency_at(vocab, src, 1)
 }
 
-fn parse_dependency_at(vocab: &mut Vocabulary, src: &str, line: usize) -> Result<Dependency, DepError> {
+fn parse_dependency_at(
+    vocab: &mut Vocabulary,
+    src: &str,
+    line: usize,
+) -> Result<Dependency, DepError> {
     let toks = tokenize(src, line)?;
     let parser = Parser { toks, pos: 0, vocab, line, var_names: Vec::new() };
     parser.dependency()
@@ -338,9 +356,8 @@ pub fn parse_mapping(vocab: &mut Vocabulary, text: &str) -> Result<SchemaMapping
         if line.is_empty() {
             continue;
         }
-        let continues = |s: &str| {
-            s.ends_with("->") || s.ends_with('&') || s.ends_with('|') || s.ends_with(',')
-        };
+        let continues =
+            |s: &str| s.ends_with("->") || s.ends_with('&') || s.ends_with('|') || s.ends_with(',');
         match pending.take() {
             Some((start, mut acc)) => {
                 acc.push(' ');
@@ -365,11 +382,16 @@ pub fn parse_mapping(vocab: &mut Vocabulary, text: &str) -> Result<SchemaMapping
         }
     }
     if let Some((start, acc)) = pending {
-        return Err(DepError::Parse { line: start, message: format!("incomplete dependency `{acc}`") });
+        return Err(DepError::Parse {
+            line: start,
+            message: format!("incomplete dependency `{acc}`"),
+        });
     }
 
-    let source = source.ok_or(DepError::Parse { line: 1, message: "missing `source:` declaration".into() })?;
-    let target = target.ok_or(DepError::Parse { line: 1, message: "missing `target:` declaration".into() })?;
+    let source = source
+        .ok_or(DepError::Parse { line: 1, message: "missing `source:` declaration".into() })?;
+    let target = target
+        .ok_or(DepError::Parse { line: 1, message: "missing `target:` declaration".into() })?;
 
     let mut dependencies = Vec::new();
     for (line, src) in dep_sources {

@@ -17,14 +17,24 @@ pub struct DependencyDisplay<'a> {
     dep: &'a Dependency,
 }
 
-fn write_term(f: &mut fmt::Formatter<'_>, vocab: &Vocabulary, dep: &Dependency, t: &Term) -> fmt::Result {
+fn write_term(
+    f: &mut fmt::Formatter<'_>,
+    vocab: &Vocabulary,
+    dep: &Dependency,
+    t: &Term,
+) -> fmt::Result {
     match *t {
         Term::Var(v) => f.write_str(dep.var_name(v)),
         Term::Const(c) => write!(f, "'{}'", vocab.constant_name(c)),
     }
 }
 
-fn write_atom(f: &mut fmt::Formatter<'_>, vocab: &Vocabulary, dep: &Dependency, a: &Atom) -> fmt::Result {
+fn write_atom(
+    f: &mut fmt::Formatter<'_>,
+    vocab: &Vocabulary,
+    dep: &Dependency,
+    a: &Atom,
+) -> fmt::Result {
     write!(f, "{}(", vocab.relation_name(a.rel))?;
     for (i, t) in a.args.iter().enumerate() {
         if i > 0 {

@@ -23,9 +23,14 @@ fn shape() -> impl Strategy<Value = Shape> {
         prop::collection::vec((0u8..2, prop::collection::vec(-2i8..4, 2)), 1..3),
         1..3,
     );
-    (premise, ineqs, guards, disjuncts).prop_map(|(premise, inequalities, constant_guards, disjuncts)| {
-        Shape { premise, inequalities, constant_guards, disjuncts }
-    })
+    (premise, ineqs, guards, disjuncts).prop_map(
+        |(premise, inequalities, constant_guards, disjuncts)| Shape {
+            premise,
+            inequalities,
+            constant_guards,
+            disjuncts,
+        },
+    )
 }
 
 /// Materialize a shape into a validated dependency, or `None` if the
@@ -47,7 +52,11 @@ fn materialize(vocab: &mut Vocabulary, s: &Shape) -> Option<Dependency> {
             })
             .collect(),
         constant_vars: s.constant_guards.iter().map(|&v| VarId(v as u32)).collect(),
-        inequalities: s.inequalities.iter().map(|&(a, b)| (VarId(a as u32), VarId(b as u32))).collect(),
+        inequalities: s
+            .inequalities
+            .iter()
+            .map(|&(a, b)| (VarId(a as u32), VarId(b as u32)))
+            .collect(),
     };
     let disjuncts: Vec<Conjunct> = s
         .disjuncts

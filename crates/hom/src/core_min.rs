@@ -108,12 +108,8 @@ mod tests {
     fn null_chain_folds_onto_constant_cycle() {
         // Edges with fresh nulls alongside a constant loop: everything
         // folds onto the loop.
-        let i = inst(&[
-            (0, &[c(0), c(0)]),
-            (0, &[n(0), n(1)]),
-            (0, &[n(1), n(2)]),
-            (0, &[n(2), n(0)]),
-        ]);
+        let i =
+            inst(&[(0, &[c(0), c(0)]), (0, &[n(0), n(1)]), (0, &[n(1), n(2)]), (0, &[n(2), n(0)])]);
         let r = core_of(&i);
         assert_eq!(r.core, inst(&[(0, &[c(0), c(0)])]));
         assert!(hom_equivalent(&i, &r.core));
@@ -121,12 +117,8 @@ mod tests {
 
     #[test]
     fn retraction_maps_input_onto_core() {
-        let i = inst(&[
-            (0, &[c(0), n(0)]),
-            (0, &[c(0), c(1)]),
-            (1, &[n(0), n(1)]),
-            (1, &[c(1), n(2)]),
-        ]);
+        let i =
+            inst(&[(0, &[c(0), n(0)]), (0, &[c(0), c(1)]), (1, &[n(0), n(1)]), (1, &[c(1), n(2)])]);
         let r = core_of(&i);
         assert!(is_core(&r.core));
         assert!(hom_equivalent(&i, &r.core));
@@ -138,12 +130,8 @@ mod tests {
     fn all_null_clique_has_singleton_loop_core() {
         // Complete directed graph on two nulls including self-loops:
         // core is a single loop on one null.
-        let i = inst(&[
-            (0, &[n(0), n(0)]),
-            (0, &[n(0), n(1)]),
-            (0, &[n(1), n(0)]),
-            (0, &[n(1), n(1)]),
-        ]);
+        let i =
+            inst(&[(0, &[n(0), n(0)]), (0, &[n(0), n(1)]), (0, &[n(1), n(0)]), (0, &[n(1), n(1)])]);
         let r = core_of(&i);
         assert_eq!(r.core.len(), 1);
         assert!(hom_equivalent(&i, &r.core));

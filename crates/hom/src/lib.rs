@@ -40,5 +40,6 @@ pub use equivalence::{hom_equivalent, hom_equivalent_with};
 pub use error::HomError;
 pub use iso::{find_iso, is_isomorphic};
 pub use search::{
-    count_homs, exists_hom, find_hom, find_hom_seeded, for_each_hom, HomConfig, HomStats, SearchOutcome,
+    count_homs, exists_hom, find_hom, find_hom_seeded, for_each_hom, CompiledPattern, HomConfig,
+    HomStats, PatArg, PatternAtom, SearchOutcome,
 };

@@ -53,43 +53,138 @@ pub enum SearchOutcome {
     NotFound,
 }
 
-/// One argument of a pattern fact: already-fixed value or variable slot.
-#[derive(Debug, Clone, Copy)]
-enum PArg {
+/// One argument of a pattern atom: already-fixed value or variable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatArg {
+    /// A value that must match exactly (a constant, or a pre-resolved
+    /// null of the *target*).
     Fixed(Value),
+    /// A pattern variable, identified by its dense slot index.
     Var(u32),
+}
+
+/// One atom `R(a₁, …, aₖ)` of a [`CompiledPattern`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternAtom {
+    /// Relation symbol to match in the target.
+    pub rel: rde_model::RelId,
+    /// Argument pattern.
+    pub args: Vec<PatArg>,
+}
+
+/// A conjunction of atoms over dense variable slots, compiled once and
+/// matched against many (growing) targets.
+///
+/// This is the allocation-free core the chase builds its premise plans
+/// on: compiling replaces the freeze-into-`Instance` + null-offset
+/// dance [`for_each_hom`] needs, because slots are pattern-local —
+/// they can never collide with target nulls, so no per-call offset
+/// scan exists at all.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    atoms: Vec<PatternAtom>,
+    n_vars: u32,
+}
+
+impl CompiledPattern {
+    /// Compile a pattern. Slot indices may be sparse; the variable
+    /// space is sized by the largest index used.
+    pub fn new(atoms: Vec<PatternAtom>) -> Self {
+        let n_vars = atoms
+            .iter()
+            .flat_map(|a| &a.args)
+            .filter_map(|a| match *a {
+                PatArg::Var(v) => Some(v + 1),
+                PatArg::Fixed(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        CompiledPattern { atoms, n_vars }
+    }
+
+    /// Number of variable slots (one past the largest used index).
+    pub fn num_vars(&self) -> usize {
+        self.n_vars as usize
+    }
+
+    /// The compiled atoms.
+    pub fn atoms(&self) -> &[PatternAtom] {
+        &self.atoms
+    }
+
+    /// Enumerate matches of the pattern into `target` extending `seed`
+    /// (`seed[v]` pre-binds slot `v`; missing/`None` entries are free).
+    /// The callback sees the full slot assignment and returns `false`
+    /// to stop. Returns the search statistics.
+    pub fn for_each_match(
+        &self,
+        target: &Instance,
+        seed: &[Option<Value>],
+        config: &HomConfig,
+        on_found: impl FnMut(&[Option<Value>]) -> bool,
+    ) -> Result<HomStats, HomError> {
+        self.for_each_match_excluding(None, target, seed, config, on_found)
+    }
+
+    /// Like [`Self::for_each_match`], but atom `skip` (if any) is taken
+    /// as already matched: the search covers only the remaining atoms.
+    /// The caller must have seeded every variable of the skipped atom —
+    /// this is the semi-naive chase's delta seeding, where one atom is
+    /// unified with a delta fact and the rest are matched against the
+    /// full instance.
+    pub fn for_each_match_excluding(
+        &self,
+        skip: Option<usize>,
+        target: &Instance,
+        seed: &[Option<Value>],
+        config: &HomConfig,
+        on_found: impl FnMut(&[Option<Value>]) -> bool,
+    ) -> Result<HomStats, HomError> {
+        static EMPTY: std::sync::OnceLock<RelationData> = std::sync::OnceLock::new();
+        let empty = EMPTY.get_or_init(RelationData::default);
+        let facts: Vec<PatternFact<'_>> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i) != skip)
+            .map(|(_, a)| PatternFact {
+                rel_data: target.relation(a.rel).unwrap_or(empty),
+                args: &a.args,
+            })
+            .collect();
+        let mut vals: Vec<Option<Value>> = vec![None; self.n_vars as usize];
+        for (slot, &v) in seed.iter().enumerate().take(vals.len()) {
+            vals[slot] = v;
+        }
+        let mut searcher = Searcher { facts, vals, config, stats: HomStats::default(), on_found };
+        let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
+        searcher.solve(&mut remaining)?;
+        Ok(searcher.stats)
+    }
 }
 
 struct PatternFact<'a> {
     rel_data: &'a RelationData,
-    args: Vec<PArg>,
+    args: &'a [PatArg],
 }
 
-struct Searcher<'a, F: FnMut(&Substitution) -> bool> {
+struct Searcher<'a, F: FnMut(&[Option<Value>]) -> bool> {
     facts: Vec<PatternFact<'a>>,
-    /// Variable assignment: `vals[v]` is the image of variable `v`.
+    /// Variable assignment: `vals[v]` is the image of slot `v`.
     vals: Vec<Option<Value>>,
-    /// Variable index → source null id (for building substitutions).
-    var_nulls: Vec<NullId>,
     config: &'a HomConfig,
     stats: HomStats,
     /// Callback; returns `false` to stop enumerating.
     on_found: F,
 }
 
-impl<F: FnMut(&Substitution) -> bool> Searcher<'_, F> {
+impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
     /// Returns `Ok(true)` if enumeration was stopped by the callback.
     fn solve(&mut self, remaining: &mut Vec<usize>) -> Result<bool, HomError> {
         let Some(slot) = self.pick(remaining) else {
-            // All facts covered: report the homomorphism.
-            let sub: Substitution = self
-                .var_nulls
-                .iter()
-                .zip(&self.vals)
-                .map(|(&n, v)| (n, v.expect("all variables bound when all facts covered")))
-                .collect();
+            // All facts covered: report the match.
             self.stats.found += 1;
-            return Ok(!(self.on_found)(&sub));
+            return Ok(!(self.on_found)(&self.vals));
         };
         let fact_idx = remaining.swap_remove(slot);
         let rows = self.candidate_rows(fact_idx);
@@ -100,7 +195,12 @@ impl<F: FnMut(&Substitution) -> bool> Searcher<'_, F> {
         Ok(stopped)
     }
 
-    fn try_rows(&mut self, fact_idx: usize, rows: Rows, remaining: &mut Vec<usize>) -> Result<bool, HomError> {
+    fn try_rows(
+        &mut self,
+        fact_idx: usize,
+        rows: Rows,
+        remaining: &mut Vec<usize>,
+    ) -> Result<bool, HomError> {
         let n_rows = match &rows {
             Rows::All(n) => *n,
             Rows::Some(v) => v.len(),
@@ -171,10 +271,10 @@ impl<F: FnMut(&Substitution) -> bool> Searcher<'_, F> {
         best
     }
 
-    fn arg_value(&self, arg: PArg) -> Option<Value> {
+    fn arg_value(&self, arg: PatArg) -> Option<Value> {
         match arg {
-            PArg::Fixed(v) => Some(v),
-            PArg::Var(x) => self.vals[x as usize],
+            PatArg::Fixed(v) => Some(v),
+            PatArg::Var(x) => self.vals[x as usize],
         }
     }
 
@@ -205,12 +305,12 @@ impl<F: FnMut(&Substitution) -> bool> Searcher<'_, F> {
         let tuple = f.rel_data.tuple(row);
         for (arg, &tv) in f.args.iter().zip(tuple) {
             match *arg {
-                PArg::Fixed(v) => {
+                PatArg::Fixed(v) => {
                     if v != tv {
                         return false;
                     }
                 }
-                PArg::Var(x) => match self.vals[x as usize] {
+                PatArg::Var(x) => match self.vals[x as usize] {
                     Some(v) => {
                         if v != tv {
                             return false;
@@ -246,35 +346,33 @@ pub fn for_each_hom(
     target: &Instance,
     seed: &Substitution,
     config: &HomConfig,
-    on_found: impl FnMut(&Substitution) -> bool,
+    mut on_found: impl FnMut(&Substitution) -> bool,
 ) -> Result<HomStats, HomError> {
     let mut var_ids: FxHashMap<NullId, u32> = FxHashMap::default();
     let mut var_nulls: Vec<NullId> = Vec::new();
-    let mut facts: Vec<PatternFact<'_>> = Vec::new();
-    static EMPTY: std::sync::OnceLock<RelationData> = std::sync::OnceLock::new();
-    let empty = EMPTY.get_or_init(RelationData::default);
+    let mut atoms: Vec<PatternAtom> = Vec::new();
 
     for (rel, data) in source.relations() {
-        let rel_data = target.relation(rel).unwrap_or(empty);
         for tuple in data.tuples() {
             let args = tuple
                 .iter()
                 .map(|&v| match v {
-                    Value::Const(_) => PArg::Fixed(v),
+                    Value::Const(_) => PatArg::Fixed(v),
                     Value::Null(n) => {
                         let next = var_nulls.len() as u32;
                         let idx = *var_ids.entry(n).or_insert_with(|| {
                             var_nulls.push(n);
                             next
                         });
-                        PArg::Var(idx)
+                        PatArg::Var(idx)
                     }
                 })
                 .collect();
-            facts.push(PatternFact { rel_data, args });
+            atoms.push(PatternAtom { rel, args });
         }
     }
 
+    let pattern = CompiledPattern::new(atoms);
     let mut vals: Vec<Option<Value>> = vec![None; var_nulls.len()];
     for (n, v) in seed.iter() {
         if let Some(&idx) = var_ids.get(&n) {
@@ -282,10 +380,14 @@ pub fn for_each_hom(
         }
     }
 
-    let mut searcher = Searcher { facts, vals, var_nulls, config, stats: HomStats::default(), on_found };
-    let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
-    searcher.solve(&mut remaining)?;
-    Ok(searcher.stats)
+    pattern.for_each_match(target, &vals, config, |assignment| {
+        let sub: Substitution = var_nulls
+            .iter()
+            .zip(assignment)
+            .map(|(&n, v)| (n, v.expect("all variables bound when all facts covered")))
+            .collect();
+        on_found(&sub)
+    })
 }
 
 /// Find one homomorphism `source → target`, if any (complete search).
@@ -294,7 +396,11 @@ pub fn find_hom(source: &Instance, target: &Instance) -> Option<Substitution> {
 }
 
 /// Find one homomorphism extending `seed`, if any (complete search).
-pub fn find_hom_seeded(source: &Instance, target: &Instance, seed: &Substitution) -> Option<Substitution> {
+pub fn find_hom_seeded(
+    source: &Instance,
+    target: &Instance,
+    seed: &Substitution,
+) -> Option<Substitution> {
     let mut result = None;
     for_each_hom(source, target, seed, &HomConfig::default(), |sub| {
         result = Some(sub.clone());
@@ -450,12 +556,8 @@ mod tests {
     fn node_budget_is_enforced() {
         // A mismatch that requires search: k² attempts for a miss.
         let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(0)]), (1, &[n(0)])]);
-        let target = inst(&[
-            (0, &[c(0), c(1)]),
-            (0, &[c(1), c(2)]),
-            (0, &[c(2), c(0)]),
-            (1, &[c(9)]),
-        ]);
+        let target =
+            inst(&[(0, &[c(0), c(1)]), (0, &[c(1), c(2)]), (0, &[c(2), c(0)]), (1, &[c(9)])]);
         let cfg = HomConfig { node_budget: Some(0), ..HomConfig::default() };
         let err = for_each_hom(&source, &target, &Substitution::new(), &cfg, |_| true).unwrap_err();
         assert_eq!(err, HomError::NodeBudgetExhausted { budget: 0 });
@@ -487,7 +589,8 @@ mod tests {
         let source = inst(&[(0, &[n(0)])]);
         let target = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
         let stats =
-            for_each_hom(&source, &target, &Substitution::new(), &HomConfig::default(), |_| true).unwrap();
+            for_each_hom(&source, &target, &Substitution::new(), &HomConfig::default(), |_| true)
+                .unwrap();
         assert_eq!(stats.found, 2);
         assert!(stats.nodes >= 2);
     }

@@ -101,7 +101,9 @@ impl InstanceEnumerator {
         max_facts: usize,
     ) -> Result<Self, ModelError> {
         if schema.is_empty() && max_facts > 0 {
-            return Err(ModelError::InvalidRequest("cannot enumerate facts over an empty schema".into()));
+            return Err(ModelError::InvalidRequest(
+                "cannot enumerate facts over an empty schema".into(),
+            ));
         }
         Ok(Self::from_pool(all_facts(vocab, schema, values), max_facts))
     }

@@ -28,7 +28,13 @@ pub struct RandomInstanceConfig {
 impl RandomInstanceConfig {
     /// A config with `facts` attempts over `n_consts` constants
     /// (`k0..k{n}`) and `n_nulls` named nulls, interned into `vocab`.
-    pub fn with_pools(vocab: &mut Vocabulary, facts: usize, n_consts: usize, n_nulls: usize, null_probability: f64) -> Self {
+    pub fn with_pools(
+        vocab: &mut Vocabulary,
+        facts: usize,
+        n_consts: usize,
+        n_nulls: usize,
+        null_probability: f64,
+    ) -> Self {
         let constants = (0..n_consts).map(|i| vocab.const_value(&format!("k{i}"))).collect();
         let nulls = (0..n_nulls).map(|i| vocab.null_value(&format!("v{i}"))).collect();
         RandomInstanceConfig { facts, constants, nulls, null_probability }
@@ -47,13 +53,17 @@ pub fn random_instance<R: Rng>(
     config: &RandomInstanceConfig,
 ) -> Result<Instance, ModelError> {
     if schema.is_empty() && config.facts > 0 {
-        return Err(ModelError::InvalidRequest("cannot generate facts over an empty schema".into()));
+        return Err(ModelError::InvalidRequest(
+            "cannot generate facts over an empty schema".into(),
+        ));
     }
     if config.constants.is_empty() && config.nulls.is_empty() && config.facts > 0 {
         // Only possible if every relation has arity 0; check.
         let all_nullary = schema.relations().iter().all(|&r| vocab.arity(r) == 0);
         if !all_nullary {
-            return Err(ModelError::InvalidRequest("empty value pools with positive-arity relations".into()));
+            return Err(ModelError::InvalidRequest(
+                "empty value pools with positive-arity relations".into(),
+            ));
         }
     }
     let mut inst = Instance::new();
@@ -111,7 +121,12 @@ mod tests {
     fn empty_pools_are_rejected_for_positive_arity() {
         let mut v = Vocabulary::new();
         let s = Schema::declare(&mut v, &[("P", 1)]).unwrap();
-        let cfg = RandomInstanceConfig { facts: 3, constants: vec![], nulls: vec![], null_probability: 0.5 };
+        let cfg = RandomInstanceConfig {
+            facts: 3,
+            constants: vec![],
+            nulls: vec![],
+            null_probability: 0.5,
+        };
         let mut rng = SmallRng::seed_from_u64(1);
         assert!(random_instance(&mut rng, &v, &s, &cfg).is_err());
     }
@@ -120,7 +135,12 @@ mod tests {
     fn nullary_relations_work_with_empty_pools() {
         let mut v = Vocabulary::new();
         let s = Schema::declare(&mut v, &[("Flag", 0)]).unwrap();
-        let cfg = RandomInstanceConfig { facts: 3, constants: vec![], nulls: vec![], null_probability: 0.5 };
+        let cfg = RandomInstanceConfig {
+            facts: 3,
+            constants: vec![],
+            nulls: vec![],
+            null_probability: 0.5,
+        };
         let mut rng = SmallRng::seed_from_u64(1);
         let i = random_instance(&mut rng, &v, &s, &cfg).unwrap();
         assert_eq!(i.len(), 1); // dedup of the single nullary fact

@@ -27,7 +27,11 @@ pub struct RelationData {
 
 impl RelationData {
     fn new(arity: usize) -> Self {
-        RelationData { tuples: Vec::new(), dedup: FxHashMap::default(), index: vec![FxHashMap::default(); arity] }
+        RelationData {
+            tuples: Vec::new(),
+            dedup: FxHashMap::default(),
+            index: vec![FxHashMap::default(); arity],
+        }
     }
 
     /// All tuples, in insertion order.
@@ -86,6 +90,10 @@ impl RelationData {
 pub struct Instance {
     relations: BTreeMap<RelId, RelationData>,
     fact_count: usize,
+    /// Exclusive upper bound on null ids occurring in inserted facts
+    /// (`max null id + 1`, 0 when ground). Maintained incrementally so
+    /// hot paths (chase premise matching) never rescan the instance.
+    null_offset: u32,
 }
 
 impl Instance {
@@ -95,7 +103,10 @@ impl Instance {
     }
 
     /// Build an instance from facts, validating arities against `vocab`.
-    pub fn from_facts(vocab: &Vocabulary, facts: impl IntoIterator<Item = Fact>) -> Result<Self, ModelError> {
+    pub fn from_facts(
+        vocab: &Vocabulary,
+        facts: impl IntoIterator<Item = Fact>,
+    ) -> Result<Self, ModelError> {
         let mut inst = Instance::new();
         for f in facts {
             inst.insert_checked(vocab, f)?;
@@ -122,7 +133,8 @@ impl Instance {
     /// Returns `true` if the fact was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
         let arity = fact.arity();
-        let data = self.relations.entry(fact.relation()).or_insert_with(|| RelationData::new(arity));
+        let data =
+            self.relations.entry(fact.relation()).or_insert_with(|| RelationData::new(arity));
         debug_assert_eq!(
             data.index.len(),
             arity,
@@ -132,8 +144,23 @@ impl Instance {
         let added = data.insert(fact.args().into());
         if added {
             self.fact_count += 1;
+            for &v in fact.args() {
+                if let Value::Null(n) = v {
+                    self.null_offset = self.null_offset.max(n.0 + 1);
+                }
+            }
         }
         added
+    }
+
+    /// An exclusive upper bound on the null ids in the instance: one
+    /// past the largest [`crate::NullId`] inserted so far (0 if the
+    /// instance is ground). O(1) — maintained by [`Instance::insert`],
+    /// which every constructor funnels through — replacing the
+    /// full-instance null scans that premise matching used to pay per
+    /// call for fresh-variable offsets.
+    pub fn null_offset(&self) -> u32 {
+        self.null_offset
     }
 
     /// Does the instance contain this fact?
@@ -412,7 +439,8 @@ mod tests {
 
     #[test]
     fn intersection_and_difference() {
-        let a: Instance = vec![fact(0, &[c(0)]), fact(0, &[c(1)]), fact(1, &[c(2)])].into_iter().collect();
+        let a: Instance =
+            vec![fact(0, &[c(0)]), fact(0, &[c(1)]), fact(1, &[c(2)])].into_iter().collect();
         let b: Instance = vec![fact(0, &[c(1)]), fact(1, &[c(3)])].into_iter().collect();
         let inter = a.intersection(&b);
         assert_eq!(inter.len(), 1);
@@ -456,8 +484,28 @@ mod tests {
     }
 
     #[test]
+    fn null_offset_tracks_inserts() {
+        let mut i = Instance::new();
+        assert_eq!(i.null_offset(), 0);
+        i.insert(fact(0, &[c(0), c(1)]));
+        assert_eq!(i.null_offset(), 0, "ground facts leave the offset at 0");
+        i.insert(fact(0, &[c(0), n(4)]));
+        assert_eq!(i.null_offset(), 5);
+        i.insert(fact(1, &[n(2)]));
+        assert_eq!(i.null_offset(), 5, "smaller nulls do not lower the bound");
+        // Duplicate inserts change nothing; derived instances recompute
+        // exactly because they are rebuilt through insert.
+        i.insert(fact(0, &[c(0), n(4)]));
+        assert_eq!(i.null_offset(), 5);
+        let smaller = i.without_fact(&fact(0, &[c(0), n(4)]));
+        assert_eq!(smaller.null_offset(), 3);
+        assert_eq!(i.clone().null_offset(), 5);
+    }
+
+    #[test]
     fn from_iterator_collects() {
-        let i: Instance = vec![fact(0, &[c(0)]), fact(0, &[c(0)]), fact(1, &[c(1)])].into_iter().collect();
+        let i: Instance =
+            vec![fact(0, &[c(0)]), fact(0, &[c(0)]), fact(1, &[c(1)])].into_iter().collect();
         assert_eq!(i.len(), 2);
     }
 }

@@ -78,7 +78,9 @@ fn parse_fact_line(vocab: &mut Vocabulary, line: &str, lineno: usize) -> Result<
     let rel = vocab.relation(name, args.len()).map_err(|e| match e {
         ModelError::ArityConflict { name, existing, requested } => ModelError::Parse {
             line: lineno,
-            message: format!("relation `{name}` has arity {existing}, found {requested} argument(s)"),
+            message: format!(
+                "relation `{name}` has arity {existing}, found {requested} argument(s)"
+            ),
         },
         other => other,
     })?;
@@ -106,7 +108,11 @@ fn split_args(src: &str) -> Vec<&str> {
 
 /// Parse one value token: `?x` (null), `'quoted constant'`, or a bare
 /// identifier/number constant.
-pub fn parse_value(vocab: &mut Vocabulary, token: &str, lineno: usize) -> Result<Value, ModelError> {
+pub fn parse_value(
+    vocab: &mut Vocabulary,
+    token: &str,
+    lineno: usize,
+) -> Result<Value, ModelError> {
     let err = |message: String| ModelError::Parse { line: lineno, message };
     if token.is_empty() {
         return Err(err("empty value".into()));
@@ -118,7 +124,9 @@ pub fn parse_value(vocab: &mut Vocabulary, token: &str, lineno: usize) -> Result
         return Ok(Value::Null(vocab.named_null(name)));
     }
     if let Some(stripped) = token.strip_prefix('\'') {
-        let inner = stripped.strip_suffix('\'').ok_or_else(|| err(format!("unterminated quote in `{token}`")))?;
+        let inner = stripped
+            .strip_suffix('\'')
+            .ok_or_else(|| err(format!("unterminated quote in `{token}`")))?;
         return Ok(Value::Const(vocab.constant(inner)));
     }
     if token.chars().all(|c| c.is_alphanumeric() || c == '_') {

@@ -22,7 +22,7 @@ fn malformed_inputs_fail_with_line_numbers() {
         ("P('unterminated)", 1),
         ("P(a-b)", 1),
         ("P(a b)", 1),
-        ("P(a)\nP(a, b)", 2),        // arity conflict, second line
+        ("P(a)\nP(a, b)", 2), // arity conflict, second line
         ("ok(a)\n\n# fine\nP(a\n", 4),
     ];
     for &(input, line) in corpus {

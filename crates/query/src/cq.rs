@@ -1,7 +1,7 @@
 //! Conjunctive queries.
 
 use rde_chase::matching::for_each_premise_match;
-use rde_deps::{parse_dependency, Atom, Dependency, DepError, Term};
+use rde_deps::{parse_dependency, Atom, DepError, Dependency, Term};
 use rde_model::{Instance, Value, Vocabulary};
 
 use crate::answers::AnswerSet;
@@ -27,10 +27,16 @@ impl ConjunctiveQuery {
             .ok_or(DepError::Parse { line: 1, message: "expected `head :- body`".into() })?;
         let dep = parse_dependency(vocab, &format!("{} -> {}", body.trim(), head.trim()))?;
         if dep.disjuncts.len() != 1 || dep.disjuncts[0].atoms.len() != 1 {
-            return Err(DepError::Parse { line: 1, message: "query head must be a single atom".into() });
+            return Err(DepError::Parse {
+                line: 1,
+                message: "query head must be a single atom".into(),
+            });
         }
         if !dep.disjuncts[0].existentials.is_empty() {
-            return Err(DepError::Parse { line: 1, message: "query head cannot be existential".into() });
+            return Err(DepError::Parse {
+                line: 1,
+                message: "query head cannot be existential".into(),
+            });
         }
         if dep.has_constant_guards() {
             return Err(DepError::Parse {
@@ -71,13 +77,13 @@ impl ConjunctiveQuery {
         }
         let mut new_premise = premise.clone();
         new_premise.atoms.remove(idx);
-        let var_names: Vec<String> =
-            (0..self.dep.var_count()).map(|i| self.dep.var_name(rde_deps::VarId(i as u32)).to_owned()).collect();
+        let var_names: Vec<String> = (0..self.dep.var_count())
+            .map(|i| self.dep.var_name(rde_deps::VarId(i as u32)).to_owned())
+            .collect();
         let dep = Dependency::new(var_names, new_premise, self.dep.disjuncts.clone());
         // Safety may be violated; we have no vocabulary here, but
         // safety is arity-independent: check head/guard vars directly.
-        let universal: std::collections::HashSet<_> =
-            dep.premise.atom_vars().into_iter().collect();
+        let universal: std::collections::HashSet<_> = dep.premise.atom_vars().into_iter().collect();
         let head_safe = dep.disjuncts[0].atoms[0].vars().iter().all(|v| universal.contains(v));
         let guards_safe = dep
             .premise

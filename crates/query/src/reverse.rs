@@ -87,23 +87,27 @@ mod tests {
             "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z) & Q(z, y)",
         )
         .unwrap();
-        let minv = parse_mapping(
-            &mut v,
-            "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)",
-        )
-        .unwrap();
+        let minv = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)")
+            .unwrap();
         let i = parse_instance(&mut v, "P(a, b)\nP(b, c)\nP(a, ?w)").unwrap();
         let q = ConjunctiveQuery::parse(&mut v, "q(x, y) :- P(x, y)").unwrap();
         let expected = crate::cq::evaluate_null_free(&q, &i);
-        let got = reverse_certain_answers(&q, &i, &m, &minv, &mut v, &DisjunctiveChaseOptions::default())
-            .unwrap();
+        let got =
+            reverse_certain_answers(&q, &i, &m, &minv, &mut v, &DisjunctiveChaseOptions::default())
+                .unwrap();
         assert_eq!(got, expected);
         // And a join query over the source.
         let qj = ConjunctiveQuery::parse(&mut v, "j(x, z) :- P(x, y) & P(y, z)").unwrap();
         let expected = crate::cq::evaluate_null_free(&qj, &i);
-        let got =
-            reverse_certain_answers(&qj, &i, &m, &minv, &mut v, &DisjunctiveChaseOptions::default())
-                .unwrap();
+        let got = reverse_certain_answers(
+            &qj,
+            &i,
+            &m,
+            &minv,
+            &mut v,
+            &DisjunctiveChaseOptions::default(),
+        )
+        .unwrap();
         assert_eq!(got, expected);
     }
 
@@ -114,12 +118,14 @@ mod tests {
         let mut v = Vocabulary::new();
         let m = parse_mapping(&mut v, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
             .unwrap();
-        let rec = parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
+        let rec =
+            parse_mapping(&mut v, "source: R/1\ntarget: P/1, Q/1\nR(x) -> P(x) | Q(x)").unwrap();
         let i = parse_instance(&mut v, "P(a)").unwrap();
         // q(x) :- P(x): branch {Q(a)} does not satisfy it → no certain answer.
         let qp = ConjunctiveQuery::parse(&mut v, "q(x) :- P(x)").unwrap();
-        let got = reverse_certain_answers(&qp, &i, &m, &rec, &mut v, &DisjunctiveChaseOptions::default())
-            .unwrap();
+        let got =
+            reverse_certain_answers(&qp, &i, &m, &rec, &mut v, &DisjunctiveChaseOptions::default())
+                .unwrap();
         assert!(got.is_empty());
     }
 

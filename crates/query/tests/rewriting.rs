@@ -59,12 +59,11 @@ fn containment_is_sound_on_evaluation() {
 #[test]
 fn reverse_certain_answers_are_invariant_under_minimization() {
     let mut v = Vocabulary::new();
-    let m = parse_mapping(
-        &mut v,
-        "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z) & Q(z, y)",
-    )
-    .unwrap();
-    let minv = parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)").unwrap();
+    let m =
+        parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z) & Q(z, y)")
+            .unwrap();
+    let minv =
+        parse_mapping(&mut v, "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)").unwrap();
     let i = parse_instance(&mut v, "P(a, b)\nP(b, c)\nP(a, ?w)").unwrap();
     let q = ConjunctiveQuery::parse(&mut v, "ans(x) :- P(x, y) & P(x, z)").unwrap();
     let min = minimize(&q, &v).unwrap();

@@ -13,10 +13,10 @@
 //!
 //! Run with: `cargo run --example decomposition_roundtrip`
 
+use rde_model::{display, parse::parse_instance};
 use reverse_data_exchange::core::chase_inverse::{roundtrip, roundtrip_recovers};
 use reverse_data_exchange::core::Universe;
 use reverse_data_exchange::prelude::*;
-use rde_model::{display, parse::parse_instance};
 
 fn main() {
     let mut vocab = Vocabulary::new();
@@ -26,7 +26,8 @@ fn main() {
     )
     .unwrap();
     let m_prime =
-        parse_mapping(&mut vocab, "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)").unwrap();
+        parse_mapping(&mut vocab, "source: Q/2\ntarget: P/2\nQ(x, z) & Q(z, y) -> P(x, y)")
+            .unwrap();
     let m_dprime = parse_mapping(
         &mut vocab,
         "source: Q/2\ntarget: P/2\n\

@@ -16,6 +16,9 @@
 //!
 //! Run with: `cargo run --example mapping_composition`
 
+use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
+use rde_deps::printer;
+use rde_model::{display, parse::parse_instance};
 use reverse_data_exchange::core::compose::ComposeOptions;
 use reverse_data_exchange::core::quasi_inverse::{
     maximum_extended_recovery_full, QuasiInverseOptions,
@@ -24,9 +27,6 @@ use reverse_data_exchange::core::recovery::check_maximum_extended_recovery;
 use reverse_data_exchange::core::unfold::{compose_mappings, UnfoldOptions};
 use reverse_data_exchange::core::Universe;
 use reverse_data_exchange::prelude::*;
-use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
-use rde_deps::printer;
-use rde_model::{display, parse::parse_instance};
 
 fn main() {
     let mut vocab = Vocabulary::new();
@@ -49,8 +49,8 @@ fn main() {
     println!("composed v1 → v3 mapping:\n{}", printer::mapping(&vocab, &m13));
 
     // 2. Invert the composite: one maximum extended recovery v3 → v1.
-    let recovery = maximum_extended_recovery_full(&m13, &mut vocab, &QuasiInverseOptions::default())
-        .unwrap();
+    let recovery =
+        maximum_extended_recovery_full(&m13, &mut vocab, &QuasiInverseOptions::default()).unwrap();
     println!("synthesized v3 → v1 recovery:\n{}", printer::mapping(&vocab, &recovery));
 
     // 3. Verify it (Theorem 4.13 criterion, bounded).
@@ -87,9 +87,11 @@ fn main() {
     for leaf in &leaves {
         let world = leaf.restrict_to(&m13.source);
         // Every recovered world is a sound approximation of v1.
-        assert!(exists_hom(&world, &v1) || reverse_data_exchange::core::arrow::arrow_m(
-            &m13, &world, &v1, &mut vocab
-        ).unwrap());
+        assert!(
+            exists_hom(&world, &v1)
+                || reverse_data_exchange::core::arrow::arrow_m(&m13, &world, &v1, &mut vocab)
+                    .unwrap()
+        );
     }
     let first = leaves[0].restrict_to(&m13.source);
     println!("one recovered world:\n{}", display::instance(&vocab, &first));

@@ -11,22 +11,20 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
+use rde_model::{display, parse::parse_instance};
 use reverse_data_exchange::core::compose::ComposeOptions;
 use reverse_data_exchange::core::recovery::check_maximum_extended_recovery;
 use reverse_data_exchange::core::Universe;
 use reverse_data_exchange::prelude::*;
-use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
-use rde_model::{display, parse::parse_instance};
 
 fn main() {
     let mut vocab = Vocabulary::new();
 
     // M: P(x, y, z) -> Q(x, y) & R(y, z)      (Example 1.1)
-    let mapping = parse_mapping(
-        &mut vocab,
-        "source: P/3\ntarget: Q/2, R/2\nP(x, y, z) -> Q(x, y) & R(y, z)",
-    )
-    .expect("valid mapping");
+    let mapping =
+        parse_mapping(&mut vocab, "source: P/3\ntarget: Q/2, R/2\nP(x, y, z) -> Q(x, y) & R(y, z)")
+            .expect("valid mapping");
 
     // M': Q(x, y) -> ∃z P(x, y, z);  R(y, z) -> ∃x P(x, y, z)
     let reverse = parse_mapping(
@@ -62,9 +60,14 @@ fn main() {
     assert!(!hom_equivalent(&v, &source));
 
     // The disjunctive-chase view (trivial here: no disjunctions, 1 leaf).
-    let leaves = disjunctive_chase(&u, &reverse.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
-        .expect("disjunctive chase terminates")
-        .leaves;
+    let leaves = disjunctive_chase(
+        &u,
+        &reverse.dependencies,
+        &mut vocab,
+        &DisjunctiveChaseOptions::default(),
+    )
+    .expect("disjunctive chase terminates")
+    .leaves;
     assert_eq!(leaves.len(), 1);
 
     // M' is a maximum extended recovery of M: e(M) ∘ e(M') = →_M,

@@ -9,10 +9,10 @@
 //!
 //! Run with: `cargo run --example reverse_query_answering`
 
-use reverse_data_exchange::prelude::*;
 use rde_chase::DisjunctiveChaseOptions;
 use rde_model::parse::parse_instance;
 use rde_query::{evaluate_null_free, reverse_certain_answers, ConjunctiveQuery};
+use reverse_data_exchange::prelude::*;
 
 fn main() {
     let mut vocab = Vocabulary::new();
@@ -24,14 +24,15 @@ fn main() {
     )
     .unwrap();
     // Extended inverse (the migration is a copy — nothing is lost).
-    let m_inv = parse_mapping(&mut vocab, "source: Dir/2\ntarget: Emp/2\nDir(name, dept) -> Emp(name, dept)")
-        .unwrap();
-
-    let old_db = parse_instance(
+    let m_inv = parse_mapping(
         &mut vocab,
-        "Emp(ada, eng)\nEmp(grace, eng)\nEmp(alan, ?unknown_dept)",
+        "source: Dir/2\ntarget: Emp/2\nDir(name, dept) -> Emp(name, dept)",
     )
     .unwrap();
+
+    let old_db =
+        parse_instance(&mut vocab, "Emp(ada, eng)\nEmp(grace, eng)\nEmp(alan, ?unknown_dept)")
+            .unwrap();
 
     // Legacy query over the OLD schema: who works in engineering?
     let q = ConjunctiveQuery::parse(&mut vocab, "q(name) :- Emp(name, 'eng')").unwrap();
@@ -79,7 +80,10 @@ fn main() {
     )
     .unwrap();
     assert!(answers.is_empty());
-    println!("lossy migration: dept query has {} certain answers (dept was dropped)", answers.len());
+    println!(
+        "lossy migration: dept query has {} certain answers (dept was dropped)",
+        answers.len()
+    );
 
     // But a dept-agnostic query still has all its answers.
     let q_names = ConjunctiveQuery::parse(&mut vocab, "q(name) :- Emp(name, d)").unwrap();

@@ -14,10 +14,10 @@
 //!
 //! Run with: `cargo run --example schema_evolution`
 
-use reverse_data_exchange::core::chase_inverse::roundtrip;
-use reverse_data_exchange::prelude::*;
 use rde_chase::ChaseOptions;
 use rde_model::{display, parse::parse_instance};
+use reverse_data_exchange::core::chase_inverse::roundtrip;
+use reverse_data_exchange::prelude::*;
 
 fn main() {
     let mut vocab = Vocabulary::new();

@@ -16,16 +16,18 @@
 //!
 //! Run with: `cargo run --example union_information_loss`
 
+use rde_deps::printer;
+use rde_model::display;
 use reverse_data_exchange::core::compare::{compare_lossiness, Comparison};
 use reverse_data_exchange::core::compose::ComposeOptions;
 use reverse_data_exchange::core::invertibility::{check_homomorphism_property, BoundedVerdict};
 use reverse_data_exchange::core::loss::information_loss;
-use reverse_data_exchange::core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
+use reverse_data_exchange::core::quasi_inverse::{
+    maximum_extended_recovery_full, QuasiInverseOptions,
+};
 use reverse_data_exchange::core::recovery::check_maximum_extended_recovery;
 use reverse_data_exchange::core::Universe;
 use reverse_data_exchange::prelude::*;
-use rde_deps::printer;
-use rde_model::display;
 
 fn main() {
     let mut vocab = Vocabulary::new();
@@ -62,7 +64,8 @@ fn main() {
 
     // 3. Synthesize and verify the maximum extended recovery.
     let recovery =
-        maximum_extended_recovery_full(&union, &mut vocab, &QuasiInverseOptions::default()).unwrap();
+        maximum_extended_recovery_full(&union, &mut vocab, &QuasiInverseOptions::default())
+            .unwrap();
     println!("synthesized maximum extended recovery:\n{}", printer::mapping(&vocab, &recovery));
     let verdict = check_maximum_extended_recovery(
         &union,

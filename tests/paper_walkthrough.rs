@@ -1,15 +1,17 @@
 //! Integration test: the paper's running examples exercised end to end
 //! across all crates (model → deps → chase → hom → core → query).
 
-use reverse_data_exchange::core::compose::ComposeOptions;
-use reverse_data_exchange::core::invertibility::BoundedVerdict;
-use reverse_data_exchange::core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
-use reverse_data_exchange::core::Universe;
-use reverse_data_exchange::prelude::*;
 use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
 use rde_model::parse::parse_instance;
 use rde_model::{Instance, Vocabulary};
 use rde_query::{evaluate_null_free, reverse_certain_answers, ConjunctiveQuery};
+use reverse_data_exchange::core::compose::ComposeOptions;
+use reverse_data_exchange::core::invertibility::BoundedVerdict;
+use reverse_data_exchange::core::quasi_inverse::{
+    maximum_extended_recovery_full, QuasiInverseOptions,
+};
+use reverse_data_exchange::core::Universe;
+use reverse_data_exchange::prelude::*;
 
 /// Example 1.1 precisely: I = {P(a,b,c)}, U = {Q(a,b), R(b,c)},
 /// V = {P(a,b,Z), P(X,b,c)} with Z, X nulls.
@@ -44,9 +46,8 @@ fn example_1_1_full_pipeline() {
     // Example 3.3 layered on top: U is an extended solution for V but
     // not a solution.
     assert!(!reverse_data_exchange::core::semantics::is_solution(&v, &u, &m));
-    assert!(
-        reverse_data_exchange::core::extended::is_extended_solution(&v, &u, &m, &mut vocab).unwrap()
-    );
+    assert!(reverse_data_exchange::core::extended::is_extended_solution(&v, &u, &m, &mut vocab)
+        .unwrap());
 }
 
 /// The union mapping across the stack: invertibility refutation,
@@ -66,7 +67,8 @@ fn union_mapping_full_pipeline() {
     assert!(matches!(verdict, BoundedVerdict::Counterexample { .. }));
 
     // Synthesize the maximum extended recovery and verify Thm 4.13.
-    let rec = maximum_extended_recovery_full(&m, &mut vocab, &QuasiInverseOptions::default()).unwrap();
+    let rec =
+        maximum_extended_recovery_full(&m, &mut vocab, &QuasiInverseOptions::default()).unwrap();
     assert_eq!(rec.dependencies.len(), 1);
     assert_eq!(rec.dependencies[0].disjuncts.len(), 2);
     let verdict = reverse_data_exchange::core::recovery::check_maximum_extended_recovery(
@@ -85,9 +87,10 @@ fn union_mapping_full_pipeline() {
         .unwrap()
         .instance
         .restrict_to(&m.target);
-    let leaves = disjunctive_chase(&u, &rec.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
-        .unwrap()
-        .leaves;
+    let leaves =
+        disjunctive_chase(&u, &rec.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
+            .unwrap()
+            .leaves;
     let sources: Vec<Instance> = leaves.iter().map(|l| l.restrict_to(&m.source)).collect();
     assert_eq!(sources.len(), 2);
 
@@ -145,7 +148,8 @@ fn theorem_6_5_with_synthesized_recovery() {
          Customer(x) -> Contacts(x)\nSupplier(x) -> Contacts(x)",
     )
     .unwrap();
-    let rec = maximum_extended_recovery_full(&m, &mut vocab, &QuasiInverseOptions::default()).unwrap();
+    let rec =
+        maximum_extended_recovery_full(&m, &mut vocab, &QuasiInverseOptions::default()).unwrap();
     let i = parse_instance(&mut vocab, "Customer(acme)\nSupplier(acme)\nCustomer(globex)").unwrap();
 
     // A query every recovered world satisfies: is acme a contact at all
@@ -160,9 +164,10 @@ fn theorem_6_5_with_synthesized_recovery() {
         .unwrap()
         .instance
         .restrict_to(&m.target);
-    let leaves = disjunctive_chase(&u, &rec.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
-        .unwrap()
-        .leaves;
+    let leaves =
+        disjunctive_chase(&u, &rec.dependencies, &mut vocab, &DisjunctiveChaseOptions::default())
+            .unwrap()
+            .leaves;
     let worlds: Vec<Instance> = leaves.iter().map(|l| l.restrict_to(&m.source)).collect();
     let manual = rde_query::certain_answers_over(&q, worlds.iter());
     assert_eq!(certain, manual);

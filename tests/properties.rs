@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
-use reverse_data_exchange::prelude::*;
 use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
 use rde_hom::{core_of, is_core};
 use rde_model::{Fact, Instance, Vocabulary};
+use reverse_data_exchange::prelude::*;
 
 /// Build the shared vocabulary + mapping suite once per case.
 struct World {
@@ -30,14 +30,14 @@ impl World {
         )
         .unwrap();
         let two_step_inv =
-            parse_mapping(&mut vocab, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)").unwrap();
-        let union = parse_mapping(
-            &mut vocab,
-            "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)",
-        )
-        .unwrap();
+            parse_mapping(&mut vocab, "source: Q/2\ntarget: P/2\nQ(x,z) & Q(z,y) -> P(x,y)")
+                .unwrap();
+        let union =
+            parse_mapping(&mut vocab, "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)")
+                .unwrap();
         let union_rec =
-            parse_mapping(&mut vocab, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)").unwrap();
+            parse_mapping(&mut vocab, "source: R/1\ntarget: A/1, B/1\nR(x) -> A(x) | B(x)")
+                .unwrap();
         World { vocab, two_step, two_step_inv, union, union_rec }
     }
 

@@ -9,6 +9,8 @@
 
 use proptest::prelude::*;
 
+use rde_deps::{printer, Atom, Conjunct, Dependency, Premise, SchemaMapping, Term, VarId};
+use rde_model::{Schema, Vocabulary};
 use reverse_data_exchange::core::compose::ComposeOptions;
 use reverse_data_exchange::core::quasi_inverse::{
     maximum_extended_recovery_full, QuasiInverseOptions,
@@ -17,8 +19,6 @@ use reverse_data_exchange::core::recovery::{
     check_maximum_extended_recovery, find_extended_recovery_counterexample,
 };
 use reverse_data_exchange::core::Universe;
-use rde_deps::{printer, Atom, Conjunct, Dependency, Premise, SchemaMapping, Term, VarId};
-use rde_model::{Schema, Vocabulary};
 
 /// Abstract full tgd: premise atoms and conclusion atoms as
 /// (relation, variable indices) pairs. Variables range over 0..3.
