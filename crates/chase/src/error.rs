@@ -1,5 +1,6 @@
 //! Error type for the chase engines.
 
+use rde_hom::Exhausted;
 use std::fmt;
 
 /// Errors from the standard or disjunctive chase.
@@ -28,6 +29,12 @@ pub enum ChaseError {
     /// The standard chase was given a disjunctive dependency; use
     /// [`crate::disjunctive_chase`] for those.
     DisjunctionUnsupported,
+    /// A premise-match or satisfaction search hit its homomorphism
+    /// budget, so the chase cannot tell whether the result is correct.
+    MatchBudgetExhausted {
+        /// Which budget ran out.
+        budget: Exhausted,
+    },
 }
 
 impl fmt::Display for ChaseError {
@@ -45,6 +52,9 @@ impl fmt::Display for ChaseError {
             ChaseError::DisjunctionUnsupported => {
                 write!(f, "the standard chase does not support disjunctive dependencies; use disjunctive_chase")
             }
+            ChaseError::MatchBudgetExhausted { budget } => {
+                write!(f, "premise matching stopped early: {budget}")
+            }
         }
     }
 }
@@ -60,5 +70,8 @@ mod tests {
         assert!(ChaseError::RoundBudgetExhausted { rounds: 5 }.to_string().contains('5'));
         assert!(ChaseError::FactBudgetExhausted { facts: 9 }.to_string().contains('9'));
         assert!(ChaseError::BranchBudgetExhausted { branches: 3 }.to_string().contains('3'));
+        assert!(ChaseError::MatchBudgetExhausted { budget: Exhausted::Nodes(7) }
+            .to_string()
+            .contains('7'));
     }
 }

@@ -47,7 +47,7 @@ mod standard;
 pub use core_chase::core_chase_mapping;
 pub use disjunctive::{disjunctive_chase, DisjunctiveChaseOptions, DisjunctiveChaseResult};
 pub use error::ChaseError;
-pub use plan::{FiringTemplate, PremisePlan, SatisfactionPlan};
+pub use plan::{FiringTemplate, MatchReport, PremisePlan, SatisfactionPlan};
 pub use standard::{
     chase, chase_mapping, chase_mapping_default, ChaseMode, ChaseOptions, ChaseResult,
     ChaseStrategy, FiringRecord, RoundStats,

@@ -9,7 +9,7 @@
 //! homomorphism constraints.
 
 use rde_deps::{Atom, Premise, VarId};
-use rde_hom::{for_each_hom, HomConfig};
+use rde_hom::{for_each_hom, HomConfig, HomStats, SearchReport, Verdict};
 use rde_model::fx::FxHashMap;
 use rde_model::{Instance, NullId, Substitution, Value};
 
@@ -40,13 +40,28 @@ fn freeze(atoms: &[Atom], offset: u32) -> Instance {
 ///
 /// Used for premise matching (with guards checked by
 /// [`for_each_premise_match`]) and for conclusion-satisfaction checks in
-/// the standard and disjunctive chase.
+/// the standard and disjunctive chase. Unbounded; see
+/// [`for_each_atom_match_budgeted`] for the interruptible form.
 pub fn for_each_atom_match(
     atoms: &[Atom],
     instance: &Instance,
     seed: &VarAssignment,
-    mut on_match: impl FnMut(&VarAssignment) -> bool,
+    on_match: impl FnMut(&VarAssignment) -> bool,
 ) {
+    for_each_atom_match_budgeted(atoms, instance, seed, &HomConfig::default(), on_match);
+}
+
+/// Budgeted form of [`for_each_atom_match`]: the search obeys `config`'s
+/// node and time budgets, and the returned [`SearchReport`] carries the
+/// work counters plus the exhaustion status (`None` when the enumeration
+/// ran to completion or was stopped by the callback).
+pub fn for_each_atom_match_budgeted(
+    atoms: &[Atom],
+    instance: &Instance,
+    seed: &VarAssignment,
+    config: &HomConfig,
+    mut on_match: impl FnMut(&VarAssignment) -> bool,
+) -> SearchReport {
     let offset = var_offset(instance, seed);
     let frozen = freeze(atoms, offset);
     let seed_sub: Substitution =
@@ -60,24 +75,42 @@ pub fn for_each_atom_match(
             }
         }
     }
-    for_each_hom(&frozen, instance, &seed_sub, &HomConfig::default(), |sub| {
+    for_each_hom(&frozen, instance, &seed_sub, config, |sub| {
         let mut assignment: VarAssignment = seed.clone();
         for &v in &vars {
             assignment.insert(v, sub.apply(Value::Null(NullId(offset + v.0))));
         }
         on_match(&assignment)
     })
-    .expect("unbounded search cannot exhaust a budget");
 }
 
 /// Does `seed` extend to a match of `atoms` in `instance`?
 pub fn atoms_satisfiable(atoms: &[Atom], instance: &Instance, seed: &VarAssignment) -> bool {
+    let mut stats = HomStats::default();
+    atoms_satisfiable_budgeted(atoms, instance, seed, &HomConfig::default(), &mut stats).holds()
+}
+
+/// Budgeted form of [`atoms_satisfiable`]: [`Verdict::Unknown`] when the
+/// budget ran out before a match was found or the space was exhausted.
+/// Search counters accumulate into `stats`.
+pub fn atoms_satisfiable_budgeted(
+    atoms: &[Atom],
+    instance: &Instance,
+    seed: &VarAssignment,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Verdict {
     let mut found = false;
-    for_each_atom_match(atoms, instance, seed, |_| {
+    let report = for_each_atom_match_budgeted(atoms, instance, seed, config, |_| {
         found = true;
         false
     });
-    found
+    stats.merge(report.stats);
+    match (found, report.exhausted) {
+        (true, _) => Verdict::Holds,
+        (false, None) => Verdict::Fails,
+        (false, Some(budget)) => Verdict::Unknown { budget },
+    }
 }
 
 /// Does the assignment satisfy the premise guards?
@@ -94,15 +127,32 @@ pub fn guards_hold(premise: &Premise, assignment: &VarAssignment) -> bool {
 pub fn for_each_premise_match(
     premise: &Premise,
     instance: &Instance,
-    mut on_match: impl FnMut(&VarAssignment) -> bool,
+    on_match: impl FnMut(&VarAssignment) -> bool,
 ) {
-    for_each_atom_match(&premise.atoms, instance, &VarAssignment::default(), |assignment| {
-        if guards_hold(premise, assignment) {
-            on_match(assignment)
-        } else {
-            true
-        }
-    });
+    for_each_premise_match_budgeted(premise, instance, &HomConfig::default(), on_match);
+}
+
+/// Budgeted form of [`for_each_premise_match`]; see
+/// [`for_each_atom_match_budgeted`] for the report's meaning.
+pub fn for_each_premise_match_budgeted(
+    premise: &Premise,
+    instance: &Instance,
+    config: &HomConfig,
+    mut on_match: impl FnMut(&VarAssignment) -> bool,
+) -> SearchReport {
+    for_each_atom_match_budgeted(
+        &premise.atoms,
+        instance,
+        &VarAssignment::default(),
+        config,
+        |assignment| {
+            if guards_hold(premise, assignment) {
+                on_match(assignment)
+            } else {
+                true
+            }
+        },
+    )
 }
 
 /// Instantiate an atom under an assignment (panics on unbound variables;

@@ -24,9 +24,21 @@
 //! [`ChaseMode::Standard`]: crate::ChaseMode::Standard
 
 use rde_deps::{Conjunct, Premise, Term, VarId};
-use rde_hom::{CompiledPattern, HomConfig, PatArg, PatternAtom};
+use rde_hom::{CompiledPattern, Exhausted, HomConfig, HomStats, PatArg, PatternAtom, Verdict};
 use rde_model::fx::FxHashMap;
 use rde_model::{Fact, Instance, RelId, Value};
+
+/// Outcome of one (possibly budgeted) premise enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchReport {
+    /// Matches enumerated (pre-guard).
+    pub matches: u64,
+    /// Homomorphism-search work this enumeration performed.
+    pub stats: HomStats,
+    /// `Some` when the configured budget cut the enumeration short —
+    /// the matches reported so far are valid but incomplete.
+    pub exhausted: Option<Exhausted>,
+}
 
 /// A compiled premise: atoms over dense slots plus guards.
 #[derive(Debug, Clone)]
@@ -133,21 +145,33 @@ impl PremisePlan {
         Some(seed)
     }
 
-    /// Enumerate all premise matches (guards filtered) in `instance`.
-    /// The callback gets the full slot assignment and returns `false`
-    /// to stop. Returns the number of matches enumerated (pre-guard).
+    /// Enumerate all premise matches (guards filtered) in `instance`,
+    /// unbounded. The callback gets the full slot assignment and
+    /// returns `false` to stop. Returns the number of matches
+    /// enumerated (pre-guard).
     pub fn for_each_match(
         &self,
         instance: &Instance,
         on_match: impl FnMut(&[Value]) -> bool,
     ) -> u64 {
-        self.enumerate(None, instance, &[], on_match)
+        self.enumerate(None, instance, &[], &HomConfig::default(), on_match).matches
+    }
+
+    /// Like [`Self::for_each_match`] but honouring `config`'s budgets;
+    /// check [`MatchReport::exhausted`] for completeness.
+    pub fn for_each_match_budgeted(
+        &self,
+        instance: &Instance,
+        config: &HomConfig,
+        on_match: impl FnMut(&[Value]) -> bool,
+    ) -> MatchReport {
+        self.enumerate(None, instance, &[], config, on_match)
     }
 
     /// Enumerate premise matches where atom `atom_idx` is mapped onto
     /// the (already inserted) fact that produced `seed` — the
     /// semi-naive delta step. `seed` must come from
-    /// [`Self::seed_from_fact`] for that atom.
+    /// [`Self::seed_from_fact`] for that atom. Unbounded.
     pub fn for_each_match_seeded(
         &self,
         atom_idx: usize,
@@ -155,7 +179,20 @@ impl PremisePlan {
         instance: &Instance,
         on_match: impl FnMut(&[Value]) -> bool,
     ) -> u64 {
-        self.enumerate(Some(atom_idx), instance, seed, on_match)
+        self.enumerate(Some(atom_idx), instance, seed, &HomConfig::default(), on_match).matches
+    }
+
+    /// Like [`Self::for_each_match_seeded`] but honouring `config`'s
+    /// budgets.
+    pub fn for_each_match_seeded_budgeted(
+        &self,
+        atom_idx: usize,
+        seed: &[Option<Value>],
+        instance: &Instance,
+        config: &HomConfig,
+        on_match: impl FnMut(&[Value]) -> bool,
+    ) -> MatchReport {
+        self.enumerate(Some(atom_idx), instance, seed, config, on_match)
     }
 
     fn enumerate(
@@ -163,12 +200,12 @@ impl PremisePlan {
         skip: Option<usize>,
         instance: &Instance,
         seed: &[Option<Value>],
+        config: &HomConfig,
         mut on_match: impl FnMut(&[Value]) -> bool,
-    ) -> u64 {
+    ) -> MatchReport {
         let mut vals: Vec<Value> = Vec::with_capacity(self.num_vars());
-        let stats = self
-            .pattern
-            .for_each_match_excluding(skip, instance, seed, &HomConfig::default(), |assignment| {
+        let report =
+            self.pattern.for_each_match_excluding(skip, instance, seed, config, |assignment| {
                 vals.clear();
                 vals.extend(assignment.iter().map(|v| v.expect("full match binds every slot")));
                 if self.guards_hold(&vals) {
@@ -176,9 +213,12 @@ impl PremisePlan {
                 } else {
                     true
                 }
-            })
-            .expect("unbounded search cannot exhaust a budget");
-        stats.found
+            });
+        MatchReport {
+            matches: report.stats.found,
+            stats: report.stats,
+            exhausted: report.exhausted,
+        }
     }
 }
 
@@ -226,18 +266,34 @@ impl SatisfactionPlan {
     }
 
     /// Does some extension of the trigger's assignment (existentials
-    /// free) satisfy the conclusion in `instance`?
+    /// free) satisfy the conclusion in `instance`? Unbounded.
     pub fn satisfiable(&self, instance: &Instance, premise_vals: &[Value]) -> bool {
+        let mut stats = HomStats::default();
+        self.satisfiable_budgeted(instance, premise_vals, &HomConfig::default(), &mut stats).holds()
+    }
+
+    /// Three-valued satisfiability under `config`'s budgets,
+    /// accumulating search work into `stats`.
+    pub fn satisfiable_budgeted(
+        &self,
+        instance: &Instance,
+        premise_vals: &[Value],
+        config: &HomConfig,
+        stats: &mut HomStats,
+    ) -> Verdict {
         debug_assert_eq!(premise_vals.len(), self.n_premise);
         let seed: Vec<Option<Value>> = premise_vals.iter().map(|&v| Some(v)).collect();
         let mut found = false;
-        self.pattern
-            .for_each_match(instance, &seed, &HomConfig::default(), |_| {
-                found = true;
-                false
-            })
-            .expect("unbounded search cannot exhaust a budget");
-        found
+        let report = self.pattern.for_each_match(instance, &seed, config, |_| {
+            found = true;
+            false
+        });
+        *stats += report.stats;
+        match (found, report.exhausted) {
+            (true, _) => Verdict::Holds,
+            (false, None) => Verdict::Fails,
+            (false, Some(budget)) => Verdict::Unknown { budget },
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 //!    hom-equivalent ones.
 
 use rde_deps::{Dependency, SchemaMapping};
+use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::fx::FxHashSet;
 use rde_model::{Fact, Instance, Value, Vocabulary};
 
@@ -75,6 +76,12 @@ pub struct ChaseOptions {
     /// dependency, under which assignment, produced which facts).
     /// Off by default — tracing costs memory proportional to the chase.
     pub trace: bool,
+    /// Budgets for the homomorphism searches behind premise matching and
+    /// Standard-mode satisfaction checks. Unbounded by default; when a
+    /// budget cuts a search short the chase returns
+    /// [`ChaseError::MatchBudgetExhausted`] rather than an unsound
+    /// result.
+    pub hom: HomConfig,
 }
 
 impl Default for ChaseOptions {
@@ -86,6 +93,7 @@ impl Default for ChaseOptions {
             max_rounds: 256,
             max_facts: 1_000_000,
             trace: false,
+            hom: HomConfig::default(),
         }
     }
 }
@@ -122,6 +130,9 @@ pub struct RoundStats {
     pub fired: u64,
     /// Facts newly inserted by this round's firings.
     pub inserted: usize,
+    /// Homomorphism-search work done this round (premise matching plus
+    /// Standard-mode satisfaction checks and rechecks).
+    pub hom: HomStats,
 }
 
 /// Result of a chase run.
@@ -137,6 +148,9 @@ pub struct ChaseResult {
     pub rounds: u64,
     /// Per-round work counters (one entry per executed round).
     pub round_stats: Vec<RoundStats>,
+    /// Total homomorphism-search work across all rounds, including the
+    /// final quiescence check (whose round is otherwise not recorded).
+    pub hom: HomStats,
     /// Firing provenance (empty unless [`ChaseOptions::trace`]).
     pub provenance: Vec<FiringRecord>,
 }
@@ -158,11 +172,15 @@ struct DepCandidates {
     list: Vec<(Vec<Value>, bool)>,
     matches: u64,
     duplicates: u64,
+    hom: HomStats,
 }
 
 /// Enumerate one dependency's new triggers against `current`,
 /// read-only. `delta` is `None` for a full enumeration (round 0 /
-/// naive) and `Some(facts)` for a semi-naive delta round.
+/// naive) and `Some(facts)` for a semi-naive delta round. Fails with
+/// [`ChaseError::MatchBudgetExhausted`] when a search hits `hom`'s
+/// budget: a truncated enumeration could silently miss triggers, so the
+/// chase refuses to continue from it.
 fn collect_dep(
     di: usize,
     plan: &DepPlan,
@@ -170,46 +188,77 @@ fn collect_dep(
     fired_keys: &[FxHashSet<Vec<Value>>],
     delta: Option<&[Fact]>,
     mode: ChaseMode,
-) -> DepCandidates {
+    hom: &HomConfig,
+) -> Result<DepCandidates, ChaseError> {
     let mut out = DepCandidates::default();
     let mut local: FxHashSet<Vec<Value>> = FxHashSet::default();
     let fired = &fired_keys[di];
+    // Shared with the match callback (which stops the enumeration when a
+    // satisfaction check runs out of budget) — hence a `Cell`, not a
+    // mutable borrow the callback would hold across calls.
+    let exhausted: std::cell::Cell<Option<Exhausted>> = std::cell::Cell::new(None);
     {
+        let mut stats = HomStats::default();
         let mut on_match = |vals: &[Value]| {
             if fired.contains(vals) || !local.insert(vals.to_vec()) {
                 out.duplicates += 1;
                 return true;
             }
-            let satisfied =
-                mode == ChaseMode::Standard && plan.satisfaction.satisfiable(current, vals);
+            let satisfied = mode == ChaseMode::Standard
+                && match plan.satisfaction.satisfiable_budgeted(current, vals, hom, &mut stats) {
+                    Verdict::Holds => true,
+                    Verdict::Fails => false,
+                    Verdict::Unknown { budget } => {
+                        exhausted.set(Some(budget));
+                        return false;
+                    }
+                };
             out.list.push((vals.to_vec(), satisfied));
             true
         };
         match delta {
             None => {
-                out.matches += plan.premise.for_each_match(current, &mut on_match);
+                let report = plan.premise.for_each_match_budgeted(current, hom, &mut on_match);
+                out.matches += report.matches;
+                out.hom += report.stats;
+                if exhausted.get().is_none() {
+                    exhausted.set(report.exhausted);
+                }
             }
             Some(facts) => {
-                for atom_idx in 0..plan.premise.num_atoms() {
+                'atoms: for atom_idx in 0..plan.premise.num_atoms() {
                     let rel = plan.premise.atom_rel(atom_idx);
                     for fact in facts {
                         if fact.relation() != rel {
                             continue;
                         }
                         if let Some(seed) = plan.premise.seed_from_fact(atom_idx, fact.args()) {
-                            out.matches += plan.premise.for_each_match_seeded(
+                            let report = plan.premise.for_each_match_seeded_budgeted(
                                 atom_idx,
                                 &seed,
                                 current,
+                                hom,
                                 &mut on_match,
                             );
+                            out.matches += report.matches;
+                            out.hom += report.stats;
+                            if exhausted.get().is_none() {
+                                exhausted.set(report.exhausted);
+                            }
+                            if exhausted.get().is_some() {
+                                break 'atoms;
+                            }
                         }
                     }
                 }
             }
         }
+        out.hom += stats;
     }
-    out
+    match exhausted.get() {
+        Some(budget) => Err(ChaseError::MatchBudgetExhausted { budget }),
+        None => Ok(out),
+    }
 }
 
 pub(crate) fn effective_threads(requested: usize, n_deps: usize) -> usize {
@@ -255,6 +304,7 @@ pub fn chase(
     let mut fired: u64 = 0;
     let mut rounds: u64 = 0;
     let mut round_stats: Vec<RoundStats> = Vec::new();
+    let mut hom_total = HomStats::default();
     let mut provenance: Vec<FiringRecord> = Vec::new();
     // Previous round's insertions; `None` = enumerate everything (the
     // first round, and every round under the naive strategy).
@@ -274,12 +324,22 @@ pub fn chase(
             plans
                 .iter()
                 .enumerate()
-                .map(|(di, p)| collect_dep(di, p, &current, &fired_keys, delta_slice, options.mode))
-                .collect()
+                .map(|(di, p)| {
+                    collect_dep(
+                        di,
+                        p,
+                        &current,
+                        &fired_keys,
+                        delta_slice,
+                        options.mode,
+                        &options.hom,
+                    )
+                })
+                .collect::<Result<_, _>>()?
         } else {
             let n = plans.len();
             let chunk = n.div_ceil(threads);
-            let mut partials: Vec<Vec<DepCandidates>> = Vec::new();
+            let mut partials: Vec<Vec<Result<DepCandidates, ChaseError>>> = Vec::new();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -288,6 +348,7 @@ pub fn chase(
                     let plans = &plans;
                     let current = &current;
                     let fired_keys = &fired_keys;
+                    let hom = &options.hom;
                     handles.push(scope.spawn(move || {
                         (lo..hi)
                             .map(|di| {
@@ -298,6 +359,7 @@ pub fn chase(
                                     fired_keys,
                                     delta_slice,
                                     options.mode,
+                                    hom,
                                 )
                             })
                             .collect::<Vec<_>>()
@@ -307,7 +369,7 @@ pub fn chase(
                     partials.push(h.join().expect("chase collection worker panicked"));
                 }
             });
-            partials.into_iter().flatten().collect()
+            partials.into_iter().flatten().collect::<Result<_, _>>()?
         };
 
         // Merge in dependency order: record every enumerated key and
@@ -320,6 +382,7 @@ pub fn chase(
         for (di, cands) in per_dep.into_iter().enumerate() {
             stats.matches += cands.matches;
             stats.duplicates += cands.duplicates;
+            stats.hom += cands.hom;
             for (vals, satisfied) in cands.list {
                 if satisfied {
                     stats.satisfied += 1;
@@ -331,7 +394,17 @@ pub fn chase(
             }
         }
         if pending.is_empty() {
-            return Ok(ChaseResult { instance: current, fired, rounds, round_stats, provenance });
+            // The quiescence check's search work still counts toward the
+            // run total even though no round is recorded for it.
+            hom_total += stats.hom;
+            return Ok(ChaseResult {
+                instance: current,
+                fired,
+                rounds,
+                round_stats,
+                hom: hom_total,
+                provenance,
+            });
         }
         rounds += 1;
         stats.triggers = pending.len();
@@ -348,8 +421,17 @@ pub fn chase(
             if options.mode == ChaseMode::Standard {
                 // Sequential semantics: an earlier firing in this round
                 // may have satisfied this trigger already.
-                if plan.satisfaction.satisfiable(&current, &vals) {
-                    continue;
+                match plan.satisfaction.satisfiable_budgeted(
+                    &current,
+                    &vals,
+                    &options.hom,
+                    &mut stats.hom,
+                ) {
+                    Verdict::Holds => continue,
+                    Verdict::Fails => {}
+                    Verdict::Unknown { budget } => {
+                        return Err(ChaseError::MatchBudgetExhausted { budget });
+                    }
                 }
             }
             let fresh: Vec<Value> = (0..plan.template.num_existentials())
@@ -387,6 +469,7 @@ pub fn chase(
             stats.fired += 1;
             fired += 1;
         }
+        hom_total += stats.hom;
         round_stats.push(stats);
         delta = if semi_naive { Some(new_delta) } else { None };
     }
@@ -660,6 +743,73 @@ mod tests {
                 assert_eq!(r.rounds, rs[0].rounds, "{mode:?}");
             }
         }
+    }
+
+    #[test]
+    fn hom_budget_exhaustion_is_an_error_not_a_panic() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> Q(x,y)").unwrap();
+        let i = parse_instance(&mut v, "P(a,b)\nP(b,c)").unwrap();
+        // A zero node budget cuts the very first premise-match search:
+        // the chase reports it as an error instead of a wrong result.
+        let opts = ChaseOptions {
+            hom: HomConfig { node_budget: Some(0), ..HomConfig::default() },
+            ..ChaseOptions::default()
+        };
+        let err = chase(&i, &m.dependencies, &mut v, &opts).unwrap_err();
+        assert!(matches!(err, ChaseError::MatchBudgetExhausted { budget: Exhausted::Nodes(0) }));
+        // The same holds on the parallel collection path.
+        let opts = ChaseOptions { threads: 4, ..opts };
+        let err = chase(&i, &m.dependencies, &mut v, &opts).unwrap_err();
+        assert!(matches!(err, ChaseError::MatchBudgetExhausted { .. }));
+        // An adequate budget completes normally.
+        let opts = ChaseOptions {
+            hom: HomConfig { node_budget: Some(1_000_000), ..HomConfig::default() },
+            ..ChaseOptions::default()
+        };
+        let r = chase(&i, &m.dependencies, &mut v, &opts).unwrap();
+        assert_eq!(r.instance.len(), 4);
+        assert!(r.hom.nodes > 0);
+    }
+
+    #[test]
+    fn standard_mode_recheck_respects_the_budget() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)")
+            .unwrap();
+        let i = parse_instance(&mut v, "P(a, b)\nP(a, c)").unwrap();
+        let opts = ChaseOptions {
+            mode: ChaseMode::Standard,
+            hom: HomConfig { node_budget: Some(1), ..HomConfig::default() },
+            ..ChaseOptions::default()
+        };
+        // Budget 1 lets round 0's trivially-failing pre-checks through
+        // but cannot complete every later satisfaction search; the run
+        // must end in Ok (quiescent) or MatchBudgetExhausted — never a
+        // panic or a silently wrong instance.
+        match chase(&i, &m.dependencies, &mut v, &opts) {
+            Ok(r) => assert!(rde_hom::hom_equivalent(
+                &r.instance.restrict_to(&m.target),
+                &chase_mapping_default(&i, &m, &mut v).unwrap()
+            )),
+            Err(e) => assert!(matches!(e, ChaseError::MatchBudgetExhausted { .. })),
+        }
+    }
+
+    #[test]
+    fn chase_result_aggregates_hom_stats() {
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "T(x,y) & T(y,z) -> T(x,z)").unwrap();
+        let i = parse_instance(&mut v, "T(a,b)\nT(b,c)\nT(c,d)").unwrap();
+        // Naive strategy: the final quiescence check re-enumerates the
+        // full instance, so its work is visible in the total.
+        let opts = ChaseOptions { strategy: ChaseStrategy::Naive, ..ChaseOptions::default() };
+        let r = chase(&i, &[dep], &mut v, &opts).unwrap();
+        let per_round: u64 = r.round_stats.iter().map(|s| s.hom.nodes).sum();
+        assert!(per_round > 0, "premise matching does search work");
+        // The total includes the final quiescence check on top of the
+        // recorded rounds.
+        assert!(r.hom.nodes > per_round);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use rde_core::compose::ComposeOptions;
 use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
 use rde_core::Universe;
 use rde_deps::{parse_mapping, printer, SchemaMapping};
+use rde_hom::{HomConfig, HomStats};
 use rde_model::{display, parse::parse_instance, Instance, Vocabulary};
 use rde_query::ConjunctiveQuery;
 
@@ -17,6 +18,7 @@ rde — reverse data exchange with nulls (Fagin, Kolaitis, Popa, Tan; PODS 2009)
 
 USAGE:
     rde <command> [args] [--consts N] [--nulls N] [--facts N] [--examples N]
+                  [--node-budget N] [--stats]
 
 COMMANDS:
     chase    <mapping> <instance>             canonical universal solution chase_M(I)
@@ -42,6 +44,11 @@ COMMANDS:
 The --consts/--nulls/--facts flags size the bounded universe used by the
 checking commands (defaults: 2/1/2). Counterexamples found are genuine;
 a pass is exact within the bound.
+
+--node-budget N caps every homomorphism search at N nodes: checks then
+answer UNKNOWN instead of searching without bound (counterexamples
+reported under a budget are still genuine). --stats prints search-work
+counters after the answer (chase, invertible, compare, check-recovery).
 ";
 
 /// Run a full command line (everything after `argv[0]`).
@@ -92,13 +99,29 @@ fn universe(vocab: &mut Vocabulary, opts: &Options) -> Universe {
     Universe::new(vocab, opts.consts, opts.nulls, opts.facts)
 }
 
+fn hom_config(opts: &Options) -> HomConfig {
+    HomConfig { node_budget: opts.node_budget, ..HomConfig::default() }
+}
+
+fn print_hom_stats(stats: &HomStats) {
+    println!(
+        "# hom search: {} node(s), {} backtrack(s), {} hom(s) found",
+        stats.nodes, stats.backtracks, stats.found
+    );
+}
+
 fn cmd_chase(opts: &Options) -> Result<(), String> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let result = chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
+    let options = ChaseOptions { hom: hom_config(opts), ..ChaseOptions::default() };
+    let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
         .map_err(|e| e.to_string())?;
-    print!("{}", display::instance(&vocab, &result));
+    print!("{}", display::instance(&vocab, &result.instance.restrict_to(&mapping.target)));
+    if opts.stats {
+        println!("# chase: {} round(s), {} trigger(s) fired", result.rounds, result.fired);
+        print_hom_stats(&result.hom);
+    }
     Ok(())
 }
 
@@ -182,8 +205,15 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
         }
         None => println!("extended recovery: HOLDS within bound"),
     }
-    let verdict = rde_core::recovery::check_maximum_extended_recovery(
-        &mapping, &reverse, &u, &mut vocab, &copts,
+    let mut stats = HomStats::default();
+    let verdict = rde_core::recovery::check_maximum_extended_recovery_budgeted(
+        &mapping,
+        &reverse,
+        &u,
+        &mut vocab,
+        &copts,
+        &hom_config(opts),
+        &mut stats,
     )
     .map_err(|e| e.to_string())?;
     match verdict {
@@ -202,6 +232,12 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
             println!("--");
             print!("{}", display::instance(&vocab, &i2));
         }
+        rde_core::recovery::MaxRecoveryVerdict::Unknown { budget } => {
+            println!("maximum extended recovery: UNKNOWN ({budget}); raise --node-budget");
+        }
+    }
+    if opts.stats {
+        print_hom_stats(&stats);
     }
     Ok(())
 }
@@ -210,8 +246,15 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let u = universe(&mut vocab, opts);
-    match rde_core::invertibility::check_homomorphism_property(&mapping, &u, &mut vocab)
-        .map_err(|e| e.to_string())?
+    let mut stats = HomStats::default();
+    match rde_core::invertibility::check_homomorphism_property_budgeted(
+        &mapping,
+        &u,
+        &mut vocab,
+        &hom_config(opts),
+        &mut stats,
+    )
+    .map_err(|e| e.to_string())?
     {
         rde_core::invertibility::BoundedVerdict::HoldsWithinBound => {
             println!("homomorphism property: HOLDS within bound (extended-invertible evidence)");
@@ -222,6 +265,12 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
             println!("--");
             print!("{}", display::instance(&vocab, &i2));
         }
+        rde_core::invertibility::BoundedVerdict::Unknown { budget } => {
+            println!("homomorphism property: UNKNOWN ({budget}); raise --node-budget");
+        }
+    }
+    if opts.stats {
+        print_hom_stats(&stats);
     }
     Ok(())
 }
@@ -255,8 +304,16 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     let m1 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
     let m2 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
     let u = universe(&mut vocab, opts);
-    let cmp = rde_core::compare::compare_lossiness(&m1, &m2, &u, &mut vocab)
-        .map_err(|e| e.to_string())?;
+    let mut stats = HomStats::default();
+    let cmp = rde_core::compare::compare_lossiness_budgeted(
+        &m1,
+        &m2,
+        &u,
+        &mut vocab,
+        &hom_config(opts),
+        &mut stats,
+    )
+    .map_err(|e| e.to_string())?;
     match cmp {
         rde_core::compare::Comparison::EquallyLossy => println!("equally lossy (within bound)"),
         rde_core::compare::Comparison::StrictlyLessLossy => {
@@ -278,6 +335,12 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
                 display::instance_inline(&vocab, &only_in_m2.1)
             );
         }
+        rde_core::compare::Comparison::Unknown { budget } => {
+            println!("comparison: UNKNOWN ({budget}); raise --node-budget");
+        }
+    }
+    if opts.stats {
+        print_hom_stats(&stats);
     }
     Ok(())
 }
@@ -496,6 +559,28 @@ mod tests {
         run(&strings(&["invertible", &m, "--consts", "1", "--nulls", "0", "--facts", "1"]))
             .unwrap();
         run(&strings(&["loss", &m, "--consts", "1", "--nulls", "1", "--facts", "1"])).unwrap();
+    }
+
+    #[test]
+    fn stats_and_node_budget_flags_run_end_to_end() {
+        let dir = tmpdir("stats");
+        let m = write(&dir, "m.map", "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)\n");
+        let i = write(&dir, "i.inst", "P(a)\nQ(b)\n");
+        run(&strings(&["chase", &m, &i, "--stats"])).unwrap();
+        // A starved budget must surface as a clean chase error, not a
+        // panic.
+        assert!(run(&strings(&["chase", &m, &i, "--node-budget", "0"])).is_err());
+        // The checkers degrade to an UNKNOWN verdict instead.
+        let common = ["--consts", "1", "--nulls", "0", "--facts", "1", "--stats"];
+        let mut args = strings(&["invertible", &m]);
+        args.extend(strings(&common));
+        run(&args).unwrap();
+        let mut args = strings(&["invertible", &m, "--node-budget", "1"]);
+        args.extend(strings(&common));
+        run(&args).unwrap();
+        let mut args = strings(&["compare", &m, &m, "--node-budget", "1"]);
+        args.extend(strings(&common));
+        run(&args).unwrap();
     }
 
     #[test]

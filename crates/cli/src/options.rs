@@ -14,11 +14,24 @@ pub struct Options {
     pub facts: usize,
     /// `--examples N`: counterexample/example display budget.
     pub examples: usize,
+    /// `--node-budget N`: cap each homomorphism search at N nodes;
+    /// checks degrade to UNKNOWN instead of running unbounded.
+    pub node_budget: Option<u64>,
+    /// `--stats`: print search-work counters after the answer.
+    pub stats: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { positional: Vec::new(), consts: 2, nulls: 1, facts: 2, examples: 5 }
+        Options {
+            positional: Vec::new(),
+            consts: 2,
+            nulls: 1,
+            facts: 2,
+            examples: 5,
+            node_budget: None,
+            stats: false,
+        }
     }
 }
 
@@ -39,6 +52,15 @@ impl Options {
                 "--nulls" => opts.nulls = flag("--nulls")?,
                 "--facts" => opts.facts = flag("--facts")?,
                 "--examples" => opts.examples = flag("--examples")?,
+                "--node-budget" => {
+                    opts.node_budget = Some(
+                        it.next()
+                            .ok_or_else(|| "--node-budget requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| "--node-budget requires an integer value".to_string())?,
+                    );
+                }
+                "--stats" => opts.stats = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
                 }
@@ -81,6 +103,19 @@ mod tests {
                 .unwrap();
         assert_eq!((o.consts, o.nulls, o.facts), (3, 2, 4));
         assert_eq!(o.positional, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn stats_and_budget_flags() {
+        let o = Options::parse(&strings(&["--stats", "m.map", "--node-budget", "5000"])).unwrap();
+        assert!(o.stats);
+        assert_eq!(o.node_budget, Some(5000));
+        assert_eq!(o.positional, vec!["m.map"]);
+        let o = Options::parse(&strings(&["m.map"])).unwrap();
+        assert!(!o.stats);
+        assert_eq!(o.node_budget, None);
+        assert!(Options::parse(&strings(&["--node-budget"])).is_err());
+        assert!(Options::parse(&strings(&["--node-budget", "x"])).is_err());
     }
 
     #[test]

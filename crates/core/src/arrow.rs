@@ -1,10 +1,13 @@
 //! The relations `→_M` (Definition 4.6 / Proposition 4.7) and `→_{M,g}`
 //! (Definition 4.18).
 
+use std::sync::Mutex;
+
 use rde_chase::{chase_mapping, ChaseOptions};
 use rde_deps::SchemaMapping;
-use rde_hom::exists_hom;
-use rde_model::{Instance, Vocabulary};
+use rde_hom::{core_of_budgeted, exists_hom, exists_hom_budgeted, HomConfig, HomStats, Verdict};
+use rde_model::fx::FxHashMap;
+use rde_model::{Fact, Instance, NullId, Value, Vocabulary};
 
 use crate::CoreError;
 
@@ -37,36 +40,170 @@ pub fn arrow_m_ground(
     arrow_m(mapping, i1, i2, vocab)
 }
 
+/// Work counters of an [`ArrowMCache`]: how far canonicalization
+/// compressed the family and how often memoization answered a query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Instances in the family.
+    pub instances: usize,
+    /// Distinct hom-equivalence classes detected by core fingerprinting
+    /// (an upper bound: isomorphic cores with different value labellings
+    /// may land in separate classes).
+    pub classes: usize,
+    /// Arrow queries answered from the memo table.
+    pub hits: u64,
+    /// Arrow queries that ran a homomorphism search.
+    pub misses: u64,
+    /// Total homomorphism-search work (chase-time core minimization plus
+    /// all memo misses).
+    pub hom: HomStats,
+}
+
+/// Fingerprint of an instance up to null renaming: the canonical fact
+/// list with nulls renumbered in first-occurrence order. Equal
+/// fingerprints imply isomorphic instances (each side is isomorphic to
+/// the common renumbered instance); the converse can fail, which only
+/// costs an extra equivalence class, never a wrong answer.
+fn fingerprint(instance: &Instance) -> Vec<Fact> {
+    let mut rename: FxHashMap<NullId, NullId> = FxHashMap::default();
+    instance
+        .canonical_facts()
+        .iter()
+        .map(|f| {
+            f.map_values(|v| match v {
+                Value::Null(n) => {
+                    let next = NullId(u32::try_from(rename.len()).expect("instance too large"));
+                    Value::Null(*rename.entry(n).or_insert(next))
+                }
+                c => c,
+            })
+        })
+        .collect()
+}
+
 /// A cache of chase results for evaluating `→_M` over many pairs from a
 /// fixed instance family (the bounded checkers and the information-loss
 /// census do quadratically many `→_M` queries).
+///
+/// Construction chases every instance once and **core-canonicalizes**
+/// the result: instances whose chase cores share a [`fingerprint`] are
+/// hom-equivalent, so they collapse into one equivalence class with a
+/// single representative (the core — also the cheapest instance to
+/// search). Arrow queries then memoize per *class pair*, so a family
+/// with `k` classes answers its `n²` queries with at most `k²` searches,
+/// each on a minimized instance.
 #[derive(Debug)]
 pub struct ArrowMCache {
     chased: Vec<Instance>,
+    /// `class[a]` = equivalence class of `family[a]`.
+    class: Vec<usize>,
+    /// One core representative per class.
+    reps: Vec<Instance>,
+    /// Memoized `reps[i] → reps[j]` answers. `Mutex`, not `RefCell`:
+    /// the loss census shares one cache across scoped worker threads.
+    memo: Mutex<FxHashMap<(usize, usize), bool>>,
+    stats: Mutex<CacheStats>,
 }
 
 impl ArrowMCache {
-    /// Chase every instance of the family once.
+    /// Chase every instance of the family once and canonicalize the
+    /// results into hom-equivalence classes.
     pub fn new(
         mapping: &SchemaMapping,
         family: &[Instance],
         vocab: &mut Vocabulary,
     ) -> Result<Self, CoreError> {
         let mut chased = Vec::with_capacity(family.len());
+        let mut class = Vec::with_capacity(family.len());
+        let mut reps: Vec<Instance> = Vec::new();
+        let mut by_fp: FxHashMap<Vec<Fact>, usize> = FxHashMap::default();
+        let mut hom = HomStats::default();
         for i in family {
-            chased.push(chase_mapping(i, mapping, vocab, &ChaseOptions::default())?);
+            let c = chase_mapping(i, mapping, vocab, &ChaseOptions::default())?;
+            let outcome = core_of_budgeted(&c, &HomConfig::default());
+            hom += outcome.stats;
+            let core = outcome.result.core;
+            let cid = *by_fp.entry(fingerprint(&core)).or_insert_with(|| {
+                reps.push(core);
+                reps.len() - 1
+            });
+            class.push(cid);
+            chased.push(c);
         }
-        Ok(ArrowMCache { chased })
+        let stats =
+            CacheStats { instances: family.len(), classes: reps.len(), hits: 0, misses: 0, hom };
+        Ok(ArrowMCache {
+            chased,
+            class,
+            reps,
+            memo: Mutex::new(FxHashMap::default()),
+            stats: Mutex::new(stats),
+        })
     }
 
-    /// `family[a] →_M family[b]`.
+    /// `family[a] →_M family[b]`: `chase_M(a) → chase_M(b)`, answered on
+    /// the core representatives and memoized per class pair.
     pub fn arrow(&self, a: usize, b: usize) -> bool {
-        exists_hom(&self.chased[a], &self.chased[b])
+        let key = (self.class[a], self.class[b]);
+        if let Some(&cached) = self.lock_memo().get(&key) {
+            self.lock_stats().hits += 1;
+            return cached;
+        }
+        let mut search = HomStats::default();
+        let holds = exists_hom_budgeted(
+            &self.reps[key.0],
+            &self.reps[key.1],
+            &HomConfig::default(),
+            &mut search,
+        )
+        .holds();
+        let mut stats = self.lock_stats();
+        stats.misses += 1;
+        stats.hom += search;
+        drop(stats);
+        self.lock_memo().insert(key, holds);
+        holds
+    }
+
+    /// Budgeted form of [`Self::arrow`]: decides on the core
+    /// representatives under `config`, memoizing definite verdicts only
+    /// (an `Unknown` must stay retryable with a larger budget).
+    pub fn arrow_budgeted(&self, a: usize, b: usize, config: &HomConfig) -> Verdict {
+        let key = (self.class[a], self.class[b]);
+        if let Some(&cached) = self.lock_memo().get(&key) {
+            self.lock_stats().hits += 1;
+            return Verdict::from_bool(cached);
+        }
+        let mut search = HomStats::default();
+        let verdict =
+            exists_hom_budgeted(&self.reps[key.0], &self.reps[key.1], config, &mut search);
+        let mut stats = self.lock_stats();
+        stats.misses += 1;
+        stats.hom += search;
+        drop(stats);
+        if !verdict.is_unknown() {
+            self.lock_memo().insert(key, verdict.holds());
+        }
+        verdict
     }
 
     /// The cached chase of `family[a]`.
     pub fn chased(&self, a: usize) -> &Instance {
         &self.chased[a]
+    }
+
+    /// Current counters (class count is fixed at construction; hit/miss
+    /// tallies grow as queries arrive).
+    pub fn stats(&self) -> CacheStats {
+        *self.lock_stats()
+    }
+
+    fn lock_memo(&self) -> std::sync::MutexGuard<'_, FxHashMap<(usize, usize), bool>> {
+        self.memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_stats(&self) -> std::sync::MutexGuard<'_, CacheStats> {
+        self.stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Number of cached instances.
@@ -135,6 +272,67 @@ mod tests {
                         assert!(cache.arrow(a, c), "transitivity violated");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_arrow_and_memoizes() {
+        let mut v = Vocabulary::new();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
+        let u = Universe::new(&mut v, 2, 1, 2);
+        let family = u.collect_instances(&v, &m.source).unwrap();
+        let cache = ArrowMCache::new(&m, &family, &mut v).unwrap();
+        let n = family.len();
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(
+                    cache.arrow(a, b),
+                    arrow_m(&m, &family[a], &family[b], &mut v).unwrap(),
+                    "cache disagrees on ({a}, {b})"
+                );
+            }
+        }
+        let s = cache.stats();
+        assert!(s.classes < s.instances, "core fingerprinting must collapse some classes");
+        assert_eq!(s.hits + s.misses, (n * n) as u64);
+        assert!(s.misses <= (s.classes * s.classes) as u64, "at most one search per class pair");
+        // A second sweep is answered entirely from the memo.
+        for a in 0..n {
+            for b in 0..n {
+                cache.arrow(a, b);
+            }
+        }
+        assert_eq!(cache.stats().misses, s.misses);
+    }
+
+    #[test]
+    fn budgeted_arrow_degrades_to_unknown_not_a_wrong_answer() {
+        let mut v = Vocabulary::new();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
+        let u = Universe::new(&mut v, 2, 1, 2);
+        let family = u.collect_instances(&v, &m.source).unwrap();
+        let reference = ArrowMCache::new(&m, &family, &mut v).unwrap();
+        let budgeted = ArrowMCache::new(&m, &family, &mut v).unwrap();
+        let tight = rde_hom::HomConfig { node_budget: Some(1), ..rde_hom::HomConfig::default() };
+        let mut unknowns = 0;
+        for a in 0..family.len() {
+            for b in 0..family.len() {
+                match budgeted.arrow_budgeted(a, b, &tight) {
+                    Verdict::Unknown { .. } => unknowns += 1,
+                    definite => assert_eq!(definite.holds(), reference.arrow(a, b)),
+                }
+            }
+        }
+        assert!(unknowns > 0, "a one-node budget must cut some searches");
+        // Unknowns are not memoized: an unbounded retry settles them.
+        for a in 0..family.len() {
+            for b in 0..family.len() {
+                assert_eq!(budgeted.arrow(a, b), reference.arrow(a, b));
             }
         }
     }

@@ -2,7 +2,7 @@
 
 use rde_chase::{chase_mapping, disjunctive_chase, ChaseOptions, DisjunctiveChaseOptions};
 use rde_deps::SchemaMapping;
-use rde_hom::exists_hom;
+use rde_hom::{exists_hom, Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::{Instance, Vocabulary};
 
 use crate::arrow::ArrowMCache;
@@ -24,6 +24,12 @@ pub enum Comparison {
         /// A pair in `→_{M₂} \ →_{M₁}`.
         only_in_m2: (Instance, Instance),
     },
+    /// A budgeted run could not settle enough pairs to classify the
+    /// mappings; retry with a larger budget.
+    Unknown {
+        /// The first budget that ran out.
+        budget: Exhausted,
+    },
 }
 
 /// Compare two mappings over the **same source schema** (Definition 6.6)
@@ -35,6 +41,23 @@ pub fn compare_lossiness(
     m2: &SchemaMapping,
     universe: &Universe,
     vocab: &mut Vocabulary,
+) -> Result<Comparison, CoreError> {
+    let mut stats = HomStats::default();
+    compare_lossiness_budgeted(m1, m2, universe, vocab, &HomConfig::default(), &mut stats)
+}
+
+/// Budgeted form of [`compare_lossiness`]: arrow queries run under
+/// `config`, their work accumulates into `stats`. Verdicts that assert
+/// the *absence* of pairs (equality, strict containment) require every
+/// pair settled; if some were cut and no incomparability witness pair
+/// was completed, the honest answer is [`Comparison::Unknown`].
+pub fn compare_lossiness_budgeted(
+    m1: &SchemaMapping,
+    m2: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+    config: &HomConfig,
+    stats: &mut HomStats,
 ) -> Result<Comparison, CoreError> {
     if m1.source != m2.source {
         return Err(CoreError::UnsupportedMapping {
@@ -48,9 +71,16 @@ pub fn compare_lossiness(
     let c2 = ArrowMCache::new(m2, &family, vocab)?;
     let mut only1: Option<(Instance, Instance)> = None;
     let mut only2: Option<(Instance, Instance)> = None;
+    let mut unsettled: Option<Exhausted> = None;
     for a in 0..family.len() {
         for b in 0..family.len() {
-            match (c1.arrow(a, b), c2.arrow(a, b)) {
+            let v1 = c1.arrow_budgeted(a, b, config);
+            let v2 = c2.arrow_budgeted(a, b, config);
+            if let (Verdict::Unknown { budget }, _) | (_, Verdict::Unknown { budget }) = (v1, v2) {
+                unsettled = unsettled.or(Some(budget));
+                continue;
+            }
+            match (v1.holds(), v2.holds()) {
                 (true, false) if only1.is_none() => {
                     only1 = Some((family[a].clone(), family[b].clone()));
                 }
@@ -61,11 +91,15 @@ pub fn compare_lossiness(
             }
         }
     }
-    Ok(match (only1, only2) {
-        (None, None) => Comparison::EquallyLossy,
-        (None, Some(_)) => Comparison::StrictlyLessLossy,
-        (Some(_), None) => Comparison::StrictlyMoreLossy,
-        (Some(p1), Some(p2)) => Comparison::Incomparable { only_in_m1: p1, only_in_m2: p2 },
+    *stats += c1.stats().hom;
+    *stats += c2.stats().hom;
+    Ok(match (only1, only2, unsettled) {
+        // Witnessed on both sides: definite even with unsettled pairs.
+        (Some(p1), Some(p2), _) => Comparison::Incomparable { only_in_m1: p1, only_in_m2: p2 },
+        (_, _, Some(budget)) => Comparison::Unknown { budget },
+        (None, None, None) => Comparison::EquallyLossy,
+        (None, Some(_), None) => Comparison::StrictlyLessLossy,
+        (Some(_), None, None) => Comparison::StrictlyMoreLossy,
     })
 }
 

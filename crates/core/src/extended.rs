@@ -2,7 +2,7 @@
 
 use rde_chase::{chase_mapping, ChaseOptions};
 use rde_deps::SchemaMapping;
-use rde_hom::exists_hom;
+use rde_hom::{exists_hom, exists_hom_budgeted, HomConfig, HomStats, Verdict};
 use rde_model::{Instance, Vocabulary};
 
 use crate::semantics::satisfies;
@@ -33,6 +33,21 @@ pub fn is_extended_solution(
     Ok(exists_hom(&canonical, target))
 }
 
+/// Budgeted form of [`is_extended_solution`]: the chase runs unbounded
+/// (it is polynomial for s-t tgds), the NP-hard `chase_M(I) → J` search
+/// obeys `config` and degrades to [`Verdict::Unknown`].
+pub fn is_extended_solution_budgeted(
+    source: &Instance,
+    target: &Instance,
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Result<Verdict, CoreError> {
+    let canonical = chase_mapping(source, mapping, vocab, &ChaseOptions::default())?;
+    Ok(exists_hom_budgeted(&canonical, target, config, stats))
+}
+
 /// Is `J` an extended **universal** solution for `I` (Definition 3.5):
 /// an extended solution with `J → J′` for every extended solution `J′`?
 ///
@@ -47,6 +62,25 @@ pub fn is_extended_universal_solution(
 ) -> Result<bool, CoreError> {
     let canonical = chase_mapping(source, mapping, vocab, &ChaseOptions::default())?;
     Ok(exists_hom(&canonical, target) && exists_hom(target, &canonical))
+}
+
+/// Budgeted form of [`is_extended_universal_solution`]: the two
+/// hom-equivalence searches combine by Kleene conjunction, so a definite
+/// failure on either side dominates a cut search on the other.
+pub fn is_extended_universal_solution_budgeted(
+    source: &Instance,
+    target: &Instance,
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Result<Verdict, CoreError> {
+    let canonical = chase_mapping(source, mapping, vocab, &ChaseOptions::default())?;
+    let fwd = exists_hom_budgeted(&canonical, target, config, stats);
+    if fwd.fails() {
+        return Ok(Verdict::Fails);
+    }
+    Ok(fwd.and(exists_hom_budgeted(target, &canonical, config, stats)))
 }
 
 /// Definition-level extended-solution check for **arbitrary**

@@ -3,7 +3,7 @@
 
 use rde_chase::{chase_mapping, ChaseOptions};
 use rde_deps::SchemaMapping;
-use rde_hom::exists_hom;
+use rde_hom::{exists_hom, exists_hom_budgeted, Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::{Instance, Vocabulary};
 
 use crate::{CoreError, Universe};
@@ -20,6 +20,13 @@ pub enum BoundedVerdict {
         i1: Instance,
         /// Second component.
         i2: Instance,
+    },
+    /// A budgeted run could not settle every pair: no counterexample was
+    /// found, but some search was cut short, so "holds within bound"
+    /// cannot be claimed. Retry with a larger budget.
+    Unknown {
+        /// The first budget that ran out.
+        budget: Exhausted,
     },
 }
 
@@ -39,21 +46,60 @@ pub fn check_homomorphism_property(
     universe: &Universe,
     vocab: &mut Vocabulary,
 ) -> Result<BoundedVerdict, CoreError> {
+    let mut stats = HomStats::default();
+    check_homomorphism_property_budgeted(
+        mapping,
+        universe,
+        vocab,
+        &HomConfig::default(),
+        &mut stats,
+    )
+}
+
+/// Budgeted form of [`check_homomorphism_property`]: every homomorphism
+/// search obeys `config`, and search work (including the arrow cache's)
+/// accumulates into `stats`. A counterexample needs both sides settled,
+/// so a run with cut searches that finds none returns
+/// [`BoundedVerdict::Unknown`] instead of claiming the property holds.
+pub fn check_homomorphism_property_budgeted(
+    mapping: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Result<BoundedVerdict, CoreError> {
     let family = universe
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
     let cache = crate::arrow::ArrowMCache::new(mapping, &family, vocab)?;
-    for a in 0..family.len() {
+    let mut unsettled: Option<Exhausted> = None;
+    let mut verdict = BoundedVerdict::HoldsWithinBound;
+    'scan: for a in 0..family.len() {
         for b in 0..family.len() {
-            if cache.arrow(a, b) && !exists_hom(&family[a], &family[b]) {
-                return Ok(BoundedVerdict::Counterexample {
-                    i1: family[a].clone(),
-                    i2: family[b].clone(),
-                });
+            match cache.arrow_budgeted(a, b, config) {
+                Verdict::Fails => {}
+                Verdict::Unknown { budget } => unsettled = unsettled.or(Some(budget)),
+                Verdict::Holds => {
+                    match exists_hom_budgeted(&family[a], &family[b], config, stats) {
+                        Verdict::Holds => {}
+                        Verdict::Unknown { budget } => unsettled = unsettled.or(Some(budget)),
+                        Verdict::Fails => {
+                            verdict = BoundedVerdict::Counterexample {
+                                i1: family[a].clone(),
+                                i2: family[b].clone(),
+                            };
+                            break 'scan;
+                        }
+                    }
+                }
             }
         }
     }
-    Ok(BoundedVerdict::HoldsWithinBound)
+    *stats += cache.stats().hom;
+    Ok(match (verdict, unsettled) {
+        (BoundedVerdict::HoldsWithinBound, Some(budget)) => BoundedVerdict::Unknown { budget },
+        (v, _) => v,
+    })
 }
 
 /// Bounded extended-invertibility check via Theorem 3.13 (for
@@ -135,7 +181,7 @@ mod tests {
                 assert_eq!(i2.len(), 1);
                 assert!(!exists_hom(&i1, &i2));
             }
-            BoundedVerdict::HoldsWithinBound => panic!("union mapping must fail"),
+            other => panic!("union mapping must fail, got {other:?}"),
         }
     }
 
@@ -173,6 +219,33 @@ mod tests {
         // (the mapping IS invertible in the ground sense).
         let ground_only = Universe::new(&mut v, 2, 0, 2);
         assert!(check_homomorphism_property(&m, &ground_only, &mut v).unwrap().holds());
+    }
+
+    /// A starved budget cannot settle the pairs: the checker says
+    /// Unknown instead of claiming the property holds (or inventing a
+    /// counterexample).
+    #[test]
+    fn budgeted_check_degrades_to_unknown() {
+        let mut v = Vocabulary::new();
+        let m =
+            parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)")
+                .unwrap();
+        let u = Universe::new(&mut v, 2, 1, 2);
+        let tight = HomConfig { node_budget: Some(1), ..HomConfig::default() };
+        let mut stats = HomStats::default();
+        let verdict =
+            check_homomorphism_property_budgeted(&m, &u, &mut v, &tight, &mut stats).unwrap();
+        // The property holds for this mapping, so a definite
+        // counterexample is impossible; with cut searches the only
+        // honest answer is Unknown.
+        assert!(matches!(verdict, BoundedVerdict::Unknown { .. }), "got {verdict:?}");
+        assert!(stats.nodes > 0, "the aggregated stats must reflect the work");
+        // An adequate budget restores the unbounded answer.
+        let mut stats = HomStats::default();
+        let verdict =
+            check_homomorphism_property_budgeted(&m, &u, &mut v, &HomConfig::default(), &mut stats)
+                .unwrap();
+        assert!(verdict.holds());
     }
 
     /// Example 3.18's mapping P(x,y) → ∃z(Q(x,z) ∧ Q(z,y)) is

@@ -1,6 +1,7 @@
 //! Extended recoveries and maximum extended recoveries (Section 4).
 
 use rde_deps::SchemaMapping;
+use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::{Instance, Vocabulary};
 
 use crate::compose::{in_e_composition, ComposeOptions};
@@ -59,6 +60,12 @@ pub enum MaxRecoveryVerdict {
         /// Second component.
         i2: Instance,
     },
+    /// A budgeted run left some `→_M` queries unsettled and found no
+    /// definite refutation; retry with a larger budget.
+    Unknown {
+        /// The first budget that ran out.
+        budget: Exhausted,
+    },
 }
 
 impl MaxRecoveryVerdict {
@@ -78,32 +85,75 @@ pub fn check_maximum_extended_recovery(
     vocab: &mut Vocabulary,
     options: &ComposeOptions,
 ) -> Result<MaxRecoveryVerdict, CoreError> {
+    let mut stats = HomStats::default();
+    check_maximum_extended_recovery_budgeted(
+        mapping,
+        reverse,
+        universe,
+        vocab,
+        options,
+        &HomConfig::default(),
+        &mut stats,
+    )
+}
+
+/// Budgeted form of [`check_maximum_extended_recovery`]: the `→_M` side
+/// of each pair runs under `config` (the composition side stays exact);
+/// unsettled pairs degrade the verdict to
+/// [`MaxRecoveryVerdict::Unknown`] unless a definite refutation is
+/// found first. Arrow-cache search work accumulates into `stats`.
+#[allow(clippy::too_many_arguments)]
+pub fn check_maximum_extended_recovery_budgeted(
+    mapping: &SchemaMapping,
+    reverse: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+    options: &ComposeOptions,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Result<MaxRecoveryVerdict, CoreError> {
     let family = universe
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
     let cache = crate::arrow::ArrowMCache::new(mapping, &family, vocab)?;
-    for (a, i1) in family.iter().enumerate() {
+    let mut unsettled: Option<Exhausted> = None;
+    let mut refutation: Option<MaxRecoveryVerdict> = None;
+    'scan: for (a, i1) in family.iter().enumerate() {
         for (b, i2) in family.iter().enumerate() {
-            let in_arrow = cache.arrow(a, b);
+            let in_arrow = match cache.arrow_budgeted(a, b, config) {
+                Verdict::Holds => true,
+                Verdict::Fails => false,
+                Verdict::Unknown { budget } => {
+                    unsettled = unsettled.or(Some(budget));
+                    continue;
+                }
+            };
             let in_comp = in_e_composition(mapping, reverse, i1, i2, vocab, options)?;
             match (in_comp, in_arrow) {
                 (true, false) => {
-                    return Ok(MaxRecoveryVerdict::NotContainedInArrowM {
+                    refutation = Some(MaxRecoveryVerdict::NotContainedInArrowM {
                         i1: i1.clone(),
                         i2: i2.clone(),
-                    })
+                    });
+                    break 'scan;
                 }
                 (false, true) => {
-                    return Ok(MaxRecoveryVerdict::MissesArrowMPair {
+                    refutation = Some(MaxRecoveryVerdict::MissesArrowMPair {
                         i1: i1.clone(),
                         i2: i2.clone(),
-                    })
+                    });
+                    break 'scan;
                 }
                 _ => {}
             }
         }
     }
-    Ok(MaxRecoveryVerdict::HoldsWithinBound)
+    *stats += cache.stats().hom;
+    Ok(match (refutation, unsettled) {
+        (Some(r), _) => r,
+        (None, Some(budget)) => MaxRecoveryVerdict::Unknown { budget },
+        (None, None) => MaxRecoveryVerdict::HoldsWithinBound,
+    })
 }
 
 /// Proposition 4.16 (bounded form): for an extended-invertible

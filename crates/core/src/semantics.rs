@@ -1,9 +1,13 @@
 //! The semantic view of schema mappings: satisfaction, solutions,
 //! universal solutions (Section 2).
 
-use rde_chase::matching::{atoms_satisfiable, for_each_premise_match, VarAssignment};
+use rde_chase::matching::{
+    atoms_satisfiable, atoms_satisfiable_budgeted, for_each_premise_match,
+    for_each_premise_match_budgeted, VarAssignment,
+};
 use rde_chase::{chase_mapping, ChaseOptions};
 use rde_deps::{Dependency, SchemaMapping};
+use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::{Instance, Vocabulary};
 
 use crate::CoreError;
@@ -28,10 +32,85 @@ pub fn satisfies_dependency(source: &Instance, target: &Instance, dep: &Dependen
     ok
 }
 
+/// Budgeted form of [`satisfies_dependency`]: premise enumeration and
+/// disjunct-witness searches obey `config`. A single trigger whose
+/// disjuncts all *definitely* fail refutes the dependency outright even
+/// under a budget; cut searches that leave a trigger unwitnessed (or a
+/// truncated premise enumeration) degrade the verdict to
+/// [`Verdict::Unknown`].
+pub fn satisfies_dependency_budgeted(
+    source: &Instance,
+    target: &Instance,
+    dep: &Dependency,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Verdict {
+    let universal = dep.universal_vars();
+    let mut violated = false;
+    let mut unknown: Option<Exhausted> = None;
+    let report = for_each_premise_match_budgeted(&dep.premise, source, config, |assignment| {
+        let seed: VarAssignment = universal.iter().map(|&v| (v, assignment[&v])).collect();
+        let mut trigger_unknown: Option<Exhausted> = None;
+        let witnessed = dep.disjuncts.iter().any(|d| {
+            match atoms_satisfiable_budgeted(&d.atoms, target, &seed, config, stats) {
+                Verdict::Holds => true,
+                Verdict::Fails => false,
+                Verdict::Unknown { budget } => {
+                    trigger_unknown.get_or_insert(budget);
+                    false
+                }
+            }
+        });
+        if witnessed {
+            return true;
+        }
+        match trigger_unknown {
+            None => {
+                violated = true;
+                false
+            }
+            Some(budget) => {
+                unknown.get_or_insert(budget);
+                true
+            }
+        }
+    });
+    *stats += report.stats;
+    if violated {
+        return Verdict::Fails;
+    }
+    match unknown.or(report.exhausted) {
+        Some(budget) => Verdict::Unknown { budget },
+        None => Verdict::Holds,
+    }
+}
+
 /// `(I, J) ⊨ Σ`: the pair satisfies every dependency of the mapping.
 /// This is the paper's semantic view — `(I, J) ∈ M`.
 pub fn satisfies(source: &Instance, target: &Instance, mapping: &SchemaMapping) -> bool {
     mapping.dependencies.iter().all(|d| satisfies_dependency(source, target, d))
+}
+
+/// Budgeted form of [`satisfies`]: Kleene conjunction over the
+/// dependencies — a definite violation short-circuits to
+/// [`Verdict::Fails`]; otherwise any cut search taints the conjunction
+/// to [`Verdict::Unknown`].
+pub fn satisfies_budgeted(
+    source: &Instance,
+    target: &Instance,
+    mapping: &SchemaMapping,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Verdict {
+    let mut acc = Verdict::Holds;
+    for dep in &mapping.dependencies {
+        let v = satisfies_dependency_budgeted(source, target, dep, config, stats);
+        if v.fails() {
+            return Verdict::Fails;
+        }
+        acc = acc.and(v);
+    }
+    acc
 }
 
 /// Is `J` a solution for `I` w.r.t. `M` — i.e. `(I, J) ∈ M`
@@ -131,6 +210,26 @@ mod tests {
             padded.insert(f);
         }
         assert!(is_universal_solution(&i, &padded, &m, &mut v).unwrap());
+    }
+
+    #[test]
+    fn budgeted_satisfaction_is_three_valued() {
+        let mut v = Vocabulary::new();
+        let m = decomposition(&mut v);
+        let i = parse_instance(&mut v, "P(a,b,c)").unwrap();
+        let good = parse_instance(&mut v, "Q(a,b)\nR(b,c)").unwrap();
+        let missing = parse_instance(&mut v, "Q(a,b)").unwrap();
+        // Unbounded budgets agree with the boolean check.
+        let mut stats = HomStats::default();
+        let cfg = HomConfig::default();
+        assert!(satisfies_budgeted(&i, &good, &m, &cfg, &mut stats).holds());
+        assert!(satisfies_budgeted(&i, &missing, &m, &cfg, &mut stats).fails());
+        assert!(stats.nodes > 0);
+        // A zero budget cannot even enumerate the premise: Unknown.
+        let tight = HomConfig { node_budget: Some(0), ..HomConfig::default() };
+        let mut stats = HomStats::default();
+        let verdict = satisfies_budgeted(&i, &good, &m, &tight, &mut stats);
+        assert!(verdict.is_unknown(), "got {verdict:?}");
     }
 
     #[test]

@@ -13,10 +13,23 @@
 //! fact can be dropped, no proper sub-instance admits a homomorphism at
 //! all (any such sub-instance is contained in some `I ∖ {f}`), so the
 //! result is the core.
+//!
+//! **Implementation.** [`core_of`] works on a single mutable copy of the
+//! input: per round it compiles the current instance into a
+//! [`CompiledPattern`] once, and per candidate fact `f` it removes `f`
+//! in place ([`Instance::remove_fact`], O(arity)), matches the pattern —
+//! which still contains `f`'s atom — against the reduced instance
+//! (exactly the `I → I ∖ {f}` test), and either reinserts `f` on
+//! failure or drops the non-image facts in place on success. This
+//! replaces the two quadratic steps of the textbook loop (a full
+//! `without_fact` rebuild per candidate and a full `apply_instance`
+//! rebuild per fold), which survives as [`core_of_quadratic`] for
+//! differential tests and the `BENCH_hom` baseline.
 
-use rde_model::{Instance, Substitution};
+use rde_model::fx::FxHashSet;
+use rde_model::{Fact, Instance, Substitution};
 
-use crate::search::{exists_hom, find_hom};
+use crate::search::{instance_pattern, HomConfig, HomStats};
 
 /// Result of [`core_of`]: the core and a retraction onto it.
 #[derive(Debug, Clone)]
@@ -28,20 +41,97 @@ pub struct CoreResult {
     pub retraction: Substitution,
 }
 
+/// Result of [`core_of_budgeted`]: the (possibly partial) minimization,
+/// the aggregated search work, and whether every fold test completed.
+#[derive(Debug, Clone)]
+pub struct CoreOutcome {
+    /// The minimized instance and retraction. When [`Self::complete`] is
+    /// false this is still a sound retract of the input (hom-equivalent
+    /// sub-instance), just not necessarily minimal.
+    pub result: CoreResult,
+    /// Aggregated homomorphism-search counters over all fold tests.
+    pub stats: HomStats,
+    /// `true` when no fold test was cut short by the budget, i.e. the
+    /// result really is the core.
+    pub complete: bool,
+}
+
 /// Compute the core of `instance`.
 ///
 /// Worst-case exponential (it performs homomorphism searches), but fast
 /// on chase results, whose redundancy is shallow.
 pub fn core_of(instance: &Instance) -> CoreResult {
+    core_of_budgeted(instance, &HomConfig::default()).result
+}
+
+/// Compute the core of `instance` under per-search budgets.
+///
+/// A fold test cut short by the budget is conservatively treated as
+/// "cannot fold" — the returned instance is then a hom-equivalent
+/// retract of the input but possibly not minimal, and
+/// [`CoreOutcome::complete`] is `false`. Folding steps preserve
+/// hom-equivalence individually, so partial minimization is still sound
+/// wherever only the equivalence class matters (e.g. the arrow cache).
+pub fn core_of_budgeted(instance: &Instance, config: &HomConfig) -> CoreOutcome {
+    let mut current = instance.clone();
+    let mut retraction = Substitution::new();
+    let mut stats = HomStats::default();
+    let mut complete = true;
+    'outer: loop {
+        // Only facts containing nulls can ever be folded away: an
+        // all-constant fact must map to itself. The pattern is compiled
+        // once per round; within a round failed candidates are
+        // reinserted, so it stays an exact picture of `current`.
+        let round_facts: Vec<Fact> = current.facts().collect();
+        let (pattern, var_nulls) = instance_pattern(&current);
+        let candidates: Vec<&Fact> = round_facts.iter().filter(|f| f.has_null()).collect();
+        for f in candidates {
+            current.remove_fact(f);
+            let mut witness: Option<Vec<Option<rde_model::Value>>> = None;
+            let report = pattern.for_each_match(&current, &[], config, |assignment| {
+                witness = Some(assignment.to_vec());
+                false
+            });
+            stats += report.stats;
+            if let Some(assignment) = witness {
+                let h: Substitution = var_nulls
+                    .iter()
+                    .zip(&assignment)
+                    .map(|(&n, v)| (n, v.expect("full match binds every null")))
+                    .collect();
+                // The image h(I) ⊆ I ∖ {f}: drop everything outside it
+                // in place instead of rebuilding the instance.
+                let image: FxHashSet<Fact> =
+                    round_facts.iter().map(|g| g.map_values(|v| h.apply(v))).collect();
+                for g in &round_facts {
+                    if !image.contains(g) {
+                        current.remove_fact(g);
+                    }
+                }
+                retraction = retraction.then(&h);
+                continue 'outer;
+            }
+            if !report.complete() {
+                complete = false;
+            }
+            current.insert(f.clone());
+        }
+        return CoreOutcome { result: CoreResult { core: current, retraction }, stats, complete };
+    }
+}
+
+/// Reference implementation of [`core_of`]: the textbook loop that
+/// rebuilds `I ∖ {f}` per candidate and `h(I)` per fold. Kept for
+/// differential testing and as the "before" side of the `BENCH_hom`
+/// core-minimization baseline; use [`core_of`] everywhere else.
+pub fn core_of_quadratic(instance: &Instance) -> CoreResult {
     let mut current = instance.clone();
     let mut retraction = Substitution::new();
     'outer: loop {
-        // Only facts containing nulls can ever be folded away: an
-        // all-constant fact must map to itself.
         let candidates: Vec<_> = current.facts().filter(|f| f.has_null()).collect();
         for f in candidates {
             let smaller = current.without_fact(&f);
-            if let Some(h) = find_hom(&current, &smaller) {
+            if let Some(h) = crate::search::find_hom(&current, &smaller) {
                 current = h.apply_instance(&current);
                 retraction = retraction.then(&h);
                 continue 'outer;
@@ -54,16 +144,28 @@ pub fn core_of(instance: &Instance) -> CoreResult {
 /// Is `instance` its own core (no homomorphism into a proper
 /// sub-instance)?
 pub fn is_core(instance: &Instance) -> bool {
-    instance
-        .facts()
-        .filter(|f| f.has_null())
-        .all(|f| !exists_hom(instance, &instance.without_fact(&f)))
+    let (pattern, _) = instance_pattern(instance);
+    let mut current = instance.clone();
+    let candidates: Vec<Fact> = instance.facts().filter(|f| f.has_null()).collect();
+    for f in candidates {
+        current.remove_fact(&f);
+        let mut found = false;
+        pattern.for_each_match(&current, &[], &HomConfig::default(), |_| {
+            found = true;
+            false
+        });
+        current.insert(f);
+        if found {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hom_equivalent;
+    use crate::{hom_equivalent, is_isomorphic};
     use rde_model::{ConstId, Fact, NullId, RelId, Value};
 
     fn c(i: u32) -> Value {
@@ -142,5 +244,44 @@ mod tests {
         let r = core_of(&Instance::new());
         assert!(r.core.is_empty());
         assert!(is_core(&Instance::new()));
+    }
+
+    #[test]
+    fn incremental_agrees_with_quadratic_reference() {
+        // Cores are unique up to isomorphism; the two implementations
+        // may pick different (isomorphic) sub-instances.
+        let cases = [
+            inst(&[(0, &[c(0), c(1)]), (0, &[c(0), n(0)])]),
+            inst(&[(0, &[c(0), n(0)]), (0, &[n(0), c(1)])]),
+            inst(&[(0, &[c(0), c(0)]), (0, &[n(0), n(1)]), (0, &[n(1), n(2)]), (0, &[n(2), n(0)])]),
+            inst(&[(0, &[n(0), n(0)]), (0, &[n(0), n(1)]), (0, &[n(1), n(0)]), (0, &[n(1), n(1)])]),
+            inst(&[(0, &[c(0), n(0)]), (0, &[c(0), c(1)]), (1, &[n(0), n(1)]), (1, &[c(1), n(2)])]),
+            Instance::new(),
+        ];
+        for i in &cases {
+            let fast = core_of(i);
+            let slow = core_of_quadratic(i);
+            assert!(is_isomorphic(&fast.core, &slow.core), "{i:?}");
+            assert_eq!(slow.retraction.apply_instance(i), slow.core);
+            assert_eq!(fast.retraction.apply_instance(i), fast.core);
+        }
+    }
+
+    #[test]
+    fn budgeted_core_degrades_to_a_sound_retract() {
+        let i =
+            inst(&[(0, &[c(0), c(0)]), (0, &[n(0), n(1)]), (0, &[n(1), n(2)]), (0, &[n(2), n(0)])]);
+        // Unbounded: complete, minimal.
+        let full = core_of_budgeted(&i, &HomConfig::default());
+        assert!(full.complete);
+        assert!(full.stats.nodes > 0);
+        assert!(is_core(&full.result.core));
+        // Budget 0: nothing can be tested, so nothing folds — but the
+        // result is still a sound (here: trivial) retract.
+        let cfg = HomConfig { node_budget: Some(0), ..HomConfig::default() };
+        let cut = core_of_budgeted(&i, &cfg);
+        assert!(!cut.complete);
+        assert_eq!(cut.result.core, i);
+        assert!(hom_equivalent(&i, &cut.result.core));
     }
 }

@@ -2,7 +2,8 @@
 
 use rde_model::Instance;
 
-use crate::search::{exists_hom, find_hom};
+use crate::search::{exists_hom, exists_hom_budgeted, find_hom, HomConfig, HomStats};
+use crate::verdict::Verdict;
 use rde_model::Substitution;
 
 /// Are `a` and `b` homomorphically equivalent (`a → b` and `b → a`,
@@ -19,6 +20,23 @@ pub fn hom_equivalent_with(a: &Instance, b: &Instance) -> Option<(Substitution, 
     let fwd = find_hom(a, b)?;
     let back = find_hom(b, a)?;
     Some((fwd, back))
+}
+
+/// Decide homomorphic equivalence under `config`'s budgets (Kleene
+/// conjunction of the two directions), accumulating search work into
+/// `stats`. A definite failure in either direction beats an `Unknown`
+/// in the other.
+pub fn hom_equivalent_budgeted(
+    a: &Instance,
+    b: &Instance,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Verdict {
+    let fwd = exists_hom_budgeted(a, b, config, stats);
+    if fwd.fails() {
+        return Verdict::Fails;
+    }
+    fwd.and(exists_hom_budgeted(b, a, config, stats))
 }
 
 #[cfg(test)]
@@ -77,5 +95,25 @@ mod tests {
         assert!(!exists_hom(&b, &a));
         assert!(!hom_equivalent(&a, &b));
         assert!(hom_equivalent_with(&a, &b).is_none());
+    }
+
+    #[test]
+    fn budgeted_equivalence_degrades_to_unknown() {
+        let a = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(0)])]);
+        let b = inst(&[(0, &[n(7), n(9)]), (0, &[n(9), n(7)])]);
+        let mut stats = HomStats::default();
+        let v = hom_equivalent_budgeted(&a, &b, &HomConfig::default(), &mut stats);
+        assert!(v.holds());
+        assert!(stats.nodes > 0, "both directions are accounted");
+        let cfg = HomConfig { node_budget: Some(0), ..HomConfig::default() };
+        let mut stats = HomStats::default();
+        assert!(hom_equivalent_budgeted(&a, &b, &cfg, &mut stats).is_unknown());
+        // A definite directional failure is reported even under a budget
+        // too small to decide the other direction.
+        let asym_a = inst(&[(0, &[n(0), n(0)])]);
+        let asym_b = inst(&[(0, &[c(0), c(1)])]);
+        let mut stats = HomStats::default();
+        let v = hom_equivalent_budgeted(&asym_a, &asym_b, &HomConfig::default(), &mut stats);
+        assert!(v.fails());
     }
 }

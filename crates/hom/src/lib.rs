@@ -16,7 +16,11 @@
 //! * per-column posting-list indexes from `rde-model` to enumerate
 //!   candidate target tuples for a partially bound fact;
 //! * dynamic fail-first fact ordering (cheapest-candidate-set next);
-//! * a node budget for callers that need interruptible search.
+//! * node and wall-clock budgets for callers that need interruptible
+//!   search — exhaustion is a completion *status* on the returned
+//!   [`SearchReport`], folded into a three-valued [`Verdict`]
+//!   (`Holds` / `Fails` / `Unknown`) by the budgeted deciders, never a
+//!   panic.
 //!
 //! Both optimizations can be disabled through [`HomConfig`] — the
 //! ablation benchmarks measure exactly that gap.
@@ -31,15 +35,18 @@
 
 mod core_min;
 mod equivalence;
-mod error;
 mod iso;
 mod search;
+mod verdict;
 
-pub use core_min::{core_of, is_core, CoreResult};
-pub use equivalence::{hom_equivalent, hom_equivalent_with};
-pub use error::HomError;
+pub use core_min::{
+    core_of, core_of_budgeted, core_of_quadratic, is_core, CoreOutcome, CoreResult,
+};
+pub use equivalence::{hom_equivalent, hom_equivalent_budgeted, hom_equivalent_with};
 pub use iso::{find_iso, is_isomorphic};
 pub use search::{
-    count_homs, exists_hom, find_hom, find_hom_seeded, for_each_hom, CompiledPattern, HomConfig,
-    HomStats, PatArg, PatternAtom, SearchOutcome,
+    count_homs, exists_hom, exists_hom_budgeted, find_hom, find_hom_budgeted, find_hom_seeded,
+    for_each_hom, instance_pattern, CompiledPattern, HomConfig, HomStats, PatArg, PatternAtom,
+    SearchReport,
 };
+pub use verdict::{Exhausted, Verdict};

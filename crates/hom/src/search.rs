@@ -6,19 +6,51 @@
 //! and solve fact-at-a-time: pick an uncovered source fact, enumerate the
 //! target tuples it can map onto (via the column posting lists of the
 //! bound positions), unify, recurse.
+//!
+//! Every search runs under [`HomConfig`]'s (optional) node and
+//! wall-clock budgets. Exhausting a budget is not an error: it is a
+//! completion status on the returned [`SearchReport`], and the budgeted
+//! deciders ([`exists_hom_budgeted`], [`find_hom_budgeted`]) fold it
+//! into a three-valued [`Verdict`]. The unbounded wrappers
+//! ([`exists_hom`], [`find_hom`], [`count_homs`]) stay infallible by
+//! construction — an unbounded search has no budget to exhaust, so
+//! there is no panic path to pretend-handle.
+
+use std::time::{Duration, Instant};
 
 use rde_model::fx::FxHashMap;
 use rde_model::{Instance, NullId, RelationData, Substitution, Value};
 
-use crate::HomError;
+use crate::verdict::{Exhausted, Verdict};
 
-/// Search configuration. The default is complete (no node budget) and
-/// fully optimized; the two flags exist for the ablation benchmarks.
+/// How many nodes pass between wall-clock checks: `Instant::now()` is
+/// much more expensive than a unification attempt, so the deadline is
+/// polled on a stride. Time budgets are therefore enforced with a
+/// granularity of `TIME_CHECK_STRIDE` nodes.
+const TIME_CHECK_STRIDE: u64 = 256;
+
+/// Search configuration. The default is complete (no budgets) and fully
+/// optimized; the two flags exist for the ablation benchmarks.
 #[derive(Debug, Clone)]
 pub struct HomConfig {
-    /// Abort with [`HomError::NodeBudgetExhausted`] after this many
-    /// candidate-tuple attempts. `None` = run to completion.
+    /// Node budget: the maximum number of candidate-tuple unification
+    /// attempts. `None` = run to completion.
+    ///
+    /// **Semantics (exact):** the counter is incremented *before* each
+    /// attempt and the search stops when `nodes > budget`, so
+    /// `node_budget = Some(N)` permits **exactly N** unification
+    /// attempts; the (N+1)-th attempt is cut before it unifies. In
+    /// particular `Some(0)` stops before the first attempt, and a search
+    /// whose complete run needs exactly N nodes finishes untruncated
+    /// under `Some(N)`. On exhaustion the reported
+    /// [`HomStats::nodes`] reads `N + 1` (the aborted attempt was
+    /// counted, not performed). Boundary tests pin this down so the
+    /// semantics cannot drift as budgets thread through chase and core.
     pub node_budget: Option<u64>,
+    /// Wall-clock budget for one search. `None` = no deadline. Checked
+    /// every [`TIME_CHECK_STRIDE`] nodes, so very short searches may
+    /// finish before the first check.
+    pub time_budget: Option<Duration>,
     /// Use per-column posting lists to enumerate candidate tuples
     /// (`false` = scan the whole target relation per fact).
     pub use_index: bool,
@@ -29,7 +61,7 @@ pub struct HomConfig {
 
 impl Default for HomConfig {
     fn default() -> Self {
-        HomConfig { node_budget: None, use_index: true, dynamic_order: true }
+        HomConfig { node_budget: None, time_budget: None, use_index: true, dynamic_order: true }
     }
 }
 
@@ -44,13 +76,40 @@ pub struct HomStats {
     pub found: u64,
 }
 
-/// Outcome of a decision search.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SearchOutcome {
-    /// A homomorphism was found (its bindings cover every source null).
-    Found(Substitution),
-    /// The search space was exhausted: no homomorphism exists.
-    NotFound,
+impl HomStats {
+    /// Accumulate another search's counters (used by the chase and the
+    /// core checkers to aggregate per-top-level-check totals).
+    pub fn merge(&mut self, other: HomStats) {
+        self.nodes += other.nodes;
+        self.backtracks += other.backtracks;
+        self.found += other.found;
+    }
+}
+
+impl std::ops::AddAssign for HomStats {
+    fn add_assign(&mut self, other: HomStats) {
+        self.merge(other);
+    }
+}
+
+/// What a search did and whether it ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchReport {
+    /// Work counters for this search.
+    pub stats: HomStats,
+    /// `Some` when a budget cut the enumeration short: any matches
+    /// reported before the cut are valid, but the enumeration is
+    /// incomplete (absence of a match proves nothing). `None` means the
+    /// search ran to completion (or was stopped by the callback, which
+    /// is a *caller* decision, not a budget one).
+    pub exhausted: Option<Exhausted>,
+}
+
+impl SearchReport {
+    /// Did the search run to completion (no budget cut)?
+    pub fn complete(&self) -> bool {
+        self.exhausted.is_none()
+    }
 }
 
 /// One argument of a pattern atom: already-fixed value or variable slot.
@@ -115,14 +174,14 @@ impl CompiledPattern {
     /// Enumerate matches of the pattern into `target` extending `seed`
     /// (`seed[v]` pre-binds slot `v`; missing/`None` entries are free).
     /// The callback sees the full slot assignment and returns `false`
-    /// to stop. Returns the search statistics.
+    /// to stop. Returns the search report (stats + completion status).
     pub fn for_each_match(
         &self,
         target: &Instance,
         seed: &[Option<Value>],
         config: &HomConfig,
         on_found: impl FnMut(&[Option<Value>]) -> bool,
-    ) -> Result<HomStats, HomError> {
+    ) -> SearchReport {
         self.for_each_match_excluding(None, target, seed, config, on_found)
     }
 
@@ -139,7 +198,7 @@ impl CompiledPattern {
         seed: &[Option<Value>],
         config: &HomConfig,
         on_found: impl FnMut(&[Option<Value>]) -> bool,
-    ) -> Result<HomStats, HomError> {
+    ) -> SearchReport {
         static EMPTY: std::sync::OnceLock<RelationData> = std::sync::OnceLock::new();
         let empty = EMPTY.get_or_init(RelationData::default);
         let facts: Vec<PatternFact<'_>> = self
@@ -156,10 +215,19 @@ impl CompiledPattern {
         for (slot, &v) in seed.iter().enumerate().take(vals.len()) {
             vals[slot] = v;
         }
-        let mut searcher = Searcher { facts, vals, config, stats: HomStats::default(), on_found };
+        let mut searcher = Searcher {
+            facts,
+            vals,
+            config,
+            deadline: config.time_budget.map(|d| Instant::now() + d),
+            stats: HomStats::default(),
+            trail: Vec::new(),
+            exhausted: None,
+            on_found,
+        };
         let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
-        searcher.solve(&mut remaining)?;
-        Ok(searcher.stats)
+        searcher.solve(&mut remaining);
+        SearchReport { stats: searcher.stats, exhausted: searcher.exhausted }
     }
 }
 
@@ -173,34 +241,38 @@ struct Searcher<'a, F: FnMut(&[Option<Value>]) -> bool> {
     /// Variable assignment: `vals[v]` is the image of slot `v`.
     vals: Vec<Option<Value>>,
     config: &'a HomConfig,
+    /// Wall-clock cutoff derived from [`HomConfig::time_budget`].
+    deadline: Option<Instant>,
     stats: HomStats,
+    /// Scratch undo stack of bound slots, shared across the whole
+    /// search: each node records a mark and truncates back to it,
+    /// instead of allocating a fresh trail per candidate row.
+    trail: Vec<u32>,
+    /// Set when a budget cut the search short.
+    exhausted: Option<Exhausted>,
     /// Callback; returns `false` to stop enumerating.
     on_found: F,
 }
 
 impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
-    /// Returns `Ok(true)` if enumeration was stopped by the callback.
-    fn solve(&mut self, remaining: &mut Vec<usize>) -> Result<bool, HomError> {
+    /// Returns `true` if enumeration should stop (callback said stop,
+    /// or a budget was exhausted — see [`Self::exhausted`]).
+    fn solve(&mut self, remaining: &mut Vec<usize>) -> bool {
         let Some(slot) = self.pick(remaining) else {
             // All facts covered: report the match.
             self.stats.found += 1;
-            return Ok(!(self.on_found)(&self.vals));
+            return !(self.on_found)(&self.vals);
         };
         let fact_idx = remaining.swap_remove(slot);
         let rows = self.candidate_rows(fact_idx);
-        let stopped = self.try_rows(fact_idx, rows, remaining)?;
+        let stopped = self.try_rows(fact_idx, rows, remaining);
         remaining.push(fact_idx);
         let last = remaining.len() - 1;
         remaining.swap(slot, last);
-        Ok(stopped)
+        stopped
     }
 
-    fn try_rows(
-        &mut self,
-        fact_idx: usize,
-        rows: Rows,
-        remaining: &mut Vec<usize>,
-    ) -> Result<bool, HomError> {
+    fn try_rows(&mut self, fact_idx: usize, rows: Rows, remaining: &mut Vec<usize>) -> bool {
         let n_rows = match &rows {
             Rows::All(n) => *n,
             Rows::Some(v) => v.len(),
@@ -210,29 +282,45 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
                 Rows::All(_) => i as u32,
                 Rows::Some(v) => v[i],
             };
+            // Budget check: increment first, then compare, so a budget
+            // of N permits exactly N unification attempts (see
+            // [`HomConfig::node_budget`]).
             self.stats.nodes += 1;
             if let Some(budget) = self.config.node_budget {
                 if self.stats.nodes > budget {
-                    return Err(HomError::NodeBudgetExhausted { budget });
+                    self.exhausted = Some(Exhausted::Nodes(budget));
+                    return true;
                 }
             }
-            let mut trail = Vec::new();
-            if self.unify(fact_idx, row, &mut trail) {
-                let stopped = self.solve(remaining)?;
-                for v in trail {
-                    self.vals[v as usize] = None;
+            if let Some(deadline) = self.deadline {
+                if self.stats.nodes.is_multiple_of(TIME_CHECK_STRIDE) && Instant::now() >= deadline
+                {
+                    let budget = self.config.time_budget.unwrap_or_default();
+                    self.exhausted = Some(Exhausted::Time(budget));
+                    return true;
                 }
+            }
+            let mark = self.trail.len();
+            if self.unify(fact_idx, row) {
+                let stopped = self.solve(remaining);
+                self.undo_to(mark);
                 if stopped {
-                    return Ok(true);
+                    return true;
                 }
             } else {
                 self.stats.backtracks += 1;
-                for v in trail {
-                    self.vals[v as usize] = None;
-                }
+                self.undo_to(mark);
             }
         }
-        Ok(false)
+        false
+    }
+
+    /// Unbind every slot recorded past `mark` and truncate the trail.
+    fn undo_to(&mut self, mark: usize) {
+        for &v in &self.trail[mark..] {
+            self.vals[v as usize] = None;
+        }
+        self.trail.truncate(mark);
     }
 
     /// Pick the next remaining fact (slot index into `remaining`).
@@ -299,8 +387,8 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
     }
 
     /// Try to map fact `fact_idx` onto target row `row`, binding
-    /// variables as needed; `trail` records the bindings for undo.
-    fn unify(&mut self, fact_idx: usize, row: u32, trail: &mut Vec<u32>) -> bool {
+    /// variables as needed; new bindings are pushed on the shared trail.
+    fn unify(&mut self, fact_idx: usize, row: u32) -> bool {
         let f = &self.facts[fact_idx];
         let tuple = f.rel_data.tuple(row);
         for (arg, &tv) in f.args.iter().zip(tuple) {
@@ -318,7 +406,7 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
                     }
                     None => {
                         self.vals[x as usize] = Some(tv);
-                        trail.push(x);
+                        self.trail.push(x);
                     }
                 },
             }
@@ -334,20 +422,12 @@ enum Rows {
     Some(Vec<u32>),
 }
 
-/// Enumerate homomorphisms from `source` to `target`, invoking `on_found`
-/// for each; the callback returns `false` to stop early. `seed` pre-binds
-/// source nulls (bindings to values *not necessarily in the target's
-/// active domain* are permitted only if those nulls appear in no source
-/// fact; otherwise unification simply fails).
-///
-/// Returns the search statistics.
-pub fn for_each_hom(
-    source: &Instance,
-    target: &Instance,
-    seed: &Substitution,
-    config: &HomConfig,
-    mut on_found: impl FnMut(&Substitution) -> bool,
-) -> Result<HomStats, HomError> {
+/// Compile the facts of `source` into a [`CompiledPattern`] whose
+/// variable slots are the source's nulls, in first-occurrence order.
+/// Returns the pattern plus the slot → null mapping for reading matches
+/// back as [`Substitution`]s. Core minimization compiles its instance
+/// once per fold round and re-matches it against shrinking targets.
+pub fn instance_pattern(source: &Instance) -> (CompiledPattern, Vec<NullId>) {
     let mut var_ids: FxHashMap<NullId, u32> = FxHashMap::default();
     let mut var_nulls: Vec<NullId> = Vec::new();
     let mut atoms: Vec<PatternAtom> = Vec::new();
@@ -371,12 +451,33 @@ pub fn for_each_hom(
             atoms.push(PatternAtom { rel, args });
         }
     }
+    (CompiledPattern::new(atoms), var_nulls)
+}
 
-    let pattern = CompiledPattern::new(atoms);
+/// Enumerate homomorphisms from `source` to `target`, invoking `on_found`
+/// for each; the callback returns `false` to stop early. `seed` pre-binds
+/// source nulls (bindings to values *not necessarily in the target's
+/// active domain* are permitted only if those nulls appear in no source
+/// fact; otherwise unification simply fails).
+///
+/// Returns the search report; when `config` carries a budget, check
+/// [`SearchReport::exhausted`] before trusting a non-match.
+pub fn for_each_hom(
+    source: &Instance,
+    target: &Instance,
+    seed: &Substitution,
+    config: &HomConfig,
+    mut on_found: impl FnMut(&Substitution) -> bool,
+) -> SearchReport {
+    let (pattern, var_nulls) = instance_pattern(source);
     let mut vals: Vec<Option<Value>> = vec![None; var_nulls.len()];
-    for (n, v) in seed.iter() {
-        if let Some(&idx) = var_ids.get(&n) {
-            vals[idx as usize] = Some(v);
+    if !seed.is_empty() {
+        let var_ids: FxHashMap<NullId, u32> =
+            var_nulls.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+        for (n, v) in seed.iter() {
+            if let Some(&idx) = var_ids.get(&n) {
+                vals[idx as usize] = Some(v);
+            }
         }
     }
 
@@ -405,8 +506,7 @@ pub fn find_hom_seeded(
     for_each_hom(source, target, seed, &HomConfig::default(), |sub| {
         result = Some(sub.clone());
         false
-    })
-    .expect("unbounded search cannot exhaust a budget");
+    });
     result
 }
 
@@ -415,14 +515,53 @@ pub fn exists_hom(source: &Instance, target: &Instance) -> bool {
     find_hom(source, target).is_some()
 }
 
+/// Decide `source → target` under `config`'s budgets, accumulating the
+/// search work into `stats`. Returns [`Verdict::Unknown`] when a budget
+/// ran out before a witness was found or the space was exhausted.
+pub fn exists_hom_budgeted(
+    source: &Instance,
+    target: &Instance,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Verdict {
+    match find_hom_budgeted(source, target, &Substitution::new(), config, stats) {
+        Ok(Some(_)) => Verdict::Holds,
+        Ok(None) => Verdict::Fails,
+        Err(budget) => Verdict::Unknown { budget },
+    }
+}
+
+/// Find one homomorphism extending `seed` under `config`'s budgets,
+/// accumulating the search work into `stats`.
+///
+/// `Ok(Some(h))` — a witness; `Ok(None)` — a complete refutation;
+/// `Err(budget)` — the budget ran out before either.
+pub fn find_hom_budgeted(
+    source: &Instance,
+    target: &Instance,
+    seed: &Substitution,
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> Result<Option<Substitution>, Exhausted> {
+    let mut result = None;
+    let report = for_each_hom(source, target, seed, config, |sub| {
+        result = Some(sub.clone());
+        false
+    });
+    stats.merge(report.stats);
+    match (result, report.exhausted) {
+        (Some(h), _) => Ok(Some(h)),
+        (None, None) => Ok(None),
+        (None, Some(budget)) => Err(budget),
+    }
+}
+
 /// Count all homomorphisms from `source` to `target`.
 ///
 /// The count is exponential in the worst case; intended for tests and
 /// small instances.
 pub fn count_homs(source: &Instance, target: &Instance) -> u64 {
-    let stats = for_each_hom(source, target, &Substitution::new(), &HomConfig::default(), |_| true)
-        .expect("unbounded search cannot exhaust a budget");
-    stats.found
+    for_each_hom(source, target, &Substitution::new(), &HomConfig::default(), |_| true).stats.found
 }
 
 #[cfg(test)]
@@ -553,14 +692,99 @@ mod tests {
     }
 
     #[test]
-    fn node_budget_is_enforced() {
+    fn node_budget_exhaustion_is_a_status_not_a_panic() {
         // A mismatch that requires search: k² attempts for a miss.
         let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(0)]), (1, &[n(0)])]);
         let target =
             inst(&[(0, &[c(0), c(1)]), (0, &[c(1), c(2)]), (0, &[c(2), c(0)]), (1, &[c(9)])]);
         let cfg = HomConfig { node_budget: Some(0), ..HomConfig::default() };
-        let err = for_each_hom(&source, &target, &Substitution::new(), &cfg, |_| true).unwrap_err();
-        assert_eq!(err, HomError::NodeBudgetExhausted { budget: 0 });
+        let report = for_each_hom(&source, &target, &Substitution::new(), &cfg, |_| true);
+        assert_eq!(report.exhausted, Some(Exhausted::Nodes(0)));
+        assert!(!report.complete());
+        let mut stats = HomStats::default();
+        let verdict = exists_hom_budgeted(&source, &target, &cfg, &mut stats);
+        assert_eq!(verdict, Verdict::Unknown { budget: Exhausted::Nodes(0) });
+        // The unbounded decision is definite.
+        let mut stats = HomStats::default();
+        let v = exists_hom_budgeted(&source, &target, &HomConfig::default(), &mut stats);
+        assert_eq!(v, Verdict::Fails);
+        assert!(stats.nodes > 0);
+    }
+
+    #[test]
+    fn node_budget_boundaries_permit_exactly_n_attempts() {
+        // budget = N permits exactly N unification attempts: measure the
+        // exact need of a complete search, then probe need and need - 1.
+        let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(2)]), (1, &[n(2)])]);
+        let target = inst(&[(0, &[c(0), c(1)]), (0, &[c(1), c(2)]), (1, &[c(2)])]);
+        let find_first = |cfg: &HomConfig| {
+            let mut hit = false;
+            let report = for_each_hom(&source, &target, &Substitution::new(), cfg, |_| {
+                hit = true;
+                false
+            });
+            (hit, report)
+        };
+        let (hit, unbounded) = find_first(&HomConfig::default());
+        assert!(hit);
+        let need = unbounded.stats.nodes;
+        assert!(need >= 3, "three facts need at least three attempts");
+
+        // budget = 0: cut before the very first attempt.
+        let cfg0 = HomConfig { node_budget: Some(0), ..HomConfig::default() };
+        let (hit, report) = find_first(&cfg0);
+        assert!(!hit);
+        assert_eq!(report.exhausted, Some(Exhausted::Nodes(0)));
+        assert_eq!(report.stats.nodes, 1, "the aborted attempt is counted, not performed");
+
+        // budget = 1: exactly one attempt happens, then the cut.
+        let cfg1 = HomConfig { node_budget: Some(1), ..HomConfig::default() };
+        let (hit, report) = find_first(&cfg1);
+        assert!(!hit, "one attempt cannot cover three facts");
+        assert_eq!(report.exhausted, Some(Exhausted::Nodes(1)));
+        assert_eq!(report.stats.nodes, 2);
+
+        // budget = exact need: the search finishes untruncated.
+        let cfg_exact = HomConfig { node_budget: Some(need), ..HomConfig::default() };
+        let (hit, report) = find_first(&cfg_exact);
+        assert!(hit);
+        assert!(report.complete());
+        assert_eq!(report.stats.nodes, need);
+
+        // budget = need - 1: cut on the final attempt.
+        let cfg_short = HomConfig { node_budget: Some(need - 1), ..HomConfig::default() };
+        let (hit, report) = find_first(&cfg_short);
+        assert!(!hit);
+        assert_eq!(report.exhausted, Some(Exhausted::Nodes(need - 1)));
+    }
+
+    #[test]
+    fn time_budget_cuts_long_searches() {
+        // K₅ on nulls into K₄: no hom, and refuting it takes far more
+        // than one deadline stride of nodes.
+        let mut source = Vec::new();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i != j {
+                    source.push(Fact::new(RelId(0), vec![n(i), n(j)]));
+                }
+            }
+        }
+        let source: Instance = source.into_iter().collect();
+        let mut target = Vec::new();
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    target.push(Fact::new(RelId(0), vec![c(i), c(j)]));
+                }
+            }
+        }
+        let target: Instance = target.into_iter().collect();
+        let cfg = HomConfig { time_budget: Some(Duration::ZERO), ..HomConfig::default() };
+        let mut stats = HomStats::default();
+        let verdict = exists_hom_budgeted(&source, &target, &cfg, &mut stats);
+        assert!(matches!(verdict, Verdict::Unknown { budget: Exhausted::Time(_) }));
+        assert!(stats.nodes >= TIME_CHECK_STRIDE, "cut at the first deadline poll");
     }
 
     #[test]
@@ -569,18 +793,15 @@ mod tests {
         let source = inst(&[(0, &[n(0), n(1)]), (0, &[n(1), n(2)]), (1, &[n(2)])]);
         let yes = inst(&[(0, &[c(0), c(1)]), (0, &[c(1), c(2)]), (1, &[c(2)])]);
         let no = inst(&[(0, &[c(0), c(1)]), (1, &[c(0)])]);
-        let naive = HomConfig { use_index: false, dynamic_order: false, node_budget: None };
+        let naive = HomConfig { use_index: false, dynamic_order: false, ..HomConfig::default() };
         for (target, expected) in [(&yes, true), (&no, false)] {
             let mut found = false;
-            for_each_hom(source_ref(&source), target, &Substitution::new(), &naive, |_| {
+            let report = for_each_hom(&source, target, &Substitution::new(), &naive, |_| {
                 found = true;
                 false
-            })
-            .unwrap();
+            });
+            assert!(report.complete());
             assert_eq!(found, expected);
-        }
-        fn source_ref(i: &Instance) -> &Instance {
-            i
         }
     }
 
@@ -588,10 +809,39 @@ mod tests {
     fn stats_reflect_work() {
         let source = inst(&[(0, &[n(0)])]);
         let target = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
-        let stats =
-            for_each_hom(&source, &target, &Substitution::new(), &HomConfig::default(), |_| true)
-                .unwrap();
-        assert_eq!(stats.found, 2);
-        assert!(stats.nodes >= 2);
+        let report =
+            for_each_hom(&source, &target, &Substitution::new(), &HomConfig::default(), |_| true);
+        assert_eq!(report.stats.found, 2);
+        assert!(report.stats.nodes >= 2);
+        assert!(report.complete());
+    }
+
+    #[test]
+    fn stats_are_exact_on_a_pinned_search() {
+        // Regression guard for the shared-trail refactor: the counters
+        // are defined by the search tree, not by allocation strategy.
+        // P(x) over {P(a), P(b)}: two candidate rows, two matches, no
+        // failed unifications.
+        let source = inst(&[(0, &[n(0)])]);
+        let target = inst(&[(0, &[c(0)]), (0, &[c(1)])]);
+        let report =
+            for_each_hom(&source, &target, &Substitution::new(), &HomConfig::default(), |_| true);
+        assert_eq!(report.stats, HomStats { nodes: 2, backtracks: 0, found: 2 });
+        // P(x,x) over {P(a,b)}: one attempt, one failed unification.
+        let miss = for_each_hom(
+            &inst(&[(0, &[n(0), n(0)])]),
+            &inst(&[(0, &[c(0), c(1)])]),
+            &Substitution::new(),
+            &HomConfig::default(),
+            |_| true,
+        );
+        assert_eq!(miss.stats, HomStats { nodes: 1, backtracks: 1, found: 0 });
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = HomStats { nodes: 1, backtracks: 2, found: 3 };
+        a += HomStats { nodes: 10, backtracks: 20, found: 30 };
+        assert_eq!(a, HomStats { nodes: 11, backtracks: 22, found: 33 });
     }
 }

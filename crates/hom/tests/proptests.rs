@@ -113,6 +113,24 @@ proptest! {
         prop_assert!(is_isomorphic(&r.core, &rj.core));
     }
 
+    /// The minimizer's substitution is a true retraction: its image is
+    /// exactly the core, it is the identity on the core's own values,
+    /// and hence applying it twice is the same as applying it once.
+    #[test]
+    fn core_retraction_is_a_true_retraction(facts in abstract_facts(7)) {
+        let mut vocab = Vocabulary::new();
+        let i = materialize(&mut vocab, &facts);
+        let r = core_of(&i);
+        prop_assert_eq!(r.retraction.apply_instance(&i), r.core.clone());
+        for v in r.core.active_domain() {
+            prop_assert_eq!(r.retraction.apply(v), v, "retraction must fix core value {v:?}");
+        }
+        prop_assert_eq!(r.retraction.apply_instance(&r.core), r.core.clone());
+        // Idempotence as a substitution law, not just on this instance.
+        let twice = r.retraction.then(&r.retraction);
+        prop_assert_eq!(twice.apply_instance(&i), r.core);
+    }
+
     /// Adding facts can only help the target side and hurt the source
     /// side (monotonicity of →).
     #[test]

@@ -77,6 +77,50 @@ impl RelationData {
         self.tuples.push(tuple);
         true
     }
+
+    /// Remove a tuple in place, if present; returns `true` when removed.
+    ///
+    /// O(arity) plus posting-list repairs, instead of the O(n) rebuild a
+    /// copying [`Instance::without_fact`] pays. The last tuple is swapped
+    /// into the freed slot, so row ids previously obtained from
+    /// [`Self::rows_with`] are invalidated; the posting lists and the
+    /// dedup map are repaired for both the removed and the moved tuple
+    /// (lists stay sorted).
+    fn remove(&mut self, tuple: &[Value]) -> bool {
+        let Some(row) = self.dedup.remove(tuple) else {
+            return false;
+        };
+        for (col, &v) in tuple.iter().enumerate() {
+            Self::unindex(&mut self.index[col], v, row);
+        }
+        let last = u32::try_from(self.tuples.len() - 1).expect("relation too large");
+        self.tuples.swap_remove(row as usize);
+        if row != last {
+            // The previous last tuple now lives at `row`: renumber its
+            // posting-list entries and its dedup slot.
+            let moved = &self.tuples[row as usize];
+            for (col, &v) in moved.iter().enumerate() {
+                let rows = self.index[col].get_mut(&v).expect("moved tuple is indexed");
+                let pos = rows.binary_search(&last).expect("moved row is listed");
+                rows.remove(pos);
+                let ins = rows.binary_search(&row).expect_err("freed row id is unused");
+                rows.insert(ins, row);
+            }
+            *self.dedup.get_mut(&**moved).expect("moved tuple is deduped") = row;
+        }
+        true
+    }
+
+    /// Drop `row` from the sorted posting list of `v`, pruning the list
+    /// when it empties.
+    fn unindex(col_index: &mut FxHashMap<Value, Vec<u32>>, v: Value, row: u32) {
+        let rows = col_index.get_mut(&v).expect("removed tuple is indexed");
+        let pos = rows.binary_search(&row).expect("removed row is listed");
+        rows.remove(pos);
+        if rows.is_empty() {
+            col_index.remove(&v);
+        }
+    }
 }
 
 /// An instance: for each relation symbol, a finite set of tuples over
@@ -277,6 +321,28 @@ impl Instance {
     /// Is every fact of `self` a fact of `other`?
     pub fn is_subset_of(&self, other: &Instance) -> bool {
         self.facts().all(|f| other.contains(&f))
+    }
+
+    /// Remove one fact in place, if present; returns `true` when removed.
+    ///
+    /// The mutating complement of [`Instance::without_fact`]: O(arity)
+    /// posting-list repairs instead of an O(n) rebuild, which is what
+    /// makes core minimization's remove/search/reinsert inner loop cheap.
+    ///
+    /// After a removal, [`Instance::null_offset`] remains a valid *upper
+    /// bound* on the null ids present but is not recomputed (tightening
+    /// it would cost a full scan); every engine use of the offset only
+    /// needs an upper bound. Rebuilding constructors such as
+    /// [`Instance::without_fact`] still recompute it exactly.
+    pub fn remove_fact(&mut self, fact: &Fact) -> bool {
+        let Some(data) = self.relations.get_mut(&fact.relation()) else {
+            return false;
+        };
+        let removed = data.remove(fact.args());
+        if removed {
+            self.fact_count -= 1;
+        }
+        removed
     }
 
     /// The instance with one fact removed (copy; instances are immutable
@@ -500,6 +566,61 @@ mod tests {
         let smaller = i.without_fact(&fact(0, &[c(0), n(4)]));
         assert_eq!(smaller.null_offset(), 3);
         assert_eq!(i.clone().null_offset(), 5);
+    }
+
+    #[test]
+    fn remove_fact_is_the_inverse_of_insert() {
+        let mut i = Instance::new();
+        i.insert(fact(0, &[c(0), c(1)]));
+        i.insert(fact(0, &[c(1), c(2)]));
+        i.insert(fact(0, &[c(2), c(0)]));
+        let before = i.clone();
+        assert!(i.remove_fact(&fact(0, &[c(1), c(2)])));
+        assert_eq!(i.len(), 2);
+        assert!(!i.contains(&fact(0, &[c(1), c(2)])));
+        assert!(!i.remove_fact(&fact(0, &[c(1), c(2)])), "already gone");
+        assert!(!i.remove_fact(&fact(7, &[c(0), c(0)])), "unknown relation");
+        i.insert(fact(0, &[c(1), c(2)]));
+        assert_eq!(i, before, "remove + reinsert is a set-level no-op");
+    }
+
+    #[test]
+    fn remove_fact_repairs_posting_lists() {
+        // Removing a middle row swap-moves the last row into its slot;
+        // every index lookup must stay consistent afterwards.
+        let mut i = Instance::new();
+        i.insert(fact(0, &[c(0), c(1)]));
+        i.insert(fact(0, &[c(0), c(2)]));
+        i.insert(fact(0, &[c(0), c(1)])); // duplicate, ignored
+        i.insert(fact(0, &[c(3), c(1)]));
+        assert!(i.remove_fact(&fact(0, &[c(0), c(2)])));
+        let d = i.relation(RelId(0)).unwrap();
+        assert_eq!(d.len(), 2);
+        for (col, v, want) in [
+            (0, c(0), vec![&[c(0), c(1)][..]]),
+            (0, c(3), vec![&[c(3), c(1)][..]]),
+            (1, c(1), vec![&[c(0), c(1)][..], &[c(3), c(1)][..]]),
+            (1, c(2), vec![]),
+        ] {
+            let mut got: Vec<&[Value]> = d.rows_with(col, v).iter().map(|&r| d.tuple(r)).collect();
+            got.sort();
+            assert_eq!(got, want, "col {col} value {v:?}");
+            let rows = d.rows_with(col, v);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "posting list stays sorted");
+        }
+    }
+
+    #[test]
+    fn remove_fact_keeps_null_offset_an_upper_bound() {
+        let mut i = Instance::new();
+        i.insert(fact(0, &[c(0), n(4)]));
+        i.insert(fact(1, &[n(1)]));
+        assert_eq!(i.null_offset(), 5);
+        i.remove_fact(&fact(0, &[c(0), n(4)]));
+        // Not recomputed — but still a sound upper bound.
+        assert!(i.null_offset() >= 2);
+        i.insert(fact(0, &[c(0), n(7)]));
+        assert_eq!(i.null_offset(), 8, "later inserts still raise the bound");
     }
 
     #[test]

@@ -110,6 +110,39 @@ proptest! {
         prop_assert_eq!(composed, sequential);
     }
 
+    /// `then` is associative — both as composed maps and under
+    /// application.
+    #[test]
+    fn substitution_composition_is_associative(
+        facts in abstract_facts(),
+        bind1 in prop::collection::vec((0u8..4, any::<bool>(), 0u8..4), 0..4),
+        bind2 in prop::collection::vec((0u8..4, any::<bool>(), 0u8..4), 0..4),
+        bind3 in prop::collection::vec((0u8..4, any::<bool>(), 0u8..4), 0..4),
+    ) {
+        let mut vocab = Vocabulary::new();
+        let i = materialize(&mut vocab, &facts);
+        let mk = |vocab: &mut Vocabulary, binds: &[(u8, bool, u8)]| {
+            let mut s = Substitution::new();
+            for &(src, is_null, dst) in binds {
+                let from = vocab.named_null(&format!("n{src}"));
+                let to = if is_null {
+                    vocab.null_value(&format!("n{dst}"))
+                } else {
+                    vocab.const_value(&format!("c{dst}"))
+                };
+                s.bind(from, to);
+            }
+            s
+        };
+        let s = mk(&mut vocab, &bind1);
+        let t = mk(&mut vocab, &bind2);
+        let u = mk(&mut vocab, &bind3);
+        let left = s.then(&t).then(&u);
+        let right = s.then(&t.then(&u));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.apply_instance(&i), right.apply_instance(&i));
+    }
+
     /// The active domain is exactly the set of values in facts.
     #[test]
     fn active_domain_is_exact(facts in abstract_facts()) {

@@ -49,7 +49,7 @@ fn main() {
                 display::instance_inline(&vocab, &i2)
             );
         }
-        BoundedVerdict::HoldsWithinBound => unreachable!("the union mapping must fail"),
+        other => unreachable!("the union mapping must fail, got {other:?}"),
     }
 
     // 2. Quantify the loss.
