@@ -82,14 +82,19 @@ fn main() {
             ));
         }
     }
+    // Embed the process-wide metrics registry: chase round/trigger
+    // counters and delta/latency histograms across every run above.
+    let metrics = rde_obs::snapshot().to_json();
     let json = format!(
         concat!(
             "{{\n  \"benchmark\": \"chase_scaling\",\n",
             "  \"workload\": \"cycle graph; copy E into T, linear closure T(x,y) & E(y,z) -> T(x,z), plus side-output rules\",\n",
             "  \"modes\": [\"naive\", \"semi_naive\", \"semi_naive+parallel(threads=auto)\"],\n",
-            "  \"results\": [\n{}\n  ]\n}}\n"
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"metrics\": {}\n}}\n"
         ),
-        rows.join(",\n")
+        rows.join(",\n"),
+        metrics
     );
     std::fs::write(&out_path, json).expect("write benchmark baseline");
     println!("wrote {out_path}");

@@ -171,6 +171,9 @@ fn main() {
     let mut rows = Vec::new();
     core_rows(quick, &mut rows);
     arrow_rows(quick, &mut rows);
+    // Embed the process-wide metrics registry: hom/arrow counters and
+    // histograms accumulated across every run above.
+    let metrics = rde_obs::snapshot().to_json();
     let json = format!(
         concat!(
             "{{\n  \"benchmark\": \"hom_baseline\",\n",
@@ -178,9 +181,11 @@ fn main() {
             "\"arrow_sweep (direct pairwise vs fingerprint-classed core-memoized cache)\"],\n",
             "  \"workloads\": [\"ground chain + foldable null padding\", ",
             "\"two_step mapping over a bounded source universe\"],\n",
-            "  \"results\": [\n{}\n  ]\n}}\n"
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"metrics\": {}\n}}\n"
         ),
-        rows.join(",\n")
+        rows.join(",\n"),
+        metrics
     );
     std::fs::write(&out_path, json).expect("write benchmark baseline");
     println!("wrote {out_path}");

@@ -20,6 +20,8 @@
 //!    parallel runs produce **equal** instances, not merely
 //!    hom-equivalent ones.
 
+use std::time::Instant;
+
 use rde_deps::{Dependency, SchemaMapping};
 use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::fx::FxHashSet;
@@ -299,6 +301,10 @@ pub fn chase(
         })
         .collect();
 
+    let run_span = rde_obs::span(
+        "chase.run",
+        &[("deps", plans.len().into()), ("facts_in", instance.len().into())],
+    );
     let mut current = instance.clone();
     let mut fired_keys: Vec<FxHashSet<Vec<Value>>> = vec![FxHashSet::default(); plans.len()];
     let mut fired: u64 = 0;
@@ -312,15 +318,26 @@ pub fn chase(
     let semi_naive = options.strategy == ChaseStrategy::SemiNaive;
     loop {
         if rounds >= options.max_rounds {
+            rde_obs::counter!("chase.budget.rounds_exhausted").inc();
+            rde_obs::event("chase.budget_exhausted", &[("kind", "rounds".into())]);
             return Err(ChaseError::RoundBudgetExhausted { rounds: options.max_rounds });
         }
+        let round_span = rde_obs::span(
+            "chase.round",
+            &[
+                ("round", rounds.into()),
+                ("delta", delta.as_deref().map_or(current.len(), <[Fact]>::len).into()),
+            ],
+        );
+        let round_start = Instant::now();
         // Phase 1: collect this round's new triggers against the
         // *current* state. Read-only, so dependencies fan out across
         // worker threads; merging in dependency index order keeps the
         // outcome independent of the thread count.
         let delta_slice = delta.as_deref();
         let threads = effective_threads(options.threads, plans.len());
-        let per_dep: Vec<DepCandidates> = if threads <= 1 {
+        let chunk = plans.len().div_ceil(threads).max(1);
+        let collected: Result<Vec<DepCandidates>, ChaseError> = if threads <= 1 {
             plans
                 .iter()
                 .enumerate()
@@ -335,10 +352,9 @@ pub fn chase(
                         &options.hom,
                     )
                 })
-                .collect::<Result<_, _>>()?
+                .collect()
         } else {
             let n = plans.len();
-            let chunk = n.div_ceil(threads);
             let mut partials: Vec<Vec<Result<DepCandidates, ChaseError>>> = Vec::new();
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
@@ -369,7 +385,15 @@ pub fn chase(
                     partials.push(h.join().expect("chase collection worker panicked"));
                 }
             });
-            partials.into_iter().flatten().collect::<Result<_, _>>()?
+            partials.into_iter().flatten().collect()
+        };
+        let per_dep = match collected {
+            Ok(per_dep) => per_dep,
+            Err(e) => {
+                rde_obs::counter!("chase.budget.match_exhausted").inc();
+                rde_obs::event("chase.budget_exhausted", &[("kind", "match".into())]);
+                return Err(e);
+            }
         };
 
         // Merge in dependency order: record every enumerated key and
@@ -378,11 +402,27 @@ pub fn chase(
             delta: delta_slice.map_or(current.len(), <[Fact]>::len),
             ..RoundStats::default()
         };
+        let journal_on = rde_obs::journal::enabled();
         let mut pending: Vec<(usize, Vec<Value>)> = Vec::new();
         for (di, cands) in per_dep.into_iter().enumerate() {
             stats.matches += cands.matches;
             stats.duplicates += cands.duplicates;
             stats.hom += cands.hom;
+            if journal_on && (cands.matches > 0 || !cands.list.is_empty()) {
+                // Per-dependency attribution: which dependency produced
+                // how many triggers, and which collection worker ran it
+                // (deps are chunked contiguously across workers).
+                rde_obs::event(
+                    "chase.dep",
+                    &[
+                        ("round", rounds.into()),
+                        ("dep", di.into()),
+                        ("worker", (if threads <= 1 { 0 } else { di / chunk }).into()),
+                        ("matches", cands.matches.into()),
+                        ("triggers", cands.list.len().into()),
+                    ],
+                );
+            }
             for (vals, satisfied) in cands.list {
                 if satisfied {
                     stats.satisfied += 1;
@@ -397,6 +437,12 @@ pub fn chase(
             // The quiescence check's search work still counts toward the
             // run total even though no round is recorded for it.
             hom_total += stats.hom;
+            round_span.close_with(&[("quiescent", true.into())]);
+            run_span.close_with(&[
+                ("rounds", rounds.into()),
+                ("fired", fired.into()),
+                ("facts_out", current.len().into()),
+            ]);
             return Ok(ChaseResult {
                 instance: current,
                 fired,
@@ -430,6 +476,8 @@ pub fn chase(
                     Verdict::Holds => continue,
                     Verdict::Fails => {}
                     Verdict::Unknown { budget } => {
+                        rde_obs::counter!("chase.budget.match_exhausted").inc();
+                        rde_obs::event("chase.budget_exhausted", &[("kind", "recheck".into())]);
                         return Err(ChaseError::MatchBudgetExhausted { budget });
                     }
                 }
@@ -463,6 +511,8 @@ pub fn chase(
                     stats.inserted += 1;
                 }
                 if current.len() > options.max_facts {
+                    rde_obs::counter!("chase.budget.facts_exhausted").inc();
+                    rde_obs::event("chase.budget_exhausted", &[("kind", "facts".into())]);
                     return Err(ChaseError::FactBudgetExhausted { facts: options.max_facts });
                 }
             }
@@ -470,6 +520,22 @@ pub fn chase(
             fired += 1;
         }
         hom_total += stats.hom;
+        // Metrics are always on (no `trace` feature needed): per-round
+        // wall time plus cumulative trigger/fact counters.
+        rde_obs::counter!("chase.rounds").inc();
+        rde_obs::counter!("chase.matches").add(stats.matches);
+        rde_obs::counter!("chase.triggers.fired").add(stats.fired);
+        rde_obs::counter!("chase.facts.inserted").add(stats.inserted as u64);
+        rde_obs::histogram!("chase.round.delta").record(stats.delta as u64);
+        rde_obs::histogram!("chase.round.us")
+            .record(u64::try_from(round_start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        round_span.close_with(&[
+            ("matches", stats.matches.into()),
+            ("duplicates", stats.duplicates.into()),
+            ("triggers", stats.triggers.into()),
+            ("fired", stats.fired.into()),
+            ("inserted", stats.inserted.into()),
+        ]);
         round_stats.push(stats);
         delta = if semi_naive { Some(new_delta) } else { None };
     }

@@ -1,24 +1,33 @@
 //! Subcommand implementations for the `rde` CLI.
 
 use std::fs;
+use std::time::Duration;
 
 use rde_chase::{chase_mapping, disjunctive_chase, ChaseOptions, DisjunctiveChaseOptions};
 use rde_core::compose::ComposeOptions;
 use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
+use rde_core::retry::{retry_budgeted, RetryPolicy};
 use rde_core::Universe;
 use rde_deps::{parse_mapping, printer, SchemaMapping};
 use rde_hom::{HomConfig, HomStats};
 use rde_model::{display, parse::parse_instance, Instance, Vocabulary};
+use rde_obs::{journal, Sink};
 use rde_query::ConjunctiveQuery;
 
 use crate::options::Options;
+
+/// Record bound for `--trace-out` journals and `profile` runs: large
+/// enough for real scenarios, small enough that a runaway chase cannot
+/// exhaust memory (the journal reports what it drops).
+const JOURNAL_CAPACITY: usize = 1 << 20;
 
 const USAGE: &str = "\
 rde — reverse data exchange with nulls (Fagin, Kolaitis, Popa, Tan; PODS 2009)
 
 USAGE:
     rde <command> [args] [--consts N] [--nulls N] [--facts N] [--examples N]
-                  [--node-budget N] [--stats]
+                  [--node-budget N] [--time-budget-ms N] [--retries N]
+                  [--stats] [--metrics] [--trace-out PATH]
 
 COMMANDS:
     chase    <mapping> <instance>             canonical universal solution chase_M(I)
@@ -39,16 +48,25 @@ COMMANDS:
     normalize <mapping>                       tgd normal form (split conclusions)
     compose  <mapping12> <mapping23>          syntactic composition (m12 full tgds)
     faithful <mapping> <reverse>              universal-faithfulness check (Def 6.1)
+    profile  <mapping> <instance>             chase under tracing; print the span-tree
+                                              time breakdown (µs per subsystem)
     help                                      this message
 
 The --consts/--nulls/--facts flags size the bounded universe used by the
 checking commands (defaults: 2/1/2). Counterexamples found are genuine;
 a pass is exact within the bound.
 
---node-budget N caps every homomorphism search at N nodes: checks then
-answer UNKNOWN instead of searching without bound (counterexamples
-reported under a budget are still genuine). --stats prints search-work
-counters after the answer (chase, invertible, compare, check-recovery).
+--node-budget N caps every homomorphism search at N nodes, and
+--time-budget-ms N caps it in wall-clock time: checks then answer
+UNKNOWN instead of searching without bound (counterexamples reported
+under a budget are still genuine). --retries N reruns an UNKNOWN check
+up to N more times with exponentially escalated budgets. --stats prints
+search-work counters after the answer (chase, invertible, compare,
+check-recovery).
+
+--trace-out PATH streams the structured JSONL event journal (spans,
+chase rounds, tgd firings, budget exhaustions) to PATH; --metrics
+prints the process-wide metrics registry snapshot at exit.
 ";
 
 /// Run a full command line (everything after `argv[0]`).
@@ -58,7 +76,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     let opts = Options::parse(rest)?;
-    match cmd.as_str() {
+    // `profile` drives its own in-memory journal; for every other
+    // command --trace-out streams the journal straight to the file.
+    let journal_installed = if cmd != "profile" && opts.trace_out.is_some() {
+        let path = opts.trace_out.as_deref().unwrap();
+        journal::install(Sink::File(path.into()), JOURNAL_CAPACITY)
+            .map_err(|e| format!("--trace-out `{path}`: {e}"))?;
+        journal::enabled()
+    } else {
+        false
+    };
+    let result = match cmd.as_str() {
         "chase" => cmd_chase(&opts),
         "reverse" => cmd_reverse(&opts),
         "invert" => cmd_invert(&opts),
@@ -75,12 +103,32 @@ pub fn run(args: &[String]) -> Result<(), String> {
         "normalize" => cmd_normalize(&opts),
         "compose" => cmd_compose(&opts),
         "faithful" => cmd_faithful(&opts),
+        "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`; run `rde help`")),
+    };
+    if journal_installed {
+        if let Some(summary) = journal::uninstall() {
+            if summary.dropped > 0 {
+                eprintln!(
+                    "# trace journal truncated: {} record(s) dropped past capacity",
+                    summary.dropped
+                );
+            }
+        }
     }
+    if opts.metrics {
+        let snap = rde_obs::snapshot();
+        if snap.is_empty() {
+            println!("# metrics: none recorded");
+        } else {
+            print!("{}", snap.render());
+        }
+    }
+    result
 }
 
 fn read(path: &str) -> Result<String, String> {
@@ -100,7 +148,21 @@ fn universe(vocab: &mut Vocabulary, opts: &Options) -> Universe {
 }
 
 fn hom_config(opts: &Options) -> HomConfig {
-    HomConfig { node_budget: opts.node_budget, ..HomConfig::default() }
+    HomConfig {
+        node_budget: opts.node_budget,
+        time_budget: opts.time_budget_ms.map(Duration::from_millis),
+        ..HomConfig::default()
+    }
+}
+
+fn retry_policy(opts: &Options) -> RetryPolicy {
+    RetryPolicy::with_retries(opts.retries)
+}
+
+fn print_retry_note(attempts: u32) {
+    if attempts > 1 {
+        println!("# retried with escalated budgets: {attempts} attempt(s)");
+    }
 }
 
 fn print_hom_stats(stats: &HomStats) {
@@ -206,17 +268,18 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
         None => println!("extended recovery: HOLDS within bound"),
     }
     let mut stats = HomStats::default();
-    let verdict = rde_core::recovery::check_maximum_extended_recovery_budgeted(
-        &mapping,
-        &reverse,
-        &u,
-        &mut vocab,
-        &copts,
+    let (verdict, attempts) = retry_budgeted(
         &hom_config(opts),
-        &mut stats,
-    )
-    .map_err(|e| e.to_string())?;
-    match verdict {
+        &retry_policy(opts),
+        |cfg| {
+            rde_core::recovery::check_maximum_extended_recovery_budgeted(
+                &mapping, &reverse, &u, &mut vocab, &copts, cfg, &mut stats,
+            )
+        },
+        |outcome| matches!(outcome, Ok(rde_core::recovery::MaxRecoveryVerdict::Unknown { .. })),
+    );
+    print_retry_note(attempts);
+    match verdict.map_err(|e| e.to_string())? {
         rde_core::recovery::MaxRecoveryVerdict::HoldsWithinBound => {
             println!("maximum extended recovery (e(M)∘e(M') = →_M): HOLDS within bound");
         }
@@ -233,7 +296,9 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
             print!("{}", display::instance(&vocab, &i2));
         }
         rde_core::recovery::MaxRecoveryVerdict::Unknown { budget } => {
-            println!("maximum extended recovery: UNKNOWN ({budget}); raise --node-budget");
+            println!(
+                "maximum extended recovery: UNKNOWN ({budget}); raise --node-budget or --retries"
+            );
         }
     }
     if opts.stats {
@@ -247,15 +312,18 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let u = universe(&mut vocab, opts);
     let mut stats = HomStats::default();
-    match rde_core::invertibility::check_homomorphism_property_budgeted(
-        &mapping,
-        &u,
-        &mut vocab,
+    let (verdict, attempts) = retry_budgeted(
         &hom_config(opts),
-        &mut stats,
-    )
-    .map_err(|e| e.to_string())?
-    {
+        &retry_policy(opts),
+        |cfg| {
+            rde_core::invertibility::check_homomorphism_property_budgeted(
+                &mapping, &u, &mut vocab, cfg, &mut stats,
+            )
+        },
+        |outcome| matches!(outcome, Ok(rde_core::invertibility::BoundedVerdict::Unknown { .. })),
+    );
+    print_retry_note(attempts);
+    match verdict.map_err(|e| e.to_string())? {
         rde_core::invertibility::BoundedVerdict::HoldsWithinBound => {
             println!("homomorphism property: HOLDS within bound (extended-invertible evidence)");
         }
@@ -266,7 +334,7 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
             print!("{}", display::instance(&vocab, &i2));
         }
         rde_core::invertibility::BoundedVerdict::Unknown { budget } => {
-            println!("homomorphism property: UNKNOWN ({budget}); raise --node-budget");
+            println!("homomorphism property: UNKNOWN ({budget}); raise --node-budget or --retries");
         }
     }
     if opts.stats {
@@ -305,16 +373,16 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     let m2 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
     let u = universe(&mut vocab, opts);
     let mut stats = HomStats::default();
-    let cmp = rde_core::compare::compare_lossiness_budgeted(
-        &m1,
-        &m2,
-        &u,
-        &mut vocab,
+    let (cmp, attempts) = retry_budgeted(
         &hom_config(opts),
-        &mut stats,
-    )
-    .map_err(|e| e.to_string())?;
-    match cmp {
+        &retry_policy(opts),
+        |cfg| {
+            rde_core::compare::compare_lossiness_budgeted(&m1, &m2, &u, &mut vocab, cfg, &mut stats)
+        },
+        |outcome| matches!(outcome, Ok(rde_core::compare::Comparison::Unknown { .. })),
+    );
+    print_retry_note(attempts);
+    match cmp.map_err(|e| e.to_string())? {
         rde_core::compare::Comparison::EquallyLossy => println!("equally lossy (within bound)"),
         rde_core::compare::Comparison::StrictlyLessLossy => {
             println!("mapping 1 is strictly less lossy than mapping 2");
@@ -336,7 +404,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
             );
         }
         rde_core::compare::Comparison::Unknown { budget } => {
-            println!("comparison: UNKNOWN ({budget}); raise --node-budget");
+            println!("comparison: UNKNOWN ({budget}); raise --node-budget or --retries");
         }
     }
     if opts.stats {
@@ -493,6 +561,64 @@ fn cmd_faithful(opts: &Options) -> Result<(), String> {
                 print!("{}", display::instance(&vocab, &cex));
             }
         }
+    }
+    Ok(())
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), String> {
+    let mut vocab = Vocabulary::new();
+    let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
+    let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
+    journal::install(Sink::Memory, JOURNAL_CAPACITY)
+        .map_err(|e| format!("profile journal: {e}"))?;
+    let options = ChaseOptions { hom: hom_config(opts), ..ChaseOptions::default() };
+    let chased = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options);
+    let summary = journal::uninstall();
+    let result = chased.map_err(|e| e.to_string())?;
+    println!(
+        "# chase: {} round(s), {} trigger(s) fired, {} fact(s)",
+        result.rounds,
+        result.fired,
+        result.instance.len()
+    );
+    print_hom_stats(&result.hom);
+    let Some(summary) = summary else {
+        println!("# tracing compiled out; rebuild with the `trace` feature to profile");
+        return Ok(());
+    };
+    match crate::profile::render_span_tree(&summary.records) {
+        Some(tree) => {
+            print!("{tree}");
+            println!(
+                "# chase.run wall time: {} µs",
+                crate::profile::total_elapsed_us(&summary.records, "chase.run")
+            );
+            // Cross-check: the chase.run span's close fields must agree
+            // with the stats the engine returned.
+            let span_fired =
+                crate::profile::total_close_field(&summary.records, "chase.run", "fired");
+            let span_rounds =
+                crate::profile::total_close_field(&summary.records, "chase.run", "rounds");
+            if span_fired != result.fired || span_rounds != result.rounds {
+                return Err(format!(
+                    "span tree disagrees with chase stats: span fired={span_fired} rounds={span_rounds}, \
+                     stats fired={} rounds={}",
+                    result.fired, result.rounds
+                ));
+            }
+        }
+        None => println!("# no spans recorded"),
+    }
+    if summary.dropped > 0 {
+        println!("# journal truncated: {} record(s) dropped past capacity", summary.dropped);
+    }
+    if let Some(path) = &opts.trace_out {
+        let mut out = String::with_capacity(summary.records.len() * 96);
+        for rec in &summary.records {
+            out.push_str(&rec.to_json_line());
+            out.push('\n');
+        }
+        fs::write(path, out).map_err(|e| format!("--trace-out `{path}`: {e}"))?;
     }
     Ok(())
 }

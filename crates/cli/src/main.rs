@@ -11,6 +11,7 @@ use std::process::ExitCode;
 
 mod commands;
 mod options;
+mod profile;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

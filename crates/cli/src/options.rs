@@ -17,8 +17,17 @@ pub struct Options {
     /// `--node-budget N`: cap each homomorphism search at N nodes;
     /// checks degrade to UNKNOWN instead of running unbounded.
     pub node_budget: Option<u64>,
+    /// `--time-budget-ms N`: wall-clock cap per homomorphism search.
+    pub time_budget_ms: Option<u64>,
+    /// `--retries N`: on an UNKNOWN verdict, retry the check up to N
+    /// more times with exponentially escalated budgets.
+    pub retries: u32,
     /// `--stats`: print search-work counters after the answer.
     pub stats: bool,
+    /// `--trace-out PATH`: write the JSONL event journal to PATH.
+    pub trace_out: Option<String>,
+    /// `--metrics`: print a metrics-registry snapshot table at exit.
+    pub metrics: bool,
 }
 
 impl Default for Options {
@@ -30,7 +39,11 @@ impl Default for Options {
             facts: 2,
             examples: 5,
             node_budget: None,
+            time_budget_ms: None,
+            retries: 0,
             stats: false,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -60,6 +73,29 @@ impl Options {
                             .map_err(|_| "--node-budget requires an integer value".to_string())?,
                     );
                 }
+                "--time-budget-ms" => {
+                    opts.time_budget_ms = Some(
+                        it.next()
+                            .ok_or_else(|| "--time-budget-ms requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| {
+                                "--time-budget-ms requires an integer value".to_string()
+                            })?,
+                    );
+                }
+                "--retries" => {
+                    opts.retries = it
+                        .next()
+                        .ok_or_else(|| "--retries requires a value".to_string())?
+                        .parse::<u32>()
+                        .map_err(|_| "--retries requires an integer value".to_string())?;
+                }
+                "--trace-out" => {
+                    opts.trace_out = Some(
+                        it.next().ok_or_else(|| "--trace-out requires a path".to_string())?.clone(),
+                    );
+                }
+                "--metrics" => opts.metrics = true,
                 "--stats" => opts.stats = true,
                 other if other.starts_with("--") => {
                     return Err(format!("unknown flag `{other}`"));
@@ -116,6 +152,31 @@ mod tests {
         assert_eq!(o.node_budget, None);
         assert!(Options::parse(&strings(&["--node-budget"])).is_err());
         assert!(Options::parse(&strings(&["--node-budget", "x"])).is_err());
+    }
+
+    #[test]
+    fn observability_and_retry_flags() {
+        let o = Options::parse(&strings(&[
+            "m.map",
+            "--time-budget-ms",
+            "250",
+            "--retries",
+            "3",
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(o.time_budget_ms, Some(250));
+        assert_eq!(o.retries, 3);
+        assert_eq!(o.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(o.metrics);
+        let o = Options::parse(&strings(&["m.map"])).unwrap();
+        assert_eq!((o.time_budget_ms, o.retries, o.metrics), (None, 0, false));
+        assert!(o.trace_out.is_none());
+        assert!(Options::parse(&strings(&["--time-budget-ms"])).is_err());
+        assert!(Options::parse(&strings(&["--retries", "x"])).is_err());
+        assert!(Options::parse(&strings(&["--trace-out"])).is_err());
     }
 
     #[test]

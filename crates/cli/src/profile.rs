@@ -1,0 +1,175 @@
+//! The `profile` subcommand: run a chase scenario under an in-memory
+//! journal and print the span tree as a time breakdown.
+//!
+//! The journal's memory sink keeps structured [`Record`]s, so the tree
+//! is rebuilt from span ids directly — no JSON re-parsing. Sibling
+//! spans with the same name aggregate into one line (`×count`), which
+//! keeps the output readable when a chase performs thousands of
+//! homomorphism searches.
+
+use std::collections::BTreeMap;
+
+use rde_model::fx::FxHashMap;
+use rde_obs::journal::OwnedField;
+use rde_obs::Record;
+
+/// One reconstructed span.
+struct Node {
+    name: String,
+    parent: u64,
+    elapsed_us: u64,
+}
+
+/// Render the span tree of a drained journal as an indented table.
+/// Returns `None` when the records contain no spans (e.g. the `trace`
+/// feature is compiled out).
+pub fn render_span_tree(records: &[Record]) -> Option<String> {
+    let mut nodes: FxHashMap<u64, Node> = FxHashMap::default();
+    let mut events: Vec<(u64, &str)> = Vec::new(); // (parent span, name)
+    for rec in records {
+        match rec.kind {
+            "span_open" => {
+                nodes.insert(
+                    rec.span,
+                    Node { name: rec.name.clone(), parent: rec.parent, elapsed_us: 0 },
+                );
+            }
+            "span_close" => {
+                if let Some(node) = nodes.get_mut(&rec.span) {
+                    node.elapsed_us = rec.elapsed_us.unwrap_or(0);
+                }
+            }
+            "event" => events.push((rec.span, &rec.name)),
+            _ => {}
+        }
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut children: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+    let mut roots: Vec<u64> = Vec::new();
+    let mut ids: Vec<u64> = nodes.keys().copied().collect();
+    ids.sort_unstable();
+    for &id in &ids {
+        let parent = nodes[&id].parent;
+        if parent != 0 && nodes.contains_key(&parent) {
+            children.entry(parent).or_default().push(id);
+        } else {
+            roots.push(id);
+        }
+    }
+    let mut event_counts: FxHashMap<u64, BTreeMap<&str, u64>> = FxHashMap::default();
+    for (span, name) in events {
+        *event_counts.entry(span).or_default().entry(name).or_insert(0) += 1;
+    }
+
+    let mut out = String::new();
+    out.push_str("span tree (wall µs; siblings with equal names aggregated):\n");
+    render_level(&mut out, &nodes, &children, &event_counts, &roots, 0);
+    Some(out)
+}
+
+fn render_level(
+    out: &mut String,
+    nodes: &FxHashMap<u64, Node>,
+    children: &FxHashMap<u64, Vec<u64>>,
+    event_counts: &FxHashMap<u64, BTreeMap<&str, u64>>,
+    ids: &[u64],
+    depth: usize,
+) {
+    use std::fmt::Write as _;
+    // Aggregate this level by span name, preserving first-seen order.
+    let mut order: Vec<&str> = Vec::new();
+    let mut groups: FxHashMap<&str, (u64, u64, Vec<u64>)> = FxHashMap::default();
+    for &id in ids {
+        let node = &nodes[&id];
+        let entry = groups.entry(node.name.as_str()).or_insert_with(|| {
+            order.push(node.name.as_str());
+            (0, 0, Vec::new())
+        });
+        entry.0 += 1;
+        entry.1 += node.elapsed_us;
+        entry.2.push(id);
+    }
+    for name in order {
+        let (count, total_us, members) = &groups[name];
+        let label = if *count == 1 {
+            format!("{:indent$}{name}", "", indent = depth * 2)
+        } else {
+            format!("{:indent$}{name} ×{count}", "", indent = depth * 2)
+        };
+        let _ = writeln!(out, "{label:<48} {total_us:>12}");
+        // Merge the group's events and children across its members.
+        let mut merged_events: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut merged_children: Vec<u64> = Vec::new();
+        for id in members {
+            if let Some(counts) = event_counts.get(id) {
+                for (ev, n) in counts {
+                    *merged_events.entry(ev).or_insert(0) += n;
+                }
+            }
+            if let Some(kids) = children.get(id) {
+                merged_children.extend_from_slice(kids);
+            }
+        }
+        for (ev, n) in merged_events {
+            let _ = writeln!(out, "{:indent$}· {ev} ×{n}", "", indent = depth * 2 + 2);
+        }
+        render_level(out, nodes, children, event_counts, &merged_children, depth + 1);
+    }
+}
+
+/// Sum of `elapsed_us` over all closed spans named `name`.
+pub fn total_elapsed_us(records: &[Record], name: &str) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.kind == "span_close" && r.name == name)
+        .filter_map(|r| r.elapsed_us)
+        .sum()
+}
+
+/// Sum a `u64` close-field over all closed spans named `name` (used to
+/// cross-check the span tree against `--stats` totals).
+pub fn total_close_field(records: &[Record], name: &str, field: &str) -> u64 {
+    records
+        .iter()
+        .filter(|r| r.kind == "span_close" && r.name == name)
+        .filter_map(|r| match r.field(field) {
+            Some(OwnedField::U64(v)) => Some(*v),
+            _ => None,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rde_obs::journal::{self, Sink};
+
+    #[test]
+    #[cfg_attr(not(feature = "trace"), ignore = "spans compile out without the trace feature")]
+    fn tree_renders_nested_and_aggregated_spans() {
+        journal::install(Sink::Memory, 4096).unwrap();
+        {
+            let outer = rde_obs::span("t.outer", &[]);
+            for i in 0..3u64 {
+                let inner = rde_obs::span("t.inner", &[("i", i.into())]);
+                rde_obs::event("t.tick", &[]);
+                inner.close_with(&[]);
+            }
+            outer.close_with(&[("fired", 7u64.into())]);
+        }
+        let summary = journal::uninstall().unwrap();
+        let tree = render_span_tree(&summary.records).expect("spans present");
+        assert!(tree.contains("t.outer"), "{tree}");
+        assert!(tree.contains("t.inner ×3"), "{tree}");
+        assert!(tree.contains("t.tick ×3"), "{tree}");
+        assert_eq!(total_close_field(&summary.records, "t.outer", "fired"), 7);
+        assert!(
+            total_elapsed_us(&summary.records, "t.outer")
+                >= total_elapsed_us(&summary.records, "t.inner"),
+            "a parent span covers its children"
+        );
+        assert!(render_span_tree(&[]).is_none());
+    }
+}

@@ -113,14 +113,40 @@ impl ArrowMCache {
         family: &[Instance],
         vocab: &mut Vocabulary,
     ) -> Result<Self, CoreError> {
+        Self::new_budgeted(mapping, family, vocab, &HomConfig::default())
+    }
+
+    /// Like [`Self::new`], but construction runs under `config`'s
+    /// budgets, threaded differently into the two construction phases
+    /// to match their failure modes:
+    ///
+    /// * the **chase** gets `config`'s *time* budget only — premise
+    ///   matching is strict (a truncated enumeration is a
+    ///   [`CoreError`], not a degraded result), and these searches are
+    ///   tiny, so a node budget meant for the checker's hom decisions
+    ///   would only inject spurious hard failures;
+    /// * **core minimization** gets the full `config` — it degrades
+    ///   gracefully (a budget-cut fold test leaves a sound, possibly
+    ///   non-minimal representative, never a wrong class).
+    pub fn new_budgeted(
+        mapping: &SchemaMapping,
+        family: &[Instance],
+        vocab: &mut Vocabulary,
+        config: &HomConfig,
+    ) -> Result<Self, CoreError> {
+        let span = rde_obs::span("core.arrow.build", &[("instances", family.len().into())]);
+        let chase_options = ChaseOptions {
+            hom: HomConfig { node_budget: None, ..config.clone() },
+            ..ChaseOptions::default()
+        };
         let mut chased = Vec::with_capacity(family.len());
         let mut class = Vec::with_capacity(family.len());
         let mut reps: Vec<Instance> = Vec::new();
         let mut by_fp: FxHashMap<Vec<Fact>, usize> = FxHashMap::default();
         let mut hom = HomStats::default();
         for i in family {
-            let c = chase_mapping(i, mapping, vocab, &ChaseOptions::default())?;
-            let outcome = core_of_budgeted(&c, &HomConfig::default());
+            let c = chase_mapping(i, mapping, vocab, &chase_options)?;
+            let outcome = core_of_budgeted(&c, config);
             hom += outcome.stats;
             let core = outcome.result.core;
             let cid = *by_fp.entry(fingerprint(&core)).or_insert_with(|| {
@@ -130,6 +156,14 @@ impl ArrowMCache {
             class.push(cid);
             chased.push(c);
         }
+        let mut class_sizes = vec![0u64; reps.len()];
+        for &cid in &class {
+            class_sizes[cid] += 1;
+        }
+        for &size in &class_sizes {
+            rde_obs::histogram!("core.arrow.class_size").record(size);
+        }
+        span.close_with(&[("classes", reps.len().into())]);
         let stats =
             CacheStats { instances: family.len(), classes: reps.len(), hits: 0, misses: 0, hom };
         Ok(ArrowMCache {
@@ -147,8 +181,10 @@ impl ArrowMCache {
         let key = (self.class[a], self.class[b]);
         if let Some(&cached) = self.lock_memo().get(&key) {
             self.lock_stats().hits += 1;
+            rde_obs::counter!("core.arrow.hits").inc();
             return cached;
         }
+        rde_obs::counter!("core.arrow.misses").inc();
         let mut search = HomStats::default();
         let holds = exists_hom_budgeted(
             &self.reps[key.0],
@@ -172,8 +208,10 @@ impl ArrowMCache {
         let key = (self.class[a], self.class[b]);
         if let Some(&cached) = self.lock_memo().get(&key) {
             self.lock_stats().hits += 1;
+            rde_obs::counter!("core.arrow.hits").inc();
             return Verdict::from_bool(cached);
         }
+        rde_obs::counter!("core.arrow.misses").inc();
         let mut search = HomStats::default();
         let verdict =
             exists_hom_budgeted(&self.reps[key.0], &self.reps[key.1], config, &mut search);
@@ -183,6 +221,8 @@ impl ArrowMCache {
         drop(stats);
         if !verdict.is_unknown() {
             self.lock_memo().insert(key, verdict.holds());
+        } else {
+            rde_obs::counter!("core.arrow.unknown").inc();
         }
         verdict
     }

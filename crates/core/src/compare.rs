@@ -67,8 +67,8 @@ pub fn compare_lossiness_budgeted(
     let family = universe
         .collect_instances(vocab, &m1.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
-    let c1 = ArrowMCache::new(m1, &family, vocab)?;
-    let c2 = ArrowMCache::new(m2, &family, vocab)?;
+    let c1 = ArrowMCache::new_budgeted(m1, &family, vocab, config)?;
+    let c2 = ArrowMCache::new_budgeted(m2, &family, vocab, config)?;
     let mut only1: Option<(Instance, Instance)> = None;
     let mut only2: Option<(Instance, Instance)> = None;
     let mut unsettled: Option<Exhausted> = None;

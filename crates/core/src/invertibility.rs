@@ -71,7 +71,7 @@ pub fn check_homomorphism_property_budgeted(
     let family = universe
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
-    let cache = crate::arrow::ArrowMCache::new(mapping, &family, vocab)?;
+    let cache = crate::arrow::ArrowMCache::new_budgeted(mapping, &family, vocab, config)?;
     let mut unsettled: Option<Exhausted> = None;
     let mut verdict = BoundedVerdict::HoldsWithinBound;
     'scan: for a in 0..family.len() {

@@ -67,6 +67,7 @@ pub mod loss;
 pub mod mstar;
 pub mod quasi_inverse;
 pub mod recovery;
+pub mod retry;
 pub mod semantics;
 pub mod unfold;
 pub mod universe;

@@ -58,11 +58,14 @@ pub fn information_loss(
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
     let cache = ArrowMCache::new(mapping, &family, vocab)?;
+    let span = rde_obs::span("core.loss.census", &[("universe", family.len().into())]);
+    let journal_on = rde_obs::journal::enabled();
     let mut arrow_m_pairs = 0usize;
     let mut hom_pairs = 0usize;
     let mut lost_pairs = 0usize;
     let mut examples = Vec::new();
     for a in 0..family.len() {
+        let lost_before = lost_pairs;
         for b in 0..family.len() {
             let hom = exists_hom(&family[a], &family[b]);
             if hom {
@@ -79,7 +82,24 @@ pub fn information_loss(
                 }
             }
         }
+        rde_obs::counter!("core.loss.rows").inc();
+        if journal_on {
+            // Progress marker: one row of the n² census finished.
+            rde_obs::event(
+                "core.loss.row",
+                &[
+                    ("row", a.into()),
+                    ("of", family.len().into()),
+                    ("lost", (lost_pairs - lost_before).into()),
+                ],
+            );
+        }
     }
+    span.close_with(&[
+        ("arrow_m_pairs", arrow_m_pairs.into()),
+        ("hom_pairs", hom_pairs.into()),
+        ("lost_pairs", lost_pairs.into()),
+    ]);
     Ok(LossReport { universe_size: family.len(), arrow_m_pairs, hom_pairs, lost_pairs, examples })
 }
 
@@ -99,6 +119,8 @@ pub fn information_loss_parallel(
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
     let cache = ArrowMCache::new(mapping, &family, vocab)?;
+    let span = rde_obs::span("core.loss.census", &[("universe", family.len().into())]);
+    let journal_on = rde_obs::journal::enabled();
     let n = family.len();
     let threads = threads.max(1).min(n.max(1));
 
@@ -121,6 +143,7 @@ pub fn information_loss_parallel(
             handles.push(scope.spawn(move || {
                 let mut p = Partial::default();
                 for a in lo..hi {
+                    let lost_before = p.lost.len();
                     for b in 0..n {
                         if exists_hom(&family[a], &family[b]) {
                             p.hom_pairs += 1;
@@ -129,6 +152,20 @@ pub fn information_loss_parallel(
                             p.arrow_m_pairs += 1;
                             p.lost.push((a, b));
                         }
+                    }
+                    rde_obs::counter!("core.loss.rows").inc();
+                    if journal_on {
+                        // Progress with worker attribution (rows are
+                        // chunked contiguously across workers).
+                        rde_obs::event(
+                            "core.loss.row",
+                            &[
+                                ("row", a.into()),
+                                ("of", n.into()),
+                                ("worker", t.into()),
+                                ("lost", (p.lost.len() - lost_before).into()),
+                            ],
+                        );
                     }
                 }
                 p
@@ -156,6 +193,11 @@ pub fn information_loss_parallel(
             }
         }
     }
+    span.close_with(&[
+        ("arrow_m_pairs", report.arrow_m_pairs.into()),
+        ("hom_pairs", report.hom_pairs.into()),
+        ("lost_pairs", report.lost_pairs.into()),
+    ]);
     Ok(report)
 }
 

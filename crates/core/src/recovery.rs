@@ -115,7 +115,7 @@ pub fn check_maximum_extended_recovery_budgeted(
     let family = universe
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
-    let cache = crate::arrow::ArrowMCache::new(mapping, &family, vocab)?;
+    let cache = crate::arrow::ArrowMCache::new_budgeted(mapping, &family, vocab, config)?;
     let mut unsettled: Option<Exhausted> = None;
     let mut refutation: Option<MaxRecoveryVerdict> = None;
     'scan: for (a, i1) in family.iter().enumerate() {

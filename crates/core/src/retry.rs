@@ -1,0 +1,152 @@
+//! Budget-escalation retry for three-valued checks.
+//!
+//! Every bounded checker in this crate degrades to an `Unknown`-style
+//! verdict when a [`HomConfig`] budget runs out. The natural caller
+//! reaction — retry with a bigger budget — used to be ad-hoc caller
+//! code; [`retry_budgeted`] centralizes it: run the check, and while
+//! the caller deems the outcome unsettled, multiply the budgets by
+//! [`RetryPolicy::growth`] and run it again. Exponential growth keeps
+//! the total work within a constant factor of the final (successful)
+//! attempt's work.
+//!
+//! The helper is deliberately generic over the outcome type: checkers
+//! here return different verdict enums (and `Result`s around them), so
+//! the caller supplies the "is this still unsettled?" predicate.
+
+use std::time::Duration;
+
+use rde_hom::HomConfig;
+
+/// How [`retry_budgeted`] escalates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first one. `1` means no retries.
+    pub max_attempts: u32,
+    /// Budget multiplier between attempts (node and time budgets both).
+    pub growth: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // 8× growth: four attempts span three orders of magnitude, so a
+        // viable budget is found quickly while the wasted (unsettled)
+        // work stays a small fraction of the final attempt.
+        RetryPolicy { max_attempts: 4, growth: 8 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy performing `retries` extra attempts after the first.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy { max_attempts: retries.saturating_add(1), ..RetryPolicy::default() }
+    }
+}
+
+/// `config` with both budgets multiplied by `growth` (saturating;
+/// absent budgets stay absent — there is nothing to escalate).
+pub fn escalate(config: &HomConfig, growth: u32) -> HomConfig {
+    HomConfig {
+        node_budget: config.node_budget.map(|n| n.saturating_mul(u64::from(growth)).max(1)),
+        time_budget: config.time_budget.map(|t| t.checked_mul(growth).unwrap_or(Duration::MAX)),
+        ..config.clone()
+    }
+}
+
+/// Run `attempt` under `config`, retrying with exponentially escalated
+/// budgets while `unsettled` says the outcome is still inconclusive.
+///
+/// Stops as soon as an attempt settles, the policy's attempt count is
+/// spent, or the config carries no budget at all (an unbounded attempt
+/// cannot be helped by escalation). Returns the last outcome together
+/// with the number of attempts performed.
+pub fn retry_budgeted<T>(
+    config: &HomConfig,
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut(&HomConfig) -> T,
+    mut unsettled: impl FnMut(&T) -> bool,
+) -> (T, u32) {
+    let mut current = config.clone();
+    let mut outcome = attempt(&current);
+    let mut attempts = 1;
+    while attempts < policy.max_attempts
+        && unsettled(&outcome)
+        && (current.node_budget.is_some() || current.time_budget.is_some())
+    {
+        current = escalate(&current, policy.growth);
+        rde_obs::counter!("core.retry.escalations").inc();
+        rde_obs::event(
+            "core.retry",
+            &[
+                ("attempt", (attempts + 1).into()),
+                ("node_budget", current.node_budget.unwrap_or(0).into()),
+            ],
+        );
+        outcome = attempt(&current);
+        attempts += 1;
+    }
+    (outcome, attempts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settled_outcome_is_not_retried() {
+        let cfg = HomConfig { node_budget: Some(10), ..HomConfig::default() };
+        let mut calls = 0;
+        let (out, attempts) = retry_budgeted(
+            &cfg,
+            &RetryPolicy::default(),
+            |_| {
+                calls += 1;
+                42
+            },
+            |_| false,
+        );
+        assert_eq!((out, attempts, calls), (42, 1, 1));
+    }
+
+    #[test]
+    fn budgets_escalate_exponentially_until_settled() {
+        let cfg = HomConfig { node_budget: Some(2), ..HomConfig::default() };
+        let mut seen = Vec::new();
+        let (out, attempts) = retry_budgeted(
+            &cfg,
+            &RetryPolicy { max_attempts: 5, growth: 8 },
+            |c| {
+                seen.push(c.node_budget.unwrap());
+                c.node_budget.unwrap() >= 128
+            },
+            |&settled| !settled,
+        );
+        assert!(out);
+        assert_eq!(attempts, 3);
+        assert_eq!(seen, vec![2, 16, 128]);
+    }
+
+    #[test]
+    fn attempt_count_is_bounded() {
+        let cfg = HomConfig { node_budget: Some(1), ..HomConfig::default() };
+        let (_, attempts) =
+            retry_budgeted(&cfg, &RetryPolicy { max_attempts: 3, growth: 2 }, |_| (), |_| true);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn unbudgeted_config_never_retries() {
+        // No budget means the attempt was complete; retrying with "more"
+        // of an absent budget would loop for nothing.
+        let (_, attempts) =
+            retry_budgeted(&HomConfig::default(), &RetryPolicy::default(), |_| (), |_| true);
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn time_budget_escalates_too() {
+        let cfg = HomConfig { time_budget: Some(Duration::from_millis(3)), ..HomConfig::default() };
+        let esc = escalate(&cfg, 10);
+        assert_eq!(esc.time_budget, Some(Duration::from_millis(30)));
+        assert_eq!(esc.node_budget, None);
+    }
+}

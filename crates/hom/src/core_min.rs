@@ -73,10 +73,13 @@ pub fn core_of(instance: &Instance) -> CoreResult {
 /// hom-equivalence individually, so partial minimization is still sound
 /// wherever only the equivalence class matters (e.g. the arrow cache).
 pub fn core_of_budgeted(instance: &Instance, config: &HomConfig) -> CoreOutcome {
+    let span = rde_obs::span("hom.core_min", &[("facts_in", instance.len().into())]);
     let mut current = instance.clone();
     let mut retraction = Substitution::new();
     let mut stats = HomStats::default();
     let mut complete = true;
+    let mut attempts: u64 = 0;
+    let mut folds: u64 = 0;
     'outer: loop {
         // Only facts containing nulls can ever be folded away: an
         // all-constant fact must map to itself. The pattern is compiled
@@ -86,6 +89,7 @@ pub fn core_of_budgeted(instance: &Instance, config: &HomConfig) -> CoreOutcome 
         let (pattern, var_nulls) = instance_pattern(&current);
         let candidates: Vec<&Fact> = round_facts.iter().filter(|f| f.has_null()).collect();
         for f in candidates {
+            attempts += 1;
             current.remove_fact(f);
             let mut witness: Option<Vec<Option<rde_model::Value>>> = None;
             let report = pattern.for_each_match(&current, &[], config, |assignment| {
@@ -109,6 +113,7 @@ pub fn core_of_budgeted(instance: &Instance, config: &HomConfig) -> CoreOutcome 
                     }
                 }
                 retraction = retraction.then(&h);
+                folds += 1;
                 continue 'outer;
             }
             if !report.complete() {
@@ -116,6 +121,15 @@ pub fn core_of_budgeted(instance: &Instance, config: &HomConfig) -> CoreOutcome 
             }
             current.insert(f.clone());
         }
+        rde_obs::counter!("hom.core.fold_attempts").add(attempts);
+        rde_obs::counter!("hom.core.folds").add(folds);
+        span.close_with(&[
+            ("facts_out", current.len().into()),
+            ("attempts", attempts.into()),
+            ("folds", folds.into()),
+            ("nodes", stats.nodes.into()),
+            ("complete", complete.into()),
+        ]);
         return CoreOutcome { result: CoreResult { core: current, retraction }, stats, complete };
     }
 }

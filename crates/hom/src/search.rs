@@ -222,11 +222,25 @@ impl CompiledPattern {
             deadline: config.time_budget.map(|d| Instant::now() + d),
             stats: HomStats::default(),
             trail: Vec::new(),
+            prunes: 0,
             exhausted: None,
             on_found,
         };
         let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
         searcher.solve(&mut remaining);
+        // Every homomorphism search in the system (chase premise
+        // matching, hom deciders, core minimization) funnels through
+        // here, so this is the single metrics flush point for the
+        // engine. One relaxed atomic add per counter per *search*, not
+        // per node — invisible next to the search itself.
+        rde_obs::counter!("hom.search.searches").inc();
+        rde_obs::counter!("hom.search.nodes").add(searcher.stats.nodes);
+        rde_obs::counter!("hom.search.backtracks").add(searcher.stats.backtracks);
+        rde_obs::counter!("hom.search.found").add(searcher.stats.found);
+        rde_obs::counter!("hom.search.prunes").add(searcher.prunes);
+        if searcher.exhausted.is_some() {
+            rde_obs::counter!("hom.search.exhausted").inc();
+        }
         SearchReport { stats: searcher.stats, exhausted: searcher.exhausted }
     }
 }
@@ -248,6 +262,11 @@ struct Searcher<'a, F: FnMut(&[Option<Value>]) -> bool> {
     /// search: each node records a mark and truncates back to it,
     /// instead of allocating a fresh trail per candidate row.
     trail: Vec<u32>,
+    /// Forward-check prunes: picks where some remaining fact already
+    /// had zero candidate rows, cutting the branch without expanding
+    /// it. Flushed to the `hom.search.prunes` metric (deliberately not
+    /// part of [`HomStats`], whose layout is pinned by boundary tests).
+    prunes: u64,
     /// Set when a budget cut the search short.
     exhausted: Option<Exhausted>,
     /// Callback; returns `false` to stop enumerating.
@@ -324,7 +343,7 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
     }
 
     /// Pick the next remaining fact (slot index into `remaining`).
-    fn pick(&self, remaining: &[usize]) -> Option<usize> {
+    fn pick(&mut self, remaining: &[usize]) -> Option<usize> {
         if remaining.is_empty() {
             return None;
         }
@@ -342,6 +361,12 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
                     break;
                 }
             }
+        }
+        if best_cost == 0 {
+            // Forward check: a remaining fact has no candidates, so
+            // picking it fails every row immediately and cuts the
+            // branch here rather than after expanding siblings.
+            self.prunes += 1;
         }
         Some(best_slot)
     }
@@ -481,14 +506,25 @@ pub fn for_each_hom(
         }
     }
 
-    pattern.for_each_match(target, &vals, config, |assignment| {
+    let span = rde_obs::span(
+        "hom.search",
+        &[("source_facts", source.len().into()), ("vars", var_nulls.len().into())],
+    );
+    let report = pattern.for_each_match(target, &vals, config, |assignment| {
         let sub: Substitution = var_nulls
             .iter()
             .zip(assignment)
             .map(|(&n, v)| (n, v.expect("all variables bound when all facts covered")))
             .collect();
         on_found(&sub)
-    })
+    });
+    span.close_with(&[
+        ("nodes", report.stats.nodes.into()),
+        ("backtracks", report.stats.backtracks.into()),
+        ("found", report.stats.found.into()),
+        ("complete", report.complete().into()),
+    ]);
+    report
 }
 
 /// Find one homomorphism `source → target`, if any (complete search).

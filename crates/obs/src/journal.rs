@@ -1,0 +1,439 @@
+//! The bounded JSONL event journal.
+//!
+//! One process-wide journal with a pluggable sink: a file, stderr, or
+//! an in-memory buffer (the `profile` CLI subcommand and the tests use
+//! the latter to read structured records back without re-parsing).
+//! Every record renders as a single-line JSON object:
+//!
+//! ```json
+//! {"t_us":123,"kind":"span_open","name":"chase.round","span":7,"parent":3,"round":1}
+//! {"t_us":456,"kind":"span_close","name":"chase.round","span":7,"elapsed_us":333,"fired":5}
+//! {"t_us":789,"kind":"event","name":"core.arrow.miss","span":7,"class_a":0,"class_b":2}
+//! ```
+//!
+//! The journal is **bounded**: past the installed capacity records are
+//! counted and dropped, and the drop count surfaces as one final
+//! `journal_truncated` record at uninstall time. Emission when no sink
+//! is installed (or with the `trace` feature compiled out) costs one
+//! relaxed atomic load.
+
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// One field value attached to a journal record.
+#[derive(Debug, Clone, Copy)]
+pub enum Field<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (rendered with enough digits to round-trip).
+    F64(f64),
+    /// String (JSON-escaped on render).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Field<'_> {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+impl From<u32> for Field<'_> {
+    fn from(v: u32) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+impl From<usize> for Field<'_> {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+impl From<i64> for Field<'_> {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field<'_> {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+impl<'a> From<&'a str> for Field<'a> {
+    fn from(v: &'a str) -> Self {
+        Field::Str(v)
+    }
+}
+impl From<bool> for Field<'_> {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+/// An owned field value (what [`Record`] stores).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedField {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl OwnedField {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            OwnedField::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            OwnedField::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            OwnedField::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            OwnedField::Str(s) => json::escape_into(out, s),
+            OwnedField::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+        }
+    }
+
+    /// The value as `u64`, when it is one (convenience for tests and
+    /// the profile tree builder).
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            OwnedField::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl From<Field<'_>> for OwnedField {
+    fn from(f: Field<'_>) -> Self {
+        match f {
+            Field::U64(v) => OwnedField::U64(v),
+            Field::I64(v) => OwnedField::I64(v),
+            Field::F64(v) => OwnedField::F64(v),
+            Field::Str(s) => OwnedField::Str(s.to_owned()),
+            Field::Bool(b) => OwnedField::Bool(b),
+        }
+    }
+}
+
+/// One journal record. The memory sink retains these structurally so
+/// the `profile` subcommand can rebuild span trees without parsing the
+/// JSON it just wrote.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Microseconds since the journal epoch (process-local monotonic
+    /// clock; the first touch of the journal pins the epoch).
+    pub t_us: u64,
+    /// Record kind: `span_open`, `span_close`, `event`, or
+    /// `journal_truncated`.
+    pub kind: &'static str,
+    /// Record name (`crate.subsystem.event` convention).
+    pub name: String,
+    /// Span id this record belongs to (`0` = none).
+    pub span: u64,
+    /// Parent span id (`span_open` only; `0` = root).
+    pub parent: u64,
+    /// Span duration (`span_close` only).
+    pub elapsed_us: Option<u64>,
+    /// Additional key/value fields.
+    pub fields: Vec<(String, OwnedField)>,
+}
+
+impl Record {
+    /// Render the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"t_us\":{},\"kind\":\"{}\",\"name\":", self.t_us, self.kind);
+        json::escape_into(&mut out, &self.name);
+        if self.span != 0 {
+            let _ = write!(out, ",\"span\":{}", self.span);
+        }
+        if self.kind == "span_open" {
+            let _ = write!(out, ",\"parent\":{}", self.parent);
+        }
+        if let Some(us) = self.elapsed_us {
+            let _ = write!(out, ",\"elapsed_us\":{us}");
+        }
+        for (k, v) in &self.fields {
+            out.push(',');
+            json::escape_into(&mut out, k);
+            out.push(':');
+            v.render_into(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Look up a field by key.
+    pub fn field(&self, key: &str) -> Option<&OwnedField> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Where journal records go.
+#[derive(Debug, Clone)]
+pub enum Sink {
+    /// Append JSON lines to a file (created/truncated at install).
+    File(std::path::PathBuf),
+    /// Write JSON lines to stderr.
+    Stderr,
+    /// Retain structured [`Record`]s in memory; collect them with
+    /// [`uninstall`].
+    Memory,
+}
+
+/// What [`uninstall`] hands back.
+#[derive(Debug, Default)]
+pub struct JournalSummary {
+    /// Retained records (memory sink only; empty for file/stderr).
+    pub records: Vec<Record>,
+    /// Records written (not counting any dropped).
+    pub written: usize,
+    /// Records dropped by the capacity bound.
+    pub dropped: u64,
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    use super::{Field, JournalSummary, OwnedField, Record, Sink};
+
+    enum Out {
+        File(std::io::BufWriter<std::fs::File>),
+        Stderr,
+        Memory(Vec<Record>),
+    }
+
+    struct State {
+        out: Out,
+        capacity: usize,
+        written: usize,
+        dropped: u64,
+    }
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static STATE: Mutex<Option<State>> = Mutex::new(None);
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    pub(super) fn now_us() -> u64 {
+        u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    pub(super) fn enabled() -> bool {
+        ACTIVE.load(Ordering::Relaxed)
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, Option<State>> {
+        STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    pub(super) fn install(sink: Sink, capacity: usize) -> std::io::Result<()> {
+        let out = match sink {
+            Sink::File(path) => Out::File(std::io::BufWriter::new(std::fs::File::create(path)?)),
+            Sink::Stderr => Out::Stderr,
+            Sink::Memory => Out::Memory(Vec::new()),
+        };
+        let mut guard = lock();
+        if let Some(old) = guard.take() {
+            finish(old);
+        }
+        *guard = Some(State { out, capacity, written: 0, dropped: 0 });
+        ACTIVE.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Flush a retiring state, appending the truncation marker if the
+    /// capacity bound dropped anything, and return its summary.
+    fn finish(mut state: State) -> JournalSummary {
+        if state.dropped > 0 {
+            let marker = Record {
+                t_us: now_us(),
+                kind: "journal_truncated",
+                name: "journal.truncated".to_owned(),
+                span: 0,
+                parent: 0,
+                elapsed_us: None,
+                fields: vec![("dropped".to_owned(), OwnedField::U64(state.dropped))],
+            };
+            write_record(&mut state.out, marker);
+        }
+        match state.out {
+            Out::File(mut w) => {
+                let _ = w.flush();
+                JournalSummary {
+                    records: Vec::new(),
+                    written: state.written,
+                    dropped: state.dropped,
+                }
+            }
+            Out::Stderr => JournalSummary {
+                records: Vec::new(),
+                written: state.written,
+                dropped: state.dropped,
+            },
+            Out::Memory(records) => {
+                JournalSummary { records, written: state.written, dropped: state.dropped }
+            }
+        }
+    }
+
+    fn write_record(out: &mut Out, record: Record) {
+        match out {
+            Out::File(w) => {
+                let _ = writeln!(w, "{}", record.to_json_line());
+            }
+            Out::Stderr => {
+                eprintln!("{}", record.to_json_line());
+            }
+            Out::Memory(v) => v.push(record),
+        }
+    }
+
+    pub(super) fn uninstall() -> Option<JournalSummary> {
+        let mut guard = lock();
+        ACTIVE.store(false, Ordering::Relaxed);
+        guard.take().map(finish)
+    }
+
+    pub(super) fn flush() {
+        let mut guard = lock();
+        if let Some(State { out: Out::File(w), .. }) = guard.as_mut() {
+            let _ = w.flush();
+        }
+    }
+
+    pub(super) fn emit(
+        kind: &'static str,
+        name: &str,
+        span: u64,
+        parent: u64,
+        elapsed_us: Option<u64>,
+        fields: &[(&str, Field<'_>)],
+    ) {
+        if !enabled() {
+            return;
+        }
+        let t_us = now_us();
+        let mut guard = lock();
+        let Some(state) = guard.as_mut() else {
+            return;
+        };
+        if state.written >= state.capacity {
+            state.dropped += 1;
+            return;
+        }
+        state.written += 1;
+        let record = Record {
+            t_us,
+            kind,
+            name: name.to_owned(),
+            span,
+            parent,
+            elapsed_us,
+            fields: fields.iter().map(|&(k, v)| (k.to_owned(), v.into())).collect(),
+        };
+        write_record(&mut state.out, record);
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use super::{Field, JournalSummary, Sink};
+
+    pub(super) fn now_us() -> u64 {
+        0
+    }
+    pub(super) fn enabled() -> bool {
+        false
+    }
+    pub(super) fn install(_sink: Sink, _capacity: usize) -> std::io::Result<()> {
+        Ok(())
+    }
+    pub(super) fn uninstall() -> Option<JournalSummary> {
+        None
+    }
+    pub(super) fn flush() {}
+    #[inline(always)]
+    pub(super) fn emit(
+        _kind: &'static str,
+        _name: &str,
+        _span: u64,
+        _parent: u64,
+        _elapsed_us: Option<u64>,
+        _fields: &[(&str, Field<'_>)],
+    ) {
+    }
+}
+
+/// Install a journal sink with a record capacity. Replaces (and
+/// flushes) any previously installed sink. With the `trace` feature
+/// compiled out this is a no-op that still returns `Ok`.
+pub fn install(sink: Sink, capacity: usize) -> std::io::Result<()> {
+    imp::install(sink, capacity)
+}
+
+/// Tear down the journal: flush file sinks, append a
+/// `journal_truncated` marker if the capacity bound dropped records,
+/// and return the summary (with retained records for the memory sink).
+/// Returns `None` when no sink was installed.
+pub fn uninstall() -> Option<JournalSummary> {
+    imp::uninstall()
+}
+
+/// Flush a file sink's buffered lines to disk.
+pub fn flush() {
+    imp::flush()
+}
+
+/// Is a sink installed (and the `trace` feature compiled in)? One
+/// relaxed atomic load — cheap enough to guard field construction on
+/// hot paths.
+pub fn enabled() -> bool {
+    imp::enabled()
+}
+
+/// Microseconds since the journal epoch.
+pub fn now_us() -> u64 {
+    imp::now_us()
+}
+
+/// Emit a free-standing event record, attributed to the calling
+/// thread's current span (if any).
+pub fn event(name: &str, fields: &[(&str, Field<'_>)]) {
+    if !imp::enabled() {
+        return;
+    }
+    imp::emit("event", name, crate::span::current_span_id(), 0, None, fields);
+}
+
+#[cfg(feature = "trace")]
+pub(crate) fn emit_span(
+    kind: &'static str,
+    name: &str,
+    span: u64,
+    parent: u64,
+    elapsed_us: Option<u64>,
+    fields: &[(&str, Field<'_>)],
+) {
+    imp::emit(kind, name, span, parent, elapsed_us, fields);
+}

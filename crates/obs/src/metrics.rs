@@ -1,0 +1,378 @@
+//! Process-wide metrics registry: named counters and log₂-scale
+//! histograms.
+//!
+//! Registration (by name, `crate.subsystem.event` convention) takes a
+//! registry lock once; the returned handle is `&'static` and every
+//! subsequent update is a relaxed atomic operation — safe and cheap to
+//! call from parallel chase workers. The [`counter!`]/[`histogram!`]
+//! macros cache the handle per call site in a `OnceLock`, so hot loops
+//! never touch the registry lock.
+//!
+//! Unlike spans and the journal, metrics are **not** gated behind the
+//! `trace` feature: `--metrics` snapshots and the benchmark baselines
+//! need them in no-trace builds too.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of
+/// two up to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-scale histogram of `u64` samples. Bucket `0` holds the
+/// value `0`; bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`. Each
+/// bucket, the sample count, and the sample sum are separate relaxed
+/// atomics, so a snapshot taken while writers are active may be
+/// momentarily skewed by in-flight samples; quiescent snapshots are
+/// exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i` (`2^i - 1`; bucket 0 holds
+/// only zero).
+pub fn bucket_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Largest sample recorded.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (in `[0,1]`)
+    /// — a conservative estimate within a factor of two of the true
+    /// value.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
+
+fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
+    REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Fetch (registering on first use) the counter named `name`.
+///
+/// Panics if `name` is already registered as a histogram.
+pub fn counter(name: &'static str) -> &'static Counter {
+    match registry().entry(name).or_insert_with(|| Metric::Counter(Box::leak(Box::default()))) {
+        Metric::Counter(c) => c,
+        Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+    }
+}
+
+/// Fetch (registering on first use) the histogram named `name`.
+///
+/// Panics if `name` is already registered as a counter.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    match registry().entry(name).or_insert_with(|| Metric::Histogram(Box::leak(Box::default()))) {
+        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
+        Metric::Histogram(h) => h,
+    }
+}
+
+/// Fetch the counter named `$name`, caching the handle at the call
+/// site so repeat hits skip the registry lock.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Counter> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Fetch the histogram named `$name`, caching the handle at the call
+/// site so repeat hits skip the registry lock.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Histogram> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshot every registered metric.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut snap = Snapshot::default();
+    for (&name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => snap.counters.push((name.to_owned(), c.get())),
+            Metric::Histogram(h) => snap.histograms.push((name.to_owned(), h.snapshot())),
+        }
+    }
+    snap
+}
+
+impl Snapshot {
+    /// The value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The state of histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Is there anything to show?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Render a human-readable table (the `--metrics` output).
+    pub fn render(&self) -> String {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "{:width$}  {:>12}", "counter", "value");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:width$}  {value:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !self.counters.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>10} {:>14} {:>12} {:>10} {:>10}",
+                "histogram", "count", "sum", "mean", "p50<=", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{name:width$}  {:>10} {:>14} {:>12.1} {:>10} {:>10}",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.quantile_bound(0.5),
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Render as a single JSON object (embedded in `BENCH_*.json`):
+    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
+    /// buckets: {bound: n, ...}}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": {{",
+                h.count, h.sum, h.max
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "\"{}\": {n}", bucket_bound(b));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_bound(i)), i);
+            if i < 64 {
+                assert_eq!(bucket_of(bucket_bound(i) + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_aggregates_track_samples() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 3, 100, 4096] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 4201);
+        assert_eq!(s.max, 4096);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[7], 1);
+        assert_eq!(s.buckets[13], 1);
+        assert!((s.mean() - 4201.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.quantile_bound(0.5), 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_valid() {
+        counter("test.metrics.json_counter").add(7);
+        histogram("test.metrics.json_hist").record(9);
+        let snap = snapshot();
+        assert!(crate::json::is_valid(&snap.to_json()), "{}", snap.to_json());
+        assert_eq!(snap.counter("test.metrics.json_counter"), Some(7));
+    }
+}

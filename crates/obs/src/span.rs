@@ -1,0 +1,152 @@
+//! RAII spans over thread-local span stacks.
+//!
+//! [`span`] opens a span (emitting a `span_open` journal record) and
+//! returns a guard; dropping the guard — or calling
+//! [`Span::close_with`] to attach result fields — emits the matching
+//! `span_close` with `elapsed_us`. Parentage is the nearest enclosing
+//! open span **on the same thread**; worker threads therefore start
+//! fresh root spans unless they open one themselves.
+//!
+//! When no journal sink is installed (or the `trace` feature is
+//! compiled out) opening a span is one relaxed atomic load and the
+//! guard is inert.
+
+#[cfg(feature = "trace")]
+use crate::journal;
+use crate::journal::Field;
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    // Span id 0 is reserved for "no span".
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn fresh_id() -> u64 {
+        NEXT_ID.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(super) fn push(id: u64) -> u64 {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied().unwrap_or(0);
+            s.push(id);
+            parent
+        })
+    }
+
+    pub(super) fn pop(id: u64) {
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Guards close in LIFO order on a given thread, but be
+            // defensive about a guard moved across threads.
+            if s.last() == Some(&id) {
+                s.pop();
+            } else if let Some(i) = s.iter().rposition(|&x| x == id) {
+                s.remove(i);
+            }
+        })
+    }
+
+    pub(super) fn current() -> u64 {
+        STACK.with(|s| s.borrow().last().copied().unwrap_or(0))
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    pub(super) fn current() -> u64 {
+        0
+    }
+}
+
+/// The calling thread's innermost open span id (`0` if none). Events
+/// use this for attribution.
+pub(crate) fn current_span_id() -> u64 {
+    imp::current()
+}
+
+/// An open span. Dropping it closes the span; prefer
+/// [`Span::close_with`] when there are result fields to attach.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    #[cfg(feature = "trace")]
+    inner: Option<SpanInner>,
+}
+
+#[cfg(feature = "trace")]
+struct SpanInner {
+    id: u64,
+    name: &'static str,
+    opened_us: u64,
+}
+
+/// Open a span named `name`, emitting a `span_open` record with the
+/// given fields. Inert (and allocation-free) when the journal is
+/// disabled.
+pub fn span(name: &'static str, fields: &[(&str, Field<'_>)]) -> Span {
+    #[cfg(feature = "trace")]
+    {
+        if !journal::enabled() {
+            return Span { inner: None };
+        }
+        let id = imp::fresh_id();
+        let parent = imp::push(id);
+        let opened_us = journal::now_us();
+        journal::emit_span("span_open", name, id, parent, None, fields);
+        Span { inner: Some(SpanInner { id, name, opened_us }) }
+    }
+    #[cfg(not(feature = "trace"))]
+    {
+        let _ = (name, fields);
+        Span {}
+    }
+}
+
+impl Span {
+    /// This span's id (`0` when tracing is off or the journal is
+    /// disabled).
+    pub fn id(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.as_ref().map_or(0, |s| s.id)
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
+    /// Close the span now, attaching `fields` to the `span_close`
+    /// record.
+    pub fn close_with(mut self, fields: &[(&str, Field<'_>)]) {
+        #[cfg(feature = "trace")]
+        self.close(fields);
+        #[cfg(not(feature = "trace"))]
+        {
+            let _ = (&mut self, fields);
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    fn close(&mut self, fields: &[(&str, Field<'_>)]) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        imp::pop(inner.id);
+        let elapsed = journal::now_us().saturating_sub(inner.opened_us);
+        journal::emit_span("span_close", inner.name, inner.id, 0, Some(elapsed), fields);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "trace")]
+        self.close(&[]);
+    }
+}

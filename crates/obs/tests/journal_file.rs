@@ -1,0 +1,37 @@
+//! File-sink round trip: a deterministic little span tree lands on
+//! disk as one valid JSON object per line. Kept in its own
+//! integration-test binary so it owns the process-global journal.
+#![cfg(feature = "trace")]
+
+use rde_obs::journal::{self, Sink};
+use rde_obs::{event, json, span};
+
+#[test]
+fn file_sink_writes_one_valid_json_object_per_line() {
+    let path = std::env::temp_dir().join(format!("rde_obs_file_sink_{}.jsonl", std::process::id()));
+    journal::install(Sink::File(path.clone()), 4096).expect("file sink installs");
+    {
+        let run = span("test.run", &[]);
+        for round in 0..3u64 {
+            let r = span("test.round", &[("round", round.into())]);
+            event("test.fired", &[("dep", "d0".into()), ("count", (round + 1).into())]);
+            r.close_with(&[("delta", round.into())]);
+        }
+        run.close_with(&[("rounds", 3u64.into())]);
+    }
+    let summary = journal::uninstall().expect("journal was installed");
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.written, 11); // 1 run + 3 rounds (open+close each) + 3 events
+
+    let text = std::fs::read_to_string(&path).expect("journal file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), summary.written);
+    for line in &lines {
+        assert!(json::is_valid(line), "invalid JSON line: {line}");
+    }
+    let opens = lines.iter().filter(|l| l.contains("\"kind\":\"span_open\"")).count();
+    let closes = lines.iter().filter(|l| l.contains("\"kind\":\"span_close\"")).count();
+    assert_eq!(opens, 4);
+    assert_eq!(closes, 4);
+    std::fs::remove_file(&path).ok();
+}

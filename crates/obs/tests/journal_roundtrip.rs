@@ -1,0 +1,127 @@
+//! Journal round-trip: spans and events written through the memory
+//! sink come back structurally balanced and render as valid JSON
+//! lines.
+//!
+//! The journal is process-global, so the tests in this file serialize
+//! on a mutex instead of relying on cargo's per-test threads.
+#![cfg(feature = "trace")]
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use rde_obs::journal::{self, JournalSummary, Sink};
+use rde_obs::{event, json, span};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_memory_journal(capacity: usize, body: impl FnOnce()) -> JournalSummary {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    journal::install(Sink::Memory, capacity).expect("memory sink installs");
+    body();
+    journal::uninstall().expect("journal was installed")
+}
+
+#[test]
+fn nested_spans_balance_and_render_valid_json() {
+    let summary = with_memory_journal(1024, || {
+        let outer = span("test.outer", &[("round", 1u64.into())]);
+        event("test.tick", &[("n", 7u64.into()), ("label", "alpha".into())]);
+        let inner = span("test.inner", &[]);
+        event("test.tick", &[("n", 8u64.into())]);
+        inner.close_with(&[("fired", 3u64.into())]);
+        outer.close_with(&[("ok", true.into())]);
+    });
+
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.records.len(), 6);
+
+    // Every record renders as one well-formed JSON line.
+    for rec in &summary.records {
+        let line = rec.to_json_line();
+        assert!(json::is_valid(&line), "invalid JSON line: {line}");
+        assert!(!line.contains('\n'));
+    }
+
+    // Opens and closes pair up by span id with matching names.
+    let mut open: HashMap<u64, &str> = HashMap::new();
+    for rec in &summary.records {
+        match rec.kind {
+            "span_open" => {
+                assert!(open.insert(rec.span, &rec.name).is_none(), "span {} reopened", rec.span);
+            }
+            "span_close" => {
+                let name = open.remove(&rec.span).expect("close without open");
+                assert_eq!(name, rec.name);
+                assert!(rec.elapsed_us.is_some());
+            }
+            _ => {}
+        }
+    }
+    assert!(open.is_empty(), "unclosed spans: {open:?}");
+
+    // Parentage: inner's parent is outer; events attribute to the
+    // innermost enclosing span.
+    let outer_open = &summary.records[0];
+    let inner_open = &summary.records[2];
+    assert_eq!(outer_open.name, "test.outer");
+    assert_eq!(outer_open.parent, 0);
+    assert_eq!(inner_open.name, "test.inner");
+    assert_eq!(inner_open.parent, outer_open.span);
+    assert_eq!(summary.records[1].span, outer_open.span);
+    assert_eq!(summary.records[3].span, inner_open.span);
+
+    // Timestamps are monotone within the buffer.
+    for pair in summary.records.windows(2) {
+        assert!(pair[0].t_us <= pair[1].t_us);
+    }
+
+    // Close fields survive the trip.
+    let inner_close = &summary.records[4];
+    assert_eq!(inner_close.field("fired").and_then(|f| f.as_u64()), Some(3));
+}
+
+#[test]
+fn worker_threads_get_their_own_root_spans() {
+    let summary = with_memory_journal(1024, || {
+        let _main = span("test.main", &[]);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let w = span("test.worker", &[("worker", 0u64.into())]);
+                w.close_with(&[]);
+            });
+        });
+    });
+    let worker_open = summary
+        .records
+        .iter()
+        .find(|r| r.kind == "span_open" && r.name == "test.worker")
+        .expect("worker span recorded");
+    assert_eq!(worker_open.parent, 0, "span stacks are per-thread");
+}
+
+#[test]
+fn capacity_bound_drops_and_reports() {
+    let summary = with_memory_journal(3, || {
+        for i in 0..10u64 {
+            event("test.flood", &[("i", i.into())]);
+        }
+    });
+    assert_eq!(summary.written, 3);
+    assert_eq!(summary.dropped, 7);
+    let marker = summary.records.last().expect("truncation marker present");
+    assert_eq!(marker.kind, "journal_truncated");
+    assert_eq!(marker.field("dropped").and_then(|f| f.as_u64()), Some(7));
+    assert!(json::is_valid(&marker.to_json_line()));
+}
+
+#[test]
+fn no_sink_means_no_records_and_inert_spans() {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(journal::uninstall().is_none());
+    assert!(!journal::enabled());
+    let s = span("test.orphan", &[]);
+    assert_eq!(s.id(), 0);
+    event("test.orphan_event", &[]);
+    drop(s);
+    assert!(journal::uninstall().is_none(), "emitting without a sink must not install one");
+}

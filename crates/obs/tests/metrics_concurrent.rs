@@ -1,0 +1,62 @@
+//! Metrics registry under concurrency: counters and histograms take
+//! increments from many threads and a quiescent snapshot sees every
+//! one of them.
+
+use rde_obs::metrics::{self, BUCKETS};
+
+const THREADS: u64 = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn concurrent_counter_increments_are_all_counted() {
+    let c = metrics::counter("test.concurrent.counter");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(c.get(), THREADS * PER_THREAD);
+    assert_eq!(metrics::snapshot().counter("test.concurrent.counter"), Some(THREADS * PER_THREAD));
+}
+
+#[test]
+fn concurrent_histogram_snapshot_is_internally_consistent() {
+    let h = metrics::histogram("test.concurrent.hist");
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS * PER_THREAD);
+    assert_eq!(s.buckets.iter().sum::<u64>(), s.count, "every sample lands in exactly one bucket");
+    // Sum of 0..80000 and the largest sample, both exact.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(s.sum, n * (n - 1) / 2);
+    assert_eq!(s.max, n - 1);
+    assert!(s.quantile_bound(0.5) >= n / 4 && s.quantile_bound(0.5) <= n);
+}
+
+#[test]
+fn macro_handles_point_at_the_registry_entry() {
+    rde_obs::counter!("test.concurrent.macro").add(3);
+    rde_obs::counter!("test.concurrent.macro").add(4);
+    assert_eq!(metrics::counter("test.concurrent.macro").get(), 7);
+    // Same name through the non-macro path is the same atomic.
+    metrics::counter("test.concurrent.macro").inc();
+    assert_eq!(rde_obs::counter!("test.concurrent.macro").get(), 8);
+}
+
+#[test]
+fn bucket_count_covers_u64_range() {
+    assert_eq!(BUCKETS, 65);
+    assert_eq!(metrics::bucket_of(u64::MAX), BUCKETS - 1);
+}

@@ -1,0 +1,33 @@
+//! With the `trace` feature compiled out, the whole span/journal API
+//! must still link and run — and provably emit nothing. Run with
+//! `cargo test -p rde-obs --no-default-features`.
+#![cfg(not(feature = "trace"))]
+
+use rde_obs::journal::{self, Sink};
+use rde_obs::{event, span};
+
+#[test]
+fn trace_off_build_emits_nothing() {
+    let path = std::env::temp_dir().join(format!("rde_obs_trace_off_{}.jsonl", std::process::id()));
+    std::fs::remove_file(&path).ok();
+
+    journal::install(Sink::File(path.clone()), 4096).expect("install is a no-op Ok");
+    assert!(!journal::enabled(), "journal can never be enabled without the trace feature");
+
+    let s = span("test.noop", &[("round", 1u64.into())]);
+    assert_eq!(s.id(), 0);
+    event("test.noop_event", &[("n", 2u64.into())]);
+    s.close_with(&[("ok", true.into())]);
+
+    assert!(journal::uninstall().is_none(), "nothing was ever installed");
+    assert!(!path.exists(), "no journal file may be created with trace off");
+}
+
+#[test]
+fn metrics_stay_live_without_trace() {
+    rde_obs::counter!("test.traceoff.counter").add(5);
+    rde_obs::histogram!("test.traceoff.hist").record(17);
+    let snap = rde_obs::snapshot();
+    assert_eq!(snap.counter("test.traceoff.counter"), Some(5));
+    assert_eq!(snap.histogram("test.traceoff.hist").map(|h| h.count), Some(1));
+}
