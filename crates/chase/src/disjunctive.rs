@@ -224,7 +224,9 @@ fn next_trigger(
         // Chunks are joined in index order: the first Some is the
         // global minimum dependency index.
         for h in handles {
-            let candidate = h.join().expect("disjunctive trigger worker panicked");
+            // A worker panic is re-raised with its original payload
+            // rather than wrapped in a second panic here.
+            let candidate = h.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
             if best.is_none() {
                 best = candidate;
             }

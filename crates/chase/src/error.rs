@@ -35,6 +35,21 @@ pub enum ChaseError {
         /// Which budget ran out.
         budget: Exhausted,
     },
+    /// The run was cooperatively cancelled (explicit request, elapsed
+    /// deadline, or Ctrl-C) via `ChaseOptions::cancel`. Checked at
+    /// round granularity, and propagated from any cancelled
+    /// homomorphism search inside the round.
+    Cancelled,
+    /// A collection worker thread panicked. The panic payload is
+    /// swallowed (it already printed via the panic hook); the chase
+    /// result would be incomplete, so the run fails instead.
+    WorkerPanic,
+    /// Writing or reading a chase checkpoint failed (I/O error, or a
+    /// malformed/incompatible snapshot on resume).
+    Checkpoint {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for ChaseError {
@@ -55,6 +70,9 @@ impl fmt::Display for ChaseError {
             ChaseError::MatchBudgetExhausted { budget } => {
                 write!(f, "premise matching stopped early: {budget}")
             }
+            ChaseError::Cancelled => write!(f, "chase cancelled"),
+            ChaseError::WorkerPanic => write!(f, "a chase collection worker panicked"),
+            ChaseError::Checkpoint { message } => write!(f, "chase checkpoint: {message}"),
         }
     }
 }

@@ -36,7 +36,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, not panics; the
+// seed-sweep suite in rde-faults depends on it. Test modules are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod checkpoint;
 mod core_chase;
 mod disjunctive;
 mod error;
@@ -44,6 +48,7 @@ pub mod matching;
 pub mod plan;
 mod standard;
 
+pub use checkpoint::CheckpointPolicy;
 pub use core_chase::core_chase_mapping;
 pub use disjunctive::{disjunctive_chase, DisjunctiveChaseOptions, DisjunctiveChaseResult};
 pub use error::ChaseError;

@@ -207,6 +207,9 @@ impl PremisePlan {
         let report =
             self.pattern.for_each_match_excluding(skip, instance, seed, config, |assignment| {
                 vals.clear();
+                // Invariant: `for_each_match_excluding` only yields
+                // complete assignments — every slot is `Some`.
+                #[allow(clippy::expect_used)]
                 vals.extend(assignment.iter().map(|v| v.expect("full match binds every slot")));
                 if self.guards_hold(&vals) {
                     on_match(&vals)

@@ -20,13 +20,16 @@
 //!    parallel runs produce **equal** instances, not merely
 //!    hom-equivalent ones.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use rde_deps::{Dependency, SchemaMapping};
+use rde_faults::CancelToken;
 use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::fx::FxHashSet;
 use rde_model::{Fact, Instance, Value, Vocabulary};
 
+use crate::checkpoint::{self, CheckpointPolicy, SnapshotRef};
 use crate::plan::{FiringTemplate, PremisePlan, SatisfactionPlan};
 use crate::ChaseError;
 
@@ -84,6 +87,19 @@ pub struct ChaseOptions {
     /// [`ChaseError::MatchBudgetExhausted`] rather than an unsound
     /// result.
     pub hom: HomConfig,
+    /// Cooperative cancellation, checked at the top of every round and
+    /// propagated into the round's homomorphism searches (unless
+    /// [`ChaseOptions::hom`] already carries its own live token). A
+    /// cancelled run returns [`ChaseError::Cancelled`]. Inert by
+    /// default.
+    pub cancel: CancelToken,
+    /// Write a resumable snapshot of the round state every N completed
+    /// rounds (see [`CheckpointPolicy`]). Off by default.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from a snapshot written by a previous run *of the same
+    /// chase* (same input, dependencies, and options). The resumed run
+    /// is bit-identical to an uninterrupted one.
+    pub resume_from: Option<PathBuf>,
 }
 
 impl Default for ChaseOptions {
@@ -96,13 +112,16 @@ impl Default for ChaseOptions {
             max_facts: 1_000_000,
             trace: false,
             hom: HomConfig::default(),
+            cancel: CancelToken::default(),
+            checkpoint: None,
+            resume_from: None,
         }
     }
 }
 
 /// Provenance of one trigger firing (recorded when
 /// [`ChaseOptions::trace`] is set).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FiringRecord {
     /// Index of the dependency in the chased set.
     pub dependency: usize,
@@ -316,7 +335,49 @@ pub fn chase(
     // first round, and every round under the naive strategy).
     let mut delta: Option<Vec<Fact>> = None;
     let semi_naive = options.strategy == ChaseStrategy::SemiNaive;
+    // The round's hom searches inherit the chase's cancel token, so
+    // cancellation also cuts *within* a round at node-stride
+    // granularity. An explicit token on `options.hom` wins.
+    let hom_cfg = if options.cancel.is_inert() || !options.hom.cancel.is_inert() {
+        options.hom.clone()
+    } else {
+        HomConfig { cancel: options.cancel.clone(), ..options.hom.clone() }
+    };
+    if let Some(path) = &options.resume_from {
+        let snap = checkpoint::load(path)?;
+        if snap.fired_keys.len() != plans.len() {
+            return Err(ChaseError::Checkpoint {
+                message: format!(
+                    "snapshot has {} dependencies, the chase has {}",
+                    snap.fired_keys.len(),
+                    plans.len()
+                ),
+            });
+        }
+        if !vocab.resync_null_count(snap.null_count) {
+            return Err(ChaseError::Checkpoint {
+                message: "snapshot null count conflicts with named nulls".to_owned(),
+            });
+        }
+        current = snap.instance;
+        fired_keys = snap.fired_keys;
+        fired = snap.fired;
+        rounds = snap.rounds;
+        round_stats = snap.round_stats;
+        hom_total = snap.hom_total;
+        provenance = snap.provenance;
+        delta = snap.delta;
+        rde_obs::event(
+            "chase.resumed",
+            &[("round", rounds.into()), ("facts", current.len().into())],
+        );
+    }
     loop {
+        if rde_faults::should_inject("chase.round") || options.cancel.is_cancelled() {
+            rde_obs::counter!("chase.cancelled").inc();
+            rde_obs::event("chase.cancelled", &[("round", rounds.into())]);
+            return Err(ChaseError::Cancelled);
+        }
         if rounds >= options.max_rounds {
             rde_obs::counter!("chase.budget.rounds_exhausted").inc();
             rde_obs::event("chase.budget_exhausted", &[("kind", "rounds".into())]);
@@ -342,15 +403,7 @@ pub fn chase(
                 .iter()
                 .enumerate()
                 .map(|(di, p)| {
-                    collect_dep(
-                        di,
-                        p,
-                        &current,
-                        &fired_keys,
-                        delta_slice,
-                        options.mode,
-                        &options.hom,
-                    )
+                    collect_dep(di, p, &current, &fired_keys, delta_slice, options.mode, &hom_cfg)
                 })
                 .collect()
         } else {
@@ -364,7 +417,7 @@ pub fn chase(
                     let plans = &plans;
                     let current = &current;
                     let fired_keys = &fired_keys;
-                    let hom = &options.hom;
+                    let hom = &hom_cfg;
                     handles.push(scope.spawn(move || {
                         (lo..hi)
                             .map(|di| {
@@ -381,14 +434,30 @@ pub fn chase(
                             .collect::<Vec<_>>()
                     }));
                 }
+                let mut panicked = false;
                 for h in handles {
-                    partials.push(h.join().expect("chase collection worker panicked"));
+                    match h.join() {
+                        Ok(part) => partials.push(part),
+                        Err(_) => panicked = true,
+                    }
+                }
+                if panicked {
+                    partials.clear();
+                    partials.push(vec![Err(ChaseError::WorkerPanic)]);
                 }
             });
             partials.into_iter().flatten().collect()
         };
         let per_dep = match collected {
             Ok(per_dep) => per_dep,
+            // A search cancelled mid-round surfaces as a match-budget
+            // error with a `Cancelled` cause; report it as the
+            // cancellation it is.
+            Err(ChaseError::MatchBudgetExhausted { budget: Exhausted::Cancelled }) => {
+                rde_obs::counter!("chase.cancelled").inc();
+                rde_obs::event("chase.cancelled", &[("round", rounds.into())]);
+                return Err(ChaseError::Cancelled);
+            }
             Err(e) => {
                 rde_obs::counter!("chase.budget.match_exhausted").inc();
                 rde_obs::event("chase.budget_exhausted", &[("kind", "match".into())]);
@@ -470,11 +539,16 @@ pub fn chase(
                 match plan.satisfaction.satisfiable_budgeted(
                     &current,
                     &vals,
-                    &options.hom,
+                    &hom_cfg,
                     &mut stats.hom,
                 ) {
                     Verdict::Holds => continue,
                     Verdict::Fails => {}
+                    Verdict::Unknown { budget: Exhausted::Cancelled } => {
+                        rde_obs::counter!("chase.cancelled").inc();
+                        rde_obs::event("chase.cancelled", &[("round", rounds.into())]);
+                        return Err(ChaseError::Cancelled);
+                    }
                     Verdict::Unknown { budget } => {
                         rde_obs::counter!("chase.budget.match_exhausted").inc();
                         rde_obs::event("chase.budget_exhausted", &[("kind", "recheck".into())]);
@@ -538,6 +612,26 @@ pub fn chase(
         ]);
         round_stats.push(stats);
         delta = if semi_naive { Some(new_delta) } else { None };
+        if let Some(policy) = &options.checkpoint {
+            if policy.every > 0 && rounds.is_multiple_of(policy.every) {
+                checkpoint::save(
+                    &policy.path,
+                    &SnapshotRef {
+                        rounds,
+                        fired,
+                        null_count: vocab.null_count(),
+                        hom_total,
+                        instance: &current,
+                        delta: delta.as_deref(),
+                        fired_keys: &fired_keys,
+                        round_stats: &round_stats,
+                        provenance: &provenance,
+                    },
+                )?;
+                rde_obs::counter!("chase.checkpoints").inc();
+                rde_obs::event("chase.checkpoint", &[("round", rounds.into())]);
+            }
+        }
     }
 }
 
@@ -876,6 +970,122 @@ mod tests {
         // The total includes the final quiescence check on top of the
         // recorded rounds.
         assert!(r.hom.nodes > per_round);
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_chase_with_a_typed_error() {
+        let mut v = Vocabulary::new();
+        // Divergent without a budget: cancellation is the only way out.
+        let dep = rde_deps::parse_dependency(&mut v, "E(x, y) -> exists z . E(y, z)").unwrap();
+        let i = parse_instance(&mut v, "E(a,b)").unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let opts = ChaseOptions { cancel, max_rounds: u64::MAX, ..ChaseOptions::default() };
+        assert_eq!(
+            chase(&i, std::slice::from_ref(&dep), &mut v, &opts).unwrap_err(),
+            ChaseError::Cancelled
+        );
+        // An already-expired deadline cancels at the first round check.
+        let opts = ChaseOptions {
+            cancel: CancelToken::with_deadline(std::time::Duration::ZERO),
+            max_rounds: u64::MAX,
+            ..ChaseOptions::default()
+        };
+        assert_eq!(
+            chase(&i, std::slice::from_ref(&dep), &mut v, &opts).unwrap_err(),
+            ChaseError::Cancelled
+        );
+        // A live but uncancelled token does not disturb a normal run.
+        let copy = rde_deps::parse_dependency(&mut v, "E(x, y) -> F(x, y)").unwrap();
+        let opts = ChaseOptions { cancel: CancelToken::new(), ..ChaseOptions::default() };
+        let r = chase(&i, &[copy], &mut v, &opts).unwrap();
+        assert_eq!(r.fired, 1);
+    }
+
+    #[test]
+    fn chase_cancel_token_reaches_the_hom_searches() {
+        // The chase clones its token into the effective hom config, so
+        // cancellation cuts *inside* a round too. A token cancelled
+        // after N stride-checks is hard to time deterministically, so
+        // instead verify the plumbing: an explicit hom-level token wins
+        // over the chase-level one, and the chase-level token is used
+        // when the hom config's is inert.
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "E(x, y) -> F(x, y)").unwrap();
+        let i = parse_instance(&mut v, "E(a,b)").unwrap();
+        let hom_cancel = CancelToken::new();
+        hom_cancel.cancel();
+        // Cancelled hom token: the first premise search reports
+        // Exhausted::Cancelled, which the chase maps to Cancelled.
+        let opts = ChaseOptions {
+            hom: HomConfig { cancel: hom_cancel, ..HomConfig::default() },
+            ..ChaseOptions::default()
+        };
+        assert_eq!(chase(&i, &[dep], &mut v, &opts).unwrap_err(), ChaseError::Cancelled);
+    }
+
+    #[test]
+    fn resume_rolls_back_nulls_invented_after_the_checkpoint() {
+        let mut v = Vocabulary::new();
+        let deps: Vec<Dependency> = ["T(x,y) & T(y,z) -> T(x,z)", "T(x,y) -> exists w . S(y, w)"]
+            .iter()
+            .map(|d| rde_deps::parse_dependency(&mut v, d).unwrap())
+            .collect();
+        let i = parse_instance(&mut v, "T(a,b)\nT(b,c)\nT(c,d)\nT(d,e)").unwrap();
+        let mut v_ref = v.clone();
+        let trace_opts = ChaseOptions { trace: true, ..ChaseOptions::default() };
+        let straight = chase(&i, &deps, &mut v_ref, &trace_opts).unwrap();
+        assert!(straight.rounds >= 2, "need a multi-round chase to crash mid-run");
+
+        // Crash mid-round via the fact budget: by then the run has
+        // checkpointed every completed round but also invented fresh
+        // nulls the snapshot does not know about.
+        let path = std::env::temp_dir().join(format!("rde-resync-{}.ckpt", std::process::id()));
+        let kill = ChaseOptions {
+            trace: true,
+            max_facts: straight.instance.len() - 1,
+            checkpoint: Some(crate::CheckpointPolicy::new(&path, 1)),
+            ..ChaseOptions::default()
+        };
+        let err = chase(&i, &deps, &mut v, &kill).unwrap_err();
+        assert!(matches!(err, ChaseError::FactBudgetExhausted { .. }));
+
+        // Resume with the *same* (dirty) vocabulary: resync truncates
+        // the anonymous nulls past the snapshot, so the resumed run
+        // re-invents them with the same ids and lands on the straight
+        // run's exact instance and provenance.
+        let resume = ChaseOptions {
+            trace: true,
+            resume_from: Some(path.clone()),
+            ..ChaseOptions::default()
+        };
+        let resumed = chase(&i, &deps, &mut v, &resume).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(resumed.instance, straight.instance);
+        assert_eq!(resumed.fired, straight.fired);
+        assert_eq!(resumed.rounds, straight.rounds);
+        assert_eq!(resumed.round_stats, straight.round_stats);
+        assert_eq!(resumed.provenance, straight.provenance);
+        assert_eq!(v.null_count(), v_ref.null_count());
+    }
+
+    #[test]
+    fn resume_rejects_a_snapshot_for_a_different_dependency_set() {
+        let mut v = Vocabulary::new();
+        let dep = rde_deps::parse_dependency(&mut v, "T(x,y) & T(y,z) -> T(x,z)").unwrap();
+        let i = parse_instance(&mut v, "T(a,b)\nT(b,c)\nT(c,d)").unwrap();
+        let path = std::env::temp_dir().join(format!("rde-mismatch-{}.ckpt", std::process::id()));
+        let opts = ChaseOptions {
+            checkpoint: Some(crate::CheckpointPolicy::new(&path, 1)),
+            ..ChaseOptions::default()
+        };
+        chase(&i, std::slice::from_ref(&dep), &mut v, &opts).unwrap();
+        // One dependency in the snapshot, two in the resumed chase.
+        let extra = rde_deps::parse_dependency(&mut v, "T(x,y) -> U(x)").unwrap();
+        let resume = ChaseOptions { resume_from: Some(path.clone()), ..ChaseOptions::default() };
+        let err = chase(&i, &[dep, extra], &mut v, &resume).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, ChaseError::Checkpoint { .. }));
     }
 
     #[test]

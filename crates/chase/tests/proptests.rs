@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rde_chase::{
-    chase_mapping, core_chase_mapping, disjunctive_chase, ChaseMode, ChaseOptions,
-    DisjunctiveChaseOptions,
+    chase_mapping, core_chase_mapping, disjunctive_chase, ChaseError, ChaseMode, ChaseOptions,
+    CheckpointPolicy, DisjunctiveChaseOptions,
 };
 use rde_deps::parse_mapping;
 use rde_hom::{exists_hom, hom_equivalent};
@@ -35,6 +35,35 @@ fn p_instance(vocab: &mut Vocabulary, facts: &[Vec<(bool, u8)>]) -> Instance {
 
 fn two_step(vocab: &mut Vocabulary) -> rde_deps::SchemaMapping {
     parse_mapping(vocab, "source: P/2\ntarget: Q/2\nP(x,y) -> exists z . Q(x,z) & Q(z,y)").unwrap()
+}
+
+/// A recursive, multi-round dependency set (transitive closure plus a
+/// null-inventing side relation) for exercising checkpoint/resume.
+fn recursive_deps(vocab: &mut Vocabulary) -> Vec<rde_deps::Dependency> {
+    ["E(x,y) -> T(x,y)", "T(x,y) & T(y,z) -> T(x,z)", "T(x,y) -> exists w . S(y, w)"]
+        .iter()
+        .map(|d| rde_deps::parse_dependency(vocab, d).unwrap())
+        .collect()
+}
+
+fn e_instance(vocab: &mut Vocabulary, facts: &[Vec<(bool, u8)>]) -> Instance {
+    let rel = vocab.find_relation("E").unwrap();
+    facts
+        .iter()
+        .map(|args| {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|&(is_null, i)| {
+                    if is_null {
+                        vocab.null_value(&format!("n{i}"))
+                    } else {
+                        vocab.const_value(&format!("c{i}"))
+                    }
+                })
+                .collect();
+            Fact::new(rel, vals)
+        })
+        .collect()
 }
 
 proptest! {
@@ -100,6 +129,56 @@ proptest! {
         let back = leaves[0].restrict_to(&rev.target);
         // Thm 3.17: the roundtrip is hom-equivalent to I.
         prop_assert!(hom_equivalent(&back, &i));
+    }
+
+    /// Killing the chase at any round and resuming from the checkpoint
+    /// yields a bit-identical `ChaseResult` — same instance (down to
+    /// fresh-null ids and row order), same counters, same provenance.
+    #[test]
+    fn checkpoint_resume_is_bit_identical(facts in abstract_facts(5)) {
+        let straight = {
+            let mut vocab = Vocabulary::new();
+            let deps = recursive_deps(&mut vocab);
+            let i = e_instance(&mut vocab, &facts);
+            let opts = ChaseOptions { trace: true, ..ChaseOptions::default() };
+            rde_chase::chase(&i, &deps, &mut vocab, &opts).unwrap()
+        };
+        let path = std::env::temp_dir()
+            .join(format!("rde-prop-ckpt-{}.ckpt", std::process::id()));
+        for k in 1..straight.rounds {
+            // Kill at round k: a round budget of k aborts right after
+            // the round-k checkpoint was written.
+            let mut vocab = Vocabulary::new();
+            let deps = recursive_deps(&mut vocab);
+            let i = e_instance(&mut vocab, &facts);
+            let kill = ChaseOptions {
+                trace: true,
+                max_rounds: k,
+                checkpoint: Some(CheckpointPolicy::new(&path, 1)),
+                ..ChaseOptions::default()
+            };
+            let err = rde_chase::chase(&i, &deps, &mut vocab, &kill).unwrap_err();
+            prop_assert_eq!(err, ChaseError::RoundBudgetExhausted { rounds: k });
+
+            // Resume in a fresh "process": fresh vocabulary, all round
+            // state from disk.
+            let mut vocab2 = Vocabulary::new();
+            let deps2 = recursive_deps(&mut vocab2);
+            let i2 = e_instance(&mut vocab2, &facts);
+            let resume = ChaseOptions {
+                trace: true,
+                resume_from: Some(path.clone()),
+                ..ChaseOptions::default()
+            };
+            let resumed = rde_chase::chase(&i2, &deps2, &mut vocab2, &resume).unwrap();
+            prop_assert_eq!(&resumed.instance, &straight.instance);
+            prop_assert_eq!(resumed.fired, straight.fired);
+            prop_assert_eq!(resumed.rounds, straight.rounds);
+            prop_assert_eq!(&resumed.round_stats, &straight.round_stats);
+            prop_assert_eq!(resumed.hom, straight.hom);
+            prop_assert_eq!(&resumed.provenance, &straight.provenance);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     /// Fresh nulls never collide: chase outputs of disjoint runs share

@@ -7,14 +7,69 @@ use rde_chase::{chase_mapping, disjunctive_chase, ChaseOptions, DisjunctiveChase
 use rde_core::compose::ComposeOptions;
 use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
 use rde_core::retry::{retry_budgeted, RetryPolicy};
-use rde_core::Universe;
+use rde_core::{CoreError, Universe};
 use rde_deps::{parse_mapping, printer, SchemaMapping};
-use rde_hom::{HomConfig, HomStats};
+use rde_faults::CancelToken;
+use rde_hom::{Exhausted, HomConfig, HomStats};
 use rde_model::{display, parse::parse_instance, Instance, Vocabulary};
 use rde_obs::{journal, Sink};
 use rde_query::ConjunctiveQuery;
 
 use crate::options::Options;
+
+/// How a command line failed.
+///
+/// Cancellation (an elapsed `--deadline-ms` or a Ctrl-C) is kept apart
+/// from ordinary errors so `main` can exit with a distinct status and
+/// scripts can tell "wrong input" from "ran out of time".
+#[derive(Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// An ordinary failure, rendered to stderr.
+    Message(String),
+    /// The command was cooperatively cancelled before it finished.
+    Cancelled,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::Message(message)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Message(m) => f.write_str(m),
+            CliError::Cancelled => f.write_str("cancelled (deadline elapsed or interrupted)"),
+        }
+    }
+}
+
+/// The cancellation token for one command invocation: live, watching
+/// the process interrupt flag, and carrying the `--deadline-ms` budget
+/// when one was given.
+fn cancel_token(opts: &Options) -> CancelToken {
+    rde_faults::install_interrupt_handler();
+    let token = match opts.deadline_ms {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    token.watching_interrupt()
+}
+
+fn chase_err(e: rde_chase::ChaseError) -> CliError {
+    match e {
+        rde_chase::ChaseError::Cancelled => CliError::Cancelled,
+        e => CliError::Message(e.to_string()),
+    }
+}
+
+fn core_err(e: CoreError) -> CliError {
+    match e {
+        CoreError::Cancelled => CliError::Cancelled,
+        e => CliError::Message(e.to_string()),
+    }
+}
 
 /// Record bound for `--trace-out` journals and `profile` runs: large
 /// enough for real scenarios, small enough that a runaway chase cannot
@@ -27,7 +82,7 @@ rde — reverse data exchange with nulls (Fagin, Kolaitis, Popa, Tan; PODS 2009)
 USAGE:
     rde <command> [args] [--consts N] [--nulls N] [--facts N] [--examples N]
                   [--node-budget N] [--time-budget-ms N] [--retries N]
-                  [--stats] [--metrics] [--trace-out PATH]
+                  [--deadline-ms N] [--stats] [--metrics] [--trace-out PATH]
 
 COMMANDS:
     chase    <mapping> <instance>             canonical universal solution chase_M(I)
@@ -49,7 +104,10 @@ COMMANDS:
     compose  <mapping12> <mapping23>          syntactic composition (m12 full tgds)
     faithful <mapping> <reverse>              universal-faithfulness check (Def 6.1)
     profile  <mapping> <instance>             chase under tracing; print the span-tree
-                                              time breakdown (µs per subsystem)
+                                              time breakdown (µs per subsystem) and
+                                              per-span p50/p99 latency quantiles
+    profile  <workload> <args…>               same, for another command's engine run;
+                                              workload ∈ chase|invertible|compare|loss
     help                                      this message
 
 The --consts/--nulls/--facts flags size the bounded universe used by the
@@ -64,13 +122,18 @@ up to N more times with exponentially escalated budgets. --stats prints
 search-work counters after the answer (chase, invertible, compare,
 check-recovery).
 
+--deadline-ms N caps the whole command in wall-clock time: the engines
+cancel cooperatively at the next round/search boundary and the process
+exits with status 3 instead of printing a partial answer. Ctrl-C
+cancels the same way (a second Ctrl-C kills the process).
+
 --trace-out PATH streams the structured JSONL event journal (spans,
 chase rounds, tgd firings, budget exhaustions) to PATH; --metrics
 prints the process-wide metrics registry snapshot at exit.
 ";
 
 /// Run a full command line (everything after `argv[0]`).
-pub fn run(args: &[String]) -> Result<(), String> {
+pub fn run(args: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         print!("{USAGE}");
         return Ok(());
@@ -108,7 +171,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`; run `rde help`")),
+        other => Err(CliError::Message(format!("unknown command `{other}`; run `rde help`"))),
     };
     if journal_installed {
         if let Some(summary) = journal::uninstall() {
@@ -151,6 +214,7 @@ fn hom_config(opts: &Options) -> HomConfig {
     HomConfig {
         node_budget: opts.node_budget,
         time_budget: opts.time_budget_ms.map(Duration::from_millis),
+        cancel: cancel_token(opts),
         ..HomConfig::default()
     }
 }
@@ -172,13 +236,17 @@ fn print_hom_stats(stats: &HomStats) {
     );
 }
 
-fn cmd_chase(opts: &Options) -> Result<(), String> {
+fn cmd_chase(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let options = ChaseOptions { hom: hom_config(opts), ..ChaseOptions::default() };
+    let options = ChaseOptions {
+        hom: hom_config(opts),
+        cancel: cancel_token(opts),
+        ..ChaseOptions::default()
+    };
     let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
-        .map_err(|e| e.to_string())?;
+        .map_err(chase_err)?;
     print!("{}", display::instance(&vocab, &result.instance.restrict_to(&mapping.target)));
     if opts.stats {
         println!("# chase: {} round(s), {} trigger(s) fired", result.rounds, result.fired);
@@ -187,7 +255,7 @@ fn cmd_chase(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_reverse(opts: &Options) -> Result<(), String> {
+fn cmd_reverse(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
@@ -209,7 +277,7 @@ fn cmd_reverse(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_invert(opts: &Options) -> Result<(), String> {
+fn cmd_invert(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let recovery =
@@ -219,7 +287,7 @@ fn cmd_invert(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check_chase_inverse(opts: &Options) -> Result<(), String> {
+fn cmd_check_chase_inverse(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
@@ -243,7 +311,7 @@ fn cmd_check_chase_inverse(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
+fn cmd_check_recovery(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
@@ -279,7 +347,7 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
         |outcome| matches!(outcome, Ok(rde_core::recovery::MaxRecoveryVerdict::Unknown { .. })),
     );
     print_retry_note(attempts);
-    match verdict.map_err(|e| e.to_string())? {
+    match verdict.map_err(core_err)? {
         rde_core::recovery::MaxRecoveryVerdict::HoldsWithinBound => {
             println!("maximum extended recovery (e(M)∘e(M') = →_M): HOLDS within bound");
         }
@@ -295,6 +363,9 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
             println!("--");
             print!("{}", display::instance(&vocab, &i2));
         }
+        rde_core::recovery::MaxRecoveryVerdict::Unknown { budget: Exhausted::Cancelled } => {
+            return Err(CliError::Cancelled);
+        }
         rde_core::recovery::MaxRecoveryVerdict::Unknown { budget } => {
             println!(
                 "maximum extended recovery: UNKNOWN ({budget}); raise --node-budget or --retries"
@@ -307,7 +378,7 @@ fn cmd_check_recovery(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_invertible(opts: &Options) -> Result<(), String> {
+fn cmd_invertible(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let u = universe(&mut vocab, opts);
@@ -323,7 +394,7 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
         |outcome| matches!(outcome, Ok(rde_core::invertibility::BoundedVerdict::Unknown { .. })),
     );
     print_retry_note(attempts);
-    match verdict.map_err(|e| e.to_string())? {
+    match verdict.map_err(core_err)? {
         rde_core::invertibility::BoundedVerdict::HoldsWithinBound => {
             println!("homomorphism property: HOLDS within bound (extended-invertible evidence)");
         }
@@ -332,6 +403,9 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
             print!("{}", display::instance(&vocab, &i1));
             println!("--");
             print!("{}", display::instance(&vocab, &i2));
+        }
+        rde_core::invertibility::BoundedVerdict::Unknown { budget: Exhausted::Cancelled } => {
+            return Err(CliError::Cancelled);
         }
         rde_core::invertibility::BoundedVerdict::Unknown { budget } => {
             println!("homomorphism property: UNKNOWN ({budget}); raise --node-budget or --retries");
@@ -343,12 +417,18 @@ fn cmd_invertible(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_loss(opts: &Options) -> Result<(), String> {
+fn cmd_loss(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let u = universe(&mut vocab, opts);
-    let report = rde_core::loss::information_loss(&mapping, &u, &mut vocab, opts.examples)
-        .map_err(|e| e.to_string())?;
+    let report = rde_core::loss::information_loss_cancellable(
+        &mapping,
+        &u,
+        &mut vocab,
+        opts.examples,
+        &cancel_token(opts),
+    )
+    .map_err(core_err)?;
     println!("universe size:    {}", report.universe_size);
     println!("pairs in →_M:     {}", report.arrow_m_pairs);
     println!("pairs in →:       {}", report.hom_pairs);
@@ -367,7 +447,7 @@ fn cmd_loss(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compare(opts: &Options) -> Result<(), String> {
+fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let m1 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
     let m2 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
@@ -382,7 +462,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
         |outcome| matches!(outcome, Ok(rde_core::compare::Comparison::Unknown { .. })),
     );
     print_retry_note(attempts);
-    match cmp.map_err(|e| e.to_string())? {
+    match cmp.map_err(core_err)? {
         rde_core::compare::Comparison::EquallyLossy => println!("equally lossy (within bound)"),
         rde_core::compare::Comparison::StrictlyLessLossy => {
             println!("mapping 1 is strictly less lossy than mapping 2");
@@ -403,6 +483,9 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
                 display::instance_inline(&vocab, &only_in_m2.1)
             );
         }
+        rde_core::compare::Comparison::Unknown { budget: Exhausted::Cancelled } => {
+            return Err(CliError::Cancelled);
+        }
         rde_core::compare::Comparison::Unknown { budget } => {
             println!("comparison: UNKNOWN ({budget}); raise --node-budget or --retries");
         }
@@ -413,7 +496,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_certain(opts: &Options) -> Result<(), String> {
+fn cmd_certain(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
@@ -437,18 +520,22 @@ fn cmd_certain(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_core(opts: &Options) -> Result<(), String> {
+fn cmd_core(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let core =
-        rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
-            .map_err(|e| e.to_string())?;
+    let options = ChaseOptions {
+        hom: hom_config(opts),
+        cancel: cancel_token(opts),
+        ..ChaseOptions::default()
+    };
+    let core = rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &options)
+        .map_err(chase_err)?;
     print!("{}", display::instance(&vocab, &core));
     Ok(())
 }
 
-fn cmd_hom(opts: &Options) -> Result<(), String> {
+fn cmd_hom(opts: &Options) -> Result<(), CliError> {
     // Both instances share one vocabulary: `?name` in either file
     // denotes the same labeled null.
     let mut vocab = Vocabulary::new();
@@ -474,7 +561,7 @@ fn cmd_hom(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(opts: &Options) -> Result<(), String> {
+fn cmd_eval(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let instance = load_instance(&mut vocab, opts.positional(0, "instance file")?)?;
     let q = ConjunctiveQuery::parse(&mut vocab, opts.positional(1, "query")?)
@@ -490,7 +577,7 @@ fn cmd_eval(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_minimize_query(opts: &Options) -> Result<(), String> {
+fn cmd_minimize_query(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let q = ConjunctiveQuery::parse(&mut vocab, opts.positional(0, "query")?)
         .map_err(|e| e.to_string())?;
@@ -505,7 +592,7 @@ fn cmd_minimize_query(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_normalize(opts: &Options) -> Result<(), String> {
+fn cmd_normalize(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let normalized = SchemaMapping::new(
@@ -517,7 +604,7 @@ fn cmd_normalize(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_compose(opts: &Options) -> Result<(), String> {
+fn cmd_compose(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let m12 = load_mapping(&mut vocab, opts.positional(0, "first mapping file")?)?;
     let m23 = load_mapping(&mut vocab, opts.positional(1, "second mapping file")?)?;
@@ -532,7 +619,7 @@ fn cmd_compose(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_faithful(opts: &Options) -> Result<(), String> {
+fn cmd_faithful(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
@@ -565,16 +652,19 @@ fn cmd_faithful(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(opts: &Options) -> Result<(), String> {
+/// The chase workload for `profile`: run it, print its totals, and
+/// return `(fired, rounds)` for the span-tree cross-check.
+fn profile_chase(opts: &Options) -> Result<(u64, u64), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    journal::install(Sink::Memory, JOURNAL_CAPACITY)
-        .map_err(|e| format!("profile journal: {e}"))?;
-    let options = ChaseOptions { hom: hom_config(opts), ..ChaseOptions::default() };
-    let chased = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options);
-    let summary = journal::uninstall();
-    let result = chased.map_err(|e| e.to_string())?;
+    let options = ChaseOptions {
+        hom: hom_config(opts),
+        cancel: cancel_token(opts),
+        ..ChaseOptions::default()
+    };
+    let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
+        .map_err(chase_err)?;
     println!(
         "# chase: {} round(s), {} trigger(s) fired, {} fact(s)",
         result.rounds,
@@ -582,6 +672,33 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
         result.instance.len()
     );
     print_hom_stats(&result.hom);
+    Ok((result.fired, result.rounds))
+}
+
+fn cmd_profile(opts: &Options) -> Result<(), CliError> {
+    // `profile <workload> …` profiles another command's engine run
+    // (`chase`, `invertible`, `compare`, `loss`); the original
+    // `profile <mapping> <instance>` form still means the chase.
+    let (workload, inner) = match opts.positional.first().map(String::as_str) {
+        Some(w @ ("chase" | "invertible" | "compare" | "loss")) => {
+            let mut shifted = opts.clone();
+            shifted.positional.remove(0);
+            (w, shifted)
+        }
+        _ => ("chase", opts.clone()),
+    };
+    journal::install(Sink::Memory, JOURNAL_CAPACITY)
+        .map_err(|e| format!("profile journal: {e}"))?;
+    let ran = match workload {
+        "chase" => profile_chase(&inner).map(Some),
+        "invertible" => cmd_invertible(&inner).map(|()| None),
+        "compare" => cmd_compare(&inner).map(|()| None),
+        _ => cmd_loss(&inner).map(|()| None),
+    };
+    let summary = journal::uninstall();
+    // The journal is torn down either way; only then propagate the
+    // workload's own error.
+    let chase_totals = ran?;
     let Some(summary) = summary else {
         println!("# tracing compiled out; rebuild with the `trace` feature to profile");
         return Ok(());
@@ -589,22 +706,26 @@ fn cmd_profile(opts: &Options) -> Result<(), String> {
     match crate::profile::render_span_tree(&summary.records) {
         Some(tree) => {
             print!("{tree}");
-            println!(
-                "# chase.run wall time: {} µs",
-                crate::profile::total_elapsed_us(&summary.records, "chase.run")
-            );
-            // Cross-check: the chase.run span's close fields must agree
-            // with the stats the engine returned.
-            let span_fired =
-                crate::profile::total_close_field(&summary.records, "chase.run", "fired");
-            let span_rounds =
-                crate::profile::total_close_field(&summary.records, "chase.run", "rounds");
-            if span_fired != result.fired || span_rounds != result.rounds {
-                return Err(format!(
-                    "span tree disagrees with chase stats: span fired={span_fired} rounds={span_rounds}, \
-                     stats fired={} rounds={}",
-                    result.fired, result.rounds
-                ));
+            if let Some((fired, rounds)) = chase_totals {
+                println!(
+                    "# chase.run wall time: {} µs",
+                    crate::profile::total_elapsed_us(&summary.records, "chase.run")
+                );
+                // Cross-check: the chase.run span's close fields must
+                // agree with the stats the engine returned.
+                let span_fired =
+                    crate::profile::total_close_field(&summary.records, "chase.run", "fired");
+                let span_rounds =
+                    crate::profile::total_close_field(&summary.records, "chase.run", "rounds");
+                if span_fired != fired || span_rounds != rounds {
+                    return Err(CliError::Message(format!(
+                        "span tree disagrees with chase stats: span fired={span_fired} \
+                         rounds={span_rounds}, stats fired={fired} rounds={rounds}"
+                    )));
+                }
+            }
+            if let Some(table) = crate::profile::render_quantiles(&summary.records) {
+                print!("{table}");
             }
         }
         None => println!("# no spans recorded"),
@@ -777,7 +898,7 @@ mod tests {
     #[test]
     fn missing_files_are_reported() {
         let err = run(&strings(&["chase", "/nonexistent.map", "/nonexistent.inst"])).unwrap_err();
-        assert!(err.contains("cannot read"));
+        assert!(err.to_string().contains("cannot read"));
     }
 
     #[test]
@@ -785,6 +906,6 @@ mod tests {
         let dir = tmpdir("invert-nonfull");
         let m = write(&dir, "m.map", "source: P/1\ntarget: Q/2\nP(x) -> exists y . Q(x, y)\n");
         let err = run(&strings(&["invert", &m])).unwrap_err();
-        assert!(err.contains("full"));
+        assert!(err.to_string().contains("full"));
     }
 }

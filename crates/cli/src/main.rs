@@ -13,10 +13,19 @@ mod commands;
 mod options;
 mod profile;
 
+/// Exit status for cooperative cancellation (`--deadline-ms` elapsed
+/// or Ctrl-C): distinct from ordinary failure so scripts can tell
+/// "wrong" from "out of time".
+const EXIT_CANCELLED: u8 = 3;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&args) {
         Ok(()) => ExitCode::SUCCESS,
+        Err(commands::CliError::Cancelled) => {
+            eprintln!("rde: {}", commands::CliError::Cancelled);
+            ExitCode::from(EXIT_CANCELLED)
+        }
         Err(e) => {
             eprintln!("rde: {e}");
             ExitCode::FAILURE

@@ -22,6 +22,10 @@ pub struct Options {
     /// `--retries N`: on an UNKNOWN verdict, retry the check up to N
     /// more times with exponentially escalated budgets.
     pub retries: u32,
+    /// `--deadline-ms N`: wall-clock cap for the whole command; on
+    /// expiry the engines cancel cooperatively and the process exits
+    /// with a distinct status instead of returning a partial answer.
+    pub deadline_ms: Option<u64>,
     /// `--stats`: print search-work counters after the answer.
     pub stats: bool,
     /// `--trace-out PATH`: write the JSONL event journal to PATH.
@@ -41,6 +45,7 @@ impl Default for Options {
             node_budget: None,
             time_budget_ms: None,
             retries: 0,
+            deadline_ms: None,
             stats: false,
             trace_out: None,
             metrics: false,
@@ -89,6 +94,14 @@ impl Options {
                         .ok_or_else(|| "--retries requires a value".to_string())?
                         .parse::<u32>()
                         .map_err(|_| "--retries requires an integer value".to_string())?;
+                }
+                "--deadline-ms" => {
+                    opts.deadline_ms = Some(
+                        it.next()
+                            .ok_or_else(|| "--deadline-ms requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| "--deadline-ms requires an integer value".to_string())?,
+                    );
                 }
                 "--trace-out" => {
                     opts.trace_out = Some(
@@ -177,6 +190,16 @@ mod tests {
         assert!(Options::parse(&strings(&["--time-budget-ms"])).is_err());
         assert!(Options::parse(&strings(&["--retries", "x"])).is_err());
         assert!(Options::parse(&strings(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn deadline_flag() {
+        let o = Options::parse(&strings(&["m.map", "--deadline-ms", "500"])).unwrap();
+        assert_eq!(o.deadline_ms, Some(500));
+        let o = Options::parse(&strings(&["m.map"])).unwrap();
+        assert_eq!(o.deadline_ms, None);
+        assert!(Options::parse(&strings(&["--deadline-ms"])).is_err());
+        assert!(Options::parse(&strings(&["--deadline-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -119,6 +119,50 @@ fn render_level(
     }
 }
 
+/// Exact per-name latency quantiles over every `span_close` record:
+/// `(name, count, p50_us, p99_us)`, sorted by name.
+pub fn span_quantiles(records: &[Record]) -> Vec<(String, usize, u64, u64)> {
+    let mut by_name: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for rec in records {
+        if rec.kind == "span_close" {
+            by_name.entry(&rec.name).or_default().push(rec.elapsed_us.unwrap_or(0));
+        }
+    }
+    by_name
+        .into_iter()
+        .map(|(name, mut samples)| {
+            samples.sort_unstable();
+            let p50 = percentile(&samples, 50);
+            let p99 = percentile(&samples, 99);
+            (name.to_owned(), samples.len(), p50, p99)
+        })
+        .collect()
+}
+
+/// Nearest-rank percentile: the smallest sample with at least `p`% of
+/// the samples at or below it. Exact — no interpolation, no sketch.
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    let rank = (p * sorted.len()).div_ceil(100).max(1);
+    sorted[rank - 1]
+}
+
+/// Render [`span_quantiles`] as an aligned table. `None` when the
+/// records hold no closed spans.
+pub fn render_quantiles(records: &[Record]) -> Option<String> {
+    use std::fmt::Write as _;
+    let rows = span_quantiles(records);
+    if rows.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    out.push_str("span latency quantiles (µs per close):\n");
+    let _ = writeln!(out, "  {:<40} {:>8} {:>12} {:>12}", "name", "count", "p50", "p99");
+    for (name, count, p50, p99) in rows {
+        let _ = writeln!(out, "  {name:<40} {count:>8} {p50:>12} {p99:>12}");
+    }
+    Some(out)
+}
+
 /// Sum of `elapsed_us` over all closed spans named `name`.
 pub fn total_elapsed_us(records: &[Record], name: &str) -> u64 {
     records
@@ -171,5 +215,33 @@ mod tests {
             "a parent span covers its children"
         );
         assert!(render_span_tree(&[]).is_none());
+    }
+
+    fn close(name: &str, elapsed_us: u64) -> Record {
+        Record {
+            t_us: 0,
+            kind: "span_close",
+            name: name.to_owned(),
+            span: 1,
+            parent: 0,
+            elapsed_us: Some(elapsed_us),
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        // 100 closes with elapsed 1..=100: p50 = 50, p99 = 99.
+        let mut records: Vec<Record> = (1..=100).map(|us| close("t.many", us)).collect();
+        records.push(close("t.one", 42));
+        let rows = span_quantiles(&records);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("t.many".to_owned(), 100, 50, 99));
+        // A single sample is every percentile of itself.
+        assert_eq!(rows[1], ("t.one".to_owned(), 1, 42, 42));
+        let table = render_quantiles(&records).expect("rows present");
+        assert!(table.contains("p50"), "{table}");
+        assert!(table.contains("t.many"), "{table}");
+        assert!(render_quantiles(&[]).is_none());
     }
 }

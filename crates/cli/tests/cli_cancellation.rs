@@ -1,0 +1,80 @@
+//! End-to-end cancellation checks against the real `rde` binary.
+//!
+//! `--deadline-ms 0` is an already-expired deadline: every cancellable
+//! command must notice it at its first round/search boundary and exit
+//! with the dedicated cancellation status (3) — distinct from both
+//! success (0) and ordinary failure (1) — without printing a partial
+//! answer as if it were complete.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rde() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rde"))
+}
+
+fn example(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/data").join(name);
+    path.to_string_lossy().into_owned()
+}
+
+const EXIT_CANCELLED: i32 = 3;
+
+#[test]
+fn expired_deadline_cancels_the_chase_with_status_3() {
+    let output = rde()
+        .args(["chase", &example("two_step.map"), &example("flights.inst")])
+        .args(["--deadline-ms", "0"])
+        .output()
+        .expect("spawn rde");
+    assert_eq!(output.status.code(), Some(EXIT_CANCELLED), "status: {:?}", output.status);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("cancelled"), "stderr should say why: {stderr}");
+
+    // Control: the same command without a deadline succeeds.
+    let status = rde()
+        .args(["chase", &example("two_step.map"), &example("flights.inst")])
+        .status()
+        .expect("spawn rde");
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn expired_deadline_cancels_the_checkers_and_the_census() {
+    let bound = ["--consts", "1", "--nulls", "0", "--facts", "1"];
+    for cmd in [
+        vec!["invertible", &example("two_step.map")[..]],
+        vec!["loss", &example("two_step.map")],
+        vec!["core", &example("two_step.map"), &example("flights.inst")],
+    ] {
+        let output =
+            rde().args(&cmd).args(bound).args(["--deadline-ms", "0"]).output().expect("spawn rde");
+        assert_eq!(
+            output.status.code(),
+            Some(EXIT_CANCELLED),
+            "`{}` should cancel, got {:?}\nstdout: {}\nstderr: {}",
+            cmd.join(" "),
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}
+
+#[test]
+fn generous_deadline_does_not_disturb_a_fast_run() {
+    let output = rde()
+        .args(["chase", &example("two_step.map"), &example("flights.inst")])
+        .args(["--deadline-ms", "60000"])
+        .output()
+        .expect("spawn rde");
+    assert_eq!(output.status.code(), Some(0), "{:?}", output.status);
+    assert!(!String::from_utf8_lossy(&output.stdout).is_empty());
+}
+
+#[test]
+fn ordinary_failure_keeps_exit_status_1() {
+    let status =
+        rde().args(["chase", "/nonexistent.map", "/nonexistent.inst"]).status().expect("spawn rde");
+    assert_eq!(status.code(), Some(1), "errors must stay distinct from cancellation");
+}

@@ -89,6 +89,51 @@ fn profile_prints_a_span_tree_consistent_with_stats() {
 }
 
 #[test]
+fn profile_reports_span_latency_quantiles() {
+    let output = rde()
+        .args(["profile", &example("two_step.map"), &example("flights.inst")])
+        .output()
+        .expect("spawn rde");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    if cfg!(feature = "trace") {
+        assert!(stdout.contains("span latency quantiles"), "missing quantile table:\n{stdout}");
+        assert!(stdout.contains("p50"), "{stdout}");
+        assert!(stdout.contains("p99"), "{stdout}");
+    }
+}
+
+#[test]
+fn profile_drives_other_workloads() {
+    // `profile invertible <mapping>` runs the invertibility check
+    // under the in-memory journal and prints its span breakdown.
+    let output = rde()
+        .args(["profile", "invertible", &example("two_step.map")])
+        .args(["--consts", "1", "--nulls", "0", "--facts", "1"])
+        .output()
+        .expect("spawn rde");
+    assert!(
+        output.status.success(),
+        "profile invertible failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("homomorphism property"), "verdict still printed:\n{stdout}");
+    if cfg!(feature = "trace") {
+        assert!(stdout.contains("span tree"), "missing span tree:\n{stdout}");
+    }
+    // And `profile loss` likewise.
+    let output = rde()
+        .args(["profile", "loss", &example("two_step.map")])
+        .args(["--consts", "1", "--nulls", "0", "--facts", "1"])
+        .output()
+        .expect("spawn rde");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("lost pairs"), "census still printed:\n{stdout}");
+}
+
+#[test]
 fn profile_trace_out_dumps_the_memory_journal() {
     let out = tmp("profile.jsonl");
     let _ = std::fs::remove_file(&out);

@@ -64,6 +64,10 @@ pub struct CacheStats {
 /// fingerprints imply isomorphic instances (each side is isomorphic to
 /// the common renumbered instance); the converse can fail, which only
 /// costs an extra equivalence class, never a wrong answer.
+// The expect is a capacity invariant, not a reachable failure: distinct
+// nulls are `NullId(u32)`, so `rename` can never hold more than 2³²
+// entries, and an instance that large cannot exist in memory.
+#[allow(clippy::expect_used)]
 fn fingerprint(instance: &Instance) -> Vec<Fact> {
     let mut rename: FxHashMap<NullId, NullId> = FxHashMap::default();
     instance
@@ -145,6 +149,12 @@ impl ArrowMCache {
         let mut by_fp: FxHashMap<Vec<Fact>, usize> = FxHashMap::default();
         let mut hom = HomStats::default();
         for i in family {
+            // Construction chases the whole family; per-instance checks
+            // make a deadline or Ctrl-C cut between chases too, not
+            // just inside one.
+            if config.cancel.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
             let c = chase_mapping(i, mapping, vocab, &chase_options)?;
             let outcome = core_of_budgeted(&c, config);
             hom += outcome.stats;
@@ -178,6 +188,13 @@ impl ArrowMCache {
     /// `family[a] →_M family[b]`: `chase_M(a) → chase_M(b)`, answered on
     /// the core representatives and memoized per class pair.
     pub fn arrow(&self, a: usize, b: usize) -> bool {
+        // Resilience-suite injection: a worker that panicked while
+        // holding these locks must not wedge every later query —
+        // `lock_memo`/`lock_stats` recover from the poison.
+        if rde_faults::should_inject("core.arrow.poison") {
+            rde_faults::poison_mutex(&self.memo);
+            rde_faults::poison_mutex(&self.stats);
+        }
         let key = (self.class[a], self.class[b]);
         if let Some(&cached) = self.lock_memo().get(&key) {
             self.lock_stats().hits += 1;
@@ -205,6 +222,10 @@ impl ArrowMCache {
     /// representatives under `config`, memoizing definite verdicts only
     /// (an `Unknown` must stay retryable with a larger budget).
     pub fn arrow_budgeted(&self, a: usize, b: usize, config: &HomConfig) -> Verdict {
+        if rde_faults::should_inject("core.arrow.poison") {
+            rde_faults::poison_mutex(&self.memo);
+            rde_faults::poison_mutex(&self.stats);
+        }
         let key = (self.class[a], self.class[b]);
         if let Some(&cached) = self.lock_memo().get(&key) {
             self.lock_stats().hits += 1;

@@ -25,6 +25,9 @@ pub enum CoreError {
         /// The configured limit.
         limit: usize,
     },
+    /// The operation was cooperatively cancelled (explicit request,
+    /// elapsed deadline, or Ctrl-C).
+    Cancelled,
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +40,7 @@ impl fmt::Display for CoreError {
             CoreError::SearchLimitExceeded { what, limit } => {
                 write!(f, "search limit exceeded: {what} > {limit}")
             }
+            CoreError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }
@@ -52,7 +56,12 @@ impl std::error::Error for CoreError {
 
 impl From<ChaseError> for CoreError {
     fn from(e: ChaseError) -> Self {
-        CoreError::Chase(e)
+        match e {
+            // Cancellation is a property of the whole operation, not of
+            // the particular chase that noticed it first.
+            ChaseError::Cancelled => CoreError::Cancelled,
+            e => CoreError::Chase(e),
+        }
     }
 }
 

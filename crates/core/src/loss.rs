@@ -8,6 +8,7 @@
 //! can enumerate and count — a quantitative, comparable measure.
 
 use rde_deps::SchemaMapping;
+use rde_faults::CancelToken;
 use rde_hom::exists_hom;
 use rde_model::{Instance, Vocabulary};
 
@@ -54,6 +55,19 @@ pub fn information_loss(
     vocab: &mut Vocabulary,
     max_examples: usize,
 ) -> Result<LossReport, CoreError> {
+    information_loss_cancellable(mapping, universe, vocab, max_examples, &CancelToken::default())
+}
+
+/// Like [`information_loss`], but polls `cancel` between census rows
+/// and aborts with [`CoreError::Cancelled`] instead of finishing the
+/// `n²` sweep.
+pub fn information_loss_cancellable(
+    mapping: &SchemaMapping,
+    universe: &Universe,
+    vocab: &mut Vocabulary,
+    max_examples: usize,
+    cancel: &CancelToken,
+) -> Result<LossReport, CoreError> {
     let family = universe
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
@@ -65,6 +79,9 @@ pub fn information_loss(
     let mut lost_pairs = 0usize;
     let mut examples = Vec::new();
     for a in 0..family.len() {
+        if cancel.is_cancelled() {
+            return Err(CoreError::Cancelled);
+        }
         let lost_before = lost_pairs;
         for b in 0..family.len() {
             let hom = exists_hom(&family[a], &family[b]);
@@ -172,7 +189,9 @@ pub fn information_loss_parallel(
             }));
         }
         for h in handles {
-            partials.push(h.join().expect("census worker panicked"));
+            // A worker panic is re-raised with its original payload
+            // rather than wrapped in a second panic here.
+            partials.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
         }
     });
 

@@ -587,6 +587,9 @@ fn canonicalize_rule(vocab: &Vocabulary, dep: &Dependency) -> CanonicalRule {
             best = Some((key, map));
         }
     }
+    // Invariant: even a zero-variable premise has one (empty) ordering,
+    // so the loop above always runs at least once.
+    #[allow(clippy::expect_used)]
     let (key, premise_map) = best.expect("at least one ordering");
 
     let premise = Premise {
@@ -672,6 +675,9 @@ fn merge_rules(rules: Vec<Dependency>, vocab: &Vocabulary) -> Vec<Dependency> {
     order
         .into_iter()
         .map(|key| {
+            // Invariant: `order` only holds keys inserted into `merged`
+            // above, and each key appears in `order` exactly once.
+            #[allow(clippy::expect_used)]
             let rule = merged.remove(&key).expect("key recorded at insert");
             let mut var_names: Vec<String> =
                 (0..rule.premise_vars).map(|i| format!("x{i}")).collect();

@@ -264,6 +264,11 @@ impl<'a> Parser<'a> {
         let mut atoms = Vec::new();
         loop {
             match self.bump() {
+                // `Constant` is reserved for premise guards; accepting it
+                // here would silently declare a relation of that name.
+                Some(Tok::Ident(name)) if name == "Constant" => {
+                    return Err(self.err("`Constant(..)` guards may only appear in premises"))
+                }
                 Some(Tok::Ident(name)) => atoms.push(self.atom_tail(&name)?),
                 other => return Err(self.err(format!("expected an atom, found {other:?}"))),
             }

@@ -1,0 +1,126 @@
+//! Malformed-input corpus for the dependency and mapping parsers.
+//!
+//! Every entry must produce a typed `DepError` — never a panic. The
+//! corpus covers tokenizer damage (half-written operators, unterminated
+//! quotes, foreign characters), parser damage (misplaced connectives,
+//! empty quantifier lists, trailing tokens), mapping-file damage
+//! (missing declarations, bad arities, dangling continuations), and
+//! multi-byte UTF-8 around the tokenizer's character buffer.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rde_deps::{parse_dependency, parse_mapping, DepError};
+use rde_model::Vocabulary;
+
+/// Dependencies that must all be rejected with a typed error.
+const REJECTED_DEPS: &[&str] = &[
+    // Tokenizer damage.
+    "P(x) - Q(x)",
+    "P(x) -! Q(x)",
+    "P(x) != -> Q(x)",
+    "P(x) -> Q('unterminated)",
+    "P(x) @ Q(x)",
+    "P(x) -> Q(x);",
+    // Parser damage.
+    "",
+    "->",
+    "-> Q(x)",
+    "P(x) ->",
+    "P(x) -> ->",
+    "P(x) Q(x)",
+    "P(x) & -> Q(x)",
+    "P(x) -> exists . Q(x)",
+    "P(x) -> exists z Q(x, z)",
+    "P(x) -> exists z, . Q(x, z)",
+    "P(x) -> Q(x) |",
+    "P(x) -> Q(x) | | T(x)",
+    "P(x) -> Q(x) extra(x)",
+    "P(x,) -> Q(x)",
+    "P(x) != Q(x) -> Q(x)",
+    "Constant(x) -> Q(x)", // guard-only premise leaves x unsafe
+    "P(x) -> Constant(x)", // guards may not appear in conclusions
+    "P(x) -> x != y",
+    // Safety and arity.
+    "P(x) -> Q(y)",
+    "P(x) & P(x, y) -> Q(x)",
+];
+
+#[test]
+fn dependency_corpus_is_rejected_with_typed_errors_and_no_panics() {
+    for bad in REJECTED_DEPS {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut vocab = Vocabulary::new();
+            parse_dependency(&mut vocab, bad)
+        }));
+        let result = outcome.unwrap_or_else(|_| panic!("parser panicked on {bad:?}"));
+        assert!(result.is_err(), "{bad:?} should be rejected, parsed to {:?}", result.ok());
+    }
+}
+
+#[test]
+fn zero_arity_dependencies_are_legal() {
+    let mut vocab = Vocabulary::new();
+    let dep = parse_dependency(&mut vocab, "P() -> Q()").unwrap();
+    assert!(dep.is_full());
+}
+
+/// Multi-byte UTF-8 through the tokenizer: identifiers, quoted
+/// constants, and rejected symbols must all respect char boundaries.
+#[test]
+fn multibyte_utf8_never_breaks_the_tokenizer() {
+    let mut vocab = Vocabulary::new();
+    let dep = parse_dependency(&mut vocab, "Pérsonne(x, 'café') -> Ürsprung(x)").unwrap();
+    assert!(vocab.find_constant("café").is_some());
+    assert!(dep.is_full());
+
+    for bad in ["P(x) → Q(x)", "P(x) -> Q(x) ≠", "☃(x) -> Q(x)", "P(x) -> Q('☃)"] {
+        let mut vocab = Vocabulary::new();
+        assert!(parse_dependency(&mut vocab, bad).is_err(), "should reject {bad:?}");
+    }
+}
+
+/// Mapping files that must all be rejected with a typed error.
+const REJECTED_MAPPINGS: &[&str] = &[
+    // Missing or damaged declarations.
+    "P(x) -> Q(x)",
+    "source: P/1\nP(x) -> Q(x)",
+    "target: Q/1\nP(x) -> Q(x)",
+    "source: P\ntarget: Q/1\nP(x) -> Q(x)",
+    "source: P/one\ntarget: Q/1\nP(x) -> Q(x)",
+    "source: P/-1\ntarget: Q/1\nP(x) -> Q(x)",
+    "source: P/99999999999999999999\ntarget: Q/1\nP(x) -> Q(x)",
+    "source: P/1\ntarget: P/2\nP(x) -> P(x, x)",
+    // Dangling continuation at end of file.
+    "source: P/1\ntarget: Q/1\nP(x) ->",
+    "source: P/1\ntarget: Q/1\nP(x) &",
+    "source: P/1\ntarget: Q/1\nP(x) -> Q(x) |",
+    "source: P/1\ntarget: Q/1\nP(x) -> Q(x),",
+    // Schema violations.
+    "source: P/1\ntarget: Q/1\nP(x) -> P(x)",
+    "source: P/1\ntarget: Q/1\nQ(x) -> Q(x)",
+    "source: P/1\ntarget: Q/1\nP(x) -> R(x)",
+];
+
+#[test]
+fn mapping_corpus_is_rejected_with_typed_errors_and_no_panics() {
+    for bad in REJECTED_MAPPINGS {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut vocab = Vocabulary::new();
+            parse_mapping(&mut vocab, bad)
+        }));
+        let result = outcome.unwrap_or_else(|_| panic!("parser panicked on {bad:?}"));
+        assert!(result.is_err(), "{bad:?} should be rejected");
+    }
+}
+
+/// Parse errors point at the first line of the offending statement,
+/// even when the statement spans continuation lines.
+#[test]
+fn errors_carry_the_statements_first_line() {
+    let mut vocab = Vocabulary::new();
+    let text = "source: P/2\ntarget: Q/2\n# comment\nP(x, y) ->\n  Q(x, y) &&\n";
+    match parse_mapping(&mut vocab, text) {
+        Err(DepError::Parse { line, .. }) => assert_eq!(line, 4),
+        other => panic!("expected a parse error anchored at line 4, got {other:?}"),
+    }
+}

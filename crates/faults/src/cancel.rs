@@ -1,0 +1,246 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle the engines poll at
+//! natural granularity boundaries (chase rounds, hom-search node
+//! strides, per-instance cache construction). The default token is
+//! *inert*: it carries no allocation and `is_cancelled()` is a single
+//! `Option` discriminant test, so threading a token through hot paths
+//! costs nothing when cancellation is unused.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The error produced when a cancellation check fires.
+///
+/// Engines wrap this in their own error types (`ChaseError::Cancelled`,
+/// `Exhausted::Cancelled`, `CoreError::Cancelled`); the CLI maps it to
+/// a distinct nonzero exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("operation cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+    /// When set, the process-global SIGINT flag also cancels this token.
+    watch_interrupt: bool,
+}
+
+/// A cloneable cooperative cancellation handle.
+///
+/// Cloning shares the underlying flag: cancelling any clone cancels
+/// them all. `CancelToken::default()` is inert — it can never report
+/// cancelled and costs one pointer-sized `Option` check to poll.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A live token with no deadline; cancels only via [`cancel`].
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+                watch_interrupt: false,
+            })),
+        }
+    }
+
+    /// A live token that reports cancelled once `budget` has elapsed
+    /// (measured from this call).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+                watch_interrupt: false,
+            })),
+        }
+    }
+
+    /// Derive a token that additionally observes the process-global
+    /// interrupt flag set by [`install_interrupt_handler`].
+    ///
+    /// An inert token becomes a live, interrupt-watching one; a live
+    /// token keeps its flag/deadline sharing and gains the watch.
+    /// Because the watch reads a separate global, clones made *before*
+    /// this call do not gain it.
+    pub fn watching_interrupt(&self) -> Self {
+        let (cancelled, deadline) = match &self.inner {
+            Some(inner) => (inner.flag.load(Ordering::SeqCst), inner.deadline),
+            None => (false, None),
+        };
+        CancelToken {
+            inner: Some(Arc::new(Inner {
+                flag: AtomicBool::new(cancelled),
+                deadline,
+                watch_interrupt: true,
+            })),
+        }
+    }
+
+    /// True if this token can never report cancelled.
+    pub fn is_inert(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Request cancellation. Safe to call from any thread; idempotent.
+    /// On an inert token this is a no-op.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Poll for cancellation: explicit [`cancel`], an elapsed deadline,
+    /// or (for interrupt-watching tokens) a delivered SIGINT.
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        if inner.watch_interrupt && interrupted() {
+            inner.flag.store(true, Ordering::SeqCst);
+            return true;
+        }
+        if let Some(deadline) = inner.deadline {
+            if Instant::now() >= deadline {
+                inner.flag.store(true, Ordering::SeqCst);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// [`is_cancelled`] as a `Result`, for `?`-style early returns.
+    ///
+    /// [`is_cancelled`]: CancelToken::is_cancelled
+    pub fn check(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Process-global flag set by the SIGINT handler.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// True once a SIGINT has been delivered to an installed handler.
+pub fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Install a SIGINT handler that sets the process-global interrupt
+/// flag observed by [`CancelToken::watching_interrupt`] tokens.
+///
+/// The handler only stores to an `AtomicBool` (async-signal-safe). A
+/// second SIGINT falls back to the default disposition, so a stuck
+/// process can still be killed with a second Ctrl-C. On non-Unix
+/// platforms this is a no-op. Idempotent.
+pub fn install_interrupt_handler() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sig {
+    use super::INTERRUPTED;
+    use std::sync::atomic::Ordering;
+    use std::sync::Once;
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        // POSIX `signal(2)`. We avoid `sigaction` to keep the FFI
+        // surface to a single libc symbol with a trivial signature.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single atomic store, plus re-arming the
+        // default disposition so a second Ctrl-C kills the process.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub(super) fn install() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_token_is_inert_and_never_cancelled() {
+        let t = CancelToken::default();
+        assert!(t.is_inert());
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+        assert_eq!(u.check(), Err(Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_is_immediately_cancelled() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn distant_deadline_is_not_cancelled() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(!t.is_inert());
+    }
+
+    #[test]
+    fn watching_interrupt_preserves_existing_state() {
+        let t = CancelToken::new();
+        t.cancel();
+        let w = t.watching_interrupt();
+        assert!(w.is_cancelled());
+
+        let inert = CancelToken::default();
+        let w = inert.watching_interrupt();
+        assert!(!w.is_inert());
+        assert!(!w.is_cancelled());
+    }
+}

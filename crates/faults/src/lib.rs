@@ -1,0 +1,30 @@
+//! Cooperative cancellation and deterministic fault injection.
+//!
+//! The chase is the engine under every checker in the paper, and chase
+//! variants routinely run long (or forever) on recursive dependency
+//! sets. This crate is the resilience layer the engines share:
+//!
+//! * [`CancelToken`] — a cloneable cooperative cancellation handle
+//!   (SeqCst flag + optional deadline + optional Ctrl-C watching) that
+//!   the chase checks per round, the homomorphism search per node
+//!   stride, and `ArrowMCache` construction per family instance.
+//! * [`should_inject`] / [`fault_point!`] — seeded deterministic fault
+//!   injection points, compiled out by default and enabled with the
+//!   `fault-inject` feature. The seed-sweep suite under `tests/` drives
+//!   every engine through injected journal I/O errors, poisoned locks,
+//!   and spurious budget exhaustion, asserting that failures stay typed
+//!   `Err`s and never become panics.
+//!
+//! The crate is deliberately zero-dependency: it sits below `rde-obs`,
+//! `rde-hom`, `rde-chase`, and `rde-core` in the crate graph.
+
+#![deny(unsafe_code)] // one vetted exception: the SIGINT FFI in `cancel::sig`
+#![warn(missing_docs)]
+
+mod cancel;
+mod inject;
+
+pub use cancel::{install_interrupt_handler, interrupted, CancelToken, Cancelled};
+pub use inject::{
+    install, poison_mutex, should_inject, uninstall, FaultConfig, FaultReport, PointCount,
+};

@@ -1,0 +1,197 @@
+//! The seed-sweep resilience suite.
+//!
+//! Three injection families — spurious search exhaustion + round
+//! cancellation in the chase, poisoned locks in the arrow cache, and
+//! I/O errors in the journal sink — each swept across 24 deterministic
+//! seeds (72 runs ≥ the 64-seed floor). The invariant under every
+//! seed: engines return typed `Err`s or correct `Ok`s, never panic,
+//! and the observability layer stays internally consistent (valid
+//! JSONL, write counters that add up).
+//!
+//! The injector is process-global, so the three sweeps serialize on a
+//! mutex. Every decision is a pure function of `(seed, point, hit)`:
+//! a failing seed reported by the harness replays exactly.
+#![cfg(feature = "fault-inject")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use rde_chase::{ChaseError, ChaseOptions};
+use rde_core::arrow::ArrowMCache;
+use rde_core::Universe;
+use rde_deps::{parse_dependency, parse_mapping, Dependency};
+use rde_faults::{install, uninstall, FaultConfig};
+use rde_model::{Fact, Instance, Value, Vocabulary};
+use rde_obs::journal::{self, Sink};
+
+/// Seeds per family; 3 × 24 = 72 injection campaigns.
+const SEEDS: u64 = 24;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Transitive closure plus a null-inventing side relation: a genuinely
+/// multi-round chase, so round-level injection points get many hits.
+fn recursive_deps(vocab: &mut Vocabulary) -> Vec<Dependency> {
+    ["E(x,y) -> T(x,y)", "T(x,y) & T(y,z) -> T(x,z)", "T(x,y) -> exists w . S(y, w)"]
+        .iter()
+        .map(|d| parse_dependency(vocab, d).unwrap())
+        .collect()
+}
+
+fn chain(vocab: &mut Vocabulary, n: usize) -> Instance {
+    let rel = vocab.find_relation("E").unwrap();
+    (0..n)
+        .map(|i| {
+            let vals: Vec<Value> = vec![
+                vocab.const_value(&format!("c{i}")),
+                vocab.const_value(&format!("c{}", i + 1)),
+            ];
+            Fact::new(rel, vals)
+        })
+        .collect()
+}
+
+/// Family 1: the chase under spurious hom-search exhaustion
+/// (`hom.search.exhaust`) and round cancellation (`chase.round`),
+/// serial and parallel. Every outcome must be an `Ok` or one of the
+/// two typed errors those points map to — never a panic, never a
+/// mystery variant.
+#[test]
+fn chase_survives_injected_exhaustion_and_cancellation() {
+    let _g = gate();
+    let mut outcomes = [0u64; 3]; // ok, cancelled, exhausted
+    for seed in 0..SEEDS {
+        for threads in [1usize, 4] {
+            let mut vocab = Vocabulary::new();
+            let deps = recursive_deps(&mut vocab);
+            let input = chain(&mut vocab, 4);
+            let options = ChaseOptions { threads, ..ChaseOptions::default() };
+            // Sweep the fire rate from 1/1 (every hit) down to 1/1024
+            // (mostly clean): a multi-round chase evaluates dozens of
+            // points, so a fixed rate would hit an error on every run
+            // and never cover the clean-recovery path.
+            install(FaultConfig::ratio(seed, 1, 1 << (seed % 11), None));
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                rde_chase::chase(&input, &deps, &mut vocab, &options)
+            }));
+            let report = uninstall();
+            let result = result.unwrap_or_else(|_| {
+                panic!("seed {seed}, threads {threads}: chase panicked under injection")
+            });
+            match result {
+                Ok(r) => {
+                    assert!(!r.instance.is_empty());
+                    outcomes[0] += 1;
+                }
+                Err(ChaseError::Cancelled) => outcomes[1] += 1,
+                Err(ChaseError::MatchBudgetExhausted { .. }) => outcomes[2] += 1,
+                Err(other) => {
+                    panic!("seed {seed}, threads {threads}: unexpected error {other}")
+                }
+            }
+            for (name, count) in &report.points {
+                assert!(count.fired <= count.hits, "{name}: fired > hits");
+            }
+        }
+    }
+    // Ratio 1/3 over 48 runs: both error families and at least one
+    // clean run must all occur, or the sweep isn't exercising anything.
+    assert!(outcomes.iter().all(|&n| n > 0), "sweep too one-sided: {outcomes:?}");
+}
+
+/// Family 2: every `arrow()` query under `core.arrow.poison` — the
+/// answers must match a cleanly-built reference cache exactly, because
+/// lock recovery (`PoisonError::into_inner`) preserves the memo's
+/// integrity rather than wedging or corrupting it.
+#[test]
+fn arrow_cache_matches_clean_reference_under_poisoned_locks() {
+    let _g = gate();
+    let mut vocab = Vocabulary::new();
+    let mapping =
+        parse_mapping(&mut vocab, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
+            .unwrap();
+    let universe = Universe::new(&mut vocab, 2, 1, 1);
+    let family = universe.collect_instances(&vocab, &mapping.source).unwrap();
+    let n = family.len();
+    assert!(n >= 4, "universe too small to be interesting");
+
+    let reference = ArrowMCache::new(&mapping, &family, &mut vocab).unwrap();
+    let expected: Vec<Vec<bool>> =
+        (0..n).map(|a| (0..n).map(|b| reference.arrow(a, b)).collect()).collect();
+
+    let mut total_fired = 0u64;
+    for seed in 0..SEEDS {
+        // A fresh cache per seed: its memo starts empty, so poisoned
+        // locks hit both the search path and the memoized path.
+        let cache = ArrowMCache::new(&mapping, &family, &mut vocab).unwrap();
+        install(FaultConfig::ratio(seed, 1, 2, Some("core.arrow")));
+        let answers = catch_unwind(AssertUnwindSafe(|| {
+            (0..n).map(|a| (0..n).map(|b| cache.arrow(a, b)).collect()).collect::<Vec<Vec<bool>>>()
+        }));
+        let report = uninstall();
+        let answers =
+            answers.unwrap_or_else(|_| panic!("seed {seed}: arrow query panicked under poison"));
+        assert_eq!(answers, expected, "seed {seed}: poisoned cache disagrees with reference");
+        let point = report.point("core.arrow.poison").expect("poison point evaluated");
+        assert_eq!(point.hits, (n * n) as u64, "every query consults the injector");
+        total_fired += point.fired;
+    }
+    assert!(total_fired > 0, "ratio 1/2 across {SEEDS} seeds must poison at least once");
+}
+
+/// Family 3: the file journal under `obs.journal.write` I/O faults.
+/// Whole records are dropped, never split: the file must hold exactly
+/// `written - io_errors` lines, each one valid JSON, and the injector's
+/// fire count must equal the summary's error count.
+#[test]
+fn journal_stays_valid_jsonl_under_injected_write_errors() {
+    let _g = gate();
+    let path = std::env::temp_dir().join(format!("rde-sweep-journal-{}.jsonl", std::process::id()));
+    for seed in 0..SEEDS {
+        journal::install(Sink::File(path.clone()), 1 << 16).expect("file sink installs");
+        install(FaultConfig::ratio(seed, 1, 4, Some("obs.journal")));
+        let events = 40u64;
+        {
+            let root = rde_obs::span("sweep.root", &[("seed", seed.into())]);
+            for i in 0..events {
+                rde_obs::event("sweep.tick", &[("i", i.into())]);
+            }
+            root.close_with(&[("events", events.into())]);
+        }
+        let report = uninstall();
+        let summary = journal::uninstall().expect("journal was installed");
+
+        assert_eq!(summary.written as u64, events + 2, "root open + close + events");
+        assert_eq!(summary.dropped, 0);
+        let hits = report.point("obs.journal.write").map_or(0, |c| c.hits);
+        assert_eq!(hits, summary.written as u64, "every write consults the injector");
+        assert_eq!(report.total_fired(), summary.io_errors, "fires and io_errors must agree");
+
+        let text = std::fs::read_to_string(&path).expect("journal file readable");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len() as u64,
+            summary.written as u64 - summary.io_errors,
+            "seed {seed}: lines must equal written - io_errors"
+        );
+        let mut opens = 0u64;
+        let mut closes = 0u64;
+        for line in &lines {
+            assert!(rde_obs::json::is_valid(line), "seed {seed}: malformed JSONL: {line}");
+            if line.contains("\"kind\":\"span_open\"") {
+                opens += 1;
+            }
+            if line.contains("\"kind\":\"span_close\"") {
+                closes += 1;
+            }
+        }
+        if summary.io_errors == 0 {
+            assert_eq!((opens, closes), (1, 1), "seed {seed}: spans must balance");
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -18,6 +18,7 @@
 
 use std::time::{Duration, Instant};
 
+use rde_faults::CancelToken;
 use rde_model::fx::FxHashMap;
 use rde_model::{Instance, NullId, RelationData, Substitution, Value};
 
@@ -57,11 +58,23 @@ pub struct HomConfig {
     /// Dynamically pick the next source fact with the fewest candidates
     /// (`false` = fixed left-to-right order).
     pub dynamic_order: bool,
+    /// Cooperative cancellation handle, polled at search entry and then
+    /// every [`TIME_CHECK_STRIDE`] nodes alongside the deadline check.
+    /// A cancelled search reports [`Exhausted::Cancelled`]. The default
+    /// token is inert (can never cancel) and costs one pointer-sized
+    /// check per poll.
+    pub cancel: CancelToken,
 }
 
 impl Default for HomConfig {
     fn default() -> Self {
-        HomConfig { node_budget: None, time_budget: None, use_index: true, dynamic_order: true }
+        HomConfig {
+            node_budget: None,
+            time_budget: None,
+            use_index: true,
+            dynamic_order: true,
+            cancel: CancelToken::default(),
+        }
     }
 }
 
@@ -226,8 +239,19 @@ impl CompiledPattern {
             exhausted: None,
             on_found,
         };
-        let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
-        searcher.solve(&mut remaining);
+        // Entry checks give cancellation a per-*search* granularity even
+        // when every individual search is far shorter than one node
+        // stride (the chase fires thousands of tiny premise matches).
+        // The injection point simulates spurious budget exhaustion for
+        // the resilience suite; both paths still flush metrics below.
+        if rde_faults::should_inject("hom.search.exhaust") {
+            searcher.exhausted = Some(Exhausted::Nodes(0));
+        } else if config.cancel.is_cancelled() {
+            searcher.exhausted = Some(Exhausted::Cancelled);
+        } else {
+            let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
+            searcher.solve(&mut remaining);
+        }
         // Every homomorphism search in the system (chase premise
         // matching, hom deciders, core minimization) funnels through
         // here, so this is the single metrics flush point for the
@@ -311,11 +335,16 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
                     return true;
                 }
             }
-            if let Some(deadline) = self.deadline {
-                if self.stats.nodes.is_multiple_of(TIME_CHECK_STRIDE) && Instant::now() >= deadline
-                {
-                    let budget = self.config.time_budget.unwrap_or_default();
-                    self.exhausted = Some(Exhausted::Time(budget));
+            if self.stats.nodes.is_multiple_of(TIME_CHECK_STRIDE) {
+                if let Some(deadline) = self.deadline {
+                    if Instant::now() >= deadline {
+                        let budget = self.config.time_budget.unwrap_or_default();
+                        self.exhausted = Some(Exhausted::Time(budget));
+                        return true;
+                    }
+                }
+                if self.config.cancel.is_cancelled() {
+                    self.exhausted = Some(Exhausted::Cancelled);
                     return true;
                 }
             }

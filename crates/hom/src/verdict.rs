@@ -23,6 +23,10 @@ pub enum Exhausted {
     /// The wall-clock budget ran out (see
     /// [`HomConfig::time_budget`](crate::HomConfig::time_budget)).
     Time(Duration),
+    /// The search was cooperatively cancelled (see
+    /// [`HomConfig::cancel`](crate::HomConfig::cancel)) — by an explicit
+    /// request, an elapsed external deadline, or Ctrl-C.
+    Cancelled,
 }
 
 impl fmt::Display for Exhausted {
@@ -30,6 +34,7 @@ impl fmt::Display for Exhausted {
         match self {
             Exhausted::Nodes(n) => write!(f, "node budget of {n} exhausted"),
             Exhausted::Time(d) => write!(f, "time budget of {d:?} exhausted"),
+            Exhausted::Cancelled => write!(f, "cancelled"),
         }
     }
 }

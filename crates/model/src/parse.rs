@@ -57,7 +57,7 @@ fn parse_fact_line(vocab: &mut Vocabulary, line: &str, lineno: usize) -> Result<
     let err = |message: String| ModelError::Parse { line: lineno, message };
     let open = line.find('(').ok_or_else(|| err("expected `(` after relation name".into()))?;
     let name = line[..open].trim();
-    if name.is_empty() || !name.chars().next().unwrap().is_alphabetic() {
+    if !name.chars().next().is_some_and(char::is_alphabetic) {
         return Err(err(format!("invalid relation name `{name}`")));
     }
     if !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
@@ -127,6 +127,11 @@ pub fn parse_value(
         let inner = stripped
             .strip_suffix('\'')
             .ok_or_else(|| err(format!("unterminated quote in `{token}`")))?;
+        // The comma/comment scanners toggle on every `'`, so a quote
+        // inside the quotes (as in `'''`) is always mismatched nesting.
+        if inner.contains('\'') {
+            return Err(err(format!("stray quote in `{token}`")));
+        }
         return Ok(Value::Const(vocab.constant(inner)));
     }
     if token.chars().all(|c| c.is_alphanumeric() || c == '_') {

@@ -156,6 +156,26 @@ impl Vocabulary {
     pub fn null_count(&self) -> usize {
         self.nulls.len()
     }
+
+    /// Resynchronize the anonymous-null high-water mark to `count`,
+    /// for resuming a chase from a checkpoint: a crashed run may have
+    /// invented fresh nulls past the snapshot (roll them back), or a
+    /// fresh process may not have invented them yet (roll forward).
+    ///
+    /// Returns `false` without changing anything if rolling back would
+    /// drop a *named* null — named nulls are interned from user input
+    /// and carry identity a checkpoint cannot recreate.
+    pub fn resync_null_count(&mut self, count: usize) -> bool {
+        if self.nulls.len() > count {
+            if self.nulls[count..].iter().any(Option::is_some) {
+                return false;
+            }
+            self.nulls.truncate(count);
+        } else {
+            self.nulls.resize(count, None);
+        }
+        true
+    }
 }
 
 #[cfg(test)]

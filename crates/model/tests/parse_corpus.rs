@@ -1,0 +1,110 @@
+//! Hostile-input corpus for the instance parser.
+//!
+//! `format_corpus.rs` checks that malformed inputs fail with accurate
+//! line numbers; this suite checks the stronger property that they fail
+//! *safely*: every entry runs under `catch_unwind` and must produce a
+//! typed `ModelError` — never a panic, never a silent partial parse. It
+//! leans on the places a hand-rolled parser typically slips: byte-index
+//! slicing around multi-byte UTF-8, quote/comment interaction, empty
+//! tokens, and pathological repetition.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rde_model::{parse::parse_instance, ModelError, Vocabulary};
+
+/// Inputs that must all be rejected with `ModelError::Parse`.
+const REJECTED: &[&str] = &[
+    // Structural damage.
+    "P(a",
+    "P a)",
+    "P)",
+    "(a, b)",
+    "P(a))",
+    "P(a) trailing",
+    "P(a)(b)",
+    // Relation-name damage.
+    "1P(a)",
+    "_P(a)",
+    "?P(a)",
+    "P Q(a)",
+    "P-Q(a)",
+    "😀(a)",
+    // Value damage.
+    "P(?)",
+    "P(? x)",
+    "P(?x?y)",
+    "P(a b)",
+    "P(a-b)",
+    "P(,)",
+    "P(a,)",
+    "P(,a)",
+    "P(a,,b)",
+    "P('unterminated)",
+    "P('a'b)",
+    "P(''')",
+    // Comment/quote interaction: the `#` is inside the quote, so the
+    // quote never terminates on this line.
+    "P('value # unterminated)",
+    // Arity conflict across lines.
+    "P(a)\nP(a, b)",
+];
+
+#[test]
+fn corpus_is_rejected_with_typed_errors_and_no_panics() {
+    for bad in REJECTED {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut vocab = Vocabulary::new();
+            parse_instance(&mut vocab, bad)
+        }));
+        let result = outcome.unwrap_or_else(|_| panic!("parser panicked on {bad:?}"));
+        match result {
+            Err(ModelError::Parse { line, .. }) => assert!(line >= 1, "no line number for {bad:?}"),
+            Err(other) => panic!("{bad:?}: expected a parse error, got {other:?}"),
+            Ok(instance) => panic!("{bad:?}: accepted as {} fact(s)", instance.len()),
+        }
+    }
+}
+
+/// Multi-byte UTF-8 near every slicing boundary: relation names, bare
+/// constants, quoted constants, comments. Valid inputs must parse;
+/// invalid ones must error on a character boundary, not panic mid-char.
+#[test]
+fn multibyte_utf8_never_breaks_slicing() {
+    let accepted = [
+        "Ünïcode(ä, ö)",
+        "P(ναι)",
+        "P('héllo, wörld')",
+        "P(a) # commenté ✓",
+        "P('#नहीं a comment')",
+    ];
+    for good in accepted {
+        let mut vocab = Vocabulary::new();
+        let instance = parse_instance(&mut vocab, good)
+            .unwrap_or_else(|e| panic!("should accept {good:?}: {e}"));
+        assert_eq!(instance.len(), 1);
+    }
+    let rejected = ["P(ä ö)", "Ü(a", "P('ä)", "日本語(a)┐("];
+    for bad in rejected {
+        let mut vocab = Vocabulary::new();
+        assert!(parse_instance(&mut vocab, bad).is_err(), "should reject {bad:?}");
+    }
+}
+
+/// Pathological sizes: a very long line, a very wide fact, and deep
+/// comment/blank padding. All linear constructs — they must parse (or
+/// error) quickly and without exhausting the stack.
+#[test]
+fn pathological_sizes_stay_linear() {
+    let mut vocab = Vocabulary::new();
+    let wide = format!("P({})", (0..2_000).map(|i| format!("c{i}")).collect::<Vec<_>>().join(", "));
+    assert_eq!(parse_instance(&mut vocab, &wide).unwrap().len(), 1);
+
+    let long_name = "x".repeat(100_000);
+    let mut vocab = Vocabulary::new();
+    assert!(parse_instance(&mut vocab, &format!("P({long_name})")).is_ok());
+    assert!(parse_instance(&mut vocab, &format!("P({long_name}")).is_err());
+
+    let padded = format!("{}P(a)\n", "# noise\n\n".repeat(10_000));
+    let mut vocab = Vocabulary::new();
+    assert_eq!(parse_instance(&mut vocab, &padded).unwrap().len(), 1);
+}

@@ -191,11 +191,33 @@ impl Record {
 pub enum Sink {
     /// Append JSON lines to a file (created/truncated at install).
     File(std::path::PathBuf),
+    /// Like [`Sink::File`], but rotate the file once it would exceed
+    /// `max_bytes`: `path` is renamed to `path.1`, `path.1` to
+    /// `path.2`, … keeping at most `keep` rotated files. Records are
+    /// never split across files, so every file stays valid JSONL.
+    Rotating {
+        /// Path of the live journal file.
+        path: std::path::PathBuf,
+        /// Size threshold (bytes) that triggers rotation. A record that
+        /// would push the live file past this bound rotates first; a
+        /// single record larger than the bound still gets its own file.
+        max_bytes: u64,
+        /// How many rotated files (`path.1` … `path.keep`) to retain.
+        /// `0` discards the old file on rotation.
+        keep: usize,
+    },
     /// Write JSON lines to stderr.
     Stderr,
     /// Retain structured [`Record`]s in memory; collect them with
     /// [`uninstall`].
     Memory,
+}
+
+impl Sink {
+    /// A size-capped rotating file sink (see [`Sink::Rotating`]).
+    pub fn rotating(path: impl Into<std::path::PathBuf>, max_bytes: u64, keep: usize) -> Self {
+        Sink::Rotating { path: path.into(), max_bytes, keep }
+    }
 }
 
 /// What [`uninstall`] hands back.
@@ -207,6 +229,10 @@ pub struct JournalSummary {
     pub written: usize,
     /// Records dropped by the capacity bound.
     pub dropped: u64,
+    /// Records lost to I/O errors on the sink. Whole records are
+    /// skipped on error, so the file contents stay valid JSONL; a file
+    /// sink holds exactly `written - io_errors` lines.
+    pub io_errors: u64,
 }
 
 #[cfg(feature = "trace")]
@@ -220,8 +246,63 @@ mod imp {
 
     enum Out {
         File(std::io::BufWriter<std::fs::File>),
+        Rotating(Rotating),
         Stderr,
         Memory(Vec<Record>),
+    }
+
+    /// A size-capped file writer that shifts `path` → `path.1` → …
+    /// → `path.keep` whenever the live file would exceed `max_bytes`.
+    struct Rotating {
+        w: std::io::BufWriter<std::fs::File>,
+        path: std::path::PathBuf,
+        max_bytes: u64,
+        keep: usize,
+        /// Bytes written to the live file so far.
+        bytes: u64,
+    }
+
+    impl Rotating {
+        fn open(path: std::path::PathBuf, max_bytes: u64, keep: usize) -> std::io::Result<Self> {
+            let w = std::io::BufWriter::new(std::fs::File::create(&path)?);
+            Ok(Rotating { w, path, max_bytes, keep, bytes: 0 })
+        }
+
+        fn rotated(&self, i: usize) -> std::path::PathBuf {
+            let mut s = self.path.as_os_str().to_owned();
+            s.push(format!(".{i}"));
+            std::path::PathBuf::from(s)
+        }
+
+        fn rotate(&mut self) -> std::io::Result<()> {
+            self.w.flush()?;
+            if self.keep == 0 {
+                // No history retained: truncate in place.
+                self.w = std::io::BufWriter::new(std::fs::File::create(&self.path)?);
+                self.bytes = 0;
+                return Ok(());
+            }
+            for i in (1..self.keep).rev() {
+                let from = self.rotated(i);
+                if from.exists() {
+                    std::fs::rename(&from, self.rotated(i + 1))?;
+                }
+            }
+            std::fs::rename(&self.path, self.rotated(1))?;
+            self.w = std::io::BufWriter::new(std::fs::File::create(&self.path)?);
+            self.bytes = 0;
+            Ok(())
+        }
+
+        fn write_line(&mut self, line: &str) -> std::io::Result<()> {
+            let len = line.len() as u64 + 1;
+            if self.bytes > 0 && self.bytes + len > self.max_bytes {
+                self.rotate()?;
+            }
+            writeln!(self.w, "{line}")?;
+            self.bytes += len;
+            Ok(())
+        }
     }
 
     struct State {
@@ -229,6 +310,7 @@ mod imp {
         capacity: usize,
         written: usize,
         dropped: u64,
+        io_errors: u64,
     }
 
     static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -250,6 +332,9 @@ mod imp {
     pub(super) fn install(sink: Sink, capacity: usize) -> std::io::Result<()> {
         let out = match sink {
             Sink::File(path) => Out::File(std::io::BufWriter::new(std::fs::File::create(path)?)),
+            Sink::Rotating { path, max_bytes, keep } => {
+                Out::Rotating(Rotating::open(path, max_bytes, keep)?)
+            }
             Sink::Stderr => Out::Stderr,
             Sink::Memory => Out::Memory(Vec::new()),
         };
@@ -257,7 +342,7 @@ mod imp {
         if let Some(old) = guard.take() {
             finish(old);
         }
-        *guard = Some(State { out, capacity, written: 0, dropped: 0 });
+        *guard = Some(State { out, capacity, written: 0, dropped: 0, io_errors: 0 });
         ACTIVE.store(true, Ordering::Relaxed);
         Ok(())
     }
@@ -275,38 +360,47 @@ mod imp {
                 elapsed_us: None,
                 fields: vec![("dropped".to_owned(), OwnedField::U64(state.dropped))],
             };
-            write_record(&mut state.out, marker);
+            if write_record(&mut state.out, marker).is_err() {
+                state.io_errors += 1;
+            }
         }
-        match state.out {
+        let records = match state.out {
             Out::File(mut w) => {
                 let _ = w.flush();
-                JournalSummary {
-                    records: Vec::new(),
-                    written: state.written,
-                    dropped: state.dropped,
-                }
+                Vec::new()
             }
-            Out::Stderr => JournalSummary {
-                records: Vec::new(),
-                written: state.written,
-                dropped: state.dropped,
-            },
-            Out::Memory(records) => {
-                JournalSummary { records, written: state.written, dropped: state.dropped }
+            Out::Rotating(mut rot) => {
+                let _ = rot.w.flush();
+                Vec::new()
             }
+            Out::Stderr => Vec::new(),
+            Out::Memory(records) => records,
+        };
+        JournalSummary {
+            records,
+            written: state.written,
+            dropped: state.dropped,
+            io_errors: state.io_errors,
         }
     }
 
-    fn write_record(out: &mut Out, record: Record) {
+    /// Write one record to the sink. On error the whole record is
+    /// skipped (never a partial line), so file sinks stay valid JSONL;
+    /// callers count the loss in `State::io_errors`.
+    fn write_record(out: &mut Out, record: Record) -> std::io::Result<()> {
+        rde_faults::fault_point!(
+            "obs.journal.write",
+            std::io::Error::other("injected journal write failure")
+        );
         match out {
-            Out::File(w) => {
-                let _ = writeln!(w, "{}", record.to_json_line());
-            }
+            Out::File(w) => writeln!(w, "{}", record.to_json_line())?,
+            Out::Rotating(rot) => rot.write_line(&record.to_json_line())?,
             Out::Stderr => {
                 eprintln!("{}", record.to_json_line());
             }
             Out::Memory(v) => v.push(record),
         }
+        Ok(())
     }
 
     pub(super) fn uninstall() -> Option<JournalSummary> {
@@ -317,8 +411,14 @@ mod imp {
 
     pub(super) fn flush() {
         let mut guard = lock();
-        if let Some(State { out: Out::File(w), .. }) = guard.as_mut() {
-            let _ = w.flush();
+        match guard.as_mut() {
+            Some(State { out: Out::File(w), .. }) => {
+                let _ = w.flush();
+            }
+            Some(State { out: Out::Rotating(rot), .. }) => {
+                let _ = rot.w.flush();
+            }
+            _ => {}
         }
     }
 
@@ -352,7 +452,9 @@ mod imp {
             elapsed_us,
             fields: fields.iter().map(|&(k, v)| (k.to_owned(), v.into())).collect(),
         };
-        write_record(&mut state.out, record);
+        if write_record(&mut state.out, record).is_err() {
+            state.io_errors += 1;
+        }
     }
 }
 

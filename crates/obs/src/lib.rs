@@ -31,6 +31,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors, not panics; the
+// seed-sweep suite in rde-faults depends on it. Test modules are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod journal;
 pub mod json;

@@ -1,0 +1,143 @@
+//! Rotating file sink: records spill across size-capped files, every
+//! file is valid JSONL, no record is lost or split, and at most `keep`
+//! rotated files survive.
+//!
+//! The journal is process-global, so the tests in this file serialize
+//! on a mutex instead of relying on cargo's per-test threads.
+#![cfg(feature = "trace")]
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use rde_obs::journal::{self, Sink};
+use rde_obs::{event, json};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn rotated(path: &Path, i: usize) -> PathBuf {
+    let mut s = path.as_os_str().to_owned();
+    s.push(format!(".{i}"));
+    PathBuf::from(s)
+}
+
+fn read_lines(path: &Path) -> Vec<String> {
+    std::fs::read_to_string(path).unwrap_or_default().lines().map(str::to_owned).collect()
+}
+
+fn cleanup(path: &Path, keep: usize) {
+    std::fs::remove_file(path).ok();
+    for i in 1..=keep + 2 {
+        std::fs::remove_file(rotated(path, i)).ok();
+    }
+}
+
+#[test]
+fn rotation_preserves_every_record_across_files() {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = std::env::temp_dir().join(format!("rde-rotate-{}.jsonl", std::process::id()));
+    let keep = 3;
+    cleanup(&path, keep);
+
+    // Each record is ~60 bytes; a 256-byte cap forces several
+    // rotations over 40 records, but `keep` bounds how many survive.
+    journal::install(Sink::rotating(&path, 256, keep), usize::MAX).expect("sink installs");
+    let total = 40u64;
+    for i in 0..total {
+        event("test.rotate", &[("i", i.into()), ("pad", "xxxxxxxxxxxxxxxx".into())]);
+    }
+    let summary = journal::uninstall().expect("journal was installed");
+    assert_eq!(summary.written as u64, total);
+    assert_eq!(summary.dropped, 0);
+    assert_eq!(summary.io_errors, 0);
+
+    // The live file plus the rotated generations, newest first.
+    let mut files = vec![path.clone()];
+    for i in 1..=keep {
+        let p = rotated(&path, i);
+        assert!(p.exists(), "expected rotated file {}", p.display());
+        files.push(p);
+    }
+    assert!(!rotated(&path, keep + 1).exists(), "rotation must retain at most {keep} files");
+
+    // Every retained line is valid JSON and under the size cap per file.
+    let mut indices: Vec<u64> = Vec::new();
+    for file in &files {
+        let lines = read_lines(file);
+        assert!(!lines.is_empty(), "empty journal file {}", file.display());
+        let bytes: usize = lines.iter().map(|l| l.len() + 1).sum();
+        assert!(bytes <= 256, "{} exceeds the size cap ({bytes} bytes)", file.display());
+        for line in &lines {
+            assert!(json::is_valid(line), "invalid JSON line: {line}");
+        }
+        // Files are newest-first, so prepend this file's indices.
+        let mut chunk: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let rec: Vec<&str> = l.split("\"i\":").collect();
+                rec[1].split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().unwrap()
+            })
+            .collect();
+        chunk.extend(indices);
+        indices = chunk;
+    }
+
+    // The retained tail is a contiguous, in-order suffix of 0..total —
+    // rotation dropped only the oldest generations, never a middle
+    // record and never a partial line.
+    let first = indices[0];
+    let expected: Vec<u64> = (first..total).collect();
+    assert_eq!(indices, expected, "retained records must be a contiguous suffix");
+
+    cleanup(&path, keep);
+}
+
+#[test]
+fn keep_zero_discards_history_but_keeps_the_live_file_valid() {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = std::env::temp_dir().join(format!("rde-rotate0-{}.jsonl", std::process::id()));
+    cleanup(&path, 0);
+
+    journal::install(Sink::rotating(&path, 128, 0), usize::MAX).expect("sink installs");
+    for i in 0..30u64 {
+        event("test.rotate", &[("i", i.into())]);
+    }
+    let summary = journal::uninstall().expect("journal was installed");
+    assert_eq!(summary.written, 30);
+    assert_eq!(summary.io_errors, 0);
+
+    assert!(!rotated(&path, 1).exists(), "keep=0 must not create rotated files");
+    let lines = read_lines(&path);
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert!(json::is_valid(line), "invalid JSON line: {line}");
+    }
+
+    cleanup(&path, 0);
+}
+
+#[test]
+fn oversized_record_still_lands_in_its_own_file() {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let path = std::env::temp_dir().join(format!("rde-rotate-big-{}.jsonl", std::process::id()));
+    cleanup(&path, 2);
+
+    journal::install(Sink::rotating(&path, 64, 2), usize::MAX).expect("sink installs");
+    let big = "y".repeat(200);
+    event("test.small", &[]);
+    event("test.big", &[("pad", big.as_str().into())]);
+    let summary = journal::uninstall().expect("journal was installed");
+    assert_eq!(summary.written, 2);
+    assert_eq!(summary.io_errors, 0);
+
+    // The small record rotated out; the oversized one owns the live
+    // file in full (records are never split).
+    let live = read_lines(&path);
+    assert_eq!(live.len(), 1);
+    assert!(live[0].contains("test.big"));
+    assert!(json::is_valid(&live[0]));
+    let prev = read_lines(&rotated(&path, 1));
+    assert_eq!(prev.len(), 1);
+    assert!(prev[0].contains("test.small"));
+
+    cleanup(&path, 2);
+}
