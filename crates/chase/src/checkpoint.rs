@@ -137,9 +137,15 @@ fn enc_fact(out: &mut String, tag: &str, fact: &Fact) {
 }
 
 /// Write a snapshot atomically. The `chase.checkpoint.write` injection
-/// point simulates an I/O failure for the resilience suite.
-pub(crate) fn save(path: &Path, snap: &SnapshotRef<'_>) -> Result<(), ChaseError> {
+/// point (scoped to the calling chase's context) simulates an I/O
+/// failure for the resilience suite.
+pub(crate) fn save(
+    path: &Path,
+    injector: &rde_faults::FaultInjector,
+    snap: &SnapshotRef<'_>,
+) -> Result<(), ChaseError> {
     rde_faults::fault_point!(
+        injector,
         "chase.checkpoint.write",
         malformed("injected checkpoint write failure")
     );
@@ -469,7 +475,7 @@ mod tests {
             provenance: &provenance,
         };
         let path = tmp_path("roundtrip");
-        save(&path, &snap).unwrap();
+        save(&path, &rde_faults::FaultInjector::inert(), &snap).unwrap();
         let loaded = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
@@ -504,7 +510,7 @@ mod tests {
             provenance: &[],
         };
         let path = tmp_path("none");
-        save(&path, &snap).unwrap();
+        save(&path, &rde_faults::FaultInjector::inert(), &snap).unwrap();
         let loaded = load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert!(loaded.delta.is_none());
@@ -532,7 +538,7 @@ mod tests {
                 round_stats: &[],
                 provenance: &[],
             };
-            save(path, &snap).unwrap();
+            save(path, &rde_faults::FaultInjector::inert(), &snap).unwrap();
             let bytes = std::fs::read(path).unwrap();
             std::fs::remove_file(path).ok();
             bytes
@@ -570,7 +576,7 @@ mod tests {
             provenance: &[],
         };
         let path = tmp_path("trunc");
-        save(&path, &snap).unwrap();
+        save(&path, &rde_faults::FaultInjector::inert(), &snap).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let cut = text.len() / 2;
         std::fs::write(&path, &text[..cut]).unwrap();

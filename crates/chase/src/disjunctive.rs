@@ -10,6 +10,7 @@
 //! (Theorem 6.5) are stated about.
 
 use rde_deps::Dependency;
+use rde_faults::ExecContext;
 use rde_model::fx::FxHashSet;
 use rde_model::{Instance, Value, Vocabulary};
 
@@ -38,6 +39,13 @@ pub struct DisjunctiveChaseOptions {
     /// harmless to conditions (1)–(2). Off by default because
     /// Definition 6.1 is stated on the raw leaf set.
     pub prune_subsumed: bool,
+    /// Scoped execution context. Its cancel token is polled once per
+    /// branch popped off the work list (the reverse chase branches
+    /// exponentially, so per-branch granularity bounds the overshoot);
+    /// its fault injector drives the `chase.disj.branch` injection
+    /// point. A cancelled run returns [`ChaseError::Cancelled`]. Inert
+    /// by default.
+    pub ctx: ExecContext,
 }
 
 impl Default for DisjunctiveChaseOptions {
@@ -48,6 +56,7 @@ impl Default for DisjunctiveChaseOptions {
             max_steps: 1_000_000,
             threads: 1,
             prune_subsumed: false,
+            ctx: ExecContext::default(),
         }
     }
 }
@@ -108,6 +117,14 @@ pub fn disjunctive_chase(
     let mut leaves: Vec<Instance> = Vec::new();
 
     while let Some(branch) = work.pop() {
+        // Per-branch cancellation and fault injection: the branching
+        // loop is the disjunctive chase's hot loop, mirroring the
+        // standard chase's per-round check.
+        if options.ctx.should_inject("chase.disj.branch") || options.ctx.is_cancelled() {
+            rde_obs::counter!("chase.disj.cancelled").inc();
+            rde_obs::event("chase.disj.cancelled", &[("steps", steps.into())]);
+            return Err(ChaseError::Cancelled);
+        }
         match next_trigger(&branch, &plans, options.threads) {
             None => leaves.push(branch.instance),
             Some((di, vals)) => {

@@ -36,8 +36,9 @@ pub enum ChaseError {
         budget: Exhausted,
     },
     /// The run was cooperatively cancelled (explicit request, elapsed
-    /// deadline, or Ctrl-C) via `ChaseOptions::cancel`. Checked at
-    /// round granularity, and propagated from any cancelled
+    /// deadline, or Ctrl-C) via `ChaseOptions::ctx` (per branch via
+    /// `DisjunctiveChaseOptions::ctx` in the disjunctive chase).
+    /// Checked at round granularity, and propagated from any cancelled
     /// homomorphism search inside the round.
     Cancelled,
     /// A collection worker thread panicked. The panic payload is

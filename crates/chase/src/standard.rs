@@ -24,7 +24,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use rde_deps::{Dependency, SchemaMapping};
-use rde_faults::CancelToken;
+use rde_faults::ExecContext;
 use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::fx::FxHashSet;
 use rde_model::{Fact, Instance, Value, Vocabulary};
@@ -87,12 +87,14 @@ pub struct ChaseOptions {
     /// [`ChaseError::MatchBudgetExhausted`] rather than an unsound
     /// result.
     pub hom: HomConfig,
-    /// Cooperative cancellation, checked at the top of every round and
-    /// propagated into the round's homomorphism searches (unless
-    /// [`ChaseOptions::hom`] already carries its own live token). A
-    /// cancelled run returns [`ChaseError::Cancelled`]. Inert by
-    /// default.
-    pub cancel: CancelToken,
+    /// Scoped execution context for this chase. Its cancel token is
+    /// checked at the top of every round and propagated into the
+    /// round's homomorphism searches (unless [`ChaseOptions::hom`]
+    /// already carries its own live context); its fault injector
+    /// drives the `chase.round` and `chase.checkpoint.write` injection
+    /// points. A cancelled run returns [`ChaseError::Cancelled`].
+    /// Inert by default.
+    pub ctx: ExecContext,
     /// Write a resumable snapshot of the round state every N completed
     /// rounds (see [`CheckpointPolicy`]). Off by default.
     pub checkpoint: Option<CheckpointPolicy>,
@@ -112,7 +114,7 @@ impl Default for ChaseOptions {
             max_facts: 1_000_000,
             trace: false,
             hom: HomConfig::default(),
-            cancel: CancelToken::default(),
+            ctx: ExecContext::default(),
             checkpoint: None,
             resume_from: None,
         }
@@ -320,10 +322,22 @@ pub fn chase(
         })
         .collect();
 
-    let run_span = rde_obs::span(
-        "chase.run",
-        &[("deps", plans.len().into()), ("facts_in", instance.len().into())],
-    );
+    // The context's scope label rides on the run span, so one journal
+    // shared by many contexts can be demultiplexed per context.
+    let run_span = match options.ctx.scope.as_deref() {
+        Some(scope) => rde_obs::span(
+            "chase.run",
+            &[
+                ("deps", plans.len().into()),
+                ("facts_in", instance.len().into()),
+                ("scope", scope.into()),
+            ],
+        ),
+        None => rde_obs::span(
+            "chase.run",
+            &[("deps", plans.len().into()), ("facts_in", instance.len().into())],
+        ),
+    };
     let mut current = instance.clone();
     let mut fired_keys: Vec<FxHashSet<Vec<Value>>> = vec![FxHashSet::default(); plans.len()];
     let mut fired: u64 = 0;
@@ -335,13 +349,15 @@ pub fn chase(
     // first round, and every round under the naive strategy).
     let mut delta: Option<Vec<Fact>> = None;
     let semi_naive = options.strategy == ChaseStrategy::SemiNaive;
-    // The round's hom searches inherit the chase's cancel token, so
+    // The round's hom searches inherit the chase's context, so
     // cancellation also cuts *within* a round at node-stride
-    // granularity. An explicit token on `options.hom` wins.
-    let hom_cfg = if options.cancel.is_inert() || !options.hom.cancel.is_inert() {
-        options.hom.clone()
+    // granularity and the scoped injector reaches the
+    // `hom.search.exhaust` point. An explicit context on `options.hom`
+    // wins.
+    let hom_cfg = if options.hom.ctx.is_inert() {
+        HomConfig { ctx: options.ctx.clone(), ..options.hom.clone() }
     } else {
-        HomConfig { cancel: options.cancel.clone(), ..options.hom.clone() }
+        options.hom.clone()
     };
     if let Some(path) = &options.resume_from {
         let snap = checkpoint::load(path)?;
@@ -373,7 +389,7 @@ pub fn chase(
         );
     }
     loop {
-        if rde_faults::should_inject("chase.round") || options.cancel.is_cancelled() {
+        if options.ctx.should_inject("chase.round") || options.ctx.is_cancelled() {
             rde_obs::counter!("chase.cancelled").inc();
             rde_obs::event("chase.cancelled", &[("round", rounds.into())]);
             return Err(ChaseError::Cancelled);
@@ -616,6 +632,7 @@ pub fn chase(
             if policy.every > 0 && rounds.is_multiple_of(policy.every) {
                 checkpoint::save(
                     &policy.path,
+                    &options.ctx.injector,
                     &SnapshotRef {
                         rounds,
                         fired,
@@ -978,16 +995,17 @@ mod tests {
         // Divergent without a budget: cancellation is the only way out.
         let dep = rde_deps::parse_dependency(&mut v, "E(x, y) -> exists z . E(y, z)").unwrap();
         let i = parse_instance(&mut v, "E(a,b)").unwrap();
-        let cancel = CancelToken::new();
-        cancel.cancel();
-        let opts = ChaseOptions { cancel, max_rounds: u64::MAX, ..ChaseOptions::default() };
+        let ctx = ExecContext::cancellable();
+        ctx.cancel.cancel();
+        let opts = ChaseOptions { ctx, max_rounds: u64::MAX, ..ChaseOptions::default() };
         assert_eq!(
             chase(&i, std::slice::from_ref(&dep), &mut v, &opts).unwrap_err(),
             ChaseError::Cancelled
         );
         // An already-expired deadline cancels at the first round check.
         let opts = ChaseOptions {
-            cancel: CancelToken::with_deadline(std::time::Duration::ZERO),
+            ctx: ExecContext::default()
+                .with_cancel(rde_faults::CancelToken::with_deadline(std::time::Duration::ZERO)),
             max_rounds: u64::MAX,
             ..ChaseOptions::default()
         };
@@ -997,28 +1015,28 @@ mod tests {
         );
         // A live but uncancelled token does not disturb a normal run.
         let copy = rde_deps::parse_dependency(&mut v, "E(x, y) -> F(x, y)").unwrap();
-        let opts = ChaseOptions { cancel: CancelToken::new(), ..ChaseOptions::default() };
+        let opts = ChaseOptions { ctx: ExecContext::cancellable(), ..ChaseOptions::default() };
         let r = chase(&i, &[copy], &mut v, &opts).unwrap();
         assert_eq!(r.fired, 1);
     }
 
     #[test]
-    fn chase_cancel_token_reaches_the_hom_searches() {
-        // The chase clones its token into the effective hom config, so
-        // cancellation cuts *inside* a round too. A token cancelled
+    fn chase_context_reaches_the_hom_searches() {
+        // The chase clones its context into the effective hom config,
+        // so cancellation cuts *inside* a round too. A token cancelled
         // after N stride-checks is hard to time deterministically, so
-        // instead verify the plumbing: an explicit hom-level token wins
-        // over the chase-level one, and the chase-level token is used
-        // when the hom config's is inert.
+        // instead verify the plumbing: an explicit hom-level context
+        // wins over the chase-level one, and the chase-level context
+        // is used when the hom config's is inert.
         let mut v = Vocabulary::new();
         let dep = rde_deps::parse_dependency(&mut v, "E(x, y) -> F(x, y)").unwrap();
         let i = parse_instance(&mut v, "E(a,b)").unwrap();
-        let hom_cancel = CancelToken::new();
-        hom_cancel.cancel();
-        // Cancelled hom token: the first premise search reports
+        let hom_ctx = ExecContext::cancellable();
+        hom_ctx.cancel.cancel();
+        // Cancelled hom context: the first premise search reports
         // Exhausted::Cancelled, which the chase maps to Cancelled.
         let opts = ChaseOptions {
-            hom: HomConfig { cancel: hom_cancel, ..HomConfig::default() },
+            hom: HomConfig { ctx: hom_ctx, ..HomConfig::default() },
             ..ChaseOptions::default()
         };
         assert_eq!(chase(&i, &[dep], &mut v, &opts).unwrap_err(), ChaseError::Cancelled);

@@ -3,13 +3,15 @@
 use std::fs;
 use std::time::Duration;
 
-use rde_chase::{chase_mapping, disjunctive_chase, ChaseOptions, DisjunctiveChaseOptions};
+use rde_chase::{
+    chase_mapping, disjunctive_chase, ChaseOptions, CheckpointPolicy, DisjunctiveChaseOptions,
+};
 use rde_core::compose::ComposeOptions;
 use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
 use rde_core::retry::{retry_budgeted, RetryPolicy};
 use rde_core::{CoreError, Universe};
 use rde_deps::{parse_mapping, printer, SchemaMapping};
-use rde_faults::CancelToken;
+use rde_faults::{CancelToken, ExecContext};
 use rde_hom::{Exhausted, HomConfig, HomStats};
 use rde_model::{display, parse::parse_instance, Instance, Vocabulary};
 use rde_obs::{journal, Sink};
@@ -45,16 +47,18 @@ impl std::fmt::Display for CliError {
     }
 }
 
-/// The cancellation token for one command invocation: live, watching
-/// the process interrupt flag, and carrying the `--deadline-ms` budget
-/// when one was given.
-fn cancel_token(opts: &Options) -> CancelToken {
+/// The execution context for one command invocation: a live cancel
+/// token watching the process interrupt flag and carrying the
+/// `--deadline-ms` budget when one was given. The CLI never installs a
+/// fault injector — injection campaigns are a test-harness concern and
+/// stay scoped to the contexts that opt in.
+fn exec_context(opts: &Options) -> ExecContext {
     rde_faults::install_interrupt_handler();
     let token = match opts.deadline_ms {
         Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
         None => CancelToken::new(),
     };
-    token.watching_interrupt()
+    ExecContext::default().with_cancel(token.watching_interrupt())
 }
 
 fn chase_err(e: rde_chase::ChaseError) -> CliError {
@@ -83,6 +87,7 @@ USAGE:
     rde <command> [args] [--consts N] [--nulls N] [--facts N] [--examples N]
                   [--node-budget N] [--time-budget-ms N] [--retries N]
                   [--deadline-ms N] [--stats] [--metrics] [--trace-out PATH]
+                  [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 
 COMMANDS:
     chase    <mapping> <instance>             canonical universal solution chase_M(I)
@@ -130,6 +135,12 @@ cancels the same way (a second Ctrl-C kills the process).
 --trace-out PATH streams the structured JSONL event journal (spans,
 chase rounds, tgd firings, budget exhaustions) to PATH; --metrics
 prints the process-wide metrics registry snapshot at exit.
+
+--checkpoint PATH makes `chase` and `core` write a resumable snapshot
+of the chase round state to PATH (atomically, every
+--checkpoint-every N completed rounds; default 1). --resume PATH
+restarts an interrupted run from such a snapshot; the resumed result
+is bit-identical to an uninterrupted run.
 ";
 
 /// Run a full command line (everything after `argv[0]`).
@@ -141,9 +152,9 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
     let opts = Options::parse(rest)?;
     // `profile` drives its own in-memory journal; for every other
     // command --trace-out streams the journal straight to the file.
-    let journal_installed = if cmd != "profile" && opts.trace_out.is_some() {
+    let journal_attached = if cmd != "profile" && opts.trace_out.is_some() {
         let path = opts.trace_out.as_deref().unwrap();
-        journal::install(Sink::File(path.into()), JOURNAL_CAPACITY)
+        journal::attach(Sink::File(path.into()), JOURNAL_CAPACITY)
             .map_err(|e| format!("--trace-out `{path}`: {e}"))?;
         journal::enabled()
     } else {
@@ -173,8 +184,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         }
         other => Err(CliError::Message(format!("unknown command `{other}`; run `rde help`"))),
     };
-    if journal_installed {
-        if let Some(summary) = journal::uninstall() {
+    if journal_attached {
+        if let Some(summary) = journal::detach() {
             if summary.dropped > 0 {
                 eprintln!(
                     "# trace journal truncated: {} record(s) dropped past capacity",
@@ -214,8 +225,23 @@ fn hom_config(opts: &Options) -> HomConfig {
     HomConfig {
         node_budget: opts.node_budget,
         time_budget: opts.time_budget_ms.map(Duration::from_millis),
-        cancel: cancel_token(opts),
+        ctx: exec_context(opts),
         ..HomConfig::default()
+    }
+}
+
+/// Chase options for the chase-driving commands: the command's context
+/// plus any `--checkpoint`/`--resume` flags.
+fn chase_options(opts: &Options) -> ChaseOptions {
+    ChaseOptions {
+        hom: hom_config(opts),
+        ctx: exec_context(opts),
+        checkpoint: opts
+            .checkpoint
+            .as_deref()
+            .map(|path| CheckpointPolicy::new(path, opts.checkpoint_every)),
+        resume_from: opts.resume.as_deref().map(Into::into),
+        ..ChaseOptions::default()
     }
 }
 
@@ -240,11 +266,7 @@ fn cmd_chase(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let options = ChaseOptions {
-        hom: hom_config(opts),
-        cancel: cancel_token(opts),
-        ..ChaseOptions::default()
-    };
+    let options = chase_options(opts);
     let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
         .map_err(chase_err)?;
     print!("{}", display::instance(&vocab, &result.instance.restrict_to(&mapping.target)));
@@ -421,12 +443,12 @@ fn cmd_loss(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let u = universe(&mut vocab, opts);
-    let report = rde_core::loss::information_loss_cancellable(
+    let report = rde_core::loss::information_loss_scoped(
         &mapping,
         &u,
         &mut vocab,
         opts.examples,
-        &cancel_token(opts),
+        &exec_context(opts),
     )
     .map_err(core_err)?;
     println!("universe size:    {}", report.universe_size);
@@ -524,11 +546,7 @@ fn cmd_core(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let options = ChaseOptions {
-        hom: hom_config(opts),
-        cancel: cancel_token(opts),
-        ..ChaseOptions::default()
-    };
+    let options = chase_options(opts);
     let core = rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &options)
         .map_err(chase_err)?;
     print!("{}", display::instance(&vocab, &core));
@@ -658,11 +676,7 @@ fn profile_chase(opts: &Options) -> Result<(u64, u64), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
-    let options = ChaseOptions {
-        hom: hom_config(opts),
-        cancel: cancel_token(opts),
-        ..ChaseOptions::default()
-    };
+    let options = chase_options(opts);
     let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
         .map_err(chase_err)?;
     println!(
@@ -687,15 +701,14 @@ fn cmd_profile(opts: &Options) -> Result<(), CliError> {
         }
         _ => ("chase", opts.clone()),
     };
-    journal::install(Sink::Memory, JOURNAL_CAPACITY)
-        .map_err(|e| format!("profile journal: {e}"))?;
+    journal::attach(Sink::Memory, JOURNAL_CAPACITY).map_err(|e| format!("profile journal: {e}"))?;
     let ran = match workload {
         "chase" => profile_chase(&inner).map(Some),
         "invertible" => cmd_invertible(&inner).map(|()| None),
         "compare" => cmd_compare(&inner).map(|()| None),
         _ => cmd_loss(&inner).map(|()| None),
     };
-    let summary = journal::uninstall();
+    let summary = journal::detach();
     // The journal is torn down either way; only then propagate the
     // workload's own error.
     let chase_totals = ran?;

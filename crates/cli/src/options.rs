@@ -32,6 +32,16 @@ pub struct Options {
     pub trace_out: Option<String>,
     /// `--metrics`: print a metrics-registry snapshot table at exit.
     pub metrics: bool,
+    /// `--checkpoint PATH`: (chase/core) write a resumable snapshot of
+    /// the chase round state to PATH while running.
+    pub checkpoint: Option<String>,
+    /// `--checkpoint-every N`: snapshot cadence in completed rounds
+    /// (default 1; `0` disables writing even with `--checkpoint`).
+    pub checkpoint_every: u64,
+    /// `--resume PATH`: resume the chase from a snapshot written by a
+    /// previous run of the same command; the result is bit-identical
+    /// to an uninterrupted run.
+    pub resume: Option<String>,
 }
 
 impl Default for Options {
@@ -49,6 +59,9 @@ impl Default for Options {
             stats: false,
             trace_out: None,
             metrics: false,
+            checkpoint: None,
+            checkpoint_every: 1,
+            resume: None,
         }
     }
 }
@@ -106,6 +119,25 @@ impl Options {
                 "--trace-out" => {
                     opts.trace_out = Some(
                         it.next().ok_or_else(|| "--trace-out requires a path".to_string())?.clone(),
+                    );
+                }
+                "--checkpoint" => {
+                    opts.checkpoint = Some(
+                        it.next()
+                            .ok_or_else(|| "--checkpoint requires a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "--checkpoint-every" => {
+                    opts.checkpoint_every = it
+                        .next()
+                        .ok_or_else(|| "--checkpoint-every requires a value".to_string())?
+                        .parse::<u64>()
+                        .map_err(|_| "--checkpoint-every requires an integer value".to_string())?;
+                }
+                "--resume" => {
+                    opts.resume = Some(
+                        it.next().ok_or_else(|| "--resume requires a path".to_string())?.clone(),
                     );
                 }
                 "--metrics" => opts.metrics = true,
@@ -200,6 +232,28 @@ mod tests {
         assert_eq!(o.deadline_ms, None);
         assert!(Options::parse(&strings(&["--deadline-ms"])).is_err());
         assert!(Options::parse(&strings(&["--deadline-ms", "soon"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let o = Options::parse(&strings(&[
+            "m.map",
+            "i.inst",
+            "--checkpoint",
+            "/tmp/c.ck",
+            "--checkpoint-every",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(o.checkpoint.as_deref(), Some("/tmp/c.ck"));
+        assert_eq!(o.checkpoint_every, 3);
+        assert!(o.resume.is_none());
+        let o = Options::parse(&strings(&["m.map", "i.inst", "--resume", "/tmp/c.ck"])).unwrap();
+        assert_eq!(o.resume.as_deref(), Some("/tmp/c.ck"));
+        assert_eq!(o.checkpoint_every, 1, "default cadence is every round");
+        assert!(Options::parse(&strings(&["--checkpoint"])).is_err());
+        assert!(Options::parse(&strings(&["--checkpoint-every", "x"])).is_err());
+        assert!(Options::parse(&strings(&["--resume"])).is_err());
     }
 
     #[test]

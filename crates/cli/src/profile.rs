@@ -193,7 +193,7 @@ mod tests {
     #[test]
     #[cfg_attr(not(feature = "trace"), ignore = "spans compile out without the trace feature")]
     fn tree_renders_nested_and_aggregated_spans() {
-        journal::install(Sink::Memory, 4096).unwrap();
+        journal::attach(Sink::Memory, 4096).unwrap();
         {
             let outer = rde_obs::span("t.outer", &[]);
             for i in 0..3u64 {
@@ -203,7 +203,7 @@ mod tests {
             }
             outer.close_with(&[("fired", 7u64.into())]);
         }
-        let summary = journal::uninstall().unwrap();
+        let summary = journal::detach().unwrap();
         let tree = render_span_tree(&summary.records).expect("spans present");
         assert!(tree.contains("t.outer"), "{tree}");
         assert!(tree.contains("t.inner ×3"), "{tree}");

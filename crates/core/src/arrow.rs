@@ -5,6 +5,7 @@ use std::sync::Mutex;
 
 use rde_chase::{chase_mapping, ChaseOptions};
 use rde_deps::SchemaMapping;
+use rde_faults::ExecContext;
 use rde_hom::{core_of_budgeted, exists_hom, exists_hom_budgeted, HomConfig, HomStats, Verdict};
 use rde_model::fx::FxHashMap;
 use rde_model::{Fact, Instance, NullId, Value, Vocabulary};
@@ -107,6 +108,10 @@ pub struct ArrowMCache {
     /// the loss census shares one cache across scoped worker threads.
     memo: Mutex<FxHashMap<(usize, usize), bool>>,
     stats: Mutex<CacheStats>,
+    /// The execution context the cache was built under. Arrow queries
+    /// take no config, so the construction-time context also scopes
+    /// their fault-injection decisions (`core.arrow.poison`).
+    ctx: ExecContext,
 }
 
 impl ArrowMCache {
@@ -141,6 +146,7 @@ impl ArrowMCache {
         let span = rde_obs::span("core.arrow.build", &[("instances", family.len().into())]);
         let chase_options = ChaseOptions {
             hom: HomConfig { node_budget: None, ..config.clone() },
+            ctx: config.ctx.clone(),
             ..ChaseOptions::default()
         };
         let mut chased = Vec::with_capacity(family.len());
@@ -152,7 +158,7 @@ impl ArrowMCache {
             // Construction chases the whole family; per-instance checks
             // make a deadline or Ctrl-C cut between chases too, not
             // just inside one.
-            if config.cancel.is_cancelled() {
+            if config.ctx.is_cancelled() {
                 return Err(CoreError::Cancelled);
             }
             let c = chase_mapping(i, mapping, vocab, &chase_options)?;
@@ -182,6 +188,7 @@ impl ArrowMCache {
             reps,
             memo: Mutex::new(FxHashMap::default()),
             stats: Mutex::new(stats),
+            ctx: config.ctx.clone(),
         })
     }
 
@@ -191,7 +198,7 @@ impl ArrowMCache {
         // Resilience-suite injection: a worker that panicked while
         // holding these locks must not wedge every later query —
         // `lock_memo`/`lock_stats` recover from the poison.
-        if rde_faults::should_inject("core.arrow.poison") {
+        if self.ctx.should_inject("core.arrow.poison") {
             rde_faults::poison_mutex(&self.memo);
             rde_faults::poison_mutex(&self.stats);
         }
@@ -222,7 +229,7 @@ impl ArrowMCache {
     /// representatives under `config`, memoizing definite verdicts only
     /// (an `Unknown` must stay retryable with a larger budget).
     pub fn arrow_budgeted(&self, a: usize, b: usize, config: &HomConfig) -> Verdict {
-        if rde_faults::should_inject("core.arrow.poison") {
+        if self.ctx.should_inject("core.arrow.poison") {
             rde_faults::poison_mutex(&self.memo);
             rde_faults::poison_mutex(&self.stats);
         }

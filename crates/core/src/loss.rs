@@ -8,8 +8,8 @@
 //! can enumerate and count — a quantitative, comparable measure.
 
 use rde_deps::SchemaMapping;
-use rde_faults::CancelToken;
-use rde_hom::exists_hom;
+use rde_faults::ExecContext;
+use rde_hom::{exists_hom, HomConfig};
 use rde_model::{Instance, Vocabulary};
 
 use crate::arrow::ArrowMCache;
@@ -55,23 +55,29 @@ pub fn information_loss(
     vocab: &mut Vocabulary,
     max_examples: usize,
 ) -> Result<LossReport, CoreError> {
-    information_loss_cancellable(mapping, universe, vocab, max_examples, &CancelToken::default())
+    information_loss_scoped(mapping, universe, vocab, max_examples, &ExecContext::default())
 }
 
-/// Like [`information_loss`], but polls `cancel` between census rows
-/// and aborts with [`CoreError::Cancelled`] instead of finishing the
-/// `n²` sweep.
-pub fn information_loss_cancellable(
+/// Like [`information_loss`], but runs under `ctx`: the cancel token is
+/// polled between census rows (aborting with [`CoreError::Cancelled`]
+/// instead of finishing the `n²` sweep), and the context's fault
+/// injector scopes the arrow cache's `core.arrow.poison` point.
+pub fn information_loss_scoped(
     mapping: &SchemaMapping,
     universe: &Universe,
     vocab: &mut Vocabulary,
     max_examples: usize,
-    cancel: &CancelToken,
+    ctx: &ExecContext,
 ) -> Result<LossReport, CoreError> {
     let family = universe
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
-    let cache = ArrowMCache::new(mapping, &family, vocab)?;
+    let cache = ArrowMCache::new_budgeted(
+        mapping,
+        &family,
+        vocab,
+        &HomConfig { ctx: ctx.clone(), ..HomConfig::default() },
+    )?;
     let span = rde_obs::span("core.loss.census", &[("universe", family.len().into())]);
     let journal_on = rde_obs::journal::enabled();
     let mut arrow_m_pairs = 0usize;
@@ -79,7 +85,7 @@ pub fn information_loss_cancellable(
     let mut lost_pairs = 0usize;
     let mut examples = Vec::new();
     for a in 0..family.len() {
-        if cancel.is_cancelled() {
+        if ctx.is_cancelled() {
             return Err(CoreError::Cancelled);
         }
         let lost_before = lost_pairs;

@@ -46,6 +46,7 @@
 
 use rde_chase::{chase, ChaseOptions};
 use rde_deps::{Atom, Conjunct, Dependency, Premise, SchemaMapping, Term, VarId};
+use rde_faults::ExecContext;
 use rde_model::fx::{FxHashMap, FxHashSet};
 use rde_model::{Instance, Value, Vocabulary};
 
@@ -63,11 +64,20 @@ pub struct QuasiInverseOptions {
     /// so the algorithm always produces output; larger covers add
     /// alternative explanations).
     pub max_cover_size: usize,
+    /// Execution context: the cancel token is polled once per
+    /// `(tgd, equality type)` unit of work, and the fault injector
+    /// drives the `core.quasi.construct` point.
+    pub ctx: ExecContext,
 }
 
 impl Default for QuasiInverseOptions {
     fn default() -> Self {
-        QuasiInverseOptions { max_premise_vars: 8, max_blocks: 4096, max_cover_size: 4 }
+        QuasiInverseOptions {
+            max_premise_vars: 8,
+            max_blocks: 4096,
+            max_cover_size: 4,
+            ctx: ExecContext::default(),
+        }
     }
 }
 
@@ -112,6 +122,12 @@ pub fn maximum_extended_recovery_full(
             continue;
         }
         for partition in set_partitions(conclusion_vars.len()) {
+            // One (tgd, equality type) is the construction's natural
+            // unit of work: poll cancellation — and the resilience
+            // suite's `core.quasi.construct` point — between units.
+            if options.ctx.should_inject("core.quasi.construct") || options.ctx.is_cancelled() {
+                return Err(CoreError::Cancelled);
+            }
             let n_classes = partition.iter().copied().max().map_or(0, |m| m + 1);
             let frozen = FrozenClasses::new(vocab, n_classes, max_slots);
             let var_to_class: FxHashMap<VarId, usize> =

@@ -158,7 +158,7 @@ pub fn interrupted() -> bool {
 /// platforms this is a no-op. Idempotent.
 pub fn install_interrupt_handler() {
     #[cfg(unix)]
-    sig::install();
+    sig::arm();
 }
 
 #[cfg(unix)]
@@ -186,7 +186,7 @@ mod sig {
         }
     }
 
-    pub(super) fn install() {
+    pub(super) fn arm() {
         static ONCE: Once = Once::new();
         ONCE.call_once(|| unsafe {
             signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);

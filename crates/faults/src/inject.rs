@@ -1,24 +1,32 @@
-//! Deterministic, seeded fault injection.
+//! Deterministic, seeded fault injection: configs, reports, and the
+//! decision function behind [`FaultInjector`](crate::FaultInjector).
 //!
-//! Engines mark their failure paths with named *injection points*:
+//! Engines mark their failure paths with named *injection points*,
+//! consulting the injector of the [`ExecContext`](crate::ExecContext)
+//! they were handed:
 //!
 //! ```ignore
-//! if rde_faults::should_inject("chase.round") {
+//! if options.ctx.should_inject("chase.round") {
 //!     return Err(ChaseError::Cancelled);
 //! }
 //! ```
 //!
-//! Without the `fault-inject` feature, [`should_inject`] is an
+//! Without the `fault-inject` feature, `should_inject` is an
 //! `#[inline(always)]` constant `false` and the branch is compiled
-//! out. With the feature, a test [`install`]s a [`FaultConfig`] whose
-//! seed deterministically decides, per point and per hit, whether the
-//! fault fires. The decision is a pure function of
-//! `(seed, point name, hit index)`, so a failing seed replays exactly.
+//! out. With the feature, a test builds a `FaultInjector` from a
+//! [`FaultConfig`] whose seed deterministically decides, per point and
+//! per hit, whether the fault fires. The decision is a pure function
+//! of `(seed, point name, hit index)`, so a failing seed replays
+//! exactly.
 //!
-//! The injector is process-global (like a panic hook); suites that
-//! sweep seeds serialize installation behind a mutex.
+//! Campaigns are **scoped to the context that carries them** — two
+//! contexts on concurrent threads inject and count independently, and
+//! dropping a context drops its campaign. (An earlier revision kept
+//! one process-global campaign behind install/uninstall calls; the
+//! scoped model replaced it so that a multi-tenant server can aim a
+//! campaign at one request.)
 
-/// Configuration for one installed fault-injection campaign.
+/// Configuration for one fault-injection campaign.
 #[derive(Debug, Clone)]
 pub struct FaultConfig {
     /// Seed mixed into every injection decision.
@@ -29,7 +37,7 @@ pub struct FaultConfig {
     /// Injection probability denominator (must be nonzero).
     pub den: u64,
     /// When set, only points whose name starts with this prefix are
-    /// eligible; all others never fire.
+    /// eligible; all others never fire (but still count hits).
     pub prefix: Option<&'static str>,
 }
 
@@ -45,9 +53,16 @@ impl FaultConfig {
         assert!(den > 0, "fault ratio denominator must be nonzero");
         FaultConfig { seed, num, den, prefix }
     }
+
+    /// A campaign that never fires but still counts every hit — useful
+    /// for asserting that a sibling context's faults did not leak in.
+    pub fn counting(seed: u64) -> Self {
+        FaultConfig { seed, num: 0, den: 1, prefix: None }
+    }
 }
 
-/// Summary of an injection campaign, returned by [`uninstall`].
+/// Summary of an injection campaign, from
+/// [`FaultInjector::report`](crate::FaultInjector::report).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultReport {
     /// Per injection point: (times evaluated, times fired), sorted by
@@ -58,7 +73,7 @@ pub struct FaultReport {
 /// Hit/fire counters for one injection point.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PointCount {
-    /// Times the point was evaluated while the campaign was installed.
+    /// Times the point was evaluated under this campaign.
     pub hits: u64,
     /// Times the point decided to inject.
     pub fired: u64,
@@ -70,6 +85,11 @@ impl FaultReport {
         self.points.iter().map(|(_, c)| c.fired).sum()
     }
 
+    /// Total number of evaluations across all points.
+    pub fn total_hits(&self) -> u64 {
+        self.points.iter().map(|(_, c)| c.hits).sum()
+    }
+
     /// Counters for a single point, if it was ever evaluated.
     pub fn point(&self, name: &str) -> Option<PointCount> {
         self.points.iter().find(|(n, _)| *n == name).map(|(_, c)| *c)
@@ -78,217 +98,96 @@ impl FaultReport {
 
 /// Declare an injection point that returns an error when it fires.
 ///
-/// `fault_point!("obs.journal.write", JournalError::Io)` expands to an
-/// early `return Err(JournalError::Io)` when the point fires, and to
-/// nothing observable otherwise.
+/// `fault_point!(ctx, "obs.journal.write", JournalError::Io)` expands
+/// to an early `return Err(JournalError::Io)` when the point fires in
+/// `ctx`'s campaign, and to nothing observable otherwise. The first
+/// argument is anything with a `should_inject(&'static str) -> bool`
+/// method: an [`ExecContext`](crate::ExecContext) or a bare
+/// [`FaultInjector`](crate::FaultInjector).
 #[macro_export]
 macro_rules! fault_point {
-    ($name:literal, $err:expr) => {
-        if $crate::should_inject($name) {
+    ($ctx:expr, $name:literal, $err:expr) => {
+        if ($ctx).should_inject($name) {
             return Err($err);
         }
     };
 }
 
+/// The pure injection decision: does `(config.seed, name, hit)` fire
+/// under `config`'s ratio? Prefix eligibility is the caller's job.
 #[cfg(feature = "fault-inject")]
-pub use imp::{install, poison_mutex, should_inject, uninstall};
-
-#[cfg(not(feature = "fault-inject"))]
-pub use noop::{install, poison_mutex, should_inject, uninstall};
-
-#[cfg(feature = "fault-inject")]
-mod imp {
-    use super::{FaultConfig, FaultReport, PointCount};
-    use std::collections::BTreeMap;
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Mutex;
-
-    struct Campaign {
-        config: FaultConfig,
-        counts: BTreeMap<&'static str, PointCount>,
-    }
-
-    static ACTIVE: AtomicBool = AtomicBool::new(false);
-    static CAMPAIGN: Mutex<Option<Campaign>> = Mutex::new(None);
-
-    fn lock() -> std::sync::MutexGuard<'static, Option<Campaign>> {
-        CAMPAIGN.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Install a process-global injection campaign, replacing any
-    /// previous one. Returns the report of the replaced campaign, if
-    /// any.
-    pub fn install(config: FaultConfig) -> Option<FaultReport> {
-        assert!(config.den > 0, "fault ratio denominator must be nonzero");
-        let mut guard = lock();
-        let previous = guard.take().map(report_of);
-        *guard = Some(Campaign { config, counts: BTreeMap::new() });
-        ACTIVE.store(true, Ordering::SeqCst);
-        previous
-    }
-
-    /// Remove the active campaign and return its hit/fire report.
-    pub fn uninstall() -> FaultReport {
-        let mut guard = lock();
-        ACTIVE.store(false, Ordering::SeqCst);
-        guard.take().map(report_of).unwrap_or_default()
-    }
-
-    fn report_of(campaign: Campaign) -> FaultReport {
-        FaultReport { points: campaign.counts.into_iter().collect() }
-    }
-
-    /// Decide deterministically whether the named point injects a
-    /// fault on this hit. `false` whenever no campaign is installed.
-    pub fn should_inject(name: &'static str) -> bool {
-        if !ACTIVE.load(Ordering::SeqCst) {
-            return false;
-        }
-        let mut guard = lock();
-        let Some(campaign) = guard.as_mut() else {
-            return false;
-        };
-        let count = campaign.counts.entry(name).or_default();
-        let hit = count.hits;
-        count.hits += 1;
-        if let Some(prefix) = campaign.config.prefix {
-            if !name.starts_with(prefix) {
-                return false;
-            }
-        }
-        let mixed = splitmix64(campaign.config.seed ^ fnv1a(name) ^ hit.wrapping_mul(0x9e37_79b9));
-        let fire = mixed % campaign.config.den < campaign.config.num;
-        if fire {
-            count.fired += 1;
-        }
-        fire
-    }
-
-    /// Poison `mutex` by panicking while holding its guard, catching
-    /// the panic in this thread. The panic hook is silenced for the
-    /// duration so test output stays clean.
-    pub fn poison_mutex<T>(mutex: &Mutex<T>) {
-        use std::panic::{catch_unwind, AssertUnwindSafe};
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let _ = catch_unwind(AssertUnwindSafe(|| {
-            let _guard = mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-            panic!("injected poison");
-        }));
-        std::panic::set_hook(hook);
-        debug_assert!(mutex.is_poisoned());
-    }
-
-    fn fnv1a(s: &str) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in s.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
-    }
-
-    fn splitmix64(mut x: u64) -> u64 {
-        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = x;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    }
+pub(crate) fn decide(config: &FaultConfig, name: &str, hit: u64) -> bool {
+    let mixed = splitmix64(config.seed ^ fnv1a(name) ^ hit.wrapping_mul(0x9e37_79b9));
+    mixed % config.den < config.num
 }
 
-#[cfg(not(feature = "fault-inject"))]
-mod noop {
-    use super::{FaultConfig, FaultReport};
-    use std::sync::Mutex;
-
-    /// No-op without the `fault-inject` feature.
-    pub fn install(_config: FaultConfig) -> Option<FaultReport> {
-        None
+#[cfg(feature = "fault-inject")]
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-
-    /// No-op without the `fault-inject` feature.
-    pub fn uninstall() -> FaultReport {
-        FaultReport::default()
-    }
-
-    /// Constant `false` without the `fault-inject` feature; the
-    /// optimizer erases the call and the branch behind it.
-    #[inline(always)]
-    pub fn should_inject(_name: &'static str) -> bool {
-        false
-    }
-
-    /// No-op without the `fault-inject` feature.
-    pub fn poison_mutex<T>(_mutex: &Mutex<T>) {}
+    h
 }
+
+#[cfg(feature = "fault-inject")]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Poison `mutex` by panicking while holding its guard, catching the
+/// panic in this thread. The panic hook is silenced for the duration
+/// so test output stays clean. No-op without the `fault-inject`
+/// feature.
+#[cfg(feature = "fault-inject")]
+pub fn poison_mutex<T>(mutex: &std::sync::Mutex<T>) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let _ = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        panic!("injected poison");
+    }));
+    std::panic::set_hook(hook);
+    debug_assert!(mutex.is_poisoned());
+}
+
+/// Poison `mutex` by panicking while holding its guard, catching the
+/// panic in this thread. The panic hook is silenced for the duration
+/// so test output stays clean. No-op without the `fault-inject`
+/// feature.
+#[cfg(not(feature = "fault-inject"))]
+pub fn poison_mutex<T>(_mutex: &std::sync::Mutex<T>) {}
 
 #[cfg(all(test, feature = "fault-inject"))]
 mod tests {
     use super::*;
     use std::sync::Mutex;
 
-    /// The injector is process-global; serialize tests that touch it.
-    static GATE: Mutex<()> = Mutex::new(());
-
-    fn gate() -> std::sync::MutexGuard<'static, ()> {
-        GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    #[test]
+    fn decide_is_pure_and_seed_sensitive() {
+        let cfg = FaultConfig::ratio(42, 1, 3, None);
+        let a: Vec<bool> = (0..64).map(|h| decide(&cfg, "x.y", h)).collect();
+        let b: Vec<bool> = (0..64).map(|h| decide(&cfg, "x.y", h)).collect();
+        assert_eq!(a, b);
+        let other = FaultConfig::ratio(43, 1, 3, None);
+        let c: Vec<bool> = (0..64).map(|h| decide(&other, "x.y", h)).collect();
+        assert_ne!(a, c);
     }
 
     #[test]
-    fn inactive_injector_never_fires() {
-        let _g = gate();
-        uninstall();
-        assert!(!should_inject("chase.round"));
-    }
-
-    #[test]
-    fn always_campaign_fires_matching_prefix_only() {
-        let _g = gate();
-        install(FaultConfig::always(7, "chase."));
-        assert!(should_inject("chase.round"));
-        assert!(!should_inject("hom.search.exhaust"));
-        let report = uninstall();
-        assert_eq!(report.point("chase.round"), Some(PointCount { hits: 1, fired: 1 }));
-        assert_eq!(report.point("hom.search.exhaust"), Some(PointCount { hits: 1, fired: 0 }));
-        assert_eq!(report.total_fired(), 1);
-    }
-
-    #[test]
-    fn decisions_are_deterministic_per_seed_and_hit() {
-        let _g = gate();
-        let run = |seed: u64| -> Vec<bool> {
-            install(FaultConfig::ratio(seed, 1, 3, None));
-            let decisions: Vec<bool> =
-                (0..64).map(|_| should_inject("obs.journal.write")).collect();
-            uninstall();
-            decisions
-        };
-        let a = run(42);
-        let b = run(42);
-        let c = run(43);
-        assert_eq!(a, b, "same seed must replay identically");
-        assert_ne!(a, c, "different seeds should differ over 64 hits");
-        assert!(a.iter().any(|&d| d), "ratio 1/3 over 64 hits should fire");
-        assert!(!a.iter().all(|&d| d), "ratio 1/3 should not always fire");
-    }
-
-    #[test]
-    fn fault_point_macro_returns_the_error() {
-        let _g = gate();
-        fn guarded() -> Result<u32, &'static str> {
-            fault_point!("test.point", "injected");
-            Ok(5)
-        }
-        install(FaultConfig::always(1, "test."));
-        assert_eq!(guarded(), Err("injected"));
-        uninstall();
-        assert_eq!(guarded(), Ok(5));
+    fn counting_config_never_fires() {
+        let cfg = FaultConfig::counting(9);
+        assert!((0..256).all(|h| !decide(&cfg, "any.point", h)));
     }
 
     #[test]
     fn poison_mutex_poisons_without_unwinding() {
-        let _g = gate();
         let m = Mutex::new(3);
         poison_mutex(&m);
         assert!(m.is_poisoned());

@@ -1,36 +1,55 @@
 //! The seed-sweep resilience suite.
 //!
-//! Three injection families — spurious search exhaustion + round
-//! cancellation in the chase, poisoned locks in the arrow cache, and
-//! I/O errors in the journal sink — each swept across 24 deterministic
-//! seeds (72 runs ≥ the 64-seed floor). The invariant under every
+//! Five injection families — spurious search exhaustion + round
+//! cancellation in the standard chase (both trigger-enumeration
+//! strategies), poisoned locks in the arrow cache, I/O errors in the
+//! journal sink, branch cancellation in the disjunctive chase, and
+//! aborted quasi-inverse construction — each swept across 24
+//! deterministic seeds (120 campaigns). The invariant under every
 //! seed: engines return typed `Err`s or correct `Ok`s, never panic,
 //! and the observability layer stays internally consistent (valid
 //! JSONL, write counters that add up).
 //!
-//! The injector is process-global, so the three sweeps serialize on a
-//! mutex. Every decision is a pure function of `(seed, point, hit)`:
-//! a failing seed reported by the harness replays exactly.
+//! Every campaign is **scoped**: an [`ExecContext`] carries its own
+//! [`FaultInjector`], whose hit/fire counters are read back per
+//! context — no ambient install/uninstall, no cross-test serialization
+//! for the injector itself. Every decision is a pure function of
+//! `(seed, point, hit)`: a failing seed reported by the harness
+//! replays exactly.
 #![cfg(feature = "fault-inject")]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
-use rde_chase::{ChaseError, ChaseOptions};
+use rde_chase::{
+    disjunctive_chase, ChaseError, ChaseOptions, ChaseStrategy, DisjunctiveChaseOptions,
+};
 use rde_core::arrow::ArrowMCache;
-use rde_core::Universe;
-use rde_deps::{parse_dependency, parse_mapping, Dependency};
-use rde_faults::{install, uninstall, FaultConfig};
+use rde_core::quasi_inverse::{maximum_extended_recovery_full, QuasiInverseOptions};
+use rde_core::{CoreError, Universe};
+use rde_deps::{parse_dependency, parse_mapping, printer, Dependency};
+use rde_faults::{ExecContext, FaultConfig, FaultInjector};
+use rde_hom::HomConfig;
 use rde_model::{Fact, Instance, Value, Vocabulary};
 use rde_obs::journal::{self, Sink};
 
-/// Seeds per family; 3 × 24 = 72 injection campaigns.
+/// Seeds per family; 5 families × 24 = 120 injection campaigns.
 const SEEDS: u64 = 24;
 
-static GATE: Mutex<()> = Mutex::new(());
+/// The journal sink is the one process-wide resource left: while the
+/// journal family has a sink attached, any event another family emits
+/// would land in its file and skew the exact write counters. The
+/// journal family takes the write side; everyone else shares the read
+/// side (injection campaigns themselves are fully scoped and need no
+/// serialization at all).
+static JOURNAL_GATE: RwLock<()> = RwLock::new(());
 
-fn gate() -> std::sync::MutexGuard<'static, ()> {
-    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+fn shared() -> std::sync::RwLockReadGuard<'static, ()> {
+    JOURNAL_GATE.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn exclusive() -> std::sync::RwLockWriteGuard<'static, ()> {
+    JOURNAL_GATE.write().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Transitive closure plus a null-inventing side relation: a genuinely
@@ -55,61 +74,79 @@ fn chain(vocab: &mut Vocabulary, n: usize) -> Instance {
         .collect()
 }
 
-/// Family 1: the chase under spurious hom-search exhaustion
+/// Family 1: the standard chase under spurious hom-search exhaustion
 /// (`hom.search.exhaust`) and round cancellation (`chase.round`),
-/// serial and parallel. Every outcome must be an `Ok` or one of the
-/// two typed errors those points map to — never a panic, never a
-/// mystery variant.
+/// serial and parallel, under both trigger-enumeration strategies.
+/// Every outcome must be an `Ok` or one of the two typed errors those
+/// points map to — never a panic, never a mystery variant.
 #[test]
 fn chase_survives_injected_exhaustion_and_cancellation() {
-    let _g = gate();
+    let _g = shared();
     let mut outcomes = [0u64; 3]; // ok, cancelled, exhausted
+    let mut injector_evaluated = 0u64;
     for seed in 0..SEEDS {
-        for threads in [1usize, 4] {
-            let mut vocab = Vocabulary::new();
-            let deps = recursive_deps(&mut vocab);
-            let input = chain(&mut vocab, 4);
-            let options = ChaseOptions { threads, ..ChaseOptions::default() };
-            // Sweep the fire rate from 1/1 (every hit) down to 1/1024
-            // (mostly clean): a multi-round chase evaluates dozens of
-            // points, so a fixed rate would hit an error on every run
-            // and never cover the clean-recovery path.
-            install(FaultConfig::ratio(seed, 1, 1 << (seed % 11), None));
-            let result = catch_unwind(AssertUnwindSafe(|| {
-                rde_chase::chase(&input, &deps, &mut vocab, &options)
-            }));
-            let report = uninstall();
-            let result = result.unwrap_or_else(|_| {
-                panic!("seed {seed}, threads {threads}: chase panicked under injection")
-            });
-            match result {
-                Ok(r) => {
-                    assert!(!r.instance.is_empty());
-                    outcomes[0] += 1;
+        for strategy in [ChaseStrategy::SemiNaive, ChaseStrategy::Naive] {
+            for threads in [1usize, 4] {
+                let mut vocab = Vocabulary::new();
+                let deps = recursive_deps(&mut vocab);
+                let input = chain(&mut vocab, 4);
+                // Sweep the fire rate from 1/1 (every hit) down to
+                // 1/1024 (mostly clean): a multi-round chase evaluates
+                // dozens of points, so a fixed rate would hit an error
+                // on every run and never cover the clean-recovery path.
+                let ctx = ExecContext::default().with_injector(FaultInjector::new(
+                    FaultConfig::ratio(seed, 1, 1 << (seed % 11), None),
+                ));
+                let options =
+                    ChaseOptions { threads, strategy, ctx: ctx.clone(), ..ChaseOptions::default() };
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    rde_chase::chase(&input, &deps, &mut vocab, &options)
+                }));
+                let report = ctx.fault_report();
+                let result = result.unwrap_or_else(|_| {
+                    panic!(
+                        "seed {seed}, strategy {strategy:?}, threads {threads}: \
+                         chase panicked under injection"
+                    )
+                });
+                match result {
+                    Ok(r) => {
+                        assert!(!r.instance.is_empty());
+                        outcomes[0] += 1;
+                    }
+                    Err(ChaseError::Cancelled) => outcomes[1] += 1,
+                    Err(ChaseError::MatchBudgetExhausted { .. }) => outcomes[2] += 1,
+                    Err(other) => panic!(
+                        "seed {seed}, strategy {strategy:?}, threads {threads}: \
+                         unexpected error {other}"
+                    ),
                 }
-                Err(ChaseError::Cancelled) => outcomes[1] += 1,
-                Err(ChaseError::MatchBudgetExhausted { .. }) => outcomes[2] += 1,
-                Err(other) => {
-                    panic!("seed {seed}, threads {threads}: unexpected error {other}")
+                // Per-context accounting: the campaign saw this run's
+                // decisions and nothing else.
+                let round_hits = report.point("chase.round").map_or(0, |c| c.hits);
+                assert!(round_hits >= 1, "every run consults chase.round at least once");
+                for (name, count) in &report.points {
+                    assert!(count.fired <= count.hits, "{name}: fired > hits");
                 }
-            }
-            for (name, count) in &report.points {
-                assert!(count.fired <= count.hits, "{name}: fired > hits");
+                injector_evaluated += report.total_hits();
             }
         }
     }
-    // Ratio 1/3 over 48 runs: both error families and at least one
+    // Ratio sweep over 96 runs: both error families and at least one
     // clean run must all occur, or the sweep isn't exercising anything.
     assert!(outcomes.iter().all(|&n| n > 0), "sweep too one-sided: {outcomes:?}");
+    assert!(injector_evaluated > 0, "campaigns must actually be consulted");
 }
 
 /// Family 2: every `arrow()` query under `core.arrow.poison` — the
 /// answers must match a cleanly-built reference cache exactly, because
 /// lock recovery (`PoisonError::into_inner`) preserves the memo's
-/// integrity rather than wedging or corrupting it.
+/// integrity rather than wedging or corrupting it. The injector rides
+/// in through the construction config's context and is read back from
+/// it per seed.
 #[test]
 fn arrow_cache_matches_clean_reference_under_poisoned_locks() {
-    let _g = gate();
+    let _g = shared();
     let mut vocab = Vocabulary::new();
     let mapping =
         parse_mapping(&mut vocab, "source: P/1, Q/1\ntarget: R/1\nP(x) -> R(x)\nQ(x) -> R(x)")
@@ -127,33 +164,46 @@ fn arrow_cache_matches_clean_reference_under_poisoned_locks() {
     for seed in 0..SEEDS {
         // A fresh cache per seed: its memo starts empty, so poisoned
         // locks hit both the search path and the memoized path.
-        let cache = ArrowMCache::new(&mapping, &family, &mut vocab).unwrap();
-        install(FaultConfig::ratio(seed, 1, 2, Some("core.arrow")));
+        let ctx = ExecContext::default().with_injector(FaultInjector::new(FaultConfig::ratio(
+            seed,
+            1,
+            2,
+            Some("core.arrow"),
+        )));
+        let cache = ArrowMCache::new_budgeted(
+            &mapping,
+            &family,
+            &mut vocab,
+            &HomConfig { ctx: ctx.clone(), ..HomConfig::default() },
+        )
+        .unwrap();
         let answers = catch_unwind(AssertUnwindSafe(|| {
             (0..n).map(|a| (0..n).map(|b| cache.arrow(a, b)).collect()).collect::<Vec<Vec<bool>>>()
         }));
-        let report = uninstall();
+        let report = ctx.fault_report();
         let answers =
             answers.unwrap_or_else(|_| panic!("seed {seed}: arrow query panicked under poison"));
         assert_eq!(answers, expected, "seed {seed}: poisoned cache disagrees with reference");
         let point = report.point("core.arrow.poison").expect("poison point evaluated");
-        assert_eq!(point.hits, (n * n) as u64, "every query consults the injector");
+        assert_eq!(point.hits, (n * n) as u64, "every query consults this context's injector");
         total_fired += point.fired;
     }
     assert!(total_fired > 0, "ratio 1/2 across {SEEDS} seeds must poison at least once");
 }
 
-/// Family 3: the file journal under `obs.journal.write` I/O faults.
-/// Whole records are dropped, never split: the file must hold exactly
-/// `written - io_errors` lines, each one valid JSON, and the injector's
-/// fire count must equal the summary's error count.
+/// Family 3: the file journal under `obs.journal.write` I/O faults,
+/// injected through the **scoped** attach: the campaign belongs to the
+/// attaching context and its fire count must equal the sink's error
+/// count exactly. Whole records are dropped, never split: the file must
+/// hold exactly `written - io_errors` lines, each one valid JSON.
 #[test]
 fn journal_stays_valid_jsonl_under_injected_write_errors() {
-    let _g = gate();
+    let _g = exclusive();
     let path = std::env::temp_dir().join(format!("rde-sweep-journal-{}.jsonl", std::process::id()));
     for seed in 0..SEEDS {
-        journal::install(Sink::File(path.clone()), 1 << 16).expect("file sink installs");
-        install(FaultConfig::ratio(seed, 1, 4, Some("obs.journal")));
+        let injector = FaultInjector::new(FaultConfig::ratio(seed, 1, 4, Some("obs.journal")));
+        journal::attach_scoped(Sink::File(path.clone()), 1 << 16, injector.clone())
+            .expect("file sink attaches");
         let events = 40u64;
         {
             let root = rde_obs::span("sweep.root", &[("seed", seed.into())]);
@@ -162,13 +212,13 @@ fn journal_stays_valid_jsonl_under_injected_write_errors() {
             }
             root.close_with(&[("events", events.into())]);
         }
-        let report = uninstall();
-        let summary = journal::uninstall().expect("journal was installed");
+        let summary = journal::detach().expect("journal was attached");
+        let report = injector.report();
 
         assert_eq!(summary.written as u64, events + 2, "root open + close + events");
         assert_eq!(summary.dropped, 0);
         let hits = report.point("obs.journal.write").map_or(0, |c| c.hits);
-        assert_eq!(hits, summary.written as u64, "every write consults the injector");
+        assert_eq!(hits, summary.written as u64, "every write consults the scoped injector");
         assert_eq!(report.total_fired(), summary.io_errors, "fires and io_errors must agree");
 
         let text = std::fs::read_to_string(&path).expect("journal file readable");
@@ -194,4 +244,116 @@ fn journal_stays_valid_jsonl_under_injected_write_errors() {
         }
     }
     std::fs::remove_file(&path).ok();
+}
+
+/// Family 4: the disjunctive chase under `chase.disj.branch`. The
+/// branching loop polls its context per branch: a fire is a typed
+/// [`ChaseError::Cancelled`], and a campaign that never fired must
+/// leave the leaf set bit-identical to a clean reference run.
+#[test]
+fn disjunctive_chase_survives_injected_branch_cancellation() {
+    let _g = shared();
+    let mut vocab = Vocabulary::new();
+    let deps = vec![
+        parse_dependency(&mut vocab, "R(x) -> A(x) | B(x)").unwrap(),
+        parse_dependency(&mut vocab, "A(x) -> C(x) | D(x)").unwrap(),
+    ];
+    let rel = vocab.find_relation("R").unwrap();
+    let input: Instance = [vocab.const_value("a"), vocab.const_value("b")]
+        .into_iter()
+        .map(|v| Fact::new(rel, vec![v]))
+        .collect();
+    let reference =
+        disjunctive_chase(&input, &deps, &mut vocab, &DisjunctiveChaseOptions::default()).unwrap();
+    assert!(reference.leaves.len() > 2, "needs genuine branching to be interesting");
+
+    let mut cancelled = 0u64;
+    let mut clean = 0u64;
+    for seed in 0..SEEDS {
+        let ctx = ExecContext::default().with_injector(FaultInjector::new(FaultConfig::ratio(
+            seed,
+            1,
+            1 << (seed % 6),
+            Some("chase.disj"),
+        )));
+        let options = DisjunctiveChaseOptions { ctx: ctx.clone(), ..Default::default() };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            disjunctive_chase(&input, &deps, &mut vocab, &options)
+        }))
+        .unwrap_or_else(|_| panic!("seed {seed}: disjunctive chase panicked under injection"));
+        let report = ctx.fault_report();
+        let point = report.point("chase.disj.branch").expect("branch point evaluated");
+        assert!(point.hits >= 1, "every run consults the branch point");
+        match result {
+            Ok(r) => {
+                assert_eq!(point.fired, 0, "seed {seed}: an Ok run must be injection-free");
+                assert_eq!(
+                    r.leaves, reference.leaves,
+                    "seed {seed}: clean run must match the reference leaf set"
+                );
+                clean += 1;
+            }
+            Err(ChaseError::Cancelled) => {
+                assert!(point.fired > 0, "seed {seed}: Cancelled requires a fire");
+                cancelled += 1;
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
+    }
+    assert!(cancelled > 0 && clean > 0, "sweep too one-sided: {cancelled} / {clean}");
+}
+
+/// Family 5: quasi-inverse construction under `core.quasi.construct`.
+/// The per-(tgd, equality type) poll turns a fire into a typed
+/// [`CoreError::Cancelled`]; a campaign that never fired must produce
+/// the same recovery mapping as a clean reference run.
+#[test]
+fn quasi_inverse_survives_injected_construction_aborts() {
+    let _g = shared();
+    let mut vocab = Vocabulary::new();
+    let mapping = parse_mapping(
+        &mut vocab,
+        "source: P/2, T/1\ntarget: Pp/2\nP(x,y) -> Pp(x,y)\nT(x) -> Pp(x,x)",
+    )
+    .unwrap();
+    let reference =
+        maximum_extended_recovery_full(&mapping, &mut vocab, &QuasiInverseOptions::default())
+            .unwrap();
+    let reference_text = printer::mapping(&vocab, &reference);
+
+    let mut cancelled = 0u64;
+    let mut clean = 0u64;
+    for seed in 0..SEEDS {
+        let ctx = ExecContext::default().with_injector(FaultInjector::new(FaultConfig::ratio(
+            seed,
+            1,
+            1 << (seed % 4),
+            Some("core.quasi"),
+        )));
+        let options = QuasiInverseOptions { ctx: ctx.clone(), ..QuasiInverseOptions::default() };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            maximum_extended_recovery_full(&mapping, &mut vocab, &options)
+        }))
+        .unwrap_or_else(|_| panic!("seed {seed}: quasi-inverse panicked under injection"));
+        let report = ctx.fault_report();
+        let point = report.point("core.quasi.construct").expect("construct point evaluated");
+        assert!(point.hits >= 1, "every run consults the construct point");
+        match result {
+            Ok(rec) => {
+                assert_eq!(point.fired, 0, "seed {seed}: an Ok run must be injection-free");
+                assert_eq!(
+                    printer::mapping(&vocab, &rec),
+                    reference_text,
+                    "seed {seed}: clean run must reproduce the reference recovery"
+                );
+                clean += 1;
+            }
+            Err(CoreError::Cancelled) => {
+                assert!(point.fired > 0, "seed {seed}: Cancelled requires a fire");
+                cancelled += 1;
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
+    }
+    assert!(cancelled > 0 && clean > 0, "sweep too one-sided: {cancelled} / {clean}");
 }

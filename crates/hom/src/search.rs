@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-use rde_faults::CancelToken;
+use rde_faults::ExecContext;
 use rde_model::fx::FxHashMap;
 use rde_model::{Instance, NullId, RelationData, Substitution, Value};
 
@@ -58,12 +58,13 @@ pub struct HomConfig {
     /// Dynamically pick the next source fact with the fewest candidates
     /// (`false` = fixed left-to-right order).
     pub dynamic_order: bool,
-    /// Cooperative cancellation handle, polled at search entry and then
-    /// every [`TIME_CHECK_STRIDE`] nodes alongside the deadline check.
-    /// A cancelled search reports [`Exhausted::Cancelled`]. The default
-    /// token is inert (can never cancel) and costs one pointer-sized
-    /// check per poll.
-    pub cancel: CancelToken,
+    /// Scoped execution context: its cancel token is polled at search
+    /// entry and then every [`TIME_CHECK_STRIDE`] nodes alongside the
+    /// deadline check (a cancelled search reports
+    /// [`Exhausted::Cancelled`]), and its fault injector drives the
+    /// `hom.search.exhaust` injection point. The default context is
+    /// inert and costs one pointer-sized check per poll.
+    pub ctx: ExecContext,
 }
 
 impl Default for HomConfig {
@@ -73,7 +74,7 @@ impl Default for HomConfig {
             time_budget: None,
             use_index: true,
             dynamic_order: true,
-            cancel: CancelToken::default(),
+            ctx: ExecContext::default(),
         }
     }
 }
@@ -244,9 +245,9 @@ impl CompiledPattern {
         // stride (the chase fires thousands of tiny premise matches).
         // The injection point simulates spurious budget exhaustion for
         // the resilience suite; both paths still flush metrics below.
-        if rde_faults::should_inject("hom.search.exhaust") {
+        if config.ctx.should_inject("hom.search.exhaust") {
             searcher.exhausted = Some(Exhausted::Nodes(0));
-        } else if config.cancel.is_cancelled() {
+        } else if config.ctx.is_cancelled() {
             searcher.exhausted = Some(Exhausted::Cancelled);
         } else {
             let mut remaining: Vec<usize> = (0..searcher.facts.len()).collect();
@@ -343,7 +344,7 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
                         return true;
                     }
                 }
-                if self.config.cancel.is_cancelled() {
+                if self.config.ctx.is_cancelled() {
                     self.exhausted = Some(Exhausted::Cancelled);
                     return true;
                 }

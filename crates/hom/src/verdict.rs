@@ -24,7 +24,7 @@ pub enum Exhausted {
     /// [`HomConfig::time_budget`](crate::HomConfig::time_budget)).
     Time(Duration),
     /// The search was cooperatively cancelled (see
-    /// [`HomConfig::cancel`](crate::HomConfig::cancel)) — by an explicit
+    /// [`HomConfig::ctx`](crate::HomConfig::ctx)) — by an explicit
     /// request, an elapsed external deadline, or Ctrl-C.
     Cancelled,
 }

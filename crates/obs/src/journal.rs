@@ -11,11 +11,17 @@
 //! {"t_us":789,"kind":"event","name":"core.arrow.miss","span":7,"class_a":0,"class_b":2}
 //! ```
 //!
-//! The journal is **bounded**: past the installed capacity records are
+//! The journal is **bounded**: past the attached capacity records are
 //! counted and dropped, and the drop count surfaces as one final
-//! `journal_truncated` record at uninstall time. Emission when no sink
-//! is installed (or with the `trace` feature compiled out) costs one
+//! `journal_truncated` record at detach time. Emission when no sink
+//! is attached (or with the `trace` feature compiled out) costs one
 //! relaxed atomic load.
+//!
+//! The sink itself is process-wide (there is one journal file), but
+//! fault injection into it is **scoped**: [`attach_scoped`] takes the
+//! [`rde_faults::FaultInjector`] of the context that owns the sink, so
+//! `obs.journal.write` faults fire only for the campaign that asked
+//! for them.
 
 use std::fmt::Write as _;
 
@@ -189,7 +195,7 @@ impl Record {
 /// Where journal records go.
 #[derive(Debug, Clone)]
 pub enum Sink {
-    /// Append JSON lines to a file (created/truncated at install).
+    /// Append JSON lines to a file (created/truncated at attach).
     File(std::path::PathBuf),
     /// Like [`Sink::File`], but rotate the file once it would exceed
     /// `max_bytes`: `path` is renamed to `path.1`, `path.1` to
@@ -209,7 +215,7 @@ pub enum Sink {
     /// Write JSON lines to stderr.
     Stderr,
     /// Retain structured [`Record`]s in memory; collect them with
-    /// [`uninstall`].
+    /// [`detach`].
     Memory,
 }
 
@@ -220,7 +226,7 @@ impl Sink {
     }
 }
 
-/// What [`uninstall`] hands back.
+/// What [`detach`] hands back.
 #[derive(Debug, Default)]
 pub struct JournalSummary {
     /// Retained records (memory sink only; empty for file/stderr).
@@ -311,6 +317,10 @@ mod imp {
         written: usize,
         dropped: u64,
         io_errors: u64,
+        /// The attaching context's fault injector: `obs.journal.write`
+        /// faults belong to the campaign that owns this sink, not to
+        /// whatever campaign happens to be live elsewhere.
+        injector: rde_faults::FaultInjector,
     }
 
     static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -329,7 +339,11 @@ mod imp {
         STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    pub(super) fn install(sink: Sink, capacity: usize) -> std::io::Result<()> {
+    pub(super) fn attach(
+        sink: Sink,
+        capacity: usize,
+        injector: rde_faults::FaultInjector,
+    ) -> std::io::Result<()> {
         let out = match sink {
             Sink::File(path) => Out::File(std::io::BufWriter::new(std::fs::File::create(path)?)),
             Sink::Rotating { path, max_bytes, keep } => {
@@ -342,7 +356,7 @@ mod imp {
         if let Some(old) = guard.take() {
             finish(old);
         }
-        *guard = Some(State { out, capacity, written: 0, dropped: 0, io_errors: 0 });
+        *guard = Some(State { out, capacity, written: 0, dropped: 0, io_errors: 0, injector });
         ACTIVE.store(true, Ordering::Relaxed);
         Ok(())
     }
@@ -360,7 +374,7 @@ mod imp {
                 elapsed_us: None,
                 fields: vec![("dropped".to_owned(), OwnedField::U64(state.dropped))],
             };
-            if write_record(&mut state.out, marker).is_err() {
+            if write_record(&mut state.out, &state.injector, marker).is_err() {
                 state.io_errors += 1;
             }
         }
@@ -387,8 +401,13 @@ mod imp {
     /// Write one record to the sink. On error the whole record is
     /// skipped (never a partial line), so file sinks stay valid JSONL;
     /// callers count the loss in `State::io_errors`.
-    fn write_record(out: &mut Out, record: Record) -> std::io::Result<()> {
+    fn write_record(
+        out: &mut Out,
+        injector: &rde_faults::FaultInjector,
+        record: Record,
+    ) -> std::io::Result<()> {
         rde_faults::fault_point!(
+            injector,
             "obs.journal.write",
             std::io::Error::other("injected journal write failure")
         );
@@ -403,7 +422,7 @@ mod imp {
         Ok(())
     }
 
-    pub(super) fn uninstall() -> Option<JournalSummary> {
+    pub(super) fn detach() -> Option<JournalSummary> {
         let mut guard = lock();
         ACTIVE.store(false, Ordering::Relaxed);
         guard.take().map(finish)
@@ -452,8 +471,9 @@ mod imp {
             elapsed_us,
             fields: fields.iter().map(|&(k, v)| (k.to_owned(), v.into())).collect(),
         };
-        if write_record(&mut state.out, record).is_err() {
-            state.io_errors += 1;
+        let State { out, injector, io_errors, .. } = state;
+        if write_record(out, injector, record).is_err() {
+            *io_errors += 1;
         }
     }
 }
@@ -468,10 +488,14 @@ mod imp {
     pub(super) fn enabled() -> bool {
         false
     }
-    pub(super) fn install(_sink: Sink, _capacity: usize) -> std::io::Result<()> {
+    pub(super) fn attach(
+        _sink: Sink,
+        _capacity: usize,
+        _injector: rde_faults::FaultInjector,
+    ) -> std::io::Result<()> {
         Ok(())
     }
-    pub(super) fn uninstall() -> Option<JournalSummary> {
+    pub(super) fn detach() -> Option<JournalSummary> {
         None
     }
     pub(super) fn flush() {}
@@ -487,19 +511,30 @@ mod imp {
     }
 }
 
-/// Install a journal sink with a record capacity. Replaces (and
-/// flushes) any previously installed sink. With the `trace` feature
+/// Attach a journal sink with a record capacity. Replaces (and
+/// flushes) any previously attached sink. With the `trace` feature
 /// compiled out this is a no-op that still returns `Ok`.
-pub fn install(sink: Sink, capacity: usize) -> std::io::Result<()> {
-    imp::install(sink, capacity)
+pub fn attach(sink: Sink, capacity: usize) -> std::io::Result<()> {
+    imp::attach(sink, capacity, rde_faults::FaultInjector::inert())
+}
+
+/// Like [`attach`], but the sink's writes consult `injector` at the
+/// `obs.journal.write` fault point — the injection campaign is scoped
+/// to the context that owns this sink rather than ambient.
+pub fn attach_scoped(
+    sink: Sink,
+    capacity: usize,
+    injector: rde_faults::FaultInjector,
+) -> std::io::Result<()> {
+    imp::attach(sink, capacity, injector)
 }
 
 /// Tear down the journal: flush file sinks, append a
 /// `journal_truncated` marker if the capacity bound dropped records,
 /// and return the summary (with retained records for the memory sink).
-/// Returns `None` when no sink was installed.
-pub fn uninstall() -> Option<JournalSummary> {
-    imp::uninstall()
+/// Returns `None` when no sink was attached.
+pub fn detach() -> Option<JournalSummary> {
+    imp::detach()
 }
 
 /// Flush a file sink's buffered lines to disk.
@@ -507,7 +542,7 @@ pub fn flush() {
     imp::flush()
 }
 
-/// Is a sink installed (and the `trace` feature compiled in)? One
+/// Is a sink attached (and the `trace` feature compiled in)? One
 /// relaxed atomic load — cheap enough to guard field construction on
 /// hot paths.
 pub fn enabled() -> bool {

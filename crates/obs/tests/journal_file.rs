@@ -9,7 +9,7 @@ use rde_obs::{event, json, span};
 #[test]
 fn file_sink_writes_one_valid_json_object_per_line() {
     let path = std::env::temp_dir().join(format!("rde_obs_file_sink_{}.jsonl", std::process::id()));
-    journal::install(Sink::File(path.clone()), 4096).expect("file sink installs");
+    journal::attach(Sink::File(path.clone()), 4096).expect("file sink installs");
     {
         let run = span("test.run", &[]);
         for round in 0..3u64 {
@@ -19,7 +19,7 @@ fn file_sink_writes_one_valid_json_object_per_line() {
         }
         run.close_with(&[("rounds", 3u64.into())]);
     }
-    let summary = journal::uninstall().expect("journal was installed");
+    let summary = journal::detach().expect("journal was installed");
     assert_eq!(summary.dropped, 0);
     assert_eq!(summary.written, 11); // 1 run + 3 rounds (open+close each) + 3 events
 

@@ -40,12 +40,12 @@ fn rotation_preserves_every_record_across_files() {
 
     // Each record is ~60 bytes; a 256-byte cap forces several
     // rotations over 40 records, but `keep` bounds how many survive.
-    journal::install(Sink::rotating(&path, 256, keep), usize::MAX).expect("sink installs");
+    journal::attach(Sink::rotating(&path, 256, keep), usize::MAX).expect("sink installs");
     let total = 40u64;
     for i in 0..total {
         event("test.rotate", &[("i", i.into()), ("pad", "xxxxxxxxxxxxxxxx".into())]);
     }
-    let summary = journal::uninstall().expect("journal was installed");
+    let summary = journal::detach().expect("journal was installed");
     assert_eq!(summary.written as u64, total);
     assert_eq!(summary.dropped, 0);
     assert_eq!(summary.io_errors, 0);
@@ -97,11 +97,11 @@ fn keep_zero_discards_history_but_keeps_the_live_file_valid() {
     let path = std::env::temp_dir().join(format!("rde-rotate0-{}.jsonl", std::process::id()));
     cleanup(&path, 0);
 
-    journal::install(Sink::rotating(&path, 128, 0), usize::MAX).expect("sink installs");
+    journal::attach(Sink::rotating(&path, 128, 0), usize::MAX).expect("sink installs");
     for i in 0..30u64 {
         event("test.rotate", &[("i", i.into())]);
     }
-    let summary = journal::uninstall().expect("journal was installed");
+    let summary = journal::detach().expect("journal was installed");
     assert_eq!(summary.written, 30);
     assert_eq!(summary.io_errors, 0);
 
@@ -121,11 +121,11 @@ fn oversized_record_still_lands_in_its_own_file() {
     let path = std::env::temp_dir().join(format!("rde-rotate-big-{}.jsonl", std::process::id()));
     cleanup(&path, 2);
 
-    journal::install(Sink::rotating(&path, 64, 2), usize::MAX).expect("sink installs");
+    journal::attach(Sink::rotating(&path, 64, 2), usize::MAX).expect("sink installs");
     let big = "y".repeat(200);
     event("test.small", &[]);
     event("test.big", &[("pad", big.as_str().into())]);
-    let summary = journal::uninstall().expect("journal was installed");
+    let summary = journal::detach().expect("journal was installed");
     assert_eq!(summary.written, 2);
     assert_eq!(summary.io_errors, 0);
 

@@ -16,9 +16,9 @@ static LOCK: Mutex<()> = Mutex::new(());
 
 fn with_memory_journal(capacity: usize, body: impl FnOnce()) -> JournalSummary {
     let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    journal::install(Sink::Memory, capacity).expect("memory sink installs");
+    journal::attach(Sink::Memory, capacity).expect("memory sink installs");
     body();
-    journal::uninstall().expect("journal was installed")
+    journal::detach().expect("journal was installed")
 }
 
 #[test]
@@ -117,11 +117,11 @@ fn capacity_bound_drops_and_reports() {
 #[test]
 fn no_sink_means_no_records_and_inert_spans() {
     let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    assert!(journal::uninstall().is_none());
+    assert!(journal::detach().is_none());
     assert!(!journal::enabled());
     let s = span("test.orphan", &[]);
     assert_eq!(s.id(), 0);
     event("test.orphan_event", &[]);
     drop(s);
-    assert!(journal::uninstall().is_none(), "emitting without a sink must not install one");
+    assert!(journal::detach().is_none(), "emitting without a sink must not install one");
 }

@@ -11,7 +11,7 @@ fn trace_off_build_emits_nothing() {
     let path = std::env::temp_dir().join(format!("rde_obs_trace_off_{}.jsonl", std::process::id()));
     std::fs::remove_file(&path).ok();
 
-    journal::install(Sink::File(path.clone()), 4096).expect("install is a no-op Ok");
+    journal::attach(Sink::File(path.clone()), 4096).expect("install is a no-op Ok");
     assert!(!journal::enabled(), "journal can never be enabled without the trace feature");
 
     let s = span("test.noop", &[("round", 1u64.into())]);
@@ -19,7 +19,7 @@ fn trace_off_build_emits_nothing() {
     event("test.noop_event", &[("n", 2u64.into())]);
     s.close_with(&[("ok", true.into())]);
 
-    assert!(journal::uninstall().is_none(), "nothing was ever installed");
+    assert!(journal::detach().is_none(), "nothing was ever installed");
     assert!(!path.exists(), "no journal file may be created with trace off");
 }
 
