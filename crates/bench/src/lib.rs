@@ -118,6 +118,20 @@ pub mod workloads {
         deps
     }
 
+    /// [`recursive_deps`] plus a triangle-listing rule whose third
+    /// premise atom arrives fully bound. That atom's candidate set is a
+    /// whole posting list, most of which fails unification — the regime
+    /// the columnar backend's null-pattern buckets prune: rows whose
+    /// null/constant pattern contradicts the bound values are skipped
+    /// without a unification attempt.
+    pub fn triangle_deps(vocab: &mut Vocabulary, extra: usize) -> Vec<rde_deps::Dependency> {
+        let mut deps = recursive_deps(vocab, extra);
+        deps.push(
+            rde_deps::parse_dependency(vocab, "T(x, y) & E(y, z) & T(x, z) -> W(x, y, z)").unwrap(),
+        );
+        deps
+    }
+
     /// A deterministic edge relation `E` over `nodes` vertices: a
     /// Hamiltonian cycle backbone (diameter `nodes − 1`, so
     /// [`recursive_deps`] chases for that many rounds) plus
@@ -139,6 +153,43 @@ pub mod workloads {
                 rde_model::Fact::new(e, vec![va, vb])
             })
             .collect()
+    }
+
+    /// [`random_graph`] with labeled-null chords: the same constant
+    /// cycle backbone plus `chords` chord edges that each connect a
+    /// random cycle vertex to a fresh labeled null (alternating which
+    /// endpoint is the null). Nulls are the paper's setting — reverse
+    /// mappings chase instances that carry them — and the closure `T`
+    /// then mixes null and constant column patterns, the layout the
+    /// columnar backend buckets by.
+    pub fn random_graph_nulls(
+        vocab: &mut Vocabulary,
+        nodes: usize,
+        chords: usize,
+        seed: u64,
+    ) -> Instance {
+        use rand::Rng;
+        let e = vocab.relation("E", 2).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cycle: Vec<(rde_model::Value, rde_model::Value)> = (0..nodes as u64)
+            .map(|i| {
+                let a = vocab.const_value(&format!("v{i}"));
+                let b = vocab.const_value(&format!("v{}", (i + 1) % nodes as u64));
+                (a, b)
+            })
+            .collect();
+        let chords: Vec<(rde_model::Value, rde_model::Value)> = (0..chords)
+            .map(|i| {
+                let c = vocab.const_value(&format!("v{}", rng.gen_range(0..nodes as u64)));
+                let n = vocab.null_value(&format!("u{i}"));
+                if i % 2 == 0 {
+                    (c, n)
+                } else {
+                    (n, c)
+                }
+            })
+            .collect();
+        cycle.into_iter().chain(chords).map(|(a, b)| rde_model::Fact::new(e, vec![a, b])).collect()
     }
 
     /// A deterministic random source instance over the workload's
@@ -184,6 +235,17 @@ mod tests {
             w.mapping.validate(&v).unwrap();
             w.reverse.validate(&v).unwrap();
         }
+    }
+
+    #[test]
+    fn null_graph_and_triangle_deps_build() {
+        let mut v = Vocabulary::new();
+        let deps = workloads::triangle_deps(&mut v, 1);
+        assert_eq!(deps.len(), 4, "closure pair + one side output + triangle rule");
+        let g = workloads::random_graph_nulls(&mut v, 8, 4, 7);
+        assert_eq!(g.len(), 12, "cycle edges plus chords");
+        let null_edges = g.facts().filter(|f| f.args().iter().any(|a| a.is_null())).count();
+        assert_eq!(null_edges, 4, "every chord carries exactly one labeled null");
     }
 
     #[test]

@@ -165,11 +165,11 @@ pub(crate) fn save(
     rels.sort_by_key(|(r, _)| r.0);
     let _ = writeln!(out, "instance {}", rels.len());
     for (rel, data) in rels {
-        let arity = data.tuples().next().map_or(0, <[Value]>::len);
+        let arity = data.arity();
         let _ = writeln!(out, "rel {} {arity} {}", rel.0, data.len());
         for tuple in data.tuples() {
             let mut row = String::new();
-            for &v in tuple {
+            for &v in tuple.iter() {
                 enc_value(&mut row, v);
             }
             out.push_str(row.trim_start());
@@ -491,7 +491,7 @@ mod tests {
         // Row order is preserved, not just set equality: the posting
         // lists the hom search walks are rebuilt in the same order.
         let rows: Vec<_> =
-            loaded.instance.relation(RelId(0)).unwrap().tuples().map(<[Value]>::to_vec).collect();
+            loaded.instance.relation(RelId(0)).unwrap().tuples().map(|t| t.to_vec()).collect();
         assert_eq!(rows, vec![vec![c(0), n(1)], vec![c(1), c(0)]]);
     }
 

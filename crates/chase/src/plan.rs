@@ -21,6 +21,11 @@
 //! slot assignment `[Value]` therefore doubles as the canonical
 //! trigger key.
 //!
+//! All premise enumeration funnels through [`CompiledPattern`], so the
+//! plans are backend-agnostic: on a columnar instance the hom searcher
+//! additionally prunes candidate rows whose null-pattern bucket
+//! contradicts the bound values (DESIGN.md §13) with no change here.
+//!
 //! [`ChaseMode::Standard`]: crate::ChaseMode::Standard
 
 use rde_deps::{Conjunct, Premise, Term, VarId};

@@ -26,8 +26,8 @@ use std::time::Instant;
 use rde_deps::{Dependency, SchemaMapping};
 use rde_faults::ExecContext;
 use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
-use rde_model::fx::FxHashSet;
-use rde_model::{Fact, Instance, Value, Vocabulary};
+use rde_model::fx::{FxHashMap, FxHashSet};
+use rde_model::{Fact, Instance, RelId, Value, Vocabulary};
 
 use crate::checkpoint::{self, CheckpointPolicy, SnapshotRef};
 use crate::plan::{FiringTemplate, PremisePlan, SatisfactionPlan};
@@ -198,9 +198,36 @@ struct DepCandidates {
     hom: HomStats,
 }
 
+/// A round's delta facts grouped by relation, built once per round and
+/// shared (read-only) by every dependency's collection — the same
+/// bucketing idea the columnar store applies to whole relations,
+/// applied to the delta: seeding atom `k` touches only the delta facts
+/// of atom `k`'s relation instead of filtering the full delta per atom.
+/// Per-relation order is the delta's insertion order, so the seeded
+/// enumeration visits exactly the facts the ungrouped scan would have,
+/// in the same order — required for bit-identical trigger order.
+struct DeltaBuckets<'a> {
+    facts: &'a [Fact],
+    by_rel: FxHashMap<RelId, Vec<u32>>,
+}
+
+impl<'a> DeltaBuckets<'a> {
+    fn new(facts: &'a [Fact]) -> Self {
+        let mut by_rel: FxHashMap<RelId, Vec<u32>> = FxHashMap::default();
+        for (i, f) in facts.iter().enumerate() {
+            by_rel.entry(f.relation()).or_default().push(i as u32);
+        }
+        DeltaBuckets { facts, by_rel }
+    }
+
+    fn for_rel(&self, rel: RelId) -> impl Iterator<Item = &'a Fact> + '_ {
+        self.by_rel.get(&rel).into_iter().flatten().map(|&i| &self.facts[i as usize])
+    }
+}
+
 /// Enumerate one dependency's new triggers against `current`,
 /// read-only. `delta` is `None` for a full enumeration (round 0 /
-/// naive) and `Some(facts)` for a semi-naive delta round. Fails with
+/// naive) and `Some(buckets)` for a semi-naive delta round. Fails with
 /// [`ChaseError::MatchBudgetExhausted`] when a search hits `hom`'s
 /// budget: a truncated enumeration could silently miss triggers, so the
 /// chase refuses to continue from it.
@@ -209,7 +236,7 @@ fn collect_dep(
     plan: &DepPlan,
     current: &Instance,
     fired_keys: &[FxHashSet<Vec<Value>>],
-    delta: Option<&[Fact]>,
+    delta: Option<&DeltaBuckets<'_>>,
     mode: ChaseMode,
     hom: &HomConfig,
 ) -> Result<DepCandidates, ChaseError> {
@@ -248,13 +275,10 @@ fn collect_dep(
                     exhausted.set(report.exhausted);
                 }
             }
-            Some(facts) => {
+            Some(db) => {
                 'atoms: for atom_idx in 0..plan.premise.num_atoms() {
                     let rel = plan.premise.atom_rel(atom_idx);
-                    for fact in facts {
-                        if fact.relation() != rel {
-                            continue;
-                        }
+                    for fact in db.for_rel(rel) {
                         if let Some(seed) = plan.premise.seed_from_fact(atom_idx, fact.args()) {
                             let report = plan.premise.for_each_match_seeded_budgeted(
                                 atom_idx,
@@ -375,7 +399,10 @@ pub fn chase(
                 message: "snapshot null count conflicts with named nulls".to_owned(),
             });
         }
-        current = snap.instance;
+        // Checkpoint bytes are backend-agnostic; land the loaded
+        // instance on the input's backend so a resumed run uses the
+        // same layout (and telemetry) as an uninterrupted one.
+        current = snap.instance.into_backend(current.backend());
         fired_keys = snap.fired_keys;
         fired = snap.fired;
         rounds = snap.rounds;
@@ -412,6 +439,8 @@ pub fn chase(
         // worker threads; merging in dependency index order keeps the
         // outcome independent of the thread count.
         let delta_slice = delta.as_deref();
+        let delta_buckets = delta_slice.map(DeltaBuckets::new);
+        let db = delta_buckets.as_ref();
         let threads = effective_threads(options.threads, plans.len());
         let chunk = plans.len().div_ceil(threads).max(1);
         let collected: Result<Vec<DepCandidates>, ChaseError> = if threads <= 1 {
@@ -419,7 +448,7 @@ pub fn chase(
                 .iter()
                 .enumerate()
                 .map(|(di, p)| {
-                    collect_dep(di, p, &current, &fired_keys, delta_slice, options.mode, &hom_cfg)
+                    collect_dep(di, p, &current, &fired_keys, db, options.mode, &hom_cfg)
                 })
                 .collect()
         } else {
@@ -442,7 +471,7 @@ pub fn chase(
                                     &plans[di],
                                     current,
                                     fired_keys,
-                                    delta_slice,
+                                    db,
                                     options.mode,
                                     hom,
                                 )

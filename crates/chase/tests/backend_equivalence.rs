@@ -1,0 +1,181 @@
+//! Cross-backend exact-equality properties.
+//!
+//! The columnar instance backend (dictionary-encoded columns +
+//! null-pattern buckets) is a pure layout optimization: running the
+//! standard chase, the disjunctive chase, and core minimization on the
+//! row store and on the columnar store must produce **bit-identical**
+//! results — the same facts in the same insertion order with the same
+//! fresh-null ids, the same firing/round counters, the same leaves,
+//! the same core. Only the homomorphism *work* counters (nodes,
+//! backtracks) may differ: bucket pruning skips candidate rows that
+//! would have failed unification, and that skipped work is exactly the
+//! point of the backend.
+//!
+//! All runs here are unbudgeted: a node budget could cut the two
+//! backends at different points of the (differently sized) search
+//! space, which is the one sanctioned divergence.
+
+use proptest::prelude::*;
+use rde_chase::{
+    chase, disjunctive_chase, ChaseMode, ChaseOptions, ChaseResult, ChaseStrategy,
+    DisjunctiveChaseOptions,
+};
+use rde_deps::{parse_dependency, Dependency};
+use rde_hom::core_of;
+use rde_model::{BackendKind, Fact, Instance, Vocabulary};
+
+/// Same-schema dependency pool: recursive rules, existentials, guards,
+/// and inequalities, so multi-round delta behaviour is exercised.
+const DEP_POOL: &[&str] = &[
+    "E(x, y) -> T(x, y)",
+    "T(x, y) & T(y, z) -> T(x, z)",
+    "T(x, y) -> exists w . S(y, w)",
+    "E(x, y) & E(y, x) -> exists u . T(x, u)",
+    "S(x, y) & Constant(x) -> T(x, x)",
+    "E(x, y) & x != y -> T(y, x)",
+];
+
+/// Disjunctive pool for the branching chase (Section 6).
+const DISJ_POOL: &[&str] = &[
+    "E(x, y) -> T(x, y) | exists w . S(y, w)",
+    "T(x, y) & T(y, z) -> T(x, z)",
+    "S(x, y) -> T(x, x) | T(y, y)",
+];
+
+fn setup(
+    pool: &[&str],
+    picks: &[bool],
+    facts: &[(bool, u8, bool, u8)],
+    backend: BackendKind,
+) -> (Vocabulary, Vec<Dependency>, Instance) {
+    let mut vocab = Vocabulary::new();
+    // Parse the full pool first so every run interns identical ids,
+    // then keep the picked subset (always at least the first rule).
+    let all: Vec<Dependency> =
+        pool.iter().map(|d| parse_dependency(&mut vocab, d).unwrap()).collect();
+    let deps: Vec<Dependency> = all
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i == 0 || picks.get(*i).copied().unwrap_or(false))
+        .map(|(_, d)| d)
+        .collect();
+    let e = vocab.find_relation("E").unwrap();
+    let value = |vocab: &mut Vocabulary, is_null: bool, i: u8| {
+        if is_null {
+            vocab.null_value(&format!("n{i}"))
+        } else {
+            vocab.const_value(&format!("c{i}"))
+        }
+    };
+    let instance: Instance = facts
+        .iter()
+        .map(|&(n1, a, n2, b)| {
+            let v1 = value(&mut vocab, n1, a);
+            let v2 = value(&mut vocab, n2, b);
+            Fact::new(e, vec![v1, v2])
+        })
+        .collect();
+    (vocab, deps, instance.into_backend(backend))
+}
+
+/// The bit-level content of an instance: every fact in iteration
+/// (relation id, insertion) order. Two instances with equal sequences
+/// agree on fact sets, insertion order, and null numbering.
+fn fact_seq(i: &Instance) -> Vec<Fact> {
+    i.facts().collect()
+}
+
+fn run_standard(
+    picks: &[bool],
+    facts: &[(bool, u8, bool, u8)],
+    mode: ChaseMode,
+    backend: BackendKind,
+) -> ChaseResult {
+    let (mut vocab, deps, instance) = setup(DEP_POOL, picks, facts, backend);
+    let options =
+        ChaseOptions { mode, strategy: ChaseStrategy::SemiNaive, ..ChaseOptions::default() };
+    chase(&instance, &deps, &mut vocab, &options).unwrap()
+}
+
+fn abstract_facts(max: usize) -> impl Strategy<Value = Vec<(bool, u8, bool, u8)>> {
+    prop::collection::vec((any::<bool>(), 0u8..4, any::<bool>(), 0u8..4), 0..=max)
+}
+
+fn dep_picks(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Standard chase, both firing modes: the columnar run equals the
+    /// row run bit-for-bit — facts, insertion order, null ids, firing
+    /// schedule. Everything except the hom work counters.
+    #[test]
+    fn standard_chase_is_backend_invariant(
+        picks in dep_picks(DEP_POOL.len()),
+        facts in abstract_facts(6),
+    ) {
+        for mode in [ChaseMode::Oblivious, ChaseMode::Standard] {
+            let row = run_standard(&picks, &facts, mode, BackendKind::Row);
+            let col = run_standard(&picks, &facts, mode, BackendKind::Columnar);
+            prop_assert_eq!(col.instance.backend(), BackendKind::Columnar);
+            prop_assert_eq!(fact_seq(&row.instance), fact_seq(&col.instance), "{:?}", mode);
+            prop_assert_eq!(row.instance.null_offset(), col.instance.null_offset());
+            prop_assert_eq!(row.fired, col.fired);
+            prop_assert_eq!(row.rounds, col.rounds);
+            prop_assert_eq!(row.round_stats.len(), col.round_stats.len());
+            for (a, b) in row.round_stats.iter().zip(&col.round_stats) {
+                prop_assert_eq!(a.delta, b.delta);
+                prop_assert_eq!(a.matches, b.matches, "pre-prune match counts must agree");
+                prop_assert_eq!(a.duplicates, b.duplicates);
+                prop_assert_eq!(a.satisfied, b.satisfied);
+                prop_assert_eq!(a.triggers, b.triggers);
+                prop_assert_eq!(a.fired, b.fired);
+                prop_assert_eq!(a.inserted, b.inserted);
+                prop_assert_eq!(a.hom.found, b.hom.found, "successful matches must agree");
+            }
+        }
+    }
+
+    /// Disjunctive chase: same leaves, in the same order, fact-for-fact.
+    #[test]
+    fn disjunctive_chase_is_backend_invariant(
+        picks in dep_picks(DISJ_POOL.len()),
+        facts in abstract_facts(4),
+    ) {
+        let run = |backend| {
+            let (mut vocab, deps, instance) = setup(DISJ_POOL, picks.as_slice(), &facts, backend);
+            disjunctive_chase(
+                &instance,
+                &deps,
+                &mut vocab,
+                &DisjunctiveChaseOptions::default(),
+            )
+            .unwrap()
+        };
+        let row = run(BackendKind::Row);
+        let col = run(BackendKind::Columnar);
+        prop_assert_eq!(row.steps, col.steps);
+        prop_assert_eq!(row.leaves.len(), col.leaves.len());
+        for (a, b) in row.leaves.iter().zip(&col.leaves) {
+            prop_assert_eq!(fact_seq(a), fact_seq(b));
+        }
+    }
+
+    /// Core minimization of a chased instance: identical core (facts
+    /// and order) and identical retraction on both backends.
+    #[test]
+    fn core_of_is_backend_invariant(
+        picks in dep_picks(DEP_POOL.len()),
+        facts in abstract_facts(5),
+    ) {
+        let row = run_standard(&picks, &facts, ChaseMode::Oblivious, BackendKind::Row);
+        let col = run_standard(&picks, &facts, ChaseMode::Oblivious, BackendKind::Columnar);
+        let rc = core_of(&row.instance);
+        let cc = core_of(&col.instance);
+        prop_assert_eq!(cc.core.backend(), BackendKind::Columnar, "core inherits the backend");
+        prop_assert_eq!(fact_seq(&rc.core), fact_seq(&cc.core));
+        prop_assert_eq!(rc.retraction, cc.retraction);
+    }
+}

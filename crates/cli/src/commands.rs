@@ -88,6 +88,7 @@ USAGE:
                   [--node-budget N] [--time-budget-ms N] [--retries N]
                   [--deadline-ms N] [--stats] [--metrics] [--trace-out PATH]
                   [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+                  [--backend row|columnar]
 
 COMMANDS:
     chase    <mapping> <instance>             canonical universal solution chase_M(I)
@@ -141,6 +142,12 @@ of the chase round state to PATH (atomically, every
 --checkpoint-every N completed rounds; default 1). --resume PATH
 restarts an interrupted run from such a snapshot; the resumed result
 is bit-identical to an uninterrupted run.
+
+--backend {row,columnar} picks the instance storage layout (default
+row). The columnar backend dictionary-encodes values and buckets rows
+by null pattern, pruning premise-match candidates; results are
+bit-identical across backends — compare --metrics or `rde profile`
+output to see the work difference (chase.bucket.scanned/skipped).
 ";
 
 /// Run a full command line (everything after `argv[0]`).
@@ -213,8 +220,12 @@ fn load_mapping(vocab: &mut Vocabulary, path: &str) -> Result<SchemaMapping, Str
     parse_mapping(vocab, &read(path)?).map_err(|e| format!("{path}: {e}"))
 }
 
-fn load_instance(vocab: &mut Vocabulary, path: &str) -> Result<Instance, String> {
-    parse_instance(vocab, &read(path)?).map_err(|e| format!("{path}: {e}"))
+/// Parse an instance file and land it on the backend selected by
+/// `--backend` (every instance derived from it inherits the layout).
+fn load_instance(vocab: &mut Vocabulary, opts: &Options, path: &str) -> Result<Instance, String> {
+    parse_instance(vocab, &read(path)?)
+        .map(|i| i.into_backend(opts.backend))
+        .map_err(|e| format!("{path}: {e}"))
 }
 
 fn universe(vocab: &mut Vocabulary, opts: &Options) -> Universe {
@@ -265,7 +276,7 @@ fn print_hom_stats(stats: &HomStats) {
 fn cmd_chase(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
-    let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
+    let instance = load_instance(&mut vocab, opts, opts.positional(1, "instance file")?)?;
     let options = chase_options(opts);
     let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
         .map_err(chase_err)?;
@@ -281,7 +292,7 @@ fn cmd_reverse(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
-    let instance = load_instance(&mut vocab, opts.positional(2, "instance file")?)?;
+    let instance = load_instance(&mut vocab, opts, opts.positional(2, "instance file")?)?;
     let u = chase_mapping(&instance, &mapping, &mut vocab, &ChaseOptions::default())
         .map_err(|e| e.to_string())?;
     let result = disjunctive_chase(
@@ -522,7 +533,7 @@ fn cmd_certain(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
     let reverse = load_mapping(&mut vocab, opts.positional(1, "reverse mapping file")?)?;
-    let instance = load_instance(&mut vocab, opts.positional(2, "instance file")?)?;
+    let instance = load_instance(&mut vocab, opts, opts.positional(2, "instance file")?)?;
     let query_text = opts.positional(3, "query")?;
     let q = ConjunctiveQuery::parse(&mut vocab, query_text).map_err(|e| e.to_string())?;
     let answers = rde_query::reverse_certain_answers(
@@ -545,7 +556,7 @@ fn cmd_certain(opts: &Options) -> Result<(), CliError> {
 fn cmd_core(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
-    let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
+    let instance = load_instance(&mut vocab, opts, opts.positional(1, "instance file")?)?;
     let options = chase_options(opts);
     let core = rde_chase::core_chase_mapping(&instance, &mapping, &mut vocab, &options)
         .map_err(chase_err)?;
@@ -557,8 +568,8 @@ fn cmd_hom(opts: &Options) -> Result<(), CliError> {
     // Both instances share one vocabulary: `?name` in either file
     // denotes the same labeled null.
     let mut vocab = Vocabulary::new();
-    let i1 = load_instance(&mut vocab, opts.positional(0, "first instance file")?)?;
-    let i2 = load_instance(&mut vocab, opts.positional(1, "second instance file")?)?;
+    let i1 = load_instance(&mut vocab, opts, opts.positional(0, "first instance file")?)?;
+    let i2 = load_instance(&mut vocab, opts, opts.positional(1, "second instance file")?)?;
     match rde_hom::find_hom(&i1, &i2) {
         Some(h) => {
             println!("I1 -> I2: YES");
@@ -581,7 +592,7 @@ fn cmd_hom(opts: &Options) -> Result<(), CliError> {
 
 fn cmd_eval(opts: &Options) -> Result<(), CliError> {
     let mut vocab = Vocabulary::new();
-    let instance = load_instance(&mut vocab, opts.positional(0, "instance file")?)?;
+    let instance = load_instance(&mut vocab, opts, opts.positional(0, "instance file")?)?;
     let q = ConjunctiveQuery::parse(&mut vocab, opts.positional(1, "query")?)
         .map_err(|e| e.to_string())?;
     let all = rde_query::evaluate(&q, &instance);
@@ -675,7 +686,7 @@ fn cmd_faithful(opts: &Options) -> Result<(), CliError> {
 fn profile_chase(opts: &Options) -> Result<(u64, u64), CliError> {
     let mut vocab = Vocabulary::new();
     let mapping = load_mapping(&mut vocab, opts.positional(0, "mapping file")?)?;
-    let instance = load_instance(&mut vocab, opts.positional(1, "instance file")?)?;
+    let instance = load_instance(&mut vocab, opts, opts.positional(1, "instance file")?)?;
     let options = chase_options(opts);
     let result = rde_chase::chase(&instance, &mapping.dependencies, &mut vocab, &options)
         .map_err(chase_err)?;

@@ -237,6 +237,8 @@ impl CompiledPattern {
             stats: HomStats::default(),
             trail: Vec::new(),
             prunes: 0,
+            buckets_scanned: 0,
+            buckets_skipped: 0,
             exhausted: None,
             on_found,
         };
@@ -263,6 +265,8 @@ impl CompiledPattern {
         rde_obs::counter!("hom.search.backtracks").add(searcher.stats.backtracks);
         rde_obs::counter!("hom.search.found").add(searcher.stats.found);
         rde_obs::counter!("hom.search.prunes").add(searcher.prunes);
+        rde_obs::counter!("chase.bucket.scanned").add(searcher.buckets_scanned);
+        rde_obs::counter!("chase.bucket.skipped").add(searcher.buckets_skipped);
         if searcher.exhausted.is_some() {
             rde_obs::counter!("hom.search.exhausted").inc();
         }
@@ -292,6 +296,11 @@ struct Searcher<'a, F: FnMut(&[Option<Value>]) -> bool> {
     /// it. Flushed to the `hom.search.prunes` metric (deliberately not
     /// part of [`HomStats`], whose layout is pinned by boundary tests).
     prunes: u64,
+    /// Null-pattern buckets touched / pruned while generating candidate
+    /// rows (columnar backend only; both stay 0 on the row store).
+    /// Flushed to `chase.bucket.scanned` / `chase.bucket.skipped`.
+    buckets_scanned: u64,
+    buckets_skipped: u64,
     /// Set when a budget cut the search short.
     exhausted: Option<Exhausted>,
     /// Callback; returns `false` to stop enumerating.
@@ -321,6 +330,7 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
             Rows::All(n) => *n,
             Rows::Some(v) => v.len(),
         };
+        rde_obs::histogram!("chase.match.candidates").record(n_rows as u64);
         for i in 0..n_rows {
             let row = match &rows {
                 Rows::All(_) => i as u32,
@@ -407,7 +417,7 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
         let mut best = f.rel_data.len() as u64;
         for (col, arg) in f.args.iter().enumerate() {
             if let Some(v) = self.arg_value(*arg) {
-                let n = f.rel_data.rows_with(col, v).len() as u64;
+                let n = f.rel_data.rows_with(col, &v).len() as u64;
                 best = best.min(n);
             }
         }
@@ -421,52 +431,111 @@ impl<F: FnMut(&[Option<Value>]) -> bool> Searcher<'_, F> {
         }
     }
 
-    /// Candidate target rows for a fact under the current assignment.
-    fn candidate_rows(&self, fact_idx: usize) -> Rows {
+    /// The null/constant requirements the atom imposes on candidate
+    /// rows under the current assignment: bit `c` of the first mask
+    /// demands a *constant* in column `c`, bit `c` of the second a
+    /// *null*. Columns whose pattern argument is still an unbound
+    /// variable constrain nothing, and columns ≥ 64 carry no bits —
+    /// mirroring the per-row null masks of the columnar store.
+    fn pattern_masks(&self, args: &[PatArg]) -> (u64, u64) {
+        let mut const_mask = 0u64;
+        let mut null_mask = 0u64;
+        for (col, arg) in args.iter().enumerate().take(64) {
+            if let Some(v) = self.arg_value(*arg) {
+                if v.is_const() {
+                    const_mask |= 1 << col;
+                } else {
+                    null_mask |= 1 << col;
+                }
+            }
+        }
+        (const_mask, null_mask)
+    }
+
+    /// Candidate target rows for a fact under the current assignment:
+    /// the cheapest bound column's posting list, further pruned by the
+    /// null-pattern buckets when the relation is columnar. Every path
+    /// yields rows in ascending order, so match emission order — and
+    /// therefore everything downstream: trigger order, fresh-null
+    /// numbering, checkpoint bytes — is identical across backends; the
+    /// pruning only drops rows whose null pattern contradicts the
+    /// atom's, which would have failed unification anyway.
+    fn candidate_rows(&mut self, fact_idx: usize) -> Rows {
         let f = &self.facts[fact_idx];
+        let (data, args) = (f.rel_data, f.args);
         if self.config.use_index {
             let mut best: Option<&[u32]> = None;
-            for (col, arg) in f.args.iter().enumerate() {
+            for (col, arg) in args.iter().enumerate() {
                 if let Some(v) = self.arg_value(*arg) {
-                    let rows = f.rel_data.rows_with(col, v);
+                    let rows = data.rows_with(col, &v);
                     if best.is_none_or(|b| rows.len() < b.len()) {
                         best = Some(rows);
                     }
                 }
             }
             if let Some(rows) = best {
+                if let Some(masks) = data.null_masks() {
+                    let (const_mask, null_mask) = self.pattern_masks(args);
+                    if let Some((scanned, skipped)) = data.bucket_stats(const_mask, null_mask) {
+                        self.buckets_scanned += scanned;
+                        self.buckets_skipped += skipped;
+                    }
+                    if const_mask != 0 || null_mask != 0 {
+                        let filtered: Vec<u32> = rows
+                            .iter()
+                            .copied()
+                            .filter(|&r| {
+                                let m = masks[r as usize];
+                                m & const_mask == 0 && m & null_mask == null_mask
+                            })
+                            .collect();
+                        return Rows::Some(filtered);
+                    }
+                }
                 return Rows::Some(rows.to_vec());
             }
         }
-        Rows::All(f.rel_data.len())
+        // No bound column (or indexes disabled): scan the relation. With
+        // nothing bound the pattern masks are empty by construction, so
+        // bucket pruning cannot help; the bucket counters still see the
+        // scan so `chase.bucket.scanned` reflects all candidate work.
+        if self.config.use_index {
+            if let Some((scanned, skipped)) = data.bucket_stats(0, 0) {
+                self.buckets_scanned += scanned;
+                self.buckets_skipped += skipped;
+            }
+        }
+        Rows::All(data.len())
+    }
+
+    /// Check one pattern argument against one target value, binding a
+    /// fresh variable (recorded on the shared trail) as needed.
+    #[inline]
+    fn bind(&mut self, arg: PatArg, tv: Value) -> bool {
+        match arg {
+            PatArg::Fixed(v) => v == tv,
+            PatArg::Var(x) => match self.vals[x as usize] {
+                Some(v) => v == tv,
+                None => {
+                    self.vals[x as usize] = Some(tv);
+                    self.trail.push(x);
+                    true
+                }
+            },
+        }
     }
 
     /// Try to map fact `fact_idx` onto target row `row`, binding
     /// variables as needed; new bindings are pushed on the shared trail.
+    /// The row store hands out the tuple as one slice; the columnar
+    /// store is probed cell-by-cell (no contiguous row exists there).
     fn unify(&mut self, fact_idx: usize, row: u32) -> bool {
         let f = &self.facts[fact_idx];
-        let tuple = f.rel_data.tuple(row);
-        for (arg, &tv) in f.args.iter().zip(tuple) {
-            match *arg {
-                PatArg::Fixed(v) => {
-                    if v != tv {
-                        return false;
-                    }
-                }
-                PatArg::Var(x) => match self.vals[x as usize] {
-                    Some(v) => {
-                        if v != tv {
-                            return false;
-                        }
-                    }
-                    None => {
-                        self.vals[x as usize] = Some(tv);
-                        self.trail.push(x);
-                    }
-                },
-            }
+        let (data, args) = (f.rel_data, f.args);
+        match data.row_slice(row) {
+            Some(tuple) => args.iter().zip(tuple).all(|(&arg, &tv)| self.bind(arg, tv)),
+            None => (0..args.len()).all(|col| self.bind(args[col], data.value_at(row, col))),
         }
-        true
     }
 }
 

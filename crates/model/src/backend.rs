@@ -1,0 +1,661 @@
+//! Instance storage backends: the row store and the columnar store.
+//!
+//! [`crate::Instance`] keeps one [`crate::RelationData`] per relation
+//! symbol; the tuple storage itself sits behind the [`InstanceBackend`]
+//! trait, with two implementations:
+//!
+//! * [`RowRelation`] — boxed `[Value]` tuples in insertion order plus
+//!   per-column posting lists (the original layout);
+//! * [`ColumnarRelation`] — column-major vectors of dictionary-encoded
+//!   `u32` codes (constants and nulls interned into one per-relation
+//!   dictionary, nulls kept distinct from constants), a per-row
+//!   **null-pattern bitmask** (bit `c` set ⇔ column `c` holds a null),
+//!   and row ids bucketed by that mask.
+//!
+//! The columnar layout exists for premise matching. A partially bound
+//! pattern atom knows which positions must unify with a constant and
+//! which with an already-bound null; a row whose null pattern disagrees
+//! at any such position can never unify, so it is dropped with one
+//! `u64` test — and whole buckets are skipped without touching a single
+//! row (see [`ColumnarRelation::bucket_rows`]).
+//!
+//! **Equivalence invariant.** Both backends keep identical row ids
+//! (insert appends; remove swap-moves the last row into the freed
+//! slot), identical sorted posting lists, and every candidate
+//! enumeration runs in ascending row-id order. Null-pattern pruning
+//! only removes rows that would fail unification anyway, so a search
+//! yields the same matches in the same order on either backend — which
+//! keeps chase trigger order, fresh-null numbering, and checkpoint
+//! bytes bit-identical across backends. (Work counters such as
+//! `hom.search.nodes` do differ: skipping doomed candidates is the
+//! point.)
+
+use std::collections::BTreeMap;
+
+use crate::fx::FxHashMap;
+use crate::value::Value;
+
+/// Which tuple layout an [`crate::Instance`] uses for its relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Row store: boxed tuples plus per-column posting lists.
+    Row,
+    /// Columnar store: dictionary-encoded columns plus null-pattern
+    /// buckets.
+    Columnar,
+}
+
+impl Default for BackendKind {
+    /// The build-wide default backend. The `columnar-default` cargo
+    /// feature flips it to [`BackendKind::Columnar`] so the entire test
+    /// suite (golden corpus included) replays against the columnar
+    /// layout.
+    fn default() -> Self {
+        if cfg!(feature = "columnar-default") {
+            BackendKind::Columnar
+        } else {
+            BackendKind::Row
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Row => f.write_str("row"),
+            BackendKind::Columnar => f.write_str("columnar"),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "row" => Ok(BackendKind::Row),
+            "columnar" => Ok(BackendKind::Columnar),
+            other => Err(format!("unknown backend {other:?} (expected 'row' or 'columnar')")),
+        }
+    }
+}
+
+/// Per-relation tuple storage: the contract both layouts implement.
+///
+/// Row ids are dense `0..len()`: [`InstanceBackend::insert`] appends,
+/// [`InstanceBackend::remove`] swap-moves the last row into the freed
+/// slot, and posting lists hold ascending row ids. Implementations must
+/// keep these observable behaviours aligned — the engine's
+/// cross-backend determinism rests on them.
+pub trait InstanceBackend {
+    /// An empty relation with the given number of columns.
+    fn with_arity(arity: usize) -> Self;
+
+    /// Which layout this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Number of columns.
+    fn arity(&self) -> usize;
+
+    /// Number of tuples.
+    fn len(&self) -> usize;
+
+    /// Is the relation empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Does the relation contain this exact tuple?
+    fn contains(&self, tuple: &[Value]) -> bool;
+
+    /// Insert a tuple; `true` if it was new.
+    fn insert(&mut self, tuple: &[Value]) -> bool;
+
+    /// Remove a tuple in place, if present; returns `true` when
+    /// removed. The last row is swap-moved into the freed slot (row ids
+    /// previously obtained from [`InstanceBackend::rows_with`] are
+    /// invalidated) and every index is repaired.
+    fn remove(&mut self, tuple: &[Value]) -> bool;
+
+    /// Row ids whose column `col` holds `value`, ascending (empty slice
+    /// if none, including on an empty relation with no indexes yet).
+    fn rows_with(&self, col: usize, value: &Value) -> &[u32];
+
+    /// The value in one cell, by row id and column.
+    fn value_at(&self, row: u32, col: usize) -> Value;
+}
+
+/// Row-major storage: boxed `[Value]` tuples in insertion order,
+/// deduplicated through a hash map, with per-column posting lists
+/// `value → sorted row ids`.
+#[derive(Debug, Clone, Default)]
+pub struct RowRelation {
+    tuples: Vec<Box<[Value]>>,
+    dedup: FxHashMap<Box<[Value]>, u32>,
+    /// `index[col][value]` = sorted row ids with `value` in column `col`.
+    index: Vec<FxHashMap<Value, Vec<u32>>>,
+}
+
+impl RowRelation {
+    /// The tuple at a row id returned by [`InstanceBackend::rows_with`].
+    pub fn tuple(&self, row: u32) -> &[Value] {
+        &self.tuples[row as usize]
+    }
+
+    /// Drop `row` from the sorted posting list of `v`, pruning the list
+    /// when it empties.
+    fn unindex(col_index: &mut FxHashMap<Value, Vec<u32>>, v: Value, row: u32) {
+        let rows = col_index.get_mut(&v).expect("removed tuple is indexed");
+        let pos = rows.binary_search(&row).expect("removed row is listed");
+        rows.remove(pos);
+        if rows.is_empty() {
+            col_index.remove(&v);
+        }
+    }
+}
+
+impl InstanceBackend for RowRelation {
+    fn with_arity(arity: usize) -> Self {
+        RowRelation {
+            tuples: Vec::new(),
+            dedup: FxHashMap::default(),
+            index: vec![FxHashMap::default(); arity],
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Row
+    }
+
+    fn arity(&self) -> usize {
+        self.index.len()
+    }
+
+    fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn contains(&self, tuple: &[Value]) -> bool {
+        self.dedup.contains_key(tuple)
+    }
+
+    fn insert(&mut self, tuple: &[Value]) -> bool {
+        if self.dedup.contains_key(tuple) {
+            return false;
+        }
+        let row = u32::try_from(self.tuples.len()).expect("relation too large");
+        for (col, &v) in tuple.iter().enumerate() {
+            self.index[col].entry(v).or_default().push(row);
+        }
+        let boxed: Box<[Value]> = tuple.into();
+        self.dedup.insert(boxed.clone(), row);
+        self.tuples.push(boxed);
+        true
+    }
+
+    fn remove(&mut self, tuple: &[Value]) -> bool {
+        let Some(row) = self.dedup.remove(tuple) else {
+            return false;
+        };
+        for (col, &v) in tuple.iter().enumerate() {
+            Self::unindex(&mut self.index[col], v, row);
+        }
+        let last = u32::try_from(self.tuples.len() - 1).expect("relation too large");
+        self.tuples.swap_remove(row as usize);
+        if row != last {
+            // The previous last tuple now lives at `row`: renumber its
+            // posting-list entries and its dedup slot.
+            let moved = &self.tuples[row as usize];
+            for (col, &v) in moved.iter().enumerate() {
+                let rows = self.index[col].get_mut(&v).expect("moved tuple is indexed");
+                let pos = rows.binary_search(&last).expect("moved row is listed");
+                rows.remove(pos);
+                let ins = rows.binary_search(&row).expect_err("freed row id is unused");
+                rows.insert(ins, row);
+            }
+            *self.dedup.get_mut(&**moved).expect("moved tuple is deduped") = row;
+        }
+        true
+    }
+
+    fn rows_with(&self, col: usize, value: &Value) -> &[u32] {
+        self.index.get(col).and_then(|m| m.get(value)).map_or(&[], |v| &v[..])
+    }
+
+    fn value_at(&self, row: u32, col: usize) -> Value {
+        self.tuples[row as usize][col]
+    }
+}
+
+/// Column-major storage with dictionary encoding and null-pattern
+/// buckets.
+///
+/// * `decode`/`encode` — the per-relation value dictionary. Codes are
+///   assigned in first-appearance order; the dictionary never shrinks,
+///   so codes stay stable across removals.
+/// * `columns[c][r]` — the code of row `r`'s value in column `c`.
+/// * `masks[r]` — row `r`'s null pattern over the first 64 columns.
+/// * `buckets` — ascending row ids grouped by mask (deterministically
+///   ordered by mask value).
+/// * `index[c][code]` — ascending row ids holding `code` in column `c`.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarRelation {
+    arity: usize,
+    decode: Vec<Value>,
+    encode: FxHashMap<Value, u32>,
+    columns: Vec<Vec<u32>>,
+    masks: Vec<u64>,
+    buckets: BTreeMap<u64, Vec<u32>>,
+    index: Vec<FxHashMap<u32, Vec<u32>>>,
+    dedup: FxHashMap<Box<[u32]>, u32>,
+}
+
+impl ColumnarRelation {
+    /// Intern one value, assigning the next code on first sight.
+    fn code_of(&mut self, v: Value) -> u32 {
+        if let Some(&c) = self.encode.get(&v) {
+            return c;
+        }
+        let c = u32::try_from(self.decode.len()).expect("dictionary too large");
+        self.decode.push(v);
+        self.encode.insert(v, c);
+        c
+    }
+
+    /// Encode a tuple without interning; `None` when some value is not
+    /// in the dictionary (then the tuple cannot be stored here).
+    fn encoded(&self, tuple: &[Value]) -> Option<Vec<u32>> {
+        tuple.iter().map(|v| self.encode.get(v).copied()).collect()
+    }
+
+    /// Null-pattern mask of a tuple. Columns ≥ 64 contribute no bits;
+    /// pruning never consults them, so the clamp is sound (it only
+    /// means fewer doomed candidates get skipped on very wide rows).
+    fn mask_of(tuple: &[Value]) -> u64 {
+        let mut m = 0u64;
+        for (c, v) in tuple.iter().enumerate().take(64) {
+            if v.is_null() {
+                m |= 1 << c;
+            }
+        }
+        m
+    }
+
+    /// Is a row/bucket mask compatible with a pattern that requires
+    /// constants at `const_required` and nulls at `null_required`?
+    #[inline]
+    fn mask_ok(mask: u64, const_required: u64, null_required: u64) -> bool {
+        mask & const_required == 0 && mask & null_required == null_required
+    }
+
+    /// The per-row null-pattern masks, indexable by row id.
+    pub fn masks(&self) -> &[u64] {
+        &self.masks
+    }
+
+    /// Count the buckets a pattern with the given requirements scans vs
+    /// skips (the numbers behind the `chase.bucket.*` counters).
+    pub fn bucket_stats(&self, const_required: u64, null_required: u64) -> (u64, u64) {
+        let mut scanned = 0;
+        let mut skipped = 0;
+        for &m in self.buckets.keys() {
+            if Self::mask_ok(m, const_required, null_required) {
+                scanned += 1;
+            } else {
+                skipped += 1;
+            }
+        }
+        (scanned, skipped)
+    }
+
+    /// All rows in pattern-compatible buckets, ascending, plus the
+    /// scanned/skipped bucket counts.
+    pub fn bucket_rows(&self, const_required: u64, null_required: u64) -> BucketScan<'_> {
+        let mut compatible: Vec<&[u32]> = Vec::new();
+        let mut skipped = 0u64;
+        for (&m, rows) in &self.buckets {
+            if Self::mask_ok(m, const_required, null_required) {
+                compatible.push(rows);
+            } else {
+                skipped += 1;
+            }
+        }
+        let scanned = compatible.len() as u64;
+        let rows = if skipped == 0 {
+            BucketRows::All(self.masks.len())
+        } else if let [only] = compatible[..] {
+            BucketRows::One(only)
+        } else {
+            let mut merged: Vec<u32> = compatible.iter().flat_map(|r| r.iter().copied()).collect();
+            merged.sort_unstable();
+            BucketRows::Merged(merged)
+        };
+        BucketScan { rows, scanned, skipped }
+    }
+
+    /// Materialize one row as owned values (the generic tuple iterator
+    /// and equality paths go through this).
+    pub fn tuple_vec(&self, row: u32) -> Vec<Value> {
+        (0..self.arity).map(|c| self.value_at(row, c)).collect()
+    }
+
+    /// Drop `row` from the sorted posting list of `code`, pruning the
+    /// list when it empties.
+    fn unindex(col_index: &mut FxHashMap<u32, Vec<u32>>, code: u32, row: u32) {
+        let rows = col_index.get_mut(&code).expect("removed tuple is indexed");
+        let pos = rows.binary_search(&row).expect("removed row is listed");
+        rows.remove(pos);
+        if rows.is_empty() {
+            col_index.remove(&code);
+        }
+    }
+
+    /// Drop `row` from its bucket, pruning the bucket when it empties.
+    fn unbucket(buckets: &mut BTreeMap<u64, Vec<u32>>, mask: u64, row: u32) {
+        let rows = buckets.get_mut(&mask).expect("removed row is bucketed");
+        let pos = rows.binary_search(&row).expect("removed row is in its bucket");
+        rows.remove(pos);
+        if rows.is_empty() {
+            buckets.remove(&mask);
+        }
+    }
+
+    /// Replace row id `last` with `row` in a sorted row list.
+    fn renumber(rows: &mut Vec<u32>, last: u32, row: u32) {
+        let pos = rows.binary_search(&last).expect("moved row is listed");
+        rows.remove(pos);
+        let ins = rows.binary_search(&row).expect_err("freed row id is unused");
+        rows.insert(ins, row);
+    }
+}
+
+impl InstanceBackend for ColumnarRelation {
+    fn with_arity(arity: usize) -> Self {
+        ColumnarRelation {
+            arity,
+            columns: vec![Vec::new(); arity],
+            index: vec![FxHashMap::default(); arity],
+            ..ColumnarRelation::default()
+        }
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Columnar
+    }
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    fn contains(&self, tuple: &[Value]) -> bool {
+        self.encoded(tuple).is_some_and(|codes| self.dedup.contains_key(&codes[..]))
+    }
+
+    fn insert(&mut self, tuple: &[Value]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity, "inconsistent arity");
+        let codes: Box<[u32]> = tuple.iter().map(|&v| self.code_of(v)).collect();
+        if self.dedup.contains_key(&codes[..]) {
+            return false;
+        }
+        let row = u32::try_from(self.masks.len()).expect("relation too large");
+        for (col, &code) in codes.iter().enumerate() {
+            self.columns[col].push(code);
+            self.index[col].entry(code).or_default().push(row);
+        }
+        let mask = Self::mask_of(tuple);
+        self.masks.push(mask);
+        self.buckets.entry(mask).or_default().push(row);
+        self.dedup.insert(codes, row);
+        true
+    }
+
+    fn remove(&mut self, tuple: &[Value]) -> bool {
+        let Some(codes) = self.encoded(tuple) else {
+            return false;
+        };
+        let Some(row) = self.dedup.remove(&codes[..]) else {
+            return false;
+        };
+        for (col, &code) in codes.iter().enumerate() {
+            Self::unindex(&mut self.index[col], code, row);
+        }
+        let last = u32::try_from(self.masks.len() - 1).expect("relation too large");
+        Self::unbucket(&mut self.buckets, self.masks[row as usize], row);
+        for col in &mut self.columns {
+            col.swap_remove(row as usize);
+        }
+        self.masks.swap_remove(row as usize);
+        if row != last {
+            // The previous last row now lives at `row`: renumber its
+            // posting-list entries, its bucket slot, and its dedup slot.
+            let moved: Box<[u32]> = self.columns.iter().map(|c| c[row as usize]).collect();
+            for (col, &code) in moved.iter().enumerate() {
+                let rows = self.index[col].get_mut(&code).expect("moved tuple is indexed");
+                Self::renumber(rows, last, row);
+            }
+            let mask = self.masks[row as usize];
+            let rows = self.buckets.get_mut(&mask).expect("moved row is bucketed");
+            Self::renumber(rows, last, row);
+            *self.dedup.get_mut(&moved[..]).expect("moved tuple is deduped") = row;
+        }
+        true
+    }
+
+    fn rows_with(&self, col: usize, value: &Value) -> &[u32] {
+        let Some(&code) = self.encode.get(value) else {
+            return &[];
+        };
+        self.index.get(col).and_then(|m| m.get(&code)).map_or(&[], |v| &v[..])
+    }
+
+    fn value_at(&self, row: u32, col: usize) -> Value {
+        self.decode[self.columns[col][row as usize] as usize]
+    }
+}
+
+/// Rows selected by a null-pattern bucket scan, always in ascending
+/// row-id order.
+#[derive(Debug)]
+pub enum BucketRows<'a> {
+    /// Every row is pattern-compatible: scan `0..n`.
+    All(usize),
+    /// Exactly one bucket is compatible.
+    One(&'a [u32]),
+    /// Several (or zero) buckets, merged into ascending row order.
+    Merged(Vec<u32>),
+}
+
+/// Result of [`ColumnarRelation::bucket_rows`]: the compatible rows
+/// plus how many buckets were scanned vs skipped.
+#[derive(Debug)]
+pub struct BucketScan<'a> {
+    /// The pattern-compatible rows, ascending.
+    pub rows: BucketRows<'a>,
+    /// Buckets whose rows are included.
+    pub scanned: u64,
+    /// Buckets pruned wholesale.
+    pub skipped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ConstId, NullId};
+
+    fn c(i: u32) -> Value {
+        Value::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Value {
+        Value::Null(NullId(i))
+    }
+
+    /// Drive both backends through the same script and assert every
+    /// observable agrees, cell by cell and posting list by posting list.
+    fn assert_backends_agree(row: &RowRelation, col: &ColumnarRelation, domain: &[Value]) {
+        assert_eq!(row.len(), col.len());
+        assert_eq!(row.arity(), col.arity());
+        for r in 0..row.len() as u32 {
+            for cidx in 0..row.arity() {
+                assert_eq!(row.value_at(r, cidx), col.value_at(r, cidx), "cell ({r}, {cidx})");
+            }
+        }
+        for cidx in 0..row.arity() {
+            for v in domain {
+                assert_eq!(row.rows_with(cidx, v), col.rows_with(cidx, v), "col {cidx} {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_insert_dedups_and_indexes() {
+        let mut d = ColumnarRelation::with_arity(2);
+        assert!(d.insert(&[c(0), c(1)]));
+        assert!(!d.insert(&[c(0), c(1)]), "duplicate rejected");
+        assert!(d.insert(&[c(0), n(3)]));
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&[c(0), n(3)]));
+        assert!(!d.contains(&[c(1), c(0)]));
+        assert!(!d.contains(&[c(9), c(9)]), "values outside the dictionary");
+        assert_eq!(d.rows_with(0, &c(0)), &[0, 1]);
+        assert_eq!(d.rows_with(1, &c(1)), &[0]);
+        assert_eq!(d.rows_with(1, &n(3)), &[1]);
+        assert_eq!(d.rows_with(1, &c(9)), &[] as &[u32]);
+        assert_eq!(d.value_at(1, 1), n(3));
+    }
+
+    #[test]
+    fn nulls_and_constants_encode_distinctly() {
+        // Const(5) and Null(5) must never collide in the dictionary.
+        let mut d = ColumnarRelation::with_arity(1);
+        assert!(d.insert(&[c(5)]));
+        assert!(d.insert(&[n(5)]));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value_at(0, 0), c(5));
+        assert_eq!(d.value_at(1, 0), n(5));
+        assert_eq!(d.rows_with(0, &c(5)), &[0]);
+        assert_eq!(d.rows_with(0, &n(5)), &[1]);
+    }
+
+    #[test]
+    fn masks_and_buckets_track_null_patterns() {
+        let mut d = ColumnarRelation::with_arity(2);
+        d.insert(&[c(0), c(1)]); // mask 0b00
+        d.insert(&[n(0), c(1)]); // mask 0b01
+        d.insert(&[c(0), n(1)]); // mask 0b10
+        d.insert(&[c(2), c(1)]); // mask 0b00
+        assert_eq!(d.masks(), &[0b00, 0b01, 0b10, 0b00]);
+        // Pattern: column 0 must be a constant → skip the 0b01 bucket.
+        let scan = d.bucket_rows(0b01, 0);
+        assert_eq!(scan.scanned, 2);
+        assert_eq!(scan.skipped, 1);
+        match scan.rows {
+            BucketRows::Merged(rows) => assert_eq!(rows, vec![0, 2, 3]),
+            other => panic!("expected merged buckets, got {other:?}"),
+        }
+        // Pattern: column 1 must be a null → only the 0b10 bucket.
+        let scan = d.bucket_rows(0, 0b10);
+        assert_eq!((scan.scanned, scan.skipped), (1, 2));
+        match scan.rows {
+            BucketRows::One(rows) => assert_eq!(rows, &[2]),
+            other => panic!("expected one bucket, got {other:?}"),
+        }
+        // No requirement: everything qualifies.
+        let scan = d.bucket_rows(0, 0);
+        assert!(matches!(scan.rows, BucketRows::All(4)));
+        assert_eq!((scan.scanned, scan.skipped), (3, 0));
+        assert_eq!(d.bucket_stats(0b01, 0), (2, 1));
+    }
+
+    #[test]
+    fn bucket_rows_can_come_up_empty() {
+        let mut d = ColumnarRelation::with_arity(1);
+        d.insert(&[c(0)]);
+        let scan = d.bucket_rows(0, 0b1); // requires a null; none exist
+        assert_eq!((scan.scanned, scan.skipped), (0, 1));
+        match scan.rows {
+            BucketRows::Merged(rows) => assert!(rows.is_empty()),
+            other => panic!("expected empty merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wide_rows_clamp_the_mask_soundly() {
+        // Arity 70: columns ≥ 64 carry no bits; a null out there must
+        // not be pruneable (or prunable) by mask.
+        let arity = 70;
+        let mut tuple: Vec<Value> = (0..arity as u32).map(c).collect();
+        tuple[69] = n(0);
+        let mut d = ColumnarRelation::with_arity(arity);
+        assert!(d.insert(&tuple));
+        assert_eq!(d.masks(), &[0], "null at column 69 is invisible to the mask");
+        assert!(matches!(d.bucket_rows(0, 0).rows, BucketRows::All(1)));
+    }
+
+    #[test]
+    fn remove_swaps_and_repairs_like_the_row_store() {
+        let script: &[&[Value]] =
+            &[&[c(0), c(1)], &[c(0), n(2)], &[c(3), c(1)], &[n(0), n(2)], &[c(3), n(0)]];
+        let domain: Vec<Value> = vec![c(0), c(1), c(3), n(0), n(2)];
+        let mut row = RowRelation::with_arity(2);
+        let mut col = ColumnarRelation::with_arity(2);
+        for t in script {
+            assert_eq!(row.insert(t), col.insert(t));
+        }
+        assert_backends_agree(&row, &col, &domain);
+        // Remove a middle row (forces a swap), then the head, then a
+        // missing tuple.
+        for victim in [&[c(0), n(2)][..], &[c(0), c(1)][..], &[c(9), c(9)][..]] {
+            assert_eq!(row.remove(victim), col.remove(victim), "remove {victim:?}");
+            assert_backends_agree(&row, &col, &domain);
+        }
+        // Buckets stay consistent with the masks after repairs.
+        for (r, &m) in col.masks().iter().enumerate() {
+            let scan = col.bucket_rows(!m & 0b11, m);
+            let listed = match scan.rows {
+                BucketRows::All(n) => (0..n as u32).collect::<Vec<_>>(),
+                BucketRows::One(rows) => rows.to_vec(),
+                BucketRows::Merged(rows) => rows,
+            };
+            assert!(listed.contains(&(r as u32)), "row {r} listed in its own bucket");
+        }
+    }
+
+    #[test]
+    fn remove_then_reinsert_keeps_codes_stable() {
+        let mut d = ColumnarRelation::with_arity(1);
+        d.insert(&[c(7)]);
+        d.insert(&[c(8)]);
+        assert!(d.remove(&[c(7)]));
+        // c(8) was swap-moved to row 0.
+        assert_eq!(d.value_at(0, 0), c(8));
+        assert_eq!(d.rows_with(0, &c(8)), &[0]);
+        assert_eq!(d.rows_with(0, &c(7)), &[] as &[u32]);
+        // The dictionary never shrinks: reinsertion reuses the code.
+        assert!(d.insert(&[c(7)]));
+        assert_eq!(d.value_at(1, 0), c(7));
+    }
+
+    #[test]
+    fn zero_arity_relations_work() {
+        let mut d = ColumnarRelation::with_arity(0);
+        assert!(d.insert(&[]));
+        assert!(!d.insert(&[]));
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&[]));
+        assert!(d.remove(&[]));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn backend_kind_parses_and_displays() {
+        assert_eq!("row".parse::<BackendKind>().unwrap(), BackendKind::Row);
+        assert_eq!("columnar".parse::<BackendKind>().unwrap(), BackendKind::Columnar);
+        assert!("arrow".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Row.to_string(), "row");
+        assert_eq!(BackendKind::Columnar.to_string(), "columnar");
+    }
+}

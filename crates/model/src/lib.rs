@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod display;
 pub mod enumerate;
 mod error;
@@ -39,9 +40,12 @@ mod substitution;
 mod value;
 mod vocab;
 
+pub use backend::{
+    BackendKind, BucketRows, BucketScan, ColumnarRelation, InstanceBackend, RowRelation,
+};
 pub use error::ModelError;
 pub use fact::Fact;
-pub use instance::{Instance, RelationData};
+pub use instance::{Instance, RelationData, TupleIter};
 pub use schema::{RelId, Schema};
 pub use substitution::Substitution;
 pub use value::{ConstId, NullId, Value};
