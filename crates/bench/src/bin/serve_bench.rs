@@ -1,0 +1,212 @@
+//! Serve-layer baseline: an in-process `rde serve` daemon under
+//! concurrent client load, on both instance backends. Measures request
+//! latency (client-observed p50/p99), verifies that every concurrent
+//! answer is bit-identical to a reference request, and drives enough
+//! distinct-constant `ARROW` churn to exercise the cache's eviction
+//! policy — asserting occupancy stays within the configured bound.
+//! Writes `BENCH_serve.json` (repo root, or the path given as the
+//! first argument).
+//!
+//! Pass `--quick` (after the optional path) to shrink the fleet for CI
+//! smoke runs.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use rde_core::arrow::CachePolicy;
+use rde_model::BackendKind;
+use rde_serve::{spawn, Client, Reply, Request, ServeOptions, UniverseDims};
+
+/// Write the benchmark's catalog: the decomposition mapping (chase
+/// work), and the union mapping with its disjunctive reverse
+/// (invertibility + arrow + certain work).
+fn catalog(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rde-serve-bench-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create catalog dir");
+    std::fs::write(
+        dir.join("split.map"),
+        "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n",
+    )
+    .expect("write split.map");
+    std::fs::write(
+        dir.join("merge.map"),
+        "source: A/1, B/1\ntarget: T/1\nA(x) -> T(x)\nB(x) -> T(x)\n",
+    )
+    .expect("write merge.map");
+    std::fs::write(dir.join("merge.rev"), "source: T/1\ntarget: A/1, B/1\nT(x) -> A(x) | B(x)\n")
+        .expect("write merge.rev");
+    dir
+}
+
+fn ok_lines(reply: Reply) -> Vec<String> {
+    match reply {
+        Reply::Ok(lines) => lines,
+        other => panic!("expected OK, got {other:?}"),
+    }
+}
+
+/// One `cache NAME k=v…` STATS line, parsed into a field lookup.
+fn cache_field(line: &str, name: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|w| w.strip_prefix(&format!("{name}=")))
+        .unwrap_or_else(|| panic!("no {name}= in {line}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("bad {name}= in {line}"))
+}
+
+/// Drive one backend: `threads` persistent connections issuing `reps`
+/// rounds of mixed CHASE / INVERTIBLE / ARROW requests apiece, all
+/// released together. Returns the JSON result row.
+fn run_backend(backend: BackendKind, threads: usize, reps: usize) -> String {
+    let backend_name = match backend {
+        BackendKind::Row => "row",
+        BackendKind::Columnar => "columnar",
+    };
+    let dir = catalog(backend_name);
+    // A small class bound so the ARROW churn below must evict; a
+    // generous in-flight ceiling so nothing sheds (shed==0 is asserted:
+    // the daemon must *sustain* the fleet, not survive it).
+    let class_bound = 16;
+    let options = ServeOptions {
+        catalog: dir.clone(),
+        backend,
+        dims: UniverseDims { consts: 1, nulls: 1, facts: 1 },
+        policy: CachePolicy::bounded(1 << 12, class_bound),
+        max_inflight: 4 * threads,
+        ..ServeOptions::default()
+    };
+    let (addr, shutdown, handle) = spawn(options).expect("spawn daemon");
+
+    // Reference answers, computed once over a quiet server.
+    let mut reference = Client::connect(addr).expect("connect reference client");
+    let chase_body = "P(a, b, c)\nP(a, b, d)\n";
+    let expected_chase =
+        ok_lines(reference.request(&Request::on("CHASE", "split").body_text(chase_body)).unwrap());
+    let expected_inv = ok_lines(reference.request(&Request::on("INVERTIBLE", "merge")).unwrap());
+    assert_eq!(expected_inv[0], "FAILS", "the union mapping is not invertible");
+
+    let barrier = Arc::new(Barrier::new(threads));
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let latencies = Arc::clone(&latencies);
+            let expected_chase = expected_chase.clone();
+            let expected_inv = expected_inv.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect worker");
+                let mut mine = Vec::with_capacity(3 * reps);
+                barrier.wait();
+                for round in 0..reps {
+                    let mut timed = |request: &Request| {
+                        let started = Instant::now();
+                        let reply = client.request(request).expect("request");
+                        mine.push(started.elapsed().as_micros() as u64);
+                        reply
+                    };
+                    let got = ok_lines(timed(&Request::on("CHASE", "split").body_text(chase_body)));
+                    assert_eq!(got, expected_chase, "thread {t} round {round}: CHASE drifted");
+                    let got = ok_lines(timed(&Request::on("INVERTIBLE", "merge")));
+                    assert_eq!(got, expected_inv, "thread {t} round {round}: INVERTIBLE drifted");
+                    // Fresh constants every round: hostile churn that
+                    // must stay inside the class bound.
+                    let body = format!("A(k{t}x{round})\n--\nA(k{t}x{round})\nB(m{t}x{round})\n");
+                    let got = ok_lines(timed(&Request::on("ARROW", "merge").body_text(&body)));
+                    assert_eq!(got, vec!["YES"], "thread {t} round {round}: ARROW drifted");
+                }
+                latencies.lock().unwrap().extend(mine);
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("worker");
+    }
+
+    let stats = ok_lines(reference.request(&Request::bare("STATS")).unwrap());
+    let merge_line = stats
+        .iter()
+        .find(|l| l.starts_with("cache merge "))
+        .expect("per-mapping cache stats in STATS")
+        .clone();
+    let interned = cache_field(&merge_line, "interned");
+    let class_evictions = cache_field(&merge_line, "class_evictions");
+    let memo_hits = cache_field(&merge_line, "hits");
+    let intern_hits = cache_field(&merge_line, "intern_hits");
+    let memo_evictions = cache_field(&merge_line, "memo_evictions");
+    assert!(interned <= class_bound as u64, "churn must stay within the class bound: {merge_line}");
+    assert!(class_evictions > 0, "churn past the bound must evict: {merge_line}");
+
+    drop(reference);
+    shutdown.cancel();
+    handle.join().expect("join daemon").expect("daemon exit");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let snap = rde_obs::snapshot();
+    let counter =
+        |name: &str| snap.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v).unwrap_or(0);
+    assert_eq!(counter("serve.shed"), 0, "an unsaturated daemon must not shed");
+
+    let mut sorted = latencies.lock().unwrap().clone();
+    sorted.sort_unstable();
+    let quantile = |q: f64| sorted[((sorted.len() - 1) as f64 * q) as usize];
+    let (p50, p99) = (quantile(0.50), quantile(0.99));
+    println!(
+        "{backend_name:>9} {threads:>8} {:>9} {p50:>8} {p99:>8} {interned:>9} {class_evictions:>10}",
+        sorted.len()
+    );
+    format!(
+        concat!(
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"requests\": {}, ",
+            "\"p50_us\": {}, \"p99_us\": {}, \"shed\": 0, ",
+            "\"cache\": {{\"interned\": {}, \"class_bound\": {}, \"class_evictions\": {}, ",
+            "\"memo_hits\": {}, \"intern_hits\": {}, \"memo_evictions\": {}}}}}"
+        ),
+        backend_name,
+        threads,
+        sorted.len(),
+        p50,
+        p99,
+        interned,
+        class_bound,
+        class_evictions,
+        memo_hits,
+        intern_hits,
+        memo_evictions
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    // The acceptance floor is 64 concurrent in-flight requests; quick
+    // mode keeps the shape but shrinks the fleet for smoke runs.
+    let (threads, reps) = if quick { (8, 4) } else { (64, 8) };
+    println!(
+        "{:>9} {:>8} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "backend", "threads", "requests", "p50_us", "p99_us", "interned", "evictions"
+    );
+    let rows: Vec<String> = [BackendKind::Row, BackendKind::Columnar]
+        .into_iter()
+        .map(|backend| run_backend(backend, threads, reps))
+        .collect();
+    let metrics = rde_obs::snapshot().to_json();
+    let json = format!(
+        concat!(
+            "{{\n  \"benchmark\": \"serve\",\n",
+            "  \"experiments\": [\"concurrent mixed-op fleet (CHASE/INVERTIBLE/ARROW), ",
+            "answers checked bit-identical to a reference request\", ",
+            "\"distinct-constant ARROW churn against a bounded cache\"],\n",
+            "  \"results\": [\n{}\n  ],\n",
+            "  \"metrics\": {}\n}}\n"
+        ),
+        rows.join(",\n"),
+        metrics
+    );
+    std::fs::write(&out_path, json).expect("write benchmark baseline");
+    println!("wrote {out_path}");
+}

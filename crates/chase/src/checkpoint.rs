@@ -144,11 +144,6 @@ pub(crate) fn save(
     injector: &rde_faults::FaultInjector,
     snap: &SnapshotRef<'_>,
 ) -> Result<(), ChaseError> {
-    rde_faults::fault_point!(
-        injector,
-        "chase.checkpoint.write",
-        malformed("injected checkpoint write failure")
-    );
     let mut out = String::new();
     out.push_str(HEADER);
     out.push('\n');
@@ -238,8 +233,35 @@ pub(crate) fn save(
 
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &out).map_err(|e| ioerr("writing", &tmp, e))?;
+    // The injection point sits **between create and rename** — exactly
+    // the window where a real crash or I/O error strands `<path>.tmp`
+    // on disk. The stranded file is what [`sweep_stale_tmp`] exists to
+    // clean up; moving this point earlier would make the campaign
+    // exercise a failure mode that leaves no residue.
+    rde_faults::fault_point!(
+        injector,
+        "chase.checkpoint.write",
+        malformed("injected checkpoint write failure")
+    );
     std::fs::rename(&tmp, path).map_err(|e| ioerr("renaming", &tmp, e))?;
     Ok(())
+}
+
+/// Remove a stale `<path>.tmp` stranded by a crash (or injected fault)
+/// between the checkpoint's create and rename. Called when a chase
+/// starts writing checkpoints to `path` and when it resumes from one;
+/// returns whether a stale file was actually swept (also counted on
+/// `chase.checkpoint.tmp_swept`). The previous *complete* snapshot at
+/// `path` is never touched.
+pub fn sweep_stale_tmp(path: &Path) -> bool {
+    let tmp = path.with_extension("tmp");
+    if std::fs::remove_file(&tmp).is_ok() {
+        rde_obs::counter!("chase.checkpoint.tmp_swept").inc();
+        rde_obs::event("chase.checkpoint.swept", &[]);
+        true
+    } else {
+        false
+    }
 }
 
 /// Token-stream reader over the snapshot file.
@@ -493,6 +515,43 @@ mod tests {
         let rows: Vec<_> =
             loaded.instance.relation(RelId(0)).unwrap().tuples().map(|t| t.to_vec()).collect();
         assert_eq!(rows, vec![vec![c(0), n(1)], vec![c(1), c(0)]]);
+    }
+
+    #[test]
+    fn sweep_removes_only_the_stale_tmp() {
+        let path = tmp_path("sweep");
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&path, b"complete snapshot").unwrap();
+        std::fs::write(&tmp, b"partial write").unwrap();
+        assert!(sweep_stale_tmp(&path), "a stranded tmp must be reported as swept");
+        assert!(!tmp.exists());
+        assert!(path.exists(), "the complete snapshot must survive the sweep");
+        assert!(!sweep_stale_tmp(&path), "nothing left to sweep the second time");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saving_over_a_swept_path_still_round_trips() {
+        let instance = Instance::new();
+        let snap = SnapshotRef {
+            rounds: 0,
+            fired: 0,
+            null_count: 0,
+            hom_total: HomStats::default(),
+            instance: &instance,
+            delta: None,
+            fired_keys: &[],
+            round_stats: &[],
+            provenance: &[],
+        };
+        let path = tmp_path("sweep-then-save");
+        std::fs::write(path.with_extension("tmp"), b"stale").unwrap();
+        sweep_stale_tmp(&path);
+        save(&path, &rde_faults::FaultInjector::inert(), &snap).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "save must not leave a tmp behind");
+        let loaded = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.rounds, 0);
     }
 
     #[test]

@@ -383,7 +383,16 @@ pub fn chase(
     } else {
         options.hom.clone()
     };
+    // A previous run that crashed (or took an injected fault) between a
+    // checkpoint's create and rename strands `<path>.tmp` next to the
+    // last complete snapshot. Sweep it before writing or resuming —
+    // stale tmp files otherwise accumulate across fault campaigns and a
+    // later partial write could be mistaken for in-progress state.
+    if let Some(policy) = &options.checkpoint {
+        checkpoint::sweep_stale_tmp(&policy.path);
+    }
     if let Some(path) = &options.resume_from {
+        checkpoint::sweep_stale_tmp(path);
         let snap = checkpoint::load(path)?;
         if snap.fired_keys.len() != plans.len() {
             return Err(ChaseError::Checkpoint {

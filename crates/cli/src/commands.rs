@@ -30,6 +30,12 @@ pub enum CliError {
     Message(String),
     /// The command was cooperatively cancelled before it finished.
     Cancelled,
+    /// The server declined the work (`SHED` reply — overload or the
+    /// request's server-side deadline) or could not settle it within
+    /// its budgets (`UNKNOWN` reply). The work may succeed on retry,
+    /// so scripts get a status distinct from both "wrong input" (1)
+    /// and "this client ran out of time" (3).
+    Shed(String),
 }
 
 impl From<String> for CliError {
@@ -41,7 +47,7 @@ impl From<String> for CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Message(m) => f.write_str(m),
+            CliError::Message(m) | CliError::Shed(m) => f.write_str(m),
             CliError::Cancelled => f.write_str("cancelled (deadline elapsed or interrupted)"),
         }
     }
@@ -114,6 +120,15 @@ COMMANDS:
                                               per-span p50/p99 latency quantiles
     profile  <workload> <args…>               same, for another command's engine run;
                                               workload ∈ chase|invertible|compare|loss
+    serve    <catalog-dir>                    daemon: serve every NAME.map (+ optional
+                                              NAME.rev) in the directory over TCP
+                                              [--addr HOST:PORT] [--max-inflight N]
+                                              [--cache-memo N] [--cache-classes N]
+    call     <addr> <op> [args…]              one request against a running daemon;
+                                              op ∈ ping|list|stats|invertible <mapping>
+                                              | chase <mapping> <instance>
+                                              | arrow <mapping> <inst1> <inst2>
+                                              | certain <mapping> <instance> <query>
     help                                      this message
 
 The --consts/--nulls/--facts flags size the bounded universe used by the
@@ -148,6 +163,17 @@ row). The columnar backend dictionary-encodes values and buckets rows
 by null pattern, pruning premise-match candidates; results are
 bit-identical across backends — compare --metrics or `rde profile`
 output to see the work difference (chase.bucket.scanned/skipped).
+
+`serve` prints `listening on HOST:PORT` once ready (`--addr` port 0
+picks a free port) and runs until Ctrl-C, then drains in-flight
+requests and exits 0. Each mapping gets a warm arrow cache bounded by
+--cache-memo/--cache-classes; past --max-inflight concurrent requests
+the daemon answers SHED instead of queueing without bound.
+
+`call` exit status: 0 on an OK reply, 1 on an ERR reply or connection
+failure, 3 when this client's own --deadline-ms elapsed first, 4 on a
+SHED or UNKNOWN reply (retryable: the server shed load, enforced
+--server-deadline-ms, or ran out of --node-budget/--time-budget-ms).
 ";
 
 /// Run a full command line (everything after `argv[0]`).
@@ -185,6 +211,8 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "compose" => cmd_compose(&opts),
         "faithful" => cmd_faithful(&opts),
         "profile" => cmd_profile(&opts),
+        "serve" => cmd_serve(&opts),
+        "call" => cmd_call(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -679,6 +707,85 @@ fn cmd_faithful(opts: &Options) -> Result<(), CliError> {
         }
     }
     Ok(())
+}
+
+/// `rde serve <catalog-dir>` — run the mapping daemon until Ctrl-C.
+fn cmd_serve(opts: &Options) -> Result<(), CliError> {
+    use std::io::Write as _;
+    let catalog = opts.positional(0, "catalog directory")?;
+    rde_faults::install_interrupt_handler();
+    let shutdown = CancelToken::new().watching_interrupt();
+    let defaults = rde_serve::ServeOptions::default();
+    let serve_options = rde_serve::ServeOptions {
+        addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7643".to_owned()),
+        catalog: catalog.into(),
+        backend: opts.backend,
+        dims: rde_serve::UniverseDims { consts: opts.consts, nulls: opts.nulls, facts: opts.facts },
+        policy: rde_core::arrow::CachePolicy::bounded(
+            opts.cache_memo.unwrap_or(defaults.policy.max_memo),
+            opts.cache_classes.unwrap_or(defaults.policy.max_interned),
+        ),
+        max_inflight: opts.max_inflight.unwrap_or(defaults.max_inflight),
+    };
+    let server = rde_serve::Server::bind(serve_options).map_err(|e| e.to_string())?;
+    let addr = server.local_addr().map_err(|e| format!("bound address: {e}"))?;
+    println!("serving {}", server.mapping_names().join(", "));
+    println!("listening on {addr}");
+    // The readiness lines are the startup handshake (tests and the
+    // quickstart read the port from them); make sure they leave the
+    // process before the accept loop blocks.
+    let _ = std::io::stdout().flush();
+    server.serve(&shutdown).map_err(|e| e.to_string())?;
+    eprintln!("rde serve: drained and shut down");
+    Ok(())
+}
+
+/// `rde call <addr> <op> [args…]` — one request against a daemon.
+fn cmd_call(opts: &Options) -> Result<(), CliError> {
+    let addr = opts.positional(0, "server address")?;
+    let op = opts.positional(1, "op")?.to_ascii_lowercase();
+    let mut request = match op.as_str() {
+        "ping" | "list" | "stats" => rde_serve::Request::bare(&op),
+        "invertible" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?),
+        "chase" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?)
+            .body_text(&read(opts.positional(3, "instance file")?)?),
+        "arrow" => {
+            let body = format!(
+                "{}--\n{}",
+                read(opts.positional(3, "first instance file")?)?,
+                read(opts.positional(4, "second instance file")?)?
+            );
+            rde_serve::Request::on(&op, opts.positional(2, "mapping name")?).body_text(&body)
+        }
+        "certain" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?)
+            .header("query", opts.positional(4, "query")?)
+            .body_text(&read(opts.positional(3, "instance file")?)?),
+        other => return Err(CliError::Message(format!("unknown call op `{other}`"))),
+    };
+    if let Some(ms) = opts.server_deadline_ms {
+        request = request.header("deadline-ms", ms);
+    }
+    if let Some(n) = opts.node_budget {
+        request = request.header("node-budget", n);
+    }
+    if let Some(ms) = opts.time_budget_ms {
+        request = request.header("time-budget-ms", ms);
+    }
+    let mut client = rde_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    client.set_deadline(opts.deadline_ms.map(Duration::from_millis)).map_err(|e| e.to_string())?;
+    match client.request(&request) {
+        Ok(rde_serve::Reply::Ok(lines)) => {
+            for line in lines {
+                println!("{line}");
+            }
+            Ok(())
+        }
+        Ok(rde_serve::Reply::Err(m)) => Err(CliError::Message(format!("server: {m}"))),
+        Ok(rde_serve::Reply::Shed(m)) => Err(CliError::Shed(format!("server shed: {m}"))),
+        Ok(rde_serve::Reply::Unknown(m)) => Err(CliError::Shed(format!("server unknown: {m}"))),
+        Err(rde_serve::ClientError::Deadline) => Err(CliError::Cancelled),
+        Err(e) => Err(CliError::Message(e.to_string())),
+    }
 }
 
 /// The chase workload for `profile`: run it, print its totals, and

@@ -18,6 +18,11 @@ mod profile;
 /// "wrong" from "out of time".
 const EXIT_CANCELLED: u8 = 3;
 
+/// Exit status for a server-declined request (`call` got a SHED or
+/// UNKNOWN reply): the work may succeed on retry, which is neither
+/// "wrong input" (1) nor "this client ran out of time" (3).
+const EXIT_SHED: u8 = 4;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&args) {
@@ -25,6 +30,10 @@ fn main() -> ExitCode {
         Err(commands::CliError::Cancelled) => {
             eprintln!("rde: {}", commands::CliError::Cancelled);
             ExitCode::from(EXIT_CANCELLED)
+        }
+        Err(e @ commands::CliError::Shed(_)) => {
+            eprintln!("rde: {e}");
+            ExitCode::from(EXIT_SHED)
         }
         Err(e) => {
             eprintln!("rde: {e}");

@@ -48,6 +48,21 @@ pub struct Options {
     /// instance the command loads or builds. Results are bit-identical
     /// across backends; the layout only changes the work profile.
     pub backend: BackendKind,
+    /// `--addr HOST:PORT`: (serve) listen address; port 0 picks a free
+    /// port and prints it.
+    pub addr: Option<String>,
+    /// `--max-inflight N`: (serve) concurrent-request ceiling before
+    /// requests are shed.
+    pub max_inflight: Option<usize>,
+    /// `--cache-memo N`: (serve) per-mapping memo-table entry cap.
+    pub cache_memo: Option<usize>,
+    /// `--cache-classes N`: (serve) per-mapping interned-class cap.
+    pub cache_classes: Option<usize>,
+    /// `--server-deadline-ms N`: (call) request deadline enforced *by
+    /// the server* (sent as the `deadline-ms` header; an elapsed one
+    /// comes back as a SHED reply). Distinct from `--deadline-ms`,
+    /// which caps the client's own wait.
+    pub server_deadline_ms: Option<u64>,
 }
 
 impl Default for Options {
@@ -69,6 +84,11 @@ impl Default for Options {
             checkpoint_every: 1,
             resume: None,
             backend: BackendKind::default(),
+            addr: None,
+            max_inflight: None,
+            cache_memo: None,
+            cache_classes: None,
+            server_deadline_ms: None,
         }
     }
 }
@@ -152,6 +172,24 @@ impl Options {
                         .next()
                         .ok_or_else(|| "--backend requires `row` or `columnar`".to_string())?
                         .parse::<BackendKind>()?;
+                }
+                "--addr" => {
+                    opts.addr = Some(
+                        it.next().ok_or_else(|| "--addr requires host:port".to_string())?.clone(),
+                    );
+                }
+                "--max-inflight" => opts.max_inflight = Some(flag("--max-inflight")?),
+                "--cache-memo" => opts.cache_memo = Some(flag("--cache-memo")?),
+                "--cache-classes" => opts.cache_classes = Some(flag("--cache-classes")?),
+                "--server-deadline-ms" => {
+                    opts.server_deadline_ms = Some(
+                        it.next()
+                            .ok_or_else(|| "--server-deadline-ms requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| {
+                                "--server-deadline-ms requires an integer value".to_string()
+                            })?,
+                    );
                 }
                 "--metrics" => opts.metrics = true,
                 "--stats" => opts.stats = true,

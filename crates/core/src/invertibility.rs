@@ -72,6 +72,24 @@ pub fn check_homomorphism_property_budgeted(
         .collect_instances(vocab, &mapping.source)
         .map_err(|_| CoreError::UnsupportedMapping { required: "an enumerable source schema" })?;
     let cache = crate::arrow::ArrowMCache::new_budgeted(mapping, &family, vocab, config)?;
+    let verdict = check_homomorphism_property_cached(&cache, &family, config, stats);
+    *stats += cache.stats().hom;
+    Ok(verdict)
+}
+
+/// The scan of [`check_homomorphism_property_budgeted`] against a
+/// **prebuilt** arrow cache over `family`. This is the repeated-query
+/// entry point: a long-lived service builds the cache once per mapping
+/// and answers every later check from the memo table, each request
+/// under its own `config` (budgets and a scoped cancel token — a
+/// cancelled request reports `Unknown(Cancelled)` without touching any
+/// other request sharing the cache).
+pub fn check_homomorphism_property_cached(
+    cache: &crate::arrow::ArrowMCache,
+    family: &[Instance],
+    config: &HomConfig,
+    stats: &mut HomStats,
+) -> BoundedVerdict {
     let mut unsettled: Option<Exhausted> = None;
     let mut verdict = BoundedVerdict::HoldsWithinBound;
     'scan: for a in 0..family.len() {
@@ -95,11 +113,10 @@ pub fn check_homomorphism_property_budgeted(
             }
         }
     }
-    *stats += cache.stats().hom;
-    Ok(match (verdict, unsettled) {
+    match (verdict, unsettled) {
         (BoundedVerdict::HoldsWithinBound, Some(budget)) => BoundedVerdict::Unknown { budget },
         (v, _) => v,
-    })
+    }
 }
 
 /// Bounded extended-invertibility check via Theorem 3.13 (for

@@ -303,6 +303,109 @@ fn disjunctive_chase_survives_injected_branch_cancellation() {
     assert!(cancelled > 0 && clean > 0, "sweep too one-sided: {cancelled} / {clean}");
 }
 
+/// Family 6: checkpoint writes under `chase.checkpoint.write`. The
+/// point sits **between** the tmp create and the rename, so every fire
+/// strands a `<path>.tmp` next to the last complete snapshot — exactly
+/// the residue a crash in that window leaves. A later run over the
+/// same policy (and a resume from the surviving snapshot, when one
+/// exists) must sweep the stale tmp on startup and converge to the
+/// clean reference result.
+#[test]
+fn checkpoint_write_faults_strand_a_tmp_that_startup_sweeps() {
+    let _g = shared();
+    let mut vocab = Vocabulary::new();
+    let deps = recursive_deps(&mut vocab);
+    let input = chain(&mut vocab, 4);
+    let reference = {
+        let mut v = vocab.clone();
+        rde_chase::chase(&input, &deps, &mut v, &ChaseOptions::default()).unwrap()
+    };
+
+    let mut faulted = 0u64;
+    let mut clean = 0u64;
+    for seed in 0..SEEDS {
+        let path =
+            std::env::temp_dir().join(format!("rde-sweep-ckpt-{}-{seed}", std::process::id()));
+        let tmp = path.with_extension("tmp");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+
+        let ctx = ExecContext::default().with_injector(FaultInjector::new(FaultConfig::ratio(
+            seed,
+            1,
+            1 << (seed % 4),
+            Some("chase.checkpoint"),
+        )));
+        let options = ChaseOptions {
+            checkpoint: Some(rde_chase::CheckpointPolicy::new(&path, 1)),
+            ctx: ctx.clone(),
+            ..ChaseOptions::default()
+        };
+        let mut v = vocab.clone();
+        let result =
+            catch_unwind(AssertUnwindSafe(|| rde_chase::chase(&input, &deps, &mut v, &options)))
+                .unwrap_or_else(|_| {
+                    panic!("seed {seed}: chase panicked under checkpoint injection")
+                });
+        let report = ctx.fault_report();
+        let point = report.point("chase.checkpoint.write").expect("write point evaluated");
+        assert!(point.hits >= 1, "every checkpointing run consults the write point");
+        match result {
+            Ok(r) => {
+                assert_eq!(point.fired, 0, "seed {seed}: an Ok run must be injection-free");
+                assert_eq!(r.instance, reference.instance, "seed {seed}: clean run must match");
+                assert!(!tmp.exists(), "seed {seed}: a clean run leaves no tmp behind");
+                clean += 1;
+            }
+            Err(ChaseError::Checkpoint { .. }) => {
+                assert!(point.fired > 0, "seed {seed}: Checkpoint error requires a fire");
+                assert!(tmp.exists(), "seed {seed}: a fired write must strand the tmp");
+                faulted += 1;
+
+                // A fresh run over the same policy sweeps the stale tmp
+                // at startup and completes cleanly.
+                let mut v2 = vocab.clone();
+                let rerun = rde_chase::chase(
+                    &input,
+                    &deps,
+                    &mut v2,
+                    &ChaseOptions {
+                        checkpoint: Some(rde_chase::CheckpointPolicy::new(&path, 1)),
+                        ..ChaseOptions::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("seed {seed}: clean rerun failed: {e}"));
+                assert_eq!(rerun.instance, reference.instance);
+                assert!(!tmp.exists(), "seed {seed}: rerun must sweep the stranded tmp");
+
+                // When a complete snapshot survived earlier rounds,
+                // resuming from it must also sweep and still land on
+                // the bit-identical final instance.
+                if path.exists() {
+                    std::fs::write(&tmp, b"stale partial write").unwrap();
+                    let mut v3 = vocab.clone();
+                    let resumed = rde_chase::chase(
+                        &input,
+                        &deps,
+                        &mut v3,
+                        &ChaseOptions {
+                            resume_from: Some(path.clone()),
+                            ..ChaseOptions::default()
+                        },
+                    )
+                    .unwrap_or_else(|e| panic!("seed {seed}: resume failed: {e}"));
+                    assert_eq!(resumed.instance, reference.instance);
+                    assert!(!tmp.exists(), "seed {seed}: resume must sweep the stranded tmp");
+                }
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+    }
+    assert!(faulted > 0 && clean > 0, "sweep too one-sided: {faulted} / {clean}");
+}
+
 /// Family 5: quasi-inverse construction under `core.quasi.construct`.
 /// The per-(tgd, equality type) poll turns a fire into a typed
 /// [`CoreError::Cancelled`]; a campaign that never fired must produce

@@ -41,5 +41,5 @@ pub mod metrics;
 pub mod span;
 
 pub use journal::{event, Field, Record, Sink};
-pub use metrics::{snapshot, Counter, Histogram, Snapshot};
+pub use metrics::{snapshot, Counter, Gauge, Histogram, Snapshot};
 pub use span::{span, Span};

@@ -155,9 +155,52 @@ impl HistogramSnapshot {
     }
 }
 
+/// A last-value-wins level metric (cache occupancy, in-flight request
+/// count). Unlike a [`Counter`] it can go down; unlike a [`Histogram`]
+/// a snapshot reports the *current* level, not a distribution.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n` (saturating at zero: a racing mix of
+    /// add/sub may momentarily observe zero rather than wrapping).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.value.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 enum Metric {
     Counter(&'static Counter),
     Histogram(&'static Histogram),
+    Gauge(&'static Gauge),
 }
 
 static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
@@ -172,7 +215,7 @@ fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> 
 pub fn counter(name: &'static str) -> &'static Counter {
     match registry().entry(name).or_insert_with(|| Metric::Counter(Box::leak(Box::default()))) {
         Metric::Counter(c) => c,
-        Metric::Histogram(_) => panic!("metric {name:?} is a histogram, not a counter"),
+        _ => panic!("metric {name:?} is already registered with another type"),
     }
 }
 
@@ -181,8 +224,18 @@ pub fn counter(name: &'static str) -> &'static Counter {
 /// Panics if `name` is already registered as a counter.
 pub fn histogram(name: &'static str) -> &'static Histogram {
     match registry().entry(name).or_insert_with(|| Metric::Histogram(Box::leak(Box::default()))) {
-        Metric::Counter(_) => panic!("metric {name:?} is a counter, not a histogram"),
         Metric::Histogram(h) => h,
+        _ => panic!("metric {name:?} is already registered with another type"),
+    }
+}
+
+/// Fetch (registering on first use) the gauge named `name`.
+///
+/// Panics if `name` is already registered with another metric type.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    match registry().entry(name).or_insert_with(|| Metric::Gauge(Box::leak(Box::default()))) {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} is already registered with another type"),
     }
 }
 
@@ -206,6 +259,16 @@ macro_rules! histogram {
     }};
 }
 
+/// Fetch the gauge named `$name`, caching the handle at the call site
+/// so repeat hits skip the registry lock.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static HANDLE: std::sync::OnceLock<&'static $crate::Gauge> = std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
 /// A point-in-time copy of the whole registry.
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
@@ -213,6 +276,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Histogram states, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Gauge levels, sorted by name.
+    pub gauges: Vec<(String, u64)>,
 }
 
 /// Snapshot every registered metric.
@@ -223,6 +288,7 @@ pub fn snapshot() -> Snapshot {
         match metric {
             Metric::Counter(c) => snap.counters.push((name.to_owned(), c.get())),
             Metric::Histogram(h) => snap.histograms.push((name.to_owned(), h.snapshot())),
+            Metric::Gauge(g) => snap.gauges.push((name.to_owned(), g.get())),
         }
     }
     snap
@@ -239,9 +305,14 @@ impl Snapshot {
         self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
     }
 
+    /// The level of gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
     /// Is there anything to show?
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.gauges.is_empty()
     }
 
     /// Render a human-readable table (the `--metrics` output).
@@ -251,6 +322,7 @@ impl Snapshot {
             .iter()
             .map(|(n, _)| n.len())
             .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
             .max()
             .unwrap_or(0)
             .max(6);
@@ -261,8 +333,17 @@ impl Snapshot {
                 let _ = writeln!(out, "{name:width$}  {value:>12}");
             }
         }
-        if !self.histograms.is_empty() {
+        if !self.gauges.is_empty() {
             if !self.counters.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "{:width$}  {:>12}", "gauge", "level");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "{name:width$}  {value:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            if !self.counters.is_empty() || !self.gauges.is_empty() {
                 out.push('\n');
             }
             let _ = writeln!(
@@ -286,11 +367,19 @@ impl Snapshot {
     }
 
     /// Render as a single JSON object (embedded in `BENCH_*.json`):
-    /// `{"counters": {...}, "histograms": {name: {count, sum, max,
-    /// buckets: {bound: n, ...}}}}`.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
+    /// {count, sum, max, buckets: {bound: n, ...}}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::escape_into(&mut out, name);
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str("}, \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push_str(", ");
             }
@@ -371,8 +460,27 @@ mod tests {
     fn snapshot_json_is_valid() {
         counter("test.metrics.json_counter").add(7);
         histogram("test.metrics.json_hist").record(9);
+        gauge("test.metrics.json_gauge").set(3);
         let snap = snapshot();
         assert!(crate::json::is_valid(&snap.to_json()), "{}", snap.to_json());
         assert_eq!(snap.counter("test.metrics.json_counter"), Some(7));
+        assert_eq!(snap.gauge("test.metrics.json_gauge"), Some(3));
+    }
+
+    #[test]
+    fn gauge_levels_move_both_ways_and_saturate() {
+        let g = Gauge::default();
+        g.set(5);
+        g.add(3);
+        assert_eq!(g.get(), 8);
+        g.sub(6);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0, "sub saturates at zero");
+        let named = gauge("test.metrics.gauge_level");
+        named.set(42);
+        assert_eq!(snapshot().gauge("test.metrics.gauge_level"), Some(42));
+        named.set(41);
+        assert_eq!(snapshot().gauge("test.metrics.gauge_level"), Some(41), "last value wins");
     }
 }

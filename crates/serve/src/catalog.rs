@@ -1,0 +1,228 @@
+//! The mapping catalog: a directory of named mappings the daemon
+//! serves, each with an optional reverse mapping and a warm arrow
+//! cache.
+//!
+//! A catalog directory holds one `NAME.map` file per mapping (the
+//! format `rde_deps::parse_mapping` reads) and, optionally, a
+//! `NAME.rev` reverse mapping in the same format — `CERTAIN` requests
+//! need one. Everything else about an entry is derived at load time:
+//!
+//! * **`base_vocab`** — the vocabulary right after parsing the mapping
+//!   (and reverse). Every `CHASE`/`CERTAIN` request clones it and
+//!   replays exactly what a cold `rde chase` run does, which is what
+//!   makes daemon answers bit-identical to single-shot CLI runs.
+//! * **warm state** — a bounded-universe instance family, the
+//!   [`ArrowMCache`] chased over it, and the vocabulary those two
+//!   evolved (behind a mutex: `ARROW` interning parses request
+//!   constants into it so class fingerprints agree across requests).
+//!   Warm state is best-effort: a mapping whose source schema the
+//!   enumerator cannot handle still serves `CHASE`/`CERTAIN`, and the
+//!   ops that need the cache explain what failed instead.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+use rde_core::arrow::{ArrowMCache, CachePolicy};
+use rde_core::Universe;
+use rde_deps::{parse_mapping, SchemaMapping};
+use rde_hom::HomConfig;
+use rde_model::{Instance, Vocabulary};
+
+use crate::ServeError;
+
+/// Warm per-mapping state: the family scan and interning side.
+pub struct WarmState {
+    /// The bounded-universe family the cache was built over.
+    pub family: Vec<Instance>,
+    /// The shared chase-once/core/memo cache.
+    pub cache: ArrowMCache,
+    /// The vocabulary the universe and cache construction evolved.
+    /// `ARROW` requests lock it to parse and intern request instances,
+    /// so constants named by different requests resolve to the same
+    /// ids (fingerprint equality across requests depends on it).
+    pub vocab: Mutex<Vocabulary>,
+}
+
+/// One catalog entry: a named mapping plus derived state.
+pub struct MappingEntry {
+    /// The mapping name (the `.map` file stem).
+    pub name: String,
+    /// Parsed forward mapping.
+    pub mapping: SchemaMapping,
+    /// Parsed reverse mapping, when `NAME.rev` exists.
+    pub reverse: Option<SchemaMapping>,
+    /// Vocabulary snapshot right after parsing; cloned per request.
+    pub base_vocab: Vocabulary,
+    /// Warm cache state, or the reason it could not be built.
+    pub warm: Result<WarmState, String>,
+}
+
+/// The loaded catalog, keyed by mapping name (sorted for stable LIST
+/// output).
+pub struct Catalog {
+    /// All entries, keyed by name.
+    pub entries: BTreeMap<String, MappingEntry>,
+}
+
+/// Universe dimensions for the warm family, mirroring the CLI's
+/// `--consts/--nulls/--facts` knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct UniverseDims {
+    /// Constant-pool size.
+    pub consts: usize,
+    /// Null-pool size.
+    pub nulls: usize,
+    /// Per-instance fact budget.
+    pub facts: usize,
+}
+
+impl Default for UniverseDims {
+    fn default() -> Self {
+        UniverseDims { consts: 2, nulls: 1, facts: 2 }
+    }
+}
+
+impl Catalog {
+    /// Load every `*.map` file under `dir`. An unreadable or
+    /// unparsable mapping fails the whole load (a daemon silently
+    /// serving half its catalog is worse than one that refuses to
+    /// start); a mapping whose *warm cache* cannot be built loads
+    /// anyway with the failure recorded.
+    pub fn load(
+        dir: &Path,
+        dims: UniverseDims,
+        policy: CachePolicy,
+    ) -> Result<Catalog, ServeError> {
+        let mut entries = BTreeMap::new();
+        let listing = std::fs::read_dir(dir).map_err(|e| {
+            ServeError::Catalog(format!("cannot read catalog `{}`: {e}", dir.display()))
+        })?;
+        for item in listing {
+            let item = item.map_err(|e| {
+                ServeError::Catalog(format!("cannot list `{}`: {e}", dir.display()))
+            })?;
+            let path = item.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("map") {
+                continue;
+            }
+            let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
+                continue;
+            };
+            let entry = load_entry(&name, &path, dims, policy)?;
+            entries.insert(name, entry);
+        }
+        if entries.is_empty() {
+            return Err(ServeError::Catalog(format!(
+                "catalog `{}` has no .map files",
+                dir.display()
+            )));
+        }
+        Ok(Catalog { entries })
+    }
+
+    /// Look up an entry by name.
+    pub fn get(&self, name: &str) -> Option<&MappingEntry> {
+        self.entries.get(name)
+    }
+}
+
+fn load_entry(
+    name: &str,
+    path: &Path,
+    dims: UniverseDims,
+    policy: CachePolicy,
+) -> Result<MappingEntry, ServeError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ServeError::Catalog(format!("cannot read `{}`: {e}", path.display())))?;
+    let mut vocab = Vocabulary::new();
+    let mapping = parse_mapping(&mut vocab, &text)
+        .map_err(|e| ServeError::Catalog(format!("{}: {e}", path.display())))?;
+    let rev_path = path.with_extension("rev");
+    let reverse = match std::fs::read_to_string(&rev_path) {
+        Ok(rev_text) => Some(
+            parse_mapping(&mut vocab, &rev_text)
+                .map_err(|e| ServeError::Catalog(format!("{}: {e}", rev_path.display())))?,
+        ),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            return Err(ServeError::Catalog(format!("cannot read `{}`: {e}", rev_path.display())))
+        }
+    };
+    let base_vocab = vocab.clone();
+    let warm = build_warm(&mapping, &mut vocab, dims, policy);
+    Ok(MappingEntry { name: name.to_owned(), mapping, reverse, base_vocab, warm })
+}
+
+/// Chase the bounded-universe family once so the first request hits a
+/// warm memo, not a cold one. Failures are reported, not fatal: the
+/// chase/certain side of the entry works regardless.
+fn build_warm(
+    mapping: &SchemaMapping,
+    vocab: &mut Vocabulary,
+    dims: UniverseDims,
+    policy: CachePolicy,
+) -> Result<WarmState, String> {
+    let universe = Universe::new(vocab, dims.consts, dims.nulls, dims.facts);
+    let family = universe
+        .collect_instances(vocab, &mapping.source)
+        .map_err(|e| format!("cannot enumerate the source universe: {e}"))?;
+    let cache = ArrowMCache::with_policy(mapping, &family, vocab, &HomConfig::default(), policy)
+        .map_err(|e| format!("cannot build the arrow cache: {e}"))?;
+    Ok(WarmState { family, cache, vocab: Mutex::new(vocab.clone()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("rde-catalog-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn loads_mappings_with_and_without_reverses() {
+        let d = dir("load");
+        std::fs::write(d.join("copy.map"), "source: P/1\ntarget: Q/1\nP(x) -> Q(x)\n").unwrap();
+        std::fs::write(d.join("copy.rev"), "source: Q/1\ntarget: P/1\nQ(x) -> P(x)\n").unwrap();
+        std::fs::write(
+            d.join("merge.map"),
+            "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)\n",
+        )
+        .unwrap();
+        std::fs::write(d.join("notes.txt"), "not a mapping").unwrap();
+        let dims = UniverseDims { consts: 1, nulls: 1, facts: 1 };
+        let catalog = Catalog::load(&d, dims, CachePolicy::default()).unwrap();
+        assert_eq!(
+            catalog.entries.keys().collect::<Vec<_>>(),
+            vec!["copy", "merge"],
+            "sorted names, non-.map files ignored"
+        );
+        let copy = catalog.get("copy").unwrap();
+        assert!(copy.reverse.is_some());
+        let warm = copy.warm.as_ref().expect("warm cache builds for an enumerable source");
+        assert!(!warm.family.is_empty());
+        assert!(catalog.get("merge").unwrap().reverse.is_none());
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn unparsable_mappings_fail_the_load() {
+        let d = dir("badmap");
+        std::fs::write(d.join("bad.map"), "this is not a mapping\n").unwrap();
+        let err = Catalog::load(&d, UniverseDims::default(), CachePolicy::default())
+            .err()
+            .expect("unparsable mapping must fail the load");
+        assert!(err.to_string().contains("bad.map"));
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn empty_catalogs_are_refused() {
+        let d = dir("empty");
+        assert!(Catalog::load(&d, UniverseDims::default(), CachePolicy::default()).is_err());
+        std::fs::remove_dir_all(&d).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! A blocking client for the serve protocol, used by `rde call`, the
+//! test suites, and the serve benchmark.
+
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{read_reply, Reply, Request};
+
+/// How a client call failed — kept apart from the server's own
+/// `SHED`/`UNKNOWN` replies (those arrive as [`Reply`] variants; these
+/// never reached a reply at all).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, write, or read).
+    Io(std::io::Error),
+    /// The client-side deadline elapsed while waiting for a reply.
+    /// Distinct from `Io` so callers can exit with the same status a
+    /// locally-cancelled command uses.
+    Deadline,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection: {e}"),
+            ClientError::Deadline => f.write_str("deadline elapsed waiting for a reply"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        // A read timeout surfaces as WouldBlock (unix) or TimedOut;
+        // both mean "the deadline elapsed", not "the socket broke".
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::Deadline,
+            _ => ClientError::Io(e),
+        }
+    }
+}
+
+/// A persistent connection to the daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7643`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        let writer = stream.try_clone().map_err(ClientError::Io)?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Cap every subsequent reply wait at `deadline`; an elapsed wait
+    /// returns [`ClientError::Deadline`].
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<(), ClientError> {
+        self.reader.get_ref().set_read_timeout(deadline).map_err(ClientError::Io)
+    }
+
+    /// Send one request and wait for its reply.
+    pub fn request(&mut self, request: &Request) -> Result<Reply, ClientError> {
+        request.write_to(&mut self.writer)?;
+        Ok(read_reply(&mut self.reader)?)
+    }
+}

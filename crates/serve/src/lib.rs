@@ -1,0 +1,56 @@
+//! # rde-serve
+//!
+//! The multi-tenant mapping daemon behind `rde serve`: load a catalog
+//! of named schema mappings, keep a warm [`ArrowMCache`] per mapping,
+//! and answer concurrent chase / invertibility / arrow /
+//! certain-answer requests over a line protocol on TCP.
+//!
+//! The crate splits along the obvious seams:
+//!
+//! * [`protocol`] — the wire format (requests, replies, framing);
+//! * [`catalog`] — directory loading and warm-state construction;
+//! * [`server`] — the accept loop, admission control, per-request
+//!   execution contexts, op handlers, graceful shutdown;
+//! * [`client`] — a blocking client for `rde call`, tests, benches.
+//!
+//! Design constraints it inherits from the rest of the workspace: no
+//! external dependencies (std TCP, thread-per-connection), typed
+//! errors instead of panics, per-request [`ExecContext`] scoping so
+//! deadlines and budgets never leak across tenants, and answers that
+//! are bit-identical to single-shot CLI runs.
+//!
+//! [`ArrowMCache`]: rde_core::arrow::ArrowMCache
+//! [`ExecContext`]: rde_faults::ExecContext
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod catalog;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{Catalog, UniverseDims};
+pub use client::{Client, ClientError};
+pub use protocol::{Reply, Request};
+pub use server::{spawn, ServeOptions, Server};
+
+/// How the daemon failed to start or stopped abnormally.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The catalog directory could not be loaded.
+    Catalog(String),
+    /// The listen socket could not be bound or polled.
+    Bind(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Catalog(m) | ServeError::Bind(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

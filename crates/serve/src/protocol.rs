@@ -1,0 +1,336 @@
+//! The `rde serve` wire protocol: newline-delimited text over TCP.
+//!
+//! Chosen for the same reason the checkpoint format is line-oriented —
+//! `nc` is a complete client, every request and reply can be eyeballed,
+//! and framing mistakes surface as readable garbage instead of silent
+//! corruption.
+//!
+//! ## Request
+//!
+//! ```text
+//! OP [mapping]
+//! key=value            # zero or more header lines
+//!                      # blank line starts the body (optional)
+//! P(a, b)              # body lines, verbatim
+//! .
+//! ```
+//!
+//! Every request ends with a line holding a single `.`. Headers carry
+//! the per-request budgets (`deadline-ms`, `node-budget`,
+//! `time-budget-ms`) and op arguments (`query=` for `CERTAIN`); the
+//! body carries instance text for the ops that take one (`CHASE`,
+//! `CERTAIN`, and `ARROW`, whose two instances are separated by a `--`
+//! line). Connections are persistent: a client may send any number of
+//! requests before closing.
+//!
+//! ## Reply
+//!
+//! ```text
+//! OK <n>        followed by exactly n payload lines
+//! ERR <message>
+//! SHED <reason>
+//! UNKNOWN <reason>
+//! ```
+//!
+//! The three non-`OK` forms are deliberately distinct: `ERR` is a bad
+//! request, `SHED` is the server protecting itself (overload, elapsed
+//! request deadline), and `UNKNOWN` is an honest three-valued verdict
+//! (a budget ran out before the answer settled). Clients map them to
+//! different exit codes; none of them drop the connection.
+
+use std::io::{self, BufRead, Write};
+
+/// A parsed request: op, optional mapping name, headers, body lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Request {
+    /// The operation, uppercased by convention (`PING`, `LIST`,
+    /// `CHASE`, `INVERTIBLE`, `ARROW`, `CERTAIN`, `STATS`).
+    pub op: String,
+    /// The catalog mapping the op addresses, when it needs one.
+    pub mapping: Option<String>,
+    /// `key=value` header lines, in order.
+    pub headers: Vec<(String, String)>,
+    /// Body lines, verbatim (no terminator line).
+    pub body: Vec<String>,
+}
+
+impl Request {
+    /// A bodyless, headerless request (`PING`, `LIST`, `STATS`).
+    pub fn bare(op: &str) -> Request {
+        Request { op: op.to_owned(), ..Request::default() }
+    }
+
+    /// A request addressing `mapping`.
+    pub fn on(op: &str, mapping: &str) -> Request {
+        Request { op: op.to_owned(), mapping: Some(mapping.to_owned()), ..Request::default() }
+    }
+
+    /// Add a header (builder style).
+    pub fn header(mut self, key: &str, value: impl ToString) -> Request {
+        self.headers.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Set the body from a text blob, split into lines.
+    pub fn body_text(mut self, text: &str) -> Request {
+        self.body = text.lines().map(str::to_owned).collect();
+        self
+    }
+
+    /// First value of header `key`, if present.
+    pub fn get_header(&self, key: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Parse a numeric header; a malformed value is a protocol error
+    /// (silently ignoring it would turn a client typo into an
+    /// unbudgeted request).
+    pub fn u64_header(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get_header(key) {
+            None => Ok(None),
+            Some(v) => {
+                v.parse::<u64>().map(Some).map_err(|_| format!("header {key}={v}: not a number"))
+            }
+        }
+    }
+
+    /// The body joined back into one text blob (newline-terminated).
+    pub fn body_blob(&self) -> String {
+        let mut s = self.body.join("\n");
+        if !s.is_empty() {
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Serialize onto `w` in wire form.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str(&self.op);
+        if let Some(m) = &self.mapping {
+            out.push(' ');
+            out.push_str(m);
+        }
+        out.push('\n');
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(v);
+            out.push('\n');
+        }
+        if !self.body.is_empty() {
+            out.push('\n');
+            for line in &self.body {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out.push_str(".\n");
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Read one request off `r`. `Ok(None)` is a clean end-of-stream
+/// (the client closed between requests); a stream that ends mid-request
+/// is an error.
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let op_line = loop {
+        let Some(line) = read_line(r)? else { return Ok(None) };
+        // Tolerate stray blank lines between requests (`nc` users).
+        if !line.is_empty() {
+            break line;
+        }
+    };
+    let mut words = op_line.split_whitespace();
+    let op = words.next().unwrap_or_default().to_ascii_uppercase();
+    let mapping = words.next().map(str::to_owned);
+    if words.next().is_some() {
+        return Err(bad(format!("request line has trailing words: {op_line}")));
+    }
+    let mut req = Request { op, mapping, ..Request::default() };
+    let mut in_body = false;
+    loop {
+        let Some(line) = read_line(r)? else {
+            return Err(bad("stream ended mid-request (missing `.` terminator)"));
+        };
+        if line == "." {
+            return Ok(Some(req));
+        }
+        if !in_body && line.is_empty() {
+            in_body = true;
+            continue;
+        }
+        if in_body {
+            req.body.push(line);
+        } else {
+            let Some((k, v)) = line.split_once('=') else {
+                return Err(bad(format!("malformed header line (no `=`): {line}")));
+            };
+            req.headers.push((k.trim().to_owned(), v.trim().to_owned()));
+        }
+    }
+}
+
+/// One reply per request; see the module docs for the framing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// The op succeeded; the payload lines are the answer.
+    Ok(Vec<String>),
+    /// The request was malformed or named something that doesn't exist.
+    Err(String),
+    /// The server refused to do the work: overload, or the request's
+    /// own deadline elapsed. Retry later (possibly elsewhere).
+    Shed(String),
+    /// A three-valued verdict's third value: a budget ran out before
+    /// the answer settled. Retry with larger budgets.
+    Unknown(String),
+}
+
+impl Reply {
+    /// Serialize onto `w`. Status-line messages are flattened to one
+    /// line (the framing has nowhere to put embedded newlines).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut out = String::new();
+        match self {
+            Reply::Ok(lines) => {
+                out.push_str(&format!("OK {}\n", lines.len()));
+                for line in lines {
+                    out.push_str(&oneline(line));
+                    out.push('\n');
+                }
+            }
+            Reply::Err(m) => out.push_str(&format!("ERR {}\n", oneline(m))),
+            Reply::Shed(m) => out.push_str(&format!("SHED {}\n", oneline(m))),
+            Reply::Unknown(m) => out.push_str(&format!("UNKNOWN {}\n", oneline(m))),
+        }
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Read one reply off `r`.
+pub fn read_reply(r: &mut impl BufRead) -> io::Result<Reply> {
+    let Some(status) = read_line(r)? else {
+        return Err(bad("connection closed before a reply arrived"));
+    };
+    let (word, rest) = status.split_once(' ').unwrap_or((status.as_str(), ""));
+    match word {
+        "OK" => {
+            let n: usize =
+                rest.trim().parse().map_err(|_| bad(format!("bad OK count: {status}")))?;
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                let Some(line) = read_line(r)? else {
+                    return Err(bad("connection closed mid-payload"));
+                };
+                lines.push(line);
+            }
+            Ok(Reply::Ok(lines))
+        }
+        "ERR" => Ok(Reply::Err(rest.to_owned())),
+        "SHED" => Ok(Reply::Shed(rest.to_owned())),
+        "UNKNOWN" => Ok(Reply::Unknown(rest.to_owned())),
+        _ => Err(bad(format!("unrecognized reply status: {status}"))),
+    }
+}
+
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+fn oneline(s: &str) -> String {
+    if s.contains('\n') {
+        s.replace('\n', "; ")
+    } else {
+        s.to_owned()
+    }
+}
+
+fn bad(msg: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip(req: &Request) -> Request {
+        let mut wire = Vec::new();
+        req.write_to(&mut wire).unwrap();
+        read_request(&mut BufReader::new(&wire[..])).unwrap().unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let bare = Request::bare("PING");
+        assert_eq!(roundtrip(&bare), bare);
+        let full = Request::on("CHASE", "flights")
+            .header("deadline-ms", 250)
+            .header("node-budget", 10_000)
+            .body_text("P(a, b)\nP(b, c)\n");
+        assert_eq!(roundtrip(&full), full);
+        assert_eq!(full.u64_header("deadline-ms").unwrap(), Some(250));
+        assert_eq!(full.u64_header("missing").unwrap(), None);
+        assert_eq!(full.body_blob(), "P(a, b)\nP(b, c)\n");
+    }
+
+    #[test]
+    fn multiple_requests_share_a_stream_and_eof_is_clean() {
+        let mut wire = Vec::new();
+        Request::bare("PING").write_to(&mut wire).unwrap();
+        Request::on("ARROW", "m").body_text("P(a)\n--\nP(b)\n").write_to(&mut wire).unwrap();
+        let mut r = BufReader::new(&wire[..]);
+        assert_eq!(read_request(&mut r).unwrap().unwrap().op, "PING");
+        let second = read_request(&mut r).unwrap().unwrap();
+        assert_eq!(second.body, vec!["P(a)", "--", "P(b)"]);
+        assert!(read_request(&mut r).unwrap().is_none(), "clean EOF between requests");
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_hangs() {
+        let cases: &[&str] = &[
+            "CHASE m extra words\n.\n",
+            "CHASE m\nno-equals-sign\n.\n",
+            "CHASE m\nheader=ok\n", // stream ends mid-request
+        ];
+        for wire in cases {
+            assert!(
+                read_request(&mut BufReader::new(wire.as_bytes())).is_err(),
+                "must reject: {wire:?}"
+            );
+        }
+        assert!(Request::bare("PING").u64_header("x").is_ok(), "missing numeric headers are fine");
+        let req = Request::bare("PING").header("deadline-ms", "soon");
+        assert!(req.u64_header("deadline-ms").is_err(), "malformed numbers are not");
+    }
+
+    #[test]
+    fn replies_round_trip_and_flatten_newlines() {
+        for reply in [
+            Reply::Ok(vec!["a".into(), "b".into()]),
+            Reply::Ok(Vec::new()),
+            Reply::Err("no such mapping".into()),
+            Reply::Shed("overloaded".into()),
+            Reply::Unknown("node budget of 5 exhausted".into()),
+        ] {
+            let mut wire = Vec::new();
+            reply.write_to(&mut wire).unwrap();
+            assert_eq!(read_reply(&mut BufReader::new(&wire[..])).unwrap(), reply);
+        }
+        let mut wire = Vec::new();
+        Reply::Err("two\nlines".into()).write_to(&mut wire).unwrap();
+        assert_eq!(
+            read_reply(&mut BufReader::new(&wire[..])).unwrap(),
+            Reply::Err("two; lines".into())
+        );
+    }
+}

@@ -1,0 +1,532 @@
+//! The daemon: a thread-per-connection TCP server over the catalog.
+//!
+//! Std-only by necessity (the build environment is offline) and by
+//! sufficiency: every request is CPU-bound chase/search work, so an
+//! async reactor would buy nothing — the concurrency story is one OS
+//! thread per connection, a shared [`Catalog`] behind `Arc`, and the
+//! existing per-request [`ExecContext`] machinery for deadlines and
+//! budgets.
+//!
+//! ## Isolation and shedding
+//!
+//! Each request gets its **own** `ExecContext`: a fresh cancel token
+//! (armed with the request's `deadline-ms` header, watching the
+//! process interrupt flag) and the budgets from its headers. The
+//! shared [`ArrowMCache`] never sees another request's token, so one
+//! cancelled request cannot bleed into a neighbour — the cache only
+//! memoizes definite verdicts.
+//!
+//! Load shedding is a reply, never a dropped connection: past
+//! [`ServeOptions::max_inflight`] concurrently executing requests the
+//! server answers `SHED overloaded` without doing the work, and a
+//! request whose deadline fires mid-flight gets `SHED` too. Budget
+//! exhaustion inside an engine surfaces as `UNKNOWN`, matching the
+//! three-valued verdicts the CLI prints.
+//!
+//! ## Shutdown
+//!
+//! `serve` polls its shutdown token between accepts (the listener is
+//! non-blocking). On cancellation it stops accepting, half-closes the
+//! **read** side of every live connection — workers blocked in
+//! `read_request` wake with a clean EOF while a worker mid-request can
+//! still write its reply — and joins every worker before returning.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
+use rde_core::arrow::CachePolicy;
+use rde_core::invertibility::{check_homomorphism_property_cached, BoundedVerdict};
+use rde_core::CoreError;
+use rde_faults::{CancelToken, ExecContext};
+use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
+use rde_model::parse::parse_instance;
+use rde_model::{display, BackendKind};
+use rde_obs::{counter, gauge, histogram};
+use rde_query::ConjunctiveQuery;
+
+use crate::catalog::{Catalog, MappingEntry, UniverseDims, WarmState};
+use crate::protocol::{read_request, Reply, Request};
+use crate::ServeError;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address; port `0` picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Catalog directory of `NAME.map` (+ optional `NAME.rev`) files.
+    pub catalog: PathBuf,
+    /// Instance storage layout for request instances.
+    pub backend: BackendKind,
+    /// Bounded-universe dimensions for each mapping's warm family.
+    pub dims: UniverseDims,
+    /// Size caps for each mapping's arrow cache.
+    pub policy: CachePolicy,
+    /// Concurrent-request ceiling; past it requests get `SHED
+    /// overloaded` instead of a thread's worth of work.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            catalog: PathBuf::from("."),
+            backend: BackendKind::default(),
+            dims: UniverseDims::default(),
+            // Defaults sized for a long-lived process: large enough
+            // that a working set never thrashes, small enough that a
+            // hostile request stream cannot grow the maps without
+            // bound.
+            policy: CachePolicy::bounded(1 << 16, 1024),
+            max_inflight: 256,
+        }
+    }
+}
+
+/// Shared server state: catalog + admission control + live-connection
+/// registry (for shutdown's read-half close).
+struct ServerState {
+    catalog: Catalog,
+    options: ServeOptions,
+    inflight: AtomicUsize,
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+/// A bound daemon, ready to [`Server::serve`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Load the catalog and bind the listen socket. Warm caches are
+    /// built here, before the first connection, so the first request
+    /// pays no cold-start penalty.
+    pub fn bind(options: ServeOptions) -> Result<Server, ServeError> {
+        let catalog = Catalog::load(&options.catalog, options.dims, options.policy)?;
+        let listener = TcpListener::bind(&options.addr)
+            .map_err(|e| ServeError::Bind(format!("cannot bind `{}`: {e}", options.addr)))?;
+        let state = Arc::new(ServerState {
+            catalog,
+            options,
+            inflight: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (resolves port `0` to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Names of the mappings this server answers for.
+    pub fn mapping_names(&self) -> Vec<String> {
+        self.state.catalog.entries.keys().cloned().collect()
+    }
+
+    /// Accept and serve connections until `shutdown` cancels, then
+    /// drain: no new accepts, read-half close on live connections,
+    /// join every worker. In-flight requests run to completion and
+    /// their replies are delivered.
+    pub fn serve(self, shutdown: &CancelToken) -> Result<(), ServeError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::Bind(format!("cannot poll listener: {e}")))?;
+        let mut workers = Vec::new();
+        let mut next_id: u64 = 0;
+        while !shutdown.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    counter!("serve.connections").inc();
+                    // Workers use blocking reads; only the accept loop
+                    // polls.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let id = next_id;
+                    next_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        lock(&self.state.conns).insert(id, clone);
+                    }
+                    let state = Arc::clone(&self.state);
+                    workers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &state);
+                        lock(&state.conns).remove(&id);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(ServeError::Bind(format!("accept failed: {e}"))),
+            }
+        }
+        for (_, conn) in lock(&self.state.conns).iter() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One connection: read requests until EOF, answering each. Framing
+/// errors get a best-effort `ERR` and close the connection (the stream
+/// position is no longer trustworthy).
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(Some(request)) => request,
+            Ok(None) => return,
+            Err(e) => {
+                let _ = Reply::Err(format!("protocol: {e}")).write_to(&mut write_half);
+                return;
+            }
+        };
+        let reply = admit(state, &request);
+        if reply.write_to(&mut write_half).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission control around [`handle_request`]: count the request
+/// in-flight, shed past the ceiling, time everything.
+fn admit(state: &ServerState, request: &Request) -> Reply {
+    counter!("serve.requests").inc();
+    let started = Instant::now();
+    let inflight = state.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    gauge!("serve.inflight").set(inflight as u64);
+    let reply = if inflight > state.options.max_inflight {
+        Reply::Shed(format!("overloaded ({inflight} requests in flight)"))
+    } else {
+        handle_request(state, request)
+    };
+    let now = state.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+    gauge!("serve.inflight").set(now as u64);
+    histogram!("serve.request.us").record(started.elapsed().as_micros() as u64);
+    if matches!(reply, Reply::Shed(_)) {
+        counter!("serve.shed").inc();
+    }
+    if matches!(reply, Reply::Unknown(_)) {
+        counter!("serve.unknown").inc();
+    }
+    reply
+}
+
+/// Per-request execution context: fresh cancel token (armed with the
+/// `deadline-ms` header, watching the process interrupt flag) — never
+/// shared with any other request.
+fn request_config(request: &Request) -> Result<HomConfig, String> {
+    let token = match request.u64_header("deadline-ms")? {
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        None => CancelToken::new(),
+    };
+    Ok(HomConfig {
+        node_budget: request.u64_header("node-budget")?,
+        time_budget: request.u64_header("time-budget-ms")?.map(Duration::from_millis),
+        ctx: ExecContext::default().with_cancel(token.watching_interrupt()),
+        ..HomConfig::default()
+    })
+}
+
+fn handle_request(state: &ServerState, request: &Request) -> Reply {
+    let _span = rde_obs::span("serve.request", &[("op", request.op.as_str().into())]);
+    let config = match request_config(request) {
+        Ok(config) => config,
+        Err(e) => return Reply::Err(e),
+    };
+    match request.op.as_str() {
+        "PING" => Reply::Ok(vec!["pong".to_owned()]),
+        "LIST" => op_list(state),
+        "STATS" => op_stats(state),
+        "CHASE" => with_mapping(state, request, |e| op_chase(state, e, request, &config)),
+        "INVERTIBLE" => with_mapping(state, request, |e| op_invertible(e, &config)),
+        "ARROW" => with_mapping(state, request, |e| op_arrow(state, e, request, &config)),
+        "CERTAIN" => with_mapping(state, request, |e| op_certain(state, e, request, &config)),
+        other => Reply::Err(format!("unknown op `{other}`")),
+    }
+}
+
+fn with_mapping(
+    state: &ServerState,
+    request: &Request,
+    f: impl FnOnce(&MappingEntry) -> Reply,
+) -> Reply {
+    let Some(name) = request.mapping.as_deref() else {
+        return Reply::Err(format!("{} needs a mapping name", request.op));
+    };
+    match state.catalog.get(name) {
+        Some(entry) => f(entry),
+        None => Reply::Err(format!("no such mapping `{name}` (try LIST)")),
+    }
+}
+
+fn warm_of(entry: &MappingEntry) -> Result<&WarmState, Reply> {
+    entry.warm.as_ref().map_err(|reason| {
+        Reply::Err(format!("mapping `{}` has no warm cache: {reason}", entry.name))
+    })
+}
+
+fn op_list(state: &ServerState) -> Reply {
+    let lines = state
+        .catalog
+        .entries
+        .values()
+        .map(|e| {
+            let classes = match &e.warm {
+                Ok(w) => w.cache.stats().classes.to_string(),
+                Err(_) => "-".to_owned(),
+            };
+            format!(
+                "{} reverse={} classes={classes}",
+                e.name,
+                if e.reverse.is_some() { "yes" } else { "no" }
+            )
+        })
+        .collect();
+    Reply::Ok(lines)
+}
+
+fn op_stats(state: &ServerState) -> Reply {
+    let snap = rde_obs::snapshot();
+    let mut lines = Vec::new();
+    for (name, v) in &snap.counters {
+        lines.push(format!("counter {name} {v}"));
+    }
+    for (name, v) in &snap.gauges {
+        lines.push(format!("gauge {name} {v}"));
+    }
+    for (name, h) in &snap.histograms {
+        lines.push(format!(
+            "histogram {name} count={} p50<={} p99<={} max={}",
+            h.count,
+            h.quantile_bound(0.50),
+            h.quantile_bound(0.99),
+            h.max
+        ));
+    }
+    // Per-mapping cache occupancy: the process-wide gauges above are
+    // last-writer-wins across caches, so the authoritative per-tenant
+    // numbers come straight from each cache.
+    for entry in state.catalog.entries.values() {
+        if let Ok(warm) = &entry.warm {
+            let s = warm.cache.stats();
+            lines.push(format!(
+                "cache {} classes={} interned={} memo={} hits={} intern_hits={} \
+                 memo_evictions={} class_evictions={}",
+                entry.name,
+                s.classes,
+                s.interned,
+                s.memo_entries,
+                s.hits,
+                s.intern_hits,
+                s.memo_evictions,
+                s.class_evictions
+            ));
+        }
+    }
+    Reply::Ok(lines)
+}
+
+/// Map an engine error to the protocol's three failure forms. The
+/// request's own cancellation (deadline) is a `SHED`; a cut budget is
+/// an honest `UNKNOWN`; everything else is an `ERR`.
+fn chase_reply(e: rde_chase::ChaseError) -> Reply {
+    match e {
+        rde_chase::ChaseError::Cancelled => Reply::Shed("cancelled (request deadline)".into()),
+        rde_chase::ChaseError::MatchBudgetExhausted { budget: Exhausted::Cancelled } => {
+            Reply::Shed("cancelled (request deadline)".into())
+        }
+        rde_chase::ChaseError::MatchBudgetExhausted { budget } => {
+            Reply::Unknown(budget.to_string())
+        }
+        e => Reply::Err(e.to_string()),
+    }
+}
+
+fn core_reply(e: CoreError) -> Reply {
+    match e {
+        CoreError::Cancelled => Reply::Shed("cancelled (request deadline)".into()),
+        CoreError::Chase(e) => chase_reply(e),
+        e => Reply::Err(e.to_string()),
+    }
+}
+
+/// `CHASE m` — chase the body instance through `m` and return the
+/// target-restricted result. A fresh clone of the entry's post-parse
+/// vocabulary replays exactly what a cold `rde chase` run does, so the
+/// reply is bit-identical to the CLI's stdout.
+fn op_chase(
+    state: &ServerState,
+    entry: &MappingEntry,
+    request: &Request,
+    config: &HomConfig,
+) -> Reply {
+    let mut vocab = entry.base_vocab.clone();
+    let instance = match parse_instance(&mut vocab, &request.body_blob()) {
+        Ok(i) => i.into_backend(state.options.backend),
+        Err(e) => return Reply::Err(format!("instance: {e}")),
+    };
+    let options =
+        ChaseOptions { hom: config.clone(), ctx: config.ctx.clone(), ..ChaseOptions::default() };
+    match rde_chase::chase(&instance, &entry.mapping.dependencies, &mut vocab, &options) {
+        Ok(result) => {
+            let rendered =
+                display::instance(&vocab, &result.instance.restrict_to(&entry.mapping.target))
+                    .to_string();
+            Reply::Ok(rendered.lines().map(str::to_owned).collect())
+        }
+        Err(e) => chase_reply(e),
+    }
+}
+
+/// `INVERTIBLE m` — the homomorphism-property check (Thm 3.13) against
+/// the warm cache. Every request scans the same family under its own
+/// budgets; the memo makes repeat checks cheap.
+fn op_invertible(entry: &MappingEntry, config: &HomConfig) -> Reply {
+    let warm = match warm_of(entry) {
+        Ok(w) => w,
+        Err(reply) => return reply,
+    };
+    let mut stats = HomStats::default();
+    let vocab = lock(&warm.vocab);
+    match check_homomorphism_property_cached(&warm.cache, &warm.family, config, &mut stats) {
+        BoundedVerdict::HoldsWithinBound => Reply::Ok(vec!["HOLDS within bound".to_owned()]),
+        BoundedVerdict::Counterexample { i1, i2 } => Reply::Ok(vec![
+            "FAILS".to_owned(),
+            display::instance_inline(&vocab, &i1),
+            display::instance_inline(&vocab, &i2),
+        ]),
+        BoundedVerdict::Unknown { budget: Exhausted::Cancelled } => {
+            Reply::Shed("cancelled (request deadline)".into())
+        }
+        BoundedVerdict::Unknown { budget } => Reply::Unknown(budget.to_string()),
+    }
+}
+
+/// `ARROW m` — decide `I₁ →_M I₂` for the two body instances
+/// (separated by a `--` line). Both are interned into the shared
+/// cache: the vocabulary lock makes constants from different requests
+/// resolve identically, and the eviction policy keeps a hostile
+/// request stream from growing the cache without bound.
+fn op_arrow(
+    state: &ServerState,
+    entry: &MappingEntry,
+    request: &Request,
+    config: &HomConfig,
+) -> Reply {
+    let warm = match warm_of(entry) {
+        Ok(w) => w,
+        Err(reply) => return reply,
+    };
+    let Some(split) = request.body.iter().position(|l| l.trim() == "--") else {
+        return Reply::Err("ARROW body needs two instances separated by a `--` line".into());
+    };
+    let (first, rest) = request.body.split_at(split);
+    let texts = [first.join("\n"), rest[1..].join("\n")];
+    let mut handles = Vec::with_capacity(2);
+    {
+        let mut vocab = lock(&warm.vocab);
+        for text in &texts {
+            let instance = match parse_instance(&mut vocab, text) {
+                Ok(i) => i.into_backend(state.options.backend),
+                Err(e) => return Reply::Err(format!("instance: {e}")),
+            };
+            match warm.cache.intern(&entry.mapping, &instance, &mut vocab, config) {
+                Ok(handle) => handles.push(handle),
+                Err(e) => return core_reply(e),
+            }
+        }
+    }
+    match warm.cache.arrow_classes(&handles[0], &handles[1], config) {
+        Verdict::Holds => Reply::Ok(vec!["YES".to_owned()]),
+        Verdict::Fails => Reply::Ok(vec!["NO".to_owned()]),
+        Verdict::Unknown { budget: Exhausted::Cancelled } => {
+            Reply::Shed("cancelled (request deadline)".into())
+        }
+        Verdict::Unknown { budget } => Reply::Unknown(budget.to_string()),
+    }
+}
+
+/// `CERTAIN m` — reverse certain answers (Thm 6.5) of the `query=`
+/// header over the body instance, using the catalog's `NAME.rev`
+/// reverse mapping.
+fn op_certain(
+    state: &ServerState,
+    entry: &MappingEntry,
+    request: &Request,
+    config: &HomConfig,
+) -> Reply {
+    let Some(reverse) = &entry.reverse else {
+        return Reply::Err(format!("mapping `{}` has no reverse (.rev) mapping", entry.name));
+    };
+    let Some(query_text) = request.get_header("query") else {
+        return Reply::Err("CERTAIN needs a query= header".into());
+    };
+    let mut vocab = entry.base_vocab.clone();
+    let instance = match parse_instance(&mut vocab, &request.body_blob()) {
+        Ok(i) => i.into_backend(state.options.backend),
+        Err(e) => return Reply::Err(format!("instance: {e}")),
+    };
+    let q = match ConjunctiveQuery::parse(&mut vocab, query_text) {
+        Ok(q) => q,
+        Err(e) => return Reply::Err(format!("query: {e}")),
+    };
+    let options =
+        DisjunctiveChaseOptions { ctx: config.ctx.clone(), ..DisjunctiveChaseOptions::default() };
+    match rde_query::reverse_certain_answers(
+        &q,
+        &instance,
+        &entry.mapping,
+        reverse,
+        &mut vocab,
+        &options,
+    ) {
+        Ok(answers) => Reply::Ok(
+            answers
+                .iter()
+                .map(|tuple| {
+                    let rendered: Vec<String> =
+                        tuple.iter().map(|&v| vocab.value_name(v)).collect();
+                    format!("({})", rendered.join(", "))
+                })
+                .collect(),
+        ),
+        Err(e) => chase_reply(e),
+    }
+}
+
+/// What [`spawn`] hands back: the bound address, the shutdown token,
+/// and the serving thread's join handle.
+pub type SpawnedServer =
+    (std::net::SocketAddr, CancelToken, std::thread::JoinHandle<Result<(), ServeError>>);
+
+/// Spawn a bound server onto a background thread, returning the
+/// address, the shutdown token, and the join handle. The canonical way
+/// to embed the daemon in tests and benches.
+pub fn spawn(options: ServeOptions) -> Result<SpawnedServer, ServeError> {
+    let server = Server::bind(options)?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| ServeError::Bind(format!("cannot resolve bound address: {e}")))?;
+    let shutdown = CancelToken::new();
+    let token = shutdown.clone();
+    let handle = std::thread::spawn(move || server.serve(&token));
+    Ok((addr, shutdown, handle))
+}
