@@ -227,12 +227,16 @@ fn next_trigger(
     }
     let chunk = n.div_ceil(threads);
     let mut best: Option<(usize, Vec<Value>)> = None;
+    // Carry the caller's ambient request id onto the workers so any
+    // records they emit stay attributed to the owning request.
+    let req_id = rde_obs::request::current();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
             let hi = ((t + 1) * chunk).min(n);
             handles.push(scope.spawn(move || {
+                let _req = rde_obs::request::enter(req_id);
                 // Within a chunk the sequential order applies, so the
                 // first hit is the chunk's minimum.
                 (lo..hi).find_map(|di| first_trigger(di, &plans[di], branch).map(|vals| (di, vals)))

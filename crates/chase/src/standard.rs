@@ -463,6 +463,14 @@ pub fn chase(
         } else {
             let n = plans.len();
             let mut partials: Vec<Vec<Result<DepCandidates, ChaseError>>> = Vec::new();
+            // Journal attribution: worker threads start with no ambient
+            // request id, so re-install the owning request's id (from
+            // the context, else whatever is ambient on this thread) or
+            // their `chase.dep` events would come out unstamped.
+            let req_id = match options.ctx.request_id {
+                0 => rde_obs::request::current(),
+                id => id,
+            };
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for t in 0..threads {
@@ -473,6 +481,7 @@ pub fn chase(
                     let fired_keys = &fired_keys;
                     let hom = &hom_cfg;
                     handles.push(scope.spawn(move || {
+                        let _req = rde_obs::request::enter(req_id);
                         (lo..hi)
                             .map(|di| {
                                 collect_dep(

@@ -14,7 +14,7 @@ use rde_deps::{parse_mapping, printer, SchemaMapping};
 use rde_faults::{CancelToken, ExecContext};
 use rde_hom::{Exhausted, HomConfig, HomStats};
 use rde_model::{display, parse::parse_instance, Instance, Vocabulary};
-use rde_obs::{journal, Sink};
+use rde_obs::{journal, Record, Sink};
 use rde_query::ConjunctiveQuery;
 
 use crate::options::Options;
@@ -120,15 +120,22 @@ COMMANDS:
                                               per-span p50/p99 latency quantiles
     profile  <workload> <args…>               same, for another command's engine run;
                                               workload ∈ chase|invertible|compare|loss
+    profile  <journal.jsonl> --request-id N   span breakdown of one request extracted
+                                              from an interleaved journal file
     serve    <catalog-dir>                    daemon: serve every NAME.map (+ optional
                                               NAME.rev) in the directory over TCP
                                               [--addr HOST:PORT] [--max-inflight N]
                                               [--cache-memo N] [--cache-classes N]
+                                              [--access-log PATH] [--trace-slow-ms N]
     call     <addr> <op> [args…]              one request against a running daemon;
-                                              op ∈ ping|list|stats|invertible <mapping>
+                                              op ∈ ping|list|stats|metrics
+                                              | invertible <mapping>
                                               | chase <mapping> <instance>
                                               | arrow <mapping> <inst1> <inst2>
                                               | certain <mapping> <instance> <query>
+    top      <addr>                           live per-mapping request table polled
+                                              from the daemon's METRICS op
+                                              [--interval-ms N] [--iterations N]
     help                                      this message
 
 The --consts/--nulls/--facts flags size the bounded universe used by the
@@ -174,6 +181,17 @@ the daemon answers SHED instead of queueing without bound.
 failure, 3 when this client's own --deadline-ms elapsed first, 4 on a
 SHED or UNKNOWN reply (retryable: the server shed load, enforced
 --server-deadline-ms, or ran out of --node-budget/--time-budget-ms).
+
+Serve telemetry: every request gets a monotonic id stamped as a `req`
+field on all of its journal records, engine worker threads included.
+--access-log PATH streams the request journal to a rotating JSONL file
+(one `serve.access` line per request: op, mapping, backend, outcome,
+elapsed µs, arrow-cache hit/miss). --trace-slow-ms N buffers each
+request's span tree and journals it only when the request took ≥ N ms
+(0 keeps every tree). `rde profile LOG --request-id N` then rebuilds
+one request's span breakdown from the interleaved file, and `rde top
+ADDR` renders a live per-mapping table (req/s, p50/p99, inflight,
+sheds, cache occupancy) by polling the METRICS op.
 ";
 
 /// Run a full command line (everything after `argv[0]`).
@@ -213,6 +231,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "profile" => cmd_profile(&opts),
         "serve" => cmd_serve(&opts),
         "call" => cmd_call(&opts),
+        "top" => cmd_top(&opts),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -709,6 +728,11 @@ fn cmd_faithful(opts: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Rotating access-log sink bounds: 64 MiB per file, 4 rotated files
+/// kept — enough history to debug an incident, bounded on disk.
+const ACCESS_LOG_MAX_BYTES: u64 = 64 << 20;
+const ACCESS_LOG_KEEP: usize = 4;
+
 /// `rde serve <catalog-dir>` — run the mapping daemon until Ctrl-C.
 fn cmd_serve(opts: &Options) -> Result<(), CliError> {
     use std::io::Write as _;
@@ -726,18 +750,105 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
             opts.cache_classes.unwrap_or(defaults.policy.max_interned),
         ),
         max_inflight: opts.max_inflight.unwrap_or(defaults.max_inflight),
+        trace_slow_ms: opts.trace_slow_ms,
     };
-    let server = rde_serve::Server::bind(serve_options).map_err(|e| e.to_string())?;
-    let addr = server.local_addr().map_err(|e| format!("bound address: {e}"))?;
-    println!("serving {}", server.mapping_names().join(", "));
-    println!("listening on {addr}");
-    // The readiness lines are the startup handshake (tests and the
-    // quickstart read the port from them); make sure they leave the
-    // process before the accept loop blocks.
-    let _ = std::io::stdout().flush();
-    server.serve(&shutdown).map_err(|e| e.to_string())?;
+    // --access-log points the process journal at a rotating file: one
+    // `serve.access` JSONL line per request, plus any span trees the
+    // slow-request sampler keeps. The journal is process-global, so it
+    // and --trace-out cannot both own the sink.
+    let access_log_attached = match (&opts.access_log, &opts.trace_out) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Message(
+                "--access-log and --trace-out both claim the journal; pass one".into(),
+            ));
+        }
+        (Some(path), None) => {
+            journal::attach(
+                Sink::rotating(path.as_str(), ACCESS_LOG_MAX_BYTES, ACCESS_LOG_KEEP),
+                JOURNAL_CAPACITY,
+            )
+            .map_err(|e| format!("--access-log `{path}`: {e}"))?;
+            journal::enabled()
+        }
+        _ => false,
+    };
+    let served: Result<(), CliError> = (|| {
+        let server = rde_serve::Server::bind(serve_options).map_err(|e| e.to_string())?;
+        let addr = server.local_addr().map_err(|e| format!("bound address: {e}"))?;
+        println!("serving {}", server.mapping_names().join(", "));
+        println!("listening on {addr}");
+        // The readiness lines are the startup handshake (tests and the
+        // quickstart read the port from them); make sure they leave the
+        // process before the accept loop blocks.
+        let _ = std::io::stdout().flush();
+        server.serve(&shutdown).map_err(|e| e.to_string())?;
+        Ok(())
+    })();
+    if access_log_attached {
+        if let Some(summary) = journal::detach() {
+            if summary.dropped > 0 || summary.io_errors > 0 {
+                eprintln!(
+                    "# access log: {} record(s) dropped past capacity, {} io error(s)",
+                    summary.dropped, summary.io_errors
+                );
+            }
+        }
+    }
+    served?;
     eprintln!("rde serve: drained and shut down");
     Ok(())
+}
+
+/// `rde top <addr>` — poll `METRICS` and render a live per-mapping
+/// table until interrupted (or for `--iterations N` refreshes).
+fn cmd_top(opts: &Options) -> Result<(), CliError> {
+    use std::io::{IsTerminal as _, Write as _};
+    let addr = opts.positional(0, "server address")?;
+    rde_faults::install_interrupt_handler();
+    let token = CancelToken::new().watching_interrupt();
+    let mut client = rde_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+    client.set_deadline(opts.deadline_ms.map(Duration::from_millis)).map_err(|e| e.to_string())?;
+    let mut prev: Option<(crate::top::Poll, std::time::Instant)> = None;
+    let mut remaining = opts.iterations;
+    loop {
+        let lines = match client.request(&rde_serve::Request::bare("METRICS")) {
+            Ok(rde_serve::Reply::Ok(lines)) => lines,
+            Ok(reply) => return Err(CliError::Message(format!("METRICS: {reply:?}"))),
+            Err(rde_serve::ClientError::Deadline) => return Err(CliError::Cancelled),
+            Err(e) => return Err(CliError::Message(e.to_string())),
+        };
+        let poll = crate::top::Poll::parse(&lines)?;
+        let now = std::time::Instant::now();
+        let table =
+            crate::top::render(prev.as_ref().map(|(p, at)| (p, now.duration_since(*at))), &poll);
+        // Only a live terminal gets the clear-screen dance; piped
+        // output stays an appendable log of refreshes.
+        if std::io::stdout().is_terminal() {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{table}");
+        let _ = std::io::stdout().flush();
+        prev = Some((poll, now));
+        if let Some(n) = remaining.as_mut() {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                return Ok(());
+            }
+        }
+        // Sleep in short slices so Ctrl-C lands between refreshes.
+        let mut left = opts.interval_ms;
+        while left > 0 {
+            if token.is_cancelled() {
+                return Ok(());
+            }
+            let slice = left.min(50);
+            std::thread::sleep(Duration::from_millis(slice));
+            left -= slice;
+        }
+        if token.is_cancelled() {
+            return Ok(());
+        }
+    }
 }
 
 /// `rde call <addr> <op> [args…]` — one request against a daemon.
@@ -745,7 +856,7 @@ fn cmd_call(opts: &Options) -> Result<(), CliError> {
     let addr = opts.positional(0, "server address")?;
     let op = opts.positional(1, "op")?.to_ascii_lowercase();
     let mut request = match op.as_str() {
-        "ping" | "list" | "stats" => rde_serve::Request::bare(&op),
+        "ping" | "list" | "stats" | "metrics" => rde_serve::Request::bare(&op),
         "invertible" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?),
         "chase" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?)
             .body_text(&read(opts.positional(3, "instance file")?)?),
@@ -807,7 +918,55 @@ fn profile_chase(opts: &Options) -> Result<(u64, u64), CliError> {
     Ok((result.fired, result.rounds))
 }
 
+/// `rde profile <journal.jsonl> --request-id N` — analyze a journal
+/// file written by another process (a serve access log with sampled
+/// span trees, a `--trace-out` capture), filtered down to one
+/// request's records.
+fn profile_journal_file(opts: &Options, id: u64) -> Result<(), CliError> {
+    let path = opts.positional(0, "journal file")?;
+    let text = read(path)?;
+    let mut records = Vec::new();
+    let mut requests = std::collections::BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record =
+            Record::parse_json_line(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let req = record.req();
+        if req != 0 {
+            requests.insert(req);
+        }
+        if req == id {
+            records.push(record);
+        }
+    }
+    if records.is_empty() {
+        let hint = match (requests.first(), requests.last()) {
+            (Some(lo), Some(hi)) => {
+                format!("{} request id(s) present, spanning {lo}..={hi}", requests.len())
+            }
+            _ => "no request-stamped records at all".to_owned(),
+        };
+        return Err(CliError::Message(format!("request id {id} not found in `{path}` ({hint})")));
+    }
+    println!("# request {id}: {} record(s)", records.len());
+    match crate::profile::render_span_tree(&records) {
+        Some(tree) => {
+            print!("{tree}");
+            if let Some(table) = crate::profile::render_quantiles(&records) {
+                print!("{table}");
+            }
+        }
+        None => println!("# no spans recorded for request {id} (events only)"),
+    }
+    Ok(())
+}
+
 fn cmd_profile(opts: &Options) -> Result<(), CliError> {
+    if let Some(id) = opts.request_id {
+        return profile_journal_file(opts, id);
+    }
     // `profile <workload> …` profiles another command's engine run
     // (`chase`, `invertible`, `compare`, `loss`); the original
     // `profile <mapping> <instance>` form still means the chase.

@@ -12,6 +12,7 @@ use std::process::ExitCode;
 mod commands;
 mod options;
 mod profile;
+mod top;
 
 /// Exit status for cooperative cancellation (`--deadline-ms` elapsed
 /// or Ctrl-C): distinct from ordinary failure so scripts can tell

@@ -63,6 +63,22 @@ pub struct Options {
     /// comes back as a SHED reply). Distinct from `--deadline-ms`,
     /// which caps the client's own wait.
     pub server_deadline_ms: Option<u64>,
+    /// `--access-log PATH`: (serve) stream the request journal — one
+    /// `serve.access` JSONL line per request, plus any sampled span
+    /// trees — to a rotating file at PATH.
+    pub access_log: Option<String>,
+    /// `--trace-slow-ms N`: (serve) buffer each request's span tree
+    /// and write it to the journal only when the request took ≥ N ms
+    /// (`0` keeps every tree).
+    pub trace_slow_ms: Option<u64>,
+    /// `--interval-ms N`: (top) polling cadence (default 1000).
+    pub interval_ms: u64,
+    /// `--iterations N`: (top) stop after N refreshes instead of
+    /// running until interrupted.
+    pub iterations: Option<u64>,
+    /// `--request-id N`: (profile) filter a journal *file* down to one
+    /// request's records before building the span breakdown.
+    pub request_id: Option<u64>,
 }
 
 impl Default for Options {
@@ -89,6 +105,11 @@ impl Default for Options {
             cache_memo: None,
             cache_classes: None,
             server_deadline_ms: None,
+            access_log: None,
+            trace_slow_ms: None,
+            interval_ms: 1000,
+            iterations: None,
+            request_id: None,
         }
     }
 }
@@ -189,6 +210,44 @@ impl Options {
                             .map_err(|_| {
                                 "--server-deadline-ms requires an integer value".to_string()
                             })?,
+                    );
+                }
+                "--access-log" => {
+                    opts.access_log = Some(
+                        it.next()
+                            .ok_or_else(|| "--access-log requires a path".to_string())?
+                            .clone(),
+                    );
+                }
+                "--trace-slow-ms" => {
+                    opts.trace_slow_ms = Some(
+                        it.next()
+                            .ok_or_else(|| "--trace-slow-ms requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| "--trace-slow-ms requires an integer value".to_string())?,
+                    );
+                }
+                "--interval-ms" => {
+                    opts.interval_ms = it
+                        .next()
+                        .ok_or_else(|| "--interval-ms requires a value".to_string())?
+                        .parse::<u64>()
+                        .map_err(|_| "--interval-ms requires an integer value".to_string())?;
+                }
+                "--iterations" => {
+                    opts.iterations = Some(
+                        it.next()
+                            .ok_or_else(|| "--iterations requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| "--iterations requires an integer value".to_string())?,
+                    );
+                }
+                "--request-id" => {
+                    opts.request_id = Some(
+                        it.next()
+                            .ok_or_else(|| "--request-id requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| "--request-id requires an integer value".to_string())?,
                     );
                 }
                 "--metrics" => opts.metrics = true,
@@ -317,6 +376,32 @@ mod tests {
         assert_eq!(o.backend, BackendKind::default());
         assert!(Options::parse(&strings(&["--backend"])).is_err());
         assert!(Options::parse(&strings(&["--backend", "paged"])).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags() {
+        let o = Options::parse(&strings(&[
+            "dir",
+            "--access-log",
+            "/tmp/a.jsonl",
+            "--trace-slow-ms",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(o.access_log.as_deref(), Some("/tmp/a.jsonl"));
+        assert_eq!(o.trace_slow_ms, Some(25));
+        let o = Options::parse(&strings(&["addr", "--interval-ms", "200", "--iterations", "3"]))
+            .unwrap();
+        assert_eq!((o.interval_ms, o.iterations), (200, Some(3)));
+        let o = Options::parse(&strings(&["j.jsonl", "--request-id", "42"])).unwrap();
+        assert_eq!(o.request_id, Some(42));
+        let o = Options::parse(&strings(&["x"])).unwrap();
+        assert_eq!(o.interval_ms, 1000, "default polling cadence");
+        assert!(o.access_log.is_none() && o.trace_slow_ms.is_none());
+        assert!(o.iterations.is_none() && o.request_id.is_none());
+        assert!(Options::parse(&strings(&["--access-log"])).is_err());
+        assert!(Options::parse(&strings(&["--trace-slow-ms", "soon"])).is_err());
+        assert!(Options::parse(&strings(&["--request-id", "x"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The `rde top` subcommand: poll a daemon's `METRICS` exposition and
+//! render a live per-mapping table (req/s, latency quantiles, inflight,
+//! sheds, cache occupancy).
+//!
+//! Everything here is pure text-in/text-out — the network loop lives in
+//! `commands.rs` — so the table logic is unit-testable against canned
+//! exposition snapshots.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use rde_obs::expo::{parse_line, Sample};
+
+/// One parsed `METRICS` poll.
+pub struct Poll {
+    samples: Vec<Sample>,
+}
+
+impl Poll {
+    /// Parse the reply lines of a `METRICS` request (comment lines are
+    /// skipped; any malformed sample line is an error).
+    pub fn parse(lines: &[String]) -> Result<Poll, String> {
+        let mut samples = Vec::new();
+        for line in lines {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            samples.push(parse_line(line)?);
+        }
+        Ok(Poll { samples })
+    }
+
+    fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels.iter().all(|(k, v)| s.label(k) == Some(*v))
+                    && s.labels.len() == labels.len()
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of every `name` sample carrying `label`, regardless of its
+    /// other labels (e.g. total requests for a mapping across ops).
+    /// The `+ 0.0` normalizes the empty sum: `Sum for f64` uses the
+    /// additive identity `-0.0`, which `{:.0}` renders as `-0`.
+    fn sum_where(&self, name: &str, label: (&str, &str)) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.label(label.0) == Some(label.1))
+            .map(|s| s.value)
+            .sum::<f64>()
+            + 0.0
+    }
+
+    /// Every value of `key` appearing on `name` samples.
+    fn label_values(&self, name: &str, key: &str) -> BTreeSet<String> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| s.label(key).map(str::to_owned))
+            .collect()
+    }
+
+    /// Merge a mapping's cumulative `serve_request_us` bucket series
+    /// (one per op; each emits only its non-empty bounds) into one step
+    /// function: sorted `(le, cumulative count)` points.
+    fn latency_steps(&self, mapping: &str) -> Vec<(f64, f64)> {
+        // Group the bucket samples into per-series cumulative curves
+        // keyed by their full label string minus `le`.
+        let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+        for s in &self.samples {
+            if s.name != "serve_request_us_bucket" || s.label("mapping") != Some(mapping) {
+                continue;
+            }
+            let Some(le) = s.label("le") else { continue };
+            let le = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::NAN) };
+            if le.is_nan() {
+                continue;
+            }
+            let mut key = String::new();
+            for (k, v) in &s.labels {
+                if k != "le" {
+                    let _ = write!(key, "{k}={v},");
+                }
+            }
+            series.entry(key).or_default().push((le, s.value));
+        }
+        // Cumulative curves are step functions; sum them pointwise at
+        // the union of their bounds (each curve contributes its value
+        // at the greatest bound ≤ the evaluation point).
+        let mut bounds: BTreeSet<u64> = BTreeSet::new();
+        for curve in series.values_mut() {
+            curve.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for &(le, _) in curve.iter() {
+                bounds.insert(le.to_bits());
+            }
+        }
+        bounds
+            .into_iter()
+            .map(f64::from_bits)
+            .map(|le| {
+                let total: f64 = series
+                    .values()
+                    .map(|curve| {
+                        curve
+                            .iter()
+                            .take_while(|(b, _)| *b <= le)
+                            .last()
+                            .map_or(0.0, |&(_, cum)| cum)
+                    })
+                    .sum();
+                (le, total)
+            })
+            .collect()
+    }
+
+    /// Quantile upper bound (µs) from the merged bucket step function.
+    fn latency_quantile(&self, mapping: &str, q: f64) -> Option<f64> {
+        let steps = self.latency_steps(mapping);
+        let total = steps.last().map(|&(_, cum)| cum)?;
+        if total == 0.0 {
+            return None;
+        }
+        let target = (q * total).ceil().max(1.0);
+        steps.iter().find(|&&(_, cum)| cum >= target).map(|&(le, _)| le)
+    }
+}
+
+fn fmt_quantile(v: Option<f64>) -> String {
+    match v {
+        None => "-".to_owned(),
+        Some(le) if le.is_infinite() => "inf".to_owned(),
+        Some(le) => format!("{le:.0}"),
+    }
+}
+
+/// Render one refresh of the top table. `prev` is the previous poll
+/// and the wall time since it, for the req/s column; the first refresh
+/// has no rate yet.
+pub fn render(prev: Option<(&Poll, Duration)>, cur: &Poll) -> String {
+    let mut out = String::new();
+    let uptime_s = cur.get("serve_uptime_ms", &[]).unwrap_or(0.0) / 1000.0;
+    let total: f64 = cur.get("serve_requests", &[]).unwrap_or(0.0);
+    let inflight = cur.get("serve_inflight", &[]).unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "rde top — uptime {uptime_s:.1}s, {total:.0} request(s) served, {inflight:.0} in flight"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>7} {:>8}",
+        "MAPPING", "REQS", "REQ/S", "P50(µs)", "P99(µs)", "INFLIGHT", "SHED", "MEMO", "CLASSES"
+    );
+    for mapping in cur.label_values("serve_requests", "mapping") {
+        let m = mapping.as_str();
+        let reqs = cur.sum_where("serve_requests", ("mapping", m));
+        let rate = match prev {
+            Some((before, elapsed)) if !elapsed.is_zero() => {
+                let delta = reqs - before.sum_where("serve_requests", ("mapping", m));
+                format!("{:.1}", delta.max(0.0) / elapsed.as_secs_f64())
+            }
+            _ => "-".to_owned(),
+        };
+        // `+ 0.0`: an empty sum is `-0.0`, which would render as `-0`.
+        let sheds: f64 = cur
+            .samples
+            .iter()
+            .filter(|s| {
+                s.name == "serve_outcome"
+                    && s.label("mapping") == Some(m)
+                    && s.label("outcome") == Some("shed")
+            })
+            .map(|s| s.value)
+            .sum::<f64>()
+            + 0.0;
+        let inflight = cur.get("serve_inflight", &[("mapping", m)]).unwrap_or(0.0);
+        let memo = cur.get("serve_cache_memo", &[("mapping", m)]);
+        let classes = cur.get("serve_cache_classes", &[("mapping", m)]);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6} {:>7} {:>8}",
+            m,
+            format!("{reqs:.0}"),
+            rate,
+            fmt_quantile(cur.latency_quantile(m, 0.50)),
+            fmt_quantile(cur.latency_quantile(m, 0.99)),
+            format!("{inflight:.0}"),
+            format!("{sheds:.0}"),
+            memo.map_or("-".to_owned(), |v| format!("{v:.0}")),
+            classes.map_or("-".to_owned(), |v| format!("{v:.0}")),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poll(text: &str) -> Poll {
+        let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        Poll::parse(&lines).unwrap()
+    }
+
+    const FIRST: &str = "\
+# TYPE serve_requests counter
+serve_requests 12
+serve_requests{mapping=\"flights\",op=\"CHASE\"} 8
+serve_requests{mapping=\"flights\",op=\"ARROW\"} 2
+serve_requests{mapping=\"-\",op=\"PING\"} 2
+# TYPE serve_inflight gauge
+serve_inflight 1
+serve_inflight{mapping=\"flights\"} 1
+# TYPE serve_uptime_ms gauge
+serve_uptime_ms 2500
+# TYPE serve_cache_memo gauge
+serve_cache_memo{mapping=\"flights\"} 7
+# TYPE serve_cache_classes gauge
+serve_cache_classes{mapping=\"flights\"} 3
+# TYPE serve_outcome counter
+serve_outcome{mapping=\"flights\",op=\"CHASE\",outcome=\"ok\"} 7
+serve_outcome{mapping=\"flights\",op=\"CHASE\",outcome=\"shed\"} 1
+# TYPE serve_request_us histogram
+serve_request_us_bucket{le=\"63\",mapping=\"flights\",op=\"CHASE\"} 6
+serve_request_us_bucket{le=\"1023\",mapping=\"flights\",op=\"CHASE\"} 8
+serve_request_us_bucket{le=\"+Inf\",mapping=\"flights\",op=\"CHASE\"} 8
+serve_request_us_bucket{le=\"127\",mapping=\"flights\",op=\"ARROW\"} 2
+serve_request_us_bucket{le=\"+Inf\",mapping=\"flights\",op=\"ARROW\"} 2
+";
+
+    #[test]
+    fn quantiles_merge_bucket_series_across_ops() {
+        let p = poll(FIRST);
+        // Merged curve: ≤63 → 6, ≤127 → 8, ≤1023 → 10, +Inf → 10.
+        // p50 of 10 needs cum ≥ 5 → le 63; p99 needs cum ≥ 10 → 1023.
+        assert_eq!(p.latency_quantile("flights", 0.50), Some(63.0));
+        assert_eq!(p.latency_quantile("flights", 0.99), Some(1023.0));
+        assert_eq!(p.latency_quantile("nope", 0.50), None);
+    }
+
+    #[test]
+    fn table_renders_rates_from_poll_deltas() {
+        let before = poll(FIRST);
+        let after = poll(
+            &FIRST
+                .replace(
+                    "serve_requests{mapping=\"flights\",op=\"CHASE\"} 8",
+                    "serve_requests{mapping=\"flights\",op=\"CHASE\"} 18",
+                )
+                .replace("serve_requests 12", "serve_requests 22"),
+        );
+        let table = render(Some((&before, Duration::from_secs(2))), &after);
+        let flights = table.lines().find(|l| l.starts_with("flights")).unwrap();
+        // 20 total flights requests now, 10 more than before over 2s.
+        assert!(flights.contains(" 20 "), "{flights}");
+        assert!(flights.contains("5.0"), "{flights}");
+        assert!(flights.contains(" 63 ") && flights.contains("1023"), "{flights}");
+        assert!(flights.ends_with("7        3"), "memo/classes columns: {flights}");
+        // The bare-op pseudo-mapping row is present too.
+        assert!(table.lines().any(|l| l.starts_with('-')), "{table}");
+        assert!(table.contains("uptime 2.5s"), "{table}");
+        // First poll has no rate to show.
+        let first = render(None, &before);
+        let row = first.lines().find(|l| l.starts_with("flights")).unwrap();
+        assert!(row.contains(" - "), "{row}");
+    }
+
+    #[test]
+    fn zero_sheds_render_as_zero_not_negative_zero() {
+        // The `-` pseudo-mapping has no `serve_outcome` shed samples at
+        // all; the empty f64 sum is `-0.0` and must not leak into the
+        // table as `-0`.
+        let table = render(None, &poll(FIRST));
+        assert!(!table.contains("-0"), "{table}");
+        let bare = table.lines().find(|l| l.starts_with('-')).unwrap();
+        assert!(bare.split_whitespace().any(|c| c == "0"), "{bare}");
+    }
+
+    #[test]
+    fn malformed_exposition_is_an_error() {
+        assert!(Poll::parse(&["not a sample line at all }{".to_owned()]).is_err());
+        assert!(Poll::parse(&["# a comment".to_owned()]).unwrap().samples.is_empty());
+    }
+}

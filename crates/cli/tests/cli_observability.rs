@@ -153,6 +153,152 @@ fn profile_trace_out_dumps_the_memory_journal() {
     }
 }
 
+/// Spawn `rde serve --addr 127.0.0.1:0 …` and wait for the readiness
+/// line; the daemon is killed (and its catalog removed) on drop.
+struct ServeGuard {
+    child: std::process::Child,
+    addr: String,
+    dir: PathBuf,
+}
+
+impl ServeGuard {
+    fn spawn(dir: PathBuf, extra: &[&str]) -> ServeGuard {
+        use std::io::BufRead;
+        let mut child = rde()
+            .args(["serve", dir.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn rde serve");
+        let stdout = child.stdout.take().expect("serve stdout piped");
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve must print its readiness lines before accepting")
+                .expect("read serve stdout");
+            if let Some(rest) = line.strip_prefix("listening on ") {
+                break rest.to_owned();
+            }
+        };
+        ServeGuard { child, addr, dir }
+    }
+
+    /// SIGINT (what Ctrl-C sends): the daemon drains, flushes the
+    /// access log, and exits 0.
+    fn interrupt_and_wait(&mut self) -> Option<i32> {
+        let pid = self.child.id().to_string();
+        let sent =
+            Command::new("kill").args(["-INT", &pid]).status().expect("spawn kill").success();
+        assert!(sent, "kill -INT must reach the daemon");
+        self.child.wait().expect("wait for rde serve").code()
+    }
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+#[test]
+fn serve_telemetry_flows_from_access_log_to_top_and_profile() {
+    let dir = std::env::temp_dir().join(format!("rde-cli-telemetry-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("split.map"),
+        "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n",
+    )
+    .unwrap();
+    let inst = dir.join("i.inst");
+    std::fs::write(&inst, "P(a, b, c)\n").unwrap();
+    let log = dir.join("access.jsonl");
+    // Threshold 0: every request's span tree is replayed into the log.
+    let mut guard = ServeGuard::spawn(
+        dir.clone(),
+        &["--access-log", log.to_str().unwrap(), "--trace-slow-ms", "0"],
+    );
+
+    let chase = rde()
+        .args(["call", &guard.addr, "chase", "split", inst.to_str().unwrap()])
+        .output()
+        .expect("spawn rde call chase");
+    assert_eq!(chase.status.code(), Some(0), "{}", String::from_utf8_lossy(&chase.stderr));
+
+    // `rde call <addr> metrics` prints the Prometheus exposition.
+    let metrics = rde().args(["call", &guard.addr, "metrics"]).output().expect("spawn rde call");
+    assert_eq!(metrics.status.code(), Some(0));
+    let exposition = String::from_utf8_lossy(&metrics.stdout);
+    rde_obs::expo::validate(exposition.trim_end()).expect("exposition validates");
+    assert!(
+        exposition.contains("serve_requests{mapping=\"split\",op=\"CHASE\"}"),
+        "labeled request series scraped:\n{exposition}"
+    );
+
+    // One `rde top` refresh renders the per-mapping table.
+    let top =
+        rde().args(["top", &guard.addr, "--iterations", "1"]).output().expect("spawn rde top");
+    assert_eq!(top.status.code(), Some(0), "{}", String::from_utf8_lossy(&top.stderr));
+    let table = String::from_utf8_lossy(&top.stdout);
+    assert!(table.contains("rde top — uptime"), "header:\n{table}");
+    assert!(table.contains("MAPPING"), "column row:\n{table}");
+    assert!(
+        table.lines().any(|l| l.starts_with("split")),
+        "a live per-mapping row for `split`:\n{table}"
+    );
+
+    assert_eq!(guard.interrupt_and_wait(), Some(0), "clean drain on SIGINT");
+
+    if cfg!(feature = "trace") {
+        // The access log holds one valid JSONL access line per request
+        // plus the replayed span trees (threshold 0 keeps them all).
+        let text = std::fs::read_to_string(&log).expect("access log written");
+        let mut chase_req = None;
+        for line in text.lines() {
+            let record = rde_obs::Record::parse_json_line(line).expect("valid access-log line");
+            if record.name == "serve.access" {
+                assert_ne!(record.req(), 0, "access lines are request-stamped: {line}");
+                for key in ["op", "mapping", "backend", "outcome", "us"] {
+                    assert!(record.field(key).is_some(), "missing {key}: {line}");
+                }
+            }
+            if record.kind == "span_open" && record.name == "serve.request" {
+                chase_req.get_or_insert(record.req());
+            }
+        }
+        let req = chase_req.expect("a replayed span tree in the access log");
+
+        // `rde profile <log> --request-id N` filters to that request.
+        let profile = rde()
+            .args(["profile", log.to_str().unwrap(), "--request-id", &req.to_string()])
+            .output()
+            .expect("spawn rde profile");
+        assert_eq!(profile.status.code(), Some(0), "{}", String::from_utf8_lossy(&profile.stderr));
+        let report = String::from_utf8_lossy(&profile.stdout);
+        assert!(report.contains(&format!("# request {req}:")), "{report}");
+        assert!(report.contains("serve.request"), "root span in the tree:\n{report}");
+
+        // An unknown id is a clean error naming the ids that do exist.
+        let missing = rde()
+            .args(["profile", log.to_str().unwrap(), "--request-id", "999999"])
+            .output()
+            .expect("spawn rde profile");
+        assert_eq!(missing.status.code(), Some(1));
+        let err = String::from_utf8_lossy(&missing.stderr);
+        assert!(err.contains("request id 999999 not found"), "{err}");
+        assert!(err.contains("request id(s) present"), "{err}");
+    } else {
+        // Journal compiled out: the access-log flag is accepted but
+        // writes nothing.
+        assert!(
+            !log.exists() || std::fs::read_to_string(&log).unwrap().is_empty(),
+            "no-trace builds must not write access-log records"
+        );
+    }
+}
+
 #[test]
 fn retry_and_time_budget_flags_run_end_to_end() {
     // A starved node budget answers UNKNOWN; --retries escalates it

@@ -325,7 +325,7 @@ impl ArrowMCache {
     /// (an `Unknown` must stay retryable with a larger budget).
     pub fn arrow_budgeted(&self, a: usize, b: usize, config: &HomConfig) -> Verdict {
         let (ka, kb) = (ClassKey(self.class[a] as u64), ClassKey(self.class[b] as u64));
-        self.decide(ka, &self.reps[self.class[a]], kb, &self.reps[self.class[b]], config)
+        self.decide(ka, &self.reps[self.class[a]], kb, &self.reps[self.class[b]], config).0
     }
 
     /// Resolve an arbitrary instance to its hom-equivalence class:
@@ -395,6 +395,19 @@ impl ArrowMCache {
     /// the handles' core representatives under `config`, memoized per
     /// class pair like every other arrow query.
     pub fn arrow_classes(&self, a: &ClassHandle, b: &ClassHandle, config: &HomConfig) -> Verdict {
+        self.decide(a.key, &a.rep, b.key, &b.rep, config).0
+    }
+
+    /// Like [`Self::arrow_classes`], but also report whether the
+    /// verdict came from the memo (`true` = hit). The serve access log
+    /// wants an exact per-request cache flag; deriving one from the
+    /// global hit counters would misattribute under concurrency.
+    pub fn arrow_classes_probed(
+        &self,
+        a: &ClassHandle,
+        b: &ClassHandle,
+        config: &HomConfig,
+    ) -> (Verdict, bool) {
         self.decide(a.key, &a.rep, b.key, &b.rep, config)
     }
 
@@ -402,6 +415,7 @@ impl ArrowMCache {
     /// representatives, memo insert (definite verdicts only, with FIFO
     /// eviction past the cap, and only while both classes are live so a
     /// retired key can never leave an unpurgeable entry behind).
+    /// Returns the verdict and whether the memo answered it.
     fn decide(
         &self,
         ka: ClassKey,
@@ -409,7 +423,7 @@ impl ArrowMCache {
         kb: ClassKey,
         rep_b: &Instance,
         config: &HomConfig,
-    ) -> Verdict {
+    ) -> (Verdict, bool) {
         // Resilience-suite injection: a worker that panicked while
         // holding these locks must not wedge every later query —
         // `lock_memo`/`lock_stats` recover from the poison.
@@ -421,7 +435,7 @@ impl ArrowMCache {
         if let Some(&cached) = self.lock_memo().map.get(&key) {
             self.lock_stats().hits += 1;
             rde_obs::counter!("core.arrow.hits").inc();
-            return Verdict::from_bool(cached);
+            return (Verdict::from_bool(cached), true);
         }
         rde_obs::counter!("core.arrow.misses").inc();
         let mut search = HomStats::default();
@@ -435,7 +449,7 @@ impl ArrowMCache {
         } else {
             rde_obs::counter!("core.arrow.unknown").inc();
         }
-        verdict
+        (verdict, false)
     }
 
     /// True while `key` names a pinned family class or a live interned

@@ -156,6 +156,8 @@ pub fn information_loss_parallel(
 
     let chunk = n.div_ceil(threads);
     let mut partials: Vec<Partial> = Vec::new();
+    // Keep worker-emitted records attributed to the owning request.
+    let req_id = rde_obs::request::current();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
@@ -164,6 +166,7 @@ pub fn information_loss_parallel(
             let family = &family;
             let cache = &cache;
             handles.push(scope.spawn(move || {
+                let _req = rde_obs::request::enter(req_id);
                 let mut p = Partial::default();
                 for a in lo..hi {
                     let lost_before = p.lost.len();

@@ -1,0 +1,364 @@
+//! Prometheus-style text exposition of a metrics [`Snapshot`].
+//!
+//! The `METRICS` wire op returns this format so any scrape-shaped
+//! tool (or `curl`/`nc` plus eyeballs) can read a live daemon. The
+//! grammar we emit is the text exposition subset:
+//!
+//! ```text
+//! # TYPE serve_requests counter
+//! serve_requests 42
+//! serve_requests{mapping="flights",op="CHASE"} 17
+//! # TYPE serve_request_us histogram
+//! serve_request_us_bucket{mapping="flights",op="CHASE",le="127"} 9
+//! serve_request_us_bucket{mapping="flights",op="CHASE",le="+Inf"} 17
+//! serve_request_us_sum{mapping="flights",op="CHASE"} 1234
+//! serve_request_us_count{mapping="flights",op="CHASE"} 17
+//! ```
+//!
+//! Names are sanitized (`.` and `-` become `_`); label values are
+//! escaped exactly as [`crate::metrics::format_labels`] renders them,
+//! so the canonical label string passes through verbatim. Output
+//! ordering is deterministic: by sanitized name, then by label string.
+//! Histogram buckets are cumulative (`le` is an inclusive upper
+//! bound); only non-empty buckets are emitted, plus the mandatory
+//! `+Inf` bucket.
+//!
+//! [`parse_line`] and [`validate`] are the read side: `rde top` parses
+//! scraped samples with the former, and tests/CI hold every exposition
+//! to the latter.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_bound, parse_labels, HistogramSnapshot, Snapshot};
+
+/// Sanitize a metric name for exposition: `[a-zA-Z0-9_:]` pass
+/// through, everything else (the `.` in `serve.request.us`, dashes)
+/// becomes `_`; a leading digit gets a `_` prefix.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        match ch {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => out.push(ch),
+            '0'..='9' => {
+                if i == 0 {
+                    out.push('_');
+                }
+                out.push(ch);
+            }
+            _ => out.push('_'),
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn write_series(out: &mut String, name: &str, labels: &str, extra: Option<(&str, &str)>, v: u64) {
+    out.push_str(name);
+    match (labels.is_empty(), extra) {
+        (true, None) => {}
+        (true, Some((k, val))) => {
+            let _ = write!(out, "{{{k}=\"{val}\"}}");
+        }
+        (false, None) => {
+            let _ = write!(out, "{{{labels}}}");
+        }
+        (false, Some((k, val))) => {
+            let _ = write!(out, "{{{labels},{k}=\"{val}\"}}");
+        }
+    }
+    let _ = writeln!(out, " {v}");
+}
+
+type Grouped<T> = BTreeMap<String, Vec<(String, T)>>;
+
+fn group<T: Clone>(unlabeled: &[(String, T)], labeled: &[(String, String, T)]) -> Grouped<T> {
+    let mut groups: Grouped<T> = BTreeMap::new();
+    for (name, v) in unlabeled {
+        groups.entry(sanitize_name(name)).or_default().push((String::new(), v.clone()));
+    }
+    for (name, labels, v) in labeled {
+        groups.entry(sanitize_name(name)).or_default().push((labels.clone(), v.clone()));
+    }
+    for series in groups.values_mut() {
+        series.sort_by(|(a, _), (b, _)| a.cmp(b));
+    }
+    groups
+}
+
+/// Render `snap` in Prometheus text exposition format. Unlabeled and
+/// labeled series of the same name share one `# TYPE` declaration.
+pub fn render(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, series) in group(&snap.counters, &snap.labeled_counters) {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (labels, v) in series {
+            write_series(&mut out, &name, &labels, None, v);
+        }
+    }
+    for (name, series) in group(&snap.gauges, &snap.labeled_gauges) {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (labels, v) in series {
+            write_series(&mut out, &name, &labels, None, v);
+        }
+    }
+    for (name, series) in group(&snap.histograms, &snap.labeled_histograms) {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for (labels, h) in series {
+            write_histogram(&mut out, &name, &labels, &h);
+        }
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    let bucket = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        cumulative += n;
+        let bound = bucket_bound(i).to_string();
+        write_series(out, &bucket, labels, Some(("le", &bound)), cumulative);
+    }
+    write_series(out, &bucket, labels, Some(("le", "+Inf")), h.count);
+    write_series(out, &format!("{name}_sum"), labels, None, h.sum);
+    write_series(out, &format!("{name}_count"), labels, None, h.count);
+}
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The (sanitized) series name, including any `_bucket`/`_sum`/
+    /// `_count` suffix.
+    pub name: String,
+    /// Decoded label pairs, in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// The sample value. `le="+Inf"` appears as a *label*, so values
+    /// are always finite here.
+    pub value: f64,
+}
+
+impl Sample {
+    /// First value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse one sample line (not a `#` comment line).
+pub fn parse_line(line: &str) -> Result<Sample, String> {
+    let (series, value) =
+        line.rsplit_once(' ').ok_or_else(|| format!("no value separator in {line:?}"))?;
+    let value: f64 =
+        value.parse().map_err(|_| format!("unreadable value {value:?} in {line:?}"))?;
+    if !value.is_finite() {
+        return Err(format!("non-finite value in {line:?}"));
+    }
+    let (name, labels) = match series.split_once('{') {
+        None => (series, Vec::new()),
+        Some((name, rest)) => {
+            let interior = rest
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+            let labels = parse_labels(interior)
+                .ok_or_else(|| format!("malformed labels {interior:?} in {line:?}"))?;
+            (name, labels)
+        }
+    };
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(Sample { name: name.to_owned(), labels, value })
+}
+
+/// Validate a whole exposition blob line by line: every line is either
+/// a well-formed `# TYPE`/`# HELP` comment or a parsable sample whose
+/// name was declared by an earlier `# TYPE` (histogram samples may use
+/// the `_bucket`/`_sum`/`_count` suffixes, and `_bucket` samples must
+/// carry an `le` label). Returns the first offense with its line
+/// number.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg}", i + 1);
+        if line.is_empty() {
+            return Err(at("empty line".to_owned()));
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment
+                .strip_prefix(' ')
+                .ok_or_else(|| at(format!("comment without space: {line:?}")))?;
+            if comment.starts_with("HELP ") {
+                continue;
+            }
+            let decl = comment
+                .strip_prefix("TYPE ")
+                .ok_or_else(|| at(format!("unrecognized comment {line:?}")))?;
+            let mut words = decl.split(' ');
+            let (Some(name), Some(ty), None) = (words.next(), words.next(), words.next()) else {
+                return Err(at(format!("malformed TYPE line {line:?}")));
+            };
+            if !valid_name(name) {
+                return Err(at(format!("invalid metric name {name:?}")));
+            }
+            if !matches!(ty, "counter" | "gauge" | "histogram") {
+                return Err(at(format!("unknown metric type {ty:?}")));
+            }
+            if types.insert(name.to_owned(), ty.to_owned()).is_some() {
+                return Err(at(format!("duplicate TYPE declaration for {name}")));
+            }
+            continue;
+        }
+        let sample = parse_line(line).map_err(at)?;
+        let declared = if types.contains_key(&sample.name) {
+            true
+        } else {
+            ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                sample
+                    .name
+                    .strip_suffix(suffix)
+                    .is_some_and(|base| types.get(base).map(String::as_str) == Some("histogram"))
+            })
+        };
+        if !declared {
+            return Err(at(format!("sample {} has no TYPE declaration", sample.name)));
+        }
+        if sample.name.ends_with("_bucket") && !types.contains_key(&sample.name) {
+            let le = sample
+                .label("le")
+                .ok_or_else(|| at(format!("bucket sample without le label: {line:?}")))?;
+            if le != "+Inf" && le.parse::<f64>().is_err() {
+                return Err(at(format!("unreadable le bound {le:?}")));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::format_labels;
+
+    #[test]
+    fn names_sanitize_to_the_exposition_charset() {
+        assert_eq!(sanitize_name("serve.request.us"), "serve_request_us");
+        assert_eq!(sanitize_name("odd-name.v2"), "odd_name_v2");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn empty_snapshots_render_empty_and_validate() {
+        let text = render(&Snapshot::default());
+        assert_eq!(text, "");
+        validate(&text).unwrap();
+    }
+
+    #[test]
+    fn rendering_is_deterministically_ordered_and_valid() {
+        let mut snap = Snapshot::default();
+        snap.counters.push(("serve.requests".into(), 42));
+        // Deliberately pushed out of order: render must sort by labels.
+        snap.labeled_counters.push((
+            "serve.requests".into(),
+            format_labels(&[("op", "PING"), ("mapping", "m")]),
+            9,
+        ));
+        snap.labeled_counters.push((
+            "serve.requests".into(),
+            format_labels(&[("op", "CHASE"), ("mapping", "m")]),
+            17,
+        ));
+        snap.gauges.push(("serve.inflight".into(), 3));
+        let mut h =
+            HistogramSnapshot { buckets: [0; crate::metrics::BUCKETS], count: 3, sum: 70, max: 60 };
+        h.buckets[4] = 2; // two samples <= 15
+        h.buckets[6] = 1; // one sample <= 63
+        snap.labeled_histograms.push((
+            "serve.request.us".into(),
+            format_labels(&[("op", "CHASE")]),
+            h,
+        ));
+        let text = render(&snap);
+        validate(&text).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "# TYPE serve_requests counter",
+                "serve_requests 42",
+                "serve_requests{mapping=\"m\",op=\"CHASE\"} 17",
+                "serve_requests{mapping=\"m\",op=\"PING\"} 9",
+                "# TYPE serve_inflight gauge",
+                "serve_inflight 3",
+                "# TYPE serve_request_us histogram",
+                "serve_request_us_bucket{op=\"CHASE\",le=\"15\"} 2",
+                "serve_request_us_bucket{op=\"CHASE\",le=\"63\"} 3",
+                "serve_request_us_bucket{op=\"CHASE\",le=\"+Inf\"} 3",
+                "serve_request_us_sum{op=\"CHASE\"} 70",
+                "serve_request_us_count{op=\"CHASE\"} 3",
+            ],
+        );
+    }
+
+    #[test]
+    fn label_escaping_survives_the_round_trip() {
+        let mut snap = Snapshot::default();
+        let labels = format_labels(&[("mapping", "we\"ird\\map\nname")]);
+        snap.labeled_counters.push(("serve.requests".into(), labels, 1));
+        let text = render(&snap);
+        validate(&text).unwrap();
+        let sample_line = text.lines().nth(1).unwrap();
+        let sample = parse_line(sample_line).unwrap();
+        assert_eq!(sample.label("mapping"), Some("we\"ird\\map\nname"));
+        assert_eq!(sample.value, 1.0);
+    }
+
+    #[test]
+    fn parse_line_handles_both_shapes_and_rejects_garbage() {
+        let bare = parse_line("up 1").unwrap();
+        assert_eq!((bare.name.as_str(), bare.value), ("up", 1.0));
+        let labeled = parse_line("x_bucket{le=\"+Inf\",op=\"A\"} 12").unwrap();
+        assert_eq!(labeled.label("le"), Some("+Inf"));
+        assert_eq!(labeled.value, 12.0);
+        for bad in [
+            "",
+            "novalue",
+            "name notanumber",
+            "name{unterminated 1",
+            "name{k=v} 1",
+            "9name 1",
+            "na me 1 2",
+        ] {
+            assert!(parse_line(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_wants_type_lines_first_and_flags_offenders() {
+        validate("# TYPE up gauge\nup 1").unwrap();
+        validate("# HELP up is the server up\n# TYPE up gauge\nup 1").unwrap();
+        for (bad, why) in [
+            ("up 1", "sample before TYPE"),
+            ("# TYPE up gauge\n\nup 1", "empty line"),
+            ("# TYPE up gauge\n# TYPE up counter\nup 1", "duplicate TYPE"),
+            ("# TYPE up widget\nup 1", "unknown type"),
+            ("# TYPE h histogram\nh_bucket{op=\"A\"} 1", "bucket without le"),
+            ("# TYPE h histogram\nh_bucket{le=\"wide\"} 1", "unreadable le"),
+            ("#TYPE up gauge\nup 1", "comment without space"),
+        ] {
+            assert!(validate(bad).is_err(), "must reject ({why}): {bad:?}");
+        }
+    }
+}

@@ -17,6 +17,16 @@
 //! is attached (or with the `trace` feature compiled out) costs one
 //! relaxed atomic load.
 //!
+//! Records emitted while a request id is installed on the thread (see
+//! [`crate::request`]) carry a `req` field, so concurrent requests'
+//! records can be pulled apart after the fact. A per-thread **capture
+//! mode** ([`capture_begin`]/[`capture_take`]/[`append`]) buffers a
+//! request's records without touching the shared sink; the server's
+//! slow-request sampler replays the buffer only for requests that
+//! exceeded its threshold. A sink write that fails mid-stream leaves a
+//! `journal.io_drop` marker (stamped with the lost record's request
+//! id) instead of a silent hole.
+//!
 //! The sink itself is process-wide (there is one journal file), but
 //! fault injection into it is **scoped**: [`attach_scoped`] takes the
 //! [`rde_faults::FaultInjector`] of the context that owns the sink, so
@@ -190,6 +200,84 @@ impl Record {
     pub fn field(&self, key: &str) -> Option<&OwnedField> {
         self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
+
+    /// The request id stamped on this record (`0` when it was emitted
+    /// outside any request scope).
+    pub fn req(&self) -> u64 {
+        self.field("req").and_then(OwnedField::as_u64).unwrap_or(0)
+    }
+
+    /// Parse a journal line (the [`Record::to_json_line`] form) back
+    /// into a record. The profile CLI uses this to analyze journal
+    /// *files* written by another process; the memory sink never needs
+    /// it.
+    pub fn parse_json_line(line: &str) -> Result<Record, String> {
+        let pairs = json::parse_flat_object(line)?;
+        let mut rec = Record {
+            t_us: 0,
+            kind: "",
+            name: String::new(),
+            span: 0,
+            parent: 0,
+            elapsed_us: None,
+            fields: Vec::new(),
+        };
+        for (key, value) in pairs {
+            let as_u64 = |v: &json::FlatValue| match *v {
+                json::FlatValue::U64(n) => Some(n),
+                _ => None,
+            };
+            match key.as_str() {
+                "t_us" => rec.t_us = as_u64(&value).ok_or("t_us must be a non-negative integer")?,
+                "span" => rec.span = as_u64(&value).ok_or("span must be a non-negative integer")?,
+                "parent" => {
+                    rec.parent = as_u64(&value).ok_or("parent must be a non-negative integer")?
+                }
+                "elapsed_us" => {
+                    rec.elapsed_us =
+                        Some(as_u64(&value).ok_or("elapsed_us must be a non-negative integer")?)
+                }
+                "kind" => {
+                    let json::FlatValue::Str(k) = &value else {
+                        return Err("kind must be a string".to_owned());
+                    };
+                    rec.kind = match k.as_str() {
+                        "span_open" => "span_open",
+                        "span_close" => "span_close",
+                        "event" => "event",
+                        "journal_truncated" => "journal_truncated",
+                        other => return Err(format!("unknown record kind {other:?}")),
+                    };
+                }
+                "name" => {
+                    let json::FlatValue::Str(n) = value else {
+                        return Err("name must be a string".to_owned());
+                    };
+                    rec.name = n;
+                }
+                _ => {
+                    let field = match value {
+                        json::FlatValue::U64(n) => OwnedField::U64(n),
+                        json::FlatValue::I64(n) => OwnedField::I64(n),
+                        json::FlatValue::F64(x) => OwnedField::F64(x),
+                        json::FlatValue::Str(s) => OwnedField::Str(s),
+                        json::FlatValue::Bool(b) => OwnedField::Bool(b),
+                        // The writer renders non-finite floats as null;
+                        // NaN round-trips back to null.
+                        json::FlatValue::Null => OwnedField::F64(f64::NAN),
+                    };
+                    rec.fields.push((key, field));
+                }
+            }
+        }
+        if rec.kind.is_empty() {
+            return Err("record has no kind".to_owned());
+        }
+        if rec.name.is_empty() {
+            return Err("record has no name".to_owned());
+        }
+        Ok(rec)
+    }
 }
 
 /// Where journal records go.
@@ -243,6 +331,7 @@ pub struct JournalSummary {
 
 #[cfg(feature = "trace")]
 mod imp {
+    use std::cell::{Cell, RefCell};
     use std::io::Write as _;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Mutex, OnceLock};
@@ -327,12 +416,57 @@ mod imp {
     static STATE: Mutex<Option<State>> = Mutex::new(None);
     static EPOCH: OnceLock<Instant> = OnceLock::new();
 
+    /// Cap on a thread's capture buffer: enough for any realistic
+    /// request's span tree, small enough that a runaway request cannot
+    /// hold the heap hostage.
+    const CAPTURE_CAP: usize = 1 << 14;
+
+    thread_local! {
+        // Capture mode: while `CAPTURING` is set, this thread's records
+        // are diverted into `CAPTURE` instead of the shared sink — the
+        // slow-request sampler decides after the fact whether to keep
+        // them. Thread-local on purpose: capture must not take the
+        // STATE lock or interleave with other threads.
+        static CAPTURING: Cell<bool> = const { Cell::new(false) };
+        static CAPTURE: RefCell<Vec<Record>> = const { RefCell::new(Vec::new()) };
+        static CAPTURE_DROPPED: Cell<u64> = const { Cell::new(0) };
+    }
+
     pub(super) fn now_us() -> u64 {
         u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
     pub(super) fn enabled() -> bool {
-        ACTIVE.load(Ordering::Relaxed)
+        ACTIVE.load(Ordering::Relaxed) || CAPTURING.with(Cell::get)
+    }
+
+    pub(super) fn capture_begin() {
+        CAPTURING.with(|c| c.set(true));
+        CAPTURE.with(|c| c.borrow_mut().clear());
+        CAPTURE_DROPPED.with(|c| c.set(0));
+    }
+
+    pub(super) fn capture_take() -> Vec<Record> {
+        CAPTURING.with(|c| c.set(false));
+        let mut records = CAPTURE.with(|c| std::mem::take(&mut *c.borrow_mut()));
+        let dropped = CAPTURE_DROPPED.with(Cell::take);
+        if dropped > 0 {
+            let mut fields = vec![("dropped".to_owned(), OwnedField::U64(dropped))];
+            let req = crate::request::current();
+            if req != 0 {
+                fields.push(("req".to_owned(), OwnedField::U64(req)));
+            }
+            records.push(Record {
+                t_us: now_us(),
+                kind: "event",
+                name: "journal.capture_truncated".to_owned(),
+                span: 0,
+                parent: 0,
+                elapsed_us: None,
+                fields,
+            });
+        }
+        records
     }
 
     fn lock() -> std::sync::MutexGuard<'static, Option<State>> {
@@ -441,6 +575,38 @@ mod imp {
         }
     }
 
+    /// Write `record`; on I/O failure count the loss and best-effort
+    /// append a `journal.io_drop` marker carrying the lost record's
+    /// request id, so an access-log consumer can tell a short trace
+    /// from one with a hole in it. (Before this marker existed, a
+    /// rotating-sink write failure silently dropped whole event groups
+    /// mid-request and only `io_errors` hinted at it.)
+    fn write_or_mark(state: &mut State, record: Record) {
+        let req = record.req();
+        let State { out, injector, io_errors, written, .. } = state;
+        if write_record(out, injector, record).is_ok() {
+            return;
+        }
+        *io_errors += 1;
+        let mut fields = vec![("lost".to_owned(), OwnedField::U64(1))];
+        if req != 0 {
+            fields.push(("req".to_owned(), OwnedField::U64(req)));
+        }
+        let marker = Record {
+            t_us: now_us(),
+            kind: "event",
+            name: "journal.io_drop".to_owned(),
+            span: 0,
+            parent: 0,
+            elapsed_us: None,
+            fields,
+        };
+        *written += 1;
+        if write_record(out, injector, marker).is_err() {
+            *io_errors += 1;
+        }
+    }
+
     pub(super) fn emit(
         kind: &'static str,
         name: &str,
@@ -449,10 +615,30 @@ mod imp {
         elapsed_us: Option<u64>,
         fields: &[(&str, Field<'_>)],
     ) {
-        if !enabled() {
+        let capturing = CAPTURING.with(Cell::get);
+        if !capturing && !ACTIVE.load(Ordering::Relaxed) {
             return;
         }
         let t_us = now_us();
+        let mut owned: Vec<(String, OwnedField)> =
+            fields.iter().map(|&(k, v)| (k.to_owned(), v.into())).collect();
+        let req = crate::request::current();
+        if req != 0 {
+            owned.push(("req".to_owned(), OwnedField::U64(req)));
+        }
+        let record =
+            Record { t_us, kind, name: name.to_owned(), span, parent, elapsed_us, fields: owned };
+        if capturing {
+            CAPTURE.with(|c| {
+                let mut buf = c.borrow_mut();
+                if buf.len() >= CAPTURE_CAP {
+                    CAPTURE_DROPPED.with(|d| d.set(d.get() + 1));
+                } else {
+                    buf.push(record);
+                }
+            });
+            return;
+        }
         let mut guard = lock();
         let Some(state) = guard.as_mut() else {
             return;
@@ -462,25 +648,31 @@ mod imp {
             return;
         }
         state.written += 1;
-        let record = Record {
-            t_us,
-            kind,
-            name: name.to_owned(),
-            span,
-            parent,
-            elapsed_us,
-            fields: fields.iter().map(|&(k, v)| (k.to_owned(), v.into())).collect(),
-        };
-        let State { out, injector, io_errors, .. } = state;
-        if write_record(out, injector, record).is_err() {
-            *io_errors += 1;
+        write_or_mark(state, record);
+    }
+
+    /// Append a pre-built record to the shared sink (the slow-request
+    /// dump path: records buffered by capture mode get replayed here).
+    pub(super) fn append(record: Record) {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return;
         }
+        let mut guard = lock();
+        let Some(state) = guard.as_mut() else {
+            return;
+        };
+        if state.written >= state.capacity {
+            state.dropped += 1;
+            return;
+        }
+        state.written += 1;
+        write_or_mark(state, record);
     }
 }
 
 #[cfg(not(feature = "trace"))]
 mod imp {
-    use super::{Field, JournalSummary, Sink};
+    use super::{Field, JournalSummary, Record, Sink};
 
     pub(super) fn now_us() -> u64 {
         0
@@ -488,6 +680,12 @@ mod imp {
     pub(super) fn enabled() -> bool {
         false
     }
+    pub(super) fn capture_begin() {}
+    pub(super) fn capture_take() -> Vec<Record> {
+        Vec::new()
+    }
+    #[inline(always)]
+    pub(super) fn append(_record: Record) {}
     pub(super) fn attach(
         _sink: Sink,
         _capacity: usize,
@@ -540,6 +738,34 @@ pub fn detach() -> Option<JournalSummary> {
 /// Flush a file sink's buffered lines to disk.
 pub fn flush() {
     imp::flush()
+}
+
+/// Begin diverting the calling thread's records into a per-thread
+/// capture buffer instead of the shared sink. The slow-request sampler
+/// uses this to buffer a request's whole span tree and decide *after*
+/// the request whether it was slow enough to keep: [`capture_take`]
+/// returns the buffer, and [`append`] replays kept records into the
+/// sink. While capturing, [`enabled`] reports `true` on this thread
+/// even with no sink attached. The buffer is bounded; overflow is
+/// counted and surfaces as a `journal.capture_truncated` event at take
+/// time. No-op without the `trace` feature.
+pub fn capture_begin() {
+    imp::capture_begin()
+}
+
+/// Stop capturing on the calling thread and return the buffered
+/// records (empty if [`capture_begin`] was never called, or with the
+/// `trace` feature compiled out).
+pub fn capture_take() -> Vec<Record> {
+    imp::capture_take()
+}
+
+/// Append a pre-built record directly to the attached sink, subject to
+/// the same capacity bound and I/O accounting as live emission. This
+/// is how capture-mode buffers get replayed; records keep their
+/// original timestamps and request stamps.
+pub fn append(record: Record) {
+    imp::append(record)
 }
 
 /// Is a sink attached (and the `trace` feature compiled in)? One

@@ -1,6 +1,8 @@
-//! Minimal JSON helpers: string escaping for the journal writer and a
+//! Minimal JSON helpers: string escaping for the journal writer, a
 //! strict validator used by tests and CI smoke checks to assert every
-//! journal line is well-formed JSON.
+//! journal line is well-formed JSON, and a flat-object parser that
+//! reads journal lines back (the `rde profile --request-id` path works
+//! from a journal *file*, not the in-memory sink).
 
 /// Append `s` to `out` as a JSON string literal (with surrounding
 /// quotes), escaping the characters RFC 8259 requires.
@@ -188,6 +190,137 @@ fn number(b: &[u8], pos: &mut usize) -> bool {
     true
 }
 
+/// A scalar value parsed out of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatValue {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Any number with a fraction/exponent, or one too big for i64/u64.
+    F64(f64),
+    /// String (unescaped).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parse `s` as one flat JSON object — every value a scalar. Nested
+/// objects and arrays are rejected: journal records are flat by
+/// construction, so a nested value in a "journal line" means the file
+/// is not a journal and the caller should say so, not guess.
+pub fn parse_flat_object(s: &str) -> Result<Vec<(String, FlatValue)>, String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    if b.get(pos) != Some(&b'{') {
+        return Err("expected `{`".to_owned());
+    }
+    pos += 1;
+    let mut pairs = Vec::new();
+    skip_ws(b, &mut pos);
+    if b.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut pos);
+            let key = parse_string(s, b, &mut pos)?;
+            skip_ws(b, &mut pos);
+            if b.get(pos) != Some(&b':') {
+                return Err(format!("expected `:` after key {key:?}"));
+            }
+            pos += 1;
+            skip_ws(b, &mut pos);
+            let value = parse_scalar(s, b, &mut pos)?;
+            pairs.push((key, value));
+            skip_ws(b, &mut pos);
+            match b.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err("expected `,` or `}`".to_owned()),
+            }
+        }
+    }
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err("trailing bytes after the object".to_owned());
+    }
+    Ok(pairs)
+}
+
+fn parse_scalar(s: &str, b: &[u8], pos: &mut usize) -> Result<FlatValue, String> {
+    match b.get(*pos) {
+        Some(b'"') => Ok(FlatValue::Str(parse_string(s, b, pos)?)),
+        Some(b't') if literal(b, pos, b"true") => Ok(FlatValue::Bool(true)),
+        Some(b'f') if literal(b, pos, b"false") => Ok(FlatValue::Bool(false)),
+        Some(b'n') if literal(b, pos, b"null") => Ok(FlatValue::Null),
+        Some(b'-' | b'0'..=b'9') => {
+            let start = *pos;
+            if !number(b, pos) {
+                return Err(format!("malformed number at byte {start}"));
+            }
+            let text = &s[start..*pos];
+            if text.contains(['.', 'e', 'E']) {
+                text.parse::<f64>().map(FlatValue::F64).ok()
+            } else if text.starts_with('-') {
+                text.parse::<i64>().map(FlatValue::I64).ok()
+            } else {
+                text.parse::<u64>().map(FlatValue::U64).ok()
+            }
+            .or_else(|| text.parse::<f64>().map(FlatValue::F64).ok())
+            .ok_or_else(|| format!("unreadable number {text:?}"))
+        }
+        Some(b'{' | b'[') => Err("nested values are not allowed in a flat object".to_owned()),
+        _ => Err(format!("expected a scalar value at byte {}", *pos)),
+    }
+}
+
+/// Parse and unescape a JSON string literal starting at `pos`.
+fn parse_string(s: &str, b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected a string at byte {}", *pos));
+    }
+    let start = *pos;
+    if !string(b, pos) {
+        return Err(format!("unterminated or malformed string at byte {start}"));
+    }
+    // `string` validated the syntax; walk the interior chars to unescape.
+    let interior = &s[start + 1..*pos - 1];
+    let mut out = String::with_capacity(interior.len());
+    let mut chars = interior.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('/') => out.push('/'),
+            Some('b') => out.push('\u{8}'),
+            Some('f') => out.push('\u{c}'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape \\u{hex}"))?;
+                // Surrogate pairs are not emitted by our writer; map
+                // lone surrogates to the replacement character.
+                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+            }
+            _ => return Err("dangling escape".to_owned()),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +348,39 @@ mod tests {
             r#"  {"t_us": 12, "kind": "span_open"}  "#,
         ] {
             assert!(is_valid(s), "{s}");
+        }
+    }
+
+    #[test]
+    fn flat_objects_parse_back() {
+        let pairs = parse_flat_object(
+            r#"{"t_us":12, "kind":"event", "neg":-3, "pi":2.5, "ok":true, "gone":null, "s":"a\nb\"c\\dA"}"#,
+        )
+        .unwrap();
+        let get = |k: &str| pairs.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+        assert_eq!(get("t_us"), Some(FlatValue::U64(12)));
+        assert_eq!(get("kind"), Some(FlatValue::Str("event".into())));
+        assert_eq!(get("neg"), Some(FlatValue::I64(-3)));
+        assert_eq!(get("pi"), Some(FlatValue::F64(2.5)));
+        assert_eq!(get("ok"), Some(FlatValue::Bool(true)));
+        assert_eq!(get("gone"), Some(FlatValue::Null));
+        assert_eq!(get("s"), Some(FlatValue::Str("a\nb\"c\\dA".into())));
+        assert_eq!(parse_flat_object("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn flat_object_parser_rejects_nesting_and_garbage() {
+        for bad in [
+            "",
+            "[1]",
+            "{\"a\": {\"b\": 1}}",
+            "{\"a\": [1]}",
+            "{\"a\": 1} trailing",
+            "{\"a\" 1}",
+            "{\"a\": 01x}",
+            "{\"a\": \"unterminated}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "must reject {bad:?}");
         }
     }
 

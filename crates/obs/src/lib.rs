@@ -25,6 +25,13 @@
 //!   object; a capacity cap drops excess records and reports the count
 //!   in a final `journal_truncated` record.
 //!
+//! Layered on those: [`request`] installs a thread-scoped request id
+//! that stamps a `req` field onto every journal record (the serve
+//! daemon's end-to-end attribution), [`metrics::labeled_counter`] and
+//! friends key series by `(name, labels)` for per-op × per-mapping
+//! breakdowns, and [`expo`] renders a snapshot in Prometheus-style
+//! text exposition for the `METRICS` wire op.
+//!
 //! Metric names follow `crate.subsystem.event` (for example
 //! `chase.triggers.fired`, `hom.search.nodes`, `core.arrow.misses`);
 //! journal record names reuse the same convention.
@@ -35,11 +42,16 @@
 // seed-sweep suite in rde-faults depends on it. Test modules are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod expo;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod request;
 pub mod span;
 
 pub use journal::{event, Field, Record, Sink};
-pub use metrics::{snapshot, Counter, Gauge, Histogram, Snapshot};
+pub use metrics::{
+    labeled_counter, labeled_gauge, labeled_histogram, snapshot, Counter, Gauge, Histogram,
+    Snapshot,
+};
 pub use span::{span, Span};

@@ -197,6 +197,7 @@ impl Gauge {
     }
 }
 
+#[derive(Clone, Copy)]
 enum Metric {
     Counter(&'static Counter),
     Histogram(&'static Histogram),
@@ -207,6 +208,127 @@ static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::ne
 
 fn registry() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Metric>> {
     REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The labeled registry, keyed by `(name, canonical label string)`.
+/// Kept separate from the unlabeled one so the hot `counter!` macros
+/// stay `&'static str`-keyed and allocation-free.
+static LABELED: Mutex<BTreeMap<(&'static str, String), Metric>> = Mutex::new(BTreeMap::new());
+
+fn labeled_registry() -> std::sync::MutexGuard<'static, BTreeMap<(&'static str, String), Metric>> {
+    LABELED.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Render `labels` in canonical form: sorted by key, each pair as
+/// `key="value"` joined by commas, values escaped Prometheus-style
+/// (`\\`, `\"`, `\n`). Two label slices describe the same series iff
+/// their canonical forms are equal — the labeled registry keys on this
+/// string, and the `METRICS` exposition emits it verbatim.
+pub fn format_labels(labels: &[(&str, &str)]) -> String {
+    let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let mut out = String::new();
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(ch),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+/// Parse a canonical label string (the form [`format_labels`] renders)
+/// back into key/value pairs. Returns `None` on anything malformed —
+/// consumers reading an exposition off the wire should not guess.
+pub fn parse_labels(s: &str) -> Option<Vec<(String, String)>> {
+    let mut pairs = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"")?;
+        let key = &rest[..eq];
+        if key.is_empty() {
+            return None;
+        }
+        let mut value = String::new();
+        let mut chars = rest[eq + 2..].char_indices();
+        let close = loop {
+            let (i, ch) = chars.next()?;
+            match ch {
+                '\\' => match chars.next()?.1 {
+                    '\\' => value.push('\\'),
+                    '"' => value.push('"'),
+                    'n' => value.push('\n'),
+                    _ => return None,
+                },
+                '"' => break eq + 2 + i,
+                _ => value.push(ch),
+            }
+        };
+        pairs.push((key.to_owned(), value));
+        rest = &rest[close + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+            if rest.is_empty() {
+                return None;
+            }
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(pairs)
+}
+
+fn labeled_metric(name: &'static str, labels: &[(&str, &str)], make: fn() -> Metric) -> Metric {
+    let key = (name, format_labels(labels));
+    // The Metric enum only holds `&'static` leaked handles, so handing
+    // a copy out from under the lock is fine.
+    *labeled_registry().entry(key).or_insert_with(make)
+}
+
+/// Fetch (registering on first use) the counter named `name` with
+/// label set `labels`. Label order does not matter; the canonical
+/// sorted form identifies the series. Takes the labeled-registry lock
+/// on every call — fine for per-request bookkeeping, wrong for inner
+/// loops (use the unlabeled [`counter!`] there).
+///
+/// Panics if the series is already registered with another type.
+pub fn labeled_counter(name: &'static str, labels: &[(&str, &str)]) -> &'static Counter {
+    match labeled_metric(name, labels, || Metric::Counter(Box::leak(Box::default()))) {
+        Metric::Counter(c) => c,
+        _ => panic!("labeled metric {name:?} is already registered with another type"),
+    }
+}
+
+/// Fetch (registering on first use) the histogram named `name` with
+/// label set `labels`; see [`labeled_counter`] for the locking story.
+///
+/// Panics if the series is already registered with another type.
+pub fn labeled_histogram(name: &'static str, labels: &[(&str, &str)]) -> &'static Histogram {
+    match labeled_metric(name, labels, || Metric::Histogram(Box::leak(Box::default()))) {
+        Metric::Histogram(h) => h,
+        _ => panic!("labeled metric {name:?} is already registered with another type"),
+    }
+}
+
+/// Fetch (registering on first use) the gauge named `name` with label
+/// set `labels`; see [`labeled_counter`] for the locking story.
+///
+/// Panics if the series is already registered with another type.
+pub fn labeled_gauge(name: &'static str, labels: &[(&str, &str)]) -> &'static Gauge {
+    match labeled_metric(name, labels, || Metric::Gauge(Box::leak(Box::default()))) {
+        Metric::Gauge(g) => g,
+        _ => panic!("labeled metric {name:?} is already registered with another type"),
+    }
 }
 
 /// Fetch (registering on first use) the counter named `name`.
@@ -278,17 +400,31 @@ pub struct Snapshot {
     pub histograms: Vec<(String, HistogramSnapshot)>,
     /// Gauge levels, sorted by name.
     pub gauges: Vec<(String, u64)>,
+    /// Labeled counter values as `(name, canonical labels, value)`,
+    /// sorted by name then label string.
+    pub labeled_counters: Vec<(String, String, u64)>,
+    /// Labeled histogram states, same ordering.
+    pub labeled_histograms: Vec<(String, String, HistogramSnapshot)>,
+    /// Labeled gauge levels, same ordering.
+    pub labeled_gauges: Vec<(String, String, u64)>,
 }
 
-/// Snapshot every registered metric.
+/// Snapshot every registered metric, labeled and unlabeled.
 pub fn snapshot() -> Snapshot {
-    let reg = registry();
     let mut snap = Snapshot::default();
-    for (&name, metric) in reg.iter() {
+    for (&name, metric) in registry().iter() {
         match metric {
             Metric::Counter(c) => snap.counters.push((name.to_owned(), c.get())),
             Metric::Histogram(h) => snap.histograms.push((name.to_owned(), h.snapshot())),
             Metric::Gauge(g) => snap.gauges.push((name.to_owned(), g.get())),
+        }
+    }
+    for ((name, labels), metric) in labeled_registry().iter() {
+        let (name, labels) = ((*name).to_owned(), labels.clone());
+        match metric {
+            Metric::Counter(c) => snap.labeled_counters.push((name, labels, c.get())),
+            Metric::Histogram(h) => snap.labeled_histograms.push((name, labels, h.snapshot())),
+            Metric::Gauge(g) => snap.labeled_gauges.push((name, labels, g.get())),
         }
     }
     snap
@@ -310,40 +446,87 @@ impl Snapshot {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
-    /// Is there anything to show?
-    pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.gauges.is_empty()
+    /// The value of the labeled counter series `name{labels}`, where
+    /// `labels` is in [`format_labels`] canonical form.
+    pub fn labeled_counter(&self, name: &str, labels: &str) -> Option<u64> {
+        self.labeled_counters.iter().find(|(n, l, _)| n == name && l == labels).map(|&(_, _, v)| v)
     }
 
-    /// Render a human-readable table (the `--metrics` output).
+    /// The state of the labeled histogram series `name{labels}`.
+    pub fn labeled_histogram(&self, name: &str, labels: &str) -> Option<&HistogramSnapshot> {
+        self.labeled_histograms.iter().find(|(n, l, _)| n == name && l == labels).map(|(_, _, h)| h)
+    }
+
+    /// The level of the labeled gauge series `name{labels}`.
+    pub fn labeled_gauge(&self, name: &str, labels: &str) -> Option<u64> {
+        self.labeled_gauges.iter().find(|(n, l, _)| n == name && l == labels).map(|&(_, _, v)| v)
+    }
+
+    /// Is there anything to show?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.gauges.is_empty()
+            && self.labeled_counters.is_empty()
+            && self.labeled_histograms.is_empty()
+            && self.labeled_gauges.is_empty()
+    }
+
+    /// Render a human-readable table (the `--metrics` output). Labeled
+    /// series appear in the same sections as their unlabeled peers,
+    /// displayed as `name{labels}`.
     pub fn render(&self) -> String {
-        let width = self
+        let series = |labels: &str| {
+            if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            }
+        };
+        let counters: Vec<(String, u64)> = self
             .counters
             .iter()
+            .map(|(n, v)| (n.clone(), *v))
+            .chain(self.labeled_counters.iter().map(|(n, l, v)| (format!("{n}{}", series(l)), *v)))
+            .collect();
+        let gauges: Vec<(String, u64)> = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), *v))
+            .chain(self.labeled_gauges.iter().map(|(n, l, v)| (format!("{n}{}", series(l)), *v)))
+            .collect();
+        let histograms: Vec<(String, &HistogramSnapshot)> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.clone(), h))
+            .chain(self.labeled_histograms.iter().map(|(n, l, h)| (format!("{n}{}", series(l)), h)))
+            .collect();
+        let width = counters
+            .iter()
             .map(|(n, _)| n.len())
-            .chain(self.histograms.iter().map(|(n, _)| n.len()))
-            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(histograms.iter().map(|(n, _)| n.len()))
+            .chain(gauges.iter().map(|(n, _)| n.len()))
             .max()
             .unwrap_or(0)
             .max(6);
         let mut out = String::new();
-        if !self.counters.is_empty() {
+        if !counters.is_empty() {
             let _ = writeln!(out, "{:width$}  {:>12}", "counter", "value");
-            for (name, value) in &self.counters {
+            for (name, value) in &counters {
                 let _ = writeln!(out, "{name:width$}  {value:>12}");
             }
         }
-        if !self.gauges.is_empty() {
-            if !self.counters.is_empty() {
+        if !gauges.is_empty() {
+            if !counters.is_empty() {
                 out.push('\n');
             }
             let _ = writeln!(out, "{:width$}  {:>12}", "gauge", "level");
-            for (name, value) in &self.gauges {
+            for (name, value) in &gauges {
                 let _ = writeln!(out, "{name:width$}  {value:>12}");
             }
         }
-        if !self.histograms.is_empty() {
-            if !self.counters.is_empty() || !self.gauges.is_empty() {
+        if !histograms.is_empty() {
+            if !counters.is_empty() || !gauges.is_empty() {
                 out.push('\n');
             }
             let _ = writeln!(
@@ -351,7 +534,7 @@ impl Snapshot {
                 "{:width$}  {:>10} {:>14} {:>12} {:>10} {:>10}",
                 "histogram", "count", "sum", "mean", "p50<=", "max"
             );
-            for (name, h) in &self.histograms {
+            for (name, h) in &histograms {
                 let _ = writeln!(
                     out,
                     "{name:width$}  {:>10} {:>14} {:>12.1} {:>10} {:>10}",
@@ -368,8 +551,31 @@ impl Snapshot {
 
     /// Render as a single JSON object (embedded in `BENCH_*.json`):
     /// `{"counters": {...}, "gauges": {...}, "histograms": {name:
-    /// {count, sum, max, buckets: {bound: n, ...}}}}`.
+    /// {count, sum, max, buckets: {bound: n, ...}}}, "labeled_counters":
+    /// {"name{labels}": v, ...}, "labeled_gauges": {...},
+    /// "labeled_histograms": {...}}`. Labeled series are keyed by their
+    /// exposition-style `name{labels}` series string.
     pub fn to_json(&self) -> String {
+        fn histogram_body(out: &mut String, h: &HistogramSnapshot) {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": {{",
+                h.count, h.sum, h.max
+            );
+            let mut first = true;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "\"{}\": {n}", bucket_bound(b));
+            }
+            out.push_str("}}");
+        }
+        let series = |name: &str, labels: &str| format!("{name}{{{labels}}}");
         let mut out = String::from("{\"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
             if i > 0 {
@@ -392,23 +598,33 @@ impl Snapshot {
                 out.push_str(", ");
             }
             json::escape_into(&mut out, name);
-            let _ = write!(
-                out,
-                ": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": {{",
-                h.count, h.sum, h.max
-            );
-            let mut first = true;
-            for (b, &n) in h.buckets.iter().enumerate() {
-                if n == 0 {
-                    continue;
-                }
-                if !first {
-                    out.push_str(", ");
-                }
-                first = false;
-                let _ = write!(out, "\"{}\": {n}", bucket_bound(b));
+            out.push_str(": ");
+            histogram_body(&mut out, h);
+        }
+        out.push_str("}, \"labeled_counters\": {");
+        for (i, (name, labels, value)) in self.labeled_counters.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
             }
-            out.push_str("}}");
+            json::escape_into(&mut out, &series(name, labels));
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str("}, \"labeled_gauges\": {");
+        for (i, (name, labels, value)) in self.labeled_gauges.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::escape_into(&mut out, &series(name, labels));
+            let _ = write!(out, ": {value}");
+        }
+        out.push_str("}, \"labeled_histograms\": {");
+        for (i, (name, labels, h)) in self.labeled_histograms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            json::escape_into(&mut out, &series(name, labels));
+            out.push_str(": ");
+            histogram_body(&mut out, h);
         }
         out.push_str("}}");
         out
@@ -465,6 +681,48 @@ mod tests {
         assert!(crate::json::is_valid(&snap.to_json()), "{}", snap.to_json());
         assert_eq!(snap.counter("test.metrics.json_counter"), Some(7));
         assert_eq!(snap.gauge("test.metrics.json_gauge"), Some(3));
+    }
+
+    #[test]
+    fn labels_canonicalize_sorted_and_escaped() {
+        assert_eq!(format_labels(&[]), "");
+        assert_eq!(
+            format_labels(&[("op", "CHASE"), ("mapping", "flights")]),
+            "mapping=\"flights\",op=\"CHASE\"",
+            "keys sort, so label order at the call site is irrelevant"
+        );
+        let tricky = format_labels(&[("m", "a\"b\\c\nd")]);
+        assert_eq!(tricky, "m=\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(parse_labels(&tricky).unwrap(), vec![("m".into(), "a\"b\\c\nd".into())]);
+        let canon = format_labels(&[("b", "2"), ("a", "1")]);
+        assert_eq!(parse_labels(&canon).unwrap().len(), 2);
+        assert_eq!(parse_labels("").unwrap(), vec![]);
+        for bad in ["=\"v\"", "k=v", "k=\"v", "k=\"v\",", "k=\"v\"x"] {
+            assert!(parse_labels(bad).is_none(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_snapshot() {
+        labeled_counter("test.metrics.labeled", &[("op", "A"), ("m", "x")]).add(2);
+        labeled_counter("test.metrics.labeled", &[("m", "x"), ("op", "A")]).add(3);
+        labeled_counter("test.metrics.labeled", &[("op", "B"), ("m", "x")]).inc();
+        labeled_histogram("test.metrics.labeled_us", &[("m", "x")]).record(7);
+        labeled_gauge("test.metrics.labeled_gauge", &[("m", "x")]).set(9);
+        let snap = snapshot();
+        assert_eq!(
+            snap.labeled_counter("test.metrics.labeled", "m=\"x\",op=\"A\""),
+            Some(5),
+            "differently-ordered label slices hit the same series"
+        );
+        assert_eq!(snap.labeled_counter("test.metrics.labeled", "m=\"x\",op=\"B\""), Some(1));
+        assert_eq!(
+            snap.labeled_histogram("test.metrics.labeled_us", "m=\"x\"").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.labeled_gauge("test.metrics.labeled_gauge", "m=\"x\""), Some(9));
+        assert!(crate::json::is_valid(&snap.to_json()), "{}", snap.to_json());
+        assert!(snap.render().contains("test.metrics.labeled{m=\"x\",op=\"A\"}"));
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Request-id stamping and capture mode: records emitted under an
+//! installed request id carry a `req` field that survives the JSON
+//! round trip, and capture-mode buffers divert cleanly from the shared
+//! sink and replay into it.
+//!
+//! The journal is process-global, so the tests in this file serialize
+//! on a mutex instead of relying on cargo's per-test threads.
+#![cfg(feature = "trace")]
+
+use std::sync::Mutex;
+
+use rde_obs::journal::{self, JournalSummary, Record, Sink};
+use rde_obs::{event, request, span};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn with_memory_journal(capacity: usize, body: impl FnOnce()) -> JournalSummary {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    journal::attach(Sink::Memory, capacity).expect("memory sink installs");
+    body();
+    journal::detach().expect("journal was installed")
+}
+
+#[test]
+fn records_under_a_request_are_stamped_and_round_trip() {
+    let summary = with_memory_journal(1024, || {
+        event("test.before", &[]);
+        {
+            let _req = request::enter(42);
+            let s = span("test.work", &[("step", 1u64.into())]);
+            event("test.tick", &[]);
+            s.close_with(&[("ok", true.into())]);
+        }
+        event("test.after", &[]);
+    });
+    assert_eq!(summary.records.len(), 5);
+    for rec in &summary.records {
+        let expected = if rec.name.starts_with("test.before") || rec.name.starts_with("test.after")
+        {
+            0
+        } else {
+            42
+        };
+        assert_eq!(rec.req(), expected, "{} misattributed", rec.name);
+        // The stamp must survive the file round trip too: render the
+        // line and parse it back.
+        let reparsed = Record::parse_json_line(&rec.to_json_line()).expect("line parses back");
+        assert_eq!(reparsed.req(), rec.req());
+        assert_eq!(reparsed.kind, rec.kind);
+        assert_eq!(reparsed.name, rec.name);
+        assert_eq!(reparsed.span, rec.span);
+        assert_eq!(reparsed.elapsed_us, rec.elapsed_us);
+    }
+}
+
+#[test]
+fn capture_diverts_from_the_sink_and_replays_into_it() {
+    let summary = with_memory_journal(1024, || {
+        let _req = request::enter(7);
+        journal::capture_begin();
+        let s = span("test.captured", &[]);
+        event("test.captured_tick", &[("n", 3u64.into())]);
+        drop(s);
+        let captured = journal::capture_take();
+        assert_eq!(captured.len(), 3, "open + event + close");
+        for rec in &captured {
+            assert_eq!(rec.req(), 7);
+        }
+        // Nothing reached the sink while capturing; replay half of it.
+        event("test.live", &[]);
+        for rec in captured.into_iter().take(2) {
+            journal::append(rec);
+        }
+    });
+    let names: Vec<&str> = summary.records.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, vec!["test.live", "test.captured", "test.captured_tick"]);
+    assert_eq!(summary.written, 3);
+}
+
+#[test]
+fn capture_works_with_no_sink_attached() {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    assert!(!journal::enabled());
+    journal::capture_begin();
+    assert!(journal::enabled(), "capture mode enables emission on this thread");
+    let s = span("test.sinkless", &[]);
+    drop(s);
+    let captured = journal::capture_take();
+    assert_eq!(captured.len(), 2);
+    assert!(!journal::enabled());
+    assert!(journal::detach().is_none(), "capturing must not install a sink");
+}
+
+#[test]
+fn capture_overflow_is_marked_not_silent() {
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _req = request::enter(9);
+    journal::capture_begin();
+    // The capture cap is 1 << 14 records; overflow it by two.
+    for i in 0..(1 << 14) + 2u64 {
+        event("test.flood", &[("i", i.into())]);
+    }
+    let captured = journal::capture_take();
+    assert_eq!(captured.len(), (1 << 14) + 1, "cap records plus the truncation marker");
+    let marker = captured.last().expect("marker present");
+    assert_eq!(marker.name, "journal.capture_truncated");
+    assert_eq!(marker.field("dropped").and_then(|f| f.as_u64()), Some(2));
+    assert_eq!(marker.req(), 9, "the marker itself is attributed");
+}

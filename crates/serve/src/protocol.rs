@@ -23,6 +23,12 @@
 //! line). Connections are persistent: a client may send any number of
 //! requests before closing.
 //!
+//! Two introspection ops take neither mapping nor body: `STATS`
+//! returns a human-oriented `key value` summary, and `METRICS` returns
+//! the full labeled metrics registry in Prometheus text exposition
+//! format (one exposition line per payload line), which is what
+//! `rde top` polls.
+//!
 //! ## Reply
 //!
 //! ```text
@@ -44,7 +50,7 @@ use std::io::{self, BufRead, Write};
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Request {
     /// The operation, uppercased by convention (`PING`, `LIST`,
-    /// `CHASE`, `INVERTIBLE`, `ARROW`, `CERTAIN`, `STATS`).
+    /// `CHASE`, `INVERTIBLE`, `ARROW`, `CERTAIN`, `STATS`, `METRICS`).
     pub op: String,
     /// The catalog mapping the op addresses, when it needs one.
     pub mapping: Option<String>,
@@ -55,7 +61,8 @@ pub struct Request {
 }
 
 impl Request {
-    /// A bodyless, headerless request (`PING`, `LIST`, `STATS`).
+    /// A bodyless, headerless request (`PING`, `LIST`, `STATS`,
+    /// `METRICS`).
     pub fn bare(op: &str) -> Request {
         Request { op: op.to_owned(), ..Request::default() }
     }

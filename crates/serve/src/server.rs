@@ -23,6 +23,23 @@
 //! exhaustion inside an engine surfaces as `UNKNOWN`, matching the
 //! three-valued verdicts the CLI prints.
 //!
+//! ## Telemetry
+//!
+//! Every request gets a monotonic id (starting at 1; 0 means "no
+//! request") installed as the thread's ambient request id, so every
+//! span and journal event the request produces — including on engine
+//! worker threads, which re-install the id from the `ExecContext` —
+//! carries a `req` field. Admission control keeps per-`{op, mapping}`
+//! labeled request counters, latency and queue-wait histograms,
+//! per-mapping inflight gauges, and per-outcome counters; `METRICS`
+//! exposes the lot in Prometheus text format. Each request also leaves
+//! one `serve.access` journal event (op, mapping, backend, outcome,
+//! elapsed µs, arrow-cache hit/miss) — point a rotating journal sink
+//! at a file and that is the access log. With
+//! [`ServeOptions::trace_slow_ms`] set, the request thread's span tree
+//! is buffered and replayed into the journal only for requests at
+//! least that slow, behind a `serve.slow_trace` marker.
+//!
 //! ## Shutdown
 //!
 //! `serve` polls its shutdown token between accepts (the listener is
@@ -31,11 +48,11 @@
 //! `read_request` wake with a clean EOF while a worker mid-request can
 //! still write its reply — and joins every worker before returning.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::BufReader;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -47,6 +64,7 @@ use rde_faults::{CancelToken, ExecContext};
 use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::parse::parse_instance;
 use rde_model::{display, BackendKind};
+use rde_obs::metrics::HistogramSnapshot;
 use rde_obs::{counter, gauge, histogram};
 use rde_query::ConjunctiveQuery;
 
@@ -71,6 +89,12 @@ pub struct ServeOptions {
     /// Concurrent-request ceiling; past it requests get `SHED
     /// overloaded` instead of a thread's worth of work.
     pub max_inflight: usize,
+    /// Slow-request trace sampling threshold, in milliseconds. When
+    /// set, every request's span tree is buffered in capture mode and
+    /// replayed into the journal only if the request took at least
+    /// this long (`0` keeps every request's tree). `None` streams
+    /// spans live, interleaved but request-stamped.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServeOptions {
@@ -86,6 +110,7 @@ impl Default for ServeOptions {
             // bound.
             policy: CachePolicy::bounded(1 << 16, 1024),
             max_inflight: 256,
+            trace_slow_ms: None,
         }
     }
 }
@@ -97,6 +122,10 @@ struct ServerState {
     options: ServeOptions,
     inflight: AtomicUsize,
     conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Monotonic request-id source; id 0 is reserved for "no request".
+    next_request: AtomicU64,
+    /// Process uptime epoch (`STATS`/`METRICS` report against it).
+    started: Instant,
 }
 
 /// A bound daemon, ready to [`Server::serve`].
@@ -118,6 +147,8 @@ impl Server {
             options,
             inflight: AtomicUsize::new(0),
             conns: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(0),
+            started: Instant::now(),
         });
         Ok(Server { listener, state })
     }
@@ -198,41 +229,137 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
                 return;
             }
         };
-        let reply = admit(state, &request);
+        let received = Instant::now();
+        let reply = admit(state, &request, received);
         if reply.write_to(&mut write_half).is_err() {
             return;
         }
     }
 }
 
-/// Admission control around [`handle_request`]: count the request
-/// in-flight, shed past the ceiling, time everything.
-fn admit(state: &ServerState, request: &Request) -> Reply {
+/// What a finished request reports into the access log beyond what
+/// admission control already knows. Ops fill it in as they learn
+/// things (today: the arrow cache's exact memo hit/miss).
+#[derive(Default)]
+struct AccessInfo {
+    /// `Some(true)` when the op was answered from the arrow memo.
+    cache: Option<bool>,
+}
+
+/// The access-log outcome word for a reply, mirroring the wire tag.
+fn outcome_of(reply: &Reply) -> &'static str {
+    match reply {
+        Reply::Ok(_) => "ok",
+        Reply::Err(_) => "err",
+        Reply::Shed(_) => "shed",
+        Reply::Unknown(_) => "unknown",
+    }
+}
+
+/// Admission control around [`handle_request`]: assign the request id,
+/// count the request in-flight (globally and per `{op, mapping}`),
+/// shed past the ceiling, time everything, and leave one `serve.access`
+/// journal line behind. With [`ServeOptions::trace_slow_ms`] set the
+/// request-thread span tree is buffered and replayed into the journal
+/// only when the request was slow.
+fn admit(state: &ServerState, request: &Request, received: Instant) -> Reply {
+    // Ids start at 1: id 0 means "no request" throughout rde-obs.
+    let id = state.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+    let _scope = rde_obs::request::enter(id);
+    let op = request.op.as_str();
+    let mapping = request.mapping.as_deref().unwrap_or("-");
+    let op_mapping: [(&str, &str); 2] = [("op", op), ("mapping", mapping)];
     counter!("serve.requests").inc();
+    rde_obs::labeled_counter("serve.requests", &op_mapping).inc();
+    // Queue wait: time between framing the request off the socket and
+    // starting the work (scheduling + admission overhead).
+    rde_obs::labeled_histogram("serve.queue.us", &op_mapping)
+        .record(received.elapsed().as_micros() as u64);
     let started = Instant::now();
     let inflight = state.inflight.fetch_add(1, Ordering::SeqCst) + 1;
     gauge!("serve.inflight").set(inflight as u64);
+    rde_obs::labeled_gauge("serve.inflight", &[("mapping", mapping)]).add(1);
+    // Capture only when a journal sink is attached: buffering a span
+    // tree there is no sink to replay into would tax every request for
+    // nothing. (`enabled()` reflects the sink here — this thread is
+    // not yet capturing.)
+    let sampling = state.options.trace_slow_ms.is_some() && rde_obs::journal::enabled();
+    if sampling {
+        rde_obs::journal::capture_begin();
+    }
+    let mut access = AccessInfo::default();
     let reply = if inflight > state.options.max_inflight {
         Reply::Shed(format!("overloaded ({inflight} requests in flight)"))
     } else {
-        handle_request(state, request)
+        handle_request(state, request, id, &mut access)
     };
     let now = state.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
     gauge!("serve.inflight").set(now as u64);
-    histogram!("serve.request.us").record(started.elapsed().as_micros() as u64);
+    rde_obs::labeled_gauge("serve.inflight", &[("mapping", mapping)]).sub(1);
+    let us = started.elapsed().as_micros() as u64;
+    histogram!("serve.request.us").record(us);
+    rde_obs::labeled_histogram("serve.request.us", &op_mapping).record(us);
+    let outcome = outcome_of(&reply);
+    rde_obs::labeled_counter(
+        "serve.outcome",
+        &[("op", op), ("mapping", mapping), ("outcome", outcome)],
+    )
+    .inc();
     if matches!(reply, Reply::Shed(_)) {
         counter!("serve.shed").inc();
     }
     if matches!(reply, Reply::Unknown(_)) {
         counter!("serve.unknown").inc();
     }
+    if sampling {
+        let records = rde_obs::journal::capture_take();
+        let threshold_us = state.options.trace_slow_ms.unwrap_or(0).saturating_mul(1000);
+        if us >= threshold_us {
+            counter!("serve.slow_traces").inc();
+            // Bracket the replayed tree so consumers can tell a
+            // retroactive dump from live streaming. The event is
+            // stamped with this request's id like everything else.
+            rde_obs::event(
+                "serve.slow_trace",
+                &[("elapsed_us", us.into()), ("records", records.len().into())],
+            );
+            for record in records {
+                rde_obs::journal::append(record);
+            }
+        }
+    }
+    // The access log: one structured line per request, emitted through
+    // the journal so rotation, capacity bounds, and the JSONL format
+    // come for free. (During capture this was diverted; by now capture
+    // is off, so it always reaches the sink.)
+    let mut fields: Vec<(&str, rde_obs::Field)> = vec![
+        ("op", op.into()),
+        ("mapping", mapping.into()),
+        ("backend", rde_obs::Field::Str(backend_name(state.options.backend))),
+        ("outcome", outcome.into()),
+        ("us", us.into()),
+    ];
+    if let Some(hit) = access.cache {
+        fields.push(("cache", if hit { "hit" } else { "miss" }.into()));
+    }
+    rde_obs::event("serve.access", &fields);
     reply
+}
+
+/// Static name for the backend label (access log + metrics want
+/// `&'static str`, `Display` allocates).
+fn backend_name(backend: BackendKind) -> &'static str {
+    match backend {
+        BackendKind::Row => "row",
+        BackendKind::Columnar => "columnar",
+    }
 }
 
 /// Per-request execution context: fresh cancel token (armed with the
 /// `deadline-ms` header, watching the process interrupt flag) — never
-/// shared with any other request.
-fn request_config(request: &Request) -> Result<HomConfig, String> {
+/// shared with any other request. The request id rides on the context
+/// so engines re-install it on their worker threads.
+fn request_config(request: &Request, id: u64) -> Result<HomConfig, String> {
     let token = match request.u64_header("deadline-ms")? {
         Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
         None => CancelToken::new(),
@@ -240,14 +367,25 @@ fn request_config(request: &Request) -> Result<HomConfig, String> {
     Ok(HomConfig {
         node_budget: request.u64_header("node-budget")?,
         time_budget: request.u64_header("time-budget-ms")?.map(Duration::from_millis),
-        ctx: ExecContext::default().with_cancel(token.watching_interrupt()),
+        ctx: ExecContext::default().with_cancel(token.watching_interrupt()).with_request_id(id),
         ..HomConfig::default()
     })
 }
 
-fn handle_request(state: &ServerState, request: &Request) -> Reply {
-    let _span = rde_obs::span("serve.request", &[("op", request.op.as_str().into())]);
-    let config = match request_config(request) {
+fn handle_request(
+    state: &ServerState,
+    request: &Request,
+    id: u64,
+    access: &mut AccessInfo,
+) -> Reply {
+    let _span = rde_obs::span(
+        "serve.request",
+        &[
+            ("op", request.op.as_str().into()),
+            ("mapping", request.mapping.as_deref().unwrap_or("-").into()),
+        ],
+    );
+    let config = match request_config(request, id) {
         Ok(config) => config,
         Err(e) => return Reply::Err(e),
     };
@@ -255,9 +393,10 @@ fn handle_request(state: &ServerState, request: &Request) -> Reply {
         "PING" => Reply::Ok(vec!["pong".to_owned()]),
         "LIST" => op_list(state),
         "STATS" => op_stats(state),
+        "METRICS" => op_metrics(state),
         "CHASE" => with_mapping(state, request, |e| op_chase(state, e, request, &config)),
         "INVERTIBLE" => with_mapping(state, request, |e| op_invertible(e, &config)),
-        "ARROW" => with_mapping(state, request, |e| op_arrow(state, e, request, &config)),
+        "ARROW" => with_mapping(state, request, |e| op_arrow(state, e, request, &config, access)),
         "CERTAIN" => with_mapping(state, request, |e| op_certain(state, e, request, &config)),
         other => Reply::Err(format!("unknown op `{other}`")),
     }
@@ -303,9 +442,49 @@ fn op_list(state: &ServerState) -> Reply {
     Reply::Ok(lines)
 }
 
+/// Refresh the point-in-time gauges that only make sense at scrape
+/// time: process uptime and per-mapping cache occupancy. Called by
+/// both `STATS` and `METRICS` so the two views agree.
+fn refresh_scrape_gauges(state: &ServerState) {
+    gauge!("serve.uptime.ms").set(state.started.elapsed().as_millis() as u64);
+    for entry in state.catalog.entries.values() {
+        if let Ok(warm) = &entry.warm {
+            let s = warm.cache.stats();
+            let labels = [("mapping", entry.name.as_str())];
+            rde_obs::labeled_gauge("serve.cache.memo", &labels).set(s.memo_entries as u64);
+            rde_obs::labeled_gauge("serve.cache.classes", &labels).set(s.classes as u64);
+        }
+    }
+}
+
+/// Aggregate the labeled `serve.request.us` histograms down to one
+/// latency distribution per op (summed across mappings), for the
+/// human-oriented `STATS` reply.
+fn per_op_latency(snap: &rde_obs::Snapshot) -> BTreeMap<String, HistogramSnapshot> {
+    let empty =
+        HistogramSnapshot { buckets: [0; rde_obs::metrics::BUCKETS], count: 0, sum: 0, max: 0 };
+    let mut per_op: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+    for (name, labels, h) in &snap.labeled_histograms {
+        if name != "serve.request.us" {
+            continue;
+        }
+        let Some(parsed) = rde_obs::metrics::parse_labels(labels) else { continue };
+        let Some((_, op)) = parsed.iter().find(|(k, _)| k == "op") else { continue };
+        let agg = per_op.entry(op.clone()).or_insert_with(|| empty.clone());
+        agg.count += h.count;
+        agg.sum += h.sum;
+        agg.max = agg.max.max(h.max);
+        for (slot, v) in agg.buckets.iter_mut().zip(&h.buckets) {
+            *slot += v;
+        }
+    }
+    per_op
+}
+
 fn op_stats(state: &ServerState) -> Reply {
+    refresh_scrape_gauges(state);
     let snap = rde_obs::snapshot();
-    let mut lines = Vec::new();
+    let mut lines = vec![format!("uptime-ms {}", state.started.elapsed().as_millis())];
     for (name, v) in &snap.counters {
         lines.push(format!("counter {name} {v}"));
     }
@@ -315,6 +494,17 @@ fn op_stats(state: &ServerState) -> Reply {
     for (name, h) in &snap.histograms {
         lines.push(format!(
             "histogram {name} count={} p50<={} p99<={} max={}",
+            h.count,
+            h.quantile_bound(0.50),
+            h.quantile_bound(0.99),
+            h.max
+        ));
+    }
+    // Per-op latency, aggregated across mappings from the labeled
+    // request histograms.
+    for (op, h) in per_op_latency(&snap) {
+        lines.push(format!(
+            "op {op} count={} p50<={} p99<={} max={}",
             h.count,
             h.quantile_bound(0.50),
             h.quantile_bound(0.99),
@@ -342,6 +532,16 @@ fn op_stats(state: &ServerState) -> Reply {
         }
     }
     Reply::Ok(lines)
+}
+
+/// `METRICS` — the full metrics registry (unlabeled and labeled) in
+/// Prometheus text exposition format, one line per reply line. Scrape
+/// gauges (uptime, per-mapping cache occupancy) are refreshed first so
+/// every exposition is point-in-time accurate.
+fn op_metrics(state: &ServerState) -> Reply {
+    refresh_scrape_gauges(state);
+    let text = rde_obs::expo::render(&rde_obs::snapshot());
+    Reply::Ok(text.lines().map(str::to_owned).collect())
 }
 
 /// Map an engine error to the protocol's three failure forms. The
@@ -430,6 +630,7 @@ fn op_arrow(
     entry: &MappingEntry,
     request: &Request,
     config: &HomConfig,
+    access: &mut AccessInfo,
 ) -> Reply {
     let warm = match warm_of(entry) {
         Ok(w) => w,
@@ -454,7 +655,9 @@ fn op_arrow(
             }
         }
     }
-    match warm.cache.arrow_classes(&handles[0], &handles[1], config) {
+    let (verdict, hit) = warm.cache.arrow_classes_probed(&handles[0], &handles[1], config);
+    access.cache = Some(hit);
+    match verdict {
         Verdict::Holds => Reply::Ok(vec!["YES".to_owned()]),
         Verdict::Fails => Reply::Ok(vec!["NO".to_owned()]),
         Verdict::Unknown { budget: Exhausted::Cancelled } => {

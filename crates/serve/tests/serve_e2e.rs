@@ -81,6 +81,29 @@ fn serves_every_op_and_shuts_down_cleanly() {
     };
     assert!(stats.iter().any(|l| l.starts_with("counter serve.requests ")), "{stats:?}");
     assert!(stats.iter().any(|l| l.starts_with("histogram serve.request.us ")), "{stats:?}");
+    assert!(stats.iter().any(|l| l.starts_with("uptime-ms ")), "{stats:?}");
+    assert!(
+        stats.iter().any(|l| l.starts_with("op CHASE count=") && l.contains("p99<=")),
+        "per-op latency aggregated from the labeled histograms: {stats:?}"
+    );
+
+    // METRICS: the full labeled registry in valid Prometheus text
+    // exposition, including the per-op × per-mapping request series.
+    let Reply::Ok(metrics) = client.request(&Request::bare("METRICS")).unwrap() else {
+        panic!("METRICS failed")
+    };
+    rde_obs::expo::validate(&metrics.join("\n")).expect("exposition validates line-by-line");
+    assert!(
+        metrics.iter().any(|l| l.starts_with("serve_requests{")
+            && l.contains("op=\"CHASE\"")
+            && l.contains("mapping=\"split\"")),
+        "{metrics:?}"
+    );
+    assert!(metrics.iter().any(|l| l.starts_with("serve_uptime_ms ")), "{metrics:?}");
+    assert!(
+        metrics.iter().any(|l| l.starts_with("serve_cache_memo{mapping=\"merge\"}")),
+        "per-mapping cache occupancy gauges refresh at scrape time: {metrics:?}"
+    );
 
     // Bad requests get ERR, and the connection survives them.
     let bad = client.request(&Request::bare("FROBNICATE")).unwrap();
