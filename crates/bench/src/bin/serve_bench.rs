@@ -26,7 +26,13 @@ use std::time::Instant;
 use rde_core::arrow::CachePolicy;
 use rde_model::BackendKind;
 use rde_obs::{journal, Record, Sink};
-use rde_serve::{spawn, Client, Reply, Request, ServeOptions, UniverseDims};
+use rde_serve::{spawn, Client, Reply, Request, ServeOptions, TenantQuota, UniverseDims};
+
+/// The `split` mapping with its tgd variables renamed: textually
+/// different (new content fingerprint, so a reload really rebuilds the
+/// entry) but answer-equivalent — the reload fleet's bit-identity
+/// assertion depends on exactly this.
+const SPLIT_RENAMED: &str = "source: P/3\ntarget: Q/2, R/2\nP(u,v,w) -> Q(u,v) & R(v,w)\n";
 
 /// Write the benchmark's catalog: the decomposition mapping (chase
 /// work), and the union mapping with its disjunctive reverse
@@ -276,6 +282,38 @@ fn run_backend(backend: BackendKind, threads: usize, reps: usize) -> String {
     assert!(interned <= class_bound as u64, "churn must stay within the class bound: {merge_line}");
     assert!(class_evictions > 0, "churn past the bound must evict: {merge_line}");
 
+    // The reload fleet: the same timed mixed-op load, but with the
+    // catalog swapped out from under it the whole time (alternating
+    // `split` between two answer-equivalent texts, so every swap
+    // really rebuilds that entry while `merge` carries its warm cache
+    // over). The workers' bit-identity assertions run as before — a
+    // generation swap must never change an answer — and the latency
+    // pair lands in the baseline next to the steady-state one.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reloader = {
+        let stop = Arc::clone(&stop);
+        let dir = dir.clone();
+        std::thread::spawn(move || {
+            let mut admin = Client::connect(addr).expect("connect reloader");
+            let original = std::fs::read_to_string(dir.join("split.map")).expect("read split.map");
+            let mut reloads = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let text =
+                    if reloads.is_multiple_of(2) { SPLIT_RENAMED } else { original.as_str() };
+                std::fs::write(dir.join("split.map"), text).expect("rewrite split.map");
+                let lines = ok_lines(admin.request(&Request::bare("RELOAD")).expect("RELOAD"));
+                assert!(lines[0].starts_with("generation "), "{lines:?}");
+                reloads += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            reloads
+        })
+    };
+    let (p50_reload, p99_reload) = fleet("q");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let reloads = reloader.join().expect("reloader");
+    assert!(reloads > 0, "the reload fleet must actually reload");
+
     drop(reference);
     shutdown.cancel();
     handle.join().expect("join daemon").expect("daemon exit");
@@ -342,13 +380,16 @@ fn run_backend(backend: BackendKind, threads: usize, reps: usize) -> String {
     let requests = threads * reps * 3;
     println!(
         "{backend_name:>9} {threads:>8} {requests:>9} {p50:>8} {p99:>8} \
-         {p50_log:>8} {p99_log:>8} {interned:>9} {class_evictions:>10}"
+         {p50_log:>8} {p99_log:>8} {p50_reload:>8} {p99_reload:>8} \
+         {interned:>9} {class_evictions:>10}"
     );
     format!(
         concat!(
             "    {{\"backend\": \"{}\", \"threads\": {}, \"requests\": {}, ",
             "\"p50_us\": {}, \"p99_us\": {}, ",
-            "\"access_log\": {{\"p50_us\": {}, \"p99_us\": {}}}, \"shed\": 0, ",
+            "\"access_log\": {{\"p50_us\": {}, \"p99_us\": {}}}, ",
+            "\"reload_under_load\": {{\"p50_us\": {}, \"p99_us\": {}, \"reloads\": {}}}, ",
+            "\"shed\": 0, ",
             "\"cache\": {{\"interned\": {}, \"class_bound\": {}, \"class_evictions\": {}, ",
             "\"memo_hits\": {}, \"intern_hits\": {}, \"memo_evictions\": {}}}}}"
         ),
@@ -359,12 +400,143 @@ fn run_backend(backend: BackendKind, threads: usize, reps: usize) -> String {
         p99,
         p50_log,
         p99_log,
+        p50_reload,
+        p99_reload,
+        reloads,
         interned,
         class_bound,
         class_evictions,
         memo_hits,
         intern_hits,
         memo_evictions
+    )
+}
+
+/// The tenant-isolation experiment: a quiet tenant's CHASE latency is
+/// measured solo, then again while a flooding tenant (pinned to a
+/// small token bucket) hammers the daemon. The quotas must hold the
+/// quiet tenant's p99 within 2x of its solo run (with a small absolute
+/// floor absorbing scheduler noise on microsecond-scale latencies),
+/// while every over-quota request is shed with a retry-after-ms hint.
+fn run_quota_experiment(reps: usize) -> String {
+    let dir = catalog("quota");
+    let quiet_threads = 4usize;
+    let flood_threads = 4usize;
+    let options = ServeOptions {
+        catalog: dir.clone(),
+        dims: UniverseDims { consts: 1, nulls: 1, facts: 1 },
+        policy: CachePolicy::bounded(1 << 12, 16),
+        max_inflight: 4 * (quiet_threads + flood_threads),
+        // The flooder's bucket: a burst, then ~50 admitted per second —
+        // everything past that is an immediate (cheap) SHED.
+        tenant_quotas: vec![TenantQuota::parse("flood=50:8").expect("quota spec")],
+        ..ServeOptions::default()
+    };
+    let (addr, shutdown, handle) = spawn(options).expect("spawn quota daemon");
+
+    let chase_body = "P(a, b, c)\nP(a, b, d)\n";
+    let mut reference = Client::connect(addr).expect("connect reference client");
+    let expected_chase =
+        ok_lines(reference.request(&Request::on("CHASE", "split").body_text(chase_body)).unwrap());
+
+    // One quiet-tenant fleet; returns its client-observed p99 (µs).
+    let quiet_fleet = |rounds: usize| -> u64 {
+        let barrier = Arc::new(Barrier::new(quiet_threads));
+        let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let workers: Vec<_> = (0..quiet_threads)
+            .map(|t| {
+                let barrier = Arc::clone(&barrier);
+                let latencies = Arc::clone(&latencies);
+                let expected = expected_chase.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect quiet worker");
+                    let request = Request::on("CHASE", "split")
+                        .body_text(chase_body)
+                        .header("tenant", "quiet");
+                    let mut mine = Vec::with_capacity(rounds);
+                    barrier.wait();
+                    for round in 0..rounds {
+                        let started = Instant::now();
+                        let got = ok_lines(client.request(&request).expect("quiet request"));
+                        mine.push(started.elapsed().as_micros() as u64);
+                        assert_eq!(got, expected, "quiet thread {t} round {round}: CHASE drifted");
+                    }
+                    latencies.lock().unwrap().extend(mine);
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("quiet worker");
+        }
+        let mut sorted = latencies.lock().unwrap().clone();
+        sorted.sort_unstable();
+        sorted[((sorted.len() - 1) as f64 * 0.99) as usize]
+    };
+
+    let rounds = (reps * 8).max(32);
+    let p99_solo = quiet_fleet(rounds);
+
+    // Same fleet again, now with flooders hammering their bucket.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flooders: Vec<_> = (0..flood_threads)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect flooder");
+                let request = Request::bare("PING").header("tenant", "flood");
+                let (mut sheds, mut oks) = (0u64, 0u64);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    match client.request(&request).expect("flood request") {
+                        Reply::Ok(_) => oks += 1,
+                        Reply::Shed { reason, retry_after_ms } => {
+                            assert!(reason.contains("over quota"), "{reason}");
+                            assert!(retry_after_ms.is_some(), "quota sheds carry retry hints");
+                            sheds += 1;
+                        }
+                        other => panic!("flooder got {other:?}"),
+                    }
+                }
+                (sheds, oks)
+            })
+        })
+        .collect();
+    let p99_flood = quiet_fleet(rounds);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let (mut flood_sheds, mut flood_oks) = (0u64, 0u64);
+    for flooder in flooders {
+        let (sheds, oks) = flooder.join().expect("flooder");
+        flood_sheds += sheds;
+        flood_oks += oks;
+    }
+    assert!(flood_sheds > 0, "the flood must actually exceed its quota");
+    assert!(flood_oks > 0, "the bucket's burst must admit something");
+
+    shutdown.cancel();
+    handle.join().expect("join quota daemon").expect("quota daemon exit");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The isolation acceptance bound. The floor keeps a CI box's
+    // scheduling jitter from failing a comparison between two
+    // sub-millisecond numbers.
+    let bound = (2 * p99_solo).max(5_000);
+    assert!(
+        p99_flood <= bound,
+        "quota isolation failed: quiet p99 {p99_flood}µs vs solo {p99_solo}µs (bound {bound}µs)"
+    );
+
+    println!(
+        "{:>9} {quiet_threads:>8} {:>9} {p99_solo:>8} {p99_flood:>8} (flood: {flood_sheds} shed, \
+         {flood_oks} ok)",
+        "quota",
+        quiet_threads * rounds,
+    );
+    format!(
+        concat!(
+            "    {{\"experiment\": \"tenant_quota\", \"quiet_threads\": {}, ",
+            "\"flood_threads\": {}, \"quiet_p99_solo_us\": {}, \"quiet_p99_flood_us\": {}, ",
+            "\"flood_sheds\": {}, \"flood_admitted\": {}}}"
+        ),
+        quiet_threads, flood_threads, p99_solo, p99_flood, flood_sheds, flood_oks
     )
 }
 
@@ -380,7 +552,7 @@ fn main() {
     // mode keeps the shape but shrinks the fleet for smoke runs.
     let (threads, reps) = if quick { (8, 4) } else { (64, 8) };
     println!(
-        "{:>9} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10}",
+        "{:>9} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>10}",
         "backend",
         "threads",
         "requests",
@@ -388,13 +560,18 @@ fn main() {
         "p99_us",
         "p50_log",
         "p99_log",
+        "p50_rel",
+        "p99_rel",
         "interned",
         "evictions"
     );
-    let rows: Vec<String> = [BackendKind::Row, BackendKind::Columnar]
+    let mut rows: Vec<String> = [BackendKind::Row, BackendKind::Columnar]
         .into_iter()
         .map(|backend| run_backend(backend, threads, reps))
         .collect();
+    // Last: it sheds on purpose, and the per-backend runs assert a
+    // cumulative shed count of zero up to their own finish line.
+    rows.push(run_quota_experiment(reps));
     let metrics = rde_obs::snapshot().to_json();
     assert!(
         metrics.contains("\"labeled_counters\"") && metrics.contains("serve.requests{"),
@@ -407,6 +584,10 @@ fn main() {
             "answers checked bit-identical to a reference request\", ",
             "\"distinct-constant ARROW churn against a bounded cache\", ",
             "\"access-log overhead (same fleet, rotating journal sink attached)\", ",
+            "\"catalog reload under load (generation swaps mid-fleet, ",
+            "answers still bit-identical)\", ",
+            "\"tenant-quota isolation (quiet tenant p99 within 2x of solo ",
+            "while a flooding tenant is shed with retry hints)\", ",
             "\"per-request span-tree reconstruction from an interleaved journal\"],\n",
             "  \"results\": [\n{}\n  ],\n",
             "  \"metrics\": {}\n}}\n"

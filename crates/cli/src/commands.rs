@@ -127,12 +127,15 @@ COMMANDS:
                                               [--addr HOST:PORT] [--max-inflight N]
                                               [--cache-memo N] [--cache-classes N]
                                               [--access-log PATH] [--trace-slow-ms N]
+                                              [--tenant-quota NAME=rps[:burst]]…
+                                              [--conn-idle-ms N] [--max-strikes N]
     call     <addr> <op> [args…]              one request against a running daemon;
-                                              op ∈ ping|list|stats|metrics
+                                              op ∈ ping|list|stats|metrics|reload
                                               | invertible <mapping>
                                               | chase <mapping> <instance>
                                               | arrow <mapping> <inst1> <inst2>
                                               | certain <mapping> <instance> <query>
+                                              [--retries N] [--tenant NAME]
     top      <addr>                           live per-mapping request table polled
                                               from the daemon's METRICS op
                                               [--interval-ms N] [--iterations N]
@@ -177,10 +180,27 @@ requests and exits 0. Each mapping gets a warm arrow cache bounded by
 --cache-memo/--cache-classes; past --max-inflight concurrent requests
 the daemon answers SHED instead of queueing without bound.
 
+Serve hardening: SIGHUP or the RELOAD op re-scans the catalog and
+atomically swaps a new generation in (in-flight requests finish on the
+old one; unchanged mappings keep their warm caches; a broken catalog
+rejects the swap and the old generation keeps serving). Repeatable
+--tenant-quota NAME=rps[:burst] token-buckets requests by their
+`tenant` header (the name `default` covers anonymous and unquoted
+tenants); over-quota requests get SHED with a retry-after-ms hint.
+--conn-idle-ms N closes connections idle or stalled past N ms (0
+disables; default 60000), and --max-strikes N (default 3) closes a
+connection after N protocol violations (oversized lines/headers/body,
+malformed or duplicated headers — each answered with a typed ERR).
+
 `call` exit status: 0 on an OK reply, 1 on an ERR reply or connection
 failure, 3 when this client's own --deadline-ms elapsed first, 4 on a
 SHED or UNKNOWN reply (retryable: the server shed load, enforced
 --server-deadline-ms, or ran out of --node-budget/--time-budget-ms).
+`call --retries N` retries those in-process: SHEDs wait the server's
+retry-after-ms hint (else exponential backoff), UNKNOWNs escalate the
+--node-budget/--time-budget-ms headers. `top` survives daemon
+restarts: a lost connection renders a `disconnected` banner and
+reconnects with backoff instead of exiting.
 
 Serve telemetry: every request gets a monotonic id stamped as a `req`
 field on all of its journal records, engine worker threads included.
@@ -738,8 +758,22 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
     use std::io::Write as _;
     let catalog = opts.positional(0, "catalog directory")?;
     rde_faults::install_interrupt_handler();
+    // SIGHUP asks for a catalog reload (same path as the RELOAD op);
+    // the accept loop polls the latch between accepts.
+    rde_faults::install_reload_handler();
     let shutdown = CancelToken::new().watching_interrupt();
     let defaults = rde_serve::ServeOptions::default();
+    let tenant_quotas = opts
+        .tenant_quotas
+        .iter()
+        .map(|spec| rde_serve::TenantQuota::parse(spec))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(CliError::Message)?;
+    let idle_timeout = match opts.conn_idle_ms {
+        Some(0) => None, // 0 disables the read/idle deadline entirely
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => defaults.idle_timeout,
+    };
     let serve_options = rde_serve::ServeOptions {
         addr: opts.addr.clone().unwrap_or_else(|| "127.0.0.1:7643".to_owned()),
         catalog: catalog.into(),
@@ -751,6 +785,10 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         ),
         max_inflight: opts.max_inflight.unwrap_or(defaults.max_inflight),
         trace_slow_ms: opts.trace_slow_ms,
+        tenant_quotas,
+        idle_timeout,
+        max_strikes: opts.max_strikes.unwrap_or(defaults.max_strikes),
+        ..defaults
     };
     // --access-log points the process journal at a rotating file: one
     // `serve.access` JSONL line per request, plus any span trees the
@@ -806,18 +844,83 @@ fn cmd_top(opts: &Options) -> Result<(), CliError> {
     let addr = opts.positional(0, "server address")?;
     rde_faults::install_interrupt_handler();
     let token = CancelToken::new().watching_interrupt();
-    let mut client = rde_serve::Client::connect(addr).map_err(|e| e.to_string())?;
-    client.set_deadline(opts.deadline_ms.map(Duration::from_millis)).map_err(|e| e.to_string())?;
+    // Reconnect ceiling: a restarting daemon is back within seconds;
+    // past the cap we keep trying at the cap rather than giving up.
+    const RECONNECT_BASE_MS: u64 = 100;
+    const RECONNECT_CAP_MS: u64 = 2_000;
+    let connect = |deadline: Option<u64>| -> Result<rde_serve::Client, CliError> {
+        let mut c = rde_serve::Client::connect(addr).map_err(|e| e.to_string())?;
+        c.set_deadline(deadline.map(Duration::from_millis)).map_err(|e| e.to_string())?;
+        Ok(c)
+    };
+    // Sleep in short slices so Ctrl-C lands between refreshes; true
+    // means the token cancelled mid-sleep.
+    let sleep_cancellable = |ms: u64| -> bool {
+        let mut left = ms;
+        while left > 0 {
+            if token.is_cancelled() {
+                return true;
+            }
+            let slice = left.min(50);
+            std::thread::sleep(Duration::from_millis(slice));
+            left -= slice;
+        }
+        token.is_cancelled()
+    };
+    let mut client: Option<rde_serve::Client> = Some(connect(opts.deadline_ms)?);
+    let mut reconnect_wait = RECONNECT_BASE_MS;
     let mut prev: Option<(crate::top::Poll, std::time::Instant)> = None;
     let mut remaining = opts.iterations;
     loop {
-        let lines = match client.request(&rde_serve::Request::bare("METRICS")) {
-            Ok(rde_serve::Reply::Ok(lines)) => lines,
-            Ok(reply) => return Err(CliError::Message(format!("METRICS: {reply:?}"))),
-            Err(rde_serve::ClientError::Deadline) => return Err(CliError::Cancelled),
-            Err(e) => return Err(CliError::Message(e.to_string())),
+        // A dead connection (server restarting, mid-poll EOF) renders
+        // a `disconnected` banner and retries with backoff instead of
+        // exiting: `top` is a monitor, restarts are what it watches.
+        let poll_result = match client.as_mut() {
+            Some(c) => match c.request(&rde_serve::Request::bare("METRICS")) {
+                Ok(rde_serve::Reply::Ok(lines)) => Some(crate::top::Poll::parse(&lines)?),
+                Ok(reply) => return Err(CliError::Message(format!("METRICS: {reply:?}"))),
+                Err(rde_serve::ClientError::Deadline) => return Err(CliError::Cancelled),
+                Err(rde_serve::ClientError::Io(_)) => None,
+            },
+            None => match connect(opts.deadline_ms) {
+                Ok(mut c) => match c.request(&rde_serve::Request::bare("METRICS")) {
+                    Ok(rde_serve::Reply::Ok(lines)) => {
+                        client = Some(c);
+                        Some(crate::top::Poll::parse(&lines)?)
+                    }
+                    Ok(reply) => return Err(CliError::Message(format!("METRICS: {reply:?}"))),
+                    Err(rde_serve::ClientError::Deadline) => return Err(CliError::Cancelled),
+                    Err(rde_serve::ClientError::Io(_)) => None,
+                },
+                Err(_) => None,
+            },
         };
-        let poll = crate::top::Poll::parse(&lines)?;
+        let Some(poll) = poll_result else {
+            client = None;
+            // Rate deltas across an outage would mix two server
+            // lifetimes (counters reset on restart); drop the anchor.
+            prev = None;
+            if std::io::stdout().is_terminal() {
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("disconnected from {addr}; retrying in {reconnect_wait}ms");
+            let _ = std::io::stdout().flush();
+            // Banner refreshes count against --iterations too, so a
+            // scripted `top --iterations N` terminates even when the
+            // server never comes back.
+            if let Some(n) = remaining.as_mut() {
+                *n = n.saturating_sub(1);
+                if *n == 0 {
+                    return Ok(());
+                }
+            }
+            if sleep_cancellable(reconnect_wait) {
+                return Ok(());
+            }
+            reconnect_wait = reconnect_wait.saturating_mul(2).min(RECONNECT_CAP_MS);
+            continue;
+        };
+        reconnect_wait = RECONNECT_BASE_MS;
         let now = std::time::Instant::now();
         let table =
             crate::top::render(prev.as_ref().map(|(p, at)| (p, now.duration_since(*at))), &poll);
@@ -835,17 +938,7 @@ fn cmd_top(opts: &Options) -> Result<(), CliError> {
                 return Ok(());
             }
         }
-        // Sleep in short slices so Ctrl-C lands between refreshes.
-        let mut left = opts.interval_ms;
-        while left > 0 {
-            if token.is_cancelled() {
-                return Ok(());
-            }
-            let slice = left.min(50);
-            std::thread::sleep(Duration::from_millis(slice));
-            left -= slice;
-        }
-        if token.is_cancelled() {
+        if sleep_cancellable(opts.interval_ms) {
             return Ok(());
         }
     }
@@ -856,7 +949,7 @@ fn cmd_call(opts: &Options) -> Result<(), CliError> {
     let addr = opts.positional(0, "server address")?;
     let op = opts.positional(1, "op")?.to_ascii_lowercase();
     let mut request = match op.as_str() {
-        "ping" | "list" | "stats" | "metrics" => rde_serve::Request::bare(&op),
+        "ping" | "list" | "stats" | "metrics" | "reload" => rde_serve::Request::bare(&op),
         "invertible" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?),
         "chase" => rde_serve::Request::on(&op, opts.positional(2, "mapping name")?)
             .body_text(&read(opts.positional(3, "instance file")?)?),
@@ -882,9 +975,16 @@ fn cmd_call(opts: &Options) -> Result<(), CliError> {
     if let Some(ms) = opts.time_budget_ms {
         request = request.header("time-budget-ms", ms);
     }
+    if let Some(tenant) = &opts.tenant {
+        request = request.header("tenant", tenant);
+    }
     let mut client = rde_serve::Client::connect(addr).map_err(|e| e.to_string())?;
     client.set_deadline(opts.deadline_ms.map(Duration::from_millis)).map_err(|e| e.to_string())?;
-    match client.request(&request) {
+    // --retries N maps onto the client's retry loop: SHEDs wait out
+    // the server's retry-after hint, UNKNOWNs escalate the budget
+    // headers — same policy shape the local checks use.
+    let policy = rde_core::retry::RetryPolicy::with_retries(opts.retries);
+    match client.call_with_retry(&request, &policy) {
         Ok(rde_serve::Reply::Ok(lines)) => {
             for line in lines {
                 println!("{line}");
@@ -892,7 +992,9 @@ fn cmd_call(opts: &Options) -> Result<(), CliError> {
             Ok(())
         }
         Ok(rde_serve::Reply::Err(m)) => Err(CliError::Message(format!("server: {m}"))),
-        Ok(rde_serve::Reply::Shed(m)) => Err(CliError::Shed(format!("server shed: {m}"))),
+        Ok(rde_serve::Reply::Shed { reason, .. }) => {
+            Err(CliError::Shed(format!("server shed: {reason}")))
+        }
         Ok(rde_serve::Reply::Unknown(m)) => Err(CliError::Shed(format!("server unknown: {m}"))),
         Err(rde_serve::ClientError::Deadline) => Err(CliError::Cancelled),
         Err(e) => Err(CliError::Message(e.to_string())),

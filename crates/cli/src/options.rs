@@ -79,6 +79,21 @@ pub struct Options {
     /// `--request-id N`: (profile) filter a journal *file* down to one
     /// request's records before building the span breakdown.
     pub request_id: Option<u64>,
+    /// `--tenant-quota NAME=rps[:burst]`: (serve) per-tenant
+    /// token-bucket admission quota; repeatable. The name `default`
+    /// covers the anonymous tenant and any tenant without its own
+    /// quota.
+    pub tenant_quotas: Vec<String>,
+    /// `--conn-idle-ms N`: (serve) per-connection read deadline; a
+    /// peer idle (or stalled mid-request) that long is disconnected.
+    /// `0` disables the deadline.
+    pub conn_idle_ms: Option<u64>,
+    /// `--max-strikes N`: (serve) recoverable protocol violations a
+    /// connection may accumulate before it is closed.
+    pub max_strikes: Option<u32>,
+    /// `--tenant NAME`: (call) tenant identity sent with each request
+    /// (the server's quota buckets key on it).
+    pub tenant: Option<String>,
 }
 
 impl Default for Options {
@@ -110,6 +125,10 @@ impl Default for Options {
             interval_ms: 1000,
             iterations: None,
             request_id: None,
+            tenant_quotas: Vec::new(),
+            conn_idle_ms: None,
+            max_strikes: None,
+            tenant: None,
         }
     }
 }
@@ -248,6 +267,34 @@ impl Options {
                             .ok_or_else(|| "--request-id requires a value".to_string())?
                             .parse::<u64>()
                             .map_err(|_| "--request-id requires an integer value".to_string())?,
+                    );
+                }
+                "--tenant-quota" => {
+                    opts.tenant_quotas.push(
+                        it.next()
+                            .ok_or_else(|| "--tenant-quota requires NAME=rps[:burst]".to_string())?
+                            .clone(),
+                    );
+                }
+                "--conn-idle-ms" => {
+                    opts.conn_idle_ms = Some(
+                        it.next()
+                            .ok_or_else(|| "--conn-idle-ms requires a value".to_string())?
+                            .parse::<u64>()
+                            .map_err(|_| "--conn-idle-ms requires an integer value".to_string())?,
+                    );
+                }
+                "--max-strikes" => {
+                    opts.max_strikes = Some(
+                        it.next()
+                            .ok_or_else(|| "--max-strikes requires a value".to_string())?
+                            .parse::<u32>()
+                            .map_err(|_| "--max-strikes requires an integer value".to_string())?,
+                    );
+                }
+                "--tenant" => {
+                    opts.tenant = Some(
+                        it.next().ok_or_else(|| "--tenant requires a name".to_string())?.clone(),
                     );
                 }
                 "--metrics" => opts.metrics = true,
@@ -402,6 +449,34 @@ mod tests {
         assert!(Options::parse(&strings(&["--access-log"])).is_err());
         assert!(Options::parse(&strings(&["--trace-slow-ms", "soon"])).is_err());
         assert!(Options::parse(&strings(&["--request-id", "x"])).is_err());
+    }
+
+    #[test]
+    fn hardening_flags() {
+        let o = Options::parse(&strings(&[
+            "dir",
+            "--tenant-quota",
+            "noisy=5:10",
+            "--tenant-quota",
+            "default=50",
+            "--conn-idle-ms",
+            "30000",
+            "--max-strikes",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(o.tenant_quotas, vec!["noisy=5:10", "default=50"], "repeatable, in order");
+        assert_eq!(o.conn_idle_ms, Some(30000));
+        assert_eq!(o.max_strikes, Some(5));
+        let o = Options::parse(&strings(&["addr", "PING", "--tenant", "noisy"])).unwrap();
+        assert_eq!(o.tenant.as_deref(), Some("noisy"));
+        let o = Options::parse(&strings(&["dir"])).unwrap();
+        assert!(o.tenant_quotas.is_empty());
+        assert!(o.conn_idle_ms.is_none() && o.max_strikes.is_none() && o.tenant.is_none());
+        assert!(Options::parse(&strings(&["--tenant-quota"])).is_err());
+        assert!(Options::parse(&strings(&["--conn-idle-ms", "soon"])).is_err());
+        assert!(Options::parse(&strings(&["--max-strikes"])).is_err());
+        assert!(Options::parse(&strings(&["--tenant"])).is_err());
     }
 
     #[test]

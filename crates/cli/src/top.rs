@@ -145,9 +145,16 @@ pub fn render(prev: Option<(&Poll, Duration)>, cur: &Poll) -> String {
     let uptime_s = cur.get("serve_uptime_ms", &[]).unwrap_or(0.0) / 1000.0;
     let total: f64 = cur.get("serve_requests", &[]).unwrap_or(0.0);
     let inflight = cur.get("serve_inflight", &[]).unwrap_or(0.0);
+    // Generation only appears once the daemon publishes it (older
+    // daemons don't); `gen 0` would be misleading, so omit it then.
+    let generation = cur
+        .get("serve_catalog_generation", &[])
+        .map(|g| format!(", catalog gen {g:.0}"))
+        .unwrap_or_default();
     let _ = writeln!(
         out,
-        "rde top — uptime {uptime_s:.1}s, {total:.0} request(s) served, {inflight:.0} in flight"
+        "rde top — uptime {uptime_s:.1}s, {total:.0} request(s) served, {inflight:.0} in \
+         flight{generation}"
     );
     let _ = writeln!(
         out,
@@ -192,6 +199,49 @@ pub fn render(prev: Option<(&Poll, Duration)>, cur: &Poll) -> String {
             memo.map_or("-".to_owned(), |v| format!("{v:.0}")),
             classes.map_or("-".to_owned(), |v| format!("{v:.0}")),
         );
+    }
+    // Per-tenant admission table, present once any request carried a
+    // tenant identity (every admitted request does — anonymous ones
+    // count under `default`).
+    let tenants = cur.label_values("serve_tenant_requests", "tenant");
+    if !tenants.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n{:<16} {:>8} {:>8} {:>11} {:>11}",
+            "TENANT", "REQS", "REQ/S", "SHED(quota)", "SHED(other)"
+        );
+        for tenant in tenants {
+            let t = tenant.as_str();
+            let reqs = cur.sum_where("serve_tenant_requests", ("tenant", t));
+            let rate = match prev {
+                Some((before, elapsed)) if !elapsed.is_zero() => {
+                    let delta = reqs - before.sum_where("serve_tenant_requests", ("tenant", t));
+                    format!("{:.1}", delta.max(0.0) / elapsed.as_secs_f64())
+                }
+                _ => "-".to_owned(),
+            };
+            let shed = |quota: bool| -> f64 {
+                cur.samples
+                    .iter()
+                    .filter(|s| {
+                        s.name == "serve_shed"
+                            && s.label("tenant") == Some(t)
+                            && (s.label("reason") == Some("quota")) == quota
+                    })
+                    .map(|s| s.value)
+                    .sum::<f64>()
+                    + 0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<16} {:>8} {:>8} {:>11} {:>11}",
+                t,
+                format!("{reqs:.0}"),
+                rate,
+                format!("{:.0}", shed(true)),
+                format!("{:.0}", shed(false)),
+            );
+        }
     }
     out
 }
@@ -277,6 +327,45 @@ serve_request_us_bucket{le=\"+Inf\",mapping=\"flights\",op=\"ARROW\"} 2
         assert!(!table.contains("-0"), "{table}");
         let bare = table.lines().find(|l| l.starts_with('-')).unwrap();
         assert!(bare.split_whitespace().any(|c| c == "0"), "{bare}");
+    }
+
+    #[test]
+    fn tenant_table_and_generation_render_when_published() {
+        // A daemon without the hardening metrics renders no tenant
+        // section and no generation note at all.
+        let plain = render(None, &poll(FIRST));
+        assert!(!plain.contains("TENANT") && !plain.contains("catalog gen"), "{plain}");
+
+        let tenanted = format!(
+            "{FIRST}\
+# TYPE serve_catalog_generation gauge
+serve_catalog_generation 3
+# TYPE serve_tenant_requests counter
+serve_tenant_requests{{tenant=\"default\"}} 10
+serve_tenant_requests{{tenant=\"noisy\"}} 2
+# TYPE serve_shed counter
+serve_shed{{tenant=\"noisy\",reason=\"quota\"}} 5
+serve_shed{{tenant=\"default\",reason=\"overloaded\"}} 1
+"
+        );
+        let table = render(None, &poll(&tenanted));
+        assert!(table.contains("catalog gen 3"), "{table}");
+        assert!(table.contains("TENANT"), "{table}");
+        let noisy = table.lines().find(|l| l.starts_with("noisy")).unwrap();
+        let cols: Vec<&str> = noisy.split_whitespace().collect();
+        assert_eq!(cols, vec!["noisy", "2", "-", "5", "0"], "{noisy}");
+        let default = table.lines().find(|l| l.starts_with("default")).unwrap();
+        let cols: Vec<&str> = default.split_whitespace().collect();
+        assert_eq!(cols, vec!["default", "10", "-", "0", "1"], "{default}");
+
+        // Rates come from tenant-request deltas like the mapping rows.
+        let after = tenanted.replace(
+            "serve_tenant_requests{tenant=\"noisy\"} 2",
+            "serve_tenant_requests{tenant=\"noisy\"} 12",
+        );
+        let table = render(Some((&poll(&tenanted), Duration::from_secs(2))), &poll(&after));
+        let noisy = table.lines().find(|l| l.starts_with("noisy")).unwrap();
+        assert!(noisy.contains("5.0"), "{noisy}");
     }
 
     #[test]

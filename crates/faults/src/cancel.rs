@@ -144,9 +144,21 @@ impl CancelToken {
 /// Process-global flag set by the SIGINT handler.
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
+/// Process-global flag set by the SIGHUP handler (see
+/// [`install_reload_handler`]).
+static RELOAD_REQUESTED: AtomicBool = AtomicBool::new(false);
+
 /// True once a SIGINT has been delivered to an installed handler.
 pub fn interrupted() -> bool {
     INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// Consume a pending reload request: true exactly once per SIGHUP
+/// delivered since the last call (requests between polls coalesce).
+/// Long-running daemons poll this from their idle loop and re-scan
+/// their configuration when it reports true.
+pub fn take_reload_request() -> bool {
+    RELOAD_REQUESTED.swap(false, Ordering::SeqCst)
 }
 
 /// Install a SIGINT handler that sets the process-global interrupt
@@ -161,14 +173,28 @@ pub fn install_interrupt_handler() {
     sig::arm();
 }
 
+/// Install a SIGHUP handler that records a reload request, consumable
+/// via [`take_reload_request`].
+///
+/// Unlike the SIGINT handler, this one re-arms itself: operators send
+/// HUP repeatedly over a daemon's lifetime and every delivery must
+/// count. The handler only stores to an `AtomicBool` and re-arms
+/// (async-signal-safe). On non-Unix platforms this is a no-op.
+/// Idempotent.
+pub fn install_reload_handler() {
+    #[cfg(unix)]
+    sig::arm_hup();
+}
+
 #[cfg(unix)]
 #[allow(unsafe_code)]
 mod sig {
-    use super::INTERRUPTED;
+    use super::{INTERRUPTED, RELOAD_REQUESTED};
     use std::sync::atomic::Ordering;
     use std::sync::Once;
 
     const SIGINT: i32 = 2;
+    const SIGHUP: i32 = 1;
     const SIG_DFL: usize = 0;
 
     extern "C" {
@@ -186,10 +212,27 @@ mod sig {
         }
     }
 
+    extern "C" fn on_sighup(_signum: i32) {
+        // Async-signal-safe: an atomic store, plus re-arming this same
+        // handler so the *next* HUP also registers (System V signal()
+        // resets the disposition on delivery).
+        RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+        unsafe {
+            signal(SIGHUP, on_sighup as extern "C" fn(i32) as usize);
+        }
+    }
+
     pub(super) fn arm() {
         static ONCE: Once = Once::new();
         ONCE.call_once(|| unsafe {
             signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        });
+    }
+
+    pub(super) fn arm_hup() {
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| unsafe {
+            signal(SIGHUP, on_sighup as extern "C" fn(i32) as usize);
         });
     }
 }
@@ -229,6 +272,17 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!t.is_cancelled());
         assert!(!t.is_inert());
+    }
+
+    #[test]
+    fn reload_requests_coalesce_and_consume() {
+        // No signal has been delivered in this test process: the flag
+        // starts clear and `take` is a consuming read.
+        assert!(!take_reload_request());
+        RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+        RELOAD_REQUESTED.store(true, Ordering::SeqCst);
+        assert!(take_reload_request(), "a pending request is consumed");
+        assert!(!take_reload_request(), "exactly once per batch of signals");
     }
 
     #[test]

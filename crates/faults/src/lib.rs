@@ -24,13 +24,16 @@
 //! The crate is deliberately zero-dependency: it sits below `rde-obs`,
 //! `rde-hom`, `rde-chase`, and `rde-core` in the crate graph.
 
-#![deny(unsafe_code)] // one vetted exception: the SIGINT FFI in `cancel::sig`
+#![deny(unsafe_code)] // one vetted exception: the signal FFI in `cancel::sig`
 #![warn(missing_docs)]
 
 mod cancel;
 mod context;
 mod inject;
 
-pub use cancel::{install_interrupt_handler, interrupted, CancelToken, Cancelled};
+pub use cancel::{
+    install_interrupt_handler, install_reload_handler, interrupted, take_reload_request,
+    CancelToken, Cancelled,
+};
 pub use context::{ExecContext, FaultInjector};
 pub use inject::{poison_mutex, FaultConfig, FaultReport, PointCount};

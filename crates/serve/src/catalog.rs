@@ -18,10 +18,22 @@
 //!   Warm state is best-effort: a mapping whose source schema the
 //!   enumerator cannot handle still serves `CHASE`/`CERTAIN`, and the
 //!   ops that need the cache explain what failed instead.
+//!
+//! ## Reload
+//!
+//! A running daemon re-scans its directory on SIGHUP or a `RELOAD`
+//! request ([`Catalog::reload`]). Entries are `Arc`-shared and carry a
+//! content **fingerprint** (a hash of the `.map` + `.rev` text):
+//! an unchanged entry is carried into the new catalog by `Arc` clone,
+//! warm cache and all, while a changed or new one is re-parsed with its
+//! warm state **deferred** — rebuilt lazily by the first request that
+//! needs it ([`WarmCell`]), so a reload never stalls the accept loop on
+//! universe enumeration. Any parse failure fails the whole reload,
+//! leaving the previous catalog generation serving.
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rde_core::arrow::{ArrowMCache, CachePolicy};
 use rde_core::Universe;
@@ -44,6 +56,60 @@ pub struct WarmState {
     pub vocab: Mutex<Vocabulary>,
 }
 
+/// What a deferred warm build needs: the post-parse vocabulary and the
+/// build knobs, captured at load time so the lazy build replays exactly
+/// what an eager one would have done.
+struct WarmSeed {
+    vocab: Vocabulary,
+    dims: UniverseDims,
+    policy: CachePolicy,
+}
+
+/// A warm cache built at most once, eagerly (initial load) or lazily
+/// (reload): the first request that needs it pays the build, everyone
+/// after shares the result. Failures are memoized too — a source
+/// schema the enumerator cannot handle fails the same way every time,
+/// and retrying per request would turn one broken mapping into a
+/// denial-of-service amplifier.
+pub struct WarmCell {
+    built: OnceLock<Result<WarmState, String>>,
+    seed: Mutex<Option<WarmSeed>>,
+}
+
+impl WarmCell {
+    fn deferred(vocab: Vocabulary, dims: UniverseDims, policy: CachePolicy) -> WarmCell {
+        WarmCell {
+            built: OnceLock::new(),
+            seed: Mutex::new(Some(WarmSeed { vocab, dims, policy })),
+        }
+    }
+
+    /// The warm state, building it now if this is the first need.
+    pub fn force(&self, mapping: &SchemaMapping) -> Result<&WarmState, &String> {
+        self.built
+            .get_or_init(|| {
+                let seed =
+                    self.seed.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+                match seed {
+                    Some(WarmSeed { mut vocab, dims, policy }) => {
+                        build_warm(mapping, &mut vocab, dims, policy)
+                    }
+                    // Unreachable in practice: the seed is consumed
+                    // exactly once, under the OnceLock init.
+                    None => Err("warm seed already consumed".to_owned()),
+                }
+            })
+            .as_ref()
+    }
+
+    /// The warm state if it has already been built — never triggers a
+    /// build. Introspection ops (`LIST`, `STATS`, metric scrapes) use
+    /// this so observing a freshly reloaded catalog stays cheap.
+    pub fn peek(&self) -> Option<Result<&WarmState, &String>> {
+        self.built.get().map(Result::as_ref)
+    }
+}
+
 /// One catalog entry: a named mapping plus derived state.
 pub struct MappingEntry {
     /// The mapping name (the `.map` file stem).
@@ -54,15 +120,27 @@ pub struct MappingEntry {
     pub reverse: Option<SchemaMapping>,
     /// Vocabulary snapshot right after parsing; cloned per request.
     pub base_vocab: Vocabulary,
-    /// Warm cache state, or the reason it could not be built.
-    pub warm: Result<WarmState, String>,
+    /// Content hash of the `.map` (+ `.rev`) text. Reloads carry an
+    /// entry over — warm cache included — exactly when this matches.
+    pub fingerprint: u64,
+    /// Warm cache state (eager on initial load, lazy after a reload).
+    pub warm: WarmCell,
+}
+
+impl MappingEntry {
+    /// The entry's warm state, built on demand (ops that need the
+    /// cache: `INVERTIBLE`, `ARROW`).
+    pub fn warm_state(&self) -> Result<&WarmState, &String> {
+        self.warm.force(&self.mapping)
+    }
 }
 
 /// The loaded catalog, keyed by mapping name (sorted for stable LIST
-/// output).
+/// output). Entries are `Arc`-shared so a reloaded catalog can carry
+/// unchanged ones over without copying their warm caches.
 pub struct Catalog {
     /// All entries, keyed by name.
-    pub entries: BTreeMap<String, MappingEntry>,
+    pub entries: BTreeMap<String, Arc<MappingEntry>>,
 }
 
 /// Universe dimensions for the warm family, mirroring the CLI's
@@ -88,13 +166,44 @@ impl Catalog {
     /// unparsable mapping fails the whole load (a daemon silently
     /// serving half its catalog is worse than one that refuses to
     /// start); a mapping whose *warm cache* cannot be built loads
-    /// anyway with the failure recorded.
+    /// anyway with the failure recorded. Warm caches are built eagerly
+    /// here — the daemon is not serving yet, so the build stalls
+    /// nobody.
     pub fn load(
         dir: &Path,
         dims: UniverseDims,
         policy: CachePolicy,
     ) -> Result<Catalog, ServeError> {
+        let (catalog, _) = Catalog::scan(dir, dims, policy, None)?;
+        for entry in catalog.entries.values() {
+            let _ = entry.warm_state();
+        }
+        Ok(catalog)
+    }
+
+    /// Re-scan `dir` against `previous`: entries whose fingerprint is
+    /// unchanged are carried over by `Arc` clone (warm cache and all);
+    /// changed or new entries are re-parsed with their warm build
+    /// deferred to first use. Returns the new catalog and how many
+    /// entries were carried. Any failure leaves `previous` untouched —
+    /// the caller keeps serving it.
+    pub fn reload(
+        dir: &Path,
+        dims: UniverseDims,
+        policy: CachePolicy,
+        previous: &Catalog,
+    ) -> Result<(Catalog, usize), ServeError> {
+        Catalog::scan(dir, dims, policy, Some(previous))
+    }
+
+    fn scan(
+        dir: &Path,
+        dims: UniverseDims,
+        policy: CachePolicy,
+        previous: Option<&Catalog>,
+    ) -> Result<(Catalog, usize), ServeError> {
         let mut entries = BTreeMap::new();
+        let mut carried = 0usize;
         let listing = std::fs::read_dir(dir).map_err(|e| {
             ServeError::Catalog(format!("cannot read catalog `{}`: {e}", dir.display()))
         })?;
@@ -109,8 +218,17 @@ impl Catalog {
             let Some(name) = path.file_stem().and_then(|s| s.to_str()).map(str::to_owned) else {
                 continue;
             };
-            let entry = load_entry(&name, &path, dims, policy)?;
-            entries.insert(name, entry);
+            let (text, rev_text) = read_entry_text(&path)?;
+            let fingerprint = fingerprint(&text, rev_text.as_deref());
+            if let Some(prev) = previous.and_then(|c| c.entries.get(&name)) {
+                if prev.fingerprint == fingerprint {
+                    entries.insert(name, Arc::clone(prev));
+                    carried += 1;
+                    continue;
+                }
+            }
+            let entry = parse_entry(&name, &path, &text, rev_text.as_deref(), dims, policy)?;
+            entries.insert(name, Arc::new(entry));
         }
         if entries.is_empty() {
             return Err(ServeError::Catalog(format!(
@@ -118,40 +236,78 @@ impl Catalog {
                 dir.display()
             )));
         }
-        Ok(Catalog { entries })
+        Ok((Catalog { entries }, carried))
     }
 
     /// Look up an entry by name.
-    pub fn get(&self, name: &str) -> Option<&MappingEntry> {
+    pub fn get(&self, name: &str) -> Option<&Arc<MappingEntry>> {
         self.entries.get(name)
     }
 }
 
-fn load_entry(
-    name: &str,
-    path: &Path,
-    dims: UniverseDims,
-    policy: CachePolicy,
-) -> Result<MappingEntry, ServeError> {
+/// Read a mapping's `.map` text and, when present, its `.rev` text.
+fn read_entry_text(path: &Path) -> Result<(String, Option<String>), ServeError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| ServeError::Catalog(format!("cannot read `{}`: {e}", path.display())))?;
-    let mut vocab = Vocabulary::new();
-    let mapping = parse_mapping(&mut vocab, &text)
-        .map_err(|e| ServeError::Catalog(format!("{}: {e}", path.display())))?;
     let rev_path = path.with_extension("rev");
-    let reverse = match std::fs::read_to_string(&rev_path) {
-        Ok(rev_text) => Some(
-            parse_mapping(&mut vocab, &rev_text)
-                .map_err(|e| ServeError::Catalog(format!("{}: {e}", rev_path.display())))?,
-        ),
+    let rev_text = match std::fs::read_to_string(&rev_path) {
+        Ok(rev_text) => Some(rev_text),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
         Err(e) => {
             return Err(ServeError::Catalog(format!("cannot read `{}`: {e}", rev_path.display())))
         }
     };
+    Ok((text, rev_text))
+}
+
+/// FNV-1a over the entry's source text. Not cryptographic — this
+/// detects *edits*, not adversaries (an operator who can write the
+/// catalog directory already owns the daemon).
+fn fingerprint(text: &str, rev_text: Option<&str>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(text.as_bytes());
+    // A separator byte that cannot occur in UTF-8 keeps
+    // (map="a", rev="b") distinct from (map="ab", rev absent).
+    eat(&[0xff]);
+    if let Some(rev) = rev_text {
+        eat(rev.as_bytes());
+    }
+    h
+}
+
+fn parse_entry(
+    name: &str,
+    path: &Path,
+    text: &str,
+    rev_text: Option<&str>,
+    dims: UniverseDims,
+    policy: CachePolicy,
+) -> Result<MappingEntry, ServeError> {
+    let mut vocab = Vocabulary::new();
+    let mapping = parse_mapping(&mut vocab, text)
+        .map_err(|e| ServeError::Catalog(format!("{}: {e}", path.display())))?;
+    let reverse = match rev_text {
+        Some(rev_text) => Some(parse_mapping(&mut vocab, rev_text).map_err(|e| {
+            ServeError::Catalog(format!("{}: {e}", path.with_extension("rev").display()))
+        })?),
+        None => None,
+    };
     let base_vocab = vocab.clone();
-    let warm = build_warm(&mapping, &mut vocab, dims, policy);
-    Ok(MappingEntry { name: name.to_owned(), mapping, reverse, base_vocab, warm })
+    let fingerprint = fingerprint(text, rev_text);
+    Ok(MappingEntry {
+        name: name.to_owned(),
+        mapping,
+        reverse,
+        base_vocab,
+        fingerprint,
+        warm: WarmCell::deferred(vocab, dims, policy),
+    })
 }
 
 /// Chase the bounded-universe family once so the first request hits a
@@ -202,7 +358,8 @@ mod tests {
         );
         let copy = catalog.get("copy").unwrap();
         assert!(copy.reverse.is_some());
-        let warm = copy.warm.as_ref().expect("warm cache builds for an enumerable source");
+        assert!(copy.warm.peek().is_some(), "initial load builds warm state eagerly");
+        let warm = copy.warm_state().expect("warm cache builds for an enumerable source");
         assert!(!warm.family.is_empty());
         assert!(catalog.get("merge").unwrap().reverse.is_none());
         std::fs::remove_dir_all(&d).ok();
@@ -224,5 +381,52 @@ mod tests {
         let d = dir("empty");
         assert!(Catalog::load(&d, UniverseDims::default(), CachePolicy::default()).is_err());
         std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn reload_carries_unchanged_entries_and_rebuilds_changed_ones() {
+        let d = dir("reload");
+        std::fs::write(d.join("copy.map"), "source: P/1\ntarget: Q/1\nP(x) -> Q(x)\n").unwrap();
+        std::fs::write(
+            d.join("merge.map"),
+            "source: A/1, B/1\ntarget: R/1\nA(x) -> R(x)\nB(x) -> R(x)\n",
+        )
+        .unwrap();
+        let dims = UniverseDims { consts: 1, nulls: 1, facts: 1 };
+        let policy = CachePolicy::default();
+        let first = Catalog::load(&d, dims, policy).unwrap();
+
+        // Touch `copy` (semantically equivalent but different text —
+        // variable renamed), leave `merge` alone, add `extra`.
+        std::fs::write(d.join("copy.map"), "source: P/1\ntarget: Q/1\nP(v) -> Q(v)\n").unwrap();
+        std::fs::write(d.join("extra.map"), "source: S/1\ntarget: T/1\nS(x) -> T(x)\n").unwrap();
+        let (second, carried) = Catalog::reload(&d, dims, policy, &first).unwrap();
+        assert_eq!(carried, 1, "only `merge` is unchanged");
+        assert!(
+            Arc::ptr_eq(first.get("merge").unwrap(), second.get("merge").unwrap()),
+            "unchanged entries are the same allocation, warm cache included"
+        );
+        assert!(
+            !Arc::ptr_eq(first.get("copy").unwrap(), second.get("copy").unwrap()),
+            "changed text means a fresh entry"
+        );
+        let copy = second.get("copy").unwrap();
+        assert!(copy.warm.peek().is_none(), "reloaded entries defer the warm build");
+        assert!(copy.warm_state().is_ok(), "…until the first op that needs it");
+        assert!(copy.warm.peek().is_some());
+        assert!(second.get("extra").is_some(), "new mappings join the catalog");
+
+        // A corrupted mapping rejects the whole reload.
+        std::fs::write(d.join("extra.map"), "garbage that cannot parse\n").unwrap();
+        let err = Catalog::reload(&d, dims, policy, &second).err().expect("corrupt reload fails");
+        assert!(err.to_string().contains("extra.map"), "{err}");
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn fingerprints_separate_map_and_rev_content() {
+        assert_ne!(fingerprint("ab", None), fingerprint("a", Some("b")));
+        assert_ne!(fingerprint("a", Some("b")), fingerprint("a", None));
+        assert_eq!(fingerprint("a", Some("b")), fingerprint("a", Some("b")));
     }
 }

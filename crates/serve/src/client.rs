@@ -5,6 +5,9 @@ use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use rde_core::retry::RetryPolicy;
+use rde_hom::HomConfig;
+
 use crate::protocol::{read_reply, Reply, Request};
 
 /// How a client call failed — kept apart from the server's own
@@ -65,4 +68,73 @@ impl Client {
         request.write_to(&mut self.writer)?;
         Ok(read_reply(&mut self.reader)?)
     }
+
+    /// [`request`](Client::request) with retries: a `SHED` reply is
+    /// retried after the server's own `retry-after-ms` hint (falling
+    /// back to exponential backoff when the server sent none), and an
+    /// `UNKNOWN` reply is retried with the request's budget headers
+    /// escalated by [`RetryPolicy::growth`] — the same escalation
+    /// `rde_core::retry` applies to local checks. An `UNKNOWN` on a
+    /// request carrying *no* budget headers returns immediately:
+    /// retrying an unbudgeted unknown would repeat the identical
+    /// attempt. `OK` and `ERR` always return at once; socket errors
+    /// are not retried (the connection state is unknown).
+    pub fn call_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Reply, ClientError> {
+        // Backoff base/cap: gentle enough that a `--retries 3` call
+        // resolves in human time, capped so a hostile retry-after
+        // hint cannot park the client for minutes.
+        const BASE: Duration = Duration::from_millis(25);
+        const CAP: Duration = Duration::from_secs(2);
+        let mut request = request.clone();
+        let mut backoff = BASE;
+        let mut reply = self.request(&request)?;
+        let attempts = policy.max_attempts.max(1);
+        for _ in 1..attempts {
+            let wait = match &reply {
+                Reply::Shed { retry_after_ms, .. } => {
+                    retry_after_ms.map(Duration::from_millis).unwrap_or(backoff)
+                }
+                Reply::Unknown(_) => {
+                    if !escalate_budget_headers(&mut request, policy.growth) {
+                        return Ok(reply);
+                    }
+                    backoff
+                }
+                _ => return Ok(reply),
+            };
+            rde_obs::counter!("serve.client.retries").inc();
+            std::thread::sleep(wait.min(CAP));
+            backoff = backoff.saturating_mul(2).min(CAP);
+            reply = self.request(&request)?;
+        }
+        Ok(reply)
+    }
+}
+
+/// Multiply the request's `node-budget` / `time-budget-ms` headers by
+/// `growth` via [`rde_core::retry::escalate`], in place. False when
+/// the request carries no budget headers at all.
+fn escalate_budget_headers(request: &mut Request, growth: u32) -> bool {
+    let node = request.get_header("node-budget").and_then(|v| v.parse::<u64>().ok());
+    let time = request.get_header("time-budget-ms").and_then(|v| v.parse::<u64>().ok());
+    if node.is_none() && time.is_none() {
+        return false;
+    }
+    let config = HomConfig {
+        node_budget: node,
+        time_budget: time.map(Duration::from_millis),
+        ..HomConfig::default()
+    };
+    let bigger = rde_core::retry::escalate(&config, growth);
+    if let Some(n) = bigger.node_budget {
+        request.set_header("node-budget", n);
+    }
+    if let Some(t) = bigger.time_budget {
+        request.set_header("time-budget-ms", t.as_millis());
+    }
+    true
 }

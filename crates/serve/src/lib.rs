@@ -33,8 +33,8 @@ pub mod server;
 
 pub use catalog::{Catalog, UniverseDims};
 pub use client::{Client, ClientError};
-pub use protocol::{Reply, Request};
-pub use server::{spawn, ServeOptions, Server};
+pub use protocol::{FrameError, ProtocolLimits, Reply, Request};
+pub use server::{spawn, ServeOptions, Server, TenantQuota};
 
 /// How the daemon failed to start or stopped abnormally.
 #[derive(Debug)]

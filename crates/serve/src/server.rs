@@ -3,9 +3,9 @@
 //! Std-only by necessity (the build environment is offline) and by
 //! sufficiency: every request is CPU-bound chase/search work, so an
 //! async reactor would buy nothing — the concurrency story is one OS
-//! thread per connection, a shared [`Catalog`] behind `Arc`, and the
-//! existing per-request [`ExecContext`] machinery for deadlines and
-//! budgets.
+//! thread per connection, a generation-swapped catalog behind
+//! `RwLock<Arc<_>>`, and the existing per-request [`ExecContext`]
+//! machinery for deadlines and budgets.
 //!
 //! ## Isolation and shedding
 //!
@@ -16,12 +16,40 @@
 //! cancelled request cannot bleed into a neighbour — the cache only
 //! memoizes definite verdicts.
 //!
-//! Load shedding is a reply, never a dropped connection: past
+//! Load shedding is a reply, never a dropped connection, and it is
+//! layered. First line: per-tenant token buckets — a request carrying
+//! a `tenant=` header (or the `default` bucket when it carries none)
+//! must win a token from its bucket, and a dry bucket answers `SHED`
+//! with a computed `retry-after-ms` (the bucket's own time-to-one-token)
+//! before any work is done. Backstop: past
 //! [`ServeOptions::max_inflight`] concurrently executing requests the
-//! server answers `SHED overloaded` without doing the work, and a
-//! request whose deadline fires mid-flight gets `SHED` too. Budget
-//! exhaustion inside an engine surfaces as `UNKNOWN`, matching the
-//! three-valued verdicts the CLI prints.
+//! server sheds regardless of tenant. A request whose deadline fires
+//! mid-flight gets `SHED` too; every shed is counted per
+//! `{tenant, reason}`. Budget exhaustion inside an engine surfaces as
+//! `UNKNOWN`, matching the three-valued verdicts the CLI prints.
+//!
+//! ## Hot catalog reload
+//!
+//! `RELOAD` (or SIGHUP, polled by the accept loop) re-scans the
+//! catalog directory and atomically swaps in a new **generation**:
+//! in-flight requests keep the `Arc` snapshot they pinned at admission
+//! and finish on it, unchanged mappings carry their warm caches over
+//! by content fingerprint, and changed ones rebuild lazily. A failed
+//! re-scan (unparsable mapping, unreadable directory) rejects the swap
+//! — the previous generation keeps serving — and the outcome is
+//! visible in `serve.catalog.generation` / `serve.reload.outcome` and
+//! a `STATS` line.
+//!
+//! ## Protocol defense
+//!
+//! Connections read under [`ProtocolLimits`] (line/header/body caps,
+//! NUL and UTF-8 rejection — see [`crate::protocol`]) and an idle/read
+//! deadline ([`ServeOptions::idle_timeout`]) so a slowloris peer
+//! cannot pin a thread forever. A recoverable violation costs the
+//! peer a strike and earns a typed `ERR`; at
+//! [`ServeOptions::max_strikes`] strikes — or any violation that
+//! leaves the stream position untrustworthy — the connection closes,
+//! counted per `serve.conn.closed{reason}`.
 //!
 //! ## Telemetry
 //!
@@ -31,11 +59,12 @@
 //! worker threads, which re-install the id from the `ExecContext` —
 //! carries a `req` field. Admission control keeps per-`{op, mapping}`
 //! labeled request counters, latency and queue-wait histograms,
-//! per-mapping inflight gauges, and per-outcome counters; `METRICS`
-//! exposes the lot in Prometheus text format. Each request also leaves
-//! one `serve.access` journal event (op, mapping, backend, outcome,
-//! elapsed µs, arrow-cache hit/miss) — point a rotating journal sink
-//! at a file and that is the access log. With
+//! per-mapping inflight gauges, per-tenant request and
+//! `{tenant, reason}` shed counters, and per-outcome counters;
+//! `METRICS` exposes the lot in Prometheus text format. Each request
+//! also leaves one `serve.access` journal event (op, mapping, backend,
+//! outcome, elapsed µs, arrow-cache hit/miss) — point a rotating
+//! journal sink at a file and that is the access log. With
 //! [`ServeOptions::trace_slow_ms`] set, the request thread's span tree
 //! is buffered and replayed into the journal only for requests at
 //! least that slow, behind a `serve.slow_trace` marker.
@@ -45,22 +74,23 @@
 //! `serve` polls its shutdown token between accepts (the listener is
 //! non-blocking). On cancellation it stops accepting, half-closes the
 //! **read** side of every live connection — workers blocked in
-//! `read_request` wake with a clean EOF while a worker mid-request can
-//! still write its reply — and joins every worker before returning.
+//! `read_request_limited` wake with a clean EOF while a worker
+//! mid-request can still write its reply — and joins every worker
+//! before returning.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::BufReader;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use rde_chase::{ChaseOptions, DisjunctiveChaseOptions};
 use rde_core::arrow::CachePolicy;
 use rde_core::invertibility::{check_homomorphism_property_cached, BoundedVerdict};
 use rde_core::CoreError;
-use rde_faults::{CancelToken, ExecContext};
+use rde_faults::{CancelToken, ExecContext, FaultInjector};
 use rde_hom::{Exhausted, HomConfig, HomStats, Verdict};
 use rde_model::parse::parse_instance;
 use rde_model::{display, BackendKind};
@@ -69,8 +99,57 @@ use rde_obs::{counter, gauge, histogram};
 use rde_query::ConjunctiveQuery;
 
 use crate::catalog::{Catalog, MappingEntry, UniverseDims, WarmState};
-use crate::protocol::{read_request, Reply, Request};
+use crate::protocol::{read_request_limited, ProtocolLimits, Reply, Request};
 use crate::ServeError;
+
+/// One tenant's admission quota: a token bucket refilled at `rps`
+/// tokens per second up to `burst`. The quota named `default` applies
+/// to the anonymous tenant *and* to any named tenant without its own
+/// quota; tenants matching no quota at all are unlimited (the global
+/// in-flight ceiling still backstops them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantQuota {
+    /// The tenant name the quota binds to (`default` for the
+    /// catch-all bucket).
+    pub tenant: String,
+    /// Sustained admission rate, in requests per second.
+    pub rps: f64,
+    /// Bucket capacity: how many requests may arrive back-to-back
+    /// before the rate limit bites.
+    pub burst: f64,
+}
+
+impl TenantQuota {
+    /// Parse the CLI's `NAME=rps[:burst]` form. `burst` defaults to
+    /// `max(rps, 1)` — one second of headroom, and at least one token
+    /// so a fractional-rps quota can ever admit anything.
+    pub fn parse(spec: &str) -> Result<TenantQuota, String> {
+        let err = || format!("tenant quota `{spec}`: expected NAME=rps[:burst]");
+        let (tenant, rest) = spec.split_once('=').ok_or_else(err)?;
+        if tenant.is_empty() {
+            return Err(err());
+        }
+        let (rps_text, burst_text) = match rest.split_once(':') {
+            Some((r, b)) => (r, Some(b)),
+            None => (rest, None),
+        };
+        let rps: f64 = rps_text.parse().map_err(|_| err())?;
+        if !rps.is_finite() || rps <= 0.0 {
+            return Err(format!("tenant quota `{spec}`: rps must be a positive number"));
+        }
+        let burst = match burst_text {
+            Some(b) => {
+                let burst: f64 = b.parse().map_err(|_| err())?;
+                if !burst.is_finite() || burst < 1.0 {
+                    return Err(format!("tenant quota `{spec}`: burst must be at least 1"));
+                }
+                burst
+            }
+            None => rps.max(1.0),
+        };
+        Ok(TenantQuota { tenant: tenant.to_owned(), rps, burst })
+    }
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -89,6 +168,22 @@ pub struct ServeOptions {
     /// Concurrent-request ceiling; past it requests get `SHED
     /// overloaded` instead of a thread's worth of work.
     pub max_inflight: usize,
+    /// Per-tenant admission quotas (see [`TenantQuota`]). Empty means
+    /// no quota layer at all.
+    pub tenant_quotas: Vec<TenantQuota>,
+    /// Framing caps applied to every connection.
+    pub limits: ProtocolLimits,
+    /// Per-connection read deadline: a peer that sends nothing (or
+    /// stalls mid-request — slowloris) for this long is disconnected.
+    /// `None` waits forever, as a pre-hardening daemon did.
+    pub idle_timeout: Option<Duration>,
+    /// How many recoverable protocol violations a connection may
+    /// accumulate before it is closed.
+    pub max_strikes: u32,
+    /// Fault-injection campaign for the server's own fault points
+    /// (`serve.reload.swap`, `serve.quota.refill`, `serve.conn.read`).
+    /// Inert by default and outside the `fault-inject` feature.
+    pub injector: FaultInjector,
     /// Slow-request trace sampling threshold, in milliseconds. When
     /// set, every request's span tree is buffered in capture mode and
     /// replayed into the journal only if the request took at least
@@ -110,22 +205,67 @@ impl Default for ServeOptions {
             // bound.
             policy: CachePolicy::bounded(1 << 16, 1024),
             max_inflight: 256,
+            tenant_quotas: Vec::new(),
+            limits: ProtocolLimits::default(),
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_strikes: 3,
+            injector: FaultInjector::default(),
             trace_slow_ms: None,
         }
     }
 }
 
-/// Shared server state: catalog + admission control + live-connection
-/// registry (for shutdown's read-half close).
-struct ServerState {
+/// One catalog generation: the immutable snapshot requests pin at
+/// admission. Swapped wholesale on reload.
+struct CatalogState {
+    generation: u64,
     catalog: Catalog,
+}
+
+/// One tenant's live token bucket.
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// Shared server state: the current catalog generation + admission
+/// control + live-connection registry (for shutdown's read-half
+/// close).
+struct ServerState {
+    catalog: RwLock<Arc<CatalogState>>,
+    /// Serializes reloads so concurrent `RELOAD`s cannot race the
+    /// generation counter (requests never take this; they read-lock
+    /// `catalog` for an `Arc` clone and move on).
+    reload: Mutex<()>,
+    reloads_ok: AtomicU64,
+    reloads_rejected: AtomicU64,
     options: ServeOptions,
+    /// Live token buckets, keyed by tenant name (created on first
+    /// sight from the matching [`TenantQuota`]).
+    buckets: Mutex<HashMap<String, Bucket>>,
     inflight: AtomicUsize,
     conns: Mutex<HashMap<u64, TcpStream>>,
     /// Monotonic request-id source; id 0 is reserved for "no request".
     next_request: AtomicU64,
     /// Process uptime epoch (`STATS`/`METRICS` report against it).
     started: Instant,
+}
+
+impl ServerState {
+    /// The quota covering `tenant`: its own, else the `default`
+    /// catch-all, else none (unlimited).
+    fn quota_for(&self, tenant: &str) -> Option<&TenantQuota> {
+        let quotas = &self.options.tenant_quotas;
+        quotas
+            .iter()
+            .find(|q| q.tenant == tenant)
+            .or_else(|| quotas.iter().find(|q| q.tenant == "default"))
+    }
+}
+
+/// Pin the current catalog generation.
+fn current_catalog(state: &ServerState) -> Arc<CatalogState> {
+    Arc::clone(&state.catalog.read().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
 /// A bound daemon, ready to [`Server::serve`].
@@ -142,9 +282,14 @@ impl Server {
         let catalog = Catalog::load(&options.catalog, options.dims, options.policy)?;
         let listener = TcpListener::bind(&options.addr)
             .map_err(|e| ServeError::Bind(format!("cannot bind `{}`: {e}", options.addr)))?;
+        gauge!("serve.catalog.generation").set(1);
         let state = Arc::new(ServerState {
-            catalog,
+            catalog: RwLock::new(Arc::new(CatalogState { generation: 1, catalog })),
+            reload: Mutex::new(()),
+            reloads_ok: AtomicU64::new(0),
+            reloads_rejected: AtomicU64::new(0),
             options,
+            buckets: Mutex::new(HashMap::new()),
             inflight: AtomicUsize::new(0),
             conns: Mutex::new(HashMap::new()),
             next_request: AtomicU64::new(0),
@@ -158,15 +303,18 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Names of the mappings this server answers for.
+    /// Names of the mappings this server answers for (the current
+    /// generation's).
     pub fn mapping_names(&self) -> Vec<String> {
-        self.state.catalog.entries.keys().cloned().collect()
+        current_catalog(&self.state).catalog.entries.keys().cloned().collect()
     }
 
     /// Accept and serve connections until `shutdown` cancels, then
     /// drain: no new accepts, read-half close on live connections,
     /// join every worker. In-flight requests run to completion and
-    /// their replies are delivered.
+    /// their replies are delivered. SIGHUP-requested catalog reloads
+    /// (see [`rde_faults::install_reload_handler`]) are picked up
+    /// between accepts.
     pub fn serve(self, shutdown: &CancelToken) -> Result<(), ServeError> {
         self.listener
             .set_nonblocking(true)
@@ -174,6 +322,9 @@ impl Server {
         let mut workers = Vec::new();
         let mut next_id: u64 = 0;
         while !shutdown.is_cancelled() {
+            if rde_faults::take_reload_request() {
+                let _ = reload_now(&self.state);
+            }
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     counter!("serve.connections").inc();
@@ -213,18 +364,144 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// One connection: read requests until EOF, answering each. Framing
-/// errors get a best-effort `ERR` and close the connection (the stream
-/// position is no longer trustworthy).
+/// Re-scan the catalog directory and swap the generation, or reject
+/// and keep serving the old one. Returns `(generation, mappings,
+/// carried)` on success.
+fn do_reload(state: &ServerState) -> Result<(u64, usize, usize), String> {
+    let _serialized = lock(&state.reload);
+    let current = current_catalog(state);
+    let (catalog, carried) = Catalog::reload(
+        &state.options.catalog,
+        state.options.dims,
+        state.options.policy,
+        &current.catalog,
+    )
+    .map_err(|e| e.to_string())?;
+    // Deterministic chaos: a campaign firing here models the swap
+    // itself failing (e.g. a torn re-scan). The old generation must
+    // keep serving, exactly like a parse failure.
+    if state.options.injector.should_inject("serve.reload.swap") {
+        return Err("injected fault: serve.reload.swap".to_owned());
+    }
+    let generation = current.generation + 1;
+    let mappings = catalog.entries.len();
+    *state.catalog.write().unwrap_or_else(std::sync::PoisonError::into_inner) =
+        Arc::new(CatalogState { generation, catalog });
+    Ok((generation, mappings, carried))
+}
+
+/// [`do_reload`] plus the bookkeeping both entry points (the `RELOAD`
+/// op and the SIGHUP poll) share: outcome counters, the generation
+/// gauge, and a journal event.
+fn reload_now(state: &ServerState) -> Reply {
+    match do_reload(state) {
+        Ok((generation, mappings, carried)) => {
+            state.reloads_ok.fetch_add(1, Ordering::Relaxed);
+            gauge!("serve.catalog.generation").set(generation);
+            rde_obs::labeled_counter("serve.reload.outcome", &[("outcome", "ok")]).inc();
+            rde_obs::event(
+                "serve.reload",
+                &[
+                    ("outcome", "ok".into()),
+                    ("generation", generation.into()),
+                    ("mappings", mappings.into()),
+                    ("carried", carried.into()),
+                ],
+            );
+            Reply::Ok(vec![
+                format!("generation {generation}"),
+                format!("mappings {mappings}"),
+                format!("carried {carried}"),
+            ])
+        }
+        Err(reason) => {
+            state.reloads_rejected.fetch_add(1, Ordering::Relaxed);
+            rde_obs::labeled_counter("serve.reload.outcome", &[("outcome", "rejected")]).inc();
+            rde_obs::event(
+                "serve.reload",
+                &[("outcome", "rejected".into()), ("reason", reason.as_str().into())],
+            );
+            Reply::Err(format!("reload rejected (previous catalog still serving): {reason}"))
+        }
+    }
+}
+
+/// Token-bucket admission for `tenant`. `None` admits (a token was
+/// taken, or the tenant is unlimited); `Some(ms)` denies with the
+/// bucket's own time-to-one-token as the retry hint.
+fn quota_denies(state: &ServerState, tenant: &str) -> Option<u64> {
+    let quota = state.quota_for(tenant)?;
+    let mut buckets = lock(&state.buckets);
+    let now = Instant::now();
+    let bucket =
+        buckets.entry(tenant.to_owned()).or_insert(Bucket { tokens: quota.burst, last: now });
+    let elapsed = now.duration_since(bucket.last).as_secs_f64();
+    bucket.last = now;
+    // Deterministic chaos: a campaign firing here models a refill that
+    // never happened (clock trouble, lost accounting). Degradation is
+    // graceful by construction — the bucket only ever under-admits,
+    // and `0 ≤ tokens ≤ burst` still holds.
+    if !state.options.injector.should_inject("serve.quota.refill") {
+        bucket.tokens = (bucket.tokens + elapsed * quota.rps).min(quota.burst);
+    }
+    if bucket.tokens >= 1.0 {
+        bucket.tokens -= 1.0;
+        return None;
+    }
+    let ms = ((1.0 - bucket.tokens) / quota.rps * 1000.0).ceil();
+    Some(ms.max(1.0) as u64)
+}
+
+/// One connection: read requests until EOF, answering each. A
+/// recoverable framing violation costs a strike and earns a typed
+/// `ERR`; an unrecoverable one (or too many strikes, or a read
+/// timeout) closes the connection, counted by reason.
 fn handle_connection(stream: TcpStream, state: &ServerState) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut write_half = write_half;
+    if let Some(timeout) = state.options.idle_timeout {
+        if stream.set_read_timeout(Some(timeout)).is_err() {
+            return;
+        }
+    }
     let mut reader = BufReader::new(stream);
+    let mut strikes: u32 = 0;
     loop {
-        let request = match read_request(&mut reader) {
+        // Deterministic chaos: a campaign firing here models the read
+        // path failing (peer reset, torn socket). The close must stay
+        // typed and counted — never a panic or a silent drop.
+        if state.options.injector.should_inject("serve.conn.read") {
+            rde_obs::labeled_counter("serve.conn.closed", &[("reason", "fault")]).inc();
+            let _ =
+                Reply::Err("injected fault: serve.conn.read".to_owned()).write_to(&mut write_half);
+            return;
+        }
+        let request = match read_request_limited(&mut reader, &state.options.limits) {
             Ok(Some(request)) => request,
             Ok(None) => return,
+            Err(e) if e.is_timeout() => {
+                // An idle peer and a mid-request staller both lose the
+                // connection, but the metric tells them apart.
+                let reason = if e.partial() { "stalled" } else { "idle" };
+                rde_obs::labeled_counter("serve.conn.closed", &[("reason", reason)]).inc();
+                if e.partial() {
+                    let _ = Reply::Err("protocol: read timed out mid-request".to_owned())
+                        .write_to(&mut write_half);
+                }
+                return;
+            }
+            Err(e) if e.recoverable() => {
+                strikes += 1;
+                counter!("serve.conn.strikes").inc();
+                let _ = Reply::Err(format!("protocol: {e}")).write_to(&mut write_half);
+                if strikes >= state.options.max_strikes {
+                    rde_obs::labeled_counter("serve.conn.closed", &[("reason", "strikes")]).inc();
+                    return;
+                }
+                continue;
+            }
             Err(e) => {
+                rde_obs::labeled_counter("serve.conn.closed", &[("reason", "violation")]).inc();
                 let _ = Reply::Err(format!("protocol: {e}")).write_to(&mut write_half);
                 return;
             }
@@ -251,15 +528,16 @@ fn outcome_of(reply: &Reply) -> &'static str {
     match reply {
         Reply::Ok(_) => "ok",
         Reply::Err(_) => "err",
-        Reply::Shed(_) => "shed",
+        Reply::Shed { .. } => "shed",
         Reply::Unknown(_) => "unknown",
     }
 }
 
 /// Admission control around [`handle_request`]: assign the request id,
-/// count the request in-flight (globally and per `{op, mapping}`),
-/// shed past the ceiling, time everything, and leave one `serve.access`
-/// journal line behind. With [`ServeOptions::trace_slow_ms`] set the
+/// pin the catalog generation, charge the tenant's token bucket, count
+/// the request in-flight (globally and per `{op, mapping}`), shed past
+/// the ceiling, time everything, and leave one `serve.access` journal
+/// line behind. With [`ServeOptions::trace_slow_ms`] set the
 /// request-thread span tree is buffered and replayed into the journal
 /// only when the request was slow.
 fn admit(state: &ServerState, request: &Request, received: Instant) -> Reply {
@@ -268,9 +546,11 @@ fn admit(state: &ServerState, request: &Request, received: Instant) -> Reply {
     let _scope = rde_obs::request::enter(id);
     let op = request.op.as_str();
     let mapping = request.mapping.as_deref().unwrap_or("-");
+    let tenant = request.get_header("tenant").unwrap_or("default");
     let op_mapping: [(&str, &str); 2] = [("op", op), ("mapping", mapping)];
     counter!("serve.requests").inc();
     rde_obs::labeled_counter("serve.requests", &op_mapping).inc();
+    rde_obs::labeled_counter("serve.tenant.requests", &[("tenant", tenant)]).inc();
     // Queue wait: time between framing the request off the socket and
     // starting the work (scheduling + admission overhead).
     rde_obs::labeled_histogram("serve.queue.us", &op_mapping)
@@ -288,8 +568,21 @@ fn admit(state: &ServerState, request: &Request, received: Instant) -> Reply {
         rde_obs::journal::capture_begin();
     }
     let mut access = AccessInfo::default();
-    let reply = if inflight > state.options.max_inflight {
-        Reply::Shed(format!("overloaded ({inflight} requests in flight)"))
+    // First line: the tenant's token bucket (cheap, no engine work).
+    // Backstop: the global in-flight ceiling. Both shed with a retry
+    // hint — the bucket's exact refill time, or a crude queue-depth
+    // heuristic for overload.
+    let mut shed_reason: Option<&'static str> = None;
+    let reply = if let Some(retry_ms) = quota_denies(state, tenant) {
+        shed_reason = Some("quota");
+        Reply::shed_after(format!("tenant `{tenant}` over quota"), retry_ms)
+    } else if inflight > state.options.max_inflight {
+        shed_reason = Some("overloaded");
+        let excess = (inflight - state.options.max_inflight) as u64;
+        Reply::shed_after(
+            format!("overloaded ({inflight} requests in flight)"),
+            excess.saturating_mul(5).max(5),
+        )
     } else {
         handle_request(state, request, id, &mut access)
     };
@@ -305,8 +598,12 @@ fn admit(state: &ServerState, request: &Request, received: Instant) -> Reply {
         &[("op", op), ("mapping", mapping), ("outcome", outcome)],
     )
     .inc();
-    if matches!(reply, Reply::Shed(_)) {
+    if matches!(reply, Reply::Shed { .. }) {
         counter!("serve.shed").inc();
+        // A shed that was not an admission decision is the request's
+        // own deadline firing mid-flight.
+        let reason = shed_reason.unwrap_or("deadline");
+        rde_obs::labeled_counter("serve.shed", &[("tenant", tenant), ("reason", reason)]).inc();
     }
     if matches!(reply, Reply::Unknown(_)) {
         counter!("serve.unknown").inc();
@@ -335,6 +632,7 @@ fn admit(state: &ServerState, request: &Request, received: Instant) -> Reply {
     let mut fields: Vec<(&str, rde_obs::Field)> = vec![
         ("op", op.into()),
         ("mapping", mapping.into()),
+        ("tenant", tenant.into()),
         ("backend", rde_obs::Field::Str(backend_name(state.options.backend))),
         ("outcome", outcome.into()),
         ("us", us.into()),
@@ -389,48 +687,55 @@ fn handle_request(
         Ok(config) => config,
         Err(e) => return Reply::Err(e),
     };
+    // Pin this generation: even if a reload swaps mid-request, every
+    // lookup below answers from the snapshot admission saw.
+    let cat = current_catalog(state);
+    let catalog = &cat.catalog;
     match request.op.as_str() {
         "PING" => Reply::Ok(vec!["pong".to_owned()]),
-        "LIST" => op_list(state),
-        "STATS" => op_stats(state),
-        "METRICS" => op_metrics(state),
-        "CHASE" => with_mapping(state, request, |e| op_chase(state, e, request, &config)),
-        "INVERTIBLE" => with_mapping(state, request, |e| op_invertible(e, &config)),
-        "ARROW" => with_mapping(state, request, |e| op_arrow(state, e, request, &config, access)),
-        "CERTAIN" => with_mapping(state, request, |e| op_certain(state, e, request, &config)),
+        "LIST" => op_list(catalog),
+        "STATS" => op_stats(state, &cat),
+        "METRICS" => op_metrics(state, &cat),
+        "RELOAD" => reload_now(state),
+        "CHASE" => with_mapping(catalog, request, |e| op_chase(state, e, request, &config)),
+        "INVERTIBLE" => with_mapping(catalog, request, |e| op_invertible(e, &config)),
+        "ARROW" => with_mapping(catalog, request, |e| op_arrow(state, e, request, &config, access)),
+        "CERTAIN" => with_mapping(catalog, request, |e| op_certain(state, e, request, &config)),
         other => Reply::Err(format!("unknown op `{other}`")),
     }
 }
 
 fn with_mapping(
-    state: &ServerState,
+    catalog: &Catalog,
     request: &Request,
     f: impl FnOnce(&MappingEntry) -> Reply,
 ) -> Reply {
     let Some(name) = request.mapping.as_deref() else {
         return Reply::Err(format!("{} needs a mapping name", request.op));
     };
-    match state.catalog.get(name) {
+    match catalog.get(name) {
         Some(entry) => f(entry),
         None => Reply::Err(format!("no such mapping `{name}` (try LIST)")),
     }
 }
 
 fn warm_of(entry: &MappingEntry) -> Result<&WarmState, Reply> {
-    entry.warm.as_ref().map_err(|reason| {
+    entry.warm_state().map_err(|reason| {
         Reply::Err(format!("mapping `{}` has no warm cache: {reason}", entry.name))
     })
 }
 
-fn op_list(state: &ServerState) -> Reply {
-    let lines = state
-        .catalog
+fn op_list(catalog: &Catalog) -> Reply {
+    let lines = catalog
         .entries
         .values()
         .map(|e| {
-            let classes = match &e.warm {
-                Ok(w) => w.cache.stats().classes.to_string(),
-                Err(_) => "-".to_owned(),
+            // `peek`, not force: listing a freshly reloaded catalog
+            // must not trigger warm builds. `-` covers both "failed"
+            // and "not built yet".
+            let classes = match e.warm.peek() {
+                Some(Ok(w)) => w.cache.stats().classes.to_string(),
+                Some(Err(_)) | None => "-".to_owned(),
             };
             format!(
                 "{} reverse={} classes={classes}",
@@ -443,12 +748,14 @@ fn op_list(state: &ServerState) -> Reply {
 }
 
 /// Refresh the point-in-time gauges that only make sense at scrape
-/// time: process uptime and per-mapping cache occupancy. Called by
-/// both `STATS` and `METRICS` so the two views agree.
-fn refresh_scrape_gauges(state: &ServerState) {
+/// time: process uptime, the catalog generation, and per-mapping cache
+/// occupancy. Called by both `STATS` and `METRICS` so the two views
+/// agree. Only already-built warm caches report (peek, not force).
+fn refresh_scrape_gauges(state: &ServerState, cat: &CatalogState) {
     gauge!("serve.uptime.ms").set(state.started.elapsed().as_millis() as u64);
-    for entry in state.catalog.entries.values() {
-        if let Ok(warm) = &entry.warm {
+    gauge!("serve.catalog.generation").set(cat.generation);
+    for entry in cat.catalog.entries.values() {
+        if let Some(Ok(warm)) = entry.warm.peek() {
             let s = warm.cache.stats();
             let labels = [("mapping", entry.name.as_str())];
             rde_obs::labeled_gauge("serve.cache.memo", &labels).set(s.memo_entries as u64);
@@ -481,10 +788,16 @@ fn per_op_latency(snap: &rde_obs::Snapshot) -> BTreeMap<String, HistogramSnapsho
     per_op
 }
 
-fn op_stats(state: &ServerState) -> Reply {
-    refresh_scrape_gauges(state);
+fn op_stats(state: &ServerState, cat: &CatalogState) -> Reply {
+    refresh_scrape_gauges(state, cat);
     let snap = rde_obs::snapshot();
     let mut lines = vec![format!("uptime-ms {}", state.started.elapsed().as_millis())];
+    lines.push(format!(
+        "reload generation={} ok={} rejected={}",
+        cat.generation,
+        state.reloads_ok.load(Ordering::Relaxed),
+        state.reloads_rejected.load(Ordering::Relaxed)
+    ));
     for (name, v) in &snap.counters {
         lines.push(format!("counter {name} {v}"));
     }
@@ -514,8 +827,8 @@ fn op_stats(state: &ServerState) -> Reply {
     // Per-mapping cache occupancy: the process-wide gauges above are
     // last-writer-wins across caches, so the authoritative per-tenant
     // numbers come straight from each cache.
-    for entry in state.catalog.entries.values() {
-        if let Ok(warm) = &entry.warm {
+    for entry in cat.catalog.entries.values() {
+        if let Some(Ok(warm)) = entry.warm.peek() {
             let s = warm.cache.stats();
             lines.push(format!(
                 "cache {} classes={} interned={} memo={} hits={} intern_hits={} \
@@ -536,10 +849,10 @@ fn op_stats(state: &ServerState) -> Reply {
 
 /// `METRICS` — the full metrics registry (unlabeled and labeled) in
 /// Prometheus text exposition format, one line per reply line. Scrape
-/// gauges (uptime, per-mapping cache occupancy) are refreshed first so
-/// every exposition is point-in-time accurate.
-fn op_metrics(state: &ServerState) -> Reply {
-    refresh_scrape_gauges(state);
+/// gauges (uptime, generation, per-mapping cache occupancy) are
+/// refreshed first so every exposition is point-in-time accurate.
+fn op_metrics(state: &ServerState, cat: &CatalogState) -> Reply {
+    refresh_scrape_gauges(state, cat);
     let text = rde_obs::expo::render(&rde_obs::snapshot());
     Reply::Ok(text.lines().map(str::to_owned).collect())
 }
@@ -549,9 +862,9 @@ fn op_metrics(state: &ServerState) -> Reply {
 /// an honest `UNKNOWN`; everything else is an `ERR`.
 fn chase_reply(e: rde_chase::ChaseError) -> Reply {
     match e {
-        rde_chase::ChaseError::Cancelled => Reply::Shed("cancelled (request deadline)".into()),
+        rde_chase::ChaseError::Cancelled => Reply::shed("cancelled (request deadline)"),
         rde_chase::ChaseError::MatchBudgetExhausted { budget: Exhausted::Cancelled } => {
-            Reply::Shed("cancelled (request deadline)".into())
+            Reply::shed("cancelled (request deadline)")
         }
         rde_chase::ChaseError::MatchBudgetExhausted { budget } => {
             Reply::Unknown(budget.to_string())
@@ -562,7 +875,7 @@ fn chase_reply(e: rde_chase::ChaseError) -> Reply {
 
 fn core_reply(e: CoreError) -> Reply {
     match e {
-        CoreError::Cancelled => Reply::Shed("cancelled (request deadline)".into()),
+        CoreError::Cancelled => Reply::shed("cancelled (request deadline)"),
         CoreError::Chase(e) => chase_reply(e),
         e => Reply::Err(e.to_string()),
     }
@@ -614,7 +927,7 @@ fn op_invertible(entry: &MappingEntry, config: &HomConfig) -> Reply {
             display::instance_inline(&vocab, &i2),
         ]),
         BoundedVerdict::Unknown { budget: Exhausted::Cancelled } => {
-            Reply::Shed("cancelled (request deadline)".into())
+            Reply::shed("cancelled (request deadline)")
         }
         BoundedVerdict::Unknown { budget } => Reply::Unknown(budget.to_string()),
     }
@@ -661,7 +974,7 @@ fn op_arrow(
         Verdict::Holds => Reply::Ok(vec!["YES".to_owned()]),
         Verdict::Fails => Reply::Ok(vec!["NO".to_owned()]),
         Verdict::Unknown { budget: Exhausted::Cancelled } => {
-            Reply::Shed("cancelled (request deadline)".into())
+            Reply::shed("cancelled (request deadline)")
         }
         Verdict::Unknown { budget } => Reply::Unknown(budget.to_string()),
     }

@@ -1,0 +1,194 @@
+//! The serve chaos sweep: the daemon's three fault points —
+//! `serve.reload.swap` (a torn generation swap), `serve.quota.refill`
+//! (lost token-bucket accounting), `serve.conn.read` (a read path
+//! failing under a connection) — swept across deterministic seeds
+//! while a client drives requests and concurrent reloads.
+//!
+//! The invariant under every seed, mirroring the engine-level sweep in
+//! `rde-faults`: every reply is typed (`OK`/`ERR`/`SHED`/`UNKNOWN` —
+//! a SHED always carrying a retry hint when it was a quota decision),
+//! the reload accounting the daemon reports equals the outcomes the
+//! client observed, answers stay bit-identical whenever they arrive,
+//! and the accept loop shuts down cleanly. Campaign decisions are a
+//! pure function of `(seed, point, hit)`, so a failing seed replays.
+#![cfg(feature = "fault-inject")]
+
+use std::path::PathBuf;
+
+use rde_faults::{FaultConfig, FaultInjector};
+use rde_serve::protocol::Reply;
+use rde_serve::{spawn, Client, Request, ServeOptions, TenantQuota, UniverseDims};
+
+const SEEDS: u64 = 24;
+
+const SPLIT_V1: &str = "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n";
+const SPLIT_V2: &str = "source: P/3\ntarget: Q/2, R/2\nP(u,v,w) -> Q(u,v) & R(v,w)\n";
+
+fn catalog(seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rde-serve-chaos-{seed}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("split.map"), SPLIT_V1).unwrap();
+    dir
+}
+
+/// Request with reconnect: a `serve.conn.read` fire closes the
+/// connection (after a best-effort typed `ERR`), which a resilient
+/// client sees as either that `ERR` or a socket error on the next
+/// exchange. Both are in-contract; only running out of reconnects is
+/// a failure.
+fn call(client: &mut Option<Client>, addr: std::net::SocketAddr, request: &Request) -> Reply {
+    for _ in 0..16 {
+        let c = match client.as_mut() {
+            Some(c) => c,
+            None => match Client::connect(addr) {
+                Ok(c) => client.insert(c),
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    continue;
+                }
+            },
+        };
+        match c.request(request) {
+            Ok(reply) => return reply,
+            Err(_) => *client = None,
+        }
+    }
+    panic!("no reply after 16 reconnect attempts");
+}
+
+#[test]
+fn fault_points_keep_errors_typed_and_accounting_exact() {
+    let expected_chase = Reply::Ok(vec!["Q(a, b)".to_owned(), "R(b, c)".to_owned()]);
+    // Sweep-wide coverage: each point must both fire and pass at least
+    // once across the seeds, or the sweep exercises nothing. (A
+    // per-seed floor would be wrong: the always-fire seeds never let a
+    // request past the connection point, so the quota and swap points
+    // go unconsulted there by design.)
+    const POINTS: [&str; 3] = ["serve.reload.swap", "serve.quota.refill", "serve.conn.read"];
+    let mut fired = [0u64; 3];
+    let mut passed = [0u64; 3];
+
+    for seed in 0..SEEDS {
+        let dir = catalog(seed);
+        // Rates from every-hit down to 1/8: persistent fires cover the
+        // degraded paths, sparse ones the recovery paths.
+        let always_fire = seed % 4 == 0;
+        let injector =
+            FaultInjector::new(FaultConfig::ratio(seed, 1, 1 << (seed % 4), Some("serve.")));
+        let options = ServeOptions {
+            catalog: dir.clone(),
+            dims: UniverseDims { consts: 1, nulls: 1, facts: 1 },
+            // A generous bucket: cleanly it never sheds the workload
+            // below, but persistent refill faults drain it — both
+            // admission outcomes appear across the sweep.
+            tenant_quotas: vec![TenantQuota::parse("default=1000:8").unwrap()],
+            injector: injector.clone(),
+            ..ServeOptions::default()
+        };
+        let (addr, shutdown, handle) = spawn(options).unwrap();
+        let mut client: Option<Client> = None;
+
+        let mut reloads_ok = 0u64;
+        let mut reloads_rejected = 0u64;
+        let mut last_generation = 1u64;
+        for round in 0..12u64 {
+            let chase = Request::on("CHASE", "split").body_text("P(a, b, c)\n");
+            match call(&mut client, addr, &chase) {
+                reply @ Reply::Ok(_) => {
+                    assert_eq!(
+                        reply, expected_chase,
+                        "seed {seed} round {round}: answers must stay bit-identical"
+                    );
+                }
+                Reply::Shed { reason, retry_after_ms } => {
+                    // The only shed this workload can earn is the
+                    // quota bucket wedged by refill faults — and a
+                    // quota shed always carries its refill hint.
+                    assert!(reason.contains("over quota"), "seed {seed}: {reason}");
+                    assert!(retry_after_ms.is_some(), "seed {seed}: quota sheds carry hints");
+                }
+                Reply::Err(m) => {
+                    assert!(m.contains("injected fault"), "seed {seed}: untyped error: {m}");
+                }
+                Reply::Unknown(m) => panic!("seed {seed}: UNKNOWN from a full-budget chase: {m}"),
+            }
+            if round % 2 == 1 {
+                std::fs::write(
+                    dir.join("split.map"),
+                    if (round / 2) % 2 == 0 { SPLIT_V2 } else { SPLIT_V1 },
+                )
+                .unwrap();
+                match call(&mut client, addr, &Request::bare("RELOAD")) {
+                    Reply::Ok(lines) => {
+                        let generation: u64 =
+                            lines[0].strip_prefix("generation ").unwrap().parse().unwrap();
+                        assert!(generation > last_generation, "seed {seed}: {lines:?}");
+                        last_generation = generation;
+                        reloads_ok += 1;
+                    }
+                    Reply::Err(m) if m.contains("reload rejected") => reloads_rejected += 1,
+                    Reply::Err(m) => {
+                        // The connection-level fault pre-empting the
+                        // request: it never reached the reload path.
+                        assert!(m.contains("injected fault"), "seed {seed}: {m}");
+                    }
+                    Reply::Shed { reason, .. } => {
+                        assert!(reason.contains("over quota"), "seed {seed}: {reason}")
+                    }
+                    other => panic!("seed {seed}: RELOAD answered {other:?}"),
+                }
+            }
+        }
+
+        // The daemon's own books must match what the client observed —
+        // a swap either happened (the client saw `generation N`) or
+        // was rejected with the old catalog intact; nothing in
+        // between. Under an always-fire connection campaign STATS is
+        // unreachable (every request is pre-empted), and there is
+        // nothing to reconcile: no request ever got past the fault.
+        if !always_fire {
+            let mut attempts = 0;
+            let stats = loop {
+                match call(&mut client, addr, &Request::bare("STATS")) {
+                    Reply::Ok(lines) => break lines,
+                    Reply::Err(m) if m.contains("injected fault") => {}
+                    Reply::Shed { .. } => {}
+                    other => panic!("seed {seed}: STATS answered {other:?}"),
+                }
+                attempts += 1;
+                assert!(attempts < 256, "seed {seed}: STATS never got through");
+            };
+            let reload_line = stats.iter().find(|l| l.starts_with("reload ")).unwrap();
+            assert_eq!(
+                reload_line,
+                &format!(
+                    "reload generation={last_generation} ok={reloads_ok} \
+                     rejected={reloads_rejected}"
+                ),
+                "seed {seed}: accounting drifted from observed outcomes"
+            );
+        }
+
+        shutdown.cancel();
+        handle.join().unwrap().unwrap_or_else(|e| panic!("seed {seed}: accept loop died: {e}"));
+        let report = injector.report();
+        for (i, point) in POINTS.iter().enumerate() {
+            if let Some(count) = report.point(point) {
+                assert!(count.fired <= count.hits, "seed {seed}: {point}: fired > hits");
+                fired[i] += count.fired;
+                passed[i] += count.hits - count.fired;
+            }
+        }
+        // Connections flowed under every seed, so the connection point
+        // was always consulted.
+        assert!(
+            report.point("serve.conn.read").is_some_and(|c| c.hits > 0),
+            "seed {seed}: serve.conn.read never consulted"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    for (i, point) in POINTS.iter().enumerate() {
+        assert!(fired[i] > 0, "{point} never fired across the sweep: {fired:?}");
+        assert!(passed[i] > 0, "{point} never passed across the sweep: {passed:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Hostile-input corpus for the serve wire protocol.
+//!
+//! The unit tests in `protocol.rs` check that each limit fires; this
+//! suite checks the stronger property the parser-hardening corpora in
+//! `rde-model`/`rde-deps` established for the file formats: every
+//! hostile frame runs under `catch_unwind` and must produce a typed
+//! [`FrameError`] (or a clean request) — never a panic, never a silent
+//! partial parse. It leans on the places a hand-rolled framer slips:
+//! truncation at every structural boundary, oversized lines and header
+//! floods, NUL and multi-byte UTF-8 damage, missing terminators, and
+//! header smuggling via duplicate keys.
+
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use rde_serve::protocol::{read_request_limited, FrameError, ProtocolLimits};
+
+/// Parse one frame from raw bytes under the default limits.
+fn parse(bytes: &[u8]) -> Result<Option<rde_serve::Request>, FrameError> {
+    read_request_limited(&mut Cursor::new(bytes.to_vec()), &ProtocolLimits::default())
+}
+
+/// Every corpus entry must return *something typed* without panicking.
+fn assert_no_panic(label: &str, bytes: &[u8]) -> Result<Option<rde_serve::Request>, FrameError> {
+    catch_unwind(AssertUnwindSafe(|| parse(bytes)))
+        .unwrap_or_else(|_| panic!("framer panicked on {label}"))
+}
+
+/// Frames cut off mid-structure: EOF before the terminator means the
+/// stream position is untrustworthy, so every one of these must be an
+/// *unrecoverable* error — not a request, and never a panic.
+#[test]
+fn truncated_frames_are_typed_and_unrecoverable() {
+    let truncated: &[(&str, &[u8])] = &[
+        ("op line only", b"CHASE split\n"),
+        ("mid header", b"CHASE split\ntenant=ali"),
+        ("headers, no blank line", b"CHASE split\ndeadline-ms=5\n"),
+        ("blank line, no body", b"CHASE split\n\n"),
+        ("body, no terminator", b"CHASE split\n\nP(a, b, c)\n"),
+        ("terminator missing newline", b"CHASE split\n\nP(a)\n."),
+        ("mid multi-byte char", &"PING \u{00e9}".as_bytes()[..6]),
+    ];
+    for (label, bytes) in truncated {
+        match assert_no_panic(label, bytes) {
+            Err(e) => assert!(!e.recoverable(), "{label}: must be unrecoverable, got {e}"),
+            Ok(req) => panic!("{label}: accepted as {req:?}"),
+        }
+    }
+}
+
+/// Frames whose `.` terminator is intact but whose content violates a
+/// limit: the framer must drain to the terminator and report a
+/// *recoverable* violation, leaving the stream usable for the next
+/// frame (that is what the server's strike counter keys off).
+#[test]
+fn intact_violations_are_recoverable_and_leave_the_stream_aligned() {
+    let limits = ProtocolLimits::default();
+    let oversized_header = format!("CHASE split\nk={}\n\n.\n", "v".repeat(limits.max_line_bytes));
+    let header_flood = format!(
+        "CHASE split\n{}\n.\n",
+        (0..limits.max_headers + 1).map(|i| format!("h{i}=x")).collect::<Vec<_>>().join("\n")
+    );
+    // Just past the body cap but inside the drain budget: violation,
+    // then recovery. (A body big enough to blow the drain budget too
+    // is the unrecoverable case below.)
+    let oversized_body =
+        format!("CHASE split\n\n{}.\n", "P(a)\n".repeat(limits.max_body_bytes / 5 + 200));
+    let corpus: &[(&str, Vec<u8>)] = &[
+        ("oversized header line", oversized_header.into_bytes()),
+        ("header flood", header_flood.into_bytes()),
+        ("oversized body", oversized_body.into_bytes()),
+        ("duplicate header smuggling", b"CHASE split\ntenant=a\ntenant=b\n\n.\n".to_vec()),
+        ("malformed header", b"CHASE split\nno-equals-sign\n\n.\n".to_vec()),
+        ("trailing words on op line", b"CHASE split extra words\n\n.\n".to_vec()),
+        ("NUL in op line", b"CHA\0SE split\n\n.\n".to_vec()),
+        ("NUL in header", b"CHASE split\nk=v\0v\n\n.\n".to_vec()),
+        ("invalid UTF-8 in op", b"CHASE spl\xffit\n\n.\n".to_vec()),
+        ("invalid UTF-8 in body", b"CHASE split\n\nP(\xc3\x28)\n.\n".to_vec()),
+        ("lone continuation byte", b"\x80PING\n\n.\n".to_vec()),
+    ];
+    for (label, bytes) in corpus {
+        match assert_no_panic(label, bytes) {
+            Err(e) => assert!(e.recoverable(), "{label}: should drain + recover, got {e}"),
+            Ok(req) => panic!("{label}: accepted as {req:?}"),
+        }
+    }
+    // Recoverable really means recoverable: after draining a hostile
+    // frame the *next* frame on the same stream parses normally.
+    for (label, bytes) in corpus {
+        let mut stream = bytes.clone();
+        stream.extend_from_slice(b"PING\n\n.\n");
+        let mut cursor = Cursor::new(stream);
+        let err = read_request_limited(&mut cursor, &limits).expect_err("first frame is hostile");
+        assert!(err.recoverable(), "{label}");
+        let next = read_request_limited(&mut cursor, &limits)
+            .unwrap_or_else(|e| panic!("{label}: stream misaligned after drain: {e}"))
+            .unwrap_or_else(|| panic!("{label}: next frame lost"));
+        assert_eq!(next.op, "PING", "{label}");
+    }
+}
+
+/// A violating frame whose drain window never finds the terminator is
+/// unrecoverable — the drain budget caps how much garbage a client can
+/// make the server read before the connection is written off.
+#[test]
+fn drain_budget_exhaustion_is_unrecoverable() {
+    let limits = ProtocolLimits::default();
+    let mut frame = b"CHASE split\nno-equals-sign\n\n".to_vec();
+    frame.extend(std::iter::repeat_n(b'x', limits.drain_budget() + 1024));
+    // No terminator anywhere within the budget.
+    let err = assert_no_panic("drain exhaustion", &frame).expect_err("must error");
+    assert!(!err.recoverable(), "drain ran out: {err}");
+}
+
+/// Byte-level fuzz sweep: every prefix of a valid frame, and the frame
+/// with every single byte overwritten by each of a few hostile bytes.
+/// Deterministic (no RNG) so failures reproduce; the property is only
+/// "typed result, no panic".
+#[test]
+fn mutated_frames_never_panic() {
+    let valid = b"CHASE split\ntenant=alice\ndeadline-ms=50\n\nP(a, b, c)\n.\n";
+    for cut in 0..valid.len() {
+        assert_no_panic(&format!("prefix[..{cut}]"), &valid[..cut]).ok();
+    }
+    for i in 0..valid.len() {
+        for byte in [0x00, 0x0a, 0x2e, 0x3d, 0x80, 0xff] {
+            let mut frame = valid.to_vec();
+            frame[i] = byte;
+            assert_no_panic(&format!("byte {i} -> {byte:#04x}"), &frame).ok();
+        }
+    }
+}

@@ -167,7 +167,11 @@ fn overload_sheds_instead_of_dropping_connections() {
     // is a SHED, and the connection stays usable for the next try.
     for _ in 0..3 {
         let reply = client.request(&Request::bare("PING")).unwrap();
-        assert!(matches!(reply, Reply::Shed(ref m) if m.contains("overloaded")), "{reply:?}");
+        assert!(
+            matches!(reply, Reply::Shed { ref reason, retry_after_ms: Some(_) }
+                if reason.contains("overloaded")),
+            "overload sheds carry a retry hint: {reply:?}"
+        );
     }
     shutdown.cancel();
     handle.join().unwrap().unwrap();
@@ -187,7 +191,7 @@ fn request_budgets_surface_as_unknown_not_errors() {
     // An already-elapsed deadline sheds rather than answering.
     let reply =
         client.request(&Request::on("INVERTIBLE", "merge").header("deadline-ms", 0)).unwrap();
-    assert!(matches!(reply, Reply::Shed(_)), "{reply:?}");
+    assert!(matches!(reply, Reply::Shed { .. }), "{reply:?}");
     // The full-budget answer still comes back on the same connection.
     let Reply::Ok(lines) = client.request(&Request::on("INVERTIBLE", "merge")).unwrap() else {
         panic!("INVERTIBLE failed after budgeted attempts")

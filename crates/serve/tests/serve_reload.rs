@@ -1,0 +1,243 @@
+//! Hot-reload and admission-control e2e: generation swaps under real
+//! concurrent load, rejected swaps that keep the old catalog serving,
+//! warm-cache carry-over, and per-tenant token-bucket sheds — all over
+//! real sockets against an in-process daemon.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use rde_serve::protocol::Reply;
+use rde_serve::{spawn, Client, Request, ServeOptions, TenantQuota, UniverseDims};
+
+/// The two textually different but probe-equivalent versions of the
+/// `split` mapping: renaming the tgd's variables changes the content
+/// fingerprint (forcing a real rebuild on reload) without changing any
+/// answer — which is exactly what the bit-identity assertion needs.
+const SPLIT_V1: &str = "source: P/3\ntarget: Q/2, R/2\nP(x,y,z) -> Q(x,y) & R(y,z)\n";
+const SPLIT_V2: &str = "source: P/3\ntarget: Q/2, R/2\nP(u,v,w) -> Q(u,v) & R(v,w)\n";
+
+fn catalog(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rde-serve-reload-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("split.map"), SPLIT_V1).unwrap();
+    std::fs::write(
+        dir.join("merge.map"),
+        "source: A/1, B/1\ntarget: T/1\nA(x) -> T(x)\nB(x) -> T(x)\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("merge.rev"), "source: T/1\ntarget: A/1, B/1\nT(x) -> A(x) | B(x)\n")
+        .unwrap();
+    dir
+}
+
+fn options(dir: &Path) -> ServeOptions {
+    ServeOptions {
+        catalog: dir.to_path_buf(),
+        dims: UniverseDims { consts: 1, nulls: 1, facts: 1 },
+        ..ServeOptions::default()
+    }
+}
+
+/// The tentpole acceptance test: 64 clients hammer `CHASE split` while
+/// the catalog is reloaded out from under them (alternating between
+/// the two equivalent texts, so every other swap really rebuilds the
+/// mapping). Zero dropped requests, zero non-bit-identical answers.
+#[test]
+fn generation_swaps_under_load_keep_answers_bit_identical() {
+    let dir = catalog("load");
+    let (addr, shutdown, handle) = spawn(options(&dir)).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..64)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let expected =
+                    vec![format!("Q(a{i}, b)"), "R(b, c)".to_owned(), "R(b, d)".to_owned()];
+                let mut served = 0u32;
+                while !stop.load(Ordering::Relaxed) || served < 8 {
+                    let reply = client
+                        .request(
+                            &Request::on("CHASE", "split")
+                                .body_text(&format!("P(a{i}, b, c)\nP(a{i}, b, d)\n")),
+                        )
+                        .unwrap();
+                    let Reply::Ok(lines) = reply else {
+                        panic!("client {i}: dropped/degraded mid-reload: {reply:?}")
+                    };
+                    assert_eq!(lines, expected, "client {i}: answer changed across a swap");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Reload repeatedly while the fleet runs; every swap must succeed
+    // and the generation must be strictly increasing.
+    let mut admin = Client::connect(addr).unwrap();
+    let mut last_generation = 1u64;
+    for round in 0..6 {
+        std::fs::write(dir.join("split.map"), if round % 2 == 0 { SPLIT_V2 } else { SPLIT_V1 })
+            .unwrap();
+        let reply = admin.request(&Request::bare("RELOAD")).unwrap();
+        let Reply::Ok(lines) = reply else { panic!("round {round}: reload failed: {reply:?}") };
+        let generation: u64 = lines[0].strip_prefix("generation ").unwrap().parse().unwrap();
+        assert!(generation > last_generation, "monotone generations: {lines:?}");
+        last_generation = generation;
+        assert_eq!(lines[1], "mappings 2", "{lines:?}");
+        // `split` changed, `merge` did not: exactly one entry carries
+        // its warm cache over each round.
+        assert_eq!(lines[2], "carried 1", "{lines:?}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total = 0u32;
+    for worker in workers {
+        total += worker.join().unwrap();
+    }
+    assert!(total >= 64 * 8, "every client kept being served: {total}");
+
+    // STATS reports the reload history the swaps above produced.
+    let Reply::Ok(stats) = admin.request(&Request::bare("STATS")).unwrap() else {
+        panic!("STATS failed")
+    };
+    let reload_line = stats.iter().find(|l| l.starts_with("reload ")).unwrap();
+    assert_eq!(
+        reload_line,
+        &format!("reload generation={last_generation} ok=6 rejected=0"),
+        "{stats:?}"
+    );
+    shutdown.cancel();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted catalog entry must reject the whole swap — the previous
+/// generation keeps serving, and a later fixed reload goes through.
+#[test]
+fn corrupted_catalog_rejects_swap_and_keeps_serving() {
+    let dir = catalog("corrupt");
+    let (addr, shutdown, handle) = spawn(options(&dir)).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+
+    std::fs::write(dir.join("split.map"), "source: P/3\nthis is not a mapping\n").unwrap();
+    let reply = client.request(&Request::bare("RELOAD")).unwrap();
+    assert!(
+        matches!(reply, Reply::Err(ref m) if m.contains("reload rejected")),
+        "broken catalog must not swap: {reply:?}"
+    );
+
+    // The old generation still answers, bit-identically.
+    let chase = client.request(&Request::on("CHASE", "split").body_text("P(a, b, c)\n")).unwrap();
+    assert_eq!(chase, Reply::Ok(vec!["Q(a, b)".into(), "R(b, c)".into()]));
+
+    // STATS shows the rejection and the unmoved generation.
+    let Reply::Ok(stats) = client.request(&Request::bare("STATS")).unwrap() else {
+        panic!("STATS failed")
+    };
+    assert!(stats.iter().any(|l| l == "reload generation=1 ok=0 rejected=1"), "{stats:?}");
+
+    // Fixing the file makes the next reload succeed.
+    std::fs::write(dir.join("split.map"), SPLIT_V2).unwrap();
+    let Reply::Ok(lines) = client.request(&Request::bare("RELOAD")).unwrap() else {
+        panic!("fixed reload must swap")
+    };
+    assert_eq!(lines[0], "generation 2", "{lines:?}");
+    let chase = client.request(&Request::on("CHASE", "split").body_text("P(a, b, c)\n")).unwrap();
+    assert_eq!(chase, Reply::Ok(vec!["Q(a, b)".into(), "R(b, c)".into()]));
+
+    shutdown.cancel();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A reload with *nothing* changed carries every entry (warm caches
+/// and all) — the swap is pure bookkeeping.
+#[test]
+fn unchanged_reload_carries_every_entry() {
+    let dir = catalog("carry");
+    let (addr, shutdown, handle) = spawn(options(&dir)).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    let Reply::Ok(lines) = client.request(&Request::bare("RELOAD")).unwrap() else {
+        panic!("no-op reload must still swap")
+    };
+    assert_eq!(lines, vec!["generation 2", "mappings 2", "carried 2"]);
+    shutdown.cancel();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Per-tenant token buckets: a flooding tenant is shed with the
+/// bucket's own refill time as a retry hint while an unquoted tenant
+/// sails through; the `default` bucket covers anonymous requests.
+#[test]
+fn tenant_quotas_shed_floods_with_retry_hints() {
+    let dir = catalog("quota");
+    let opts = ServeOptions {
+        // Slow refill, burst of 2: the third request within the window
+        // must shed, and the hint must reflect the 2-second token.
+        tenant_quotas: vec![TenantQuota::parse("noisy=0.5:2").unwrap()],
+        ..options(&dir)
+    };
+    let (addr, shutdown, handle) = spawn(opts).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+
+    let noisy = Request::bare("PING").header("tenant", "noisy");
+    for i in 0..2 {
+        assert_eq!(
+            client.request(&noisy).unwrap(),
+            Reply::Ok(vec!["pong".into()]),
+            "burst admits request {i}"
+        );
+    }
+    let reply = client.request(&noisy).unwrap();
+    let Reply::Shed { reason, retry_after_ms: Some(ms) } = reply else {
+        panic!("over-quota must shed with a hint: {reply:?}")
+    };
+    assert!(reason.contains("`noisy` over quota"), "{reason}");
+    assert!((1_000..=2_100).contains(&ms), "hint tracks the 0.5 rps refill: {ms}ms");
+
+    // An unconfigured tenant has no bucket at all (there is no
+    // `default` quota here): unlimited.
+    let quiet = Request::bare("PING").header("tenant", "quiet");
+    for _ in 0..16 {
+        assert_eq!(client.request(&quiet).unwrap(), Reply::Ok(vec!["pong".into()]));
+    }
+    // The flooding tenant's sheds are visible per tenant and reason.
+    let Reply::Ok(metrics) = client.request(&Request::bare("METRICS")).unwrap() else {
+        panic!("METRICS failed")
+    };
+    assert!(
+        metrics.iter().any(|l| l.starts_with("serve_shed{")
+            && l.contains("tenant=\"noisy\"")
+            && l.contains("reason=\"quota\"")),
+        "{metrics:?}"
+    );
+    shutdown.cancel();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A `default` quota covers requests with no tenant header at all.
+#[test]
+fn default_quota_covers_anonymous_tenants() {
+    let dir = catalog("anon");
+    let opts = ServeOptions {
+        tenant_quotas: vec![TenantQuota::parse("default=0.5:1").unwrap()],
+        ..options(&dir)
+    };
+    let (addr, shutdown, handle) = spawn(opts).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request(&Request::bare("PING")).unwrap(), Reply::Ok(vec!["pong".into()]));
+    let reply = client.request(&Request::bare("PING")).unwrap();
+    assert!(
+        matches!(reply, Reply::Shed { ref reason, retry_after_ms: Some(_) }
+            if reason.contains("`default` over quota")),
+        "{reply:?}"
+    );
+    shutdown.cancel();
+    handle.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
