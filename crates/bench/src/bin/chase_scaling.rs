@@ -1,6 +1,7 @@
 //! Chase strategy scaling experiment: measures naive vs semi-naive vs
-//! parallel collection, and the row vs columnar instance backend on
-//! the same seeds, on the recursive null-chord workload. Writes
+//! parallel collection vs the restricted (Standard-mode) variant, and
+//! the row vs columnar instance backend on the same seeds, on the
+//! recursive null-chord workload. Writes
 //! `BENCH_chase.json` (repo root, or the path given as the first
 //! argument) as the recorded baseline.
 //!
@@ -9,7 +10,7 @@
 use std::time::Instant;
 
 use rde_bench::workloads;
-use rde_chase::{chase, ChaseOptions, ChaseResult, ChaseStrategy};
+use rde_chase::{chase, ChaseOptions, ChaseResult, ChaseStrategy, ChaseVariant};
 use rde_model::{BackendKind, Fact, Instance, Vocabulary};
 
 /// Mean wall-clock seconds per run (few repetitions; the chase runs
@@ -53,7 +54,7 @@ fn main() {
         .unwrap_or_else(|| "BENCH_chase.json".to_string());
     let mut rows = Vec::new();
     println!(
-        "{:>6} {:>5} {:>7} {:>10} {:>10} {:>10} {:>10} {:>11} {:>11}",
+        "{:>6} {:>5} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>11}",
         "nodes",
         "deps",
         "facts",
@@ -61,6 +62,7 @@ fn main() {
         "row_ms",
         "col_ms",
         "par_ms",
+        "restr_ms",
         "row_nodes",
         "col_nodes"
     );
@@ -83,6 +85,7 @@ fn main() {
                 threads: 0,
                 ..ChaseOptions::default()
             };
+            let restricted = ChaseOptions::for_variant(ChaseVariant::Restricted);
             let (t_naive, r_naive) = time_chase(&vocab, &inst_row, &deps, &naive, reps);
             let us0 = round_us();
             let (t_row, r_row) = time_chase(&vocab, &inst_row, &deps, &semi, reps);
@@ -90,7 +93,12 @@ fn main() {
             let (t_col, r_col) = time_chase(&vocab, &inst_col, &deps, &semi, reps);
             let us2 = round_us();
             let (t_par, r_par) = time_chase(&vocab, &inst_row, &deps, &par, reps);
+            let (t_res, r_res) = time_chase(&vocab, &inst_row, &deps, &restricted, reps);
             assert_eq!(r_naive.instance, r_row.instance, "strategies must agree exactly");
+            assert!(
+                r_res.instance.len() <= r_row.instance.len(),
+                "the restricted chase never mints facts the oblivious one skipped"
+            );
             assert_eq!(r_row.instance, r_par.instance, "thread count must not matter");
             assert_eq!(
                 fact_seq(&r_row.instance),
@@ -101,7 +109,7 @@ fn main() {
             let row_round_us = (us1 - us0) / reps as u64;
             let col_round_us = (us2 - us1) / reps as u64;
             println!(
-                "{:>6} {:>5} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11} {:>11}",
+                "{:>6} {:>5} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>11} {:>11}",
                 nodes,
                 deps.len(),
                 r_row.instance.len(),
@@ -109,6 +117,7 @@ fn main() {
                 t_row * 1e3,
                 t_col * 1e3,
                 t_par * 1e3,
+                t_res * 1e3,
                 r_row.hom.nodes,
                 r_col.hom.nodes
             );
@@ -116,7 +125,9 @@ fn main() {
                 concat!(
                     "    {{\"nodes\": {}, \"deps\": {}, \"rounds\": {}, \"fired\": {}, ",
                     "\"result_facts\": {}, \"naive_ms\": {:.3}, \"semi_naive_ms\": {:.3}, ",
-                    "\"parallel_ms\": {:.3}, \"speedup_semi_vs_naive\": {:.2}, ",
+                    "\"parallel_ms\": {:.3}, \"restricted_ms\": {:.3}, ",
+                    "\"restricted_fired\": {}, \"restricted_facts\": {}, ",
+                    "\"speedup_semi_vs_naive\": {:.2}, ",
                     "\"row_ms\": {:.3}, \"columnar_ms\": {:.3}, ",
                     "\"row_round_us\": {}, \"columnar_round_us\": {}, ",
                     "\"row_hom_nodes\": {}, \"columnar_hom_nodes\": {}}}"
@@ -129,6 +140,9 @@ fn main() {
                 t_naive * 1e3,
                 t_row * 1e3,
                 t_par * 1e3,
+                t_res * 1e3,
+                r_res.fired,
+                r_res.instance.len(),
                 speedup,
                 t_row * 1e3,
                 t_col * 1e3,
@@ -149,7 +163,8 @@ fn main() {
             "  \"workload\": \"cycle graph + labeled-null chords; copy E into T, linear closure ",
             "T(x,y) & E(y,z) -> T(x,z), triangle rule with a fully bound premise atom, ",
             "plus side-output rules\",\n",
-            "  \"modes\": [\"naive\", \"semi_naive\", \"semi_naive+parallel(threads=auto)\"],\n",
+            "  \"modes\": [\"naive\", \"semi_naive\", ",
+            "\"semi_naive+parallel(threads=auto)\", \"restricted\"],\n",
             "  \"backends\": [\"row\", \"columnar\"],\n",
             "  \"results\": [\n{}\n  ],\n",
             "  \"metrics\": {}\n}}\n"

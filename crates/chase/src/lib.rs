@@ -55,5 +55,5 @@ pub use error::ChaseError;
 pub use plan::{FiringTemplate, MatchReport, PremisePlan, SatisfactionPlan};
 pub use standard::{
     chase, chase_mapping, chase_mapping_default, ChaseMode, ChaseOptions, ChaseResult,
-    ChaseStrategy, FiringRecord, RoundStats,
+    ChaseStrategy, ChaseVariant, FiringRecord, RoundStats,
 };

@@ -62,6 +62,97 @@ pub enum ChaseStrategy {
     SemiNaive,
 }
 
+/// A named point in the Grahne–Onet chase design space: the selector
+/// the CLI (`--variant`), the serve `variant` request header, and the
+/// per-variant round metrics all speak. Each variant resolves to a
+/// ([`ChaseMode`], [`ChaseStrategy`]) pair on [`ChaseOptions`]; the two
+/// axes stay independently settable for ablation, and
+/// [`ChaseOptions::variant`] maps any combination back to its name
+/// (every Standard-mode run reports as `restricted`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaseVariant {
+    /// Oblivious firing, full re-enumeration every round
+    /// ([`ChaseMode::Oblivious`] + [`ChaseStrategy::Naive`]).
+    Naive,
+    /// Oblivious firing, delta-driven rounds
+    /// ([`ChaseMode::Oblivious`] + [`ChaseStrategy::SemiNaive`]).
+    SemiNaive,
+    /// The restricted (non-oblivious) chase: a trigger whose conclusion
+    /// is already satisfied in the live instance is skipped, checked
+    /// with the compiled [`SatisfactionPlan`]s
+    /// ([`ChaseMode::Standard`] + [`ChaseStrategy::SemiNaive`]).
+    /// Hom-equivalent to the oblivious variants on terminating inputs,
+    /// with smaller results; terminates on strictly more inputs.
+    Restricted,
+}
+
+impl Default for ChaseVariant {
+    /// [`ChaseVariant::SemiNaive`] normally. The `restricted-default`
+    /// cargo feature flips it to [`ChaseVariant::Restricted`]
+    /// (mirroring `rde-model/columnar-default`) so the whole test suite
+    /// replays under the restricted chase; tests about a *specific*
+    /// variant's semantics must name it explicitly.
+    fn default() -> Self {
+        if cfg!(feature = "restricted-default") {
+            ChaseVariant::Restricted
+        } else {
+            ChaseVariant::SemiNaive
+        }
+    }
+}
+
+impl ChaseVariant {
+    /// Every variant, in CLI order. Differential tests sweep this.
+    pub const ALL: [ChaseVariant; 3] =
+        [ChaseVariant::Naive, ChaseVariant::SemiNaive, ChaseVariant::Restricted];
+
+    /// The firing discipline this variant resolves to.
+    pub fn mode(self) -> ChaseMode {
+        match self {
+            ChaseVariant::Naive | ChaseVariant::SemiNaive => ChaseMode::Oblivious,
+            ChaseVariant::Restricted => ChaseMode::Standard,
+        }
+    }
+
+    /// The trigger-enumeration strategy this variant resolves to.
+    pub fn strategy(self) -> ChaseStrategy {
+        match self {
+            ChaseVariant::Naive => ChaseStrategy::Naive,
+            ChaseVariant::SemiNaive | ChaseVariant::Restricted => ChaseStrategy::SemiNaive,
+        }
+    }
+
+    /// The wire/CLI name, also used as the `variant` metric label.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaseVariant::Naive => "naive",
+            ChaseVariant::SemiNaive => "semi-naive",
+            ChaseVariant::Restricted => "restricted",
+        }
+    }
+}
+
+impl std::fmt::Display for ChaseVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for ChaseVariant {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "naive" => Ok(ChaseVariant::Naive),
+            "semi-naive" => Ok(ChaseVariant::SemiNaive),
+            "restricted" => Ok(ChaseVariant::Restricted),
+            other => Err(format!(
+                "unknown chase variant {other:?} (expected 'naive', 'semi-naive', or 'restricted')"
+            )),
+        }
+    }
+}
+
 /// Budgets, mode, and strategy for the standard chase.
 #[derive(Debug, Clone)]
 pub struct ChaseOptions {
@@ -106,9 +197,10 @@ pub struct ChaseOptions {
 
 impl Default for ChaseOptions {
     fn default() -> Self {
+        let variant = ChaseVariant::default();
         ChaseOptions {
-            mode: ChaseMode::Oblivious,
-            strategy: ChaseStrategy::SemiNaive,
+            mode: variant.mode(),
+            strategy: variant.strategy(),
             threads: 1,
             max_rounds: 256,
             max_facts: 1_000_000,
@@ -117,6 +209,33 @@ impl Default for ChaseOptions {
             ctx: ExecContext::default(),
             checkpoint: None,
             resume_from: None,
+        }
+    }
+}
+
+impl ChaseOptions {
+    /// Default options resolved for a named variant.
+    pub fn for_variant(variant: ChaseVariant) -> ChaseOptions {
+        ChaseOptions::default().with_variant(variant)
+    }
+
+    /// Set the (mode, strategy) pair from a named variant.
+    #[must_use]
+    pub fn with_variant(mut self, variant: ChaseVariant) -> ChaseOptions {
+        self.mode = variant.mode();
+        self.strategy = variant.strategy();
+        self
+    }
+
+    /// The named variant these options occupy. The Standard firing
+    /// discipline defines the restricted chase, so any Standard-mode
+    /// combination reports as [`ChaseVariant::Restricted`] regardless
+    /// of enumeration strategy.
+    pub fn variant(&self) -> ChaseVariant {
+        match (self.mode, self.strategy) {
+            (ChaseMode::Standard, _) => ChaseVariant::Restricted,
+            (ChaseMode::Oblivious, ChaseStrategy::Naive) => ChaseVariant::Naive,
+            (ChaseMode::Oblivious, ChaseStrategy::SemiNaive) => ChaseVariant::SemiNaive,
         }
     }
 }
@@ -253,6 +372,15 @@ fn collect_dep(
             if fired.contains(vals) || !local.insert(vals.to_vec()) {
                 out.duplicates += 1;
                 return true;
+            }
+            // Deterministic chaos: a campaign firing here models the
+            // restricted-chase satisfaction check dying mid-search (a
+            // torn index, a poisoned backend). It must surface exactly
+            // like a genuine budget cut — a typed error, never a
+            // silently unsound skip-or-fire decision.
+            if mode == ChaseMode::Standard && hom.ctx.should_inject("chase.restricted.check") {
+                exhausted.set(Some(Exhausted::Nodes(0)));
+                return false;
             }
             let satisfied = mode == ChaseMode::Standard
                 && match plan.satisfaction.satisfiable_budgeted(current, vals, hom, &mut stats) {
@@ -597,6 +725,14 @@ pub fn chase(
         for (di, vals) in pending {
             let plan = &plans[di];
             if options.mode == ChaseMode::Standard {
+                // Same chaos point as the collection-phase pre-check:
+                // the sequential re-check can die too, and must fail
+                // just as loudly.
+                if options.ctx.should_inject("chase.restricted.check") {
+                    rde_obs::counter!("chase.budget.match_exhausted").inc();
+                    rde_obs::event("chase.budget_exhausted", &[("kind", "recheck".into())]);
+                    return Err(ChaseError::MatchBudgetExhausted { budget: Exhausted::Nodes(0) });
+                }
                 // Sequential semantics: an earlier firing in this round
                 // may have satisfied this trigger already.
                 match plan.satisfaction.satisfiable_budgeted(
@@ -658,14 +794,20 @@ pub fn chase(
         }
         hom_total += stats.hom;
         // Metrics are always on (no `trace` feature needed): per-round
-        // wall time plus cumulative trigger/fact counters.
+        // wall time plus cumulative trigger/fact counters. Each round
+        // also lands on a per-variant labeled series so naive /
+        // semi-naive / restricted runs are separable in one registry.
+        let variant_label = [("variant", options.variant().name())];
         rde_obs::counter!("chase.rounds").inc();
+        rde_obs::labeled_counter("chase.rounds", &variant_label).inc();
         rde_obs::counter!("chase.matches").add(stats.matches);
         rde_obs::counter!("chase.triggers.fired").add(stats.fired);
+        rde_obs::labeled_counter("chase.triggers.fired", &variant_label).add(stats.fired);
         rde_obs::counter!("chase.facts.inserted").add(stats.inserted as u64);
         rde_obs::histogram!("chase.round.delta").record(stats.delta as u64);
-        rde_obs::histogram!("chase.round.us")
-            .record(u64::try_from(round_start.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let round_us = u64::try_from(round_start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        rde_obs::histogram!("chase.round.us").record(round_us);
+        rde_obs::labeled_histogram("chase.round.us", &variant_label).record(round_us);
         round_span.close_with(&[
             ("matches", stats.matches.into()),
             ("duplicates", stats.duplicates.into()),
@@ -804,7 +946,12 @@ mod tests {
         let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)")
             .unwrap();
         let i = parse_instance(&mut v, "P(a, b)\nP(a, c)").unwrap();
-        let oblivious = chase_mapping_default(&i, &m, &mut v).unwrap();
+        // This test is *about* the oblivious/standard contrast, so both
+        // sides name their variant (the build-wide default may be
+        // flipped by the restricted-default feature).
+        let oblivious =
+            chase_mapping(&i, &m, &mut v, &ChaseOptions::for_variant(ChaseVariant::SemiNaive))
+                .unwrap();
         assert_eq!(oblivious.len(), 2);
         let opts = ChaseOptions { mode: ChaseMode::Standard, ..ChaseOptions::default() };
         let standard = chase_mapping(&i, &m, &mut v, &opts).unwrap();
@@ -1151,6 +1298,44 @@ mod tests {
         let err = chase(&i, &[dep, extra], &mut v, &resume).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert!(matches!(err, ChaseError::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn variants_resolve_to_their_mode_strategy_pairs() {
+        assert_eq!(ChaseVariant::Naive.mode(), ChaseMode::Oblivious);
+        assert_eq!(ChaseVariant::Naive.strategy(), ChaseStrategy::Naive);
+        assert_eq!(ChaseVariant::SemiNaive.mode(), ChaseMode::Oblivious);
+        assert_eq!(ChaseVariant::SemiNaive.strategy(), ChaseStrategy::SemiNaive);
+        assert_eq!(ChaseVariant::Restricted.mode(), ChaseMode::Standard);
+        assert_eq!(ChaseVariant::Restricted.strategy(), ChaseStrategy::SemiNaive);
+        // Round-trip: options built from a variant report that variant.
+        for v in ChaseVariant::ALL {
+            assert_eq!(ChaseOptions::for_variant(v).variant(), v);
+            assert_eq!(v.name().parse::<ChaseVariant>().unwrap(), v);
+        }
+        // A Standard-mode ablation combo still reports as restricted.
+        let odd = ChaseOptions {
+            mode: ChaseMode::Standard,
+            strategy: ChaseStrategy::Naive,
+            ..ChaseOptions::default()
+        };
+        assert_eq!(odd.variant(), ChaseVariant::Restricted);
+        assert!("oblivious".parse::<ChaseVariant>().is_err());
+    }
+
+    #[test]
+    fn restricted_variant_matches_standard_mode_results() {
+        let mut v = Vocabulary::new();
+        let m = parse_mapping(&mut v, "source: P/2\ntarget: Q/2\nP(x, y) -> exists z . Q(x, z)")
+            .unwrap();
+        let i = parse_instance(&mut v, "P(a, b)\nP(a, c)\nP(b, c)").unwrap();
+        let restricted =
+            chase_mapping(&i, &m, &mut v, &ChaseOptions::for_variant(ChaseVariant::Restricted))
+                .unwrap();
+        assert_eq!(restricted.len(), 2, "one Q per distinct first component");
+        let naive =
+            chase_mapping(&i, &m, &mut v, &ChaseOptions::for_variant(ChaseVariant::Naive)).unwrap();
+        assert!(rde_hom::hom_equivalent(&naive, &restricted));
     }
 
     #[test]

@@ -94,7 +94,7 @@ USAGE:
                   [--node-budget N] [--time-budget-ms N] [--retries N]
                   [--deadline-ms N] [--stats] [--metrics] [--trace-out PATH]
                   [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
-                  [--backend row|columnar]
+                  [--backend row|columnar] [--variant naive|semi-naive|restricted]
 
 COMMANDS:
     chase    <mapping> <instance>             canonical universal solution chase_M(I)
@@ -113,6 +113,10 @@ COMMANDS:
     eval     <instance> <query>               q(I) and q(I)↓
     minimize-query <query>                    CQ minimization (core of the query)
     normalize <mapping>                       tgd normal form (split conclusions)
+    analyze  <mapping>                        static chase-termination analysis: weak
+                                              acyclicity / stratification verdict, the
+                                              offending cycle if unproven, and suggested
+                                              round/node budgets (exit 1 when unproven)
     compose  <mapping12> <mapping23>          syntactic composition (m12 full tgds)
     faithful <mapping> <reverse>              universal-faithfulness check (Def 6.1)
     profile  <mapping> <instance>             chase under tracing; print the span-tree
@@ -129,6 +133,7 @@ COMMANDS:
                                               [--access-log PATH] [--trace-slow-ms N]
                                               [--tenant-quota NAME=rps[:burst]]…
                                               [--conn-idle-ms N] [--max-strikes N]
+                                              [--require-terminating]
     call     <addr> <op> [args…]              one request against a running daemon;
                                               op ∈ ping|list|stats|metrics|reload
                                               | invertible <mapping>
@@ -173,6 +178,23 @@ row). The columnar backend dictionary-encodes values and buckets rows
 by null pattern, pruning premise-match candidates; results are
 bit-identical across backends — compare --metrics or `rde profile`
 output to see the work difference (chase.bucket.scanned/skipped).
+
+--variant {naive,semi-naive,restricted} picks the chase variant for
+every chase the command runs. naive and semi-naive are oblivious (every
+trigger fires; semi-naive only re-matches against each round's delta);
+restricted skips a trigger whose conclusion is already satisfied in the
+live instance, trading a satisfaction check per trigger for a smaller
+result. All three produce hom-equivalent results with identical cores.
+For `call`, the flag is forwarded as the `variant` request header.
+
+`analyze MAPPING` proves chase termination statically when it can:
+weakly-acyclic (no position-graph cycle through a null-inventing
+special edge), else stratified (every firing-graph stratum weakly
+acyclic on its own, with Constant guards breaking null-fed cycles),
+else unproven — then the offending cycle is printed and the exit
+status is 1. Suggested --max-rounds/--node-budget caps scale with the
+proven rank. `serve --require-terminating` runs the same analysis at
+catalog load and rejects unproven entries with a typed error.
 
 `serve` prints `listening on HOST:PORT` once ready (`--addr` port 0
 picks a free port) and runs until Ctrl-C, then drains in-flight
@@ -246,6 +268,7 @@ pub fn run(args: &[String]) -> Result<(), CliError> {
         "eval" => cmd_eval(&opts),
         "minimize-query" => cmd_minimize_query(&opts),
         "normalize" => cmd_normalize(&opts),
+        "analyze" => cmd_analyze(&opts),
         "compose" => cmd_compose(&opts),
         "faithful" => cmd_faithful(&opts),
         "profile" => cmd_profile(&opts),
@@ -309,7 +332,8 @@ fn hom_config(opts: &Options) -> HomConfig {
 }
 
 /// Chase options for the chase-driving commands: the command's context
-/// plus any `--checkpoint`/`--resume` flags.
+/// plus any `--checkpoint`/`--resume` flags, on the `--variant` chase
+/// (the build default when the flag is absent).
 fn chase_options(opts: &Options) -> ChaseOptions {
     ChaseOptions {
         hom: hom_config(opts),
@@ -319,7 +343,7 @@ fn chase_options(opts: &Options) -> ChaseOptions {
             .as_deref()
             .map(|path| CheckpointPolicy::new(path, opts.checkpoint_every)),
         resume_from: opts.resume.as_deref().map(Into::into),
-        ..ChaseOptions::default()
+        ..ChaseOptions::for_variant(opts.variant.unwrap_or_default())
     }
 }
 
@@ -754,6 +778,26 @@ const ACCESS_LOG_MAX_BYTES: u64 = 64 << 20;
 const ACCESS_LOG_KEEP: usize = 4;
 
 /// `rde serve <catalog-dir>` — run the mapping daemon until Ctrl-C.
+fn cmd_analyze(opts: &Options) -> Result<(), CliError> {
+    let mut vocab = Vocabulary::new();
+    let path = opts.positional(0, "mapping file")?;
+    let mapping = load_mapping(&mut vocab, path)?;
+    let ctx = exec_context(opts);
+    let report = rde_deps::analyze_mapping(&mapping, &ctx).map_err(|e| match e {
+        rde_deps::AnalyzeError::Cancelled => CliError::Cancelled,
+        e => CliError::Message(e.to_string()),
+    })?;
+    print!("{}", report.render(&vocab));
+    if !report.verdict.is_terminating() {
+        return Err(CliError::Message(format!(
+            "termination unproven for `{path}`; chase it only with explicit budgets \
+             (e.g. --node-budget {})",
+            report.suggested_node_budget
+        )));
+    }
+    Ok(())
+}
+
 fn cmd_serve(opts: &Options) -> Result<(), CliError> {
     use std::io::Write as _;
     let catalog = opts.positional(0, "catalog directory")?;
@@ -788,6 +832,7 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         tenant_quotas,
         idle_timeout,
         max_strikes: opts.max_strikes.unwrap_or(defaults.max_strikes),
+        require_terminating: opts.require_terminating,
         ..defaults
     };
     // --access-log points the process journal at a rotating file: one
@@ -977,6 +1022,9 @@ fn cmd_call(opts: &Options) -> Result<(), CliError> {
     }
     if let Some(tenant) = &opts.tenant {
         request = request.header("tenant", tenant);
+    }
+    if let Some(variant) = opts.variant {
+        request = request.header("variant", variant.name());
     }
     let mut client = rde_serve::Client::connect(addr).map_err(|e| e.to_string())?;
     client.set_deadline(opts.deadline_ms.map(Duration::from_millis)).map_err(|e| e.to_string())?;

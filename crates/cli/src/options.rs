@@ -1,5 +1,6 @@
 //! Flag parsing for the `rde` CLI.
 
+use rde_chase::ChaseVariant;
 use rde_model::BackendKind;
 
 /// Parsed command-line options: positional arguments plus the bounded-
@@ -94,6 +95,14 @@ pub struct Options {
     /// `--tenant NAME`: (call) tenant identity sent with each request
     /// (the server's quota buckets key on it).
     pub tenant: Option<String>,
+    /// `--variant {naive,semi-naive,restricted}`: chase variant for
+    /// every chase the command runs (and, for `call`, the `variant`
+    /// header sent to the server). `None` = the build's default
+    /// variant; `call` then sends no header and the server picks.
+    pub variant: Option<ChaseVariant>,
+    /// `--require-terminating`: (serve) reject catalog entries whose
+    /// termination the static analyzer cannot prove.
+    pub require_terminating: bool,
 }
 
 impl Default for Options {
@@ -129,6 +138,8 @@ impl Default for Options {
             conn_idle_ms: None,
             max_strikes: None,
             tenant: None,
+            variant: None,
+            require_terminating: false,
         }
     }
 }
@@ -297,6 +308,17 @@ impl Options {
                         it.next().ok_or_else(|| "--tenant requires a name".to_string())?.clone(),
                     );
                 }
+                "--variant" => {
+                    opts.variant = Some(
+                        it.next()
+                            .ok_or_else(|| {
+                                "--variant requires `naive`, `semi-naive`, or `restricted`"
+                                    .to_string()
+                            })?
+                            .parse::<ChaseVariant>()?,
+                    );
+                }
+                "--require-terminating" => opts.require_terminating = true,
                 "--metrics" => opts.metrics = true,
                 "--stats" => opts.stats = true,
                 other if other.starts_with("--") => {
@@ -477,6 +499,23 @@ mod tests {
         assert!(Options::parse(&strings(&["--conn-idle-ms", "soon"])).is_err());
         assert!(Options::parse(&strings(&["--max-strikes"])).is_err());
         assert!(Options::parse(&strings(&["--tenant"])).is_err());
+    }
+
+    #[test]
+    fn variant_and_termination_flags() {
+        let o = Options::parse(&strings(&["m.map", "--variant", "restricted"])).unwrap();
+        assert_eq!(o.variant, Some(ChaseVariant::Restricted));
+        let o = Options::parse(&strings(&["m.map", "--variant", "naive"])).unwrap();
+        assert_eq!(o.variant, Some(ChaseVariant::Naive));
+        let o = Options::parse(&strings(&["m.map", "--variant", "semi-naive"])).unwrap();
+        assert_eq!(o.variant, Some(ChaseVariant::SemiNaive));
+        let o = Options::parse(&strings(&["dir", "--require-terminating"])).unwrap();
+        assert!(o.require_terminating);
+        let o = Options::parse(&strings(&["m.map"])).unwrap();
+        assert_eq!(o.variant, None, "no flag means the build default, no header");
+        assert!(!o.require_terminating);
+        assert!(Options::parse(&strings(&["--variant"])).is_err());
+        assert!(Options::parse(&strings(&["--variant", "oblivious"])).is_err());
     }
 
     #[test]

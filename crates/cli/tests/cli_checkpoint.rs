@@ -126,6 +126,66 @@ fn killed_run_resumes_bit_identical_to_an_uninterrupted_one() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The same no-mercy contract under `--variant restricted`: the
+/// Standard-mode chase consults the live instance before every firing,
+/// so its round state is genuinely different from the oblivious one —
+/// and a SIGKILLed restricted run resumed from its snapshot must still
+/// land byte-identical on an uninterrupted restricted run.
+#[test]
+fn killed_restricted_run_resumes_bit_identical() {
+    let dir = tmpdir("kill-restricted");
+    let (map, inst) = write_workload(&dir, 96);
+    let ck = dir.join("kill-restricted.snap");
+    let ck_str = ck.to_string_lossy().into_owned();
+
+    let reference =
+        rde().args(["chase", &map, &inst, "--variant", "restricted"]).output().expect("spawn rde");
+    assert_eq!(reference.status.code(), Some(0));
+
+    let mut victim = rde()
+        .args([
+            "chase",
+            &map,
+            &inst,
+            "--variant",
+            "restricted",
+            "--checkpoint",
+            &ck_str,
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn rde");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !ck.exists() {
+        assert!(Instant::now() < deadline, "no checkpoint appeared within 60s");
+        if victim.try_wait().expect("poll victim").is_some() {
+            break; // Finished before we could kill it; resume still must agree.
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    victim.kill().ok();
+    victim.wait().expect("reap victim");
+    assert!(ck.exists(), "the victim must have left a snapshot behind");
+
+    let resumed = rde()
+        .args(["chase", &map, &inst, "--variant", "restricted", "--resume", &ck_str])
+        .output()
+        .expect("spawn rde");
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "restricted kill-and-resume must land on the uninterrupted run's bytes"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A malformed snapshot is an ordinary, clearly-worded error — not a
 /// panic, not silent recomputation.
 #[test]

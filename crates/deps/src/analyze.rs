@@ -1,0 +1,754 @@
+//! Static chase-termination analysis.
+//!
+//! The chase of Section 2 need not terminate once dependencies leave
+//! the source-to-target fragment (a conclusion relation feeding a
+//! premise). This module implements the two classic *syntactic*
+//! sufficient conditions, checked before any chase runs, so callers —
+//! `rde analyze`, and `rde serve --require-terminating` at catalog
+//! admission — can refuse or budget a mapping up front:
+//!
+//! * **Weak acyclicity** (Fagin–Kolaitis–Miller–Popa): build the
+//!   *position graph* whose nodes are the positions `(R, i)` of every
+//!   relation mentioned by the dependency set. For each dependency
+//!   `φ(x̄) → ∃ȳ ψ(x̄, ȳ)` (per disjunct) and each universal variable
+//!   `x` that occurs in the conclusion, with `x` at premise position
+//!   `p`: add an **ordinary** edge `p → q` for every conclusion
+//!   position `q` where `x` occurs, and a **special** edge `p → q′`
+//!   for every position `q′` of every existential variable of that
+//!   disjunct. The mapping is weakly acyclic iff no cycle goes through
+//!   a special edge; then the chase terminates in polynomially many
+//!   rounds, with the polynomial's degree bounded by the graph's
+//!   **rank** (the maximum number of special edges on any path).
+//!
+//! * **Stratification** (Deutsch–Nash–Remmel, simplified to a sound
+//!   syntactic test): build the *firing graph* whose nodes are the
+//!   dependencies, with an edge `d₁ → d₂` when some conclusion atom of
+//!   `d₁` can produce a fact matching some premise atom of `d₂`. The
+//!   test is guard-aware: a premise variable under a `Constant(·)`
+//!   guard can never be bound to a freshly invented null, so a
+//!   conclusion atom whose corresponding argument is existential
+//!   cannot activate that premise atom. The mapping is stratified when
+//!   every strongly connected component of the firing graph is weakly
+//!   acyclic *on its own*; the chase then terminates stratum by
+//!   stratum even though the full position graph has a special cycle.
+//!
+//! Neither condition is necessary — a mapping can terminate on every
+//! instance while failing both — so the negative verdict is
+//! [`TerminationVerdict::Unproven`], carrying the offending cycle as a
+//! counterexample witness, not a proof of divergence.
+
+use rde_faults::ExecContext;
+use rde_model::fx::{FxHashMap, FxHashSet};
+use rde_model::{RelId, Vocabulary};
+
+use crate::ast::{Dependency, Term, VarId};
+use crate::SchemaMapping;
+
+/// A position `(relation, argument index)` — a node of the position
+/// graph.
+pub type Position = (RelId, usize);
+
+/// Edge class in the position graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// A universal variable is copied from premise to conclusion.
+    Ordinary,
+    /// A premise position feeds the invention of a fresh null.
+    Special,
+}
+
+/// The dependency (position) graph of a dependency set.
+#[derive(Debug, Clone)]
+pub struct PositionGraph {
+    /// Node positions, in first-seen order.
+    nodes: Vec<Position>,
+    /// Position → node index.
+    index: FxHashMap<Position, usize>,
+    /// `edges[u]` = outgoing `(v, kind)` pairs, deduped.
+    edges: Vec<Vec<(usize, EdgeKind)>>,
+    edge_set: FxHashSet<(usize, usize, bool)>,
+}
+
+impl PositionGraph {
+    fn new() -> Self {
+        PositionGraph {
+            nodes: Vec::new(),
+            index: FxHashMap::default(),
+            edges: Vec::new(),
+            edge_set: FxHashSet::default(),
+        }
+    }
+
+    fn node(&mut self, p: Position) -> usize {
+        if let Some(&ix) = self.index.get(&p) {
+            return ix;
+        }
+        let ix = self.nodes.len();
+        self.nodes.push(p);
+        self.index.insert(p, ix);
+        self.edges.push(Vec::new());
+        ix
+    }
+
+    fn add_edge(&mut self, from: Position, to: Position, kind: EdgeKind) {
+        let u = self.node(from);
+        let v = self.node(to);
+        if self.edge_set.insert((u, v, kind == EdgeKind::Special)) {
+            self.edges[u].push((v, kind));
+        }
+    }
+
+    /// Number of position nodes.
+    pub fn position_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of ordinary edges.
+    pub fn ordinary_edges(&self) -> usize {
+        self.edges.iter().flatten().filter(|(_, k)| *k == EdgeKind::Ordinary).count()
+    }
+
+    /// Number of special edges.
+    pub fn special_edges(&self) -> usize {
+        self.edges.iter().flatten().filter(|(_, k)| *k == EdgeKind::Special).count()
+    }
+
+    /// Build the position graph of a dependency set. Disjunctive
+    /// conclusions contribute one set of edges per disjunct (sound:
+    /// every branch the disjunctive chase may take is covered).
+    pub fn build(deps: &[Dependency]) -> PositionGraph {
+        let mut g = PositionGraph::new();
+        for dep in deps {
+            g.add_dependency(dep);
+        }
+        g
+    }
+
+    fn add_dependency(&mut self, dep: &Dependency) {
+        // Make sure every mentioned position exists as a node even if
+        // it gains no edges — counts stay meaningful in reports.
+        for atom in
+            dep.premise.atoms.iter().chain(dep.disjuncts.iter().flat_map(|d| d.atoms.iter()))
+        {
+            for i in 0..atom.args.len() {
+                self.node((atom.rel, i));
+            }
+        }
+        // Premise occurrences of each universal variable.
+        let mut premise_pos: FxHashMap<VarId, Vec<Position>> = FxHashMap::default();
+        for atom in &dep.premise.atoms {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Var(v) = *t {
+                    premise_pos.entry(v).or_default().push((atom.rel, i));
+                }
+            }
+        }
+        for disjunct in &dep.disjuncts {
+            let existentials: FxHashSet<VarId> = disjunct.existentials.iter().copied().collect();
+            // Conclusion occurrences, split by variable class.
+            let mut universal_occ: FxHashMap<VarId, Vec<Position>> = FxHashMap::default();
+            let mut existential_occ: Vec<Position> = Vec::new();
+            for atom in &disjunct.atoms {
+                for (i, t) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = *t {
+                        if existentials.contains(&v) {
+                            existential_occ.push((atom.rel, i));
+                        } else {
+                            universal_occ.entry(v).or_default().push((atom.rel, i));
+                        }
+                    }
+                }
+            }
+            for (v, concl) in &universal_occ {
+                let Some(prem) = premise_pos.get(v) else { continue };
+                for &p in prem {
+                    for &q in concl {
+                        self.add_edge(p, q, EdgeKind::Ordinary);
+                    }
+                    for &q in &existential_occ {
+                        self.add_edge(p, q, EdgeKind::Special);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Strongly connected components (iterative Tarjan), as a node →
+    /// component-id map plus the component count.
+    fn sccs(&self) -> (Vec<usize>, usize) {
+        let n = self.nodes.len();
+        let mut comp = vec![usize::MAX; n];
+        let mut comp_count = 0;
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (u, ref mut child)) = frames.last_mut() {
+                if *child == 0 {
+                    index[u] = next_index;
+                    low[u] = next_index;
+                    next_index += 1;
+                    stack.push(u);
+                    on_stack[u] = true;
+                }
+                if let Some(&(v, _)) = self.edges[u].get(*child) {
+                    *child += 1;
+                    if index[v] == usize::MAX {
+                        frames.push((v, 0));
+                    } else if on_stack[v] {
+                        low[u] = low[u].min(index[v]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[u]);
+                    }
+                    if low[u] == index[u] {
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp[w] = comp_count;
+                            if w == u {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                }
+            }
+        }
+        (comp, comp_count)
+    }
+
+    /// A special edge inside one SCC, if any — the witness that the
+    /// graph is *not* weakly acyclic.
+    fn special_edge_in_cycle(&self) -> Option<(usize, usize)> {
+        let (comp, _) = self.sccs();
+        for (u, out) in self.edges.iter().enumerate() {
+            for &(v, kind) in out {
+                if kind == EdgeKind::Special && comp[u] == comp[v] {
+                    return Some((u, v));
+                }
+            }
+        }
+        None
+    }
+
+    /// A cycle through a special edge, as positions, if one exists.
+    /// The returned list starts and ends at the special edge's source.
+    pub fn offending_cycle(&self) -> Option<Vec<Position>> {
+        let (u, v) = self.special_edge_in_cycle()?;
+        // BFS from v back to u (same SCC, so a path exists).
+        let mut prev: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut queue = std::collections::VecDeque::from([v]);
+        let mut seen = FxHashSet::default();
+        seen.insert(v);
+        while let Some(w) = queue.pop_front() {
+            if w == u {
+                break;
+            }
+            for &(x, _) in &self.edges[w] {
+                if seen.insert(x) {
+                    prev.insert(x, w);
+                    queue.push_back(x);
+                }
+            }
+        }
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != v {
+            cur = *prev.get(&cur)?;
+            path.push(cur);
+        }
+        path.reverse(); // now u-first? No: built backwards from u to v.
+        let mut cycle: Vec<Position> = vec![self.nodes[u]];
+        for &ix in &path {
+            if ix != u {
+                cycle.push(self.nodes[ix]);
+            }
+        }
+        // Close the loop back at the source of the special edge.
+        cycle.push(self.nodes[u]);
+        Some(cycle)
+    }
+
+    /// Maximum number of special edges on any path, or `None` when a
+    /// special edge lies on a cycle (rank is then unbounded).
+    pub fn rank(&self) -> Option<usize> {
+        let (comp, comp_count) = self.sccs();
+        if self.special_edge_in_cycle().is_some() {
+            return None;
+        }
+        // Condensation DAG: longest path weighting special edges 1,
+        // ordinary edges 0. Tarjan numbers components in reverse
+        // topological order, so iterate components from the end.
+        let mut comp_edges: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+        for (u, out) in self.edges.iter().enumerate() {
+            for &(v, kind) in out {
+                if comp[u] != comp[v] {
+                    let w = usize::from(kind == EdgeKind::Special);
+                    let e = comp_edges.entry((comp[u], comp[v])).or_insert(0);
+                    *e = (*e).max(w);
+                }
+            }
+        }
+        let mut best = vec![0usize; comp_count];
+        // comp ids: edges go from higher Tarjan id to lower or equal?
+        // Tarjan pops callee components first, so an edge u→v across
+        // components always has comp[v] < comp[u]; process sources in
+        // increasing order of dependency: iterate components ascending
+        // (sinks first) and relax incoming afterwards — equivalently,
+        // iterate ascending and pull from successors.
+        for c in 0..comp_count {
+            let mut b = 0usize;
+            for (&(from, to), &w) in &comp_edges {
+                if from == c {
+                    b = b.max(best[to] + w);
+                }
+            }
+            best[c] = b;
+        }
+        best.iter().max().copied().or(Some(0))
+    }
+
+    /// Render a position for humans: `R.2` (1-based column).
+    pub fn describe_position(vocab: &Vocabulary, p: Position) -> String {
+        format!("{}.{}", vocab.relation_name(p.0), p.1 + 1)
+    }
+}
+
+/// The analyzer's verdict on a dependency set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TerminationVerdict {
+    /// The position graph has no cycle through a special edge; the
+    /// chase terminates on every instance.
+    WeaklyAcyclic {
+        /// Maximum number of special edges on any path.
+        rank: usize,
+    },
+    /// Not weakly acyclic, but every firing-graph stratum is; the
+    /// chase still terminates on every instance.
+    Stratified {
+        /// Number of strata (firing-graph SCCs).
+        strata: usize,
+        /// Maximum per-stratum rank.
+        rank: usize,
+    },
+    /// Neither criterion holds. The chase *may* diverge; the cycle is
+    /// the witness that breaks both tests.
+    Unproven {
+        /// A position cycle through a special edge (first == last).
+        cycle: Vec<Position>,
+    },
+}
+
+impl TerminationVerdict {
+    /// Machine-friendly verdict name, as pinned by the golden corpus.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TerminationVerdict::WeaklyAcyclic { .. } => "weakly-acyclic",
+            TerminationVerdict::Stratified { .. } => "stratified",
+            TerminationVerdict::Unproven { .. } => "unproven",
+        }
+    }
+
+    /// Does this verdict prove the chase terminates on every instance?
+    pub fn is_terminating(&self) -> bool {
+        !matches!(self, TerminationVerdict::Unproven { .. })
+    }
+}
+
+/// A full analysis report: verdict plus graph statistics and suggested
+/// budgets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// The termination verdict.
+    pub verdict: TerminationVerdict,
+    /// Nodes of the position graph.
+    pub positions: usize,
+    /// Ordinary (copy) edges.
+    pub ordinary_edges: usize,
+    /// Special (null-inventing) edges.
+    pub special_edges: usize,
+    /// Suggested `--max-rounds` chase budget: proven-terminating
+    /// mappings get a rank-scaled polynomial guess, unproven ones a
+    /// conservative cap that converts divergence into a typed
+    /// `RoundBudgetExhausted` instead of a hang.
+    pub suggested_round_budget: u64,
+    /// Suggested homomorphism `--node-budget` for the same chase,
+    /// scaled the same way.
+    pub suggested_node_budget: u64,
+}
+
+impl AnalysisReport {
+    /// Render the report as the stable multi-line text `rde analyze`
+    /// prints and the golden corpus pins.
+    pub fn render(&self, vocab: &Vocabulary) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "positions: {}  ordinary edges: {}  special edges: {}",
+            self.positions, self.ordinary_edges, self.special_edges
+        );
+        match &self.verdict {
+            TerminationVerdict::WeaklyAcyclic { rank } => {
+                let _ = writeln!(out, "verdict: weakly-acyclic (rank {rank})");
+            }
+            TerminationVerdict::Stratified { strata, rank } => {
+                let _ =
+                    writeln!(out, "verdict: stratified ({strata} strata, max stratum rank {rank})");
+            }
+            TerminationVerdict::Unproven { cycle } => {
+                let _ = writeln!(out, "verdict: unproven (special cycle)");
+                let rendered: Vec<String> =
+                    cycle.iter().map(|&p| PositionGraph::describe_position(vocab, p)).collect();
+                let _ = writeln!(out, "cycle: {}", rendered.join(" -> "));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "suggested budgets: rounds {}  hom nodes {}",
+            self.suggested_round_budget, self.suggested_node_budget
+        );
+        out
+    }
+}
+
+/// Errors from the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalyzeError {
+    /// The run was cooperatively cancelled via the [`ExecContext`].
+    Cancelled,
+    /// Graph construction failed (today only via the `analyze.graph`
+    /// fault point; kept typed so callers never see a panic).
+    Graph {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Cancelled => write!(f, "analysis cancelled"),
+            AnalyzeError::Graph { message } => write!(f, "analysis graph: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Rank-scaled budget suggestions. Heuristic, deliberately simple and
+/// deterministic so the corpus can pin them: base `64 * positions`
+/// rounds (min 64) times `4^rank`, and `1000 * positions` hom nodes
+/// (min 10⁴) times `4^rank`, both saturating. Unproven mappings get
+/// the rank-0 caps — enough for shallow instances, guaranteed finite.
+fn suggest_budgets(positions: usize, rank: usize) -> (u64, u64) {
+    let scale = 4u64.saturating_pow(u32::try_from(rank.min(24)).unwrap_or(24));
+    let positions = u64::try_from(positions).unwrap_or(u64::MAX);
+    let rounds = 64u64.max(64u64.saturating_mul(positions)).saturating_mul(scale);
+    let nodes = 10_000u64.max(1_000u64.saturating_mul(positions)).saturating_mul(scale);
+    (rounds, nodes)
+}
+
+/// Analyze a dependency set for chase termination. The [`ExecContext`]
+/// carries cancellation and the `analyze.graph` fault point.
+pub fn analyze_dependencies(
+    deps: &[Dependency],
+    ctx: &ExecContext,
+) -> Result<AnalysisReport, AnalyzeError> {
+    if ctx.is_cancelled() {
+        return Err(AnalyzeError::Cancelled);
+    }
+    if ctx.should_inject("analyze.graph") {
+        return Err(AnalyzeError::Graph { message: "injected fault: analyze.graph".to_owned() });
+    }
+    let graph = PositionGraph::build(deps);
+    let positions = graph.position_count();
+    let ordinary_edges = graph.ordinary_edges();
+    let special_edges = graph.special_edges();
+    let verdict = match graph.rank() {
+        Some(rank) => TerminationVerdict::WeaklyAcyclic { rank },
+        None => match stratify(deps, ctx)? {
+            Some((strata, rank)) => TerminationVerdict::Stratified { strata, rank },
+            None => {
+                let cycle = graph.offending_cycle().unwrap_or_default();
+                TerminationVerdict::Unproven { cycle }
+            }
+        },
+    };
+    let rank_for_budget = match &verdict {
+        TerminationVerdict::WeaklyAcyclic { rank } => *rank,
+        TerminationVerdict::Stratified { rank, .. } => *rank,
+        TerminationVerdict::Unproven { .. } => 0,
+    };
+    let (suggested_round_budget, suggested_node_budget) =
+        suggest_budgets(positions, rank_for_budget);
+    Ok(AnalysisReport {
+        verdict,
+        positions,
+        ordinary_edges,
+        special_edges,
+        suggested_round_budget,
+        suggested_node_budget,
+    })
+}
+
+/// Analyze a schema mapping (its dependency set).
+pub fn analyze_mapping(
+    mapping: &SchemaMapping,
+    ctx: &ExecContext,
+) -> Result<AnalysisReport, AnalyzeError> {
+    analyze_dependencies(&mapping.dependencies, ctx)
+}
+
+/// The guard-aware stratification test: `Some((strata, max_rank))`
+/// when every firing-graph SCC is weakly acyclic in isolation, `None`
+/// otherwise.
+fn stratify(
+    deps: &[Dependency],
+    ctx: &ExecContext,
+) -> Result<Option<(usize, usize)>, AnalyzeError> {
+    if ctx.is_cancelled() {
+        return Err(AnalyzeError::Cancelled);
+    }
+    let n = deps.len();
+    // fires[i][j]: can a conclusion of deps[i] activate a premise atom
+    // of deps[j]?
+    let mut fires = vec![vec![false; n]; n];
+    for (i, d1) in deps.iter().enumerate() {
+        for (j, d2) in deps.iter().enumerate() {
+            fires[i][j] = can_fire(d1, d2);
+        }
+    }
+    // SCCs of the firing graph (n is tiny; Kosaraju-style double DFS
+    // would be overkill — reuse pairwise reachability).
+    let mut reach = fires.clone();
+    for k in 0..n {
+        let via = reach[k].clone();
+        for row in reach.iter_mut() {
+            if row[k] {
+                for (j, &through) in via.iter().enumerate() {
+                    if through {
+                        row[j] = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        if comp_of[i] != usize::MAX {
+            continue;
+        }
+        let c = comps.len();
+        let mut members = vec![i];
+        comp_of[i] = c;
+        for j in (i + 1)..n {
+            if comp_of[j] == usize::MAX && reach[i][j] && reach[j][i] {
+                comp_of[j] = c;
+                members.push(j);
+            }
+        }
+        comps.push(members);
+    }
+    // Every recursive component must be weakly acyclic on its own. A
+    // component is recursive when it has >1 member or a self-loop.
+    let mut max_rank = 0usize;
+    for members in &comps {
+        let recursive = members.len() > 1 || members.iter().any(|&i| fires[i][i]);
+        if !recursive {
+            continue;
+        }
+        let sub: Vec<Dependency> = members.iter().map(|&i| deps[i].clone()).collect();
+        match PositionGraph::build(&sub).rank() {
+            Some(rank) => max_rank = max_rank.max(rank),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some((comps.len(), max_rank)))
+}
+
+/// Can some conclusion atom of `producer` produce a fact that matches
+/// some premise atom of `consumer`? Guard-aware: an argument position
+/// filled by an existential variable emits a fresh null, which can
+/// never satisfy a `Constant(·)`-guarded premise variable, and two
+/// distinct constant literals never unify.
+fn can_fire(producer: &Dependency, consumer: &Dependency) -> bool {
+    let guarded: FxHashSet<VarId> = consumer.premise.constant_vars.iter().copied().collect();
+    for disjunct in &producer.disjuncts {
+        let existential: FxHashSet<VarId> = disjunct.existentials.iter().copied().collect();
+        for catom in &disjunct.atoms {
+            for patom in &consumer.premise.atoms {
+                if catom.rel != patom.rel {
+                    continue;
+                }
+                let compatible = catom.args.iter().zip(patom.args.iter()).all(|(c, p)| {
+                    match (c, p) {
+                        // Fresh null into a Constant-guarded slot:
+                        // blocked.
+                        (Term::Var(cv), Term::Var(pv)) => {
+                            !(existential.contains(cv) && guarded.contains(pv))
+                        }
+                        // A fresh null is not a constant literal.
+                        (Term::Var(cv), Term::Const(_)) => !existential.contains(cv),
+                        // Distinct literals never unify.
+                        (Term::Const(a), Term::Const(b)) => a == b,
+                        (Term::Const(_), Term::Var(pv)) => {
+                            // A constant satisfies any guard.
+                            let _ = pv;
+                            true
+                        }
+                    }
+                });
+                if compatible {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dependency;
+    use rde_faults::{FaultConfig, FaultInjector};
+
+    fn deps_of(vocab: &mut Vocabulary, specs: &[&str]) -> Vec<Dependency> {
+        specs.iter().map(|s| parse_dependency(vocab, s).unwrap()).collect()
+    }
+
+    #[test]
+    fn source_to_target_tgds_are_weakly_acyclic_rank_zero_or_one() {
+        let mut v = Vocabulary::new();
+        v.relation("P", 2).unwrap();
+        v.relation("Q", 2).unwrap();
+        let deps = deps_of(&mut v, &["P(x, y) -> exists z . Q(x, z) & Q(z, y)"]);
+        let report = analyze_dependencies(&deps, &ExecContext::new()).unwrap();
+        assert_eq!(report.verdict, TerminationVerdict::WeaklyAcyclic { rank: 1 });
+        assert!(report.verdict.is_terminating());
+        assert_eq!(report.verdict.name(), "weakly-acyclic");
+        assert!(report.special_edges >= 1);
+    }
+
+    #[test]
+    fn full_tgds_have_rank_zero() {
+        let mut v = Vocabulary::new();
+        v.relation("P", 2).unwrap();
+        v.relation("Q", 2).unwrap();
+        let deps = deps_of(&mut v, &["P(x, y) -> Q(y, x)"]);
+        let report = analyze_dependencies(&deps, &ExecContext::new()).unwrap();
+        assert_eq!(report.verdict, TerminationVerdict::WeaklyAcyclic { rank: 0 });
+        assert_eq!(report.special_edges, 0);
+    }
+
+    #[test]
+    fn self_feeding_existential_is_unproven_with_cycle() {
+        let mut v = Vocabulary::new();
+        v.relation("E", 2).unwrap();
+        let deps = deps_of(&mut v, &["E(x, y) -> exists z . E(y, z)"]);
+        let report = analyze_dependencies(&deps, &ExecContext::new()).unwrap();
+        let TerminationVerdict::Unproven { cycle } = &report.verdict else {
+            panic!("expected unproven, got {:?}", report.verdict);
+        };
+        assert!(cycle.len() >= 2);
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(!report.verdict.is_terminating());
+        // The rendered cycle names positions of E.
+        let text = report.render(&v);
+        assert!(text.contains("verdict: unproven"));
+        assert!(text.contains("E."), "cycle should be rendered: {text}");
+    }
+
+    #[test]
+    fn constant_guard_breaks_the_firing_cycle() {
+        // Not weakly acyclic: (R.1) -*-> (R.2) via the second tgd and
+        // (R.2) -> (R.1)? Actually the second tgd alone has a special
+        // self-cycle in the full graph. But its premise guard
+        // Constant(y) can never be fed by its own fresh nulls, so the
+        // firing graph has no recursive component and the mapping is
+        // stratified.
+        let mut v = Vocabulary::new();
+        v.relation("P", 1).unwrap();
+        v.relation("R", 2).unwrap();
+        let deps = deps_of(
+            &mut v,
+            &["P(x) -> exists z . R(x, z)", "R(x, y) & Constant(y) -> exists w . R(y, w)"],
+        );
+        let full = PositionGraph::build(&deps);
+        assert!(full.rank().is_none(), "full graph must have a special cycle");
+        let report = analyze_dependencies(&deps, &ExecContext::new()).unwrap();
+        let TerminationVerdict::Stratified { strata, .. } = report.verdict else {
+            panic!("expected stratified, got {:?}", report.verdict);
+        };
+        assert_eq!(strata, 2);
+    }
+
+    #[test]
+    fn without_the_guard_the_same_shape_is_unproven() {
+        let mut v = Vocabulary::new();
+        v.relation("P", 1).unwrap();
+        v.relation("R", 2).unwrap();
+        let deps =
+            deps_of(&mut v, &["P(x) -> exists z . R(x, z)", "R(x, y) -> exists w . R(y, w)"]);
+        let report = analyze_dependencies(&deps, &ExecContext::new()).unwrap();
+        assert!(matches!(report.verdict, TerminationVerdict::Unproven { .. }));
+    }
+
+    #[test]
+    fn budgets_scale_with_rank_and_are_pinned() {
+        let (r0, n0) = suggest_budgets(4, 0);
+        assert_eq!((r0, n0), (256, 10_000));
+        let (r1, n1) = suggest_budgets(4, 1);
+        assert_eq!((r1, n1), (1024, 40_000));
+        // Saturation, not overflow, at absurd ranks.
+        let (rb, nb) = suggest_budgets(usize::MAX, 64);
+        assert_eq!((rb, nb), (u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn cancellation_and_fault_injection_are_typed() {
+        let mut v = Vocabulary::new();
+        v.relation("P", 1).unwrap();
+        let deps = deps_of(&mut v, &["P(x) -> P(x)"]);
+        let ctx = ExecContext::cancellable();
+        ctx.cancel.cancel();
+        assert_eq!(analyze_dependencies(&deps, &ctx), Err(AnalyzeError::Cancelled));
+        // Always-fire injector on analyze.graph. Live only when the
+        // build carries `rde-faults/fault-inject` (the seed sweep
+        // covers the live path; here we pin the typed shape).
+        let injector = FaultInjector::new(FaultConfig::always(7, "analyze.graph"));
+        let live = !injector.is_inert();
+        let ctx = ExecContext::new().with_injector(injector);
+        let got = analyze_dependencies(&deps, &ctx);
+        if live {
+            assert!(matches!(got, Err(AnalyzeError::Graph { .. })));
+        } else {
+            assert!(got.is_ok());
+        }
+    }
+
+    #[test]
+    fn rank_counts_special_edges_along_chains() {
+        // A -> B -> C, each hop inventing a null: rank 2.
+        let mut v = Vocabulary::new();
+        v.relation("A", 1).unwrap();
+        v.relation("B", 2).unwrap();
+        v.relation("C", 2).unwrap();
+        let deps =
+            deps_of(&mut v, &["A(x) -> exists z . B(x, z)", "B(x, y) -> exists w . C(y, w)"]);
+        let report = analyze_dependencies(&deps, &ExecContext::new()).unwrap();
+        assert_eq!(report.verdict, TerminationVerdict::WeaklyAcyclic { rank: 2 });
+    }
+}

@@ -22,10 +22,15 @@
 //! of dependencies — the triple `M = (S, T, Σ)`. The [`parse`] module
 //! reads the textual form used throughout the examples and the CLI, and
 //! [`printer`] renders it back.
+//!
+//! The [`analyze`] module performs static chase-termination analysis
+//! (weak acyclicity, guard-aware stratification) over the dependency
+//! set, backing `rde analyze` and serve-side admission control.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod ast;
 mod error;
 mod mapping;
@@ -33,6 +38,10 @@ pub mod normalize;
 pub mod parse;
 pub mod printer;
 
+pub use analyze::{
+    analyze_dependencies, analyze_mapping, AnalysisReport, AnalyzeError, EdgeKind, Position,
+    PositionGraph, TerminationVerdict,
+};
 pub use ast::{freeze_atoms, Atom, Conjunct, Dependency, Premise, Term, VarId};
 pub use error::DepError;
 pub use mapping::SchemaMapping;

@@ -1,14 +1,16 @@
 //! The seed-sweep resilience suite.
 //!
-//! Five injection families — spurious search exhaustion + round
+//! Injection families — spurious search exhaustion + round
 //! cancellation in the standard chase (both trigger-enumeration
 //! strategies), poisoned locks in the arrow cache, I/O errors in the
-//! journal sink, branch cancellation in the disjunctive chase, and
-//! aborted quasi-inverse construction — each swept across 24
-//! deterministic seeds (120 campaigns). The invariant under every
-//! seed: engines return typed `Err`s or correct `Ok`s, never panic,
-//! and the observability layer stays internally consistent (valid
-//! JSONL, write counters that add up).
+//! journal sink, branch cancellation in the disjunctive chase,
+//! aborted quasi-inverse construction, stranded checkpoint writes,
+//! spurious satisfaction-check exhaustion in the restricted chase,
+//! and aborted termination analysis — each swept across 24
+//! deterministic seeds. The invariant under every seed: engines
+//! return typed `Err`s or correct `Ok`s, never panic, and the
+//! observability layer stays internally consistent (valid JSONL,
+//! write counters that add up).
 //!
 //! Every campaign is **scoped**: an [`ExecContext`] carries its own
 //! [`FaultInjector`], whose hit/fire counters are read back per
@@ -432,6 +434,110 @@ fn checkpoint_write_faults_strand_a_tmp_that_startup_sweeps() {
         }
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&tmp).ok();
+    }
+    assert!(faulted > 0 && clean > 0, "sweep too one-sided: {faulted} / {clean}");
+}
+
+/// Family 7: the restricted chase under `chase.restricted.check` —
+/// the injection point sits on the Standard-mode satisfaction check,
+/// so a fire looks exactly like the satisfaction search running out of
+/// nodes. A fire must surface as the typed
+/// [`ChaseError::MatchBudgetExhausted`] (never an unsoundly-pruned
+/// `Ok`), and a campaign that never fired must land bit-identical to
+/// the clean restricted reference run.
+#[test]
+fn restricted_chase_survives_injected_satisfaction_exhaustion() {
+    let _g = shared();
+    let mut vocab = Vocabulary::new();
+    let deps = recursive_deps(&mut vocab);
+    let input = chain(&mut vocab, 4);
+    let reference = {
+        let mut v = vocab.clone();
+        let options = ChaseOptions::for_variant(rde_chase::ChaseVariant::Restricted);
+        rde_chase::chase(&input, &deps, &mut v, &options).unwrap()
+    };
+
+    let mut exhausted = 0u64;
+    let mut clean = 0u64;
+    for seed in 0..SEEDS {
+        let ctx = ExecContext::default().with_injector(FaultInjector::new(FaultConfig::ratio(
+            seed,
+            1,
+            1 << (seed % 8),
+            Some("chase.restricted"),
+        )));
+        let options = ChaseOptions {
+            ctx: ctx.clone(),
+            ..ChaseOptions::for_variant(rde_chase::ChaseVariant::Restricted)
+        };
+        let mut v = vocab.clone();
+        let result =
+            catch_unwind(AssertUnwindSafe(|| rde_chase::chase(&input, &deps, &mut v, &options)))
+                .unwrap_or_else(|_| {
+                    panic!("seed {seed}: restricted chase panicked under injection")
+                });
+        let report = ctx.fault_report();
+        let point = report.point("chase.restricted.check").expect("check point evaluated");
+        assert!(point.hits >= 1, "every restricted run consults the satisfaction check point");
+        match result {
+            Ok(r) => {
+                assert_eq!(point.fired, 0, "seed {seed}: an Ok run must be injection-free");
+                assert_eq!(
+                    r.instance, reference.instance,
+                    "seed {seed}: clean run must match the restricted reference"
+                );
+                clean += 1;
+            }
+            Err(ChaseError::MatchBudgetExhausted { .. }) => {
+                assert!(point.fired > 0, "seed {seed}: exhaustion requires a fire");
+                exhausted += 1;
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
+    }
+    assert!(exhausted > 0 && clean > 0, "sweep too one-sided: {exhausted} / {clean}");
+}
+
+/// Family 8: static termination analysis under `analyze.graph`. A fire
+/// is the typed [`rde_deps::AnalyzeError::Graph`]; a campaign that
+/// never fired must reproduce the clean reference verdict exactly.
+#[test]
+fn termination_analysis_survives_injected_graph_faults() {
+    let _g = shared();
+    let mut vocab = Vocabulary::new();
+    let deps = recursive_deps(&mut vocab);
+    let reference =
+        rde_deps::analyze_dependencies(&deps, &ExecContext::new()).expect("clean analysis");
+
+    let mut faulted = 0u64;
+    let mut clean = 0u64;
+    for seed in 0..SEEDS {
+        let ctx = ExecContext::default().with_injector(FaultInjector::new(FaultConfig::ratio(
+            seed,
+            1,
+            1 << (seed % 2),
+            Some("analyze"),
+        )));
+        let result = catch_unwind(AssertUnwindSafe(|| rde_deps::analyze_dependencies(&deps, &ctx)))
+            .unwrap_or_else(|_| panic!("seed {seed}: analysis panicked under injection"));
+        let report = ctx.fault_report();
+        let point = report.point("analyze.graph").expect("graph point evaluated");
+        assert!(point.hits >= 1, "every analysis consults the graph point");
+        match result {
+            Ok(r) => {
+                assert_eq!(point.fired, 0, "seed {seed}: an Ok run must be injection-free");
+                assert_eq!(
+                    r.verdict, reference.verdict,
+                    "seed {seed}: clean run must reproduce the reference verdict"
+                );
+                clean += 1;
+            }
+            Err(rde_deps::AnalyzeError::Graph { .. }) => {
+                assert!(point.fired > 0, "seed {seed}: a Graph error requires a fire");
+                faulted += 1;
+            }
+            Err(other) => panic!("seed {seed}: unexpected error {other}"),
+        }
     }
     assert!(faulted > 0 && clean > 0, "sweep too one-sided: {faulted} / {clean}");
 }

@@ -190,6 +190,13 @@ pub struct ServeOptions {
     /// this long (`0` keeps every request's tree). `None` streams
     /// spans live, interleaved but request-stamped.
     pub trace_slow_ms: Option<u64>,
+    /// Admission control for non-terminating mappings: when set, every
+    /// catalog entry (forward and reverse mapping alike) must pass the
+    /// static termination analysis (`rde_deps::analyze_mapping` —
+    /// weakly acyclic or stratified). An unproven entry rejects the
+    /// whole load at bind time, and rejects a reload with the old
+    /// generation still serving.
+    pub require_terminating: bool,
 }
 
 impl Default for ServeOptions {
@@ -211,6 +218,7 @@ impl Default for ServeOptions {
             max_strikes: 3,
             injector: FaultInjector::default(),
             trace_slow_ms: None,
+            require_terminating: false,
         }
     }
 }
@@ -268,6 +276,36 @@ fn current_catalog(state: &ServerState) -> Arc<CatalogState> {
     Arc::clone(&state.catalog.read().unwrap_or_else(std::sync::PoisonError::into_inner))
 }
 
+/// `--require-terminating` admission: every entry's forward (and
+/// reverse, if present) mapping must be statically proven terminating.
+/// The error names the first offending entry and its verdict so the
+/// operator can `rde analyze` it directly.
+fn check_catalog_terminating(catalog: &Catalog) -> Result<(), String> {
+    let ctx = ExecContext::new();
+    for (name, entry) in &catalog.entries {
+        let sides: [(&str, Option<&rde_deps::SchemaMapping>); 2] =
+            [("mapping", Some(&entry.mapping)), ("reverse", entry.reverse.as_ref())];
+        for (side, mapping) in sides {
+            let Some(mapping) = mapping else { continue };
+            let report =
+                rde_deps::analyze_mapping(mapping, &ctx).map_err(|e| format!("{name}: {e}"))?;
+            if !report.verdict.is_terminating() {
+                rde_obs::labeled_counter(
+                    "serve.catalog.rejected",
+                    &[("reason", "termination-unproven")],
+                )
+                .inc();
+                return Err(format!(
+                    "mapping `{name}` ({side}): termination unproven (not weakly acyclic \
+                     or stratified); run `rde analyze` on it, or serve without \
+                     --require-terminating and rely on explicit budgets"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A bound daemon, ready to [`Server::serve`].
 pub struct Server {
     listener: TcpListener,
@@ -280,6 +318,9 @@ impl Server {
     /// pays no cold-start penalty.
     pub fn bind(options: ServeOptions) -> Result<Server, ServeError> {
         let catalog = Catalog::load(&options.catalog, options.dims, options.policy)?;
+        if options.require_terminating {
+            check_catalog_terminating(&catalog).map_err(ServeError::Catalog)?;
+        }
         let listener = TcpListener::bind(&options.addr)
             .map_err(|e| ServeError::Bind(format!("cannot bind `{}`: {e}", options.addr)))?;
         gauge!("serve.catalog.generation").set(1);
@@ -377,6 +418,11 @@ fn do_reload(state: &ServerState) -> Result<(u64, usize, usize), String> {
         &current.catalog,
     )
     .map_err(|e| e.to_string())?;
+    // Same admission bar as bind: a reload that smuggles in an
+    // unproven mapping is rejected wholesale, old generation serving.
+    if state.options.require_terminating {
+        check_catalog_terminating(&catalog)?;
+    }
     // Deterministic chaos: a campaign firing here models the swap
     // itself failing (e.g. a torn re-scan). The old generation must
     // keep serving, exactly like a parse failure.
@@ -896,8 +942,14 @@ fn op_chase(
         Ok(i) => i.into_backend(state.options.backend),
         Err(e) => return Reply::Err(format!("instance: {e}")),
     };
-    let options =
+    let mut options =
         ChaseOptions { hom: config.clone(), ctx: config.ctx.clone(), ..ChaseOptions::default() };
+    if let Some(text) = request.get_header("variant") {
+        match text.parse::<rde_chase::ChaseVariant>() {
+            Ok(variant) => options = options.with_variant(variant),
+            Err(e) => return Reply::Err(format!("variant: {e}")),
+        }
+    }
     match rde_chase::chase(&instance, &entry.mapping.dependencies, &mut vocab, &options) {
         Ok(result) => {
             let rendered =

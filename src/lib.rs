@@ -30,6 +30,7 @@
 pub use rde_chase as chase;
 pub use rde_core as core;
 pub use rde_deps as deps;
+pub use rde_faults as faults;
 pub use rde_hom as hom;
 pub use rde_model as model;
 pub use rde_query as query;

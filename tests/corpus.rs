@@ -14,7 +14,7 @@
 //! ```text
 //! # comment
 //! check: loss | homomorphism-property | max-extended-recovery
-//!        | ground-inverse | compare
+//!        | ground-inverse | compare | analyze
 //! universe: CONSTS NULLS FACTS
 //! expect: VERDICT [key=value ...]
 //! mapping:
@@ -120,6 +120,44 @@ impl Fixture {
         parse_mapping(vocab, text).unwrap_or_else(|e| panic!("{}: mapping2: {e}", self.name))
     }
 
+    /// The teeth behind an `unproven` analyze verdict: actually chase
+    /// the mapping, under every variant, on a one-fact-per-source-
+    /// relation seed, and demand the typed round-budget error — fast.
+    /// A hang here (instead of `RoundBudgetExhausted`) is exactly the
+    /// bug the static analyzer exists to keep out of `rde serve`.
+    fn nonterminating_chase_is_typed(&self, m: &SchemaMapping, vocab: &mut Vocabulary) {
+        use reverse_data_exchange::chase::{chase, ChaseError, ChaseOptions, ChaseVariant};
+        let seed: Instance = m
+            .source
+            .relations()
+            .to_vec()
+            .iter()
+            .enumerate()
+            .map(|(i, &rel)| {
+                let args: Vec<Value> = (0..vocab.arity(rel))
+                    .map(|j| vocab.const_value(&format!("c{i}_{j}")))
+                    .collect();
+                Fact::new(rel, args)
+            })
+            .collect();
+        let start = std::time::Instant::now();
+        for variant in ChaseVariant::ALL {
+            let options = ChaseOptions { max_rounds: 6, ..ChaseOptions::for_variant(variant) };
+            let err = chase(&seed, &m.dependencies, vocab, &options).unwrap_err();
+            assert!(
+                matches!(err, ChaseError::RoundBudgetExhausted { rounds: 6 }),
+                "{}: {} chase must hit the round budget typed, got {err:?}",
+                self.name,
+                variant.name(),
+            );
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "{}: budgeted chases of a non-terminating mapping must return promptly",
+            self.name
+        );
+    }
+
     fn run(&self) {
         let mut vocab = Vocabulary::new();
         let m = parse_mapping(&mut vocab, &self.mapping)
@@ -190,6 +228,26 @@ impl Fixture {
                     other => panic!("{}: unbudgeted compare returned {other:?}", self.name),
                 };
                 assert_eq!(word, self.verdict, "{}: comparison verdict", self.name);
+            }
+            "analyze" => {
+                let ctx = reverse_data_exchange::faults::ExecContext::new();
+                let report = reverse_data_exchange::deps::analyze_mapping(&m, &ctx)
+                    .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+                assert_eq!(report.verdict.name(), self.verdict, "{}: verdict", self.name);
+                self.pin("positions", report.positions as u64);
+                self.pin("ordinary", report.ordinary_edges as u64);
+                self.pin("special", report.special_edges as u64);
+                use reverse_data_exchange::deps::TerminationVerdict;
+                match report.verdict {
+                    TerminationVerdict::WeaklyAcyclic { rank } => self.pin("rank", rank as u64),
+                    TerminationVerdict::Stratified { strata, rank } => {
+                        self.pin("strata", strata as u64);
+                        self.pin("rank", rank as u64);
+                    }
+                    TerminationVerdict::Unproven { .. } => {
+                        self.nonterminating_chase_is_typed(&m, &mut vocab)
+                    }
+                }
             }
             other => panic!("{}: unknown check kind {other:?}", self.name),
         }
